@@ -1,0 +1,105 @@
+//! Area accounting (paper §V "Area Overhead").
+//!
+//! "The major overhead is from 44 KB SRAM introduced from RIT buffer and VFT
+//! buffer. The additional area overhead (0.048 mm²) compared to baseline NPU
+//! is less than 2.5%… We also removed the crossbar connections in VFT buffer
+//! due to our interleaving access pattern — a heavily banked SRAM with a
+//! crossbar would introduce an additional 0.036 mm²."
+
+use crate::config::{GuConfig, NpuConfig};
+
+/// Area model constants for a 12 nm-class process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaModel {
+    /// SRAM density, mm² per KB (including peripherals, small arrays).
+    pub sram_mm2_per_kb: f64,
+    /// Area of one fp16 MAC with pipeline registers, mm².
+    pub mac_mm2: f64,
+    /// Control/logic overhead multiplier on datapath area.
+    pub logic_overhead: f64,
+    /// Crossbar area for a heavily banked SRAM of the VFT's size, mm²
+    /// (avoided by the channel-major interleaving).
+    pub crossbar_mm2: f64,
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        AreaModel {
+            sram_mm2_per_kb: 0.0007,
+            mac_mm2: 0.0022,
+            logic_overhead: 0.30,
+            crossbar_mm2: 0.036,
+        }
+    }
+}
+
+/// Area report for the GU augmentation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaReport {
+    /// Baseline NPU area (MAC array + buffers), mm².
+    pub npu_mm2: f64,
+    /// GU SRAM bytes (RIT double buffer + VFT).
+    pub gu_sram_kb: f64,
+    /// GU area (SRAM + reducers + address generation), mm².
+    pub gu_mm2: f64,
+    /// GU area as a fraction of the NPU.
+    pub overhead_fraction: f64,
+    /// Crossbar area avoided by the conflict-free interleaving, mm².
+    pub crossbar_saved_mm2: f64,
+}
+
+impl AreaModel {
+    /// Computes the area report for an NPU + GU configuration.
+    pub fn report(&self, npu: &NpuConfig, gu: &GuConfig) -> AreaReport {
+        let npu_sram_kb =
+            (npu.weight_buffer_bytes + npu.global_buffer_bytes) as f64 / 1024.0;
+        let npu_macs = (npu.array_rows * npu.array_cols) as f64;
+        let npu_mm2 = (npu_macs * self.mac_mm2 + npu_sram_kb * self.sram_mm2_per_kb)
+            * (1.0 + self.logic_overhead);
+
+        // RIT is double-buffered (2 × rit_buffer_bytes) plus the VFT.
+        let gu_sram_kb = (2 * gu.rit_buffer_bytes + gu.vft_bytes) as f64 / 1024.0;
+        // Reducers are narrow fp16 multiply-adds, far smaller than the NPU's
+        // fully pipelined MACs (~5% each).
+        let reducers = (gu.banks * gu.ports_per_bank) as f64;
+        let gu_mm2 = (gu_sram_kb * self.sram_mm2_per_kb + reducers * self.mac_mm2 * 0.05)
+            * (1.0 + self.logic_overhead);
+
+        AreaReport {
+            npu_mm2,
+            gu_sram_kb,
+            gu_mm2,
+            overhead_fraction: gu_mm2 / npu_mm2,
+            crossbar_saved_mm2: self.crossbar_mm2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gu_sram_is_44_kb() {
+        let r = AreaModel::default().report(&NpuConfig::default(), &GuConfig::default());
+        // Paper: 2 × 6 KB RIT + 32 KB VFT = 44 KB.
+        assert!((r.gu_sram_kb - 44.0).abs() < 0.01, "{} KB", r.gu_sram_kb);
+    }
+
+    #[test]
+    fn overhead_below_paper_bound() {
+        let r = AreaModel::default().report(&NpuConfig::default(), &GuConfig::default());
+        assert!(
+            r.overhead_fraction < 0.05,
+            "GU should be a few percent of the NPU, got {:.1}%",
+            r.overhead_fraction * 100.0
+        );
+        assert!(r.gu_mm2 > 0.01 && r.gu_mm2 < 0.2, "{} mm²", r.gu_mm2);
+    }
+
+    #[test]
+    fn crossbar_saving_matches_paper() {
+        let r = AreaModel::default().report(&NpuConfig::default(), &GuConfig::default());
+        assert!((r.crossbar_saved_mm2 - 0.036).abs() < 1e-9);
+    }
+}

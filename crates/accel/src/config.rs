@@ -1,0 +1,213 @@
+//! Hardware configuration: every number the simulators consume.
+//!
+//! Parameters follow the paper's §V setup where stated (MAC array shape,
+//! buffer sizes, RIT/VFT geometry, DRAM part, energy ratios) and public
+//! Xavier-class specifications elsewhere; all are plain fields so experiments
+//! can sweep them (e.g. Fig. 23's VFT sizes).
+
+use cicero_mem::DramConfig;
+
+/// Mobile GPU (Xavier-class Volta) model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuConfig {
+    /// Peak FP32 throughput in FLOP/s (512 CUDA cores × 1.377 GHz × 2).
+    pub peak_flops: f64,
+    /// Achievable fraction of peak on regular compute kernels.
+    pub compute_efficiency: f64,
+    /// Random memory transactions the memory subsystem sustains per second
+    /// (scattered 32 B reads through the cache hierarchy).
+    pub random_txn_per_sec: f64,
+    /// On-chip transactions (cache hits) per second.
+    pub sram_txn_per_sec: f64,
+    /// Last-level cache capacity used for feature data (paper §II-D: 2 MB).
+    pub cache_bytes: u64,
+    /// Fixed kernel launch overhead per stage, seconds.
+    pub kernel_overhead_s: f64,
+    /// Board-level GPU power under load, watts (energy = power × busy time).
+    pub power_w: f64,
+    /// FLOPs charged per gather entry read (addressing + interpolation).
+    pub flops_per_gather_entry: f64,
+    /// FLOPs charged per indexed sample (ray setup, voxel id, occupancy).
+    pub flops_per_indexed_sample: f64,
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        GpuConfig {
+            peak_flops: 1.41e12,
+            compute_efficiency: 0.55,
+            random_txn_per_sec: 1.0e8,
+            sram_txn_per_sec: 1.5e9,
+            cache_bytes: 2 << 20,
+            kernel_overhead_s: 100e-6,
+            power_w: 15.0,
+            flops_per_gather_entry: 30.0,
+            flops_per_indexed_sample: 12.0,
+        }
+    }
+}
+
+/// Systolic-array NPU parameters (paper §V).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NpuConfig {
+    /// MAC array rows (paper: 24).
+    pub array_rows: usize,
+    /// MAC array columns (paper: 24).
+    pub array_cols: usize,
+    /// Clock frequency, Hz.
+    pub clock_hz: f64,
+    /// Samples per MLP batch (global-buffer granularity, paper: 32 KB
+    /// chunks of the 1.5 MB double-buffered feature buffer).
+    pub batch: usize,
+    /// Weight buffer, bytes (paper: 96 KB).
+    pub weight_buffer_bytes: u64,
+    /// Global feature buffer, bytes (paper: 1.5 MB double-buffered).
+    pub global_buffer_bytes: u64,
+}
+
+impl Default for NpuConfig {
+    fn default() -> Self {
+        NpuConfig {
+            array_rows: 24,
+            array_cols: 24,
+            clock_hz: 1.0e9,
+            batch: 512,
+            weight_buffer_bytes: 96 << 10,
+            global_buffer_bytes: 3 << 19, // 1.5 MB
+        }
+    }
+}
+
+/// Gathering Unit parameters (paper §V and Fig. 15).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuConfig {
+    /// VFT SRAM arrays (paper: B = 32 banks).
+    pub banks: usize,
+    /// Ports per bank (paper: M = 2 → M ray samples in parallel).
+    pub ports_per_bank: usize,
+    /// Vertex Feature Table capacity, bytes (paper: 32 KB; Fig. 23 sweeps it).
+    pub vft_bytes: u64,
+    /// RIT buffer, bytes (paper: double-buffered 6 KB, 128 × 48 B entries).
+    pub rit_buffer_bytes: u64,
+    /// Clock frequency, Hz (shared with the NPU).
+    pub clock_hz: f64,
+    /// Cycles to read one vertex's feature vector (all channels in parallel
+    /// across banks — paper: "it takes one cycle to read one vertex feature").
+    pub cycles_per_vertex: u64,
+}
+
+impl Default for GuConfig {
+    fn default() -> Self {
+        GuConfig {
+            banks: 32,
+            ports_per_bank: 2,
+            vft_bytes: 32 << 10,
+            rit_buffer_bytes: 6 << 10,
+            clock_hz: 1.0e9,
+            cycles_per_vertex: 1,
+        }
+    }
+}
+
+/// Energy parameters. The paper's stated ratios (§V): random DRAM : streaming
+/// DRAM ≈ 3 : 1 per byte (held by [`DramConfig`]) and random DRAM : SRAM ≈
+/// 25 : 1 per access.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyConfig {
+    /// SRAM access energy per byte, picojoules (200 pJ/B random DRAM ÷ 25).
+    pub sram_pj_per_byte: f64,
+    /// Energy per MAC operation (12 nm, fp16), picojoules.
+    pub mac_pj: f64,
+    /// NPU/GU static + control overhead as a fraction of dynamic energy.
+    pub accelerator_overhead: f64,
+    /// Always-on SoC power (uncore, display pipe, memory controller), watts,
+    /// charged over every frame's wall-clock time.
+    pub soc_static_w: f64,
+}
+
+impl Default for EnergyConfig {
+    fn default() -> Self {
+        EnergyConfig {
+            sram_pj_per_byte: 8.0,
+            mac_pj: 0.6,
+            accelerator_overhead: 0.15,
+            soc_static_w: 2.0,
+        }
+    }
+}
+
+/// Wireless link for the remote-rendering scenario (paper §V: "modeled as
+/// 100 nJ/B with a speed of 10 MB/s" for energy; the latency link is the
+/// faster 60 GHz tether such headsets use, keeping communication latency
+/// ≪ frame latency as the paper reports — 0.02% of frame time).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WirelessConfig {
+    /// Transfer energy per byte, joules.
+    pub energy_j_per_byte: f64,
+    /// Link bandwidth used for latency accounting, bytes/second.
+    pub latency_bandwidth: f64,
+}
+
+impl Default for WirelessConfig {
+    fn default() -> Self {
+        WirelessConfig { energy_j_per_byte: 100e-9, latency_bandwidth: 2.5e9 }
+    }
+}
+
+/// Remote workstation GPU (2080 Ti-class) for reference-frame offload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RemoteGpuConfig {
+    /// Ratio of remote GPU throughput to the mobile GPU (2080 Ti ≈ 13.4
+    /// TFLOPS and ≈ 10× the memory bandwidth of Xavier).
+    pub speedup_over_mobile: f64,
+}
+
+impl Default for RemoteGpuConfig {
+    fn default() -> Self {
+        RemoteGpuConfig { speedup_over_mobile: 10.0 }
+    }
+}
+
+/// The full SoC configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SocConfig {
+    /// Mobile GPU.
+    pub gpu: GpuConfig,
+    /// Systolic NPU.
+    pub npu: NpuConfig,
+    /// Gathering Unit (present only in the full Cicero variant).
+    pub gu: GuConfig,
+    /// DRAM.
+    pub dram: DramConfig,
+    /// Energy constants.
+    pub energy: EnergyConfig,
+    /// Wireless link (remote scenario).
+    pub wireless: WirelessConfig,
+    /// Remote GPU (remote scenario).
+    pub remote: RemoteGpuConfig,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_constants() {
+        let c = SocConfig::default();
+        assert_eq!(c.npu.array_rows * c.npu.array_cols, 576); // 24×24 MACs
+        assert_eq!(c.gu.banks, 32);
+        assert_eq!(c.gu.ports_per_bank, 2);
+        assert_eq!(c.gu.vft_bytes, 32 * 1024);
+        assert_eq!(c.gu.rit_buffer_bytes, 6 * 1024);
+        assert_eq!(c.npu.weight_buffer_bytes, 96 * 1024);
+        // Energy ratios: random DRAM 200 pJ/B vs SRAM 8 pJ/B = 25:1.
+        let r = c.dram.random_energy_pj_per_byte / c.energy.sram_pj_per_byte;
+        assert!((r - 25.0).abs() < 0.5, "paper 25:1 ratio, got {r}");
+    }
+
+    #[test]
+    fn wireless_energy_is_100nj_per_byte() {
+        let w = WirelessConfig::default();
+        assert!((w.energy_j_per_byte - 1e-7).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,195 @@
+//! Mobile GPU timing/energy model.
+//!
+//! A roofline-style model calibrated to the paper's Fig. 2 observations
+//! (DirectVoxGO ≈ 0.8 FPS, Instant-NGP > 6 s/frame at 800×800 on the Xavier
+//! mobile Volta): compute-bound stages run at a fraction of peak FLOPs, while
+//! Feature Gathering is bound by irregular memory transactions — cache hits
+//! at on-chip rates, misses at the random-DRAM transaction rate — and by SRAM
+//! bank stalls (paper Fig. 6).
+
+use crate::config::GpuConfig;
+use crate::workload::{FrameWorkload, StageTimes};
+
+/// The mobile-GPU model.
+#[derive(Debug, Clone, Copy)]
+pub struct GpuModel {
+    cfg: GpuConfig,
+}
+
+impl GpuModel {
+    /// Creates a model.
+    pub fn new(cfg: GpuConfig) -> Self {
+        GpuModel { cfg }
+    }
+
+    /// Configuration in use.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// Effective FLOP/s on regular kernels.
+    fn eff_flops(&self) -> f64 {
+        self.cfg.peak_flops * self.cfg.compute_efficiency
+    }
+
+    /// Time of the Ray Indexing stage (I).
+    pub fn indexing_time(&self, w: &FrameWorkload) -> f64 {
+        let flops = w.samples_indexed as f64 * self.cfg.flops_per_indexed_sample
+            + w.rays as f64 * 40.0;
+        flops / self.eff_flops() + self.cfg.kernel_overhead_s
+    }
+
+    /// Time of the Feature Gathering stage (G) on the GPU.
+    ///
+    /// `max(addressing compute, memory transactions)`, where memory
+    /// transactions split into cache hits (on-chip rate, inflated by the
+    /// measured bank-conflict slowdown) and misses (random-DRAM rate).
+    pub fn gather_time(&self, w: &FrameWorkload) -> f64 {
+        if w.gather_entry_reads == 0 {
+            return 0.0;
+        }
+        let compute = w.gather_entry_reads as f64 * self.cfg.flops_per_gather_entry
+            / self.eff_flops();
+        let bank_slowdown = w.bank.slowdown().max(1.0);
+        let hit_time = w.cache.hits as f64 / self.cfg.sram_txn_per_sec * bank_slowdown;
+        let miss_time = w.cache.misses as f64 / self.cfg.random_txn_per_sec;
+        compute.max(hit_time + miss_time) + self.cfg.kernel_overhead_s
+    }
+
+    /// Time of the Feature Computation stage (F) when the MLP runs on the
+    /// GPU (the pure-software configuration of §VI-B).
+    pub fn mlp_time(&self, w: &FrameWorkload) -> f64 {
+        if w.mlp_macs == 0 {
+            return 0.0;
+        }
+        // 2 FLOPs per MAC.
+        w.mlp_macs as f64 * 2.0 / self.eff_flops() + self.cfg.kernel_overhead_s
+    }
+
+    /// Time of SPARW's warping steps (point cloud, transform, re-projection,
+    /// depth test): ≈ 60 FLOPs per point plus z-buffer traffic. The paper
+    /// measures < 1 ms per million points on the Volta GPU.
+    pub fn warp_time(&self, w: &FrameWorkload) -> f64 {
+        if w.warp_points == 0 && w.warped_pixels == 0 {
+            return 0.0;
+        }
+        let flops = w.warp_points as f64 * 60.0 + w.warped_pixels as f64 * 10.0;
+        flops / self.eff_flops() + self.cfg.kernel_overhead_s
+    }
+
+    /// Full software-pipeline stage times (everything on the GPU).
+    pub fn stage_times_software(&self, w: &FrameWorkload) -> StageTimes {
+        StageTimes {
+            indexing_s: self.indexing_time(w),
+            gather_s: self.gather_time(w),
+            mlp_s: self.mlp_time(w),
+            warp_s: self.warp_time(w),
+        }
+    }
+
+    /// Energy of `busy_s` seconds of GPU execution (measured-power model, as
+    /// the paper does with the Xavier's power sensors).
+    pub fn energy(&self, busy_s: f64) -> f64 {
+        busy_s * self.cfg.power_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cicero_mem::{BankStats, CacheStats};
+
+    fn model() -> GpuModel {
+        GpuModel::new(GpuConfig::default())
+    }
+
+    fn dvgo_like_frame() -> FrameWorkload {
+        // 800×800, ~40 occupied samples/ray, 8 vertices × 24 B.
+        let rays = 800 * 800u64;
+        let samples = rays * 40;
+        let entries = samples * 8;
+        FrameWorkload {
+            rays,
+            samples_indexed: rays * 250,
+            samples_processed: samples,
+            gather_entry_reads: entries,
+            gather_bytes: entries * 24,
+            mlp_macs: samples * 5500,
+            cache: CacheStats { hits: entries * 6 / 10, misses: entries * 4 / 10 },
+            bank: BankStats {
+                requests: entries,
+                stalled_requests: entries / 2,
+                cycles: entries / 8,
+                ideal_cycles: entries / 16,
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn dvgo_frame_lands_near_paper_fps() {
+        // Paper Fig. 2: DirectVoxGO ≈ 0.8 FPS on the mobile Volta.
+        let m = model();
+        let t = m.stage_times_software(&dvgo_like_frame()).total();
+        let fps = 1.0 / t;
+        assert!(fps > 0.2 && fps < 2.5, "simulated DVGO at {fps:.2} FPS");
+    }
+
+    #[test]
+    fn gathering_dominates_execution() {
+        // Paper Fig. 3: Feature Gathering > 56% of execution on average.
+        let m = model();
+        let t = m.stage_times_software(&dvgo_like_frame());
+        let (_, g, _, _) = t.fractions();
+        assert!(g > 0.4, "gather fraction {g:.2}");
+    }
+
+    #[test]
+    fn more_misses_cost_more_time() {
+        let m = model();
+        let mut w = dvgo_like_frame();
+        let fast = m.gather_time(&w);
+        w.cache = CacheStats { hits: 0, misses: w.gather_entry_reads };
+        let slow = m.gather_time(&w);
+        assert!(slow > fast * 1.5);
+    }
+
+    #[test]
+    fn bank_conflicts_slow_hits() {
+        let m = model();
+        let mut w = dvgo_like_frame();
+        w.cache = CacheStats { hits: w.gather_entry_reads, misses: 0 };
+        w.bank = BankStats { requests: 1, stalled_requests: 0, cycles: 1, ideal_cycles: 1 };
+        let clean = m.gather_time(&w);
+        w.bank = BankStats { requests: 1, stalled_requests: 0, cycles: 3, ideal_cycles: 1 };
+        let stalled = m.gather_time(&w);
+        assert!(stalled > clean);
+    }
+
+    #[test]
+    fn warp_cost_is_sub_millisecond_per_megapixel() {
+        // Paper §III-B: processing one million points < 1 ms on the GPU.
+        let m = model();
+        let w = FrameWorkload {
+            warp_points: 1_000_000,
+            warped_pixels: 1_000_000,
+            ..Default::default()
+        };
+        assert!(m.warp_time(&w) < 1e-3);
+    }
+
+    #[test]
+    fn energy_scales_with_time() {
+        let m = model();
+        assert!((m.energy(2.0) - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_workload_costs_nothing_but_overheads() {
+        let m = model();
+        let w = FrameWorkload::default();
+        assert_eq!(m.gather_time(&w), 0.0);
+        assert_eq!(m.mlp_time(&w), 0.0);
+        assert_eq!(m.warp_time(&w), 0.0);
+    }
+}

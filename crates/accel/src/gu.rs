@@ -1,0 +1,137 @@
+//! The Gathering Unit (GU) model — paper Fig. 15.
+//!
+//! The GU owns Feature Gathering in the full Cicero configuration: RIT
+//! entries stream into a double-buffered 6 KB buffer; the Address Generation
+//! logic reads each ray sample's eight vertices from the Vertex Feature Table
+//! (B = 32 single-ported-per-channel SRAM arrays, M = 2 ports each), one
+//! vertex per cycle with all channels in parallel; B × M reducers perform the
+//! trilinear interpolation. The channel-major layout makes the VFT
+//! conflict-free by construction, so timing is deterministic:
+//! `cycles = vertex_reads / M`.
+
+use crate::config::{EnergyConfig, GuConfig};
+use crate::workload::FrameWorkload;
+
+/// The GU model.
+#[derive(Debug, Clone, Copy)]
+pub struct GuModel {
+    cfg: GuConfig,
+    energy: EnergyConfig,
+}
+
+impl GuModel {
+    /// Creates a model.
+    pub fn new(cfg: GuConfig, energy: EnergyConfig) -> Self {
+        GuModel { cfg, energy }
+    }
+
+    /// Configuration in use.
+    pub fn config(&self) -> &GuConfig {
+        &self.cfg
+    }
+
+    /// Cycles to gather a workload: one cycle per vertex read per port-slot,
+    /// `M` ray samples served in parallel, zero conflict stalls.
+    pub fn gather_cycles(&self, w: &FrameWorkload) -> u64 {
+        w.gather_entry_reads
+            .div_ceil(self.cfg.ports_per_bank as u64)
+            * self.cfg.cycles_per_vertex
+    }
+
+    /// Gather time, seconds.
+    pub fn gather_time(&self, w: &FrameWorkload) -> f64 {
+        self.gather_cycles(w) as f64 / self.cfg.clock_hz
+    }
+
+    /// Dynamic energy of gathering, joules: VFT reads (all channels of each
+    /// touched vertex), trilinear-reduction MACs, RIT buffer traffic and the
+    /// interpolated-feature writes into the NPU's global buffer.
+    pub fn gather_energy(&self, w: &FrameWorkload) -> f64 {
+        let sram_pj = self.energy.sram_pj_per_byte;
+        let vft_j = w.gather_bytes as f64 * sram_pj * 1e-12;
+        // One multiply-accumulate per gathered fp16 value.
+        let reduce_j = (w.gather_bytes as f64 / 2.0) * self.energy.mac_pj * 1e-12;
+        let rit_j = w.samples_processed as f64 * 48.0 * sram_pj * 1e-12;
+        // Interpolated features out: 1/8 of gathered bytes (8 vertices → 1).
+        let out_j = (w.gather_bytes as f64 / 8.0) * sram_pj * 1e-12;
+        (vft_j + reduce_j + rit_j + out_j) * (1.0 + self.energy.accelerator_overhead)
+    }
+
+    /// Energy scaling factor for a VFT larger than the 32 KB baseline
+    /// (Fig. 23): bigger SRAM arrays cost more per access; below ~64 KB the
+    /// effect is negligible, beyond it per-access energy grows with the
+    /// square root of capacity (longer bitlines/wordlines).
+    pub fn vft_energy_scale(vft_bytes: u64) -> f64 {
+        let base = 64.0 * 1024.0;
+        let b = vft_bytes as f64;
+        if b <= base {
+            // Mild sub-linear benefit region: nearly flat.
+            0.97 + 0.03 * (b / base)
+        } else {
+            (b / base).sqrt()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> GuModel {
+        GuModel::new(GuConfig::default(), EnergyConfig::default())
+    }
+
+    fn workload(samples: u64, entries_per_sample: u64, entry_bytes: u64) -> FrameWorkload {
+        FrameWorkload {
+            samples_processed: samples,
+            gather_entry_reads: samples * entries_per_sample,
+            gather_bytes: samples * entries_per_sample * entry_bytes,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn eight_vertices_take_four_cycles_with_two_ports() {
+        // M = 2: two samples in parallel → 8 vertex reads per sample = 8
+        // cycles per pair = 4 cycles per sample on average.
+        let m = model();
+        let w = workload(2, 8, 24);
+        assert_eq!(m.gather_cycles(&w), 8);
+    }
+
+    #[test]
+    fn time_scales_inversely_with_ports() {
+        let w = workload(10_000, 8, 24);
+        let m2 = model();
+        let m4 = GuModel::new(
+            GuConfig { ports_per_bank: 4, ..GuConfig::default() },
+            EnergyConfig::default(),
+        );
+        assert!((m2.gather_time(&w) / m4.gather_time(&w) - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn energy_tracks_bytes() {
+        let m = model();
+        let small = m.gather_energy(&workload(1000, 8, 16));
+        let big = m.gather_energy(&workload(1000, 8, 64));
+        assert!(big > small * 2.0);
+    }
+
+    #[test]
+    fn vft_energy_curve_matches_fig23_shape() {
+        // Paper Fig. 23: roughly flat 8–64 KB, rising beyond.
+        let e8 = GuModel::vft_energy_scale(8 << 10);
+        let e64 = GuModel::vft_energy_scale(64 << 10);
+        let e256 = GuModel::vft_energy_scale(256 << 10);
+        assert!((e8 - e64).abs() < 0.1, "flat region: {e8} vs {e64}");
+        assert!(e256 > e64 * 1.5, "rising region: {e256} vs {e64}");
+    }
+
+    #[test]
+    fn zero_workload_is_free() {
+        let m = model();
+        assert_eq!(m.gather_cycles(&FrameWorkload::default()), 0);
+        assert_eq!(m.gather_energy(&FrameWorkload::default()), 0.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Hardware substrate: timing, energy and area models of the paper's SoC.
+//!
+//! The paper evaluates on a mobile SoC (Fig. 14): a Xavier-class mobile GPU
+//! executes Ray Indexing and (in the baseline) Feature Gathering, a TPU-style
+//! systolic NPU executes Feature Computation, and Cicero augments the NPU
+//! with a Gathering Unit (GU). We reproduce that methodology — "a cycle-level
+//! simulator of the architecture with the latency of each component
+//! parameterized" (§V) — with the parameters documented in [`config`]:
+//!
+//! - [`GpuModel`] — roofline-style mobile-GPU timing (compute, irregular
+//!   memory transactions, SRAM bank stalls) with measured-power energy,
+//! - [`NpuModel`] — 24×24 weight-stationary systolic array (paper §V),
+//! - [`GuModel`] — the Gathering Unit: B=32 banks × M=2 ports, channel-major
+//!   VFT, trilinear reducers, RIT streaming (Fig. 15),
+//! - [`soc`] — frame-level schedules for the four pipeline variants and the
+//!   local/remote scenarios (Fig. 19),
+//! - [`area`] — the §V area-overhead accounting,
+//! - [`rivals`] — reduced models of NeuRex and NGPC for Fig. 24.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod config;
+mod gpu;
+mod gu;
+mod npu;
+pub mod rivals;
+pub mod soc;
+mod workload;
+
+pub use config::{EnergyConfig, GpuConfig, GuConfig, NpuConfig, SocConfig, WirelessConfig};
+pub use gpu::GpuModel;
+pub use gu::GuModel;
+pub use npu::NpuModel;
+pub use workload::{FrameWorkload, StageTimes};

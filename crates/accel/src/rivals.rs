@@ -1,0 +1,169 @@
+//! Reduced models of the prior NeRF accelerators compared in Fig. 24.
+//!
+//! Both rivals are Instant-NGP-specific:
+//!
+//! - **NeuRex** (ISCA'23): a 32×32-PE accelerator with a 64 KB encoding
+//!   buffer. Its feature buffer keeps the *feature-major* layout, so hashed
+//!   levels suffer bank conflicts, and the small buffer forces random DRAM
+//!   refills for fine levels.
+//! - **NGPC** (ISCA'23): dedicates a 16 MB on-chip buffer to the entire
+//!   encoding — no gather DRAM traffic at all — with per-level banks that are
+//!   conflict-free by construction (the paper: "NGPC design inherently avoids
+//!   SRAM bank conflicts"), at an on-chip cost no mobile SoC affords.
+//!
+//! Neither implements radiance warping, so their workload is always the
+//! full-frame render.
+
+use crate::soc::{SocModel, Variant};
+use crate::workload::FrameWorkload;
+use cicero_mem::CacheStats;
+
+/// Per-accelerator report for Fig. 24.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RivalReport {
+    /// Frame time, seconds.
+    pub time_s: f64,
+    /// PE array size used.
+    pub pes: usize,
+    /// On-chip feature buffer, bytes.
+    pub buffer_bytes: u64,
+}
+
+/// Simulates NeuRex on a full-frame Instant-NGP workload.
+///
+/// NeuRex's 32×32 array speeds up feature computation 1.78× over the 24×24
+/// baseline; gathering keeps the feature-major conflicts (from the measured
+/// `bank` stats) and pays random DRAM for the levels that exceed its 64 KB
+/// buffer (approximated by the measured cache misses re-scaled to 64 KB — we
+/// conservatively reuse the 2 MB miss profile, which *favors* NeuRex).
+pub fn neurex_frame(soc: &SocModel, ingp: &FrameWorkload) -> RivalReport {
+    let mlp_speedup = (32.0 * 32.0) / (24.0 * 24.0);
+    let mlp_s = soc.npu.mlp_time(ingp) / mlp_speedup;
+    // Gathering: on-chip portion stalls with the feature-major conflict
+    // slowdown; off-chip portion at random DRAM transaction rate.
+    let gcfg = soc.gpu.config();
+    let bank_slowdown = ingp.bank.slowdown().max(1.0);
+    let hit_rate = soc.gu.config().clock_hz; // one request per cycle per lane group
+    let on_chip_s = ingp.cache.hits as f64 * bank_slowdown
+        / (hit_rate * soc.gu.config().ports_per_bank as f64);
+    // NeuRex's dedicated encoding engine prefetches hash levels with a
+    // streaming DMA, servicing misses ~3x faster than the GPU's scattered
+    // loads (its headline gain over GPU baselines).
+    let dram_s = ingp.cache.misses as f64 / (3.0 * gcfg.random_txn_per_sec);
+    let gather_s = on_chip_s + dram_s;
+    let indexing_s = soc.gpu.indexing_time(ingp);
+    RivalReport {
+        time_s: indexing_s + gather_s.max(mlp_s),
+        pes: 32 * 32,
+        buffer_bytes: 64 << 10,
+    }
+}
+
+/// Simulates NGPC on a full-frame Instant-NGP workload.
+///
+/// With the whole encoding resident in 16 MB of SRAM, gathering is
+/// conflict-free and DRAM-free: one vertex per cycle per port, like the GU.
+/// The paper observes "CICERO without SPARW achieves a similar speed".
+pub fn ngpc_frame(soc: &SocModel, ingp: &FrameWorkload) -> RivalReport {
+    let mut resident = ingp.clone();
+    resident.cache = CacheStats { hits: ingp.gather_entry_reads, misses: 0 };
+    resident.dram = Default::default();
+    let gather_s = soc.gu.gather_time(&resident);
+    let mlp_s = soc.npu.mlp_time(&resident);
+    let indexing_s = soc.gpu.indexing_time(&resident);
+    RivalReport {
+        time_s: indexing_s + gather_s.max(mlp_s),
+        pes: 24 * 24,
+        buffer_bytes: 16 << 20,
+    }
+}
+
+/// Cicero without SPARW (full-frame, FS + GU) for the Fig. 24 comparison.
+pub fn cicero_no_sparw_frame(soc: &SocModel, ingp_fs: &FrameWorkload) -> RivalReport {
+    let report = soc.full_frame(ingp_fs, Variant::Cicero);
+    RivalReport { time_s: report.time_s, pes: 24 * 24, buffer_bytes: 32 << 10 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SocConfig;
+    use cicero_mem::{BankStats, DramStats};
+
+    fn ingp_workload() -> FrameWorkload {
+        let rays = 640_000u64;
+        let samples = rays * 30;
+        let entries = samples * 64; // 8 levels × 8 vertices
+        FrameWorkload {
+            rays,
+            samples_indexed: rays * 200,
+            samples_processed: samples,
+            gather_entry_reads: entries,
+            gather_bytes: entries * 16,
+            mlp_macs: samples * 8900,
+            mlp_dims: vec![(67, 64), (64, 64), (64, 7)],
+            dram: DramStats {
+                streaming_bytes: 0,
+                random_bytes: entries / 2 * 32,
+                streaming_bursts: 0,
+                random_bursts: entries / 2,
+                useful_bytes: entries * 16,
+            },
+            cache: CacheStats { hits: entries / 2, misses: entries / 2 },
+            bank: BankStats {
+                requests: entries,
+                stalled_requests: entries / 2,
+                cycles: entries / 4,
+                ideal_cycles: entries / 8,
+            },
+            ..Default::default()
+        }
+    }
+
+    fn fs_workload() -> FrameWorkload {
+        let mut w = ingp_workload();
+        // FS: dense levels stream once; hashed levels keep ~10% residual
+        // random traffic after ray-group reuse (the paper: "about half of the
+        // DRAM *traffics* are non-streaming" counts bursts, not entry reads).
+        let residual_random_bursts = w.gather_entry_reads / 20;
+        w.dram = DramStats {
+            streaming_bytes: 40 << 20,
+            random_bytes: residual_random_bursts * 32,
+            streaming_bursts: (40 << 20) / 32,
+            random_bursts: residual_random_bursts,
+            useful_bytes: w.dram.useful_bytes,
+        };
+        w.cache = CacheStats { hits: w.gather_entry_reads, misses: 0 };
+        w
+    }
+
+    #[test]
+    fn cicero_beats_neurex() {
+        let soc = SocModel::new(SocConfig::default());
+        let neurex = neurex_frame(&soc, &ingp_workload());
+        let cicero = cicero_no_sparw_frame(&soc, &fs_workload());
+        let speedup = neurex.time_s / cicero.time_s;
+        // Paper Fig. 24: ≈ 2× without SPARW.
+        assert!(speedup > 1.2, "Cicero vs NeuRex: {speedup:.2}×");
+    }
+
+    #[test]
+    fn cicero_matches_ngpc_without_sparw() {
+        let soc = SocModel::new(SocConfig::default());
+        let ngpc = ngpc_frame(&soc, &ingp_workload());
+        let cicero = cicero_no_sparw_frame(&soc, &fs_workload());
+        let ratio = ngpc.time_s / cicero.time_s;
+        // Paper: "achieves a similar speed".
+        assert!(ratio > 0.5 && ratio < 2.0, "ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn ngpc_needs_unrealistic_sram() {
+        let soc = SocModel::new(SocConfig::default());
+        let ngpc = ngpc_frame(&soc, &ingp_workload());
+        let cicero = cicero_no_sparw_frame(&soc, &fs_workload());
+        assert_eq!(ngpc.buffer_bytes, 16 << 20);
+        assert_eq!(cicero.buffer_bytes, 32 << 10);
+        assert!(ngpc.buffer_bytes / cicero.buffer_bytes == 512);
+    }
+}

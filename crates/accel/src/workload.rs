@@ -1,0 +1,164 @@
+//! Frame workload descriptors: the contract between renderers and hardware
+//! models.
+//!
+//! The rendering layers (cicero-field / cicero core) count work; this crate
+//! turns counts into time and energy. A [`FrameWorkload`] carries everything
+//! the hardware models need, already split by pipeline stage and memory
+//! class.
+
+use cicero_mem::{BankStats, CacheStats, DramStats};
+
+/// Work performed to render (part of) one frame.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FrameWorkload {
+    /// Rays processed.
+    pub rays: u64,
+    /// Candidate samples visited during Indexing (I).
+    pub samples_indexed: u64,
+    /// Samples that gathered features and ran the MLP (G + F).
+    pub samples_processed: u64,
+    /// Vertex/entry feature reads during Gathering (G).
+    pub gather_entry_reads: u64,
+    /// Useful feature bytes requested by Gathering.
+    pub gather_bytes: u64,
+    /// MLP multiply-accumulates (F).
+    pub mlp_macs: u64,
+    /// MLP layer shapes, for systolic tiling (empty = use MAC count only).
+    pub mlp_dims: Vec<(usize, usize)>,
+    /// Classified DRAM traffic of the gathering stage.
+    pub dram: DramStats,
+    /// On-chip cache behavior of the gathering stage (baseline path).
+    pub cache: CacheStats,
+    /// SRAM bank behavior of the gathering stage.
+    pub bank: BankStats,
+    /// Pixels produced by warping (SPARW target frames; zero otherwise).
+    pub warped_pixels: u64,
+    /// Point-cloud points transformed by warping.
+    pub warp_points: u64,
+}
+
+impl FrameWorkload {
+    /// Merges another workload (e.g. reference + target work of a window).
+    pub fn accumulate(&mut self, o: &FrameWorkload) {
+        self.rays += o.rays;
+        self.samples_indexed += o.samples_indexed;
+        self.samples_processed += o.samples_processed;
+        self.gather_entry_reads += o.gather_entry_reads;
+        self.gather_bytes += o.gather_bytes;
+        self.mlp_macs += o.mlp_macs;
+        if self.mlp_dims.is_empty() {
+            self.mlp_dims = o.mlp_dims.clone();
+        }
+        self.dram.accumulate(&o.dram);
+        self.cache.hits += o.cache.hits;
+        self.cache.misses += o.cache.misses;
+        self.bank.accumulate(&o.bank);
+        self.warped_pixels += o.warped_pixels;
+        self.warp_points += o.warp_points;
+    }
+
+    /// Scales all counts by `f` (e.g. amortizing a reference frame across a
+    /// warping window).
+    pub fn scaled(&self, f: f64) -> FrameWorkload {
+        let s = |v: u64| (v as f64 * f).round() as u64;
+        FrameWorkload {
+            rays: s(self.rays),
+            samples_indexed: s(self.samples_indexed),
+            samples_processed: s(self.samples_processed),
+            gather_entry_reads: s(self.gather_entry_reads),
+            gather_bytes: s(self.gather_bytes),
+            mlp_macs: s(self.mlp_macs),
+            mlp_dims: self.mlp_dims.clone(),
+            dram: DramStats {
+                streaming_bytes: s(self.dram.streaming_bytes),
+                random_bytes: s(self.dram.random_bytes),
+                streaming_bursts: s(self.dram.streaming_bursts),
+                random_bursts: s(self.dram.random_bursts),
+                useful_bytes: s(self.dram.useful_bytes),
+            },
+            cache: CacheStats { hits: s(self.cache.hits), misses: s(self.cache.misses) },
+            bank: BankStats {
+                requests: s(self.bank.requests),
+                stalled_requests: s(self.bank.stalled_requests),
+                cycles: s(self.bank.cycles),
+                ideal_cycles: s(self.bank.ideal_cycles),
+            },
+            warped_pixels: s(self.warped_pixels),
+            warp_points: s(self.warp_points),
+        }
+    }
+}
+
+/// Per-stage execution times of one frame, seconds.
+///
+/// The stage split matches the paper's Fig. 3 (I/G/F) plus SPARW's warp work
+/// (Fig. 18's "Others").
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StageTimes {
+    /// Ray indexing (I).
+    pub indexing_s: f64,
+    /// Feature gathering (G).
+    pub gather_s: f64,
+    /// Feature computation (F).
+    pub mlp_s: f64,
+    /// Warping (point cloud, transform, re-projection).
+    pub warp_s: f64,
+}
+
+impl StageTimes {
+    /// Total serialized time.
+    pub fn total(&self) -> f64 {
+        self.indexing_s + self.gather_s + self.mlp_s + self.warp_s
+    }
+
+    /// Adds another stage-time block.
+    pub fn accumulate(&mut self, o: &StageTimes) {
+        self.indexing_s += o.indexing_s;
+        self.gather_s += o.gather_s;
+        self.mlp_s += o.mlp_s;
+        self.warp_s += o.warp_s;
+    }
+
+    /// Fractional breakdown `(I, G, F, warp)` of the total.
+    pub fn fractions(&self) -> (f64, f64, f64, f64) {
+        let t = self.total();
+        if t <= 0.0 {
+            return (0.0, 0.0, 0.0, 0.0);
+        }
+        (
+            self.indexing_s / t,
+            self.gather_s / t,
+            self.mlp_s / t,
+            self.warp_s / t,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_sums_counts() {
+        let mut a = FrameWorkload { rays: 10, mlp_macs: 100, ..Default::default() };
+        a.accumulate(&FrameWorkload { rays: 5, mlp_macs: 50, ..Default::default() });
+        assert_eq!(a.rays, 15);
+        assert_eq!(a.mlp_macs, 150);
+    }
+
+    #[test]
+    fn scaling_is_proportional() {
+        let w = FrameWorkload { rays: 100, gather_bytes: 1000, ..Default::default() };
+        let h = w.scaled(0.25);
+        assert_eq!(h.rays, 25);
+        assert_eq!(h.gather_bytes, 250);
+    }
+
+    #[test]
+    fn stage_fractions_sum_to_one() {
+        let t = StageTimes { indexing_s: 1.0, gather_s: 2.0, mlp_s: 1.0, warp_s: 0.0 };
+        let (i, g, f, w) = t.fractions();
+        assert!((i + g + f + w - 1.0).abs() < 1e-12);
+        assert!((g - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,34 @@
+//! SRAM bank simulation kernel (paper Fig. 6 / Fig. 13): feature-major vs
+//! channel-major replay of a synthetic gather wave.
+
+use cicero_mem::{BankSim, BankSimConfig, FeatureLayout};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_banks(c: &mut Criterion) {
+    // 1024 samples of 8 vertex reads each, pseudo-random entries.
+    let samples: Vec<Vec<u64>> = (0..1024usize)
+        .map(|i| {
+            (0..8usize)
+                .map(|v| ((i * 2654435761usize + v * 805459861) % 65536) as u64)
+                .collect()
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("bank_conflict");
+    for (name, layout) in [
+        ("feature_major", FeatureLayout::FeatureMajor),
+        ("channel_major", FeatureLayout::ChannelMajor),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut sim = BankSim::new(BankSimConfig::default());
+                sim.replay_gather(black_box(&samples), layout);
+                sim.stats().conflict_rate()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_banks);
+criterion_main!(benches);

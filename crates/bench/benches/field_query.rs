@@ -1,0 +1,52 @@
+//! Feature Gathering kernel (paper stage G): encoding interpolation across
+//! the three model families.
+
+use cicero_bench::bench_scene;
+use cicero_field::{bake, GridConfig, HashConfig, NerfModel, TensorConfig};
+use cicero_math::Vec3;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_queries(c: &mut Criterion) {
+    let scene = bench_scene();
+    let opts = bake::BakeOptions { decoder_hidden: 16, ..Default::default() };
+    let grid = bake::bake_grid_with(
+        &scene,
+        &GridConfig { resolution: 48, ..Default::default() },
+        &opts,
+    );
+    let hash = bake::bake_hash_with(
+        &scene,
+        &HashConfig {
+            levels: 8,
+            base_resolution: 8,
+            max_resolution: 96,
+            table_size_log2: 14,
+            ..Default::default()
+        },
+        &opts,
+    );
+    let tensor = bake::bake_tensor_with(
+        &scene,
+        &TensorConfig { resolution: 48, components_per_signal: 2, bytes_per_value: 2 },
+        &opts,
+    );
+
+    let p = Vec3::new(0.1, 0.0, -0.2);
+    let mut g = c.benchmark_group("field_query");
+    let mut buf = Vec::new();
+    g.bench_function("grid_features", |b| {
+        b.iter(|| grid.features_into(black_box(p), &mut buf))
+    });
+    g.bench_function("hash_features", |b| {
+        b.iter(|| hash.features_into(black_box(p), &mut buf))
+    });
+    g.bench_function("tensor_features", |b| {
+        b.iter(|| tensor.features_into(black_box(p), &mut buf))
+    });
+    g.bench_function("grid_plan", |b| b.iter(|| grid.plan_at(black_box(p))));
+    g.bench_function("hash_plan", |b| b.iter(|| hash.plan_at(black_box(p))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

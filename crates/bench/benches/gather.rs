@@ -1,0 +1,34 @@
+//! Traffic analysis throughput: pixel-centric (Fig. 4/5) vs fully-streaming
+//! (Fig. 21) gather replay over one frame.
+
+use cicero::traffic::{PixelCentricConfig, PixelCentricTraffic, StreamingConfig, StreamingTraffic};
+use cicero_bench::{bench_camera, bench_model};
+use cicero_field::render::{render_full, RenderOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_traffic(c: &mut Criterion) {
+    let model = bench_model();
+    let cam = bench_camera(64);
+    let opts = RenderOptions::default();
+
+    let mut g = c.benchmark_group("gather_traffic");
+    g.sample_size(10);
+    g.bench_function("pixel_centric_frame", |b| {
+        b.iter(|| {
+            let mut sink = PixelCentricTraffic::new(&model, PixelCentricConfig::default());
+            render_full(&model, &cam, &opts, &mut sink);
+            sink.finish()
+        })
+    });
+    g.bench_function("streaming_frame", |b| {
+        b.iter(|| {
+            let mut sink = StreamingTraffic::new(&model, StreamingConfig::default());
+            render_full(&model, &cam, &opts, &mut sink);
+            sink.finish()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_traffic);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Feature Computation kernel (paper stage F): decoder MLP inference.
+
+use cicero_field::{Decoder, SpecularHead};
+use cicero_math::Vec3;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_mlp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mlp");
+    for hidden in [16usize, 64] {
+        let dec = Decoder::new(12, hidden, None);
+        let feats: Vec<f32> = (0..12).map(|i| i as f32 * 0.1).collect();
+        g.bench_function(format!("decode_hidden{hidden}"), |b| {
+            b.iter(|| dec.decode(black_box(&feats), black_box(Vec3::Z)))
+        });
+    }
+    let spec = Decoder::new(12, 64, Some(SpecularHead { shininess: 24.0 }));
+    let feats: Vec<f32> = (0..12).map(|i| i as f32 * 0.1).collect();
+    g.bench_function("decode_specular", |b| {
+        b.iter(|| spec.decode(black_box(&feats), black_box(Vec3::Z)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_mlp);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! End-to-end pipeline throughput (paper Fig. 19's substrate): warped frames
+//! vs full frames through the simulator stack.
+
+use cicero::pipeline::{run_pipeline, PipelineConfig};
+use cicero::Variant;
+use cicero_bench::{bench_model, bench_scene};
+use cicero_math::Intrinsics;
+use cicero_scene::Trajectory;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let scene = bench_scene();
+    let model = bench_model();
+    let traj = Trajectory::orbit(&scene, 4, 30.0);
+    let k = Intrinsics::from_fov(48, 48, 0.9);
+
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    for variant in [Variant::Baseline, Variant::Cicero] {
+        let cfg = PipelineConfig {
+            variant,
+            window: 3,
+            collect_quality: false,
+            ..Default::default()
+        };
+        g.bench_function(format!("{}_4frames", variant.label()), |b| {
+            b.iter(|| run_pipeline(&scene, &model, &traj, k, &cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Full-frame rendering throughput: ground truth vs baked model (the paper's
+//! Fig. 2 substrate).
+
+use cicero_bench::{bench_camera, bench_model, bench_scene};
+use cicero_field::render::{render_full, RenderOptions};
+use cicero_field::NullSink;
+use cicero_scene::ground_truth::render_frame;
+use cicero_scene::volume::MarchParams;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_render(c: &mut Criterion) {
+    let scene = bench_scene();
+    let model = bench_model();
+    let cam = bench_camera(64);
+
+    let mut g = c.benchmark_group("render");
+    g.sample_size(10);
+    g.bench_function("analytic_gt_64", |b| {
+        b.iter(|| render_frame(&scene, &cam, &MarchParams::default()))
+    });
+    g.bench_function("grid_model_64", |b| {
+        b.iter(|| render_full(&model, &cam, &RenderOptions::default(), &mut NullSink))
+    });
+    g.bench_function("grid_model_64_no_occupancy", |b| {
+        let opts = RenderOptions { use_occupancy: false, ..Default::default() };
+        b.iter(|| render_full(&model, &cam, &opts, &mut NullSink))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_render);
+criterion_main!(benches);

@@ -1,0 +1,603 @@
+//! The end-to-end Cicero pipeline: frames in, images + time/energy out.
+//!
+//! [`run_pipeline`] executes a camera trajectory under one of the paper's
+//! four variants (§V "Variants") and two scenarios ("Application Scenarios"),
+//! producing per-frame [`FrameOutcome`]s that the experiment harnesses
+//! aggregate into every speedup/energy/quality figure. [`run_ds2`] and
+//! [`run_temp`] run the comparison methods through the same machinery.
+
+use crate::baselines;
+use crate::schedule::{FramePlan, RefPlacement, Schedule};
+use crate::sparw::{warp_frame, WarpOptions, WarpStats};
+use crate::traffic::{
+    build_workload, PixelCentricConfig, PixelCentricReport, PixelCentricTraffic,
+    StreamingConfig, StreamingReport, StreamingTraffic,
+};
+use cicero_accel::config::SocConfig;
+use cicero_accel::soc::{FrameReport, Scenario, SocModel, Variant};
+use cicero_accel::FrameWorkload;
+use cicero_field::render::{render_full, render_masked, RenderOptions, RenderStats};
+use cicero_field::{NerfModel, NullSink};
+use cicero_math::{metrics, Camera, Intrinsics};
+use cicero_scene::ground_truth::{render_frame, Frame};
+use cicero_scene::volume::MarchParams;
+use cicero_scene::{AnalyticScene, Trajectory};
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Pipeline variant (Baseline / SpaRW / SpaRW+FS / Cicero).
+    pub variant: Variant,
+    /// Local or remote execution.
+    pub scenario: Scenario,
+    /// Warping window N (targets per reference).
+    pub window: usize,
+    /// Warp-angle threshold φ (radians); `None` disables the heuristic.
+    pub phi: Option<f32>,
+    /// Reference placement policy.
+    pub ref_placement: RefPlacement,
+    /// Ray-marching parameters.
+    pub march: MarchParams,
+    /// Hardware configuration.
+    pub soc: SocConfig,
+    /// Render analytic ground truth and compute PSNR/SSIM per frame.
+    pub collect_quality: bool,
+    /// Run the memory simulators (required for faithful timing).
+    pub collect_traffic: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            variant: Variant::Cicero,
+            scenario: Scenario::Local,
+            window: 16,
+            phi: None,
+            ref_placement: RefPlacement::Extrapolated,
+            march: MarchParams::default(),
+            soc: SocConfig::default(),
+            collect_quality: true,
+            collect_traffic: true,
+        }
+    }
+}
+
+/// Per-frame result.
+#[derive(Debug, Clone)]
+pub struct FrameOutcome {
+    /// Trajectory frame index.
+    pub frame_index: usize,
+    /// Simulated time/energy report.
+    pub report: FrameReport,
+    /// PSNR vs analytic ground truth (when quality collection is on).
+    pub psnr_db: Option<f64>,
+    /// SSIM vs analytic ground truth.
+    pub ssim: Option<f64>,
+    /// Warp statistics (target frames only).
+    pub warp_stats: Option<WarpStats>,
+    /// Whether this frame was a full (reference/bootstrap) render.
+    pub full_render: bool,
+}
+
+/// A completed pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineRun {
+    /// Per-frame outcomes.
+    pub outcomes: Vec<FrameOutcome>,
+    /// Output frames, in trajectory order.
+    pub frames: Vec<Frame>,
+    /// The last reference frame's full-render workload (for harness reuse).
+    pub reference_workload: Option<FrameWorkload>,
+    /// Aggregate warp statistics over all target frames.
+    pub warp_totals: WarpStats,
+}
+
+impl PipelineRun {
+    /// Mean frames per second over the trajectory.
+    pub fn mean_fps(&self) -> f64 {
+        let t = self.mean_frame_time();
+        if t > 0.0 {
+            1.0 / t
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Mean per-frame latency, seconds.
+    pub fn mean_frame_time(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes.iter().map(|o| o.report.time_s).sum::<f64>() / self.outcomes.len() as f64
+    }
+
+    /// Mean per-frame energy, joules.
+    pub fn mean_energy(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes.iter().map(|o| o.report.energy.total()).sum::<f64>()
+            / self.outcomes.len() as f64
+    }
+
+    /// Mean PSNR over frames with quality data, dB.
+    pub fn mean_psnr(&self) -> f64 {
+        let vals: Vec<f64> = self.outcomes.iter().filter_map(|o| o.psnr_db).collect();
+        if vals.is_empty() {
+            return f64::NAN;
+        }
+        // PSNR averages over MSE, matching the paper's per-scene averaging.
+        let mse: f64 =
+            vals.iter().map(|p| 10f64.powf(-p / 10.0)).sum::<f64>() / vals.len() as f64;
+        -10.0 * mse.log10()
+    }
+
+    /// Mean stage-time breakdown across frames.
+    pub fn mean_stage_times(&self) -> cicero_accel::StageTimes {
+        let mut acc = cicero_accel::StageTimes::default();
+        for o in &self.outcomes {
+            acc.accumulate(&o.report.stages);
+        }
+        let n = self.outcomes.len().max(1) as f64;
+        cicero_accel::StageTimes {
+            indexing_s: acc.indexing_s / n,
+            gather_s: acc.gather_s / n,
+            mlp_s: acc.mlp_s / n,
+            warp_s: acc.warp_s / n,
+        }
+    }
+}
+
+/// Renders one full frame with the traffic analysis matching `variant`,
+/// returning the frame, stats and assembled workload.
+fn analyzed_full_render(
+    model: &dyn NerfModel,
+    cam: &Camera,
+    opts: &RenderOptions,
+    variant: Variant,
+    cfg: &PipelineConfig,
+) -> (Frame, RenderStats, FrameWorkload) {
+    let (frame, stats, pc, fs) = if !cfg.collect_traffic {
+        let (frame, stats) = render_full(model, cam, opts, &mut NullSink);
+        (frame, stats, None, None)
+    } else if variant.fully_streaming() {
+        let mut sink = StreamingTraffic::new(model, streaming_cfg(cfg));
+        let (frame, stats) = render_full(model, cam, opts, &mut sink);
+        (frame, stats, None, Some(sink.finish()))
+    } else {
+        let mut sink = PixelCentricTraffic::new(model, pixel_cfg(cfg));
+        let (frame, stats) = render_full(model, cam, opts, &mut sink);
+        (frame, stats, Some(sink.finish()), None)
+    };
+    let w = build_workload(&stats, model.decoder(), pc.as_ref(), fs.as_ref(), None);
+    (frame, stats, w)
+}
+
+fn analyzed_sparse_render(
+    model: &dyn NerfModel,
+    cam: &Camera,
+    opts: &RenderOptions,
+    mask: &[bool],
+    frame: &mut Frame,
+    variant: Variant,
+    cfg: &PipelineConfig,
+    warp: (u64, u64),
+) -> (RenderStats, FrameWorkload) {
+    let (stats, pc, fs): (RenderStats, Option<PixelCentricReport>, Option<StreamingReport>) =
+        if !cfg.collect_traffic {
+            let stats = render_masked(model, cam, opts, Some(mask), frame, &mut NullSink);
+            (stats, None, None)
+        } else if variant.fully_streaming() {
+            let mut sink = StreamingTraffic::new(model, streaming_cfg(cfg));
+            let stats = render_masked(model, cam, opts, Some(mask), frame, &mut sink);
+            (stats, None, Some(sink.finish()))
+        } else {
+            let mut sink = PixelCentricTraffic::new(model, pixel_cfg(cfg));
+            let stats = render_masked(model, cam, opts, Some(mask), frame, &mut sink);
+            (stats, Some(sink.finish()), None)
+        };
+    let w = build_workload(&stats, model.decoder(), pc.as_ref(), fs.as_ref(), Some(warp));
+    (stats, w)
+}
+
+fn pixel_cfg(cfg: &PipelineConfig) -> PixelCentricConfig {
+    PixelCentricConfig {
+        cache_bytes: cfg.soc.gpu.cache_bytes,
+        dram: cfg.soc.dram,
+        ..Default::default()
+    }
+}
+
+fn streaming_cfg(cfg: &PipelineConfig) -> StreamingConfig {
+    StreamingConfig {
+        vft_bytes: cfg.soc.gu.vft_bytes,
+        hashed_cache_bytes: cfg.soc.gpu.cache_bytes,
+        dram: cfg.soc.dram,
+        ..Default::default()
+    }
+}
+
+fn quality_of(
+    scene: &AnalyticScene,
+    cam: &Camera,
+    march: &MarchParams,
+    out: &Frame,
+) -> (Option<f64>, Option<f64>) {
+    let gt = render_frame(scene, cam, march);
+    (
+        Some(metrics::psnr(&out.color, &gt.color)),
+        Some(metrics::ssim(&out.color, &gt.color)),
+    )
+}
+
+/// Runs a full trajectory through the configured pipeline.
+///
+/// # Panics
+///
+/// Panics if the trajectory is empty or `cfg.window == 0`.
+pub fn run_pipeline(
+    scene: &AnalyticScene,
+    model: &dyn NerfModel,
+    traj: &Trajectory,
+    intrinsics: Intrinsics,
+    cfg: &PipelineConfig,
+) -> PipelineRun {
+    assert!(!traj.is_empty());
+    let soc = SocModel::new(cfg.soc);
+    let opts = RenderOptions { march: cfg.march, use_occupancy: true };
+    let pixels = intrinsics.pixel_count() as u64;
+
+    let mut outcomes = Vec::with_capacity(traj.len());
+    let mut frames = Vec::with_capacity(traj.len());
+    let mut warp_totals = WarpStats::default();
+    let mut last_ref_workload: Option<FrameWorkload> = None;
+
+    if cfg.variant == Variant::Baseline {
+        for i in 0..traj.len() {
+            let cam = traj.camera(i, intrinsics);
+            let (frame, _stats, w) = analyzed_full_render(model, &cam, &opts, cfg.variant, cfg);
+            let report = match cfg.scenario {
+                Scenario::Local => soc.full_frame(&w, cfg.variant),
+                Scenario::Remote => soc.baseline_remote_frame(&w, pixels),
+            };
+            let (psnr_db, ssim) = if cfg.collect_quality {
+                quality_of(scene, &cam, &cfg.march, &frame)
+            } else {
+                (None, None)
+            };
+            last_ref_workload = Some(w);
+            outcomes.push(FrameOutcome {
+                frame_index: i,
+                report,
+                psnr_db,
+                ssim,
+                warp_stats: None,
+                full_render: true,
+            });
+            frames.push(frame);
+        }
+        return PipelineRun { outcomes, frames, reference_workload: last_ref_workload, warp_totals };
+    }
+
+    let schedule = Schedule::plan(traj, cfg.window, cfg.ref_placement);
+    // Targets per reference, for honest amortization of partial windows.
+    let mut ref_use = vec![0usize; schedule.references.len()];
+    for p in &schedule.plans {
+        if let FramePlan::Warp { ref_index } = p {
+            ref_use[*ref_index] += 1;
+        }
+    }
+
+    // Lazily rendered reference frames and their workloads.
+    let mut ref_frames: Vec<Option<(Frame, FrameWorkload)>> =
+        (0..schedule.references.len()).map(|_| None).collect();
+    let render_reference = |idx: usize| -> (Frame, FrameWorkload) {
+        let cam = Camera::new(intrinsics, schedule.references[idx]);
+        let (frame, _stats, w) = analyzed_full_render(model, &cam, &opts, cfg.variant, cfg);
+        (frame, w)
+    };
+
+    let warp_opts = WarpOptions { phi: cfg.phi, ..Default::default() };
+    for (i, plan) in schedule.plans.iter().enumerate() {
+        let cam = traj.camera(i, intrinsics);
+        match *plan {
+            FramePlan::FullRender { ref_index } => {
+                if ref_frames[ref_index].is_none() {
+                    ref_frames[ref_index] = Some(render_reference(ref_index));
+                }
+                let (frame, w) = ref_frames[ref_index].clone().unwrap();
+                // Bootstrap / on-trajectory reference frames pay full price.
+                let report = match cfg.scenario {
+                    Scenario::Local => soc.full_frame(&w, cfg.variant),
+                    Scenario::Remote => soc.baseline_remote_frame(&w, pixels),
+                };
+                let (psnr_db, ssim) = if cfg.collect_quality {
+                    quality_of(scene, &cam, &cfg.march, &frame)
+                } else {
+                    (None, None)
+                };
+                last_ref_workload = Some(w);
+                outcomes.push(FrameOutcome {
+                    frame_index: i,
+                    report,
+                    psnr_db,
+                    ssim,
+                    warp_stats: None,
+                    full_render: true,
+                });
+                frames.push(frame);
+            }
+            FramePlan::Warp { ref_index } => {
+                if ref_frames[ref_index].is_none() {
+                    ref_frames[ref_index] = Some(render_reference(ref_index));
+                }
+                let (ref_frame, ref_w) = ref_frames[ref_index].as_ref().unwrap();
+                let ref_cam = Camera::new(intrinsics, schedule.references[ref_index]);
+                let warped =
+                    warp_frame(ref_frame, &ref_cam, &cam, model.background(), &warp_opts);
+                let stats = warped.stats();
+                let mask = warped.render_mask();
+                let mut frame = warped.frame;
+                let (_s, tgt_w) = analyzed_sparse_render(
+                    model,
+                    &cam,
+                    &opts,
+                    &mask,
+                    &mut frame,
+                    cfg.variant,
+                    cfg,
+                    (pixels, pixels),
+                );
+                let window = ref_use[ref_index].max(1);
+                let report = match cfg.scenario {
+                    Scenario::Local => {
+                        soc.sparw_local_frame(ref_w, &tgt_w, window, cfg.variant)
+                    }
+                    Scenario::Remote => soc.sparw_remote_frame(
+                        ref_w,
+                        &tgt_w,
+                        window,
+                        cfg.variant,
+                        pixels,
+                    ),
+                };
+                let (psnr_db, ssim) = if cfg.collect_quality {
+                    quality_of(scene, &cam, &cfg.march, &frame)
+                } else {
+                    (None, None)
+                };
+                warp_totals.total += stats.total;
+                warp_totals.warped += stats.warped;
+                warp_totals.disoccluded += stats.disoccluded;
+                warp_totals.void_pixels += stats.void_pixels;
+                warp_totals.rejected += stats.rejected;
+                last_ref_workload = Some(ref_w.clone());
+                outcomes.push(FrameOutcome {
+                    frame_index: i,
+                    report,
+                    psnr_db,
+                    ssim,
+                    warp_stats: Some(stats),
+                    full_render: false,
+                });
+                frames.push(frame);
+            }
+        }
+    }
+
+    PipelineRun { outcomes, frames, reference_workload: last_ref_workload, warp_totals }
+}
+
+/// Runs the DS-2 baseline over a trajectory (quarter work + upsampling).
+pub fn run_ds2(
+    scene: &AnalyticScene,
+    model: &dyn NerfModel,
+    traj: &Trajectory,
+    intrinsics: Intrinsics,
+    cfg: &PipelineConfig,
+) -> PipelineRun {
+    let soc = SocModel::new(cfg.soc);
+    let opts = RenderOptions { march: cfg.march, use_occupancy: true };
+    let pixels = intrinsics.pixel_count() as u64;
+    let mut outcomes = Vec::new();
+    let mut frames = Vec::new();
+    for i in 0..traj.len() {
+        let cam = traj.camera(i, intrinsics);
+        let half_cam = Camera::new(cam.intrinsics.downsampled(2), cam.pose);
+        let (_f, _s, mut w) = analyzed_full_render(model, &half_cam, &opts, cfg.variant, cfg);
+        // Upsampling cost: one bilinear reconstruction over the full frame.
+        w.warped_pixels = pixels;
+        let (frame, _stats) =
+            baselines::render_ds2(model, &cam, &opts, &mut cicero_field::NullSink);
+        let report = match cfg.scenario {
+            Scenario::Local => {
+                let mut r = soc.full_frame(&w, Variant::Baseline);
+                let up = soc.gpu.warp_time(&w);
+                r.time_s += up;
+                r.stages.warp_s += up;
+                r.energy.gpu_j += soc.gpu.energy(up);
+                r
+            }
+            Scenario::Remote => soc.baseline_remote_frame(&w, pixels),
+        };
+        let (psnr_db, ssim) = if cfg.collect_quality {
+            quality_of(scene, &cam, &cfg.march, &frame)
+        } else {
+            (None, None)
+        };
+        outcomes.push(FrameOutcome {
+            frame_index: i,
+            report,
+            psnr_db,
+            ssim,
+            warp_stats: None,
+            full_render: true,
+        });
+        frames.push(frame);
+    }
+    PipelineRun { outcomes, frames, reference_workload: None, warp_totals: WarpStats::default() }
+}
+
+/// Runs the Temp-N baseline (chained on-trajectory warping, full render every
+/// `cfg.window` frames).
+pub fn run_temp(
+    scene: &AnalyticScene,
+    model: &dyn NerfModel,
+    traj: &Trajectory,
+    intrinsics: Intrinsics,
+    cfg: &PipelineConfig,
+) -> PipelineRun {
+    let soc = SocModel::new(cfg.soc);
+    let opts = RenderOptions { march: cfg.march, use_occupancy: true };
+    let pixels = intrinsics.pixel_count() as u64;
+    let rendered = baselines::render_temp_chain(model, traj, intrinsics, cfg.window, &opts);
+    let mut outcomes = Vec::new();
+    let mut frames = Vec::new();
+    for (i, (frame, stats)) in rendered.into_iter().enumerate() {
+        let full = i % cfg.window == 0;
+        let w = build_workload(
+            &stats,
+            model.decoder(),
+            None,
+            None,
+            if full { None } else { Some((pixels, pixels)) },
+        );
+        // Temp serializes reference and target rendering (Fig. 11a): the
+        // full-render frame pays its entire cost in-stream.
+        let report = if full {
+            soc.full_frame(&w, Variant::Sparw)
+        } else {
+            soc.target_frame(&w, Variant::Sparw)
+        };
+        let (psnr_db, ssim) = if cfg.collect_quality {
+            quality_of(scene, &traj.camera(i, intrinsics), &cfg.march, &frame)
+        } else {
+            (None, None)
+        };
+        outcomes.push(FrameOutcome {
+            frame_index: i,
+            report,
+            psnr_db,
+            ssim,
+            warp_stats: None,
+            full_render: full,
+        });
+        frames.push(frame);
+    }
+    PipelineRun { outcomes, frames, reference_workload: None, warp_totals: WarpStats::default() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cicero_field::{bake, GridConfig};
+    use cicero_scene::library;
+
+    fn small_setup() -> (AnalyticScene, cicero_field::GridModel, Trajectory, Intrinsics) {
+        let scene = library::scene_by_name("lego").unwrap();
+        let model = bake::bake_grid(&scene, &GridConfig { resolution: 40, ..Default::default() });
+        let traj = Trajectory::orbit(&scene, 6, 30.0);
+        (scene, model, traj, Intrinsics::from_fov(40, 40, 0.9))
+    }
+
+    fn fast_cfg(variant: Variant) -> PipelineConfig {
+        let mut cfg = PipelineConfig {
+            variant,
+            window: 4,
+            march: MarchParams { step: 0.02, ..Default::default() },
+            ..Default::default()
+        };
+        // Toy 40×40 frames: remove the fixed kernel-launch overheads that
+        // would otherwise dominate and hide the workload scaling under test.
+        cfg.soc.gpu.kernel_overhead_s = 0.0;
+        cfg
+    }
+
+    #[test]
+    fn baseline_pipeline_produces_quality_frames() {
+        let (scene, model, traj, k) = small_setup();
+        let run = run_pipeline(&scene, &model, &traj, k, &fast_cfg(Variant::Baseline));
+        assert_eq!(run.outcomes.len(), 6);
+        assert!(run.mean_psnr() > 16.0, "baseline PSNR {:.1}", run.mean_psnr());
+        assert!(run.outcomes.iter().all(|o| o.full_render));
+        assert!(run.mean_frame_time() > 0.0);
+    }
+
+    #[test]
+    fn cicero_is_faster_with_bounded_quality_loss() {
+        let (scene, model, traj, k) = small_setup();
+        let base = run_pipeline(&scene, &model, &traj, k, &fast_cfg(Variant::Baseline));
+        let cicero = run_pipeline(&scene, &model, &traj, k, &fast_cfg(Variant::Cicero));
+        assert!(
+            cicero.mean_frame_time() < base.mean_frame_time(),
+            "cicero {} vs baseline {}",
+            cicero.mean_frame_time(),
+            base.mean_frame_time()
+        );
+        assert!(cicero.mean_energy() < base.mean_energy());
+        // Quality within a few dB of the baseline (paper: < 1 dB at window 6
+        // on 800×800; small frames exaggerate splat cracks).
+        assert!(
+            cicero.mean_psnr() > base.mean_psnr() - 6.0,
+            "cicero {:.1} vs base {:.1}",
+            cicero.mean_psnr(),
+            base.mean_psnr()
+        );
+        // Most pixels warped.
+        assert!(cicero.warp_totals.overlap_fraction() > 0.7);
+    }
+
+    #[test]
+    fn variant_ladder_speeds_up_monotonically() {
+        let (scene, model, traj, k) = small_setup();
+        let t = |v: Variant| run_pipeline(&scene, &model, &traj, k, &fast_cfg(v)).mean_frame_time();
+        let base = t(Variant::Baseline);
+        let sparw = t(Variant::Sparw);
+        let cicero = t(Variant::Cicero);
+        assert!(sparw < base, "SPARW {sparw} < baseline {base}");
+        // At 40×40 the FS pipeline's fixed per-sample costs (RIT records,
+        // compositing spill) are not yet amortized, so only require rough
+        // parity here; the fig19 experiment asserts the paper-scale ordering.
+        assert!(cicero <= sparw * 1.5, "Cicero {cicero} ≲ SPARW {sparw}");
+    }
+
+    #[test]
+    fn remote_scenario_runs() {
+        let (scene, model, traj, k) = small_setup();
+        let mut cfg = fast_cfg(Variant::Cicero);
+        cfg.scenario = Scenario::Remote;
+        cfg.collect_quality = false;
+        let run = run_pipeline(&scene, &model, &traj, k, &cfg);
+        assert_eq!(run.outcomes.len(), 6);
+        // Remote: wireless energy appears on warped frames.
+        assert!(run
+            .outcomes
+            .iter()
+            .filter(|o| !o.full_render)
+            .all(|o| o.report.energy.wireless_j > 0.0));
+    }
+
+    #[test]
+    fn ds2_and_temp_run_and_score() {
+        let (scene, model, traj, k) = small_setup();
+        let cfg = fast_cfg(Variant::Baseline);
+        let ds2 = run_ds2(&scene, &model, &traj, k, &cfg);
+        let temp = run_temp(&scene, &model, &traj, k, &cfg);
+        assert_eq!(ds2.outcomes.len(), 6);
+        assert_eq!(temp.outcomes.len(), 6);
+        assert!(ds2.mean_psnr().is_finite());
+        assert!(temp.mean_psnr().is_finite());
+        // DS-2 is faster than the full baseline.
+        let base = run_pipeline(&scene, &model, &traj, k, &cfg);
+        assert!(ds2.mean_frame_time() < base.mean_frame_time());
+    }
+
+    #[test]
+    fn quality_collection_can_be_disabled() {
+        let (scene, model, traj, k) = small_setup();
+        let mut cfg = fast_cfg(Variant::Cicero);
+        cfg.collect_quality = false;
+        let run = run_pipeline(&scene, &model, &traj, k, &cfg);
+        assert!(run.outcomes.iter().all(|o| o.psnr_db.is_none()));
+    }
+}

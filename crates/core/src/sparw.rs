@@ -1,0 +1,541 @@
+//! SPARW: sparse radiance warping (paper §III).
+//!
+//! Given a *reference frame* (color + depth) rendered at a nearby pose, a
+//! *target frame* is synthesized by:
+//!
+//! 1. back-projecting every reference pixel to a 3-D point (Eq. 1),
+//! 2. transforming the point cloud into the target camera frame (Eq. 2),
+//! 3. z-buffered forward splatting through the target projection (Eq. 3),
+//! 4. classifying the remaining holes into *void* (nothing along the ray —
+//!    skipped via the depth test of §III-B step 4) and *disoccluded* pixels,
+//!    which alone are re-rendered by the NeRF model (Eq. 4).
+//!
+//! The warp-angle heuristic (§III-C, Fig. 26) optionally rejects warps whose
+//! reference/target rays subtend more than φ at the scene point — the
+//! diffuse-radiance approximation degrades there.
+
+use cicero_math::{Camera, Vec3};
+use cicero_scene::ground_truth::Frame;
+
+/// How reference points rasterize into the target frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SplatMode {
+    /// Each point lands on its nearest pixel with unit weight — the paper's
+    /// "the pixel value Px can be simply reused in Py". Crisp (no resampling
+    /// blur), at the cost of ±half-pixel alignment.
+    #[default]
+    Nearest,
+    /// Each point spreads bilinear weights over its four nearest pixels and
+    /// contributions normalize. Smoother surfaces, slightly blurred texture.
+    Bilinear,
+}
+
+/// Warping options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WarpOptions {
+    /// Warp-angle threshold φ in radians; `None` warps unconditionally
+    /// (the paper only enables φ for the low-FPS experiments of §VI-F).
+    pub phi: Option<f32>,
+    /// Depth used to probe hole pixels for void classification.
+    pub void_probe_depth: f32,
+    /// Fill one-pixel splat cracks from warped neighbors.
+    ///
+    /// Nearest-pixel forward splatting leaves isolated single-pixel holes
+    /// under rotation/zoom that are *not* true disocclusions; any point-cloud
+    /// renderer with a ≥1 px splat kernel (as the paper's rasterization
+    /// pipeline implies) covers them. A hole whose 8-neighborhood is ≥5
+    /// warped pixels is inpainted from those neighbors instead of being sent
+    /// to sparse NeRF. True disocclusion regions are wider than one pixel and
+    /// survive untouched.
+    pub fill_cracks: bool,
+    /// Point rasterization mode.
+    pub splat: SplatMode,
+}
+
+impl Default for WarpOptions {
+    fn default() -> Self {
+        WarpOptions {
+            phi: None,
+            void_probe_depth: 1.0e3,
+            fill_cracks: true,
+            splat: SplatMode::Nearest,
+        }
+    }
+}
+
+/// Provenance of each target pixel after warping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PixelSource {
+    /// Reused from the reference frame.
+    Warped,
+    /// Hole caused by disocclusion (or splat cracks) — needs sparse NeRF.
+    Disoccluded,
+    /// Nothing along the ray; filled with background, no rendering needed.
+    Void,
+    /// Warp rejected by the φ heuristic — needs sparse NeRF.
+    RejectedByAngle,
+}
+
+/// Result of warping one target frame.
+#[derive(Debug, Clone)]
+pub struct WarpResult {
+    /// The warped frame (holes carry the background color / infinite depth).
+    pub frame: Frame,
+    /// Per-pixel provenance, row-major.
+    pub status: Vec<PixelSource>,
+}
+
+/// Aggregate warp statistics (paper Fig. 7 and §III-A's disocclusion rates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WarpStats {
+    /// Total target pixels.
+    pub total: u64,
+    /// Pixels reused from the reference.
+    pub warped: u64,
+    /// Disoccluded pixels (sparse NeRF work).
+    pub disoccluded: u64,
+    /// Void pixels (background, skipped by the depth test).
+    pub void_pixels: u64,
+    /// Pixels rejected by the φ heuristic (sparse NeRF work).
+    pub rejected: u64,
+}
+
+impl WarpStats {
+    /// Fraction of pixels that did *not* need NeRF rendering — the paper's
+    /// "overlapped" percentage (>98% on Synthetic-NeRF).
+    pub fn overlap_fraction(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        (self.warped + self.void_pixels) as f64 / self.total as f64
+    }
+
+    /// Fraction of pixels requiring sparse NeRF rendering.
+    pub fn render_fraction(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        (self.disoccluded + self.rejected) as f64 / self.total as f64
+    }
+}
+
+impl WarpResult {
+    /// The sparse-rendering mask (row-major): `true` where the NeRF model
+    /// must run (Eq. 4's `Γ_sp`).
+    pub fn render_mask(&self) -> Vec<bool> {
+        self.status
+            .iter()
+            .map(|s| matches!(s, PixelSource::Disoccluded | PixelSource::RejectedByAngle))
+            .collect()
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> WarpStats {
+        let mut st = WarpStats { total: self.status.len() as u64, ..Default::default() };
+        for s in &self.status {
+            match s {
+                PixelSource::Warped => st.warped += 1,
+                PixelSource::Disoccluded => st.disoccluded += 1,
+                PixelSource::Void => st.void_pixels += 1,
+                PixelSource::RejectedByAngle => st.rejected += 1,
+            }
+        }
+        st
+    }
+}
+
+/// Warps `reference` (rendered at `ref_cam`) to the pose of `tgt_cam`.
+///
+/// `background` fills void/hole pixels until sparse rendering replaces the
+/// disoccluded ones.
+///
+/// # Panics
+///
+/// Panics if the reference frame's dimensions differ from `ref_cam`'s
+/// intrinsics.
+pub fn warp_frame(
+    reference: &Frame,
+    ref_cam: &Camera,
+    tgt_cam: &Camera,
+    background: Vec3,
+    opts: &WarpOptions,
+) -> WarpResult {
+    let (rw, rh) = (ref_cam.intrinsics.width, ref_cam.intrinsics.height);
+    assert_eq!(
+        (reference.width(), reference.height()),
+        (rw, rh),
+        "reference frame/camera mismatch"
+    );
+    let (tw, th) = (tgt_cam.intrinsics.width, tgt_cam.intrinsics.height);
+
+    let mut frame = Frame {
+        color: cicero_math::Image::new(tw, th, background),
+        depth: cicero_math::DepthMap::empty(tw, th),
+    };
+    let mut status = vec![PixelSource::Disoccluded; tw * th];
+
+    // Step 1-3: point cloud conversion, transform, weighted bilinear forward
+    // splatting with a z-buffer (the "standard rasterization pipeline" of
+    // Eq. 3). Each reference point contributes to its four nearest target
+    // pixels; contributions within a depth tolerance of the nearest surface
+    // accumulate and normalize, which removes the ±half-pixel resampling
+    // error of nearest-pixel splatting.
+    struct Splat {
+        tx: u32,
+        ty: u32,
+        weight: f32,
+        z: f32,
+        color: Vec3,
+        rejected: bool,
+    }
+    let mut splats: Vec<Splat> = Vec::with_capacity(rw * rh * 2);
+    let mut zmin = vec![f32::INFINITY; tw * th];
+    for y in 0..rh {
+        for x in 0..rw {
+            let d = *reference.depth.get(x, y);
+            if !d.is_finite() {
+                continue;
+            }
+            let (u, v) = (x as f32 + 0.5, y as f32 + 0.5);
+            let p_world = ref_cam.unproject_to_world(u, v, d); // Eq. 1 (+pose)
+            let Some((ut, vt, zt)) = tgt_cam.project_world(p_world) else {
+                continue; // behind the target camera — Eq. 2+3
+            };
+            let rejected = match opts.phi {
+                Some(phi) => {
+                    // θ of Fig. 8: angle at P between the two camera rays.
+                    let theta = (ref_cam.pose.position - p_world)
+                        .angle_between(tgt_cam.pose.position - p_world);
+                    theta > phi
+                }
+                None => false,
+            };
+            let color = *reference.color.get(x, y);
+            let fx = ut - 0.5;
+            let fy = vt - 0.5;
+            let x0 = fx.floor();
+            let y0 = fy.floor();
+            let (wx, wy) = (fx - x0, fy - y0);
+            let taps: [(i64, i64, f32); 4] = match opts.splat {
+                SplatMode::Bilinear => [
+                    (0, 0, (1.0 - wx) * (1.0 - wy)),
+                    (1, 0, wx * (1.0 - wy)),
+                    (0, 1, (1.0 - wx) * wy),
+                    (1, 1, wx * wy),
+                ],
+                SplatMode::Nearest => [
+                    (
+                        (fx.round() - x0) as i64,
+                        (fy.round() - y0) as i64,
+                        1.0,
+                    ),
+                    (0, 0, 0.0),
+                    (0, 0, 0.0),
+                    (0, 0, 0.0),
+                ],
+            };
+            for (dx, dy, w) in taps {
+                if w < 1e-4 {
+                    continue;
+                }
+                let tx = x0 as i64 + dx;
+                let ty = y0 as i64 + dy;
+                if tx < 0 || ty < 0 || tx >= tw as i64 || ty >= th as i64 {
+                    continue;
+                }
+                let idx = ty as usize * tw + tx as usize;
+                if zt < zmin[idx] {
+                    zmin[idx] = zt;
+                }
+                splats.push(Splat {
+                    tx: tx as u32,
+                    ty: ty as u32,
+                    weight: w,
+                    z: zt,
+                    color,
+                    rejected,
+                });
+            }
+        }
+    }
+    // Resolve: accumulate contributions near the front surface of each pixel.
+    let mut acc_color = vec![Vec3::ZERO; tw * th];
+    let mut acc_w = vec![0.0f32; tw * th];
+    let mut acc_z = vec![0.0f32; tw * th];
+    let mut rej_w = vec![0.0f32; tw * th];
+    for s in &splats {
+        let idx = s.ty as usize * tw + s.tx as usize;
+        let front = zmin[idx];
+        let tol = (front * 0.02).max(0.02);
+        if s.z > front + tol {
+            continue; // occluded contribution
+        }
+        acc_color[idx] += s.color * s.weight;
+        acc_z[idx] += s.z * s.weight;
+        acc_w[idx] += s.weight;
+        if s.rejected {
+            rej_w[idx] += s.weight;
+        }
+    }
+    for ty in 0..th {
+        for tx in 0..tw {
+            let idx = ty * tw + tx;
+            // Require near-full coverage: interior surface pixels integrate
+            // ~unit weight from their four contributing reference points,
+            // while silhouette-dilation fringes only catch tail weights and
+            // must stay holes (classified below) instead of smearing the
+            // object outline one pixel outward.
+            if acc_w[idx] < 0.75 {
+                continue;
+            }
+            let inv = 1.0 / acc_w[idx];
+            *frame.color.get_mut(tx, ty) = acc_color[idx] * inv;
+            *frame.depth.get_mut(tx, ty) = acc_z[idx] * inv;
+            status[idx] = if rej_w[idx] * 2.0 > acc_w[idx] {
+                PixelSource::RejectedByAngle
+            } else {
+                PixelSource::Warped
+            };
+        }
+    }
+
+    // Step 4's depth test: classify remaining holes. A hole whose far probe
+    // lands on reference background is void — nothing along the ray — and
+    // needs no rendering.
+    for ty in 0..th {
+        for tx in 0..tw {
+            if status[ty * tw + tx] != PixelSource::Disoccluded {
+                continue;
+            }
+            let (u, v) = (tx as f32 + 0.5, ty as f32 + 0.5);
+            let far_world = tgt_cam.unproject_to_world(u, v, opts.void_probe_depth);
+            let is_void = match ref_cam.project_world(far_world) {
+                Some((ru, rv, _)) => {
+                    let rx = (ru - 0.5).round() as i64;
+                    let ry = (rv - 0.5).round() as i64;
+                    if rx >= 0 && ry >= 0 && rx < rw as i64 && ry < rh as i64 {
+                        !reference.depth.get(rx as usize, ry as usize).is_finite()
+                    } else {
+                        false // outside the reference frustum: must render
+                    }
+                }
+                None => false,
+            };
+            let near_surface = {
+                let mut found = false;
+                'scan: for dy in -1i64..=1 {
+                    for dx in -1i64..=1 {
+                        let (nx, ny) = (tx as i64 + dx, ty as i64 + dy);
+                        if nx < 0 || ny < 0 || nx >= tw as i64 || ny >= th as i64 {
+                            continue;
+                        }
+                        if status[ny as usize * tw + nx as usize] == PixelSource::Warped {
+                            found = true;
+                            break 'scan;
+                        }
+                    }
+                }
+                found
+            };
+            if is_void && !near_surface {
+                status[ty * tw + tx] = PixelSource::Void;
+            } else {
+                // Rejected-by-angle pixels that lost the z-test race stay
+                // disoccluded; color remains background until sparse NeRF.
+                *frame.color.get_mut(tx, ty) = background;
+            }
+        }
+    }
+
+    // Crack filling: single-pixel splat holes surrounded by warped pixels
+    // are reconstruction artifacts of nearest-pixel splatting, not
+    // disocclusions; inpaint them from their neighbors.
+    if opts.fill_cracks {
+        let snapshot = status.clone();
+        for ty in 0..th {
+            for tx in 0..tw {
+                if snapshot[ty * tw + tx] != PixelSource::Disoccluded {
+                    continue;
+                }
+                let mut warped_neighbors = 0;
+                let mut color = Vec3::ZERO;
+                let mut depth = 0.0f32;
+                for dy in -1i64..=1 {
+                    for dx in -1i64..=1 {
+                        if dx == 0 && dy == 0 {
+                            continue;
+                        }
+                        let (nx, ny) = (tx as i64 + dx, ty as i64 + dy);
+                        if nx < 0 || ny < 0 || nx >= tw as i64 || ny >= th as i64 {
+                            continue;
+                        }
+                        if snapshot[ny as usize * tw + nx as usize] == PixelSource::Warped {
+                            warped_neighbors += 1;
+                            color += *frame.color.get(nx as usize, ny as usize);
+                            depth += *frame.depth.get(nx as usize, ny as usize);
+                        }
+                    }
+                }
+                if warped_neighbors >= 5 {
+                    let inv = 1.0 / warped_neighbors as f32;
+                    *frame.color.get_mut(tx, ty) = color * inv;
+                    *frame.depth.get_mut(tx, ty) = depth * inv;
+                    status[ty * tw + tx] = PixelSource::Warped;
+                }
+            }
+        }
+    }
+
+
+    WarpResult { frame, status }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cicero_math::{Intrinsics, Pose};
+    use cicero_scene::ground_truth::render_frame;
+    use cicero_scene::volume::MarchParams;
+    use cicero_scene::{library, RadianceSource};
+
+    fn setup(dx: f32) -> (cicero_scene::AnalyticScene, Camera, Camera, Frame) {
+        let scene = library::scene_by_name("lego").unwrap();
+        let k = Intrinsics::from_fov(64, 64, 0.9);
+        let ref_cam = Camera::new(k, Pose::look_at(Vec3::new(0.0, 1.3, -2.8), Vec3::ZERO, Vec3::Y));
+        let tgt_cam =
+            Camera::new(k, Pose::look_at(Vec3::new(dx, 1.3, -2.8), Vec3::ZERO, Vec3::Y));
+        let reference = render_frame(&scene, &ref_cam, &MarchParams::default());
+        (scene, ref_cam, tgt_cam, reference)
+    }
+
+    #[test]
+    fn identity_warp_reproduces_reference() {
+        let (scene, ref_cam, _, reference) = setup(0.0);
+        let r = warp_frame(&reference, &ref_cam, &ref_cam, scene.background(), &WarpOptions::default());
+        let stats = r.stats();
+        // Identity: every surface pixel warps onto itself. The conservative
+        // void guard re-renders a one-pixel silhouette ring, nothing more.
+        assert!(
+            (stats.disoccluded as f64) < 0.06 * stats.total as f64,
+            "only the silhouette ring may re-render: {} of {}",
+            stats.disoccluded,
+            stats.total
+        );
+        assert_eq!(stats.rejected, 0);
+        assert!(stats.overlap_fraction() > 0.94);
+        // Warped pixels must reproduce the reference exactly; the
+        // disoccluded silhouette ring awaits sparse rendering and is
+        // excluded (the pipeline fills it with the NeRF model).
+        let mut err = 0.0f64;
+        let mut n = 0u64;
+        for y in 0..reference.height() {
+            for x in 0..reference.width() {
+                if r.status[y * reference.width() + x] == PixelSource::Warped {
+                    let d = *r.frame.color.get(x, y) - *reference.color.get(x, y);
+                    err += d.length() as f64;
+                    n += 1;
+                }
+            }
+        }
+        assert!(n > 0);
+        // Directly warped pixels are exact; the only contributors are the
+        // few crack-filled silhouette pixels carrying neighbor averages.
+        assert!(err / (n as f64) < 0.01, "identity warp error {}", err / n as f64);
+    }
+
+    #[test]
+    fn small_motion_warp_is_accurate_and_mostly_overlapping() {
+        let (scene, ref_cam, tgt_cam, reference) = setup(0.06);
+        let r = warp_frame(&reference, &ref_cam, &tgt_cam, scene.background(), &WarpOptions::default());
+        let stats = r.stats();
+        // Paper §III-A: >95% overlap for adjacent frames.
+        assert!(
+            stats.overlap_fraction() > 0.9,
+            "overlap {:.3}",
+            stats.overlap_fraction()
+        );
+        // Warped pixels approximate the true render well.
+        let truth = render_frame(&scene, &tgt_cam, &MarchParams::default());
+        let mut err = 0.0;
+        let mut n = 0;
+        for y in 0..64 {
+            for x in 0..64 {
+                if r.status[y * 64 + x] == PixelSource::Warped {
+                    let d = *r.frame.color.get(x, y) - *truth.color.get(x, y);
+                    err += d.length() as f64;
+                    n += 1;
+                }
+            }
+        }
+        assert!(n > 0);
+        assert!(err / (n as f64) < 0.12, "mean warped error {}", err / n as f64);
+    }
+
+    #[test]
+    fn disocclusion_appears_with_larger_motion() {
+        let (scene, ref_cam, tgt_cam, reference) = setup(0.6);
+        let r = warp_frame(&reference, &ref_cam, &tgt_cam, scene.background(), &WarpOptions::default());
+        let stats = r.stats();
+        assert!(stats.disoccluded > 0, "large motion must disocclude");
+        assert!(stats.render_fraction() < 0.5, "but most pixels still reuse");
+    }
+
+    #[test]
+    fn void_pixels_dominate_empty_background() {
+        let (scene, ref_cam, tgt_cam, reference) = setup(0.05);
+        let r = warp_frame(&reference, &ref_cam, &tgt_cam, scene.background(), &WarpOptions::default());
+        let stats = r.stats();
+        // The lego scene leaves much of the 64×64 frame empty.
+        assert!(stats.void_pixels as f64 / stats.total as f64 > 0.3);
+    }
+
+    #[test]
+    fn phi_zero_rejects_all_offset_warps() {
+        let (scene, ref_cam, tgt_cam, reference) = setup(0.2);
+        let opts = WarpOptions { phi: Some(0.0), ..Default::default() };
+        let r = warp_frame(&reference, &ref_cam, &tgt_cam, scene.background(), &opts);
+        let stats = r.stats();
+        assert_eq!(stats.warped, 0, "φ = 0 must reject every warp");
+        assert!(stats.rejected > 0);
+        // All rejected pixels appear in the render mask.
+        let mask = r.render_mask();
+        assert_eq!(
+            mask.iter().filter(|&&b| b).count() as u64,
+            stats.rejected + stats.disoccluded
+        );
+    }
+
+    #[test]
+    fn phi_large_rejects_nothing() {
+        let (scene, ref_cam, tgt_cam, reference) = setup(0.2);
+        let strict = warp_frame(
+            &reference,
+            &ref_cam,
+            &tgt_cam,
+            scene.background(),
+            &WarpOptions { phi: Some(std::f32::consts::PI), ..Default::default() },
+        );
+        assert_eq!(strict.stats().rejected, 0);
+    }
+
+    #[test]
+    fn warped_depth_is_consistent() {
+        let (scene, ref_cam, tgt_cam, reference) = setup(0.05);
+        let r = warp_frame(&reference, &ref_cam, &tgt_cam, scene.background(), &WarpOptions::default());
+        let truth = render_frame(&scene, &tgt_cam, &MarchParams::default());
+        let mut err = 0.0f64;
+        let mut n = 0u64;
+        for y in 0..64 {
+            for x in 0..64 {
+                if r.status[y * 64 + x] == PixelSource::Warped
+                    && truth.depth.get(x, y).is_finite()
+                {
+                    err += (*r.frame.depth.get(x, y) - *truth.depth.get(x, y)).abs() as f64;
+                    n += 1;
+                }
+            }
+        }
+        assert!(n > 0);
+        assert!(err / (n as f64) < 0.1, "mean depth error {}", err / n as f64);
+    }
+}

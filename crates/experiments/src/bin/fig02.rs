@@ -1,0 +1,74 @@
+//! Fig. 2 — Frame rate vs model size on the mobile GPU.
+//!
+//! The paper plots several NeRF models on a (model size, FPS) plane against
+//! the 60 FPS bar: none are close, and model sizes (10 MB–1 GB) dwarf on-chip
+//! SRAM. We sweep our three families over two scales each and report the
+//! simulated 800²-equivalent FPS of the pure-GPU (software) pipeline.
+
+use cicero_experiments::*;
+use cicero_accel::{GpuModel, GpuConfig};
+use cicero_field::{bake, GridConfig, HashConfig, NerfModel, TensorConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    model: String,
+    size_mb: f64,
+    fps: f64,
+}
+
+fn main() {
+    banner("fig02", "Frame rate vs model size (mobile GPU, 800x800-equivalent)");
+    let scene = experiment_scene("lego");
+    let gpu = GpuModel::new(GpuConfig::default());
+    let bake_opts = bake::BakeOptions { decoder_hidden: 16, ..Default::default() };
+
+    let mut models: Vec<(String, Box<dyn NerfModel>)> = Vec::new();
+    for res in [96usize, 128] {
+        let mut m =
+            bake::bake_grid_with(&scene, &GridConfig { resolution: res, ..Default::default() }, &bake_opts);
+        m.decoder.set_modeled_hidden(64);
+        models.push((format!("DirectVoxGO-{res}"), Box::new(m)));
+    }
+    for t in [15u32, 17] {
+        let mut m = bake::bake_hash_with(
+            &scene,
+            &HashConfig { table_size_log2: t, ..Default::default() },
+            &bake_opts,
+        );
+        m.decoder.set_modeled_hidden(64);
+        models.push((format!("Instant-NGP-2^{t}"), Box::new(m)));
+    }
+    for res in [64usize, 96] {
+        let mut m = bake::bake_tensor_with(
+            &scene,
+            &TensorConfig { resolution: res, components_per_signal: 2, bytes_per_value: 2 },
+            &bake_opts,
+        );
+        m.decoder.set_modeled_hidden(64);
+        models.push((format!("TensoRF-{res}"), Box::new(m)));
+    }
+
+    let mut table = Table::new(&["model", "size (MB)", "FPS (sim)", "60 FPS?"]);
+    let mut points = Vec::new();
+    for (name, model) in &models {
+        let mw = measure_workloads(&scene, model.as_ref(), 8);
+        let w = scale_to_paper(&mw.full_pc);
+        let t = gpu.stage_times_software(&w).total();
+        let fps = 1.0 / t;
+        let size_mb = model.memory_footprint_bytes() as f64 / (1024.0 * 1024.0);
+        table.row(&[
+            name.clone(),
+            fmt(size_mb, 1),
+            fmt(fps, 2),
+            (if fps >= 60.0 { "yes" } else { "no" }).into(),
+        ]);
+        points.push(Point { model: name.clone(), size_mb, fps });
+    }
+    table.print();
+    println!();
+    paper_vs("DirectVoxGO FPS (Xavier, 800x800)", "~0.8", &fmt(points[1].fps, 2));
+    paper_vs("Instant-NGP frame time", ">6 s", &fmt(1.0 / points[3].fps, 1));
+    paper_vs("any model at 60 FPS", "none", if points.iter().any(|p| p.fps >= 60.0) { "some" } else { "none" });
+    write_results("fig02", &points);
+}

@@ -1,0 +1,52 @@
+//! Fig. 3 — Normalized execution breakdown (Indexing / Gathering / Feature
+//! Computation) across NeRF algorithms on the mobile GPU.
+//!
+//! The paper finds all three stages non-trivial with Feature Gathering
+//! dominating (>56% of execution on average).
+
+use cicero_experiments::*;
+use cicero_accel::{GpuConfig, GpuModel};
+use cicero_field::ModelKind;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    model: String,
+    indexing: f64,
+    gathering: f64,
+    feature_computation: f64,
+}
+
+fn main() {
+    banner("fig03", "Execution breakdown across NeRF algorithms (GPU)");
+    let scene = experiment_scene("lego");
+    let gpu = GpuModel::new(GpuConfig::default());
+
+    let mut table = Table::new(&["model", "I %", "G %", "F %"]);
+    let mut rows = Vec::new();
+    let mut gather_sum = 0.0;
+    for kind in ModelKind::ALL {
+        let model = standard_model(&scene, kind);
+        let mw = measure_workloads(&scene, model.as_ref(), 8);
+        let t = gpu.stage_times_software(&scale_to_paper(&mw.full_pc));
+        let (i, g, f, _) = t.fractions();
+        gather_sum += g;
+        table.row(&[
+            kind.algorithm_name().into(),
+            fmt(i * 100.0, 1),
+            fmt(g * 100.0, 1),
+            fmt(f * 100.0, 1),
+        ]);
+        rows.push(Row {
+            model: kind.algorithm_name().into(),
+            indexing: i,
+            gathering: g,
+            feature_computation: f,
+        });
+    }
+    table.print();
+    println!();
+    let mean_gather = gather_sum / rows.len() as f64 * 100.0;
+    paper_vs("mean Feature Gathering share", ">56%", &format!("{:.1}%", mean_gather));
+    write_results("fig03", &rows);
+}

@@ -1,0 +1,39 @@
+//! Fig. 4 — Percentage of non-continuous (non-streaming) DRAM accesses in
+//! feature gathering under the pixel-centric order.
+//!
+//! The paper reports over 81% of gather DRAM accesses are non-streaming on
+//! average across the four algorithms.
+
+use cicero_experiments::*;
+use cicero_field::ModelKind;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    model: String,
+    non_streaming_fraction: f64,
+}
+
+fn main() {
+    banner("fig04", "Non-streaming DRAM accesses in feature gathering");
+    let scene = experiment_scene("lego");
+    let mut table = Table::new(&["model", "non-streaming %"]);
+    let mut rows = Vec::new();
+    let mut sum = 0.0;
+    for kind in ModelKind::ALL {
+        let model = standard_model(&scene, kind);
+        let mw = measure_workloads(&scene, model.as_ref(), 8);
+        let frac = mw.full_pc.dram.non_streaming_fraction();
+        sum += frac;
+        table.row(&[kind.algorithm_name().into(), fmt(frac * 100.0, 1)]);
+        rows.push(Row { model: kind.algorithm_name().into(), non_streaming_fraction: frac });
+    }
+    table.print();
+    println!();
+    paper_vs(
+        "mean non-streaming fraction",
+        ">81%",
+        &format!("{:.1}%", sum / rows.len() as f64 * 100.0),
+    );
+    write_results("fig04", &rows);
+}

@@ -1,0 +1,68 @@
+//! Fig. 17 — Pure-software Cicero on the mobile GPU: speedup and energy
+//! saving vs DS-2, normalized to the GPU baseline.
+//!
+//! The paper: Cicero-16 achieves 8.0× speedup and 7.9× energy saving; DS-2
+//! only 4.0×/4.0×; Cicero-6 still beats DS-2.
+
+use cicero_accel::{GpuConfig, GpuModel};
+use cicero_experiments::*;
+use cicero_field::ModelKind;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    model: String,
+    cicero6_speedup: f64,
+    cicero16_speedup: f64,
+    ds2_speedup: f64,
+}
+
+fn main() {
+    banner("fig17", "Software-only speedup & energy vs DS-2 (GPU)");
+    let scene = experiment_scene("lego");
+    let gpu = GpuModel::new(GpuConfig::default());
+
+    let mut table = Table::new(&["model", "Cicero-6 ×", "Cicero-16 ×", "DS-2 ×"]);
+    let mut rows = Vec::new();
+    let (mut s6, mut s16, mut sds) = (0.0, 0.0, 0.0);
+    for kind in ModelKind::ALL {
+        let model = standard_model(&scene, kind);
+        let mw = measure_workloads(&scene, model.as_ref(), 16);
+        let full = scale_to_paper(&mw.full_pc);
+        let sparse = scale_to_paper(&mw.sparse_pc);
+        let t_base = gpu.stage_times_software(&full).total();
+
+        // Software SPARW: everything on the GPU; reference amortized.
+        let frame_time = |window: f64| {
+            t_base / window + gpu.stage_times_software(&sparse).total()
+        };
+        let t_c6 = frame_time(6.0);
+        let t_c16 = frame_time(16.0);
+        // DS-2: quarter workload + upsample (folded into warp cost).
+        let mut ds2 = full.scaled(0.25);
+        ds2.warped_pixels = full.rays;
+        let t_ds2 = gpu.stage_times_software(&ds2).total();
+
+        let (c6, c16, ds) = (t_base / t_c6, t_base / t_c16, t_base / t_ds2);
+        s6 += c6;
+        s16 += c16;
+        sds += ds;
+        table.row(&[kind.algorithm_name().into(), fmt(c6, 1), fmt(c16, 1), fmt(ds, 1)]);
+        rows.push(Row {
+            model: kind.algorithm_name().into(),
+            cicero6_speedup: c6,
+            cicero16_speedup: c16,
+            ds2_speedup: ds,
+        });
+    }
+    table.print();
+
+    let n = rows.len() as f64;
+    println!();
+    paper_vs("Cicero-16 speedup (≈ energy saving on GPU)", "8.0x", &format!("{:.1}x", s16 / n));
+    paper_vs("DS-2 speedup", "4.0x", &format!("{:.1}x", sds / n));
+    paper_vs("Cicero-6 beats DS-2", "yes", if s6 / n > sds / n { "yes" } else { "no" });
+    // GPU energy = power × time, so energy savings mirror speedups.
+    paper_vs("Cicero-16 energy saving", "7.9x", &format!("{:.1}x", s16 / n));
+    write_results("fig17", &rows);
+}

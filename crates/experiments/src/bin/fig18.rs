@@ -1,0 +1,60 @@
+//! Fig. 18 — GPU execution-time distribution of software Cicero vs DS-2.
+//!
+//! The paper: with window 6, 86.1% of Cicero's GPU time is (amortized)
+//! reference full-frame NeRF; at window 16 that falls to 49.7% while sparse
+//! NeRF rises to 48.9%. The non-NeRF "Others" (warping) stays negligible.
+
+use cicero_accel::{GpuConfig, GpuModel};
+use cicero_experiments::*;
+use cicero_field::ModelKind;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    config: String,
+    full_frame_nerf: f64,
+    sparse_nerf: f64,
+    others: f64,
+}
+
+fn main() {
+    banner("fig18", "GPU time distribution: full-frame vs sparse NeRF vs others");
+    let scene = experiment_scene("lego");
+    let gpu = GpuModel::new(GpuConfig::default());
+    let model = standard_model(&scene, ModelKind::Grid);
+    let mw = measure_workloads(&scene, model.as_ref(), 16);
+    let full = scale_to_paper(&mw.full_pc);
+    let sparse = scale_to_paper(&mw.sparse_pc);
+
+    let t_full = gpu.stage_times_software(&full).total();
+    let sparse_stages = gpu.stage_times_software(&sparse);
+    let t_warp = sparse_stages.warp_s;
+    let t_sparse = sparse_stages.total() - t_warp;
+
+    let mut table = Table::new(&["config", "full-frame NeRF %", "sparse NeRF %", "others %"]);
+    let mut rows = Vec::new();
+    for window in [6.0, 16.0] {
+        let amortized = t_full / window;
+        let total = amortized + t_sparse + t_warp;
+        let row = Row {
+            config: format!("Cicero-{window}"),
+            full_frame_nerf: amortized / total,
+            sparse_nerf: t_sparse / total,
+            others: t_warp / total,
+        };
+        table.row(&[
+            row.config.clone(),
+            fmt(row.full_frame_nerf * 100.0, 1),
+            fmt(row.sparse_nerf * 100.0, 1),
+            fmt(row.others * 100.0, 1),
+        ]);
+        rows.push(row);
+    }
+    table.print();
+    println!();
+    paper_vs("Cicero-6 full-frame NeRF share", "86.1%", &format!("{:.1}%", rows[0].full_frame_nerf * 100.0));
+    paper_vs("Cicero-16 full-frame NeRF share", "49.7%", &format!("{:.1}%", rows[1].full_frame_nerf * 100.0));
+    paper_vs("Cicero-16 sparse NeRF share", "48.9%", &format!("{:.1}%", rows[1].sparse_nerf * 100.0));
+    paper_vs("others (warp) negligible", "yes", if rows[1].others < 0.1 { "yes" } else { "no" });
+    write_results("fig18", &rows);
+}

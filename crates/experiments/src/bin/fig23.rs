@@ -1,0 +1,63 @@
+//! Fig. 23 — GU energy sensitivity to the VFT buffer size (8 KB – 256 KB).
+//!
+//! The paper: energy stays roughly flat from 8 KB to 64 KB, then rises —
+//! bigger SRAM arrays cost more per access, while larger MVoxels stream more
+//! unused vertices.
+
+use cicero::traffic::{StreamingConfig, StreamingTraffic};
+use cicero_accel::{GuModel, GuConfig, EnergyConfig, FrameWorkload};
+use cicero_experiments::*;
+use cicero_field::render::{render_full, RenderOptions};
+use cicero_field::ModelKind;
+use cicero_scene::Trajectory;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    vft_kb: u64,
+    norm_energy: f64,
+}
+
+fn main() {
+    banner("fig23", "GU energy vs VFT buffer size");
+    let scene = experiment_scene("lego");
+    let model = standard_model(&scene, ModelKind::Grid);
+    let k = exp_intrinsics();
+    let cam = Trajectory::orbit(&scene, 2, 30.0).camera(0, k);
+    let opts = RenderOptions { march: exp_march(), use_occupancy: true };
+
+    let mut raw = Vec::new();
+    for vft_kb in [8u64, 16, 32, 64, 128, 256] {
+        let cfg = StreamingConfig { vft_bytes: vft_kb << 10, ..Default::default() };
+        let mut sink = StreamingTraffic::new(model.as_ref(), cfg);
+        let (_, stats) = render_full(model.as_ref(), &cam, &opts, &mut sink);
+        let report = sink.finish();
+        let gu = GuModel::new(GuConfig { vft_bytes: vft_kb << 10, ..Default::default() }, EnergyConfig::default());
+        let w = FrameWorkload {
+            samples_processed: stats.samples_processed,
+            gather_entry_reads: stats.gather_entry_reads,
+            // Charge the streamed MVoxel bytes into the VFT (everything the
+            // GU writes + reads on-chip grows with the buffer's granularity).
+            gather_bytes: report.mvoxel_bytes + report.halo_bytes,
+            ..Default::default()
+        };
+        let energy = gu.gather_energy(&w) * GuModel::vft_energy_scale(vft_kb << 10);
+        raw.push((vft_kb, energy));
+    }
+    let base = raw.iter().find(|(kb, _)| *kb == 32).unwrap().1;
+    let mut table = Table::new(&["VFT (KB)", "normalized energy"]);
+    let mut rows = Vec::new();
+    for (kb, e) in &raw {
+        table.row(&[kb.to_string(), fmt(e / base, 3)]);
+        rows.push(Row { vft_kb: *kb, norm_energy: e / base });
+    }
+    table.print();
+
+    println!();
+    let e8 = rows[0].norm_energy;
+    let e64 = rows[3].norm_energy;
+    let e256 = rows[5].norm_energy;
+    paper_vs("flat region 8–64 KB (ratio)", "~1.0", &fmt(e64 / e8, 2));
+    paper_vs("rise at 256 KB vs 64 KB", ">1.3x", &format!("{:.2}x", e256 / e64));
+    write_results("fig23", &rows);
+}

@@ -1,0 +1,47 @@
+//! §V area overhead — the GU's SRAM and logic cost relative to the NPU.
+//!
+//! The paper: 44 KB of SRAM (2×6 KB RIT + 32 KB VFT), 0.048 mm² in 12 nm,
+//! < 2.5% of the baseline NPU; removing the VFT crossbar saves 0.036 mm².
+
+use cicero_accel::area::AreaModel;
+use cicero_accel::{GuConfig, NpuConfig};
+use cicero_experiments::*;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Out {
+    gu_sram_kb: f64,
+    gu_mm2: f64,
+    npu_mm2: f64,
+    overhead_pct: f64,
+    crossbar_saved_mm2: f64,
+}
+
+fn main() {
+    banner("tab_area", "GU area overhead (paper §V)");
+    let report = AreaModel::default().report(&NpuConfig::default(), &GuConfig::default());
+
+    let mut table = Table::new(&["quantity", "value"]);
+    table.row(&["GU SRAM (RIT x2 + VFT)".into(), format!("{:.0} KB", report.gu_sram_kb)]);
+    table.row(&["GU area".into(), format!("{:.3} mm2", report.gu_mm2)]);
+    table.row(&["baseline NPU area".into(), format!("{:.3} mm2", report.npu_mm2)]);
+    table.row(&["overhead".into(), format!("{:.2} %", report.overhead_fraction * 100.0)]);
+    table.row(&["crossbar avoided".into(), format!("{:.3} mm2", report.crossbar_saved_mm2)]);
+    table.print();
+
+    println!();
+    paper_vs("GU SRAM", "44 KB", &format!("{:.0} KB", report.gu_sram_kb));
+    paper_vs("GU area", "0.048 mm2", &format!("{:.3} mm2", report.gu_mm2));
+    paper_vs("overhead vs NPU", "<2.5%", &format!("{:.2}%", report.overhead_fraction * 100.0));
+    paper_vs("crossbar saving", "0.036 mm2", &format!("{:.3} mm2", report.crossbar_saved_mm2));
+    write_results(
+        "tab_area",
+        &Out {
+            gu_sram_kb: report.gu_sram_kb,
+            gu_mm2: report.gu_mm2,
+            npu_mm2: report.npu_mm2,
+            overhead_pct: report.overhead_fraction * 100.0,
+            crossbar_saved_mm2: report.crossbar_saved_mm2,
+        },
+    );
+}

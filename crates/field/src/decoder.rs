@@ -1,0 +1,286 @@
+//! The decoder: MLP feature computation plus output activations.
+//!
+//! Every model decodes an interpolated feature vector `f(p)` and the ray
+//! direction `d` into `(σ, rgb)` through:
+//!
+//! 1. a dense MLP (constructed pass-through weights, real dense cost — see
+//!    [`crate::Mlp::passthrough_decoder`]) producing the seven raw signals
+//!    `[σ_raw, c_r, c_g, c_b, q_x, q_y, q_z]`,
+//! 2. activations: `σ = softplus(σ_raw)`, diffuse `rgb = max(0, c)`,
+//! 3. an optional [`SpecularHead`] adding the folded Phong lobe
+//!    `max(0, q · (−d))^m` (scene crate's exact decomposition).
+//!
+//! The head's small extra MAC count is reported by
+//! [`Decoder::macs_per_sample`] so hardware models charge for it.
+
+use crate::Mlp;
+use cicero_math::Vec3;
+
+/// Number of raw signals every decoder produces.
+pub const SIGNALS: usize = 7;
+
+/// Folded Phong specular evaluation (view-dependent radiance).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpecularHead {
+    /// Shared Phong exponent (the scene's dominant shininess).
+    pub shininess: f32,
+}
+
+impl SpecularHead {
+    /// Evaluates the lobe for folded reflection vector `q` and ray direction
+    /// `dir` (camera → scene).
+    #[inline]
+    pub fn eval(&self, q: Vec3, dir: Vec3) -> f32 {
+        q.dot(-dir).max(0.0).powf(self.shininess)
+    }
+
+    /// Approximate MAC cost: dot product, clamp and an 8-segment power
+    /// evaluation (how an accelerator's scalar unit would realize `powf`).
+    pub fn macs(&self) -> u64 {
+        3 + 8
+    }
+}
+
+/// Feature-to-radiance decoder shared by all model families.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decoder {
+    mlp: Mlp,
+    specular: Option<SpecularHead>,
+    /// Layer shapes charged to the hardware models. Defaults to the executed
+    /// MLP's shape; experiments may execute a narrower (functionally
+    /// identical pass-through) network while charging the paper-scale one.
+    modeled_dims: Vec<(usize, usize)>,
+}
+
+/// Inverse of `softplus`: returns `x` with `softplus(x) = y`.
+///
+/// Used when baking density into features; clamps tiny densities to a large
+/// negative raw value instead of `-∞`.
+pub fn inverse_softplus(y: f32) -> f32 {
+    if y <= 1e-6 {
+        return -14.0; // softplus(-14) ≈ 8e-7 — numerically zero density
+    }
+    if y > 20.0 {
+        // softplus(x) ≈ x for large x.
+        return y;
+    }
+    (y.exp() - 1.0).ln()
+}
+
+/// Numerically stable softplus.
+#[inline]
+pub fn softplus(x: f32) -> f32 {
+    if x > 20.0 {
+        x
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+impl Decoder {
+    /// Builds a decoder for features of dimension `feature_dim`.
+    ///
+    /// The MLP input is `feature_dim + 3` (features ‖ ray direction) and its
+    /// hidden width is `hidden` — two hidden layers, matching the shallow
+    /// decoders of DirectVoxGO / Instant-NGP.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feature_dim < 7` or `hidden < 14` (pass-through capacity).
+    pub fn new(feature_dim: usize, hidden: usize, specular: Option<SpecularHead>) -> Self {
+        let mlp = Mlp::passthrough_decoder(feature_dim + 3, hidden, SIGNALS);
+        let modeled_dims = mlp.layer_dims();
+        Decoder { mlp, specular, modeled_dims }
+    }
+
+    /// Builds a decoder whose signals are fixed linear combinations of the
+    /// features: `signal_i = rows[i] · features`.
+    ///
+    /// Used by hierarchical encodings (the hash grid sums the same signal
+    /// slot across all levels). `rows` must have [`SIGNALS`] rows of length
+    /// `feature_dim`; the direction inputs never mix into the signals.
+    ///
+    /// # Panics
+    ///
+    /// Panics on row-count/length mismatch or insufficient hidden width.
+    pub fn with_matrix(
+        feature_dim: usize,
+        hidden: usize,
+        rows: &[Vec<f32>],
+        specular: Option<SpecularHead>,
+    ) -> Self {
+        assert_eq!(rows.len(), SIGNALS, "decode matrix must produce {SIGNALS} signals");
+        let full_rows: Vec<Vec<f32>> = rows
+            .iter()
+            .map(|r| {
+                assert_eq!(r.len(), feature_dim, "decode row length mismatch");
+                let mut full = r.clone();
+                full.extend_from_slice(&[0.0, 0.0, 0.0]); // dir inputs unused
+                full
+            })
+            .collect();
+        let mlp = Mlp::linear_decoder(feature_dim + 3, hidden, &full_rows);
+        let modeled_dims = mlp.layer_dims();
+        Decoder { mlp, specular, modeled_dims }
+    }
+
+    /// Overrides the hardware-cost model with a decoder of width `hidden`
+    /// (two hidden layers), without changing the executed network.
+    ///
+    /// The constructed decoders are exact pass-throughs at any width, so the
+    /// rendered image is identical; only the charged MACs change. Experiments
+    /// execute a narrow decoder for speed and charge the paper-scale 64-wide
+    /// one.
+    pub fn set_modeled_hidden(&mut self, hidden: usize) {
+        let ins = self.mlp.in_dim();
+        self.modeled_dims = vec![(ins, hidden), (hidden, hidden), (hidden, SIGNALS)];
+    }
+
+    /// Layer shapes charged to the hardware models.
+    pub fn modeled_dims(&self) -> &[(usize, usize)] {
+        &self.modeled_dims
+    }
+
+    /// MACs per sample charged to the hardware models.
+    pub fn modeled_macs_per_sample(&self) -> u64 {
+        let mlp: u64 = self.modeled_dims.iter().map(|&(i, o)| (i * o) as u64).sum();
+        mlp + self.specular.map_or(0, |h| h.macs())
+    }
+
+    /// The underlying MLP.
+    pub fn mlp(&self) -> &Mlp {
+        &self.mlp
+    }
+
+    /// Whether the decoder carries a specular head.
+    pub fn specular(&self) -> Option<&SpecularHead> {
+        self.specular.as_ref()
+    }
+
+    /// Feature dimension this decoder expects.
+    pub fn feature_dim(&self) -> usize {
+        self.mlp.in_dim() - 3
+    }
+
+    /// Decodes one sample.
+    ///
+    /// `features` must contain at least [`SIGNALS`] values in its first
+    /// positions (extra channels are padding that real models carry; the MLP
+    /// consumes them at full compute cost and zero functional weight).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != feature_dim()`.
+    pub fn decode(&self, features: &[f32], dir: Vec3) -> (f32, Vec3) {
+        assert_eq!(features.len(), self.feature_dim(), "feature dimension mismatch");
+        let mut input = Vec::with_capacity(features.len() + 3);
+        input.extend_from_slice(features);
+        input.extend_from_slice(&[dir.x, dir.y, dir.z]);
+        let out = self.mlp.forward(&input);
+        let sigma = softplus(out[0]);
+        let mut rgb = Vec3::new(out[1].max(0.0), out[2].max(0.0), out[3].max(0.0));
+        if let Some(head) = &self.specular {
+            let q = Vec3::new(out[4], out[5], out[6]);
+            rgb += Vec3::splat(head.eval(q, dir));
+        }
+        (sigma, rgb)
+    }
+
+    /// Total MAC cost per decoded sample (MLP plus specular head).
+    pub fn macs_per_sample(&self) -> u64 {
+        self.mlp.macs_per_inference() + self.specular.map_or(0, |h| h.macs())
+    }
+
+    /// MLP weight bytes at the given precision.
+    pub fn weight_bytes(&self, bytes_per_param: u64) -> u64 {
+        self.mlp.weight_bytes(bytes_per_param)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softplus_inverse_roundtrip() {
+        for y in [0.01_f32, 0.5, 3.0, 50.0, 90.0] {
+            let x = inverse_softplus(y);
+            assert!((softplus(x) - y).abs() / y < 1e-3, "y={y}");
+        }
+        // Zero density maps to numerically-zero density.
+        assert!(softplus(inverse_softplus(0.0)) < 1e-5);
+    }
+
+    #[test]
+    fn diffuse_decode_recovers_signals() {
+        let dec = Decoder::new(12, 64, None);
+        let mut feats = vec![0.0_f32; 12];
+        feats[0] = inverse_softplus(42.0); // σ
+        feats[1] = 0.25; // r
+        feats[2] = 0.5; // g
+        feats[3] = 0.75; // b
+        let (sigma, rgb) = dec.decode(&feats, Vec3::Z);
+        assert!((sigma - 42.0).abs() < 0.05);
+        assert!((rgb - Vec3::new(0.25, 0.5, 0.75)).length() < 1e-4);
+    }
+
+    #[test]
+    fn diffuse_decode_is_view_independent() {
+        let dec = Decoder::new(8, 64, None);
+        let mut feats = vec![0.0_f32; 8];
+        feats[1] = 0.4;
+        let (_, a) = dec.decode(&feats, Vec3::Z);
+        let (_, b) = dec.decode(&feats, Vec3::X);
+        assert!((a - b).length() < 1e-5);
+    }
+
+    #[test]
+    fn specular_decode_matches_folded_lobe() {
+        let head = SpecularHead { shininess: 24.0 };
+        let dec = Decoder::new(7, 64, Some(head));
+        let q = Vec3::new(0.3, 0.8, -0.2);
+        let feats = vec![-14.0, 0.1, 0.1, 0.1, q.x, q.y, q.z];
+        let dir = Vec3::new(-0.2, -0.9, 0.1).normalized();
+        let (_, rgb) = dec.decode(&feats, dir);
+        let expected = 0.1 + head.eval(q, dir);
+        assert!((rgb.x - expected).abs() < 1e-4, "{} vs {expected}", rgb.x);
+    }
+
+    #[test]
+    fn specular_head_zero_when_facing_away() {
+        let head = SpecularHead { shininess: 8.0 };
+        // q points along +Y; a ray also traveling +Y looks away from the lobe.
+        assert_eq!(head.eval(Vec3::Y, Vec3::Y), 0.0);
+        assert!(head.eval(Vec3::Y, -Vec3::Y) > 0.99);
+    }
+
+    #[test]
+    fn negative_rgb_is_clamped() {
+        let dec = Decoder::new(7, 64, None);
+        let feats = vec![0.0, -1.0, -2.0, 0.5, 0.0, 0.0, 0.0];
+        let (_, rgb) = dec.decode(&feats, Vec3::Z);
+        assert_eq!(rgb.x, 0.0);
+        assert_eq!(rgb.y, 0.0);
+        assert!((rgb.z - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn modeled_width_changes_cost_not_function() {
+        let mut narrow = Decoder::new(12, 16, None);
+        let wide = Decoder::new(12, 64, None);
+        let feats: Vec<f32> = (0..12).map(|i| i as f32 * 0.1 - 0.5).collect();
+        let a = narrow.decode(&feats, Vec3::Z);
+        let b = wide.decode(&feats, Vec3::Z);
+        assert!((a.0 - b.0).abs() < 1e-4 && (a.1 - b.1).length() < 1e-4);
+        narrow.set_modeled_hidden(64);
+        assert_eq!(narrow.modeled_macs_per_sample(), wide.modeled_macs_per_sample());
+        assert_ne!(narrow.macs_per_sample(), wide.macs_per_sample());
+    }
+
+    #[test]
+    fn mac_cost_includes_head() {
+        let plain = Decoder::new(16, 64, None);
+        let spec = Decoder::new(16, 64, Some(SpecularHead { shininess: 2.0 }));
+        assert!(spec.macs_per_sample() > plain.macs_per_sample());
+    }
+}

@@ -1,0 +1,261 @@
+//! Dense voxel-grid encoding (DirectVoxGO-style).
+//!
+//! Every vertex of a `res³` voxel grid carries a feature vector of `channels`
+//! values. Queries trilinearly interpolate the eight vertices of the
+//! containing voxel — the canonical Feature Gathering pattern of the paper's
+//! Fig. 1 ("each ray sample gathers and interpolates 3D features from eight
+//! vertices of the intersected voxel").
+
+use crate::encoding::{cell_fraction, trilinear_weights};
+use crate::plan::{GatherPlan, LevelGather, RegionId};
+use cicero_math::{Aabb, Vec3};
+
+/// Configuration of a dense feature grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridConfig {
+    /// Cells per axis (vertices per axis = `resolution + 1`).
+    pub resolution: usize,
+    /// Feature channels per vertex (≥ 7; extra channels are padding carried
+    /// at full memory cost, like real models' unused capacity).
+    pub channels: usize,
+    /// Storage bytes per channel in the modeled DRAM image (2 = fp16, as in
+    /// the paper's 32-channel × 2-byte MVoxels).
+    pub bytes_per_channel: u32,
+}
+
+impl Default for GridConfig {
+    fn default() -> Self {
+        GridConfig { resolution: 160, channels: 12, bytes_per_channel: 2 }
+    }
+}
+
+/// A dense vertex-feature grid over an axis-aligned bound.
+#[derive(Debug, Clone)]
+pub struct DenseGrid {
+    cfg: GridConfig,
+    bounds: Aabb,
+    /// Vertex-major storage: `data[vertex * channels + c]`.
+    data: Vec<f32>,
+}
+
+impl DenseGrid {
+    /// Creates a zero-filled grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels < 7` or `resolution == 0`.
+    pub fn new(cfg: GridConfig, bounds: Aabb) -> Self {
+        assert!(cfg.channels >= 7, "need at least 7 channels for the decoder signals");
+        assert!(cfg.resolution > 0);
+        let verts = (cfg.resolution + 1).pow(3);
+        DenseGrid { cfg, bounds, data: vec![0.0; verts * cfg.channels] }
+    }
+
+    /// Grid configuration.
+    pub fn config(&self) -> &GridConfig {
+        &self.cfg
+    }
+
+    /// Grid bounds.
+    pub fn bounds(&self) -> Aabb {
+        self.bounds
+    }
+
+    /// Vertices per axis.
+    pub fn verts_per_axis(&self) -> usize {
+        self.cfg.resolution + 1
+    }
+
+    /// Flat vertex index of `(x, y, z)`.
+    #[inline]
+    pub fn vertex_index(&self, x: u32, y: u32, z: u32) -> u64 {
+        let n = self.verts_per_axis() as u64;
+        (z as u64 * n + y as u64) * n + x as u64
+    }
+
+    /// World position of vertex `(x, y, z)`.
+    pub fn vertex_position(&self, x: u32, y: u32, z: u32) -> Vec3 {
+        let s = self.bounds.size();
+        let r = self.cfg.resolution as f32;
+        self.bounds.min
+            + Vec3::new(
+                s.x * x as f32 / r,
+                s.y * y as f32 / r,
+                s.z * z as f32 / r,
+            )
+    }
+
+    /// Writes the feature vector of a vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != channels` or the vertex is out of range.
+    pub fn set_vertex(&mut self, x: u32, y: u32, z: u32, features: &[f32]) {
+        assert_eq!(features.len(), self.cfg.channels);
+        let n = self.verts_per_axis() as u32;
+        assert!(x < n && y < n && z < n, "vertex out of range");
+        let base = self.vertex_index(x, y, z) as usize * self.cfg.channels;
+        self.data[base..base + self.cfg.channels].copy_from_slice(features);
+    }
+
+    /// Reads the feature vector of a vertex.
+    pub fn vertex(&self, x: u32, y: u32, z: u32) -> &[f32] {
+        let base = self.vertex_index(x, y, z) as usize * self.cfg.channels;
+        &self.data[base..base + self.cfg.channels]
+    }
+
+    /// Continuous grid coordinates of a world point (`[0, res]³` inside).
+    fn grid_coords(&self, p: Vec3) -> Vec3 {
+        self.bounds.normalize(p) * self.cfg.resolution as f32
+    }
+
+    /// Trilinearly interpolates features at `p` into `out`.
+    ///
+    /// `out` is cleared and filled with `channels` values. Points outside the
+    /// bounds clamp to the border (the occupancy grid prevents the renderer
+    /// from ever sampling there).
+    pub fn interpolate_into(&self, p: Vec3, out: &mut Vec<f32>) {
+        let g = self.grid_coords(p);
+        let res = self.cfg.resolution as u32;
+        let (cx, fx) = cell_fraction(g.x, res);
+        let (cy, fy) = cell_fraction(g.y, res);
+        let (cz, fz) = cell_fraction(g.z, res);
+        let w = trilinear_weights(fx, fy, fz);
+        out.clear();
+        out.resize(self.cfg.channels, 0.0);
+        for (corner, &weight) in w.iter().enumerate() {
+            if weight == 0.0 {
+                continue;
+            }
+            let vx = cx + (corner as u32 & 1);
+            let vy = cy + ((corner as u32 >> 1) & 1);
+            let vz = cz + ((corner as u32 >> 2) & 1);
+            let base = self.vertex_index(vx, vy, vz) as usize * self.cfg.channels;
+            for (o, v) in out.iter_mut().zip(&self.data[base..base + self.cfg.channels]) {
+                *o += weight * v;
+            }
+        }
+    }
+
+    /// The gather plan (memory touches) for a query at `p`.
+    pub fn plan_at(&self, p: Vec3, region: RegionId) -> LevelGather {
+        let g = self.grid_coords(p);
+        let res = self.cfg.resolution as u32;
+        let (cx, _) = cell_fraction(g.x, res);
+        let (cy, _) = cell_fraction(g.y, res);
+        let (cz, _) = cell_fraction(g.z, res);
+        let mut entries = [0u64; 8];
+        for (corner, e) in entries.iter_mut().enumerate() {
+            let vx = cx + (corner as u32 & 1);
+            let vy = cy + ((corner as u32 >> 1) & 1);
+            let vz = cz + ((corner as u32 >> 2) & 1);
+            *e = self.vertex_index(vx, vy, vz);
+        }
+        LevelGather {
+            region,
+            resolution: [res + 1, res + 1, res + 1],
+            cell: [cx, cy, cz],
+            entries,
+            entry_count: 8,
+            entry_bytes: (self.cfg.channels as u32) * self.cfg.bytes_per_channel,
+            dense: true,
+        }
+    }
+
+    /// Full gather plan wrapping the single level.
+    pub fn gather_plan(&self, p: Vec3) -> GatherPlan {
+        GatherPlan { levels: vec![self.plan_at(p, RegionId(0))] }
+    }
+
+    /// Feature storage bytes in the modeled DRAM image.
+    pub fn storage_bytes(&self) -> u64 {
+        (self.verts_per_axis() as u64).pow(3)
+            * self.cfg.channels as u64
+            * self.cfg.bytes_per_channel as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_grid() -> DenseGrid {
+        DenseGrid::new(
+            GridConfig { resolution: 4, channels: 7, bytes_per_channel: 2 },
+            Aabb::centered_cube(1.0),
+        )
+    }
+
+    #[test]
+    fn vertex_roundtrip() {
+        let mut g = small_grid();
+        let f = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        g.set_vertex(2, 3, 1, &f);
+        assert_eq!(g.vertex(2, 3, 1), &f);
+    }
+
+    #[test]
+    fn interpolation_at_vertex_is_exact() {
+        let mut g = small_grid();
+        let f = [1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 2.0];
+        g.set_vertex(2, 2, 2, &f);
+        let p = g.vertex_position(2, 2, 2);
+        let mut out = Vec::new();
+        g.interpolate_into(p, &mut out);
+        assert!((out[0] - 1.0).abs() < 1e-5);
+        assert!((out[6] - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn interpolation_is_linear_along_edge() {
+        let mut g = small_grid();
+        g.set_vertex(0, 0, 0, &[0.0; 7]);
+        g.set_vertex(1, 0, 0, &[4.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        let a = g.vertex_position(0, 0, 0);
+        let b = g.vertex_position(1, 0, 0);
+        let mid = a.lerp(b, 0.25);
+        let mut out = Vec::new();
+        g.interpolate_into(mid, &mut out);
+        assert!((out[0] - 1.0).abs() < 1e-4, "{}", out[0]);
+    }
+
+    #[test]
+    fn plan_covers_eight_distinct_vertices() {
+        let g = small_grid();
+        let plan = g.gather_plan(Vec3::new(0.1, 0.1, 0.1));
+        assert_eq!(plan.levels.len(), 1);
+        let l = &plan.levels[0];
+        assert_eq!(l.entry_count, 8);
+        let mut e = l.entries().to_vec();
+        e.sort_unstable();
+        e.dedup();
+        assert_eq!(e.len(), 8, "vertices must be distinct");
+        assert!(l.dense);
+        assert_eq!(l.entry_bytes, 7 * 2);
+    }
+
+    #[test]
+    fn outside_points_clamp() {
+        let g = small_grid();
+        let mut out = Vec::new();
+        g.interpolate_into(Vec3::splat(99.0), &mut out);
+        assert_eq!(out.len(), 7); // border vertex features (zeros)
+        let plan = g.gather_plan(Vec3::splat(99.0));
+        assert_eq!(plan.levels[0].cell, [3, 3, 3]); // last cell
+    }
+
+    #[test]
+    fn storage_accounts_vertices_and_precision() {
+        let g = small_grid();
+        assert_eq!(g.storage_bytes(), 5u64.pow(3) * 7 * 2);
+    }
+
+    #[test]
+    fn default_config_is_paper_scale() {
+        let cfg = GridConfig::default();
+        let g = DenseGrid::new(cfg, Aabb::centered_cube(1.0));
+        // DirectVoxGO-like: order 100 MB (paper Fig. 2 x-axis).
+        let mb = g.storage_bytes() as f64 / (1024.0 * 1024.0);
+        assert!(mb > 50.0 && mb < 200.0, "{mb} MB");
+    }
+}

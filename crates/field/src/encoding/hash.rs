@@ -1,0 +1,383 @@
+//! Multi-resolution hash encoding (Instant-NGP-style).
+//!
+//! `levels` grids of geometrically increasing resolution share per-level
+//! feature tables of bounded size. Coarse levels fit densely (entry index =
+//! vertex index, streamable); fine levels exceed the table and fall back to a
+//! spatial hash — the inherently irregular accesses the paper calls out in
+//! §IV-A ("this reversion happens in, for instance, Instant-NGP from level 5
+//! (out of 8 levels) onwards").
+
+use crate::encoding::{cell_fraction, trilinear_weights};
+use crate::plan::{GatherPlan, LevelGather, RegionId};
+use cicero_math::{Aabb, Vec3};
+
+/// Configuration of the hash encoding.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HashConfig {
+    /// Number of resolution levels (the paper models Instant-NGP with 8).
+    pub levels: usize,
+    /// Cells per axis at the coarsest level.
+    pub base_resolution: usize,
+    /// Cells per axis at the finest level.
+    pub max_resolution: usize,
+    /// log2 of per-level table entries.
+    pub table_size_log2: u32,
+    /// Feature channels per entry.
+    pub features_per_entry: usize,
+    /// Storage bytes per feature value (2 = fp16).
+    pub bytes_per_feature: u32,
+}
+
+impl Default for HashConfig {
+    fn default() -> Self {
+        HashConfig {
+            levels: 8,
+            base_resolution: 16,
+            max_resolution: 256,
+            table_size_log2: 19,
+            features_per_entry: 8,
+            bytes_per_feature: 2,
+        }
+    }
+}
+
+/// One resolution level.
+#[derive(Debug, Clone)]
+pub struct HashLevel {
+    /// Cells per axis.
+    pub resolution: usize,
+    /// Entries in this level's table.
+    pub table_len: usize,
+    /// Dense vertex addressing (no hashing)?
+    pub dense: bool,
+    /// Feature storage: `data[entry * features + c]`.
+    data: Vec<f32>,
+}
+
+/// The full multi-resolution encoding.
+#[derive(Debug, Clone)]
+pub struct HashGrid {
+    cfg: HashConfig,
+    bounds: Aabb,
+    levels: Vec<HashLevel>,
+}
+
+/// Instant-NGP's spatial hash primes.
+const PRIMES: [u64; 3] = [1, 2_654_435_761, 805_459_861];
+
+impl HashGrid {
+    /// Creates a zero-filled encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels == 0`, resolutions are non-increasing, or
+    /// `features_per_entry < 7`.
+    pub fn new(cfg: HashConfig, bounds: Aabb) -> Self {
+        assert!(cfg.levels > 0);
+        assert!(cfg.max_resolution >= cfg.base_resolution);
+        assert!(
+            cfg.features_per_entry >= 7,
+            "per-level features must carry all decoder signals for residual baking"
+        );
+        let table_len = 1usize << cfg.table_size_log2;
+        let growth = if cfg.levels > 1 {
+            (cfg.max_resolution as f64 / cfg.base_resolution as f64)
+                .powf(1.0 / (cfg.levels as f64 - 1.0))
+        } else {
+            1.0
+        };
+        let levels = (0..cfg.levels)
+            .map(|l| {
+                let resolution =
+                    ((cfg.base_resolution as f64) * growth.powi(l as i32)).round() as usize;
+                let dense_verts = (resolution + 1).pow(3);
+                let dense = dense_verts <= table_len;
+                let len = if dense { dense_verts } else { table_len };
+                HashLevel {
+                    resolution,
+                    table_len: len,
+                    dense,
+                    data: vec![0.0; len * cfg.features_per_entry],
+                }
+            })
+            .collect();
+        HashGrid { cfg, bounds, levels }
+    }
+
+    /// Encoding configuration.
+    pub fn config(&self) -> &HashConfig {
+        &self.cfg
+    }
+
+    /// Encoding bounds.
+    pub fn bounds(&self) -> Aabb {
+        self.bounds
+    }
+
+    /// Per-level metadata.
+    pub fn levels(&self) -> &[HashLevel] {
+        &self.levels
+    }
+
+    /// Index of the first level that uses hashed (non-streamable) addressing,
+    /// or `levels` if every level is dense.
+    pub fn first_hashed_level(&self) -> usize {
+        self.levels.iter().position(|l| !l.dense).unwrap_or(self.levels.len())
+    }
+
+    /// Entry index for vertex `(x, y, z)` of `level`.
+    pub fn entry_index(&self, level: usize, x: u32, y: u32, z: u32) -> u64 {
+        let l = &self.levels[level];
+        if l.dense {
+            let n = (l.resolution + 1) as u64;
+            (z as u64 * n + y as u64) * n + x as u64
+        } else {
+            let h = (x as u64).wrapping_mul(PRIMES[0])
+                ^ (y as u64).wrapping_mul(PRIMES[1])
+                ^ (z as u64).wrapping_mul(PRIMES[2]);
+            h & (l.table_len as u64 - 1)
+        }
+    }
+
+    /// Mutable feature slice of one entry (baking).
+    pub fn entry_mut(&mut self, level: usize, entry: u64) -> &mut [f32] {
+        let f = self.cfg.features_per_entry;
+        let base = entry as usize * f;
+        &mut self.levels[level].data[base..base + f]
+    }
+
+    /// Feature slice of one entry.
+    pub fn entry(&self, level: usize, entry: u64) -> &[f32] {
+        let f = self.cfg.features_per_entry;
+        let base = entry as usize * f;
+        &self.levels[level].data[base..base + f]
+    }
+
+    /// World position of vertex `(x, y, z)` at `level`.
+    pub fn vertex_position(&self, level: usize, x: u32, y: u32, z: u32) -> Vec3 {
+        let s = self.bounds.size();
+        let r = self.levels[level].resolution as f32;
+        self.bounds.min + Vec3::new(s.x * x as f32 / r, s.y * y as f32 / r, s.z * z as f32 / r)
+    }
+
+    /// Interpolates one level's features at `p`, accumulating `weight *
+    /// feature` into `out[..features_per_entry]`.
+    pub fn interpolate_level_into(&self, level: usize, p: Vec3, out: &mut [f32]) {
+        let l = &self.levels[level];
+        let g = self.bounds.normalize(p) * l.resolution as f32;
+        let res = l.resolution as u32;
+        let (cx, fx) = cell_fraction(g.x, res);
+        let (cy, fy) = cell_fraction(g.y, res);
+        let (cz, fz) = cell_fraction(g.z, res);
+        let w = trilinear_weights(fx, fy, fz);
+        let f = self.cfg.features_per_entry;
+        for v in out.iter_mut().take(f) {
+            *v = 0.0;
+        }
+        for (corner, &weight) in w.iter().enumerate() {
+            if weight == 0.0 {
+                continue;
+            }
+            let vx = cx + (corner as u32 & 1);
+            let vy = cy + ((corner as u32 >> 1) & 1);
+            let vz = cz + ((corner as u32 >> 2) & 1);
+            let e = self.entry_index(level, vx, vy, vz);
+            let base = e as usize * f;
+            for (o, v) in out.iter_mut().zip(&l.data[base..base + f]) {
+                *o += weight * v;
+            }
+        }
+    }
+
+    /// Concatenated multi-level interpolation: `levels × features_per_entry`
+    /// values, coarse level first.
+    pub fn interpolate_into(&self, p: Vec3, out: &mut Vec<f32>) {
+        let f = self.cfg.features_per_entry;
+        out.clear();
+        out.resize(self.cfg.levels * f, 0.0);
+        for level in 0..self.cfg.levels {
+            self.interpolate_level_into(level, p, &mut out[level * f..(level + 1) * f]);
+        }
+    }
+
+    /// Sums per-level features into the 7 decoder signals (the residual
+    /// scheme: every level stores a residual of the same signals).
+    pub fn reconstruct_signals(&self, p: Vec3, up_to_level: usize) -> [f32; 7] {
+        let f = self.cfg.features_per_entry;
+        let mut buf = vec![0.0; f];
+        let mut signals = [0.0_f32; 7];
+        for level in 0..up_to_level.min(self.cfg.levels) {
+            self.interpolate_level_into(level, p, &mut buf);
+            for (s, v) in signals.iter_mut().zip(buf.iter()) {
+                *s += v;
+            }
+        }
+        signals
+    }
+
+    /// Gather plan for a query at `p`: one [`LevelGather`] per level, with
+    /// region ids `0..levels` (level ℓ lives in region ℓ).
+    pub fn gather_plan(&self, p: Vec3) -> GatherPlan {
+        let mut plan = GatherPlan { levels: Vec::with_capacity(self.cfg.levels) };
+        for (li, l) in self.levels.iter().enumerate() {
+            let g = self.bounds.normalize(p) * l.resolution as f32;
+            let res = l.resolution as u32;
+            let (cx, _) = cell_fraction(g.x, res);
+            let (cy, _) = cell_fraction(g.y, res);
+            let (cz, _) = cell_fraction(g.z, res);
+            let mut entries = [0u64; 8];
+            for (corner, e) in entries.iter_mut().enumerate() {
+                let vx = cx + (corner as u32 & 1);
+                let vy = cy + ((corner as u32 >> 1) & 1);
+                let vz = cz + ((corner as u32 >> 2) & 1);
+                *e = self.entry_index(li, vx, vy, vz);
+            }
+            plan.levels.push(LevelGather {
+                region: RegionId(li as u16),
+                resolution: [res + 1, res + 1, res + 1],
+                cell: [cx, cy, cz],
+                entries,
+                entry_count: 8,
+                entry_bytes: self.cfg.features_per_entry as u32 * self.cfg.bytes_per_feature,
+                dense: l.dense,
+            });
+        }
+        plan
+    }
+
+    /// Total feature storage bytes.
+    pub fn storage_bytes(&self) -> u64 {
+        self.levels
+            .iter()
+            .map(|l| {
+                l.table_len as u64
+                    * self.cfg.features_per_entry as u64
+                    * self.cfg.bytes_per_feature as u64
+            })
+            .sum()
+    }
+
+    /// Storage bytes of one level.
+    pub fn level_bytes(&self, level: usize) -> u64 {
+        self.levels[level].table_len as u64
+            * self.cfg.features_per_entry as u64
+            * self.cfg.bytes_per_feature as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> HashGrid {
+        HashGrid::new(
+            HashConfig {
+                levels: 4,
+                base_resolution: 4,
+                max_resolution: 32,
+                table_size_log2: 10,
+                features_per_entry: 7,
+                bytes_per_feature: 2,
+            },
+            Aabb::centered_cube(1.0),
+        )
+    }
+
+    #[test]
+    fn coarse_levels_dense_fine_levels_hashed() {
+        let g = grid();
+        // 4³ grid: 125 vertices <= 1024 → dense. 32³: 35937 > 1024 → hashed.
+        assert!(g.levels()[0].dense);
+        assert!(!g.levels()[3].dense);
+        assert!(g.first_hashed_level() > 0);
+        assert!(g.first_hashed_level() < 4);
+    }
+
+    #[test]
+    fn default_config_reverts_at_level_five() {
+        // The paper: Instant-NGP reverts to non-streaming "from level 5 (out
+        // of 8 levels) onwards". With T=2^19 and growth 16→256, level 4
+        // (res 78, 79³ ≈ 493k ≤ 524k) is the last dense level.
+        let g = HashGrid::new(HashConfig::default(), Aabb::centered_cube(1.0));
+        assert_eq!(g.config().levels, 8);
+        assert_eq!(g.first_hashed_level(), 5, "paper's level-5 reversion");
+    }
+
+    #[test]
+    fn hash_stays_in_table() {
+        let g = grid();
+        for v in 0..100u32 {
+            let e = g.entry_index(3, v * 7, v * 13, v * 29);
+            assert!((e as usize) < g.levels()[3].table_len);
+        }
+    }
+
+    #[test]
+    fn dense_entry_is_vertex_index() {
+        let g = grid();
+        let n = (g.levels()[0].resolution + 1) as u64;
+        assert_eq!(g.entry_index(0, 1, 2, 3), (3 * n + 2) * n + 1);
+    }
+
+    #[test]
+    fn vertex_write_read_roundtrip() {
+        let mut g = grid();
+        let e = g.entry_index(1, 2, 2, 2);
+        g.entry_mut(1, e).copy_from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(g.entry(1, e)[2], 3.0);
+    }
+
+    #[test]
+    fn interpolation_at_vertex_recovers_entry() {
+        let mut g = grid();
+        let e = g.entry_index(0, 2, 2, 2);
+        g.entry_mut(0, e).copy_from_slice(&[9.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        let p = g.vertex_position(0, 2, 2, 2);
+        let mut out = vec![0.0; 7];
+        g.interpolate_level_into(0, p, &mut out);
+        // Finer levels' vertices at the same position may collide in dense
+        // tables only if written; here only level 0 holds data.
+        assert!((out[0] - 9.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn reconstruct_sums_levels() {
+        let mut g = grid();
+        let p = Vec3::new(0.1, 0.2, -0.3);
+        // Write constant 1.0 into signal 0 of every entry of levels 0 and 1.
+        for level in 0..2 {
+            for e in 0..g.levels()[level].table_len as u64 {
+                g.entry_mut(level, e)[0] = 1.0;
+            }
+        }
+        let s = g.reconstruct_signals(p, 2);
+        assert!((s[0] - 2.0).abs() < 1e-4, "{}", s[0]);
+        let s1 = g.reconstruct_signals(p, 1);
+        assert!((s1[0] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn plan_marks_hashed_levels_non_dense() {
+        let g = grid();
+        let plan = g.gather_plan(Vec3::ZERO);
+        assert_eq!(plan.levels.len(), 4);
+        assert!(plan.levels[0].dense);
+        assert!(!plan.levels[3].dense);
+        assert_eq!(plan.levels[0].region, RegionId(0));
+        assert_eq!(plan.levels[3].region, RegionId(3));
+    }
+
+    #[test]
+    fn storage_respects_table_cap() {
+        let g = grid();
+        let per_entry = 7 * 2;
+        let expected: u64 = g
+            .levels()
+            .iter()
+            .map(|l| l.table_len as u64 * per_entry as u64)
+            .sum();
+        assert_eq!(g.storage_bytes(), expected);
+        // Hashed level capped at table_len.
+        assert_eq!(g.levels()[3].table_len, 1024);
+    }
+}

@@ -1,0 +1,67 @@
+//! Feature encodings: the data structures Feature Gathering reads.
+//!
+//! Three families cover the paper's evaluation matrix (§V, "NeRF Algorithms"):
+//! dense voxel grids (DirectVoxGO), multi-resolution hash tables (Instant-NGP)
+//! and factorized tensors (TensoRF).
+
+pub mod grid;
+pub mod hash;
+pub mod tensor;
+
+/// Trilinear interpolation weights for a fractional cell position.
+///
+/// Returns the eight corner weights in `(dx, dy, dz)` binary order:
+/// index `b` weights corner `(b&1, (b>>1)&1, (b>>2)&1)`.
+pub(crate) fn trilinear_weights(fx: f32, fy: f32, fz: f32) -> [f32; 8] {
+    let (gx, gy, gz) = (1.0 - fx, 1.0 - fy, 1.0 - fz);
+    [
+        gx * gy * gz,
+        fx * gy * gz,
+        gx * fy * gz,
+        fx * fy * gz,
+        gx * gy * fz,
+        fx * gy * fz,
+        gx * fy * fz,
+        fx * fy * fz,
+    ]
+}
+
+/// Splits a continuous grid coordinate into (cell, fraction), clamping so the
+/// cell has a valid `+1` neighbor in a grid with `cells` cells per axis.
+pub(crate) fn cell_fraction(u: f32, cells: u32) -> (u32, f32) {
+    let clamped = u.clamp(0.0, cells as f32 - 1e-4);
+    let cell = (clamped.floor() as u32).min(cells - 1);
+    (cell, clamped - cell as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_sum_to_one() {
+        let w = trilinear_weights(0.3, 0.7, 0.1);
+        let sum: f32 = w.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn corner_weights_are_one_hot() {
+        let w = trilinear_weights(0.0, 0.0, 0.0);
+        assert!((w[0] - 1.0).abs() < 1e-6);
+        let w = trilinear_weights(1.0, 1.0, 1.0);
+        assert!((w[7] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cell_fraction_clamps_to_last_cell() {
+        let (c, f) = cell_fraction(7.999, 8);
+        assert_eq!(c, 7);
+        assert!(f > 0.9);
+        let (c, f) = cell_fraction(9.5, 8);
+        assert_eq!(c, 7);
+        assert!(f < 1.0);
+        let (c, _) = cell_fraction(-2.0, 8);
+        assert_eq!(c, 0);
+    }
+}

@@ -1,0 +1,332 @@
+//! VM-factorized tensor encoding (TensoRF-style).
+//!
+//! The 3-D signal grid is approximated as a sum of plane×line outer products
+//! over the three axis orientations: for orientation `XY·Z`,
+//! `T(x,y,z) ≈ Σ_k P_k(x,y) · L_k(z)`, and likewise for `XZ·Y` and `YZ·X`.
+//! Each of the 7 decoder signals gets `components_per_signal` components per
+//! orientation. Plane texels store all `signals × components` channels
+//! contiguously, so one bilinear plane gather reads 4 entries and one line
+//! gather reads 2 — the paper's "factorized tensor" feature representation
+//! with its own distinctive memory footprint and access shape.
+
+use crate::plan::{GatherPlan, LevelGather, RegionId};
+use cicero_math::{Aabb, Vec3};
+
+/// Number of decoder signals (mirrors `decoder::SIGNALS`).
+const SIGNALS: usize = 7;
+
+/// Configuration of the VM tensor encoding.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TensorConfig {
+    /// Plane (and line) resolution per axis.
+    pub resolution: usize,
+    /// Rank-1 components per signal per orientation.
+    pub components_per_signal: usize,
+    /// Storage bytes per value (2 = fp16).
+    pub bytes_per_value: u32,
+}
+
+impl Default for TensorConfig {
+    fn default() -> Self {
+        TensorConfig { resolution: 128, components_per_signal: 4, bytes_per_value: 2 }
+    }
+}
+
+/// The three plane/line orientations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Orientation {
+    /// Plane over (x, y), line over z.
+    XyZ,
+    /// Plane over (x, z), line over y.
+    XzY,
+    /// Plane over (y, z), line over x.
+    YzX,
+}
+
+/// All orientations in storage order.
+pub const ORIENTATIONS: [Orientation; 3] = [Orientation::XyZ, Orientation::XzY, Orientation::YzX];
+
+impl Orientation {
+    /// Splits normalized coordinates into (plane_u, plane_v, line_w).
+    #[inline]
+    fn split(self, n: Vec3) -> (f32, f32, f32) {
+        match self {
+            Orientation::XyZ => (n.x, n.y, n.z),
+            Orientation::XzY => (n.x, n.z, n.y),
+            Orientation::YzX => (n.y, n.z, n.x),
+        }
+    }
+}
+
+/// A VM-factorized feature field.
+#[derive(Debug, Clone)]
+pub struct VmTensor {
+    cfg: TensorConfig,
+    bounds: Aabb,
+    /// 3 planes: `planes[o][ (v*res + u) * channels + c ]`.
+    planes: [Vec<f32>; 3],
+    /// 3 lines: `lines[o][ w * channels + c ]`.
+    lines: [Vec<f32>; 3],
+}
+
+impl VmTensor {
+    /// Creates a zero-filled tensor field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if resolution or components are zero.
+    pub fn new(cfg: TensorConfig, bounds: Aabb) -> Self {
+        assert!(cfg.resolution > 1 && cfg.components_per_signal > 0);
+        let ch = SIGNALS * cfg.components_per_signal;
+        let plane = vec![0.0; cfg.resolution * cfg.resolution * ch];
+        let line = vec![0.0; cfg.resolution * ch];
+        VmTensor {
+            cfg,
+            bounds,
+            planes: [plane.clone(), plane.clone(), plane],
+            lines: [line.clone(), line.clone(), line],
+        }
+    }
+
+    /// Configuration.
+    pub fn config(&self) -> &TensorConfig {
+        &self.cfg
+    }
+
+    /// Bounds.
+    pub fn bounds(&self) -> Aabb {
+        self.bounds
+    }
+
+    /// Channels per texel (`signals × components_per_signal`).
+    pub fn channels(&self) -> usize {
+        SIGNALS * self.cfg.components_per_signal
+    }
+
+    /// Mutable plane storage for orientation `o`.
+    pub fn plane_mut(&mut self, o: usize) -> &mut [f32] {
+        &mut self.planes[o]
+    }
+
+    /// Mutable line storage for orientation `o`.
+    pub fn line_mut(&mut self, o: usize) -> &mut [f32] {
+        &mut self.lines[o]
+    }
+
+    /// Plane storage for orientation `o`.
+    pub fn plane(&self, o: usize) -> &[f32] {
+        &self.planes[o]
+    }
+
+    /// Line storage for orientation `o`.
+    pub fn line(&self, o: usize) -> &[f32] {
+        &self.lines[o]
+    }
+
+    /// Bilinear sample of plane `o` at continuous texel coords, one channel.
+    fn sample_plane(&self, o: usize, u: f32, v: f32, c: usize) -> f32 {
+        let res = self.cfg.resolution;
+        let ch = self.channels();
+        let x0 = (u.floor() as usize).min(res - 2);
+        let y0 = (v.floor() as usize).min(res - 2);
+        let fx = (u - x0 as f32).clamp(0.0, 1.0);
+        let fy = (v - y0 as f32).clamp(0.0, 1.0);
+        let at = |x: usize, y: usize| self.planes[o][(y * res + x) * ch + c];
+        let top = at(x0, y0) * (1.0 - fx) + at(x0 + 1, y0) * fx;
+        let bot = at(x0, y0 + 1) * (1.0 - fx) + at(x0 + 1, y0 + 1) * fx;
+        top * (1.0 - fy) + bot * fy
+    }
+
+    /// Linear sample of line `o` at continuous texel coord, one channel.
+    fn sample_line(&self, o: usize, w: f32, c: usize) -> f32 {
+        let res = self.cfg.resolution;
+        let ch = self.channels();
+        let w0 = (w.floor() as usize).min(res - 2);
+        let fw = (w - w0 as f32).clamp(0.0, 1.0);
+        self.lines[o][w0 * ch + c] * (1.0 - fw) + self.lines[o][(w0 + 1) * ch + c] * fw
+    }
+
+    /// Continuous texel coordinate of a normalized coordinate in `[0,1]`.
+    #[inline]
+    fn texel(&self, n: f32) -> f32 {
+        (n.clamp(0.0, 1.0)) * (self.cfg.resolution - 1) as f32
+    }
+
+    /// Evaluates the 7 signals at world position `p` into `out`.
+    ///
+    /// `out` is cleared and resized to 7.
+    pub fn interpolate_into(&self, p: Vec3, out: &mut Vec<f32>) {
+        let n = self.bounds.normalize(p);
+        out.clear();
+        out.resize(SIGNALS, 0.0);
+        let k = self.cfg.components_per_signal;
+        for (oi, o) in ORIENTATIONS.iter().enumerate() {
+            let (pu, pv, lw) = o.split(n);
+            let (u, v, w) = (self.texel(pu), self.texel(pv), self.texel(lw));
+            for s in 0..SIGNALS {
+                let mut acc = 0.0;
+                for comp in 0..k {
+                    let c = s * k + comp;
+                    acc += self.sample_plane(oi, u, v, c) * self.sample_line(oi, w, c);
+                }
+                out[s] += acc;
+            }
+        }
+    }
+
+    /// Gather plan: 4-entry bilinear reads on 3 planes (regions 0–2) and
+    /// 2-entry linear reads on 3 lines (regions 3–5).
+    pub fn gather_plan(&self, p: Vec3) -> GatherPlan {
+        let n = self.bounds.normalize(p);
+        let res = self.cfg.resolution as u32;
+        let entry_bytes = self.channels() as u32 * self.cfg.bytes_per_value;
+        let mut plan = GatherPlan { levels: Vec::with_capacity(6) };
+        for (oi, o) in ORIENTATIONS.iter().enumerate() {
+            let (pu, pv, lw) = o.split(n);
+            let (u, v, w) = (self.texel(pu), self.texel(pv), self.texel(lw));
+            let x0 = (u.floor() as u32).min(res - 2);
+            let y0 = (v.floor() as u32).min(res - 2);
+            let w0 = (w.floor() as u32).min(res - 2);
+            let mut pe = [0u64; 8];
+            pe[0] = (y0 * res + x0) as u64;
+            pe[1] = (y0 * res + x0 + 1) as u64;
+            pe[2] = ((y0 + 1) * res + x0) as u64;
+            pe[3] = ((y0 + 1) * res + x0 + 1) as u64;
+            plan.levels.push(LevelGather {
+                region: RegionId(oi as u16),
+                resolution: [res, res, 1],
+                cell: [x0, y0, 0],
+                entries: pe,
+                entry_count: 4,
+                entry_bytes,
+                dense: true,
+            });
+            let mut le = [0u64; 8];
+            le[0] = w0 as u64;
+            le[1] = (w0 + 1) as u64;
+            plan.levels.push(LevelGather {
+                region: RegionId((3 + oi) as u16),
+                resolution: [res, 1, 1],
+                cell: [w0, 0, 0],
+                entries: le,
+                entry_count: 2,
+                entry_bytes,
+                dense: true,
+            });
+        }
+        plan
+    }
+
+    /// Total feature storage bytes (planes + lines).
+    pub fn storage_bytes(&self) -> u64 {
+        let ch = self.channels() as u64;
+        let res = self.cfg.resolution as u64;
+        let b = self.cfg.bytes_per_value as u64;
+        3 * res * res * ch * b + 3 * res * ch * b
+    }
+
+    /// Storage bytes of region `r` (0–2 planes, 3–5 lines).
+    pub fn region_bytes(&self, r: usize) -> u64 {
+        let ch = self.channels() as u64;
+        let res = self.cfg.resolution as u64;
+        let b = self.cfg.bytes_per_value as u64;
+        if r < 3 {
+            res * res * ch * b
+        } else {
+            res * ch * b
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tensor() -> VmTensor {
+        VmTensor::new(
+            TensorConfig { resolution: 8, components_per_signal: 2, bytes_per_value: 2 },
+            Aabb::centered_cube(1.0),
+        )
+    }
+
+    #[test]
+    fn zero_tensor_evaluates_to_zero() {
+        let t = tensor();
+        let mut out = Vec::new();
+        t.interpolate_into(Vec3::new(0.3, -0.2, 0.5), &mut out);
+        assert_eq!(out, vec![0.0; 7]);
+    }
+
+    #[test]
+    fn rank_one_product_reconstructs() {
+        let mut t = tensor();
+        let ch = t.channels();
+        let res = 8;
+        // Signal 0, component 0 of orientation XY·Z: plane = u, line = 2.
+        for y in 0..res {
+            for x in 0..res {
+                t.plane_mut(0)[(y * res + x) * ch] = x as f32 / (res - 1) as f32;
+            }
+        }
+        for w in 0..res {
+            t.line_mut(0)[w * ch] = 2.0;
+        }
+        // Point with normalized coords (0.5, *, *) → plane value 0.5, product 1.0.
+        let mut out = Vec::new();
+        t.interpolate_into(Vec3::new(0.0, 0.1, -0.4), &mut out);
+        assert!((out[0] - 1.0).abs() < 1e-4, "{}", out[0]);
+        assert!(out[1].abs() < 1e-6);
+    }
+
+    #[test]
+    fn orientations_accumulate() {
+        let mut t = tensor();
+        let ch = t.channels();
+        // Constant 1 × 1 on signal 2 in all three orientations.
+        for o in 0..3 {
+            for v in t.plane_mut(o).chunks_mut(ch) {
+                v[2 * 2] = 1.0; // signal 2, component 0
+            }
+            for v in t.line_mut(o).chunks_mut(ch) {
+                v[2 * 2] = 1.0;
+            }
+        }
+        let mut out = Vec::new();
+        t.interpolate_into(Vec3::ZERO, &mut out);
+        assert!((out[2] - 3.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn plan_shape_matches_vm_structure() {
+        let t = tensor();
+        let plan = t.gather_plan(Vec3::new(0.2, 0.2, 0.2));
+        assert_eq!(plan.levels.len(), 6);
+        let plane_gathers: Vec<_> = plan.levels.iter().filter(|l| l.entry_count == 4).collect();
+        let line_gathers: Vec<_> = plan.levels.iter().filter(|l| l.entry_count == 2).collect();
+        assert_eq!(plane_gathers.len(), 3);
+        assert_eq!(line_gathers.len(), 3);
+        // Channel-packed texels: entry bytes = channels × precision.
+        assert_eq!(plan.levels[0].entry_bytes, (7 * 2 * 2) as u32);
+    }
+
+    #[test]
+    fn storage_sums_regions() {
+        let t = tensor();
+        let total: u64 = (0..6).map(|r| t.region_bytes(r)).sum();
+        assert_eq!(t.storage_bytes(), total);
+    }
+
+    #[test]
+    fn border_queries_clamp() {
+        let t = tensor();
+        let mut out = Vec::new();
+        t.interpolate_into(Vec3::splat(50.0), &mut out);
+        assert_eq!(out.len(), 7);
+        let plan = t.gather_plan(Vec3::splat(50.0));
+        for l in &plan.levels {
+            for &e in l.entries() {
+                assert!(e < (8 * 8) as u64);
+            }
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! A small fully-connected network with ReLU hidden activations.
+//!
+//! This is the "Feature Computation" engine of the paper's pipeline (§II-B):
+//! every ray sample pushes its interpolated feature vector through this MLP.
+//! Weights are plain `f32` row-major matrices; [`Mlp::macs_per_inference`]
+//! feeds the compute-cost models in `cicero-accel`.
+
+/// One dense layer: `y = W·x + b` with optional ReLU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Layer {
+    /// Output dimension.
+    pub out_dim: usize,
+    /// Input dimension.
+    pub in_dim: usize,
+    /// Row-major weights, `out_dim × in_dim`.
+    pub weights: Vec<f32>,
+    /// Biases, length `out_dim`.
+    pub biases: Vec<f32>,
+    /// Apply ReLU after the affine map.
+    pub relu: bool,
+}
+
+impl Layer {
+    /// Creates a zero-initialized layer.
+    pub fn zeros(in_dim: usize, out_dim: usize, relu: bool) -> Self {
+        Layer {
+            out_dim,
+            in_dim,
+            weights: vec![0.0; in_dim * out_dim],
+            biases: vec![0.0; out_dim],
+            relu,
+        }
+    }
+
+    /// Sets weight `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    pub fn set(&mut self, row: usize, col: usize, w: f32) {
+        assert!(row < self.out_dim && col < self.in_dim, "weight index out of range");
+        self.weights[row * self.in_dim + col] = w;
+    }
+
+    /// Evaluates the layer into `out` (length `out_dim`).
+    fn forward(&self, input: &[f32], out: &mut Vec<f32>) {
+        debug_assert_eq!(input.len(), self.in_dim);
+        out.clear();
+        for r in 0..self.out_dim {
+            let row = &self.weights[r * self.in_dim..(r + 1) * self.in_dim];
+            let mut acc = self.biases[r];
+            for (w, x) in row.iter().zip(input) {
+                acc += w * x;
+            }
+            if self.relu {
+                acc = acc.max(0.0);
+            }
+            out.push(acc);
+        }
+    }
+}
+
+/// A multilayer perceptron.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    layers: Vec<Layer>,
+}
+
+impl Mlp {
+    /// Builds an MLP from layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if layers are empty or consecutive dimensions mismatch.
+    pub fn new(layers: Vec<Layer>) -> Self {
+        assert!(!layers.is_empty(), "MLP needs at least one layer");
+        for pair in layers.windows(2) {
+            assert_eq!(
+                pair[0].out_dim, pair[1].in_dim,
+                "layer dimension mismatch: {} -> {}",
+                pair[0].out_dim, pair[1].in_dim
+            );
+        }
+        Mlp { layers }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().unwrap().out_dim
+    }
+
+    /// Runs the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` length differs from [`Mlp::in_dim`].
+    pub fn forward(&self, input: &[f32]) -> Vec<f32> {
+        assert_eq!(input.len(), self.in_dim(), "MLP input size mismatch");
+        let mut a = input.to_vec();
+        let mut b = Vec::with_capacity(self.layers.iter().map(|l| l.out_dim).max().unwrap());
+        for layer in &self.layers {
+            layer.forward(&a, &mut b);
+            std::mem::swap(&mut a, &mut b);
+        }
+        a
+    }
+
+    /// Multiply-accumulate operations per inference (the paper's MLP cost
+    /// unit; a TPU-style MAC array executes exactly these).
+    pub fn macs_per_inference(&self) -> u64 {
+        self.layers.iter().map(|l| (l.in_dim * l.out_dim) as u64).sum()
+    }
+
+    /// Total weight + bias parameters.
+    pub fn parameter_count(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| (l.in_dim * l.out_dim + l.out_dim) as u64)
+            .sum()
+    }
+
+    /// Model-weight bytes at the given precision (paper: 10–100 KB weights).
+    pub fn weight_bytes(&self, bytes_per_param: u64) -> u64 {
+        self.parameter_count() * bytes_per_param
+    }
+
+    /// Layer dimensions as `(in, out)` pairs, outermost first.
+    pub fn layer_dims(&self) -> Vec<(usize, usize)> {
+        self.layers.iter().map(|l| (l.in_dim, l.out_dim)).collect()
+    }
+
+    /// Constructs a network that routes `signals` input values to its outputs
+    /// exactly, while still costing two hidden layers of the given width.
+    ///
+    /// The first `signals` inputs appear unchanged as the `signals` outputs.
+    /// The construction uses ReLU pairs (`x = relu(x) − relu(−x)`), so the
+    /// function is exact for any input sign, and fills the remaining hidden
+    /// capacity with pseudo-random weights whose downstream influence is zero
+    /// — inference cost is that of a *real* dense MLP of this shape, which is
+    /// what the hardware models charge for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hidden < 2 * signals` or `in_dim < signals`.
+    pub fn passthrough_decoder(in_dim: usize, hidden: usize, signals: usize) -> Mlp {
+        assert!(in_dim >= signals, "need at least {signals} inputs");
+        let mut rows = vec![vec![0.0; in_dim]; signals];
+        for (s, row) in rows.iter_mut().enumerate() {
+            row[s] = 1.0;
+        }
+        Mlp::linear_decoder(in_dim, hidden, &rows)
+    }
+
+    /// Constructs a network that computes `signals = rows · input` exactly
+    /// while costing two dense hidden layers of width `hidden`.
+    ///
+    /// `rows` is the fixed decode matrix (one row per output signal, each of
+    /// length `in_dim`). The construction mirrors
+    /// [`Mlp::passthrough_decoder`]: each signal uses a ±ReLU pair in the
+    /// first layer; unused hidden capacity is filled with pseudo-random
+    /// weights that have zero downstream influence.
+    ///
+    /// Hierarchical encodings use this to realize their level-summing decode
+    /// (e.g. the hash grid's residual reconstruction) *inside* the MLP, the
+    /// way a trained Instant-NGP decoder folds level mixing into its first
+    /// layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hidden < 2 * rows.len()` or any row length differs from
+    /// `in_dim`.
+    pub fn linear_decoder(in_dim: usize, hidden: usize, rows: &[Vec<f32>]) -> Mlp {
+        let signals = rows.len();
+        assert!(hidden >= 2 * signals, "hidden width {hidden} too small for {signals} signals");
+        for row in rows {
+            assert_eq!(row.len(), in_dim, "decode row length must equal in_dim");
+        }
+        let mut rng = 0x2545_F491_4F6C_DD1Du64;
+        let mut noise = move || {
+            // xorshift64* — deterministic filler weights.
+            rng ^= rng >> 12;
+            rng ^= rng << 25;
+            rng ^= rng >> 27;
+            ((rng.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 40) as f32 / 16_777_216.0 - 0.5) * 0.2
+        };
+
+        // Layer 1: ±pairs for each signal; noise rows elsewhere.
+        let mut l1 = Layer::zeros(in_dim, hidden, true);
+        for (s, row) in rows.iter().enumerate() {
+            for (c, &w) in row.iter().enumerate() {
+                l1.set(2 * s, c, w);
+                l1.set(2 * s + 1, c, -w);
+            }
+        }
+        for r in 2 * signals..hidden {
+            for c in 0..in_dim {
+                l1.set(r, c, noise());
+            }
+        }
+
+        // Layer 2: identity on the 2*signals pass-through lanes (their values
+        // are non-negative post-ReLU so ReLU is a no-op); noise rows elsewhere
+        // feed only from noise lanes so they cannot corrupt the signal.
+        let mut l2 = Layer::zeros(hidden, hidden, true);
+        for r in 0..2 * signals {
+            l2.set(r, r, 1.0);
+        }
+        for r in 2 * signals..hidden {
+            for c in 2 * signals..in_dim.min(hidden) {
+                l2.set(r, c, noise());
+            }
+        }
+
+        // Output layer: recombine pairs, ignore noise lanes.
+        let mut l3 = Layer::zeros(hidden, signals, false);
+        for s in 0..signals {
+            l3.set(s, 2 * s, 1.0);
+            l3.set(s, 2 * s + 1, -1.0);
+        }
+
+        Mlp::new(vec![l1, l2, l3])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_layer_affine() {
+        let mut l = Layer::zeros(2, 1, false);
+        l.set(0, 0, 2.0);
+        l.set(0, 1, -1.0);
+        l.biases[0] = 0.5;
+        let m = Mlp::new(vec![l]);
+        let y = m.forward(&[3.0, 4.0]);
+        assert_eq!(y, vec![2.5]);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut l = Layer::zeros(1, 1, true);
+        l.set(0, 0, 1.0);
+        let m = Mlp::new(vec![l]);
+        assert_eq!(m.forward(&[-5.0]), vec![0.0]);
+        assert_eq!(m.forward(&[5.0]), vec![5.0]);
+    }
+
+    #[test]
+    fn passthrough_is_exact_for_any_sign() {
+        let m = Mlp::passthrough_decoder(10, 64, 7);
+        let input: Vec<f32> = (0..10).map(|i| (i as f32 - 5.0) * 1.7).collect();
+        let out = m.forward(&input);
+        assert_eq!(out.len(), 7);
+        for (i, o) in out.iter().enumerate() {
+            assert!(
+                (o - input[i]).abs() < 1e-5,
+                "signal {i}: {o} != {}",
+                input[i]
+            );
+        }
+    }
+
+    #[test]
+    fn linear_decoder_computes_row_combinations() {
+        // Two signals: sum of inputs 0+2, difference 1-3.
+        let rows = vec![
+            vec![1.0, 0.0, 1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0, -1.0, 0.0],
+        ];
+        let m = Mlp::linear_decoder(5, 16, &rows);
+        let out = m.forward(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!((out[0] - 4.0).abs() < 1e-5);
+        assert!((out[1] + 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn passthrough_cost_matches_dense_shape() {
+        let m = Mlp::passthrough_decoder(15, 64, 7);
+        assert_eq!(
+            m.macs_per_inference(),
+            (15 * 64 + 64 * 64 + 64 * 7) as u64
+        );
+        assert_eq!(m.layer_dims(), vec![(15, 64), (64, 64), (64, 7)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimension_mismatch_is_rejected() {
+        let l1 = Layer::zeros(4, 8, true);
+        let l2 = Layer::zeros(9, 2, false);
+        let _ = Mlp::new(vec![l1, l2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_input_length_panics() {
+        let m = Mlp::passthrough_decoder(8, 32, 4);
+        let _ = m.forward(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn parameter_count_includes_biases() {
+        let m = Mlp::new(vec![Layer::zeros(3, 5, true), Layer::zeros(5, 2, false)]);
+        assert_eq!(m.parameter_count(), (3 * 5 + 5 + 5 * 2 + 2) as u64);
+        assert_eq!(m.weight_bytes(2), 2 * m.parameter_count());
+    }
+}

@@ -1,0 +1,230 @@
+//! The [`NerfModel`] interface and the three model families.
+//!
+//! A model bundles an encoding (features + gather plans), a [`Decoder`], an
+//! [`OccupancyGrid`] and background radiance. The interface is deliberately
+//! the *paper's* pipeline cut: `plan_at` is Indexing (I), `features_into` is
+//! Feature Gathering (G), `Decoder::decode` is Feature Computation (F).
+
+use crate::decoder::Decoder;
+use crate::encoding::grid::DenseGrid;
+use crate::encoding::hash::HashGrid;
+use crate::encoding::tensor::VmTensor;
+use crate::occupancy::OccupancyGrid;
+use crate::plan::{GatherPlan, RegionId};
+use cicero_math::{Aabb, Vec3};
+use cicero_scene::RadianceSource;
+
+/// Which model family an implementation belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Dense voxel grid (DirectVoxGO-like).
+    Grid,
+    /// Multi-resolution hash encoding (Instant-NGP-like).
+    Hash,
+    /// VM-factorized tensor (TensoRF-like).
+    Tensor,
+}
+
+impl ModelKind {
+    /// Human-readable algorithm name used in experiment tables.
+    pub fn algorithm_name(&self) -> &'static str {
+        match self {
+            ModelKind::Grid => "DirectVoxGO",
+            ModelKind::Hash => "Instant-NGP",
+            ModelKind::Tensor => "TensoRF",
+        }
+    }
+
+    /// All model kinds in the paper's presentation order.
+    pub const ALL: [ModelKind; 3] = [ModelKind::Hash, ModelKind::Grid, ModelKind::Tensor];
+}
+
+/// A baked neural radiance field.
+pub trait NerfModel {
+    /// Model family.
+    fn kind(&self) -> ModelKind;
+
+    /// Scene bounds of the encoding.
+    fn bounds(&self) -> Aabb;
+
+    /// Background radiance.
+    fn background(&self) -> Vec3;
+
+    /// Gathers and interpolates the feature vector at `p` into `out`
+    /// (Feature Gathering, stage G).
+    fn features_into(&self, p: Vec3, out: &mut Vec<f32>);
+
+    /// The memory accesses a query at `p` performs (stage G's traffic).
+    fn plan_at(&self, p: Vec3) -> GatherPlan;
+
+    /// The decoder MLP (stage F).
+    fn decoder(&self) -> &Decoder;
+
+    /// Coarse occupancy for empty-space skipping (stage I).
+    fn occupancy(&self) -> &OccupancyGrid;
+
+    /// Feature storage bytes in DRAM (excludes MLP weights).
+    fn memory_footprint_bytes(&self) -> u64;
+
+    /// Sizes of each contiguous storage region, in [`RegionId`] order.
+    /// Regions are laid out back-to-back in the model's DRAM image.
+    fn region_sizes(&self) -> Vec<(RegionId, u64)>;
+
+    /// Queries density and radiance at a point (G + F composed).
+    fn query(&self, p: Vec3, dir: Vec3) -> (f32, Vec3) {
+        let mut feats = Vec::new();
+        self.features_into(p, &mut feats);
+        self.decoder().decode(&feats, dir)
+    }
+}
+
+/// Adapts a [`NerfModel`] to the scene crate's [`RadianceSource`], applying
+/// occupancy-based empty-space skipping, so models can be rendered by the
+/// shared ground-truth integrator for functional tests.
+pub struct ModelSource<'a, M: NerfModel + ?Sized>(pub &'a M);
+
+impl<M: NerfModel + ?Sized> RadianceSource for ModelSource<'_, M> {
+    fn density_at(&self, p: Vec3) -> f32 {
+        if !self.0.occupancy().occupied(p) {
+            return 0.0;
+        }
+        self.0.query(p, Vec3::Z).0
+    }
+
+    fn radiance_at(&self, p: Vec3, dir: Vec3) -> Vec3 {
+        self.0.query(p, dir).1
+    }
+
+    fn bounds(&self) -> Aabb {
+        self.0.bounds()
+    }
+
+    fn background(&self) -> Vec3 {
+        self.0.background()
+    }
+}
+
+macro_rules! model_struct {
+    ($(#[$doc:meta])* $name:ident, $enc:ty, $kind:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            /// The feature encoding.
+            pub encoding: $enc,
+            /// The feature decoder.
+            pub decoder: Decoder,
+            /// Empty-space occupancy.
+            pub occupancy: OccupancyGrid,
+            /// Background radiance.
+            pub background: Vec3,
+            /// Scene this model was baked from.
+            pub scene_name: String,
+        }
+
+        impl NerfModel for $name {
+            fn kind(&self) -> ModelKind {
+                $kind
+            }
+            fn bounds(&self) -> Aabb {
+                self.encoding.bounds()
+            }
+            fn background(&self) -> Vec3 {
+                self.background
+            }
+            fn features_into(&self, p: Vec3, out: &mut Vec<f32>) {
+                self.encoding.interpolate_into(p, out);
+            }
+            fn plan_at(&self, p: Vec3) -> GatherPlan {
+                self.encoding.gather_plan(p)
+            }
+            fn decoder(&self) -> &Decoder {
+                &self.decoder
+            }
+            fn occupancy(&self) -> &OccupancyGrid {
+                &self.occupancy
+            }
+            fn memory_footprint_bytes(&self) -> u64 {
+                self.encoding.storage_bytes()
+            }
+            fn region_sizes(&self) -> Vec<(RegionId, u64)> {
+                self.region_sizes_impl()
+            }
+        }
+    };
+}
+
+model_struct!(
+    /// Dense voxel-grid model (DirectVoxGO-like).
+    GridModel,
+    DenseGrid,
+    ModelKind::Grid
+);
+model_struct!(
+    /// Multi-resolution hash model (Instant-NGP-like).
+    HashModel,
+    HashGrid,
+    ModelKind::Hash
+);
+model_struct!(
+    /// VM-factorized tensor model (TensoRF-like).
+    TensorModel,
+    VmTensor,
+    ModelKind::Tensor
+);
+
+impl GridModel {
+    fn region_sizes_impl(&self) -> Vec<(RegionId, u64)> {
+        vec![(RegionId(0), self.encoding.storage_bytes())]
+    }
+}
+
+impl HashModel {
+    fn region_sizes_impl(&self) -> Vec<(RegionId, u64)> {
+        (0..self.encoding.config().levels)
+            .map(|l| (RegionId(l as u16), self.encoding.level_bytes(l)))
+            .collect()
+    }
+}
+
+impl TensorModel {
+    fn region_sizes_impl(&self) -> Vec<(RegionId, u64)> {
+        (0..6).map(|r| (RegionId(r as u16), self.encoding.region_bytes(r))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bake;
+    use crate::encoding::grid::GridConfig;
+    use cicero_scene::library;
+
+    #[test]
+    fn kinds_have_paper_names() {
+        assert_eq!(ModelKind::Grid.algorithm_name(), "DirectVoxGO");
+        assert_eq!(ModelKind::Hash.algorithm_name(), "Instant-NGP");
+        assert_eq!(ModelKind::Tensor.algorithm_name(), "TensoRF");
+        assert_eq!(ModelKind::ALL.len(), 3);
+    }
+
+    #[test]
+    fn grid_model_region_layout_is_single_region() {
+        let scene = library::scene_by_name("mic").unwrap();
+        let model =
+            bake::bake_grid(&scene, &GridConfig { resolution: 12, ..Default::default() });
+        let regions = model.region_sizes();
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].1, model.memory_footprint_bytes());
+    }
+
+    #[test]
+    fn model_source_respects_occupancy() {
+        let scene = library::scene_by_name("mic").unwrap();
+        let model =
+            bake::bake_grid(&scene, &GridConfig { resolution: 16, ..Default::default() });
+        let src = ModelSource(&model);
+        // Far corner of the bounds: no geometry → zero density via occupancy.
+        let corner = model.bounds().max - cicero_math::Vec3::splat(1e-3);
+        assert_eq!(src.density_at(corner), 0.0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Coarse occupancy grids for empty-space skipping.
+//!
+//! All three model families (and the baseline GPU renderer) prune ray samples
+//! in known-empty space during Indexing, as the original algorithms do. The
+//! paper's fairness note (DESIGN.md §5) applies: occupancy skipping is enabled
+//! identically in the pixel-centric baseline and the fully-streaming path.
+
+use cicero_math::{Aabb, Vec3};
+
+/// A bit-packed boolean voxel grid over an axis-aligned bound.
+#[derive(Debug, Clone)]
+pub struct OccupancyGrid {
+    res: usize,
+    bounds: Aabb,
+    bits: Vec<u64>,
+    occupied_count: usize,
+}
+
+impl OccupancyGrid {
+    /// Builds a grid of `res³` cells where a cell is occupied iff `f` returns
+    /// `true` for any of its 2×2×2 interior sub-sample points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `res == 0`.
+    pub fn from_fn(bounds: Aabb, res: usize, mut f: impl FnMut(Vec3) -> bool) -> Self {
+        assert!(res > 0);
+        let words = (res * res * res).div_ceil(64);
+        let mut grid =
+            OccupancyGrid { res, bounds, bits: vec![0; words], occupied_count: 0 };
+        let cell = bounds.size() / res as f32;
+        for z in 0..res {
+            for y in 0..res {
+                for x in 0..res {
+                    let base = bounds.min
+                        + Vec3::new(x as f32 * cell.x, y as f32 * cell.y, z as f32 * cell.z);
+                    let mut occ = false;
+                    'probe: for sz in 0..2 {
+                        for sy in 0..2 {
+                            for sx in 0..2 {
+                                let p = base
+                                    + Vec3::new(
+                                        (sx as f32 + 0.5) * cell.x * 0.5,
+                                        (sy as f32 + 0.5) * cell.y * 0.5,
+                                        (sz as f32 + 0.5) * cell.z * 0.5,
+                                    );
+                                if f(p) {
+                                    occ = true;
+                                    break 'probe;
+                                }
+                            }
+                        }
+                    }
+                    if occ {
+                        grid.set(x, y, z);
+                    }
+                }
+            }
+        }
+        grid
+    }
+
+    /// Builds an occupancy grid from a density predicate with one cell of
+    /// dilation, so trilinear interpolation never reads outside marked cells.
+    pub fn from_density(
+        bounds: Aabb,
+        res: usize,
+        density: impl Fn(Vec3) -> f32,
+        threshold: f32,
+    ) -> Self {
+        let raw = Self::from_fn(bounds, res, |p| density(p) > threshold);
+        raw.dilated()
+    }
+
+    fn index(&self, x: usize, y: usize, z: usize) -> usize {
+        (z * self.res + y) * self.res + x
+    }
+
+    fn set(&mut self, x: usize, y: usize, z: usize) {
+        let i = self.index(x, y, z);
+        let word = &mut self.bits[i / 64];
+        if *word & (1 << (i % 64)) == 0 {
+            *word |= 1 << (i % 64);
+            self.occupied_count += 1;
+        }
+    }
+
+    /// Cell occupancy by integer coordinate (out-of-range ⇒ `false`).
+    pub fn cell(&self, x: isize, y: isize, z: isize) -> bool {
+        if x < 0 || y < 0 || z < 0 {
+            return false;
+        }
+        let (x, y, z) = (x as usize, y as usize, z as usize);
+        if x >= self.res || y >= self.res || z >= self.res {
+            return false;
+        }
+        let i = self.index(x, y, z);
+        self.bits[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Whether the world point lies in an occupied cell.
+    pub fn occupied(&self, p: Vec3) -> bool {
+        if !self.bounds.contains(p) {
+            return false;
+        }
+        let n = self.bounds.normalize(p) * self.res as f32;
+        self.cell(n.x as isize, n.y as isize, n.z as isize)
+    }
+
+    /// Grid resolution per axis.
+    pub fn resolution(&self) -> usize {
+        self.res
+    }
+
+    /// Grid bounds.
+    pub fn bounds(&self) -> Aabb {
+        self.bounds
+    }
+
+    /// Fraction of occupied cells.
+    pub fn occupancy_ratio(&self) -> f32 {
+        self.occupied_count as f32 / (self.res * self.res * self.res) as f32
+    }
+
+    /// Returns a copy with every occupied cell dilated by one cell (26-neighborhood).
+    pub fn dilated(&self) -> OccupancyGrid {
+        let mut out = OccupancyGrid {
+            res: self.res,
+            bounds: self.bounds,
+            bits: vec![0; self.bits.len()],
+            occupied_count: 0,
+        };
+        for z in 0..self.res {
+            for y in 0..self.res {
+                for x in 0..self.res {
+                    let mut occ = false;
+                    'scan: for dz in -1..=1isize {
+                        for dy in -1..=1isize {
+                            for dx in -1..=1isize {
+                                if self.cell(x as isize + dx, y as isize + dy, z as isize + dz) {
+                                    occ = true;
+                                    break 'scan;
+                                }
+                            }
+                        }
+                    }
+                    if occ {
+                        out.set(x, y, z);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sphere_grid(res: usize) -> OccupancyGrid {
+        OccupancyGrid::from_fn(Aabb::centered_cube(1.0), res, |p| p.length() < 0.5)
+    }
+
+    #[test]
+    fn center_occupied_corner_empty() {
+        let g = sphere_grid(16);
+        assert!(g.occupied(Vec3::ZERO));
+        assert!(!g.occupied(Vec3::splat(0.9)));
+        assert!(!g.occupied(Vec3::splat(5.0)));
+    }
+
+    #[test]
+    fn ratio_approximates_sphere_volume() {
+        let g = sphere_grid(32);
+        // Sphere volume fraction in the cube: (4/3 π 0.5³) / 2³ ≈ 0.065.
+        let r = g.occupancy_ratio();
+        assert!(r > 0.04 && r < 0.15, "ratio {r}");
+    }
+
+    #[test]
+    fn dilation_grows_but_preserves_original() {
+        let g = sphere_grid(16);
+        let d = g.dilated();
+        assert!(d.occupancy_ratio() > g.occupancy_ratio());
+        for z in 0..16 {
+            for y in 0..16 {
+                for x in 0..16 {
+                    if g.cell(x, y, z) {
+                        assert!(d.cell(x, y, z));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_density_includes_dilation() {
+        let g = OccupancyGrid::from_density(
+            Aabb::centered_cube(1.0),
+            8,
+            |p| if p.length() < 0.3 { 10.0 } else { 0.0 },
+            0.5,
+        );
+        // A point just outside the sphere but within one cell should be marked.
+        assert!(g.occupied(Vec3::new(0.4, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn out_of_range_cells_are_empty() {
+        let g = sphere_grid(8);
+        assert!(!g.cell(-1, 0, 0));
+        assert!(!g.cell(0, 8, 0));
+    }
+}

@@ -1,0 +1,295 @@
+//! The instrumented pixel-centric volume renderer.
+//!
+//! This is the paper's *baseline* rendering order (§II-D "pixel-centric
+//! rendering"): rays are processed in image order, and every processed sample
+//! triggers Indexing (occupancy lookup), Feature Gathering (encoding reads,
+//! streamed to a [`GatherSink`]) and Feature Computation (decoder MLP). The
+//! compositing math is shared with `cicero_scene::volume`, so quality is
+//! identical to rendering through [`crate::model::ModelSource`]; this path
+//! additionally produces the per-stage work counts that drive the hardware
+//! models (paper Fig. 3) and the memory traces (Fig. 4–6).
+
+use crate::model::NerfModel;
+use crate::plan::GatherSink;
+use cicero_math::{Camera, Vec3};
+use cicero_scene::ground_truth::Frame;
+use cicero_scene::volume::MarchParams;
+
+/// Rendering options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RenderOptions {
+    /// Ray-marching quadrature parameters.
+    pub march: MarchParams,
+    /// Skip samples in unoccupied space (stage I pruning). Enabled for both
+    /// pixel-centric and memory-centric paths for a fair comparison.
+    pub use_occupancy: bool,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions { march: MarchParams::default(), use_occupancy: true }
+    }
+}
+
+/// Per-stage work counters of one render pass.
+///
+/// These are the quantities the paper's motivation plots are built from: the
+/// I/G/F breakdown of Fig. 3 and the gather traffic of Fig. 4–6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RenderStats {
+    /// Rays marched (pixels processed).
+    pub rays: u64,
+    /// Candidate samples visited during Indexing (includes skipped ones).
+    pub samples_indexed: u64,
+    /// Samples that performed gathering + feature computation.
+    pub samples_processed: u64,
+    /// Individual vertex/entry feature reads during gathering.
+    pub gather_entry_reads: u64,
+    /// Bytes of feature data touched by gathering (before any cache).
+    pub gather_bytes: u64,
+    /// MAC operations spent in feature computation (decoder MLPs).
+    pub mlp_macs: u64,
+}
+
+impl RenderStats {
+    /// Accumulates another pass's counters (e.g. across frames).
+    pub fn accumulate(&mut self, other: &RenderStats) {
+        self.rays += other.rays;
+        self.samples_indexed += other.samples_indexed;
+        self.samples_processed += other.samples_processed;
+        self.gather_entry_reads += other.gather_entry_reads;
+        self.gather_bytes += other.gather_bytes;
+        self.mlp_macs += other.mlp_macs;
+    }
+
+    /// Mean processed samples per ray.
+    pub fn samples_per_ray(&self) -> f64 {
+        if self.rays == 0 {
+            0.0
+        } else {
+            self.samples_processed as f64 / self.rays as f64
+        }
+    }
+}
+
+/// Renders a full frame, returning the frame and work statistics.
+///
+/// Every processed sample's [`crate::GatherPlan`] is forwarded to `sink`.
+pub fn render_full<M: NerfModel + ?Sized, S: GatherSink>(
+    model: &M,
+    camera: &Camera,
+    opts: &RenderOptions,
+    sink: &mut S,
+) -> (Frame, RenderStats) {
+    let (w, h) = (camera.intrinsics.width, camera.intrinsics.height);
+    let mut frame = cicero_scene::ground_truth::background_frame(
+        &crate::model::ModelSource(model),
+        w,
+        h,
+    );
+    let stats = render_masked(model, camera, opts, None, &mut frame, sink);
+    (frame, stats)
+}
+
+/// Renders the pixels selected by `mask` (or all pixels when `None`) into an
+/// existing frame.
+///
+/// # Panics
+///
+/// Panics if the mask length or frame dimensions mismatch the camera.
+pub fn render_masked<M: NerfModel + ?Sized, S: GatherSink>(
+    model: &M,
+    camera: &Camera,
+    opts: &RenderOptions,
+    mask: Option<&[bool]>,
+    frame: &mut Frame,
+    sink: &mut S,
+) -> RenderStats {
+    let (w, h) = (camera.intrinsics.width, camera.intrinsics.height);
+    if let Some(m) = mask {
+        assert_eq!(m.len(), w * h, "mask must cover every pixel");
+    }
+    assert_eq!((frame.width(), frame.height()), (w, h), "frame/camera size mismatch");
+
+    let mut stats = RenderStats::default();
+    let bounds = model.bounds();
+    let decoder = model.decoder();
+    let macs_per_sample = decoder.modeled_macs_per_sample();
+    let background = model.background();
+    let mut feats: Vec<f32> = Vec::new();
+
+    for y in 0..h {
+        for x in 0..w {
+            if let Some(m) = mask {
+                if !m[y * w + x] {
+                    continue;
+                }
+            }
+            stats.rays += 1;
+            let ray_id = (y * w + x) as u32;
+            let (u, v) = (x as f32 + 0.5, y as f32 + 0.5);
+            let ray = camera.primary_ray(u, v);
+
+            let mut color = Vec3::ZERO;
+            let mut transmittance = 1.0_f32;
+            let mut depth_acc = 0.0_f32;
+            let mut opacity_acc = 0.0_f32;
+
+            if let Some((t0, t1)) = bounds.intersect(&ray) {
+                let step = opts.march.step;
+                let n = (((t1 - t0) / step).ceil() as u32).max(0);
+                for i in 0..n {
+                    let t = t0 + (i as f32 + 0.5) * step;
+                    if t >= t1 {
+                        break;
+                    }
+                    let p = ray.at(t);
+                    stats.samples_indexed += 1;
+                    if opts.use_occupancy && !model.occupancy().occupied(p) {
+                        continue;
+                    }
+                    // Stage G: gather + interpolate features.
+                    let plan = model.plan_at(p);
+                    sink.on_sample(ray_id, t, &plan);
+                    stats.samples_processed += 1;
+                    stats.gather_entry_reads += plan.entry_reads();
+                    stats.gather_bytes += plan.bytes();
+                    model.features_into(p, &mut feats);
+                    // Stage F: decode.
+                    let (sigma, radiance) = decoder.decode(&feats, ray.dir);
+                    stats.mlp_macs += macs_per_sample;
+                    if sigma <= 0.0 {
+                        continue;
+                    }
+                    let alpha = 1.0 - (-sigma * step).exp();
+                    let weight = transmittance * alpha;
+                    color += radiance * weight;
+                    depth_acc += t * weight;
+                    opacity_acc += weight;
+                    transmittance *= 1.0 - alpha;
+                    if transmittance < opts.march.early_stop {
+                        transmittance = 0.0;
+                        break;
+                    }
+                }
+            }
+
+            color += background * transmittance;
+            *frame.color.get_mut(x, y) = color;
+            *frame.depth.get_mut(x, y) = if opacity_acc >= opts.march.surface_opacity {
+                (depth_acc / opacity_acc) * camera.z_scale(u, v)
+            } else {
+                f32::INFINITY
+            };
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bake;
+    use crate::encoding::grid::GridConfig;
+    use crate::plan::NullSink;
+    use cicero_math::{metrics, Intrinsics, Pose};
+    use cicero_scene::ground_truth::render_frame;
+    use cicero_scene::library;
+
+    fn setup() -> (cicero_scene::AnalyticScene, crate::GridModel, Camera) {
+        let scene = library::scene_by_name("lego").unwrap();
+        let model = bake::bake_grid(&scene, &GridConfig { resolution: 48, ..Default::default() });
+        let cam = Camera::new(
+            Intrinsics::from_fov(48, 48, 0.9),
+            Pose::look_at(
+                cicero_math::Vec3::new(0.0, 1.2, -2.6),
+                cicero_math::Vec3::ZERO,
+                cicero_math::Vec3::Y,
+            ),
+        );
+        (scene, model, cam)
+    }
+
+    #[test]
+    fn model_render_approximates_ground_truth() {
+        let (scene, model, cam) = setup();
+        let opts = RenderOptions { march: MarchParams { step: 0.02, ..Default::default() }, use_occupancy: true };
+        let (frame, stats) = render_full(&model, &cam, &opts, &mut NullSink);
+        let gt = render_frame(&scene, &cam, &opts.march);
+        let psnr = metrics::psnr(&frame.color, &gt.color);
+        assert!(psnr > 18.0, "model PSNR vs analytic ground truth: {psnr:.2} dB");
+        assert!(stats.rays == 48 * 48);
+        assert!(stats.samples_processed > 0);
+        assert!(stats.samples_processed <= stats.samples_indexed);
+    }
+
+    #[test]
+    fn occupancy_pruning_reduces_processed_samples() {
+        let (_, model, cam) = setup();
+        let base = RenderOptions { march: MarchParams { step: 0.04, ..Default::default() }, use_occupancy: false };
+        let pruned = RenderOptions { use_occupancy: true, ..base };
+        let (_, full) = render_full(&model, &cam, &base, &mut NullSink);
+        let (_, skip) = render_full(&model, &cam, &pruned, &mut NullSink);
+        assert!(skip.samples_processed < full.samples_processed / 2,
+            "{} vs {}", skip.samples_processed, full.samples_processed);
+    }
+
+    #[test]
+    fn pruned_and_unpruned_agree_visually() {
+        let (_, model, cam) = setup();
+        let march = MarchParams { step: 0.03, ..Default::default() };
+        let (a, _) = render_full(&model, &cam, &RenderOptions { march, use_occupancy: false }, &mut NullSink);
+        let (b, _) = render_full(&model, &cam, &RenderOptions { march, use_occupancy: true }, &mut NullSink);
+        let psnr = metrics::psnr(&a.color, &b.color);
+        assert!(psnr > 30.0, "occupancy pruning changed the image: {psnr:.2} dB");
+    }
+
+    #[test]
+    fn sink_sees_every_processed_sample() {
+        let (_, model, cam) = setup();
+        let mut count = 0u64;
+        let mut bytes = 0u64;
+        let mut sink = |_r: u32, _t: f32, p: &crate::GatherPlan| {
+            count += 1;
+            bytes += p.bytes();
+        };
+        let opts = RenderOptions { march: MarchParams { step: 0.05, ..Default::default() }, use_occupancy: true };
+        let (_, stats) = render_full(&model, &cam, &opts, &mut sink);
+        assert_eq!(count, stats.samples_processed);
+        assert_eq!(bytes, stats.gather_bytes);
+    }
+
+    #[test]
+    fn masked_render_counts_only_masked_rays() {
+        let (_, model, cam) = setup();
+        let mut frame = cicero_scene::ground_truth::background_frame(
+            &crate::model::ModelSource(&model),
+            48,
+            48,
+        );
+        let mut mask = vec![false; 48 * 48];
+        for i in 0..100 {
+            mask[i * 7 % (48 * 48)] = true;
+        }
+        let expected = mask.iter().filter(|&&b| b).count() as u64;
+        let stats = render_masked(
+            &model,
+            &cam,
+            &RenderOptions::default(),
+            Some(&mask),
+            &mut frame,
+            &mut NullSink,
+        );
+        assert_eq!(stats.rays, expected);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut a = RenderStats { rays: 1, samples_indexed: 10, samples_processed: 5, gather_entry_reads: 40, gather_bytes: 960, mlp_macs: 1000 };
+        let b = a;
+        a.accumulate(&b);
+        assert_eq!(a.rays, 2);
+        assert_eq!(a.mlp_macs, 2000);
+        assert!((a.samples_per_ray() - 5.0).abs() < 1e-9);
+    }
+}

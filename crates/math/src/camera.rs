@@ -1,0 +1,212 @@
+//! Pinhole cameras: the paper's Eq. 1 (back-projection) and Eq. 3 (projection).
+
+use crate::{Pose, Ray, Vec3};
+
+/// Pinhole intrinsic parameters: focal length `f` and principal point
+/// `(cx, cy)`, in pixels, plus the image resolution.
+///
+/// These are exactly the quantities appearing in the paper's point-cloud
+/// conversion (Eq. 1) and perspective re-projection (Eq. 3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Intrinsics {
+    /// Image width in pixels.
+    pub width: usize,
+    /// Image height in pixels.
+    pub height: usize,
+    /// Focal length in pixels (square pixels: fx == fy == f).
+    pub focal: f32,
+    /// Principal point x (pixels).
+    pub cx: f32,
+    /// Principal point y (pixels).
+    pub cy: f32,
+}
+
+impl Intrinsics {
+    /// Creates intrinsics with the principal point at the image center.
+    pub fn new(width: usize, height: usize, focal: f32) -> Self {
+        Intrinsics {
+            width,
+            height,
+            focal,
+            cx: width as f32 * 0.5,
+            cy: height as f32 * 0.5,
+        }
+    }
+
+    /// Creates intrinsics from a horizontal field of view (radians).
+    ///
+    /// ```
+    /// let k = cicero_math::Intrinsics::from_fov(800, 800, std::f32::consts::FRAC_PI_2);
+    /// assert!((k.focal - 400.0).abs() < 1e-3);
+    /// ```
+    pub fn from_fov(width: usize, height: usize, fov_x: f32) -> Self {
+        let focal = width as f32 * 0.5 / (fov_x * 0.5).tan();
+        Intrinsics::new(width, height, focal)
+    }
+
+    /// Total number of pixels.
+    #[inline]
+    pub fn pixel_count(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Back-projects pixel `(u, v)` at z-depth `depth` to camera coordinates
+    /// — the paper's Eq. 1 applied to one pixel.
+    #[inline]
+    pub fn unproject(&self, u: f32, v: f32, depth: f32) -> Vec3 {
+        Vec3::new(
+            (u - self.cx) * depth / self.focal,
+            (v - self.cy) * depth / self.focal,
+            depth,
+        )
+    }
+
+    /// Projects a camera-space point to pixel coordinates and z-depth — the
+    /// paper's Eq. 3 applied to one point.
+    ///
+    /// Returns `None` for points at or behind the camera plane (`z <= 0`).
+    #[inline]
+    pub fn project(&self, p_cam: Vec3) -> Option<(f32, f32, f32)> {
+        if p_cam.z <= 1e-6 {
+            return None;
+        }
+        let u = self.focal * p_cam.x / p_cam.z + self.cx;
+        let v = self.focal * p_cam.y / p_cam.z + self.cy;
+        Some((u, v, p_cam.z))
+    }
+
+    /// Intrinsics for the same field of view at `1/factor` the resolution.
+    ///
+    /// Used by the DS-2 baseline (render at half resolution, upsample).
+    pub fn downsampled(&self, factor: usize) -> Intrinsics {
+        assert!(factor >= 1, "downsample factor must be >= 1");
+        Intrinsics {
+            width: self.width / factor,
+            height: self.height / factor,
+            focal: self.focal / factor as f32,
+            cx: self.cx / factor as f32,
+            cy: self.cy / factor as f32,
+        }
+    }
+}
+
+/// A posed pinhole camera.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Camera {
+    /// Intrinsic parameters.
+    pub intrinsics: Intrinsics,
+    /// Camera-to-world pose.
+    pub pose: Pose,
+}
+
+impl Camera {
+    /// Creates a camera from intrinsics and pose.
+    pub fn new(intrinsics: Intrinsics, pose: Pose) -> Self {
+        Camera { intrinsics, pose }
+    }
+
+    /// The world-space primary ray through pixel coordinates `(u, v)`.
+    ///
+    /// `u` and `v` are continuous pixel coordinates; pass `x + 0.5, y + 0.5`
+    /// for the center of integer pixel `(x, y)`.
+    pub fn primary_ray(&self, u: f32, v: f32) -> Ray {
+        let d_cam = Vec3::new(
+            (u - self.intrinsics.cx) / self.intrinsics.focal,
+            (v - self.intrinsics.cy) / self.intrinsics.focal,
+            1.0,
+        );
+        Ray::new(self.pose.position, self.pose.dir_to_world(d_cam))
+    }
+
+    /// Conversion factor from ray parameter `t` (world units along the unit
+    /// direction) to camera z-depth for the pixel `(u, v)`.
+    ///
+    /// The volume renderer integrates along unit-length rays but SPARW's
+    /// warping equations consume z-depth maps, so `depth = t * z_scale(u, v)`.
+    pub fn z_scale(&self, u: f32, v: f32) -> f32 {
+        let d_cam = Vec3::new(
+            (u - self.intrinsics.cx) / self.intrinsics.focal,
+            (v - self.intrinsics.cy) / self.intrinsics.focal,
+            1.0,
+        );
+        1.0 / d_cam.length()
+    }
+
+    /// Projects a world-space point to `(u, v, z-depth)`.
+    ///
+    /// Returns `None` if the point is behind the camera.
+    pub fn project_world(&self, p_world: Vec3) -> Option<(f32, f32, f32)> {
+        self.intrinsics.project(self.pose.to_camera(p_world))
+    }
+
+    /// Back-projects pixel `(u, v)` with z-depth `depth` to a world point.
+    pub fn unproject_to_world(&self, u: f32, v: f32, depth: f32) -> Vec3 {
+        self.pose.to_world(self.intrinsics.unproject(u, v, depth))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_camera() -> Camera {
+        Camera::new(
+            Intrinsics::from_fov(320, 240, 1.0),
+            Pose::look_at(Vec3::new(0.0, 0.5, -4.0), Vec3::ZERO, Vec3::Y),
+        )
+    }
+
+    #[test]
+    fn project_unproject_roundtrip() {
+        let cam = test_camera();
+        let p = Vec3::new(0.3, -0.2, 0.5);
+        let (u, v, z) = cam.project_world(p).expect("in front");
+        let back = cam.unproject_to_world(u, v, z);
+        assert!((back - p).length() < 1e-4);
+    }
+
+    #[test]
+    fn center_pixel_ray_hits_target() {
+        let cam = test_camera();
+        let ray = cam.primary_ray(cam.intrinsics.cx, cam.intrinsics.cy);
+        // The look-at target (origin) lies on the central ray.
+        let t = (Vec3::ZERO - ray.origin).length();
+        assert!((ray.at(t) - Vec3::ZERO).length() < 1e-4);
+    }
+
+    #[test]
+    fn z_scale_converts_ray_t_to_depth() {
+        let cam = test_camera();
+        let (u, v) = (37.5, 101.5);
+        let ray = cam.primary_ray(u, v);
+        let t = 3.0;
+        let world = ray.at(t);
+        let depth = cam.pose.to_camera(world).z;
+        assert!((t * cam.z_scale(u, v) - depth).abs() < 1e-4);
+    }
+
+    #[test]
+    fn behind_camera_is_rejected() {
+        let cam = test_camera();
+        // A point far behind the camera.
+        let p = cam.pose.position - cam.pose.forward() * 10.0;
+        assert!(cam.project_world(p).is_none());
+    }
+
+    #[test]
+    fn downsampled_preserves_fov() {
+        let k = Intrinsics::from_fov(800, 800, 1.2);
+        let k2 = k.downsampled(2);
+        assert_eq!(k2.width, 400);
+        // Same FoV: ratio width/focal unchanged.
+        assert!((k.width as f32 / k.focal - k2.width as f32 / k2.focal).abs() < 1e-5);
+    }
+
+    #[test]
+    fn projection_lands_in_image_for_visible_point() {
+        let cam = test_camera();
+        let (u, v, _) = cam.project_world(Vec3::ZERO).expect("visible");
+        assert!(u > 0.0 && u < 320.0);
+        assert!(v > 0.0 && v < 240.0);
+    }
+}

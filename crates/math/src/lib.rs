@@ -1,0 +1,105 @@
+//! Linear algebra, camera models, image buffers and quality metrics used across
+//! the Cicero neural-rendering workspace.
+//!
+//! This crate is the lowest layer of the reproduction of *Cicero: Addressing
+//! Algorithmic and Architectural Bottlenecks in Neural Rendering by Radiance
+//! Warping and Memory Optimizations* (ISCA 2024). It intentionally has no
+//! third-party dependencies so every higher layer (scene generation, radiance
+//! fields, memory simulators, hardware models) shares one small, well-tested
+//! vocabulary of types:
+//!
+//! - [`Vec2`], [`Vec3`], [`Vec4`], [`Mat3`], [`Mat4`], [`Quat`] — `f32` linear algebra,
+//! - [`Pose`] — rigid SE(3) camera poses with the extrapolation helpers needed by
+//!   SPARW's off-trajectory reference frames (paper Eq. 5–6),
+//! - [`Intrinsics`] / [`Camera`] — pinhole projection matching the paper's Eq. 1
+//!   (back-projection) and Eq. 3 (perspective projection),
+//! - [`Image`], [`RgbImage`], [`DepthMap`] — dense frame buffers,
+//! - [`metrics`] — PSNR / SSIM / MSE used by every quality experiment.
+//!
+//! # Example
+//!
+//! ```
+//! use cicero_math::{Camera, Intrinsics, Pose, Vec3};
+//!
+//! let cam = Camera::new(
+//!     Intrinsics::from_fov(200, 200, 60.0_f32.to_radians()),
+//!     Pose::look_at(Vec3::new(0.0, 0.0, 4.0), Vec3::ZERO, Vec3::Y),
+//! );
+//! let ray = cam.primary_ray(100.5, 100.5);
+//! assert!(ray.dir.z < 0.0); // looking toward the origin
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aabb;
+mod camera;
+mod image;
+mod mat;
+pub mod metrics;
+mod pose;
+mod quat;
+mod ray;
+mod vec;
+
+pub use aabb::Aabb;
+pub use camera::{Camera, Intrinsics};
+pub use image::{DepthMap, Image, RgbImage};
+pub use mat::{Mat3, Mat4};
+pub use pose::Pose;
+pub use quat::Quat;
+pub use ray::Ray;
+pub use vec::{Vec2, Vec3, Vec4};
+
+/// Linear interpolation between two scalars: `a` at `t == 0`, `b` at `t == 1`.
+///
+/// ```
+/// assert_eq!(cicero_math::lerp(2.0, 4.0, 0.5), 3.0);
+/// ```
+#[inline]
+pub fn lerp(a: f32, b: f32, t: f32) -> f32 {
+    a + (b - a) * t
+}
+
+/// Clamp `x` to `[lo, hi]`.
+///
+/// ```
+/// assert_eq!(cicero_math::clamp(5.0, 0.0, 1.0), 1.0);
+/// ```
+#[inline]
+pub fn clamp(x: f32, lo: f32, hi: f32) -> f32 {
+    x.max(lo).min(hi)
+}
+
+/// Smooth Hermite interpolation between 0 and 1 over the edge interval.
+///
+/// Returns 0 for `x <= e0`, 1 for `x >= e1`, and `3t² − 2t³` in between. Used by
+/// the procedural scenes to convert signed distances into soft volume densities.
+#[inline]
+pub fn smoothstep(e0: f32, e1: f32, x: f32) -> f32 {
+    let t = clamp((x - e0) / (e1 - e0), 0.0, 1.0);
+    t * t * (3.0 - 2.0 * t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lerp_endpoints() {
+        assert_eq!(lerp(1.0, 9.0, 0.0), 1.0);
+        assert_eq!(lerp(1.0, 9.0, 1.0), 9.0);
+    }
+
+    #[test]
+    fn smoothstep_is_monotone_and_clamped() {
+        assert_eq!(smoothstep(0.0, 1.0, -1.0), 0.0);
+        assert_eq!(smoothstep(0.0, 1.0, 2.0), 1.0);
+        let mut prev = -1.0;
+        for i in 0..=100 {
+            let v = smoothstep(0.0, 1.0, i as f32 / 100.0);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Image quality metrics: MSE, PSNR and SSIM.
+//!
+//! Every quality experiment in the paper (Fig. 16, 22, 25, 26) reports Peak
+//! Signal-to-Noise Ratio; SSIM is provided as a secondary check. All metrics
+//! operate on linear-RGB [`RgbImage`]s clamped to `[0, 1]`.
+
+use crate::{RgbImage, Vec3};
+
+/// Mean squared error between two images over all channels.
+///
+/// # Panics
+///
+/// Panics if the images have different dimensions.
+pub fn mse(a: &RgbImage, b: &RgbImage) -> f64 {
+    assert_eq!(
+        (a.width(), a.height()),
+        (b.width(), b.height()),
+        "mse requires equal image dimensions"
+    );
+    let mut acc = 0.0_f64;
+    for (pa, pb) in a.pixels().iter().zip(b.pixels()) {
+        let d = clamp01(*pa) - clamp01(*pb);
+        acc += (d.x as f64).powi(2) + (d.y as f64).powi(2) + (d.z as f64).powi(2);
+    }
+    acc / (a.pixel_count() as f64 * 3.0)
+}
+
+/// Peak signal-to-noise ratio in dB (peak = 1.0).
+///
+/// Identical images return `f64::INFINITY`.
+///
+/// # Panics
+///
+/// Panics if the images have different dimensions.
+pub fn psnr(a: &RgbImage, b: &RgbImage) -> f64 {
+    let e = mse(a, b);
+    if e <= 0.0 {
+        f64::INFINITY
+    } else {
+        -10.0 * e.log10()
+    }
+}
+
+/// Structural similarity (mean SSIM over 8×8 windows, luma only).
+///
+/// Returns a value in `[-1, 1]`; 1.0 means identical.
+///
+/// # Panics
+///
+/// Panics if the images have different dimensions.
+pub fn ssim(a: &RgbImage, b: &RgbImage) -> f64 {
+    assert_eq!((a.width(), a.height()), (b.width(), b.height()));
+    const WIN: usize = 8;
+    const C1: f64 = 0.01 * 0.01;
+    const C2: f64 = 0.03 * 0.03;
+    let luma = |p: Vec3| -> f64 {
+        let p = clamp01(p);
+        0.2126 * p.x as f64 + 0.7152 * p.y as f64 + 0.0722 * p.z as f64
+    };
+    let mut total = 0.0;
+    let mut windows = 0usize;
+    let (w, h) = (a.width(), a.height());
+    for wy in (0..h).step_by(WIN) {
+        for wx in (0..w).step_by(WIN) {
+            let (mut ma, mut mb, mut va, mut vb, mut cov, mut n) = (0.0, 0.0, 0.0, 0.0, 0.0, 0.0);
+            for y in wy..(wy + WIN).min(h) {
+                for x in wx..(wx + WIN).min(w) {
+                    let la = luma(*a.get(x, y));
+                    let lb = luma(*b.get(x, y));
+                    ma += la;
+                    mb += lb;
+                    va += la * la;
+                    vb += lb * lb;
+                    cov += la * lb;
+                    n += 1.0;
+                }
+            }
+            ma /= n;
+            mb /= n;
+            va = (va / n - ma * ma).max(0.0);
+            vb = (vb / n - mb * mb).max(0.0);
+            cov = cov / n - ma * mb;
+            let s = ((2.0 * ma * mb + C1) * (2.0 * cov + C2))
+                / ((ma * ma + mb * mb + C1) * (va + vb + C2));
+            total += s;
+            windows += 1;
+        }
+    }
+    total / windows as f64
+}
+
+fn clamp01(p: Vec3) -> Vec3 {
+    Vec3::new(p.x.clamp(0.0, 1.0), p.y.clamp(0.0, 1.0), p.z.clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Image;
+
+    fn gradient(w: usize, h: usize) -> RgbImage {
+        Image::from_fn(w, h, |x, y| {
+            Vec3::new(x as f32 / w as f32, y as f32 / h as f32, 0.5)
+        })
+    }
+
+    #[test]
+    fn identical_images_are_perfect() {
+        let img = gradient(16, 16);
+        assert_eq!(psnr(&img, &img), f64::INFINITY);
+        assert!((ssim(&img, &img) - 1.0).abs() < 1e-9);
+        assert_eq!(mse(&img, &img), 0.0);
+    }
+
+    #[test]
+    fn known_mse_gives_known_psnr() {
+        let a = Image::new(8, 8, Vec3::ZERO);
+        let b = Image::new(8, 8, Vec3::splat(0.1));
+        // MSE = 0.01, PSNR = 20 dB.
+        assert!((mse(&a, &b) - 0.01).abs() < 1e-9);
+        assert!((psnr(&a, &b) - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn noisier_image_scores_lower() {
+        let a = gradient(32, 32);
+        let mut b = a.clone();
+        let mut c = a.clone();
+        for (i, p) in b.pixels_mut().iter_mut().enumerate() {
+            p.x += if i % 2 == 0 { 0.02 } else { -0.02 };
+        }
+        for (i, p) in c.pixels_mut().iter_mut().enumerate() {
+            p.x += if i % 2 == 0 { 0.2 } else { -0.2 };
+        }
+        assert!(psnr(&a, &b) > psnr(&a, &c));
+        assert!(ssim(&a, &b) > ssim(&a, &c));
+    }
+
+    #[test]
+    fn values_outside_unit_range_are_clamped() {
+        let a = Image::new(4, 4, Vec3::splat(2.0)); // clamps to 1.0
+        let b = Image::new(4, 4, Vec3::ONE);
+        assert_eq!(psnr(&a, &b), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimension_mismatch_panics() {
+        let a = RgbImage::black(4, 4);
+        let b = RgbImage::black(5, 4);
+        let _ = mse(&a, &b);
+    }
+}

@@ -1,0 +1,51 @@
+//! Rays and ray-segment utilities.
+
+use crate::Vec3;
+
+/// A half-line `r(t) = origin + t * dir`.
+///
+/// `dir` is kept unit length by construction through [`Ray::new`]; NeRF sample
+/// positions along the ray are then `origin + t_i * dir` with `t_i` in world
+/// units, which keeps the paper's ray-marching step size physically meaningful.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ray {
+    /// Ray origin (camera center for primary rays).
+    pub origin: Vec3,
+    /// Unit-length direction.
+    pub dir: Vec3,
+}
+
+impl Ray {
+    /// Creates a ray, normalizing `dir`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `dir` is (near) zero length.
+    #[inline]
+    pub fn new(origin: Vec3, dir: Vec3) -> Self {
+        Ray { origin, dir: dir.normalized() }
+    }
+
+    /// The point at parameter `t`.
+    #[inline]
+    pub fn at(&self, t: f32) -> Vec3 {
+        self.origin + self.dir * t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_walks_along_direction() {
+        let r = Ray::new(Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 2.0, 0.0));
+        assert!((r.at(3.0) - Vec3::new(1.0, 3.0, 0.0)).length() < 1e-6);
+    }
+
+    #[test]
+    fn direction_is_normalized() {
+        let r = Ray::new(Vec3::ZERO, Vec3::new(3.0, 4.0, 0.0));
+        assert!((r.dir.length() - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,279 @@
+//! On-chip buffer models: set-associative LRU and the Belady oracle.
+//!
+//! The paper's Fig. 5 reports feature-gathering miss rates "assuming a 2 MB
+//! on-chip buffer with oracle replacement"; [`belady_misses`] implements that
+//! oracle exactly, and [`LruCache`] provides the realizable policy used by
+//! the baseline GPU model.
+
+use std::collections::HashMap;
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Miss rate in `[0, 1]`.
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// A set-associative LRU cache over byte addresses.
+#[derive(Debug, Clone)]
+pub struct LruCache {
+    line_bytes: u64,
+    sets: usize,
+    ways: usize,
+    /// `tags[set * ways + way]`; `u64::MAX` = invalid.
+    tags: Vec<u64>,
+    /// Monotonic timestamps for LRU ordering.
+    stamps: Vec<u64>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl LruCache {
+    /// Creates a cache of `capacity_bytes` with the given line size and
+    /// associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacity is not divisible into at least one set of `ways`
+    /// lines or parameters are not powers of two.
+    pub fn new(capacity_bytes: u64, line_bytes: u64, ways: usize) -> Self {
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        let lines = capacity_bytes / line_bytes;
+        assert!(lines >= ways as u64 && ways > 0, "capacity too small for associativity");
+        let sets = (lines / ways as u64) as usize;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        LruCache {
+            line_bytes,
+            sets,
+            ways,
+            tags: vec![u64::MAX; sets * ways],
+            stamps: vec![0; sets * ways],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Accesses one byte address; returns `true` on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr / self.line_bytes;
+        let set = (line % self.sets as u64) as usize;
+        self.clock += 1;
+        let base = set * self.ways;
+        // Hit?
+        for w in 0..self.ways {
+            if self.tags[base + w] == line {
+                self.stamps[base + w] = self.clock;
+                self.stats.hits += 1;
+                return true;
+            }
+        }
+        // Miss: evict LRU way.
+        let mut victim = 0;
+        let mut oldest = u64::MAX;
+        for w in 0..self.ways {
+            if self.tags[base + w] == u64::MAX {
+                victim = w;
+                break;
+            }
+            if self.stamps[base + w] < oldest {
+                oldest = self.stamps[base + w];
+                victim = w;
+            }
+        }
+        self.tags[base + victim] = line;
+        self.stamps[base + victim] = self.clock;
+        self.stats.misses += 1;
+        false
+    }
+
+    /// Accesses a byte range, touching every covered line. Returns the number
+    /// of missed lines.
+    pub fn access_range(&mut self, addr: u64, bytes: u32) -> u32 {
+        let first = addr / self.line_bytes;
+        let last = (addr + bytes.max(1) as u64 - 1) / self.line_bytes;
+        let mut missed = 0;
+        for line in first..=last {
+            if !self.access(line * self.line_bytes) {
+                missed += 1;
+            }
+        }
+        missed
+    }
+
+    /// Cache line size in bytes.
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets contents and counters.
+    pub fn reset(&mut self) {
+        self.tags.fill(u64::MAX);
+        self.stamps.fill(0);
+        self.clock = 0;
+        self.stats = CacheStats::default();
+    }
+}
+
+/// Counts misses of a fully-associative cache with Belady's optimal (oracle)
+/// replacement over a trace of line ids.
+///
+/// This is the paper's Fig. 5 setup: the best any replacement policy could do
+/// with the given capacity, so measured miss rates are a *lower bound* on
+/// real-cache behavior.
+///
+/// The classic two-pass algorithm: precompute each access's next use, keep the
+/// resident set keyed by next-use time, evict the line used farthest in the
+/// future.
+pub fn belady_misses(trace: &[u64], capacity_lines: usize) -> CacheStats {
+    use std::collections::BTreeSet;
+    assert!(capacity_lines > 0, "cache must hold at least one line");
+
+    // next_use[i] = index of the next access to the same line, or usize::MAX.
+    let mut next_use = vec![usize::MAX; trace.len()];
+    let mut last_seen: HashMap<u64, usize> = HashMap::new();
+    for (i, &line) in trace.iter().enumerate().rev() {
+        if let Some(&j) = last_seen.get(&line) {
+            next_use[i] = j;
+        }
+        last_seen.insert(line, i);
+    }
+
+    let mut stats = CacheStats::default();
+    // Resident lines: (next_use_index, line) ordered set + line → next_use map.
+    let mut resident: HashMap<u64, usize> = HashMap::new();
+    let mut order: BTreeSet<(usize, u64)> = BTreeSet::new();
+
+    for (i, &line) in trace.iter().enumerate() {
+        let nu = next_use[i];
+        if let Some(&old_nu) = resident.get(&line) {
+            stats.hits += 1;
+            order.remove(&(old_nu, line));
+            resident.insert(line, nu);
+            order.insert((nu, line));
+            continue;
+        }
+        stats.misses += 1;
+        if resident.len() >= capacity_lines {
+            // Evict the line whose next use is farthest away.
+            let &(far_nu, far_line) = order.iter().next_back().unwrap();
+            // Never-used-again residents (usize::MAX) evict first by ordering.
+            order.remove(&(far_nu, far_line));
+            resident.remove(&far_line);
+        }
+        resident.insert(line, nu);
+        order.insert((nu, line));
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_hits_on_repeat() {
+        let mut c = LruCache::new(1024, 64, 4);
+        assert!(!c.access(0));
+        assert!(c.access(32)); // same line
+        assert!(c.access(0));
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // Direct-mapped-ish: 2 sets × 2 ways of 64 B lines = 256 B.
+        let mut c = LruCache::new(256, 64, 2);
+        // Three lines mapping to set 0: lines 0, 2, 4.
+        c.access(0);
+        c.access(2 * 64);
+        c.access(0); // refresh line 0
+        c.access(4 * 64); // evicts line 2 (LRU)
+        assert!(c.access(0), "line 0 must survive");
+        assert!(!c.access(2 * 64), "line 2 was evicted");
+    }
+
+    #[test]
+    fn working_set_within_capacity_has_no_capacity_misses() {
+        let mut c = LruCache::new(64 * 1024, 64, 16);
+        for round in 0..4 {
+            for line in 0..512u64 {
+                // 512 × 64 B = 32 KB working set in a 64 KB cache.
+                let hit = c.access(line * 64);
+                if round > 0 {
+                    assert!(hit, "round {round} line {line} should hit");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn access_range_touches_every_line() {
+        let mut c = LruCache::new(4096, 64, 4);
+        let missed = c.access_range(60, 200); // spans lines 0..=4
+        assert_eq!(missed, 5);
+        assert_eq!(c.access_range(60, 200), 0);
+    }
+
+    #[test]
+    fn belady_sequence_with_reuse() {
+        // Capacity 2: A B C A B — OPT keeps A and B, evicting C when needed.
+        // Accesses: A(miss) B(miss) C(miss, evict ...), A, B.
+        let trace = [1, 2, 3, 1, 2];
+        let s = belady_misses(&trace, 2);
+        // OPT: miss A, miss B, miss C (evict whichever of A/B is used later →
+        // evict B? B used at index 4, A at 3, C never again... evict C's slot
+        // choice: C replaces the farthest-future line = B (used at 4) vs A
+        // (used at 3): evicts B. Then A hits, B misses.
+        assert_eq!(s.misses, 4);
+        assert_eq!(s.hits, 1);
+    }
+
+    #[test]
+    fn belady_beats_or_equals_lru() {
+        // Cyclic pattern of 5 lines with capacity 4 — LRU worst case.
+        let trace: Vec<u64> = (0..50).map(|i| i % 5).collect();
+        let opt = belady_misses(&trace, 4);
+        let mut lru = LruCache::new(4 * 64, 64, 4);
+        for &l in &trace {
+            lru.access(l * 64);
+        }
+        assert!(opt.misses <= lru.stats().misses);
+        assert!(opt.miss_rate() < 1.0);
+        // LRU thrashes to 100% on cyclic overflow.
+        assert_eq!(lru.stats().miss_rate(), 1.0);
+    }
+
+    #[test]
+    fn belady_perfect_within_capacity() {
+        let trace: Vec<u64> = (0..100).map(|i| i % 8).collect();
+        let s = belady_misses(&trace, 8);
+        assert_eq!(s.misses, 8, "only cold misses");
+    }
+
+    #[test]
+    fn miss_rate_bounds() {
+        let s = CacheStats { hits: 3, misses: 1 };
+        assert!((s.miss_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(CacheStats::default().miss_rate(), 0.0);
+    }
+}

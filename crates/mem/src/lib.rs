@@ -1,0 +1,34 @@
+//! Memory-system substrate for the Cicero reproduction.
+//!
+//! The paper's motivation (§II-D) and both memory optimizations (§IV) are
+//! statements about memory behavior: non-streaming DRAM accesses, cache miss
+//! rates under an oracle policy, SRAM bank conflicts, and the MVoxel/Ray-Index
+//! -Table machinery that converts pixel-centric gathering into fully-streaming
+//! DRAM traffic. This crate provides those pieces as standalone, heavily
+//! tested simulators:
+//!
+//! - [`AddressMap`] — lays model storage regions out in a flat DRAM image,
+//! - [`DramSim`] — classifies accesses into streaming vs random bursts and
+//!   accounts bytes, time and energy (paper's 3:1 random:streaming ratio),
+//! - [`LruCache`] and [`belady_misses`] — the 2 MB on-chip buffer of Fig. 5,
+//! - [`BankSim`] — SRAM bank-conflict simulation under the feature-major
+//!   layout and the conflict-free channel-major layout of Fig. 13,
+//! - [`MVoxelPartition`] and [`RayIndexTable`] — §IV-A's memory-centric
+//!   reordering structures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addr;
+mod bank;
+mod cache;
+mod dram;
+mod mvoxel;
+mod rit;
+
+pub use addr::AddressMap;
+pub use bank::{BankSim, BankSimConfig, BankStats, FeatureLayout};
+pub use cache::{belady_misses, CacheStats, LruCache};
+pub use dram::{DramConfig, DramSim, DramStats};
+pub use mvoxel::{MVoxelConfig, MVoxelPartition};
+pub use rit::{RayIndexTable, RitConfig, RitEntry, SampleRef};

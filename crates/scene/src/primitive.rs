@@ -1,0 +1,241 @@
+//! Signed-distance primitives and scene objects.
+
+use crate::Material;
+use cicero_math::{Aabb, Vec3};
+
+/// A signed-distance shape centered at the origin.
+///
+/// Negative distances are inside the shape. Scenes position shapes through the
+/// owning [`Object`]'s translation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Shape {
+    /// A sphere of the given radius.
+    Sphere {
+        /// Sphere radius.
+        radius: f32,
+    },
+    /// An axis-aligned box with the given half extents.
+    Box {
+        /// Half extents along each axis.
+        half: Vec3,
+    },
+    /// A torus in the XZ plane.
+    Torus {
+        /// Distance from center to tube center.
+        major: f32,
+        /// Tube radius.
+        minor: f32,
+    },
+    /// A capped vertical (Y-axis) cylinder.
+    Cylinder {
+        /// Cylinder radius.
+        radius: f32,
+        /// Half height.
+        half_height: f32,
+    },
+    /// A box with rounded edges.
+    RoundedBox {
+        /// Half extents before rounding.
+        half: Vec3,
+        /// Rounding radius.
+        round: f32,
+    },
+    /// A capsule between two points (in object space).
+    Capsule {
+        /// First endpoint.
+        a: Vec3,
+        /// Second endpoint.
+        b: Vec3,
+        /// Capsule radius.
+        radius: f32,
+    },
+}
+
+impl Shape {
+    /// Signed distance from point `p` (object space) to the shape surface.
+    pub fn sdf(&self, p: Vec3) -> f32 {
+        match *self {
+            Shape::Sphere { radius } => p.length() - radius,
+            Shape::Box { half } => {
+                let q = p.abs() - half;
+                q.max(Vec3::ZERO).length() + q.max_element().min(0.0)
+            }
+            Shape::Torus { major, minor } => {
+                let q = Vec3::new((p.x * p.x + p.z * p.z).sqrt() - major, p.y, 0.0);
+                q.length() - minor
+            }
+            Shape::Cylinder { radius, half_height } => {
+                let d_radial = (p.x * p.x + p.z * p.z).sqrt() - radius;
+                let d_axial = p.y.abs() - half_height;
+                let outside =
+                    Vec3::new(d_radial.max(0.0), d_axial.max(0.0), 0.0).length();
+                outside + d_radial.max(d_axial).min(0.0)
+            }
+            Shape::RoundedBox { half, round } => {
+                let q = p.abs() - half;
+                q.max(Vec3::ZERO).length() + q.max_element().min(0.0) - round
+            }
+            Shape::Capsule { a, b, radius } => {
+                let pa = p - a;
+                let ba = b - a;
+                let h = (pa.dot(ba) / ba.length_squared()).clamp(0.0, 1.0);
+                (pa - ba * h).length() - radius
+            }
+        }
+    }
+
+    /// A conservative axis-aligned bound of the shape (object space).
+    pub fn bounds(&self) -> Aabb {
+        match *self {
+            Shape::Sphere { radius } => Aabb::centered_cube(radius),
+            Shape::Box { half } => Aabb::new(-half, half),
+            Shape::Torus { major, minor } => {
+                let r = major + minor;
+                Aabb::new(Vec3::new(-r, -minor, -r), Vec3::new(r, minor, r))
+            }
+            Shape::Cylinder { radius, half_height } => Aabb::new(
+                Vec3::new(-radius, -half_height, -radius),
+                Vec3::new(radius, half_height, radius),
+            ),
+            Shape::RoundedBox { half, round } => {
+                Aabb::new(-(half + Vec3::splat(round)), half + Vec3::splat(round))
+            }
+            Shape::Capsule { a, b, radius } => {
+                let r = Vec3::splat(radius);
+                Aabb::new(a.min(b) - r, a.max(b) + r)
+            }
+        }
+    }
+}
+
+/// A positioned, textured shape inside an [`crate::AnalyticScene`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Object {
+    /// Shape geometry.
+    pub shape: Shape,
+    /// World-space translation of the shape center.
+    pub position: Vec3,
+    /// Surface material.
+    pub material: Material,
+}
+
+impl Object {
+    /// Creates an object at `position`.
+    pub fn new(shape: Shape, position: Vec3, material: Material) -> Self {
+        Object { shape, position, material }
+    }
+
+    /// Signed distance from world point `p`.
+    #[inline]
+    pub fn sdf(&self, p: Vec3) -> f32 {
+        self.shape.sdf(p - self.position)
+    }
+
+    /// World-space bounding box.
+    pub fn bounds(&self) -> Aabb {
+        let b = self.shape.bounds();
+        Aabb::new(b.min + self.position, b.max + self.position)
+    }
+
+    /// Outward surface normal via central differences of the SDF.
+    pub fn normal(&self, p: Vec3) -> Vec3 {
+        const EPS: f32 = 1e-3;
+        let d = |q: Vec3| self.sdf(q);
+        let g = Vec3::new(
+            d(p + Vec3::X * EPS) - d(p - Vec3::X * EPS),
+            d(p + Vec3::Y * EPS) - d(p - Vec3::Y * EPS),
+            d(p + Vec3::Z * EPS) - d(p - Vec3::Z * EPS),
+        );
+        if g.length_squared() < 1e-20 {
+            Vec3::Y
+        } else {
+            g.normalized()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sphere_sdf_signs() {
+        let s = Shape::Sphere { radius: 1.0 };
+        assert!(s.sdf(Vec3::ZERO) < 0.0);
+        assert!((s.sdf(Vec3::X) - 0.0).abs() < 1e-6);
+        assert!(s.sdf(Vec3::X * 2.0) > 0.0);
+    }
+
+    #[test]
+    fn box_sdf_on_faces() {
+        let b = Shape::Box { half: Vec3::new(1.0, 2.0, 3.0) };
+        assert!((b.sdf(Vec3::new(1.0, 0.0, 0.0))).abs() < 1e-6);
+        assert!((b.sdf(Vec3::new(2.0, 0.0, 0.0)) - 1.0).abs() < 1e-6);
+        assert!(b.sdf(Vec3::ZERO) < 0.0);
+    }
+
+    #[test]
+    fn torus_sdf_center_of_tube() {
+        let t = Shape::Torus { major: 2.0, minor: 0.5 };
+        // The circle x²+z²=4, y=0 is the tube center: distance = -minor.
+        assert!((t.sdf(Vec3::new(2.0, 0.0, 0.0)) + 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cylinder_contains_axis() {
+        let c = Shape::Cylinder { radius: 0.5, half_height: 1.0 };
+        assert!(c.sdf(Vec3::ZERO) < 0.0);
+        assert!(c.sdf(Vec3::new(0.0, 1.5, 0.0)) > 0.0);
+        assert!(c.sdf(Vec3::new(1.0, 0.0, 0.0)) > 0.0);
+    }
+
+    #[test]
+    fn capsule_distance_from_segment() {
+        let c = Shape::Capsule { a: Vec3::ZERO, b: Vec3::Y, radius: 0.25 };
+        assert!((c.sdf(Vec3::new(0.5, 0.5, 0.0)) - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bounds_contain_surface_points() {
+        let shapes = [
+            Shape::Sphere { radius: 0.7 },
+            Shape::Box { half: Vec3::new(0.3, 0.5, 0.2) },
+            Shape::Torus { major: 0.6, minor: 0.2 },
+            Shape::Cylinder { radius: 0.4, half_height: 0.8 },
+            Shape::RoundedBox { half: Vec3::splat(0.4), round: 0.1 },
+        ];
+        for s in shapes {
+            let b = s.bounds();
+            // Sample a coarse grid; any point with sdf <= 0 must be inside bounds.
+            for i in 0..512 {
+                let p = Vec3::new(
+                    ((i % 8) as f32 / 7.0 - 0.5) * 3.0,
+                    (((i / 8) % 8) as f32 / 7.0 - 0.5) * 3.0,
+                    ((i / 64) as f32 / 7.0 - 0.5) * 3.0,
+                );
+                if s.sdf(p) <= 0.0 {
+                    assert!(b.contains(p), "{s:?} point {p} escapes bounds");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn object_translation_shifts_sdf() {
+        let o = Object::new(
+            Shape::Sphere { radius: 1.0 },
+            Vec3::new(5.0, 0.0, 0.0),
+            Material::default(),
+        );
+        assert!(o.sdf(Vec3::new(5.0, 0.0, 0.0)) < 0.0);
+        assert!(o.sdf(Vec3::ZERO) > 0.0);
+        assert!(o.bounds().contains(Vec3::new(5.5, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn normal_points_outward_on_sphere() {
+        let o = Object::new(Shape::Sphere { radius: 1.0 }, Vec3::ZERO, Material::default());
+        let n = o.normal(Vec3::new(0.0, 1.0, 0.0));
+        assert!((n - Vec3::Y).length() < 1e-2);
+    }
+}

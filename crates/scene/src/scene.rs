@@ -1,0 +1,399 @@
+//! Analytic scenes: the ground-truth density and radiance field.
+
+use crate::{Material, Object, Shape, Texture};
+use cicero_math::{smoothstep, Aabb, Vec3};
+
+/// A continuous volumetric field that can be volume rendered.
+///
+/// Implemented by [`AnalyticScene`] (ground truth) and by every learned
+/// radiance field in `cicero-field`, so the shared integrator in
+/// [`crate::volume`] renders both identically.
+pub trait RadianceSource {
+    /// Volume density σ at world position `p` (1/world-unit).
+    fn density_at(&self, p: Vec3) -> f32;
+
+    /// Emitted/reflected radiance at `p` toward direction `dir`.
+    ///
+    /// `dir` is the *ray propagation* direction (camera → scene), unit length.
+    fn radiance_at(&self, p: Vec3, dir: Vec3) -> Vec3;
+
+    /// Bounding box outside which the density is zero.
+    fn bounds(&self) -> Aabb;
+
+    /// Background radiance for rays that exit the volume un-absorbed.
+    fn background(&self) -> Vec3 {
+        Vec3::ZERO
+    }
+}
+
+/// An analytic scene: SDF objects, a light, and a soft density shell.
+///
+/// Density is derived from the union SDF: `σ(p) = σ_max · smoothstep(0, w, -d)`
+/// where `d` is the signed distance and `w` the shell width, so surfaces are
+/// `w`-thick soft shells (exactly the structure grid NeRFs learn). Radiance is
+/// a Blinn-Phong shading of the nearest object's material under a directional
+/// light plus ambient — view-*independent* unless the material has a specular
+/// lobe, matching the paper's diffuse/non-diffuse distinction.
+#[derive(Debug, Clone)]
+pub struct AnalyticScene {
+    /// Scene name (e.g. `"lego"`).
+    pub name: String,
+    objects: Vec<Object>,
+    bounds: Aabb,
+    background: Vec3,
+    /// Peak density inside objects.
+    pub sigma_max: f32,
+    /// Soft-shell width in world units.
+    pub shell_width: f32,
+    /// Directional light direction (pointing *from* the light).
+    pub light_dir: Vec3,
+    /// Directional light intensity.
+    pub light_intensity: f32,
+    /// Ambient light intensity.
+    pub ambient: f32,
+}
+
+impl AnalyticScene {
+    /// Objects of the scene.
+    pub fn objects(&self) -> &[Object] {
+        &self.objects
+    }
+
+    /// The union signed distance and the index of the nearest object.
+    ///
+    /// Returns `(f32::INFINITY, None)` for an empty scene.
+    pub fn sdf(&self, p: Vec3) -> (f32, Option<usize>) {
+        let mut best = f32::INFINITY;
+        let mut idx = None;
+        for (i, o) in self.objects.iter().enumerate() {
+            let d = o.sdf(p);
+            if d < best {
+                best = d;
+                idx = Some(i);
+            }
+        }
+        (best, idx)
+    }
+
+    /// `true` if the scene contains any material with a specular lobe.
+    pub fn has_specular(&self) -> bool {
+        self.objects.iter().any(|o| o.material.specular > 0.0)
+    }
+
+    /// View-independent radiance: emissive + ambient + Lambertian diffuse.
+    ///
+    /// This is the part of the light field that warping can reuse exactly and
+    /// that baked encodings store per vertex.
+    pub fn diffuse_radiance_at(&self, p: Vec3) -> Vec3 {
+        match self.sdf(p).1 {
+            Some(i) => {
+                let obj = &self.objects[i];
+                let m = &obj.material;
+                let albedo = m.albedo.sample(p);
+                let n = obj.normal(p);
+                let l = -self.light_dir.normalized();
+                let diffuse = n.dot(l).max(0.0) * self.light_intensity;
+                m.emissive + albedo * (self.ambient + diffuse)
+            }
+            None => self.background,
+        }
+    }
+
+    /// The Phong specular lobe at `p`, folded for exact feature-space decode.
+    ///
+    /// Returns `q` such that the specular radiance toward ray direction `d`
+    /// is `max(0, q · (−d))^m` with `m = shininess`: `q` is the light's
+    /// mirror-reflection direction scaled by `(specular · intensity)^(1/m)`.
+    /// Returns `None` for diffuse points.
+    pub fn specular_lobe_at(&self, p: Vec3) -> Option<(Vec3, f32)> {
+        let i = self.sdf(p).1?;
+        let obj = &self.objects[i];
+        let m = &obj.material;
+        if m.specular <= 0.0 {
+            return None;
+        }
+        let n = obj.normal(p);
+        let l = -self.light_dir.normalized();
+        let refl = (n * (2.0 * n.dot(l)) - l).normalized();
+        let strength = m.specular * self.light_intensity;
+        Some((refl * strength.powf(1.0 / m.shininess), m.shininess))
+    }
+
+    /// The largest shininess exponent among specular materials (1.0 if none).
+    ///
+    /// Baked models decode all specular lobes with this single exponent; the
+    /// approximation error for materials with other exponents plays the role
+    /// of a trained model's residual error.
+    pub fn dominant_shininess(&self) -> f32 {
+        self.objects
+            .iter()
+            .filter(|o| o.material.specular > 0.0)
+            .map(|o| o.material.shininess)
+            .fold(1.0, f32::max)
+    }
+
+    fn shade(&self, p: Vec3, view_dir: Vec3, obj: &Object) -> Vec3 {
+        let m = &obj.material;
+        let albedo = m.albedo.sample(p);
+        let n = obj.normal(p);
+        let l = -self.light_dir.normalized(); // toward the light
+        let diffuse = n.dot(l).max(0.0) * self.light_intensity;
+        let mut color = m.emissive + albedo * (self.ambient + diffuse);
+        if m.specular > 0.0 {
+            // Phong reflection term; `view_dir` points into the scene so the
+            // eye vector is `-view_dir`.
+            let v = -view_dir;
+            let refl = (n * (2.0 * n.dot(l)) - l).normalized();
+            let spec = refl.dot(v).max(0.0).powf(m.shininess) * m.specular * self.light_intensity;
+            color += Vec3::splat(spec);
+        }
+        color
+    }
+}
+
+impl RadianceSource for AnalyticScene {
+    fn density_at(&self, p: Vec3) -> f32 {
+        if !self.bounds.contains(p) {
+            return 0.0;
+        }
+        let (d, _) = self.sdf(p);
+        // Ramp from 0 at the surface to σ_max at depth `shell_width` inside.
+        self.sigma_max * smoothstep(0.0, 1.0, -d / self.shell_width)
+    }
+
+    fn radiance_at(&self, p: Vec3, dir: Vec3) -> Vec3 {
+        match self.sdf(p).1 {
+            Some(i) => self.shade(p, dir, &self.objects[i]),
+            None => self.background,
+        }
+    }
+
+    fn bounds(&self) -> Aabb {
+        self.bounds
+    }
+
+    fn background(&self) -> Vec3 {
+        self.background
+    }
+}
+
+/// Builder for [`AnalyticScene`].
+///
+/// ```
+/// use cicero_scene::{SceneBuilder, Shape, Material};
+/// use cicero_math::Vec3;
+///
+/// let scene = SceneBuilder::new("demo")
+///     .object(Shape::Sphere { radius: 0.5 }, Vec3::ZERO, Material::solid(Vec3::ONE))
+///     .build();
+/// assert_eq!(scene.objects().len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SceneBuilder {
+    name: String,
+    objects: Vec<Object>,
+    background: Vec3,
+    sigma_max: f32,
+    shell_width: f32,
+    light_dir: Vec3,
+    light_intensity: f32,
+    ambient: f32,
+    explicit_bounds: Option<Aabb>,
+}
+
+impl SceneBuilder {
+    /// Starts a new scene with sensible defaults.
+    pub fn new(name: impl Into<String>) -> Self {
+        SceneBuilder {
+            name: name.into(),
+            objects: Vec::new(),
+            background: Vec3::splat(0.02),
+            sigma_max: 90.0,
+            shell_width: 0.08,
+            light_dir: Vec3::new(-0.5, -1.0, -0.3),
+            light_intensity: 0.8,
+            ambient: 0.25,
+            explicit_bounds: None,
+        }
+    }
+
+    /// Adds an object.
+    pub fn object(mut self, shape: Shape, position: Vec3, material: Material) -> Self {
+        self.objects.push(Object::new(shape, position, material));
+        self
+    }
+
+    /// Sets the background radiance.
+    pub fn background(mut self, color: Vec3) -> Self {
+        self.background = color;
+        self
+    }
+
+    /// Sets peak density and shell width.
+    pub fn density(mut self, sigma_max: f32, shell_width: f32) -> Self {
+        assert!(sigma_max > 0.0 && shell_width > 0.0);
+        self.sigma_max = sigma_max;
+        self.shell_width = shell_width;
+        self
+    }
+
+    /// Sets the directional light.
+    pub fn light(mut self, dir: Vec3, intensity: f32, ambient: f32) -> Self {
+        self.light_dir = dir;
+        self.light_intensity = intensity;
+        self.ambient = ambient;
+        self
+    }
+
+    /// Overrides the automatic bounding box.
+    pub fn bounds(mut self, bounds: Aabb) -> Self {
+        self.explicit_bounds = Some(bounds);
+        self
+    }
+
+    /// Finishes the scene.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scene has no objects and no explicit bounds.
+    pub fn build(self) -> AnalyticScene {
+        let bounds = self.explicit_bounds.unwrap_or_else(|| {
+            assert!(!self.objects.is_empty(), "scene needs objects or explicit bounds");
+            let pad = Vec3::splat(self.shell_width * 2.0);
+            let mut min = Vec3::splat(f32::INFINITY);
+            let mut max = Vec3::splat(f32::NEG_INFINITY);
+            for o in &self.objects {
+                let b = o.bounds();
+                min = min.min(b.min);
+                max = max.max(b.max);
+            }
+            Aabb::new(min - pad, max + pad)
+        });
+        AnalyticScene {
+            name: self.name,
+            objects: self.objects,
+            bounds,
+            background: self.background,
+            sigma_max: self.sigma_max,
+            shell_width: self.shell_width,
+            light_dir: self.light_dir,
+            light_intensity: self.light_intensity,
+            ambient: self.ambient,
+        }
+    }
+}
+
+/// A convenience texture used by several library scenes.
+pub(crate) fn default_checker(a: Vec3, b: Vec3) -> Texture {
+    Texture::Checker { a, b, scale: 0.22 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_sphere() -> AnalyticScene {
+        SceneBuilder::new("t")
+            .object(Shape::Sphere { radius: 1.0 }, Vec3::ZERO, Material::solid(Vec3::ONE))
+            .build()
+    }
+
+    #[test]
+    fn density_zero_outside_positive_inside() {
+        let s = one_sphere();
+        assert_eq!(s.density_at(Vec3::new(0.0, 0.0, 3.0)), 0.0);
+        assert!(s.density_at(Vec3::ZERO) > 0.0);
+        // Deep inside reaches sigma_max.
+        assert!((s.density_at(Vec3::ZERO) - s.sigma_max).abs() < 1e-3);
+    }
+
+    #[test]
+    fn density_ramps_across_shell() {
+        let s = one_sphere();
+        let just_inside = s.density_at(Vec3::new(0.0, 0.0, 1.0 - 0.25 * s.shell_width));
+        let deeper = s.density_at(Vec3::new(0.0, 0.0, 1.0 - 0.75 * s.shell_width));
+        assert!(just_inside < deeper, "{just_inside} !< {deeper}");
+    }
+
+    #[test]
+    fn radiance_is_view_independent_for_diffuse() {
+        let s = one_sphere();
+        let p = Vec3::new(0.0, 0.99, 0.0);
+        let r1 = s.radiance_at(p, Vec3::new(0.0, -1.0, 0.0));
+        let r2 = s.radiance_at(p, Vec3::new(0.7, -0.7, 0.0).normalized());
+        assert!((r1 - r2).length() < 1e-6);
+    }
+
+    #[test]
+    fn specular_radiance_varies_with_view() {
+        let s = SceneBuilder::new("spec")
+            .object(
+                Shape::Sphere { radius: 1.0 },
+                Vec3::ZERO,
+                Material::solid(Vec3::ONE).with_specular(0.9, 16.0),
+            )
+            .build();
+        assert!(s.has_specular());
+        let p = Vec3::new(0.0, 0.99, 0.0);
+        let r1 = s.radiance_at(p, Vec3::new(0.0, -1.0, 0.0));
+        // View from the mirror direction of the light should differ.
+        let l = -s.light_dir.normalized();
+        let n = Vec3::Y;
+        let refl = (n * (2.0 * n.dot(l)) - l).normalized();
+        let r2 = s.radiance_at(p, -refl);
+        assert!((r1 - r2).length() > 1e-3);
+    }
+
+    #[test]
+    fn auto_bounds_cover_objects() {
+        let s = SceneBuilder::new("b")
+            .object(Shape::Sphere { radius: 0.5 }, Vec3::new(2.0, 0.0, 0.0), Material::default())
+            .object(Shape::Sphere { radius: 0.5 }, Vec3::new(-2.0, 0.0, 0.0), Material::default())
+            .build();
+        assert!(s.bounds().contains(Vec3::new(2.4, 0.0, 0.0)));
+        assert!(s.bounds().contains(Vec3::new(-2.4, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn shade_decomposes_into_diffuse_plus_folded_lobe() {
+        let s = SceneBuilder::new("spec")
+            .object(
+                Shape::Sphere { radius: 1.0 },
+                Vec3::ZERO,
+                Material::solid(Vec3::new(0.3, 0.6, 0.9)).with_specular(0.7, 24.0),
+            )
+            .build();
+        let p = Vec3::new(0.2, 0.95, 0.1);
+        let dir = Vec3::new(0.1, -0.9, 0.3).normalized();
+        let full = s.radiance_at(p, dir);
+        let diffuse = s.diffuse_radiance_at(p);
+        let (q, m) = s.specular_lobe_at(p).expect("specular");
+        let spec = q.dot(-dir).max(0.0).powf(m);
+        let recomposed = diffuse + Vec3::splat(spec);
+        assert!(
+            (full - recomposed).length() < 1e-4,
+            "decomposition mismatch: {full} vs {recomposed}"
+        );
+    }
+
+    #[test]
+    fn diffuse_scene_has_no_lobe() {
+        let s = one_sphere();
+        assert!(s.specular_lobe_at(Vec3::new(0.0, 0.99, 0.0)).is_none());
+        assert_eq!(s.dominant_shininess(), 1.0);
+    }
+
+    #[test]
+    fn nearest_object_wins_shading() {
+        let red = Material::solid(Vec3::X);
+        let blue = Material::solid(Vec3::Z);
+        let s = SceneBuilder::new("two")
+            .object(Shape::Sphere { radius: 0.5 }, Vec3::new(-1.0, 0.0, 0.0), red)
+            .object(Shape::Sphere { radius: 0.5 }, Vec3::new(1.0, 0.0, 0.0), blue)
+            .build();
+        let r_left = s.radiance_at(Vec3::new(-1.0, 0.45, 0.0), Vec3::Z);
+        let r_right = s.radiance_at(Vec3::new(1.0, 0.45, 0.0), Vec3::Z);
+        assert!(r_left.x > r_left.z);
+        assert!(r_right.z > r_right.x);
+    }
+}

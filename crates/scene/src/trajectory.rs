@@ -1,0 +1,270 @@
+//! Camera trajectories: the temporal dimension of the reproduction.
+//!
+//! SPARW's effectiveness is a function of inter-frame camera motion (paper
+//! §III-A: overlap is "a fundamental attribute of real-time rendering").
+//! Trajectories here model the three regimes the paper evaluates:
+//!
+//! - smooth orbits (Synthetic-NeRF style evaluation paths),
+//! - handheld 6-DoF motion with low-frequency shake (VR head motion),
+//! - temporally sparse captures ([`Trajectory::subsample`] reproduces the
+//!   1 FPS Tanks-and-Temples sequences of Fig. 25a/26).
+
+use crate::AnalyticScene;
+use cicero_math::{Camera, Intrinsics, Pose, Vec3};
+
+/// The kind of generated camera path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrajectoryKind {
+    /// Circular orbit around the scene center at constant height.
+    Orbit,
+    /// Orbit with smooth handheld shake and breathing dolly (VR-like).
+    Handheld,
+    /// Dolly from far to near along a gentle arc.
+    FlyThrough,
+}
+
+/// A sequence of camera poses captured at a fixed frame rate.
+#[derive(Debug, Clone)]
+pub struct Trajectory {
+    poses: Vec<Pose>,
+    fps: f32,
+}
+
+impl Trajectory {
+    /// Builds a trajectory from explicit poses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `poses` is empty or `fps` is not positive.
+    pub fn from_poses(poses: Vec<Pose>, fps: f32) -> Self {
+        assert!(!poses.is_empty(), "trajectory needs at least one pose");
+        assert!(fps > 0.0, "fps must be positive");
+        Trajectory { poses, fps }
+    }
+
+    /// A smooth orbit of `frames` poses around `scene` at `fps`.
+    ///
+    /// Angular speed is fixed at 18°/s regardless of frame rate, so a 30 FPS
+    /// orbit moves 0.6° per frame while its 1 FPS subsample moves 18° — the
+    /// same temporal-resolution contrast as the paper's Fig. 25.
+    pub fn orbit(scene: &AnalyticScene, frames: usize, fps: f32) -> Self {
+        Self::generate(scene, frames, fps, TrajectoryKind::Orbit, 0)
+    }
+
+    /// A handheld (VR-like) trajectory with seed-controlled shake.
+    pub fn handheld(scene: &AnalyticScene, frames: usize, fps: f32, seed: u64) -> Self {
+        Self::generate(scene, frames, fps, TrajectoryKind::Handheld, seed)
+    }
+
+    /// Generates a trajectory of the given kind.
+    pub fn generate(
+        scene: &AnalyticScene,
+        frames: usize,
+        fps: f32,
+        kind: TrajectoryKind,
+        seed: u64,
+    ) -> Self {
+        assert!(frames > 0 && fps > 0.0);
+        let bounds = crate::RadianceSource::bounds(scene);
+        let center = bounds.center();
+        let extent = bounds.size().max_element();
+        let radius = extent * 1.6;
+        let height = extent * 0.45;
+        let angular_speed = 18.0_f32.to_radians(); // rad/s
+        // Deterministic per-seed phases for handheld shake.
+        let phase = |k: u64| -> f32 {
+            let mut h = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(k);
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+            (h & 0xFFFF) as f32 / 65535.0 * std::f32::consts::TAU
+        };
+        let poses = (0..frames)
+            .map(|i| {
+                let t = i as f32 / fps;
+                match kind {
+                    TrajectoryKind::Orbit => {
+                        let a = angular_speed * t;
+                        let eye =
+                            center + Vec3::new(radius * a.cos(), height, radius * a.sin());
+                        Pose::look_at(eye, center, Vec3::Y)
+                    }
+                    TrajectoryKind::Handheld => {
+                        let a = angular_speed * t;
+                        // Low-frequency positional shake (head sway) plus a
+                        // breathing dolly; smooth so velocity extrapolation
+                        // (paper Eq. 5-6) remains meaningful.
+                        let sway = Vec3::new(
+                            (1.3 * t + phase(1)).sin() * 0.03,
+                            (0.9 * t + phase(2)).sin() * 0.02,
+                            (1.7 * t + phase(3)).sin() * 0.03,
+                        ) * extent;
+                        let breathe = 1.0 + 0.08 * (0.5 * t + phase(4)).sin();
+                        let eye = center
+                            + Vec3::new(
+                                radius * breathe * a.cos(),
+                                height,
+                                radius * breathe * a.sin(),
+                            )
+                            + sway;
+                        let look_jitter = Vec3::new(
+                            (1.1 * t + phase(5)).sin() * 0.02,
+                            (1.9 * t + phase(6)).sin() * 0.02,
+                            0.0,
+                        ) * extent;
+                        Pose::look_at(eye, center + look_jitter, Vec3::Y)
+                    }
+                    TrajectoryKind::FlyThrough => {
+                        let progress = t / ((frames as f32 / fps).max(1e-6));
+                        let dist = radius * (1.4 - 0.8 * progress);
+                        let a = 0.4 * (progress * std::f32::consts::PI).sin();
+                        let eye = center + Vec3::new(dist * a.sin(), height, -dist * a.cos());
+                        Pose::look_at(eye, center, Vec3::Y)
+                    }
+                }
+            })
+            .collect();
+        Trajectory { poses, fps }
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.poses.len()
+    }
+
+    /// `true` when the trajectory holds no poses (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.poses.is_empty()
+    }
+
+    /// Frame rate of the capture.
+    pub fn fps(&self) -> f32 {
+        self.fps
+    }
+
+    /// Pose of frame `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn pose(&self, i: usize) -> &Pose {
+        &self.poses[i]
+    }
+
+    /// All poses.
+    pub fn poses(&self) -> &[Pose] {
+        &self.poses
+    }
+
+    /// Camera for frame `i` with the given intrinsics.
+    pub fn camera(&self, i: usize, intrinsics: Intrinsics) -> Camera {
+        Camera::new(intrinsics, *self.pose(i))
+    }
+
+    /// Keeps every `k`-th frame, dividing the effective frame rate by `k`.
+    ///
+    /// `traj.subsample(30)` turns a 30 FPS capture into the paper's 1 FPS
+    /// "sparse" condition (Fig. 25a) with correspondingly large inter-frame
+    /// pose deltas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn subsample(&self, k: usize) -> Trajectory {
+        assert!(k > 0, "subsample factor must be positive");
+        Trajectory {
+            poses: self.poses.iter().copied().step_by(k).collect(),
+            fps: self.fps / k as f32,
+        }
+    }
+
+    /// Mean inter-frame pose delta (translation + rotation-angle proxy).
+    pub fn mean_frame_delta(&self) -> f32 {
+        if self.poses.len() < 2 {
+            return 0.0;
+        }
+        let total: f32 = self
+            .poses
+            .windows(2)
+            .map(|w| w[0].distance_to(&w[1]))
+            .sum();
+        total / (self.poses.len() - 1) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Material, SceneBuilder, Shape};
+
+    fn scene() -> AnalyticScene {
+        SceneBuilder::new("t")
+            .object(Shape::Sphere { radius: 1.0 }, Vec3::ZERO, Material::default())
+            .build()
+    }
+
+    #[test]
+    fn orbit_keeps_scene_in_view() {
+        let s = scene();
+        let traj = Trajectory::orbit(&s, 16, 30.0);
+        for p in traj.poses() {
+            // Forward vector should point roughly toward the scene center.
+            let to_center = (Vec3::ZERO - p.position).normalized();
+            assert!(p.forward().dot(to_center) > 0.95);
+        }
+    }
+
+    #[test]
+    fn higher_fps_means_smaller_deltas() {
+        let s = scene();
+        let fast = Trajectory::orbit(&s, 30, 30.0);
+        let slow = Trajectory::orbit(&s, 30, 1.0);
+        assert!(fast.mean_frame_delta() < slow.mean_frame_delta() / 5.0);
+    }
+
+    #[test]
+    fn subsample_matches_slow_capture_spacing() {
+        let s = scene();
+        let dense = Trajectory::orbit(&s, 60, 30.0);
+        let sparse = dense.subsample(30);
+        assert_eq!(sparse.len(), 2);
+        assert!((sparse.fps() - 1.0).abs() < 1e-6);
+        // Pose 1 of the subsample equals pose 30 of the dense capture.
+        assert_eq!(sparse.pose(1), dense.pose(30));
+    }
+
+    #[test]
+    fn handheld_is_deterministic_per_seed() {
+        let s = scene();
+        let a = Trajectory::handheld(&s, 10, 30.0, 7);
+        let b = Trajectory::handheld(&s, 10, 30.0, 7);
+        let c = Trajectory::handheld(&s, 10, 30.0, 8);
+        assert_eq!(a.poses(), b.poses());
+        assert_ne!(a.poses(), c.poses());
+    }
+
+    #[test]
+    fn handheld_moves_smoothly() {
+        let s = scene();
+        let traj = Trajectory::handheld(&s, 60, 30.0, 3);
+        let mean = traj.mean_frame_delta();
+        for w in traj.poses().windows(2) {
+            let d = w[0].distance_to(&w[1]);
+            assert!(d < mean * 4.0 + 1e-3, "jerky motion: {d} vs mean {mean}");
+        }
+    }
+
+    #[test]
+    fn fly_through_approaches_scene() {
+        let s = scene();
+        let traj = Trajectory::generate(&s, 20, 30.0, TrajectoryKind::FlyThrough, 0);
+        let first = traj.pose(0).position.length();
+        let last = traj.pose(19).position.length();
+        assert!(last < first);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_trajectory_rejected() {
+        let _ = Trajectory::from_poses(vec![], 30.0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Quickstart: bake a NeRF model from a procedural scene, render one frame
+//! through the full Cicero pipeline and print what happened.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cicero::pipeline::{run_pipeline, PipelineConfig};
+use cicero::Variant;
+use cicero_field::{bake, GridConfig};
+use cicero_math::Intrinsics;
+use cicero_scene::{library, Trajectory};
+
+fn main() {
+    // 1. A scene: procedural stand-in for a Synthetic-NeRF capture.
+    let scene = library::scene_by_name("lego").expect("library scene");
+    println!("scene: {} ({} objects)", scene.name, scene.objects().len());
+
+    // 2. A model: bake a DirectVoxGO-like dense grid from the scene
+    //    (training substitute — see DESIGN.md §3).
+    let model = bake::bake_grid(&scene, &GridConfig { resolution: 64, ..Default::default() });
+    println!(
+        "model: DirectVoxGO-like, {:.1} MB of features",
+        cicero_field::NerfModel::memory_footprint_bytes(&model) as f64 / 1e6
+    );
+
+    // 3. A short camera trajectory (VR-style 30 FPS orbit).
+    let traj = Trajectory::orbit(&scene, 10, 30.0);
+    let intrinsics = Intrinsics::from_fov(96, 96, 0.9);
+
+    // 4. Run the baseline and the full Cicero pipeline.
+    let base_cfg = PipelineConfig { variant: Variant::Baseline, ..Default::default() };
+    let cicero_cfg = PipelineConfig { variant: Variant::Cicero, window: 8, ..Default::default() };
+    let base = run_pipeline(&scene, &model, &traj, intrinsics, &base_cfg);
+    let cicero = run_pipeline(&scene, &model, &traj, intrinsics, &cicero_cfg);
+
+    println!("\n              baseline      cicero");
+    println!("mean FPS      {:>8.2}    {:>8.2}", base.mean_fps(), cicero.mean_fps());
+    println!(
+        "energy/frame  {:>7.3}J    {:>7.3}J",
+        base.mean_energy(),
+        cicero.mean_energy()
+    );
+    println!(
+        "PSNR          {:>7.2}dB   {:>7.2}dB",
+        base.mean_psnr(),
+        cicero.mean_psnr()
+    );
+    println!(
+        "\ncicero warped {:.1}% of pixels, sparse-rendered {:.1}%",
+        cicero.warp_totals.overlap_fraction() * 100.0,
+        cicero.warp_totals.render_fraction() * 100.0
+    );
+    println!(
+        "speedup {:.1}x, energy saving {:.1}x",
+        cicero.mean_fps() / base.mean_fps(),
+        base.mean_energy() / cicero.mean_energy()
+    );
+}

@@ -1,0 +1,41 @@
+//! Remote rendering: reference frames render on a tethered workstation GPU
+//! while the headset warps and sparse-renders locally — the paper's Fig. 19b
+//! scenario, including the window sweep of Fig. 22b.
+//!
+//! ```sh
+//! cargo run --release --example remote_offload
+//! ```
+
+use cicero::pipeline::{run_pipeline, PipelineConfig};
+use cicero::{Scenario, Variant};
+use cicero_field::{bake, GridConfig};
+use cicero_math::Intrinsics;
+use cicero_scene::{library, Trajectory};
+
+fn main() {
+    let scene = library::scene_by_name("mic").expect("library scene");
+    let model = bake::bake_grid(&scene, &GridConfig { resolution: 64, ..Default::default() });
+    let intrinsics = Intrinsics::from_fov(96, 96, 0.9);
+
+    println!("remote offload: reference NeRF on the workstation, warping on device\n");
+    println!("{:>7} {:>10} {:>14} {:>9}", "window", "FPS", "device mJ/frame", "PSNR dB");
+    for window in [2usize, 4, 8, 16] {
+        let traj = Trajectory::orbit(&scene, window * 2 + 2, 30.0);
+        let cfg = PipelineConfig {
+            variant: Variant::Cicero,
+            scenario: Scenario::Remote,
+            window,
+            ..Default::default()
+        };
+        let run = run_pipeline(&scene, &model, &traj, intrinsics, &cfg);
+        println!(
+            "{:>7} {:>10.2} {:>14.2} {:>9.2}",
+            window,
+            run.mean_fps(),
+            run.mean_energy() * 1e3,
+            run.mean_psnr()
+        );
+    }
+    println!("\nLarger windows hide more of the remote render latency (Fig. 22b)");
+    println!("but ship fewer reference pixels per frame (lower wireless energy).");
+}

@@ -1,0 +1,40 @@
+//! VR headset scenario: handheld 6-DoF head motion at 60 FPS rendered with
+//! every pipeline variant on the local SoC — the paper's Fig. 19a situation.
+//!
+//! ```sh
+//! cargo run --release --example vr_headset
+//! ```
+
+use cicero::pipeline::{run_pipeline, PipelineConfig};
+use cicero::Variant;
+use cicero_field::{bake, GridConfig};
+use cicero_math::Intrinsics;
+use cicero_scene::{library, Trajectory, TrajectoryKind};
+
+fn main() {
+    let scene = library::scene_by_name("chair").expect("library scene");
+    let model = bake::bake_grid(&scene, &GridConfig { resolution: 64, ..Default::default() });
+    // 60 FPS handheld head motion, seed-controlled shake.
+    let traj = Trajectory::generate(&scene, 24, 60.0, TrajectoryKind::Handheld, 42);
+    let intrinsics = Intrinsics::from_fov(96, 96, 1.1);
+
+    println!("VR trace: {} frames at {} FPS, mean pose delta {:.4}", traj.len(), traj.fps(), traj.mean_frame_delta());
+    println!("\n{:<10} {:>9} {:>12} {:>9}", "variant", "FPS", "energy (mJ)", "PSNR dB");
+
+    let mut base_fps = 0.0;
+    for variant in Variant::ALL {
+        let cfg = PipelineConfig { variant, window: 8, ..Default::default() };
+        let run = run_pipeline(&scene, &model, &traj, intrinsics, &cfg);
+        if variant == Variant::Baseline {
+            base_fps = run.mean_fps();
+        }
+        println!(
+            "{:<10} {:>9.2} {:>12.1} {:>9.2}",
+            variant.label(),
+            run.mean_fps(),
+            run.mean_energy() * 1e3,
+            run.mean_psnr()
+        );
+    }
+    println!("\n(baseline {base_fps:.2} FPS — the ladder above is the paper's Fig. 19a shape)");
+}

@@ -1,0 +1,135 @@
+//! Property-based tests on cross-crate invariants (proptest).
+
+use cicero::{warp_frame, WarpOptions};
+use cicero_math::{Camera, Intrinsics, Pose, Vec3};
+use cicero_mem::{belady_misses, DramConfig, DramSim, LruCache, MVoxelConfig, MVoxelPartition};
+use cicero_scene::ground_truth::render_frame;
+use cicero_scene::volume::{march_ray_auto, MarchParams};
+use cicero_scene::{Material, RadianceSource, SceneBuilder, Shape};
+use proptest::prelude::*;
+
+fn small_scene(radius: f32) -> cicero_scene::AnalyticScene {
+    SceneBuilder::new("prop")
+        .object(Shape::Sphere { radius }, Vec3::ZERO, Material::solid(Vec3::ONE))
+        .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Composited radiance never exceeds the sources' maximum and the
+    /// transmittance stays within [0, 1].
+    #[test]
+    fn volume_rendering_bounds(
+        radius in 0.2f32..1.2,
+        ox in -0.5f32..0.5,
+        oy in -0.5f32..0.5,
+    ) {
+        let scene = small_scene(radius);
+        let ray = cicero_math::Ray::new(Vec3::new(ox, oy, -4.0), Vec3::Z);
+        let r = march_ray_auto(&scene, &ray, &MarchParams::default());
+        prop_assert!(r.transmittance >= 0.0 && r.transmittance <= 1.0);
+        // Radiance is bounded by the brightest shading possible (~emissive +
+        // ambient + diffuse + specular ≤ ~2) plus background.
+        prop_assert!(r.color.max_element() <= 3.0);
+        prop_assert!(r.color.min_element() >= 0.0);
+        if r.depth_t.is_finite() {
+            // Depth lies within the ray's bounds crossing.
+            let (t0, t1) = scene.bounds().intersect(&ray).unwrap();
+            prop_assert!(r.depth_t >= t0 - 1e-3 && r.depth_t <= t1 + 1e-3);
+        }
+    }
+
+    /// Warping conserves pixel classification: every target pixel is counted
+    /// exactly once, and identity warps never disocclude.
+    #[test]
+    fn warp_partition_property(dx in -0.3f32..0.3, dy in -0.15f32..0.15) {
+        let scene = small_scene(0.8);
+        let k = Intrinsics::from_fov(32, 32, 0.9);
+        let cam0 = Camera::new(k, Pose::look_at(Vec3::new(0.0, 0.2, -3.0), Vec3::ZERO, Vec3::Y));
+        let cam1 = Camera::new(
+            k,
+            Pose::look_at(Vec3::new(dx, 0.2 + dy, -3.0), Vec3::ZERO, Vec3::Y),
+        );
+        let reference = render_frame(&scene, &cam0, &MarchParams::default());
+        let result = warp_frame(&reference, &cam0, &cam1, scene.background(), &WarpOptions::default());
+        let s = result.stats();
+        prop_assert_eq!(s.total, (32 * 32) as u64);
+        prop_assert_eq!(s.total, s.warped + s.disoccluded + s.void_pixels + s.rejected);
+        // Mask agrees with stats.
+        let mask_count = result.render_mask().iter().filter(|&&b| b).count() as u64;
+        prop_assert_eq!(mask_count, s.disoccluded + s.rejected);
+    }
+
+    /// The Belady oracle never misses more than LRU on the same trace.
+    #[test]
+    fn belady_dominates_lru(seed in 0u64..1000) {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545F4914F6CDD1D) % 64
+        };
+        let trace: Vec<u64> = (0..600).map(|_| next()).collect();
+        let opt = belady_misses(&trace, 16);
+        let mut lru = LruCache::new(16 * 64, 64, 16);
+        for &l in &trace {
+            lru.access(l * 64);
+        }
+        prop_assert!(opt.misses <= lru.stats().misses);
+        // Both policies at least pay the compulsory misses.
+        let distinct = {
+            let mut v = trace.clone();
+            v.sort_unstable();
+            v.dedup();
+            v.len() as u64
+        };
+        prop_assert!(opt.misses >= distinct.min(16));
+    }
+
+    /// DRAM accounting: bytes moved ≥ bytes asked for, and a pure stream is
+    /// never slower than the same bytes random.
+    #[test]
+    fn dram_accounting_invariants(reads in prop::collection::vec((0u64..1_000_000, 1u32..200), 1..60)) {
+        let mut random_sim = DramSim::new(DramConfig::default());
+        let mut stream_sim = DramSim::new(DramConfig::default());
+        let mut total: u64 = 0;
+        for &(addr, bytes) in &reads {
+            random_sim.read(addr * 7919, bytes);
+            total += bytes as u64;
+        }
+        stream_sim.read_streaming(total);
+        prop_assert!(random_sim.stats().total_bytes() >= random_sim.stats().useful_bytes);
+        prop_assert!(stream_sim.time_seconds() <= random_sim.time_seconds() + 1e-12);
+        prop_assert!(stream_sim.energy_joules() <= random_sim.energy_joules() + 1e-15);
+    }
+
+    /// MVoxel partitions cover every vertex exactly once.
+    #[test]
+    fn mvoxel_partition_is_total(
+        nx in 1u32..40,
+        ny in 1u32..40,
+        nz in 1u32..40,
+        dim in 1u32..12,
+    ) {
+        let part = MVoxelPartition::new(
+            [nx, ny, nz],
+            MVoxelConfig { dims: [dim, dim, dim] },
+            16,
+        );
+        let mut per_block = vec![0u64; part.mvoxel_count()];
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    per_block[part.mvoxel_of_vertex([x, y, z])] += 1;
+                }
+            }
+        }
+        for (id, &count) in per_block.iter().enumerate() {
+            prop_assert_eq!(count, part.vertex_count(id), "block {}", id);
+        }
+        let total: u64 = per_block.iter().sum();
+        prop_assert_eq!(total, (nx as u64) * (ny as u64) * (nz as u64));
+    }
+}

@@ -1,0 +1,125 @@
+//! End-to-end integration: scene → baked model → pipeline → images + reports,
+//! across model families and variants.
+
+use cicero::pipeline::{run_pipeline, PipelineConfig};
+use cicero::Variant;
+use cicero_field::{bake, GridConfig, HashConfig, ModelKind, NerfModel, TensorConfig};
+use cicero_math::Intrinsics;
+use cicero_scene::volume::MarchParams;
+use cicero_scene::{library, Trajectory};
+
+fn fast_cfg(variant: Variant) -> PipelineConfig {
+    let mut cfg = PipelineConfig {
+        variant,
+        window: 4,
+        march: MarchParams { step: 0.02, ..Default::default() },
+        ..Default::default()
+    };
+    cfg.soc.gpu.kernel_overhead_s = 0.0;
+    cfg
+}
+
+fn small_model(kind: ModelKind) -> (cicero_scene::AnalyticScene, Box<dyn NerfModel>) {
+    let scene = library::scene_by_name("mic").unwrap();
+    let opts = bake::BakeOptions { decoder_hidden: 16, ..Default::default() };
+    let model: Box<dyn NerfModel> = match kind {
+        ModelKind::Grid => Box::new(bake::bake_grid_with(
+            &scene,
+            &GridConfig { resolution: 32, ..Default::default() },
+            &opts,
+        )),
+        ModelKind::Hash => Box::new(bake::bake_hash_with(
+            &scene,
+            &HashConfig {
+                levels: 4,
+                base_resolution: 8,
+                max_resolution: 48,
+                table_size_log2: 13,
+                ..Default::default()
+            },
+            &opts,
+        )),
+        ModelKind::Tensor => Box::new(bake::bake_tensor_with(
+            &scene,
+            &TensorConfig { resolution: 32, components_per_signal: 2, bytes_per_value: 2 },
+            &opts,
+        )),
+    };
+    (scene, model)
+}
+
+#[test]
+fn every_model_family_runs_the_full_cicero_pipeline() {
+    for kind in ModelKind::ALL {
+        let (scene, model) = small_model(kind);
+        let traj = Trajectory::orbit(&scene, 5, 30.0);
+        let k = Intrinsics::from_fov(32, 32, 0.9);
+        let run = run_pipeline(&scene, model.as_ref(), &traj, k, &fast_cfg(Variant::Cicero));
+        assert_eq!(run.outcomes.len(), 5, "{kind:?}");
+        assert_eq!(run.frames.len(), 5);
+        assert!(run.mean_frame_time() > 0.0, "{kind:?}");
+        assert!(run.mean_psnr().is_finite(), "{kind:?}");
+        // Frame 0 is the bootstrap full render, the rest warp.
+        assert!(run.outcomes[0].full_render);
+        assert!(run.outcomes[1..].iter().all(|o| !o.full_render));
+    }
+}
+
+#[test]
+fn all_variants_beat_or_match_baseline_quality_shape() {
+    let (scene, model) = small_model(ModelKind::Grid);
+    let traj = Trajectory::orbit(&scene, 6, 30.0);
+    let k = Intrinsics::from_fov(40, 40, 0.9);
+    let base = run_pipeline(&scene, model.as_ref(), &traj, k, &fast_cfg(Variant::Baseline));
+    for variant in [Variant::Sparw, Variant::SparwFs, Variant::Cicero] {
+        let run = run_pipeline(&scene, model.as_ref(), &traj, k, &fast_cfg(variant));
+        assert!(
+            run.mean_frame_time() < base.mean_frame_time(),
+            "{variant:?} should be faster than baseline"
+        );
+        assert!(
+            run.mean_psnr() > base.mean_psnr() - 8.0,
+            "{variant:?} quality collapsed: {:.1} vs {:.1}",
+            run.mean_psnr(),
+            base.mean_psnr()
+        );
+    }
+}
+
+#[test]
+fn sparw_and_cicero_agree_on_images() {
+    // SPARW / SPARW+FS / Cicero differ only in memory order and hardware;
+    // their rendered frames must be bitwise identical.
+    let (scene, model) = small_model(ModelKind::Grid);
+    let traj = Trajectory::orbit(&scene, 4, 30.0);
+    let k = Intrinsics::from_fov(32, 32, 0.9);
+    let a = run_pipeline(&scene, model.as_ref(), &traj, k, &fast_cfg(Variant::Sparw));
+    let b = run_pipeline(&scene, model.as_ref(), &traj, k, &fast_cfg(Variant::Cicero));
+    for (fa, fb) in a.frames.iter().zip(&b.frames) {
+        let psnr = cicero_math::metrics::psnr(&fa.color, &fb.color);
+        assert!(psnr.is_infinite(), "variants diverged: {psnr:.1} dB");
+    }
+}
+
+#[test]
+fn window_size_trades_speed_for_quality() {
+    let (scene, model) = small_model(ModelKind::Grid);
+    let traj = Trajectory::orbit(&scene, 13, 10.0); // faster motion: quality visibly decays
+    let k = Intrinsics::from_fov(40, 40, 0.9);
+    let mut cfg4 = fast_cfg(Variant::Cicero);
+    cfg4.window = 4;
+    let mut cfg12 = fast_cfg(Variant::Cicero);
+    cfg12.window = 12;
+    let w4 = run_pipeline(&scene, model.as_ref(), &traj, k, &cfg4);
+    let w12 = run_pipeline(&scene, model.as_ref(), &traj, k, &cfg12);
+    assert!(
+        w12.mean_frame_time() < w4.mean_frame_time(),
+        "larger window amortizes more"
+    );
+    assert!(
+        w12.mean_psnr() <= w4.mean_psnr() + 0.5,
+        "larger window shouldn't look better: {:.2} vs {:.2}",
+        w12.mean_psnr(),
+        w4.mean_psnr()
+    );
+}

@@ -1,0 +1,145 @@
+//! Memory-system integration: real model gather traces through the cache,
+//! DRAM, bank and MVoxel simulators, checking the paper's §II-D/§IV claims
+//! end to end.
+
+use cicero::traffic::{
+    address_map, PairSink, PixelCentricConfig, PixelCentricTraffic, StreamingConfig,
+    StreamingTraffic,
+};
+use cicero_field::render::{render_full, RenderOptions};
+use cicero_field::{bake, GridConfig, HashConfig, NerfModel};
+use cicero_math::{Camera, Intrinsics, Pose, Vec3};
+use cicero_scene::library;
+
+fn camera(n: usize) -> Camera {
+    Camera::new(
+        Intrinsics::from_fov(n, n, 0.9),
+        Pose::look_at(Vec3::new(0.0, 1.1, -2.6), Vec3::ZERO, Vec3::Y),
+    )
+}
+
+#[test]
+fn address_map_covers_all_model_regions_disjointly() {
+    let scene = library::scene_by_name("mic").unwrap();
+    let model = bake::bake_hash(
+        &scene,
+        &HashConfig {
+            levels: 4,
+            base_resolution: 8,
+            max_resolution: 48,
+            table_size_log2: 12,
+            ..Default::default()
+        },
+    );
+    let map = address_map(&model);
+    assert_eq!(map.region_count(), 4);
+    // Region extents must not overlap and must cover the model footprint.
+    let mut covered = 0;
+    for r in 0..4u16 {
+        covered += map.region_size(r);
+        if r > 0 {
+            assert!(map.region_base(r) >= map.region_base(r - 1) + map.region_size(r - 1));
+        }
+    }
+    assert_eq!(covered, model.memory_footprint_bytes());
+}
+
+#[test]
+fn pixel_centric_traffic_is_irregular_and_conflicted() {
+    let scene = library::scene_by_name("lego").unwrap();
+    let model = bake::bake_grid(&scene, &GridConfig { resolution: 64, ..Default::default() });
+    let mut sink = PixelCentricTraffic::new(&model, PixelCentricConfig::default());
+    let (_, stats) = render_full(&model, &camera(64), &RenderOptions::default(), &mut sink);
+    let report = sink.finish();
+
+    // §II-D structure: substantial non-streaming DRAM and bank conflicts.
+    assert!(report.dram.non_streaming_fraction() > 0.3);
+    assert!(report.bank.conflict_rate() > 0.05);
+    assert!(report.bank.requests >= stats.gather_entry_reads);
+    // Cache accesses at least one line per entry read.
+    assert!(report.cache.hits + report.cache.misses >= stats.gather_entry_reads);
+}
+
+#[test]
+fn streaming_traffic_is_fully_streaming_for_dense_models() {
+    let scene = library::scene_by_name("lego").unwrap();
+    let model = bake::bake_grid(&scene, &GridConfig { resolution: 64, ..Default::default() });
+    let mut sink = StreamingTraffic::new(&model, StreamingConfig::default());
+    let (_, stats) = render_full(&model, &camera(64), &RenderOptions::default(), &mut sink);
+    let report = sink.finish();
+
+    assert_eq!(report.dram.random_bytes, 0, "dense grids stream entirely");
+    assert!(report.touched_mvoxels > 0);
+    // Every processed sample has exactly one RIT record (single region).
+    assert_eq!(report.rit_records, stats.samples_processed);
+    // Feature stream bounded by the model plus halo overhead.
+    assert!(report.mvoxel_bytes <= model.memory_footprint_bytes());
+    assert!(report.halo_bytes < report.mvoxel_bytes);
+}
+
+#[test]
+fn mvoxel_stream_is_insensitive_to_ray_count() {
+    // The defining FS property: doubling rays re-uses the same MVoxels
+    // instead of adding feature traffic.
+    let scene = library::scene_by_name("lego").unwrap();
+    let model = bake::bake_grid(&scene, &GridConfig { resolution: 64, ..Default::default() });
+    let measure = |res: usize| {
+        let mut sink = StreamingTraffic::new(&model, StreamingConfig::default());
+        render_full(&model, &camera(res), &RenderOptions::default(), &mut sink);
+        sink.finish()
+    };
+    let small = measure(48);
+    let large = measure(96); // 4× the rays
+    assert!(
+        (large.mvoxel_bytes as f64) < small.mvoxel_bytes as f64 * 2.0,
+        "feature stream grew {} → {} for 4x rays",
+        small.mvoxel_bytes,
+        large.mvoxel_bytes
+    );
+    // Per-sample costs do scale.
+    assert!(large.spill_bytes > small.spill_bytes * 2);
+}
+
+#[test]
+fn pair_sink_keeps_both_analyses_consistent() {
+    let scene = library::scene_by_name("mic").unwrap();
+    let model = bake::bake_grid(&scene, &GridConfig { resolution: 48, ..Default::default() });
+    let mut pc = PixelCentricTraffic::new(&model, PixelCentricConfig::default());
+    let mut fs = StreamingTraffic::new(&model, StreamingConfig::default());
+    let stats = {
+        let mut both = PairSink(&mut pc, &mut fs);
+        let (_, stats) = render_full(&model, &camera(48), &RenderOptions::default(), &mut both);
+        stats
+    };
+    let pc_report = pc.finish();
+    let fs_report = fs.finish();
+    assert!(pc_report.cache.hits + pc_report.cache.misses >= stats.gather_entry_reads);
+    assert_eq!(fs_report.rit_records, stats.samples_processed);
+}
+
+#[test]
+fn hashed_levels_produce_bounded_random_traffic() {
+    let scene = library::scene_by_name("lego").unwrap();
+    let model = bake::bake_hash(
+        &scene,
+        &HashConfig {
+            levels: 6,
+            base_resolution: 8,
+            max_resolution: 96,
+            table_size_log2: 12,
+            ..Default::default()
+        },
+    );
+    let mut sink = StreamingTraffic::new(&model, StreamingConfig::default());
+    render_full(&model, &camera(48), &RenderOptions::default(), &mut sink);
+    let report = sink.finish();
+    assert!(report.hashed_random_bytes > 0, "hashed levels revert to random");
+    // Residual random traffic cannot exceed all hashed entry reads uncached.
+    let hashed_levels = 6 - model.encoding.first_hashed_level();
+    assert!(hashed_levels > 0);
+    let upper = report.rit_records / (6 - hashed_levels).max(1) as u64 // samples
+        * hashed_levels as u64
+        * 8
+        * 64; // line per entry
+    assert!(report.hashed_random_bytes <= upper, "{} > {upper}", report.hashed_random_bytes);
+}
