@@ -51,8 +51,7 @@ pub struct AreaReport {
 impl AreaModel {
     /// Computes the area report for an NPU + GU configuration.
     pub fn report(&self, npu: &NpuConfig, gu: &GuConfig) -> AreaReport {
-        let npu_sram_kb =
-            (npu.weight_buffer_bytes + npu.global_buffer_bytes) as f64 / 1024.0;
+        let npu_sram_kb = (npu.weight_buffer_bytes + npu.global_buffer_bytes) as f64 / 1024.0;
         let npu_macs = (npu.array_rows * npu.array_cols) as f64;
         let npu_mm2 = (npu_macs * self.mac_mm2 + npu_sram_kb * self.sram_mm2_per_kb)
             * (1.0 + self.logic_overhead);

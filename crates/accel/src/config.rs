@@ -150,7 +150,10 @@ pub struct WirelessConfig {
 
 impl Default for WirelessConfig {
     fn default() -> Self {
-        WirelessConfig { energy_j_per_byte: 100e-9, latency_bandwidth: 2.5e9 }
+        WirelessConfig {
+            energy_j_per_byte: 100e-9,
+            latency_bandwidth: 2.5e9,
+        }
     }
 }
 
@@ -164,7 +167,9 @@ pub struct RemoteGpuConfig {
 
 impl Default for RemoteGpuConfig {
     fn default() -> Self {
-        RemoteGpuConfig { speedup_over_mobile: 10.0 }
+        RemoteGpuConfig {
+            speedup_over_mobile: 10.0,
+        }
     }
 }
 

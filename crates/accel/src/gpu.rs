@@ -34,8 +34,8 @@ impl GpuModel {
 
     /// Time of the Ray Indexing stage (I).
     pub fn indexing_time(&self, w: &FrameWorkload) -> f64 {
-        let flops = w.samples_indexed as f64 * self.cfg.flops_per_indexed_sample
-            + w.rays as f64 * 40.0;
+        let flops =
+            w.samples_indexed as f64 * self.cfg.flops_per_indexed_sample + w.rays as f64 * 40.0;
         flops / self.eff_flops() + self.cfg.kernel_overhead_s
     }
 
@@ -48,8 +48,8 @@ impl GpuModel {
         if w.gather_entry_reads == 0 {
             return 0.0;
         }
-        let compute = w.gather_entry_reads as f64 * self.cfg.flops_per_gather_entry
-            / self.eff_flops();
+        let compute =
+            w.gather_entry_reads as f64 * self.cfg.flops_per_gather_entry / self.eff_flops();
         let bank_slowdown = w.bank.slowdown().max(1.0);
         let hit_time = w.cache.hits as f64 / self.cfg.sram_txn_per_sec * bank_slowdown;
         let miss_time = w.cache.misses as f64 / self.cfg.random_txn_per_sec;
@@ -115,7 +115,10 @@ mod tests {
             gather_entry_reads: entries,
             gather_bytes: entries * 24,
             mlp_macs: samples * 5500,
-            cache: CacheStats { hits: entries * 6 / 10, misses: entries * 4 / 10 },
+            cache: CacheStats {
+                hits: entries * 6 / 10,
+                misses: entries * 4 / 10,
+            },
             bank: BankStats {
                 requests: entries,
                 stalled_requests: entries / 2,
@@ -149,7 +152,10 @@ mod tests {
         let m = model();
         let mut w = dvgo_like_frame();
         let fast = m.gather_time(&w);
-        w.cache = CacheStats { hits: 0, misses: w.gather_entry_reads };
+        w.cache = CacheStats {
+            hits: 0,
+            misses: w.gather_entry_reads,
+        };
         let slow = m.gather_time(&w);
         assert!(slow > fast * 1.5);
     }
@@ -158,10 +164,23 @@ mod tests {
     fn bank_conflicts_slow_hits() {
         let m = model();
         let mut w = dvgo_like_frame();
-        w.cache = CacheStats { hits: w.gather_entry_reads, misses: 0 };
-        w.bank = BankStats { requests: 1, stalled_requests: 0, cycles: 1, ideal_cycles: 1 };
+        w.cache = CacheStats {
+            hits: w.gather_entry_reads,
+            misses: 0,
+        };
+        w.bank = BankStats {
+            requests: 1,
+            stalled_requests: 0,
+            cycles: 1,
+            ideal_cycles: 1,
+        };
         let clean = m.gather_time(&w);
-        w.bank = BankStats { requests: 1, stalled_requests: 0, cycles: 3, ideal_cycles: 1 };
+        w.bank = BankStats {
+            requests: 1,
+            stalled_requests: 0,
+            cycles: 3,
+            ideal_cycles: 1,
+        };
         let stalled = m.gather_time(&w);
         assert!(stalled > clean);
     }

@@ -104,7 +104,10 @@ mod tests {
         let w = workload(10_000, 8, 24);
         let m2 = model();
         let m4 = GuModel::new(
-            GuConfig { ports_per_bank: 4, ..GuConfig::default() },
+            GuConfig {
+                ports_per_bank: 4,
+                ..GuConfig::default()
+            },
             EnergyConfig::default(),
         );
         assert!((m2.gather_time(&w) / m4.gather_time(&w) - 2.0).abs() < 0.01);

@@ -25,6 +25,7 @@ pub mod config;
 mod gpu;
 mod gu;
 mod npu;
+pub mod pool;
 pub mod rivals;
 pub mod soc;
 mod workload;
@@ -33,4 +34,5 @@ pub use config::{EnergyConfig, GpuConfig, GuConfig, NpuConfig, SocConfig, Wirele
 pub use gpu::GpuModel;
 pub use gu::GuModel;
 pub use npu::NpuModel;
+pub use pool::{JobSpan, PoolConfig, WorkerPool};
 pub use workload::{FrameWorkload, StageTimes};

@@ -44,8 +44,8 @@ pub fn neurex_frame(soc: &SocModel, ingp: &FrameWorkload) -> RivalReport {
     let gcfg = soc.gpu.config();
     let bank_slowdown = ingp.bank.slowdown().max(1.0);
     let hit_rate = soc.gu.config().clock_hz; // one request per cycle per lane group
-    let on_chip_s = ingp.cache.hits as f64 * bank_slowdown
-        / (hit_rate * soc.gu.config().ports_per_bank as f64);
+    let on_chip_s =
+        ingp.cache.hits as f64 * bank_slowdown / (hit_rate * soc.gu.config().ports_per_bank as f64);
     // NeuRex's dedicated encoding engine prefetches hash levels with a
     // streaming DMA, servicing misses ~3x faster than the GPU's scattered
     // loads (its headline gain over GPU baselines).
@@ -66,7 +66,10 @@ pub fn neurex_frame(soc: &SocModel, ingp: &FrameWorkload) -> RivalReport {
 /// The paper observes "CICERO without SPARW achieves a similar speed".
 pub fn ngpc_frame(soc: &SocModel, ingp: &FrameWorkload) -> RivalReport {
     let mut resident = ingp.clone();
-    resident.cache = CacheStats { hits: ingp.gather_entry_reads, misses: 0 };
+    resident.cache = CacheStats {
+        hits: ingp.gather_entry_reads,
+        misses: 0,
+    };
     resident.dram = Default::default();
     let gather_s = soc.gu.gather_time(&resident);
     let mlp_s = soc.npu.mlp_time(&resident);
@@ -81,7 +84,11 @@ pub fn ngpc_frame(soc: &SocModel, ingp: &FrameWorkload) -> RivalReport {
 /// Cicero without SPARW (full-frame, FS + GU) for the Fig. 24 comparison.
 pub fn cicero_no_sparw_frame(soc: &SocModel, ingp_fs: &FrameWorkload) -> RivalReport {
     let report = soc.full_frame(ingp_fs, Variant::Cicero);
-    RivalReport { time_s: report.time_s, pes: 24 * 24, buffer_bytes: 32 << 10 }
+    RivalReport {
+        time_s: report.time_s,
+        pes: 24 * 24,
+        buffer_bytes: 32 << 10,
+    }
 }
 
 #[cfg(test)]
@@ -109,7 +116,10 @@ mod tests {
                 random_bursts: entries / 2,
                 useful_bytes: entries * 16,
             },
-            cache: CacheStats { hits: entries / 2, misses: entries / 2 },
+            cache: CacheStats {
+                hits: entries / 2,
+                misses: entries / 2,
+            },
             bank: BankStats {
                 requests: entries,
                 stalled_requests: entries / 2,
@@ -133,7 +143,10 @@ mod tests {
             random_bursts: residual_random_bursts,
             useful_bytes: w.dram.useful_bytes,
         };
-        w.cache = CacheStats { hits: w.gather_entry_reads, misses: 0 };
+        w.cache = CacheStats {
+            hits: w.gather_entry_reads,
+            misses: 0,
+        };
         w
     }
 

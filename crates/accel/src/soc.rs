@@ -33,8 +33,12 @@ pub enum Variant {
 
 impl Variant {
     /// All variants in the paper's order.
-    pub const ALL: [Variant; 4] =
-        [Variant::Baseline, Variant::Sparw, Variant::SparwFs, Variant::Cicero];
+    pub const ALL: [Variant; 4] = [
+        Variant::Baseline,
+        Variant::Sparw,
+        Variant::SparwFs,
+        Variant::Cicero,
+    ];
 
     /// Display label matching the paper.
     pub fn label(&self) -> &'static str {
@@ -210,7 +214,12 @@ impl SocModel {
         let gpu_busy = indexing_s + gather_gpu_busy;
         FrameReport {
             time_s,
-            stages: StageTimes { indexing_s, gather_s, mlp_s, warp_s: 0.0 },
+            stages: StageTimes {
+                indexing_s,
+                gather_s,
+                mlp_s,
+                warp_s: 0.0,
+            },
             energy: EnergyBreakdown {
                 gpu_j: self.gpu.energy(gpu_busy),
                 npu_j,
@@ -246,9 +255,23 @@ impl SocModel {
         window: usize,
         variant: Variant,
     ) -> FrameReport {
+        self.sparw_local_from_reports(
+            &self.full_frame(reference, variant),
+            &self.target_frame(target_sparse, variant),
+            window,
+        )
+    }
+
+    /// [`sparw_local_frame`](Self::sparw_local_frame) over reports that were
+    /// already priced, so callers holding a [`target_frame`](Self::target_frame)
+    /// report for other purposes do not pay the pricing twice.
+    pub fn sparw_local_from_reports(
+        &self,
+        ref_report: &FrameReport,
+        tgt_report: &FrameReport,
+        window: usize,
+    ) -> FrameReport {
         assert!(window >= 1, "warping window must be at least 1");
-        let ref_report = self.full_frame(reference, variant);
-        let tgt_report = self.target_frame(target_sparse, variant);
         let inv = 1.0 / window as f64;
         let mut stages = tgt_report.stages;
         let ref_stages_scaled = StageTimes {
@@ -260,7 +283,11 @@ impl SocModel {
         stages.accumulate(&ref_stages_scaled);
         let mut energy = tgt_report.energy;
         energy.accumulate(&ref_report.energy.scaled(inv));
-        FrameReport { time_s: ref_report.time_s * inv + tgt_report.time_s, stages, energy }
+        FrameReport {
+            time_s: ref_report.time_s * inv + tgt_report.time_s,
+            stages,
+            energy,
+        }
     }
 
     /// Per-frame cost under the remote scenario: reference frames render on
@@ -278,11 +305,28 @@ impl SocModel {
         variant: Variant,
         frame_pixels: u64,
     ) -> FrameReport {
+        self.sparw_remote_from_reports(
+            &self.full_frame(reference, Variant::Baseline),
+            &self.target_frame(target_sparse, variant),
+            window,
+            frame_pixels,
+        )
+    }
+
+    /// [`sparw_remote_frame`](Self::sparw_remote_frame) over reports that
+    /// were already priced. `ref_local` must be the reference workload priced
+    /// as a local *baseline* render; it is rescaled to workstation speed
+    /// here.
+    pub fn sparw_remote_from_reports(
+        &self,
+        ref_local: &FrameReport,
+        tgt_report: &FrameReport,
+        window: usize,
+        frame_pixels: u64,
+    ) -> FrameReport {
         assert!(window >= 1);
         // Remote render: baseline pixel-centric on a faster GPU.
-        let ref_local = self.full_frame(reference, Variant::Baseline);
         let ref_remote_t = ref_local.time_s / self.cfg.remote.speedup_over_mobile;
-        let tgt_report = self.target_frame(target_sparse, variant);
 
         let bytes_per_frame = frame_pixels * 6 / window as u64; // RGB-D amortized
         let comm_t = bytes_per_frame as f64 / self.cfg.wireless.latency_bandwidth;
@@ -294,18 +338,25 @@ impl SocModel {
         // Static power covers the full frame interval, including the hidden
         // remote-render wait.
         energy.static_j += (time_s - tgt_report.time_s).max(0.0) * self.cfg.energy.soc_static_w;
-        FrameReport { time_s, stages: tgt_report.stages, energy }
+        FrameReport {
+            time_s,
+            stages: tgt_report.stages,
+            energy,
+        }
+    }
+
+    /// Wall time of a full *baseline* render of `w` on the remote
+    /// workstation tier (`remote.speedup_over_mobile` × mobile speed) — the
+    /// common factor behind remote frame pricing here and external
+    /// schedulers' remote reference billing.
+    pub fn remote_full_render_time(&self, w: &FrameWorkload) -> f64 {
+        self.full_frame(w, Variant::Baseline).time_s / self.cfg.remote.speedup_over_mobile
     }
 
     /// The remote *baseline*: the workstation renders every frame; the device
     /// only receives pixels.
-    pub fn baseline_remote_frame(
-        &self,
-        full: &FrameWorkload,
-        frame_pixels: u64,
-    ) -> FrameReport {
-        let local = self.full_frame(full, Variant::Baseline);
-        let remote_t = local.time_s / self.cfg.remote.speedup_over_mobile;
+    pub fn baseline_remote_frame(&self, full: &FrameWorkload, frame_pixels: u64) -> FrameReport {
+        let remote_t = self.remote_full_render_time(full);
         let bytes = frame_pixels * 3; // RGB stream
         let comm_t = bytes as f64 / self.cfg.wireless.latency_bandwidth;
         let comm_j = bytes as f64 * self.cfg.wireless.energy_j_per_byte;
@@ -355,7 +406,10 @@ mod tests {
                 random_bursts: entries * 4 / 10,
                 useful_bytes: entries * 24,
             },
-            cache: CacheStats { hits: entries * 6 / 10, misses: entries * 4 / 10 },
+            cache: CacheStats {
+                hits: entries * 6 / 10,
+                misses: entries * 4 / 10,
+            },
             bank: BankStats {
                 requests: entries,
                 stalled_requests: entries / 2,
@@ -386,7 +440,10 @@ mod tests {
             random_bursts: 0,
             useful_bytes: unique_bytes,
         };
-        w.cache = CacheStats { hits: w.gather_entry_reads, misses: 0 };
+        w.cache = CacheStats {
+            hits: w.gather_entry_reads,
+            misses: 0,
+        };
         w
     }
 
@@ -407,7 +464,10 @@ mod tests {
         let sparse = sparse_workload();
         let mut sparse_fs = sparse.clone();
         sparse_fs.dram = scaled_down(&fs.dram, 16);
-        sparse_fs.cache = CacheStats { hits: sparse.gather_entry_reads, misses: 0 };
+        sparse_fs.cache = CacheStats {
+            hits: sparse.gather_entry_reads,
+            misses: 0,
+        };
 
         let baseline = soc.full_frame(&full, Variant::Baseline);
         let sparw = soc.sparw_local_frame(&full, &sparse, 16, Variant::Sparw);
@@ -435,8 +495,15 @@ mod tests {
     fn remote_cicero_hides_reference_rendering() {
         let soc = soc();
         let sparse = sparse_workload();
-        let r16 = soc.sparw_remote_frame(&full_frame_workload(), &sparse, 16, Variant::Cicero, 640_000);
-        let r1 = soc.sparw_remote_frame(&full_frame_workload(), &sparse, 1, Variant::Cicero, 640_000);
+        let r16 = soc.sparw_remote_frame(
+            &full_frame_workload(),
+            &sparse,
+            16,
+            Variant::Cicero,
+            640_000,
+        );
+        let r1 =
+            soc.sparw_remote_frame(&full_frame_workload(), &sparse, 1, Variant::Cicero, 640_000);
         assert!(r16.time_s < r1.time_s, "larger windows hide remote latency");
     }
 
@@ -445,9 +512,19 @@ mod tests {
         // Paper: communication is 0.02% of average frame latency.
         let soc = soc();
         let sparse = sparse_workload();
-        let r = soc.sparw_remote_frame(&full_frame_workload(), &sparse, 16, Variant::Cicero, 640_000);
+        let r = soc.sparw_remote_frame(
+            &full_frame_workload(),
+            &sparse,
+            16,
+            Variant::Cicero,
+            640_000,
+        );
         let comm_t = (640_000u64 * 6 / 16) as f64 / soc.config().wireless.latency_bandwidth;
-        assert!(comm_t / r.time_s < 0.05, "comm fraction {}", comm_t / r.time_s);
+        assert!(
+            comm_t / r.time_s < 0.05,
+            "comm fraction {}",
+            comm_t / r.time_s
+        );
     }
 
     #[test]

@@ -76,7 +76,10 @@ impl FrameWorkload {
                 random_bursts: s(self.dram.random_bursts),
                 useful_bytes: s(self.dram.useful_bytes),
             },
-            cache: CacheStats { hits: s(self.cache.hits), misses: s(self.cache.misses) },
+            cache: CacheStats {
+                hits: s(self.cache.hits),
+                misses: s(self.cache.misses),
+            },
             bank: BankStats {
                 requests: s(self.bank.requests),
                 stalled_requests: s(self.bank.stalled_requests),
@@ -140,15 +143,27 @@ mod tests {
 
     #[test]
     fn accumulate_sums_counts() {
-        let mut a = FrameWorkload { rays: 10, mlp_macs: 100, ..Default::default() };
-        a.accumulate(&FrameWorkload { rays: 5, mlp_macs: 50, ..Default::default() });
+        let mut a = FrameWorkload {
+            rays: 10,
+            mlp_macs: 100,
+            ..Default::default()
+        };
+        a.accumulate(&FrameWorkload {
+            rays: 5,
+            mlp_macs: 50,
+            ..Default::default()
+        });
         assert_eq!(a.rays, 15);
         assert_eq!(a.mlp_macs, 150);
     }
 
     #[test]
     fn scaling_is_proportional() {
-        let w = FrameWorkload { rays: 100, gather_bytes: 1000, ..Default::default() };
+        let w = FrameWorkload {
+            rays: 100,
+            gather_bytes: 1000,
+            ..Default::default()
+        };
         let h = w.scaled(0.25);
         assert_eq!(h.rays, 25);
         assert_eq!(h.gather_bytes, 250);
@@ -156,7 +171,12 @@ mod tests {
 
     #[test]
     fn stage_fractions_sum_to_one() {
-        let t = StageTimes { indexing_s: 1.0, gather_s: 2.0, mlp_s: 1.0, warp_s: 0.0 };
+        let t = StageTimes {
+            indexing_s: 1.0,
+            gather_s: 2.0,
+            mlp_s: 1.0,
+            warp_s: 0.0,
+        };
         let (i, g, f, w) = t.fractions();
         assert!((i + g + f + w - 1.0).abs() < 1e-12);
         assert!((g - 0.5).abs() < 1e-12);

@@ -8,10 +8,16 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn bench_queries(c: &mut Criterion) {
     let scene = bench_scene();
-    let opts = bake::BakeOptions { decoder_hidden: 16, ..Default::default() };
+    let opts = bake::BakeOptions {
+        decoder_hidden: 16,
+        ..Default::default()
+    };
     let grid = bake::bake_grid_with(
         &scene,
-        &GridConfig { resolution: 48, ..Default::default() },
+        &GridConfig {
+            resolution: 48,
+            ..Default::default()
+        },
         &opts,
     );
     let hash = bake::bake_hash_with(
@@ -27,7 +33,11 @@ fn bench_queries(c: &mut Criterion) {
     );
     let tensor = bake::bake_tensor_with(
         &scene,
-        &TensorConfig { resolution: 48, components_per_signal: 2, bytes_per_value: 2 },
+        &TensorConfig {
+            resolution: 48,
+            components_per_signal: 2,
+            bytes_per_value: 2,
+        },
         &opts,
     );
 

@@ -22,7 +22,10 @@ fn bench_render(c: &mut Criterion) {
         b.iter(|| render_full(&model, &cam, &RenderOptions::default(), &mut NullSink))
     });
     g.bench_function("grid_model_64_no_occupancy", |b| {
-        let opts = RenderOptions { use_occupancy: false, ..Default::default() };
+        let opts = RenderOptions {
+            use_occupancy: false,
+            ..Default::default()
+        };
         b.iter(|| render_full(&model, &cam, &opts, &mut NullSink))
     });
     g.finish();

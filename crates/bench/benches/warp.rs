@@ -21,10 +21,21 @@ fn bench_warp(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("warp");
     g.bench_function("warp_128x128", |b| {
-        b.iter(|| warp_frame(black_box(&reference), &cam0, &cam1, bg, &WarpOptions::default()))
+        b.iter(|| {
+            warp_frame(
+                black_box(&reference),
+                &cam0,
+                &cam1,
+                bg,
+                &WarpOptions::default(),
+            )
+        })
     });
     g.bench_function("warp_128x128_phi", |b| {
-        let opts = WarpOptions { phi: Some(0.05), ..Default::default() };
+        let opts = WarpOptions {
+            phi: Some(0.05),
+            ..Default::default()
+        };
         b.iter(|| warp_frame(black_box(&reference), &cam0, &cam1, bg, &opts))
     });
     g.finish();

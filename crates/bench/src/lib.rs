@@ -16,10 +16,16 @@ pub fn bench_scene() -> AnalyticScene {
 
 /// A small grid model baked for benching.
 pub fn bench_model() -> GridModel {
-    let opts = bake::BakeOptions { decoder_hidden: 16, ..Default::default() };
+    let opts = bake::BakeOptions {
+        decoder_hidden: 16,
+        ..Default::default()
+    };
     bake::bake_grid_with(
         &bench_scene(),
-        &GridConfig { resolution: 48, ..Default::default() },
+        &GridConfig {
+            resolution: 48,
+            ..Default::default()
+        },
         &opts,
     )
 }

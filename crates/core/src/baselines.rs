@@ -32,7 +32,10 @@ pub fn render_ds2<M: NerfModel + ?Sized, S: GatherSink>(
     // marking background).
     let (w, h) = (color.width(), color.height());
     let depth = Image::from_fn(w, h, |x, y| {
-        *small.depth.get((x / 2).min(small.width() - 1), (y / 2).min(small.height() - 1))
+        *small.depth.get(
+            (x / 2).min(small.width() - 1),
+            (y / 2).min(small.height() - 1),
+        )
     });
     (Frame { color, depth }, stats)
 }
@@ -92,7 +95,13 @@ mod tests {
 
     fn setup() -> (cicero_scene::AnalyticScene, cicero_field::GridModel, Camera) {
         let scene = library::scene_by_name("lego").unwrap();
-        let model = bake::bake_grid(&scene, &GridConfig { resolution: 48, ..Default::default() });
+        let model = bake::bake_grid(
+            &scene,
+            &GridConfig {
+                resolution: 48,
+                ..Default::default()
+            },
+        );
         let cam = Camera::new(
             Intrinsics::from_fov(64, 64, 0.9),
             Pose::look_at(Vec3::new(0.0, 1.2, -2.6), Vec3::ZERO, Vec3::Y),
@@ -131,7 +140,13 @@ mod tests {
     fn temp_chain_renders_full_every_window() {
         let (scene, model, _) = setup();
         let traj = cicero_scene::Trajectory::orbit(&scene, 9, 30.0);
-        let frames = render_temp_chain(&model, &traj, Intrinsics::from_fov(48, 48, 0.9), 4, &RenderOptions::default());
+        let frames = render_temp_chain(
+            &model,
+            &traj,
+            Intrinsics::from_fov(48, 48, 0.9),
+            4,
+            &RenderOptions::default(),
+        );
         assert_eq!(frames.len(), 9);
         // Frames 0, 4, 8 are full renders: all 48×48 rays.
         for &i in &[0usize, 4, 8] {

@@ -47,6 +47,8 @@ pub mod sparw;
 pub mod traffic;
 
 pub use cicero_accel::soc::{Scenario, Variant};
-pub use pipeline::{run_pipeline, PipelineConfig, PipelineRun};
+pub use pipeline::{
+    run_pipeline, FrameOutcome, PipelineConfig, PipelineRun, PipelineSession, SessionStep,
+};
 pub use schedule::{FramePlan, RefPlacement, Schedule};
 pub use sparw::{warp_frame, PixelSource, SplatMode, WarpOptions, WarpResult, WarpStats};

@@ -1,27 +1,37 @@
 //! The end-to-end Cicero pipeline: frames in, images + time/energy out.
 //!
-//! [`run_pipeline`] executes a camera trajectory under one of the paper's
-//! four variants (§V "Variants") and two scenarios ("Application Scenarios"),
-//! producing per-frame [`FrameOutcome`]s that the experiment harnesses
-//! aggregate into every speedup/energy/quality figure. [`run_ds2`] and
-//! [`run_temp`] run the comparison methods through the same machinery.
+//! [`PipelineSession`] is the incremental heart of the pipeline: it holds the
+//! warping-window [`Schedule`] cursor and the lazily rendered reference
+//! frames, and advances one trajectory frame per [`PipelineSession::step`]
+//! call. [`run_pipeline`] is a thin driver that steps a session to completion
+//! under one of the paper's four variants (§V "Variants") and two scenarios
+//! ("Application Scenarios"), producing per-frame [`FrameOutcome`]s that the
+//! experiment harnesses aggregate into every speedup/energy/quality figure.
+//! [`run_ds2`] and [`run_temp`] run the comparison methods through the same
+//! machinery.
+//!
+//! The incremental API exists so an external scheduler (the `cicero-serve`
+//! subsystem) can interleave frames from many concurrent sessions, batch the
+//! expensive reference renders across a worker pool, and inject shared
+//! reference frames via [`PipelineSession::install_reference`].
 
 use crate::baselines;
 use crate::schedule::{FramePlan, RefPlacement, Schedule};
 use crate::sparw::{warp_frame, WarpOptions, WarpStats};
 use crate::traffic::{
-    build_workload, PixelCentricConfig, PixelCentricReport, PixelCentricTraffic,
-    StreamingConfig, StreamingReport, StreamingTraffic,
+    build_workload, PixelCentricConfig, PixelCentricReport, PixelCentricTraffic, StreamingConfig,
+    StreamingReport, StreamingTraffic,
 };
 use cicero_accel::config::SocConfig;
 use cicero_accel::soc::{FrameReport, Scenario, SocModel, Variant};
 use cicero_accel::FrameWorkload;
 use cicero_field::render::{render_full, render_masked, RenderOptions, RenderStats};
 use cicero_field::{NerfModel, NullSink};
-use cicero_math::{metrics, Camera, Intrinsics};
+use cicero_math::{metrics, Camera, Intrinsics, Pose};
 use cicero_scene::ground_truth::{render_frame, Frame};
 use cicero_scene::volume::MarchParams;
 use cicero_scene::{AnalyticScene, Trajectory};
+use std::sync::Arc;
 
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
@@ -116,20 +126,17 @@ impl PipelineRun {
         if self.outcomes.is_empty() {
             return 0.0;
         }
-        self.outcomes.iter().map(|o| o.report.energy.total()).sum::<f64>()
+        self.outcomes
+            .iter()
+            .map(|o| o.report.energy.total())
+            .sum::<f64>()
             / self.outcomes.len() as f64
     }
 
     /// Mean PSNR over frames with quality data, dB.
     pub fn mean_psnr(&self) -> f64 {
         let vals: Vec<f64> = self.outcomes.iter().filter_map(|o| o.psnr_db).collect();
-        if vals.is_empty() {
-            return f64::NAN;
-        }
-        // PSNR averages over MSE, matching the paper's per-scene averaging.
-        let mse: f64 =
-            vals.iter().map(|p| 10f64.powf(-p / 10.0)).sum::<f64>() / vals.len() as f64;
-        -10.0 * mse.log10()
+        metrics::mean_psnr_db(&vals)
     }
 
     /// Mean stage-time breakdown across frames.
@@ -173,6 +180,7 @@ fn analyzed_full_render(
     (frame, stats, w)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn analyzed_sparse_render(
     model: &dyn NerfModel,
     cam: &Camera,
@@ -183,20 +191,29 @@ fn analyzed_sparse_render(
     cfg: &PipelineConfig,
     warp: (u64, u64),
 ) -> (RenderStats, FrameWorkload) {
-    let (stats, pc, fs): (RenderStats, Option<PixelCentricReport>, Option<StreamingReport>) =
-        if !cfg.collect_traffic {
-            let stats = render_masked(model, cam, opts, Some(mask), frame, &mut NullSink);
-            (stats, None, None)
-        } else if variant.fully_streaming() {
-            let mut sink = StreamingTraffic::new(model, streaming_cfg(cfg));
-            let stats = render_masked(model, cam, opts, Some(mask), frame, &mut sink);
-            (stats, None, Some(sink.finish()))
-        } else {
-            let mut sink = PixelCentricTraffic::new(model, pixel_cfg(cfg));
-            let stats = render_masked(model, cam, opts, Some(mask), frame, &mut sink);
-            (stats, Some(sink.finish()), None)
-        };
-    let w = build_workload(&stats, model.decoder(), pc.as_ref(), fs.as_ref(), Some(warp));
+    let (stats, pc, fs): (
+        RenderStats,
+        Option<PixelCentricReport>,
+        Option<StreamingReport>,
+    ) = if !cfg.collect_traffic {
+        let stats = render_masked(model, cam, opts, Some(mask), frame, &mut NullSink);
+        (stats, None, None)
+    } else if variant.fully_streaming() {
+        let mut sink = StreamingTraffic::new(model, streaming_cfg(cfg));
+        let stats = render_masked(model, cam, opts, Some(mask), frame, &mut sink);
+        (stats, None, Some(sink.finish()))
+    } else {
+        let mut sink = PixelCentricTraffic::new(model, pixel_cfg(cfg));
+        let stats = render_masked(model, cam, opts, Some(mask), frame, &mut sink);
+        (stats, Some(sink.finish()), None)
+    };
+    let w = build_workload(
+        &stats,
+        model.decoder(),
+        pc.as_ref(),
+        fs.as_ref(),
+        Some(warp),
+    );
     (stats, w)
 }
 
@@ -230,7 +247,452 @@ fn quality_of(
     )
 }
 
+/// The output of one [`PipelineSession::step`]: the displayed frame and its
+/// simulated outcome.
+#[derive(Debug, Clone)]
+pub struct SessionStep {
+    /// Per-frame result (timing, energy, quality, warp statistics).
+    pub outcome: FrameOutcome,
+    /// The displayed frame.
+    pub frame: Frame,
+    /// Device-occupancy time of *this frame alone*, seconds: full-render time
+    /// for reference/baseline frames, warp + sparse-render time for target
+    /// frames — **without** the amortized reference share folded into
+    /// `outcome.report.time_s`. External schedulers that place reference
+    /// renders explicitly (and would otherwise double-count them) bill
+    /// workers with this figure.
+    pub service_time_s: f64,
+    /// The workload behind `service_time_s`: the full-render workload for
+    /// reference/baseline frames, the sparse-render workload for target
+    /// frames. Lets schedulers re-price the frame on different hardware via
+    /// [`PipelineSession::service_time_on`].
+    pub workload: FrameWorkload,
+}
+
+/// An incremental pipeline execution over one trajectory.
+///
+/// A session owns the warping-window [`Schedule`], the cursor into it, and
+/// the lazily materialized reference frames. Each [`step`](Self::step) call
+/// produces exactly one trajectory frame, so an external scheduler can
+/// interleave frames from many sessions, decide *when* each session's
+/// reference render happens, and share reference frames between co-located
+/// sessions ([`install_reference`](Self::install_reference)).
+///
+/// Driving a fresh session to completion is exactly [`run_pipeline`].
+pub struct PipelineSession<'a> {
+    scene: &'a AnalyticScene,
+    model: &'a dyn NerfModel,
+    traj: &'a Trajectory,
+    intrinsics: Intrinsics,
+    cfg: PipelineConfig,
+    soc: SocModel,
+    opts: RenderOptions,
+    pixels: u64,
+    /// `None` under [`Variant::Baseline`] (every frame renders fully).
+    schedule: Option<Schedule>,
+    /// Targets per reference, for honest amortization of partial windows.
+    ref_use: Vec<usize>,
+    /// References that are rendered *in-stream* as displayed frames
+    /// (bootstrap, on-trajectory placement); external schedulers must not
+    /// pre-render these or the frame would be paid for twice.
+    in_stream_refs: Vec<bool>,
+    /// Lazily rendered reference frames and their workloads. `Arc` so a
+    /// cross-session cache can share one render among many sessions without
+    /// copying frame pixels.
+    ref_frames: Vec<Option<(Arc<Frame>, FrameWorkload)>>,
+    /// Actual render poses of installed references (cache injections may
+    /// substitute a nearby pose; warping must use the true render pose).
+    ref_pose_overrides: Vec<Option<Pose>>,
+    cursor: usize,
+    warp_totals: WarpStats,
+    last_ref_workload: Option<FrameWorkload>,
+}
+
+impl<'a> PipelineSession<'a> {
+    /// Creates a session at frame 0 of `traj`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trajectory is empty or `cfg.window == 0` (for non-
+    /// baseline variants).
+    pub fn new(
+        scene: &'a AnalyticScene,
+        model: &'a dyn NerfModel,
+        traj: &'a Trajectory,
+        intrinsics: Intrinsics,
+        cfg: &PipelineConfig,
+    ) -> Self {
+        assert!(!traj.is_empty());
+        let schedule = if cfg.variant == Variant::Baseline {
+            None
+        } else {
+            Some(Schedule::plan(traj, cfg.window, cfg.ref_placement))
+        };
+        let n_refs = schedule.as_ref().map_or(0, |s| s.references.len());
+        let mut ref_use = vec![0usize; n_refs];
+        let mut in_stream_refs = vec![false; n_refs];
+        if let Some(s) = &schedule {
+            for p in &s.plans {
+                match p {
+                    FramePlan::Warp { ref_index } => ref_use[*ref_index] += 1,
+                    FramePlan::FullRender { ref_index } => in_stream_refs[*ref_index] = true,
+                }
+            }
+        }
+        PipelineSession {
+            scene,
+            model,
+            traj,
+            intrinsics,
+            soc: SocModel::new(cfg.soc),
+            opts: RenderOptions {
+                march: cfg.march,
+                use_occupancy: true,
+            },
+            pixels: intrinsics.pixel_count() as u64,
+            cfg: cfg.clone(),
+            schedule,
+            ref_use,
+            in_stream_refs,
+            ref_frames: (0..n_refs).map(|_| None).collect(),
+            ref_pose_overrides: vec![None; n_refs],
+            cursor: 0,
+            warp_totals: WarpStats::default(),
+            last_ref_workload: None,
+        }
+    }
+
+    /// Total trajectory frames.
+    pub fn len(&self) -> usize {
+        self.traj.len()
+    }
+
+    /// `true` when every frame has been produced.
+    pub fn is_done(&self) -> bool {
+        self.cursor >= self.traj.len()
+    }
+
+    /// Never empty: sessions require a non-empty trajectory.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Index of the next frame [`step`](Self::step) will produce.
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.cfg
+    }
+
+    /// The session's camera intrinsics.
+    pub fn intrinsics(&self) -> Intrinsics {
+        self.intrinsics
+    }
+
+    /// The trajectory being rendered.
+    pub fn trajectory(&self) -> &Trajectory {
+        self.traj
+    }
+
+    /// The SoC model pricing this session's frames.
+    pub fn soc(&self) -> &SocModel {
+        &self.soc
+    }
+
+    /// The warping-window schedule (`None` under [`Variant::Baseline`]).
+    pub fn schedule(&self) -> Option<&Schedule> {
+        self.schedule.as_ref()
+    }
+
+    /// The plan for the next frame (`None` when done or baseline).
+    pub fn next_plan(&self) -> Option<FramePlan> {
+        self.schedule
+            .as_ref()
+            .and_then(|s| s.plans.get(self.cursor).copied())
+    }
+
+    /// The reference index the next frame will warp from, if that reference
+    /// has not been materialized yet. References produced in-stream by a
+    /// `FullRender` frame are excluded — stepping the session pays for those,
+    /// and pre-rendering them would bill the frame twice (see
+    /// `in_stream_refs`). External schedulers use this to batch reference
+    /// renders; if left unsatisfied, [`step`](Self::step) renders it inline.
+    pub fn needs_reference(&self) -> Option<usize> {
+        match self.next_plan()? {
+            FramePlan::Warp { ref_index } => (self.ref_frames[ref_index].is_none()
+                && !self.in_stream_refs[ref_index])
+                .then_some(ref_index),
+            FramePlan::FullRender { .. } => None,
+        }
+    }
+
+    /// Off-trajectory references needed by warp frames within the next
+    /// `horizon` frames that have not been materialized yet, in first-use
+    /// order. References produced in-stream by a `FullRender` frame
+    /// (bootstrap, on-trajectory placement) are excluded — stepping the
+    /// session pays for those. External schedulers use this to dispatch
+    /// reference renders early enough to overlap the current window's warps
+    /// (the multi-session generalization of Fig. 10/11b).
+    pub fn upcoming_references(&self, horizon: usize) -> Vec<usize> {
+        let Some(s) = &self.schedule else {
+            return Vec::new();
+        };
+        let end = self
+            .cursor
+            .saturating_add(horizon.max(1))
+            .min(s.plans.len());
+        let mut out = Vec::new();
+        for p in &s.plans[self.cursor..end] {
+            if let FramePlan::Warp { ref_index } = p {
+                if self.ref_frames[*ref_index].is_none()
+                    && !self.in_stream_refs[*ref_index]
+                    && !out.contains(ref_index)
+                {
+                    out.push(*ref_index);
+                }
+            }
+        }
+        out
+    }
+
+    /// The pose reference `idx` is scheduled to render at (or the actual pose
+    /// of an installed substitute).
+    ///
+    /// # Panics
+    ///
+    /// Panics for baseline sessions or out-of-range indices.
+    pub fn reference_pose(&self, idx: usize) -> Pose {
+        self.ref_pose_overrides[idx].unwrap_or_else(|| {
+            self.schedule
+                .as_ref()
+                .expect("baseline has no references")
+                .references[idx]
+        })
+    }
+
+    /// Renders reference `idx` without installing it, returning the frame and
+    /// its full-render workload. External schedulers call this to produce a
+    /// shareable reference (and price it via [`soc`](Self::soc)), then hand
+    /// it back through [`install_reference`](Self::install_reference).
+    pub fn render_reference(&self, idx: usize) -> (Frame, FrameWorkload) {
+        let cam = Camera::new(self.intrinsics, self.reference_pose(idx));
+        let (frame, _stats, w) =
+            analyzed_full_render(self.model, &cam, &self.opts, self.cfg.variant, &self.cfg);
+        (frame, w)
+    }
+
+    /// Installs an externally produced reference frame for slot `idx`.
+    ///
+    /// `pose` must be the pose `frame` was actually rendered at; it replaces
+    /// the scheduled pose so warping stays geometrically consistent when a
+    /// nearby cached frame is substituted. Installing over an existing
+    /// reference replaces it. The frame arrives behind an `Arc` so a shared
+    /// cache can hand the same render to many sessions without copying
+    /// pixels.
+    pub fn install_reference(
+        &mut self,
+        idx: usize,
+        pose: Pose,
+        frame: Arc<Frame>,
+        workload: FrameWorkload,
+    ) {
+        self.ref_pose_overrides[idx] = Some(pose);
+        self.ref_frames[idx] = Some((frame, workload));
+    }
+
+    /// The materialized reference frame in slot `idx`, if any — behind the
+    /// shared `Arc`, so callers (e.g. a cross-session cache) can publish it
+    /// without copying pixels.
+    pub fn reference_frame(&self, idx: usize) -> Option<Arc<Frame>> {
+        self.ref_frames
+            .get(idx)
+            .and_then(|s| s.as_ref().map(|(f, _)| f.clone()))
+    }
+
+    /// Aggregate warp statistics over the target frames produced so far.
+    pub fn warp_totals(&self) -> &WarpStats {
+        &self.warp_totals
+    }
+
+    /// The last reference/full-render workload produced (for harness reuse).
+    pub fn reference_workload(&self) -> Option<&FrameWorkload> {
+        self.last_ref_workload.as_ref()
+    }
+
+    /// Prices `step`'s un-amortized service time on `soc` — the formula
+    /// [`step`](Self::step) used for `service_time_s`, applied to different
+    /// hardware. With the session's own [`soc`](Self::soc) this equals
+    /// `step.service_time_s` exactly. Pool schedulers use it to bill each
+    /// frame at the speed of the worker that actually executes it.
+    pub fn service_time_on(&self, soc: &SocModel, step: &SessionStep) -> f64 {
+        if step.outcome.full_render {
+            match self.cfg.scenario {
+                Scenario::Local => soc.full_frame(&step.workload, self.cfg.variant).time_s,
+                Scenario::Remote => {
+                    soc.baseline_remote_frame(&step.workload, self.pixels)
+                        .time_s
+                }
+            }
+        } else {
+            soc.target_frame(&step.workload, self.cfg.variant).time_s
+        }
+    }
+
+    fn ensure_reference(&mut self, idx: usize) {
+        if self.ref_frames[idx].is_none() {
+            let (frame, w) = self.render_reference(idx);
+            self.ref_frames[idx] = Some((Arc::new(frame), w));
+        }
+    }
+
+    fn quality(&self, cam: &Camera, frame: &Frame) -> (Option<f64>, Option<f64>) {
+        if self.cfg.collect_quality {
+            quality_of(self.scene, cam, &self.cfg.march, frame)
+        } else {
+            (None, None)
+        }
+    }
+
+    /// Prices and packages a full (reference/bootstrap/baseline) render as
+    /// the step for frame `i`.
+    fn full_render_step(
+        &mut self,
+        i: usize,
+        cam: &Camera,
+        frame: Frame,
+        w: FrameWorkload,
+    ) -> SessionStep {
+        let report = match self.cfg.scenario {
+            Scenario::Local => self.soc.full_frame(&w, self.cfg.variant),
+            Scenario::Remote => self.soc.baseline_remote_frame(&w, self.pixels),
+        };
+        let (psnr_db, ssim) = self.quality(cam, &frame);
+        self.last_ref_workload = Some(w.clone());
+        let service_time_s = report.time_s;
+        SessionStep {
+            outcome: FrameOutcome {
+                frame_index: i,
+                report,
+                psnr_db,
+                ssim,
+                warp_stats: None,
+                full_render: true,
+            },
+            frame,
+            service_time_s,
+            workload: w,
+        }
+    }
+
+    /// Produces the next trajectory frame, or `None` when the trajectory is
+    /// exhausted.
+    pub fn step(&mut self) -> Option<SessionStep> {
+        let i = self.cursor;
+        if i >= self.traj.len() {
+            return None;
+        }
+        self.cursor += 1;
+        let cam = self.traj.camera(i, self.intrinsics);
+
+        let plan = match &self.schedule {
+            // Baseline: every frame is an implicit full render, outside any
+            // reference bookkeeping.
+            None => {
+                let (frame, _stats, w) =
+                    analyzed_full_render(self.model, &cam, &self.opts, self.cfg.variant, &self.cfg);
+                return Some(self.full_render_step(i, &cam, frame, w));
+            }
+            Some(s) => s.plans[i],
+        };
+
+        match plan {
+            FramePlan::FullRender { ref_index } => {
+                self.ensure_reference(ref_index);
+                let (frame, w) = self.ref_frames[ref_index].clone().unwrap();
+                // Bootstrap / on-trajectory reference frames pay full price.
+                // The displayed frame is owned; the slot keeps the shared
+                // render for the window's warps, so copy the pixels out.
+                Some(self.full_render_step(i, &cam, (*frame).clone(), w))
+            }
+            FramePlan::Warp { ref_index } => {
+                self.ensure_reference(ref_index);
+                let ref_cam = Camera::new(self.intrinsics, self.reference_pose(ref_index));
+                let (ref_frame, ref_w) = self.ref_frames[ref_index].as_ref().unwrap();
+                let warp_opts = WarpOptions {
+                    phi: self.cfg.phi,
+                    ..Default::default()
+                };
+                let warped = warp_frame(
+                    ref_frame.as_ref(),
+                    &ref_cam,
+                    &cam,
+                    self.model.background(),
+                    &warp_opts,
+                );
+                let stats = warped.stats();
+                let mask = warped.render_mask();
+                let mut frame = warped.frame;
+                let ref_w = ref_w.clone();
+                let (_s, tgt_w) = analyzed_sparse_render(
+                    self.model,
+                    &cam,
+                    &self.opts,
+                    &mask,
+                    &mut frame,
+                    self.cfg.variant,
+                    &self.cfg,
+                    (self.pixels, self.pixels),
+                );
+                let window = self.ref_use[ref_index].max(1);
+                // Price the target frame once: it is both the un-amortized
+                // service time and an input to the amortized report.
+                let tgt_report = self.soc.target_frame(&tgt_w, self.cfg.variant);
+                let report = match self.cfg.scenario {
+                    Scenario::Local => self.soc.sparw_local_from_reports(
+                        &self.soc.full_frame(&ref_w, self.cfg.variant),
+                        &tgt_report,
+                        window,
+                    ),
+                    Scenario::Remote => self.soc.sparw_remote_from_reports(
+                        &self.soc.full_frame(&ref_w, Variant::Baseline),
+                        &tgt_report,
+                        window,
+                        self.pixels,
+                    ),
+                };
+                let (psnr_db, ssim) = self.quality(&cam, &frame);
+                self.warp_totals.total += stats.total;
+                self.warp_totals.warped += stats.warped;
+                self.warp_totals.disoccluded += stats.disoccluded;
+                self.warp_totals.void_pixels += stats.void_pixels;
+                self.warp_totals.rejected += stats.rejected;
+                self.last_ref_workload = Some(ref_w);
+                let service_time_s = tgt_report.time_s;
+                Some(SessionStep {
+                    outcome: FrameOutcome {
+                        frame_index: i,
+                        report,
+                        psnr_db,
+                        ssim,
+                        warp_stats: Some(stats),
+                        full_render: false,
+                    },
+                    frame,
+                    service_time_s,
+                    workload: tgt_w,
+                })
+            }
+        }
+    }
+}
+
 /// Runs a full trajectory through the configured pipeline.
+///
+/// A thin driver over [`PipelineSession`]: steps a fresh session to
+/// completion and collects the results.
 ///
 /// # Panics
 ///
@@ -242,150 +704,19 @@ pub fn run_pipeline(
     intrinsics: Intrinsics,
     cfg: &PipelineConfig,
 ) -> PipelineRun {
-    assert!(!traj.is_empty());
-    let soc = SocModel::new(cfg.soc);
-    let opts = RenderOptions { march: cfg.march, use_occupancy: true };
-    let pixels = intrinsics.pixel_count() as u64;
-
+    let mut session = PipelineSession::new(scene, model, traj, intrinsics, cfg);
     let mut outcomes = Vec::with_capacity(traj.len());
     let mut frames = Vec::with_capacity(traj.len());
-    let mut warp_totals = WarpStats::default();
-    let mut last_ref_workload: Option<FrameWorkload> = None;
-
-    if cfg.variant == Variant::Baseline {
-        for i in 0..traj.len() {
-            let cam = traj.camera(i, intrinsics);
-            let (frame, _stats, w) = analyzed_full_render(model, &cam, &opts, cfg.variant, cfg);
-            let report = match cfg.scenario {
-                Scenario::Local => soc.full_frame(&w, cfg.variant),
-                Scenario::Remote => soc.baseline_remote_frame(&w, pixels),
-            };
-            let (psnr_db, ssim) = if cfg.collect_quality {
-                quality_of(scene, &cam, &cfg.march, &frame)
-            } else {
-                (None, None)
-            };
-            last_ref_workload = Some(w);
-            outcomes.push(FrameOutcome {
-                frame_index: i,
-                report,
-                psnr_db,
-                ssim,
-                warp_stats: None,
-                full_render: true,
-            });
-            frames.push(frame);
-        }
-        return PipelineRun { outcomes, frames, reference_workload: last_ref_workload, warp_totals };
+    while let Some(step) = session.step() {
+        outcomes.push(step.outcome);
+        frames.push(step.frame);
     }
-
-    let schedule = Schedule::plan(traj, cfg.window, cfg.ref_placement);
-    // Targets per reference, for honest amortization of partial windows.
-    let mut ref_use = vec![0usize; schedule.references.len()];
-    for p in &schedule.plans {
-        if let FramePlan::Warp { ref_index } = p {
-            ref_use[*ref_index] += 1;
-        }
+    PipelineRun {
+        outcomes,
+        frames,
+        reference_workload: session.last_ref_workload,
+        warp_totals: session.warp_totals,
     }
-
-    // Lazily rendered reference frames and their workloads.
-    let mut ref_frames: Vec<Option<(Frame, FrameWorkload)>> =
-        (0..schedule.references.len()).map(|_| None).collect();
-    let render_reference = |idx: usize| -> (Frame, FrameWorkload) {
-        let cam = Camera::new(intrinsics, schedule.references[idx]);
-        let (frame, _stats, w) = analyzed_full_render(model, &cam, &opts, cfg.variant, cfg);
-        (frame, w)
-    };
-
-    let warp_opts = WarpOptions { phi: cfg.phi, ..Default::default() };
-    for (i, plan) in schedule.plans.iter().enumerate() {
-        let cam = traj.camera(i, intrinsics);
-        match *plan {
-            FramePlan::FullRender { ref_index } => {
-                if ref_frames[ref_index].is_none() {
-                    ref_frames[ref_index] = Some(render_reference(ref_index));
-                }
-                let (frame, w) = ref_frames[ref_index].clone().unwrap();
-                // Bootstrap / on-trajectory reference frames pay full price.
-                let report = match cfg.scenario {
-                    Scenario::Local => soc.full_frame(&w, cfg.variant),
-                    Scenario::Remote => soc.baseline_remote_frame(&w, pixels),
-                };
-                let (psnr_db, ssim) = if cfg.collect_quality {
-                    quality_of(scene, &cam, &cfg.march, &frame)
-                } else {
-                    (None, None)
-                };
-                last_ref_workload = Some(w);
-                outcomes.push(FrameOutcome {
-                    frame_index: i,
-                    report,
-                    psnr_db,
-                    ssim,
-                    warp_stats: None,
-                    full_render: true,
-                });
-                frames.push(frame);
-            }
-            FramePlan::Warp { ref_index } => {
-                if ref_frames[ref_index].is_none() {
-                    ref_frames[ref_index] = Some(render_reference(ref_index));
-                }
-                let (ref_frame, ref_w) = ref_frames[ref_index].as_ref().unwrap();
-                let ref_cam = Camera::new(intrinsics, schedule.references[ref_index]);
-                let warped =
-                    warp_frame(ref_frame, &ref_cam, &cam, model.background(), &warp_opts);
-                let stats = warped.stats();
-                let mask = warped.render_mask();
-                let mut frame = warped.frame;
-                let (_s, tgt_w) = analyzed_sparse_render(
-                    model,
-                    &cam,
-                    &opts,
-                    &mask,
-                    &mut frame,
-                    cfg.variant,
-                    cfg,
-                    (pixels, pixels),
-                );
-                let window = ref_use[ref_index].max(1);
-                let report = match cfg.scenario {
-                    Scenario::Local => {
-                        soc.sparw_local_frame(ref_w, &tgt_w, window, cfg.variant)
-                    }
-                    Scenario::Remote => soc.sparw_remote_frame(
-                        ref_w,
-                        &tgt_w,
-                        window,
-                        cfg.variant,
-                        pixels,
-                    ),
-                };
-                let (psnr_db, ssim) = if cfg.collect_quality {
-                    quality_of(scene, &cam, &cfg.march, &frame)
-                } else {
-                    (None, None)
-                };
-                warp_totals.total += stats.total;
-                warp_totals.warped += stats.warped;
-                warp_totals.disoccluded += stats.disoccluded;
-                warp_totals.void_pixels += stats.void_pixels;
-                warp_totals.rejected += stats.rejected;
-                last_ref_workload = Some(ref_w.clone());
-                outcomes.push(FrameOutcome {
-                    frame_index: i,
-                    report,
-                    psnr_db,
-                    ssim,
-                    warp_stats: Some(stats),
-                    full_render: false,
-                });
-                frames.push(frame);
-            }
-        }
-    }
-
-    PipelineRun { outcomes, frames, reference_workload: last_ref_workload, warp_totals }
 }
 
 /// Runs the DS-2 baseline over a trajectory (quarter work + upsampling).
@@ -397,7 +728,10 @@ pub fn run_ds2(
     cfg: &PipelineConfig,
 ) -> PipelineRun {
     let soc = SocModel::new(cfg.soc);
-    let opts = RenderOptions { march: cfg.march, use_occupancy: true };
+    let opts = RenderOptions {
+        march: cfg.march,
+        use_occupancy: true,
+    };
     let pixels = intrinsics.pixel_count() as u64;
     let mut outcomes = Vec::new();
     let mut frames = Vec::new();
@@ -435,7 +769,12 @@ pub fn run_ds2(
         });
         frames.push(frame);
     }
-    PipelineRun { outcomes, frames, reference_workload: None, warp_totals: WarpStats::default() }
+    PipelineRun {
+        outcomes,
+        frames,
+        reference_workload: None,
+        warp_totals: WarpStats::default(),
+    }
 }
 
 /// Runs the Temp-N baseline (chained on-trajectory warping, full render every
@@ -448,7 +787,10 @@ pub fn run_temp(
     cfg: &PipelineConfig,
 ) -> PipelineRun {
     let soc = SocModel::new(cfg.soc);
-    let opts = RenderOptions { march: cfg.march, use_occupancy: true };
+    let opts = RenderOptions {
+        march: cfg.march,
+        use_occupancy: true,
+    };
     let pixels = intrinsics.pixel_count() as u64;
     let rendered = baselines::render_temp_chain(model, traj, intrinsics, cfg.window, &opts);
     let mut outcomes = Vec::new();
@@ -484,7 +826,12 @@ pub fn run_temp(
         });
         frames.push(frame);
     }
-    PipelineRun { outcomes, frames, reference_workload: None, warp_totals: WarpStats::default() }
+    PipelineRun {
+        outcomes,
+        frames,
+        reference_workload: None,
+        warp_totals: WarpStats::default(),
+    }
 }
 
 #[cfg(test)]
@@ -493,9 +840,20 @@ mod tests {
     use cicero_field::{bake, GridConfig};
     use cicero_scene::library;
 
-    fn small_setup() -> (AnalyticScene, cicero_field::GridModel, Trajectory, Intrinsics) {
+    fn small_setup() -> (
+        AnalyticScene,
+        cicero_field::GridModel,
+        Trajectory,
+        Intrinsics,
+    ) {
         let scene = library::scene_by_name("lego").unwrap();
-        let model = bake::bake_grid(&scene, &GridConfig { resolution: 40, ..Default::default() });
+        let model = bake::bake_grid(
+            &scene,
+            &GridConfig {
+                resolution: 40,
+                ..Default::default()
+            },
+        );
         let traj = Trajectory::orbit(&scene, 6, 30.0);
         (scene, model, traj, Intrinsics::from_fov(40, 40, 0.9))
     }
@@ -504,7 +862,10 @@ mod tests {
         let mut cfg = PipelineConfig {
             variant,
             window: 4,
-            march: MarchParams { step: 0.02, ..Default::default() },
+            march: MarchParams {
+                step: 0.02,
+                ..Default::default()
+            },
             ..Default::default()
         };
         // Toy 40×40 frames: remove the fixed kernel-launch overheads that
@@ -518,7 +879,11 @@ mod tests {
         let (scene, model, traj, k) = small_setup();
         let run = run_pipeline(&scene, &model, &traj, k, &fast_cfg(Variant::Baseline));
         assert_eq!(run.outcomes.len(), 6);
-        assert!(run.mean_psnr() > 16.0, "baseline PSNR {:.1}", run.mean_psnr());
+        assert!(
+            run.mean_psnr() > 16.0,
+            "baseline PSNR {:.1}",
+            run.mean_psnr()
+        );
         assert!(run.outcomes.iter().all(|o| o.full_render));
         assert!(run.mean_frame_time() > 0.0);
     }
@@ -599,5 +964,57 @@ mod tests {
         cfg.collect_quality = false;
         let run = run_pipeline(&scene, &model, &traj, k, &cfg);
         assert!(run.outcomes.iter().all(|o| o.psnr_db.is_none()));
+    }
+
+    #[test]
+    fn needs_reference_never_hands_out_in_stream_refs() {
+        let (scene, model, traj, k) = small_setup();
+        for variant in [Variant::Sparw, Variant::Cicero] {
+            for scenario in [Scenario::Local, Scenario::Remote] {
+                let mut cfg = fast_cfg(variant);
+                cfg.scenario = scenario;
+                cfg.collect_quality = false;
+                let mut sess = PipelineSession::new(&scene, &model, &traj, k, &cfg);
+                let mut handed_out = 0;
+                while !sess.is_done() {
+                    if let Some(r) = sess.needs_reference() {
+                        assert!(
+                            !sess.in_stream_refs[r],
+                            "in-stream ref {r} handed out for pre-render ({variant:?}/{scenario:?})"
+                        );
+                        assert!(
+                            matches!(sess.next_plan(), Some(FramePlan::Warp { .. })),
+                            "needs_reference on a FullRender frame would double-bill it"
+                        );
+                        handed_out += 1;
+                    }
+                    sess.step().unwrap();
+                }
+                // Extrapolated placement has off-stream refs to hand out.
+                assert!(handed_out > 0, "{variant:?}/{scenario:?} handed out none");
+            }
+        }
+    }
+
+    #[test]
+    fn service_time_on_own_soc_matches_step() {
+        let (scene, model, traj, k) = small_setup();
+        for variant in Variant::ALL {
+            for scenario in [Scenario::Local, Scenario::Remote] {
+                let mut cfg = fast_cfg(variant);
+                cfg.scenario = scenario;
+                cfg.collect_quality = false;
+                let mut sess = PipelineSession::new(&scene, &model, &traj, k, &cfg);
+                let own_soc = sess.soc().clone();
+                while let Some(step) = sess.step() {
+                    assert_eq!(
+                        sess.service_time_on(&own_soc, &step),
+                        step.service_time_s,
+                        "{variant:?}/{scenario:?} frame {}",
+                        step.outcome.frame_index
+                    );
+                }
+            }
+        }
     }
 }

@@ -95,7 +95,7 @@ impl Schedule {
                         // Decided at the previous window's start (last known
                         // poses: frame-window-1, frame-window-2), aiming at
                         // this window's center — horizon 1.5 × window.
-                        let known = frame.saturating_sub(window + 1).max(0);
+                        let known = frame.saturating_sub(window + 1);
                         let prev = known.saturating_sub(1);
                         let horizon = window as f32 + window as f32 * 0.5;
                         Pose::extrapolate(traj.pose(prev), traj.pose(known), horizon)
@@ -121,7 +121,11 @@ impl Schedule {
             }
             frame = end;
         }
-        Schedule { references, off_trajectory, plans }
+        Schedule {
+            references,
+            off_trajectory,
+            plans,
+        }
     }
 }
 
@@ -143,10 +147,16 @@ mod tests {
         assert!(matches!(s.plans[0], FramePlan::FullRender { ref_index: 0 }));
         // Frames 1..=4 share reference 0 (bootstrap), 5..=8 share ref 1, etc.
         for f in 1..=4 {
-            assert!(matches!(s.plans[f], FramePlan::Warp { ref_index: 0 }), "frame {f}");
+            assert!(
+                matches!(s.plans[f], FramePlan::Warp { ref_index: 0 }),
+                "frame {f}"
+            );
         }
         for f in 5..=8 {
-            assert!(matches!(s.plans[f], FramePlan::Warp { ref_index: 1 }), "frame {f}");
+            assert!(
+                matches!(s.plans[f], FramePlan::Warp { ref_index: 1 }),
+                "frame {f}"
+            );
         }
         // 17 frames: bootstrap ref + windows {5-8, 9-12, 13-16} each adding
         // one (window 1-4 reuses the bootstrap) → 4 references.
@@ -159,7 +169,9 @@ mod tests {
         let s = Schedule::plan(&t, 8, RefPlacement::Extrapolated);
         // Reference serving frames 17..25 should be closer to that window's
         // center than to the trajectory start.
-        let FramePlan::Warp { ref_index } = s.plans[20] else { panic!("expected warp") };
+        let FramePlan::Warp { ref_index } = s.plans[20] else {
+            panic!("expected warp")
+        };
         let r = &s.references[ref_index];
         let center = t.pose(20);
         let start = t.pose(0);
@@ -176,7 +188,9 @@ mod tests {
     fn oracle_reference_is_exact_center() {
         let t = traj(17);
         let s = Schedule::plan(&t, 8, RefPlacement::OracleCentered);
-        let FramePlan::Warp { ref_index } = s.plans[12] else { panic!() };
+        let FramePlan::Warp { ref_index } = s.plans[12] else {
+            panic!()
+        };
         // Window 9..17, center at frame 13.
         assert_eq!(s.references[ref_index], *t.pose(13));
     }
@@ -195,7 +209,11 @@ mod tests {
     fn window_one_still_warps_every_frame_once() {
         let t = traj(5);
         let s = Schedule::plan(&t, 1, RefPlacement::Extrapolated);
-        let warps = s.plans.iter().filter(|p| matches!(p, FramePlan::Warp { .. })).count();
+        let warps = s
+            .plans
+            .iter()
+            .filter(|p| matches!(p, FramePlan::Warp { .. }))
+            .count();
         assert_eq!(warps, 4);
         assert_eq!(s.full_render_count(), 4); // bootstrap + one ref per frame 2..5
     }

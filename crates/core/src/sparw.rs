@@ -131,7 +131,10 @@ impl WarpResult {
 
     /// Aggregate statistics.
     pub fn stats(&self) -> WarpStats {
-        let mut st = WarpStats { total: self.status.len() as u64, ..Default::default() };
+        let mut st = WarpStats {
+            total: self.status.len() as u64,
+            ..Default::default()
+        };
         for s in &self.status {
             match s {
                 PixelSource::Warped => st.warped += 1,
@@ -224,11 +227,7 @@ pub fn warp_frame(
                     (1, 1, wx * wy),
                 ],
                 SplatMode::Nearest => [
-                    (
-                        (fx.round() - x0) as i64,
-                        (fy.round() - y0) as i64,
-                        1.0,
-                    ),
+                    ((fx.round() - x0) as i64, (fy.round() - y0) as i64, 1.0),
                     (0, 0, 0.0),
                     (0, 0, 0.0),
                     (0, 0, 0.0),
@@ -386,7 +385,6 @@ pub fn warp_frame(
         }
     }
 
-
     WarpResult { frame, status }
 }
 
@@ -401,9 +399,14 @@ mod tests {
     fn setup(dx: f32) -> (cicero_scene::AnalyticScene, Camera, Camera, Frame) {
         let scene = library::scene_by_name("lego").unwrap();
         let k = Intrinsics::from_fov(64, 64, 0.9);
-        let ref_cam = Camera::new(k, Pose::look_at(Vec3::new(0.0, 1.3, -2.8), Vec3::ZERO, Vec3::Y));
-        let tgt_cam =
-            Camera::new(k, Pose::look_at(Vec3::new(dx, 1.3, -2.8), Vec3::ZERO, Vec3::Y));
+        let ref_cam = Camera::new(
+            k,
+            Pose::look_at(Vec3::new(0.0, 1.3, -2.8), Vec3::ZERO, Vec3::Y),
+        );
+        let tgt_cam = Camera::new(
+            k,
+            Pose::look_at(Vec3::new(dx, 1.3, -2.8), Vec3::ZERO, Vec3::Y),
+        );
         let reference = render_frame(&scene, &ref_cam, &MarchParams::default());
         (scene, ref_cam, tgt_cam, reference)
     }
@@ -411,7 +414,13 @@ mod tests {
     #[test]
     fn identity_warp_reproduces_reference() {
         let (scene, ref_cam, _, reference) = setup(0.0);
-        let r = warp_frame(&reference, &ref_cam, &ref_cam, scene.background(), &WarpOptions::default());
+        let r = warp_frame(
+            &reference,
+            &ref_cam,
+            &ref_cam,
+            scene.background(),
+            &WarpOptions::default(),
+        );
         let stats = r.stats();
         // Identity: every surface pixel warps onto itself. The conservative
         // void guard re-renders a one-pixel silhouette ring, nothing more.
@@ -440,13 +449,23 @@ mod tests {
         assert!(n > 0);
         // Directly warped pixels are exact; the only contributors are the
         // few crack-filled silhouette pixels carrying neighbor averages.
-        assert!(err / (n as f64) < 0.01, "identity warp error {}", err / n as f64);
+        assert!(
+            err / (n as f64) < 0.01,
+            "identity warp error {}",
+            err / n as f64
+        );
     }
 
     #[test]
     fn small_motion_warp_is_accurate_and_mostly_overlapping() {
         let (scene, ref_cam, tgt_cam, reference) = setup(0.06);
-        let r = warp_frame(&reference, &ref_cam, &tgt_cam, scene.background(), &WarpOptions::default());
+        let r = warp_frame(
+            &reference,
+            &ref_cam,
+            &tgt_cam,
+            scene.background(),
+            &WarpOptions::default(),
+        );
         let stats = r.stats();
         // Paper §III-A: >95% overlap for adjacent frames.
         assert!(
@@ -468,13 +487,23 @@ mod tests {
             }
         }
         assert!(n > 0);
-        assert!(err / (n as f64) < 0.12, "mean warped error {}", err / n as f64);
+        assert!(
+            err / (n as f64) < 0.12,
+            "mean warped error {}",
+            err / n as f64
+        );
     }
 
     #[test]
     fn disocclusion_appears_with_larger_motion() {
         let (scene, ref_cam, tgt_cam, reference) = setup(0.6);
-        let r = warp_frame(&reference, &ref_cam, &tgt_cam, scene.background(), &WarpOptions::default());
+        let r = warp_frame(
+            &reference,
+            &ref_cam,
+            &tgt_cam,
+            scene.background(),
+            &WarpOptions::default(),
+        );
         let stats = r.stats();
         assert!(stats.disoccluded > 0, "large motion must disocclude");
         assert!(stats.render_fraction() < 0.5, "but most pixels still reuse");
@@ -483,7 +512,13 @@ mod tests {
     #[test]
     fn void_pixels_dominate_empty_background() {
         let (scene, ref_cam, tgt_cam, reference) = setup(0.05);
-        let r = warp_frame(&reference, &ref_cam, &tgt_cam, scene.background(), &WarpOptions::default());
+        let r = warp_frame(
+            &reference,
+            &ref_cam,
+            &tgt_cam,
+            scene.background(),
+            &WarpOptions::default(),
+        );
         let stats = r.stats();
         // The lego scene leaves much of the 64×64 frame empty.
         assert!(stats.void_pixels as f64 / stats.total as f64 > 0.3);
@@ -492,7 +527,10 @@ mod tests {
     #[test]
     fn phi_zero_rejects_all_offset_warps() {
         let (scene, ref_cam, tgt_cam, reference) = setup(0.2);
-        let opts = WarpOptions { phi: Some(0.0), ..Default::default() };
+        let opts = WarpOptions {
+            phi: Some(0.0),
+            ..Default::default()
+        };
         let r = warp_frame(&reference, &ref_cam, &tgt_cam, scene.background(), &opts);
         let stats = r.stats();
         assert_eq!(stats.warped, 0, "φ = 0 must reject every warp");
@@ -513,7 +551,10 @@ mod tests {
             &ref_cam,
             &tgt_cam,
             scene.background(),
-            &WarpOptions { phi: Some(std::f32::consts::PI), ..Default::default() },
+            &WarpOptions {
+                phi: Some(std::f32::consts::PI),
+                ..Default::default()
+            },
         );
         assert_eq!(strict.stats().rejected, 0);
     }
@@ -521,14 +562,19 @@ mod tests {
     #[test]
     fn warped_depth_is_consistent() {
         let (scene, ref_cam, tgt_cam, reference) = setup(0.05);
-        let r = warp_frame(&reference, &ref_cam, &tgt_cam, scene.background(), &WarpOptions::default());
+        let r = warp_frame(
+            &reference,
+            &ref_cam,
+            &tgt_cam,
+            scene.background(),
+            &WarpOptions::default(),
+        );
         let truth = render_frame(&scene, &tgt_cam, &MarchParams::default());
         let mut err = 0.0f64;
         let mut n = 0u64;
         for y in 0..64 {
             for x in 0..64 {
-                if r.status[y * 64 + x] == PixelSource::Warped
-                    && truth.depth.get(x, y).is_finite()
+                if r.status[y * 64 + x] == PixelSource::Warped && truth.depth.get(x, y).is_finite()
                 {
                     err += (*r.frame.depth.get(x, y) - *truth.depth.get(x, y)).abs() as f64;
                     n += 1;
@@ -536,6 +582,10 @@ mod tests {
             }
         }
         assert!(n > 0);
-        assert!(err / (n as f64) < 0.1, "mean depth error {}", err / n as f64);
+        assert!(
+            err / (n as f64) < 0.1,
+            "mean depth error {}",
+            err / n as f64
+        );
     }
 }

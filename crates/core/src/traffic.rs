@@ -25,8 +25,11 @@ use cicero_mem::{
 
 /// Builds the [`AddressMap`] of a model's DRAM image.
 pub fn address_map(model: &dyn NerfModel) -> AddressMap {
-    let regions: Vec<(u16, u64)> =
-        model.region_sizes().iter().map(|(r, s)| (r.0, *s)).collect();
+    let regions: Vec<(u16, u64)> = model
+        .region_sizes()
+        .iter()
+        .map(|(r, s)| (r.0, *s))
+        .collect();
     AddressMap::new(&regions, 64)
 }
 
@@ -169,7 +172,8 @@ impl GatherSink for PixelCentricTraffic {
                         self.belady_trace.push(line);
                     }
                     if !self.cache.access(line * self.cfg.cache_line) {
-                        self.dram.read(line * self.cfg.cache_line, self.cfg.cache_line as u32);
+                        self.dram
+                            .read(line * self.cfg.cache_line, self.cfg.cache_line as u32);
                     }
                 }
             }
@@ -381,7 +385,10 @@ pub fn build_workload(
     if let Some(fs) = streaming {
         w.dram = fs.dram;
         // FS serves every gather from the on-chip VFT.
-        w.cache = CacheStats { hits: stats.gather_entry_reads, misses: 0 };
+        w.cache = CacheStats {
+            hits: stats.gather_entry_reads,
+            misses: 0,
+        };
     }
     if let Some((points, pixels)) = warp {
         w.warp_points = points;
@@ -408,7 +415,13 @@ mod tests {
     #[test]
     fn pixel_centric_is_mostly_non_streaming() {
         let scene = library::scene_by_name("lego").unwrap();
-        let model = bake::bake_grid(&scene, &GridConfig { resolution: 64, ..Default::default() });
+        let model = bake::bake_grid(
+            &scene,
+            &GridConfig {
+                resolution: 64,
+                ..Default::default()
+            },
+        );
         let mut sink = PixelCentricTraffic::new(&model, PixelCentricConfig::default());
         let (_, stats) = render_full(&model, &camera(48), &RenderOptions::default(), &mut sink);
         let report = sink.finish();
@@ -428,13 +441,22 @@ mod tests {
             report.cache.hits + report.cache.misses <= stats.gather_entry_reads * 2,
             "a 24 B entry can span at most two lines"
         );
-        assert!(report.bank.conflict_rate() > 0.0, "feature-major must conflict");
+        assert!(
+            report.bank.conflict_rate() > 0.0,
+            "feature-major must conflict"
+        );
     }
 
     #[test]
     fn streaming_reads_each_touched_mvoxel_once() {
         let scene = library::scene_by_name("lego").unwrap();
-        let model = bake::bake_grid(&scene, &GridConfig { resolution: 64, ..Default::default() });
+        let model = bake::bake_grid(
+            &scene,
+            &GridConfig {
+                resolution: 64,
+                ..Default::default()
+            },
+        );
         let mut sink = StreamingTraffic::new(&model, StreamingConfig::default());
         let (_, stats) = render_full(&model, &camera(48), &RenderOptions::default(), &mut sink);
         let report = sink.finish();
@@ -452,11 +474,20 @@ mod tests {
     #[test]
     fn streaming_beats_pixel_centric_energy() {
         let scene = library::scene_by_name("lego").unwrap();
-        let model = bake::bake_grid(&scene, &GridConfig { resolution: 64, ..Default::default() });
+        let model = bake::bake_grid(
+            &scene,
+            &GridConfig {
+                resolution: 64,
+                ..Default::default()
+            },
+        );
         // A small cache exposes the baseline's redundant re-fetches even at
         // this reduced frame size (the fig17/19/21 experiments run at scale,
         // where the 2 MB buffer shows the same behavior).
-        let pc_cfg = PixelCentricConfig { cache_bytes: 2 << 10, ..Default::default() };
+        let pc_cfg = PixelCentricConfig {
+            cache_bytes: 2 << 10,
+            ..Default::default()
+        };
         let mut pc = PixelCentricTraffic::new(&model, pc_cfg);
         let mut fs = StreamingTraffic::new(&model, StreamingConfig::default());
         let mut both = PairSink(&mut pc, &mut fs);
@@ -503,8 +534,17 @@ mod tests {
     #[test]
     fn belady_trace_collection_is_optional() {
         let scene = library::scene_by_name("mic").unwrap();
-        let model = bake::bake_grid(&scene, &GridConfig { resolution: 32, ..Default::default() });
-        let cfg = PixelCentricConfig { collect_belady_trace: true, ..Default::default() };
+        let model = bake::bake_grid(
+            &scene,
+            &GridConfig {
+                resolution: 32,
+                ..Default::default()
+            },
+        );
+        let cfg = PixelCentricConfig {
+            collect_belady_trace: true,
+            ..Default::default()
+        };
         let mut sink = PixelCentricTraffic::new(&model, cfg);
         render_full(&model, &camera(24), &RenderOptions::default(), &mut sink);
         let report = sink.finish();
@@ -515,7 +555,13 @@ mod tests {
     #[test]
     fn workload_builder_round_trips_counts() {
         let scene = library::scene_by_name("mic").unwrap();
-        let model = bake::bake_grid(&scene, &GridConfig { resolution: 24, ..Default::default() });
+        let model = bake::bake_grid(
+            &scene,
+            &GridConfig {
+                resolution: 24,
+                ..Default::default()
+            },
+        );
         let mut sink = PixelCentricTraffic::new(&model, PixelCentricConfig::default());
         let (_, stats) = render_full(&model, &camera(16), &RenderOptions::default(), &mut sink);
         let report = sink.finish();

@@ -5,8 +5,8 @@
 //! SRAM. We sweep our three families over two scales each and report the
 //! simulated 800²-equivalent FPS of the pure-GPU (software) pipeline.
 
+use cicero_accel::{GpuConfig, GpuModel};
 use cicero_experiments::*;
-use cicero_accel::{GpuModel, GpuConfig};
 use cicero_field::{bake, GridConfig, HashConfig, NerfModel, TensorConfig};
 use serde::Serialize;
 
@@ -18,22 +18,37 @@ struct Point {
 }
 
 fn main() {
-    banner("fig02", "Frame rate vs model size (mobile GPU, 800x800-equivalent)");
+    banner(
+        "fig02",
+        "Frame rate vs model size (mobile GPU, 800x800-equivalent)",
+    );
     let scene = experiment_scene("lego");
     let gpu = GpuModel::new(GpuConfig::default());
-    let bake_opts = bake::BakeOptions { decoder_hidden: 16, ..Default::default() };
+    let bake_opts = bake::BakeOptions {
+        decoder_hidden: 16,
+        ..Default::default()
+    };
 
     let mut models: Vec<(String, Box<dyn NerfModel>)> = Vec::new();
     for res in [96usize, 128] {
-        let mut m =
-            bake::bake_grid_with(&scene, &GridConfig { resolution: res, ..Default::default() }, &bake_opts);
+        let mut m = bake::bake_grid_with(
+            &scene,
+            &GridConfig {
+                resolution: res,
+                ..Default::default()
+            },
+            &bake_opts,
+        );
         m.decoder.set_modeled_hidden(64);
         models.push((format!("DirectVoxGO-{res}"), Box::new(m)));
     }
     for t in [15u32, 17] {
         let mut m = bake::bake_hash_with(
             &scene,
-            &HashConfig { table_size_log2: t, ..Default::default() },
+            &HashConfig {
+                table_size_log2: t,
+                ..Default::default()
+            },
             &bake_opts,
         );
         m.decoder.set_modeled_hidden(64);
@@ -42,7 +57,11 @@ fn main() {
     for res in [64usize, 96] {
         let mut m = bake::bake_tensor_with(
             &scene,
-            &TensorConfig { resolution: res, components_per_signal: 2, bytes_per_value: 2 },
+            &TensorConfig {
+                resolution: res,
+                components_per_signal: 2,
+                bytes_per_value: 2,
+            },
             &bake_opts,
         );
         m.decoder.set_modeled_hidden(64);
@@ -63,12 +82,32 @@ fn main() {
             fmt(fps, 2),
             (if fps >= 60.0 { "yes" } else { "no" }).into(),
         ]);
-        points.push(Point { model: name.clone(), size_mb, fps });
+        points.push(Point {
+            model: name.clone(),
+            size_mb,
+            fps,
+        });
     }
     table.print();
     println!();
-    paper_vs("DirectVoxGO FPS (Xavier, 800x800)", "~0.8", &fmt(points[1].fps, 2));
-    paper_vs("Instant-NGP frame time", ">6 s", &fmt(1.0 / points[3].fps, 1));
-    paper_vs("any model at 60 FPS", "none", if points.iter().any(|p| p.fps >= 60.0) { "some" } else { "none" });
+    paper_vs(
+        "DirectVoxGO FPS (Xavier, 800x800)",
+        "~0.8",
+        &fmt(points[1].fps, 2),
+    );
+    paper_vs(
+        "Instant-NGP frame time",
+        ">6 s",
+        &fmt(1.0 / points[3].fps, 1),
+    );
+    paper_vs(
+        "any model at 60 FPS",
+        "none",
+        if points.iter().any(|p| p.fps >= 60.0) {
+            "some"
+        } else {
+            "none"
+        },
+    );
     write_results("fig02", &points);
 }

@@ -4,8 +4,8 @@
 //! The paper finds all three stages non-trivial with Feature Gathering
 //! dominating (>56% of execution on average).
 
-use cicero_experiments::*;
 use cicero_accel::{GpuConfig, GpuModel};
+use cicero_experiments::*;
 use cicero_field::ModelKind;
 use serde::Serialize;
 
@@ -47,6 +47,10 @@ fn main() {
     table.print();
     println!();
     let mean_gather = gather_sum / rows.len() as f64 * 100.0;
-    paper_vs("mean Feature Gathering share", ">56%", &format!("{:.1}%", mean_gather));
+    paper_vs(
+        "mean Feature Gathering share",
+        ">56%",
+        &format!("{:.1}%", mean_gather),
+    );
     write_results("fig03", &rows);
 }

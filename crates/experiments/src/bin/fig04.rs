@@ -26,7 +26,10 @@ fn main() {
         let frac = mw.full_pc.dram.non_streaming_fraction();
         sum += frac;
         table.row(&[kind.algorithm_name().into(), fmt(frac * 100.0, 1)]);
-        rows.push(Row { model: kind.algorithm_name().into(), non_streaming_fraction: frac });
+        rows.push(Row {
+            model: kind.algorithm_name().into(),
+            non_streaming_fraction: frac,
+        });
     }
     table.print();
     println!();

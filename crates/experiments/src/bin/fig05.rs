@@ -31,7 +31,10 @@ fn main() {
     let k = exp_intrinsics();
     let traj = Trajectory::orbit(&scene, 2, 30.0);
     let cam = traj.camera(0, k);
-    let opts = RenderOptions { march: exp_march(), use_occupancy: true };
+    let opts = RenderOptions {
+        march: exp_march(),
+        use_occupancy: true,
+    };
 
     let scaled_bytes: u64 = 64 << 10; // 2 MB × (EXP_RES/PAPER_RES)²
     let mut table = Table::new(&[

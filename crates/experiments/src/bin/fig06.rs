@@ -20,15 +20,24 @@ struct Row {
 }
 
 fn measure(model: &dyn cicero_field::NerfModel, rays: usize, cam: &cicero_math::Camera) -> f64 {
-    let cfg = PixelCentricConfig { concurrent_rays: rays, ..Default::default() };
+    let cfg = PixelCentricConfig {
+        concurrent_rays: rays,
+        ..Default::default()
+    };
     let mut sink = PixelCentricTraffic::new(model, cfg);
-    let opts = RenderOptions { march: exp_march(), use_occupancy: true };
+    let opts = RenderOptions {
+        march: exp_march(),
+        use_occupancy: true,
+    };
     render_full(model, cam, &opts, &mut sink);
     sink.finish().bank.conflict_rate()
 }
 
 fn main() {
-    banner("fig06", "SRAM bank conflicts, feature-major layout (16 banks)");
+    banner(
+        "fig06",
+        "SRAM bank conflicts, feature-major layout (16 banks)",
+    );
     let scene = experiment_scene("lego");
     let k = exp_intrinsics();
     let cam = Trajectory::orbit(&scene, 2, 30.0).camera(0, k);
@@ -54,7 +63,11 @@ fn main() {
     }
     table.print();
     println!();
-    paper_vs("mean conflict rate (16 rays)", "52% avg", &format!("{:.1}%", sum16 / rows.len() as f64 * 100.0));
+    paper_vs(
+        "mean conflict rate (16 rays)",
+        "52% avg",
+        &format!("{:.1}%", sum16 / rows.len() as f64 * 100.0),
+    );
     let ingp = &rows[0];
     paper_vs(
         "Instant-NGP at 64 rays",

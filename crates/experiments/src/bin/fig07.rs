@@ -43,14 +43,22 @@ fn main() {
         let scene = library::scene_by_name(name).unwrap();
         let (ov, rf) = overlap_of(&scene, 30.0);
         table.row(&[name.to_string(), fmt(ov * 100.0, 2), fmt(rf * 100.0, 2)]);
-        rows.push(Row { scene: name.to_string(), overlap: ov, needs_render: rf });
+        rows.push(Row {
+            scene: name.to_string(),
+            overlap: ov,
+            needs_render: rf,
+        });
     }
     table.print();
 
     let mean = rows.iter().map(|r| r.overlap).sum::<f64>() / rows.len() as f64;
     let var = rows.iter().map(|r| (r.overlap - mean).powi(2)).sum::<f64>() / rows.len() as f64;
     println!();
-    paper_vs("mean overlap (synthetic, 30 FPS)", ">98%", &format!("{:.1}%", mean * 100.0));
+    paper_vs(
+        "mean overlap (synthetic, 30 FPS)",
+        ">98%",
+        &format!("{:.1}%", mean * 100.0),
+    );
     paper_vs("std dev", "1.7%", &format!("{:.1}%", var.sqrt() * 100.0));
 
     // Real-world-like scenes: the dataset captures are temporally sparser
@@ -63,7 +71,11 @@ fn main() {
             paper,
             &format!("{:.1}%", rf * 100.0),
         );
-        rows.push(Row { scene: name.into(), overlap: 1.0 - rf, needs_render: rf });
+        rows.push(Row {
+            scene: name.into(),
+            overlap: 1.0 - rf,
+            needs_render: rf,
+        });
     }
     write_results("fig07", &rows);
 }

@@ -26,35 +26,67 @@ fn main() {
     let traj = Trajectory::orbit(&scene, 10, 6.0); // brisk motion → visible holes
     let cam0 = traj.camera(0, k);
     let cam1 = traj.camera(6, k);
-    let opts = RenderOptions { march: exp_march(), use_occupancy: true };
+    let opts = RenderOptions {
+        march: exp_march(),
+        use_occupancy: true,
+    };
 
     let (reference, _) =
         cicero_field::render::render_full(model.as_ref(), &cam0, &opts, &mut NullSink);
-    let warped = warp_frame(&reference, &cam0, &cam1, model.background(), &WarpOptions::default());
+    let warped = warp_frame(
+        &reference,
+        &cam0,
+        &cam1,
+        model.background(),
+        &WarpOptions::default(),
+    );
     let naive = warped.frame.clone();
     let stats = warped.stats();
     let mask = warped.render_mask();
     let mut sparw = warped.frame;
-    render_masked(model.as_ref(), &cam1, &opts, Some(&mask), &mut sparw, &mut NullSink);
+    render_masked(
+        model.as_ref(),
+        &cam1,
+        &opts,
+        Some(&mask),
+        &mut sparw,
+        &mut NullSink,
+    );
 
     let gt = cicero_scene::ground_truth::render_frame(&scene, &cam1, &exp_march());
     let psnr_naive = cicero_math::metrics::psnr(&naive.color, &gt.color);
     let psnr_sparw = cicero_math::metrics::psnr(&sparw.color, &gt.color);
 
     std::fs::create_dir_all("results").ok();
-    reference.color.write_ppm("results/fig09_reference.ppm").unwrap();
-    naive.color.write_ppm("results/fig09_naive_warp.ppm").unwrap();
+    reference
+        .color
+        .write_ppm("results/fig09_reference.ppm")
+        .unwrap();
+    naive
+        .color
+        .write_ppm("results/fig09_naive_warp.ppm")
+        .unwrap();
     sparw.color.write_ppm("results/fig09_sparw.ppm").unwrap();
 
     println!("  wrote results/fig09_{{reference,naive_warp,sparw}}.ppm");
-    println!("  disoccluded pixels: {} of {}", stats.disoccluded, stats.total);
-    paper_vs("naive warp has holes", "yes", if stats.disoccluded > 0 { "yes" } else { "no" });
+    println!(
+        "  disoccluded pixels: {} of {}",
+        stats.disoccluded, stats.total
+    );
+    paper_vs(
+        "naive warp has holes",
+        "yes",
+        if stats.disoccluded > 0 { "yes" } else { "no" },
+    );
     paper_vs(
         "SPARW removes them (PSNR gain)",
         ">0 dB",
         &format!("{:+.1} dB", psnr_sparw - psnr_naive),
     );
-    assert!(psnr_sparw > psnr_naive, "sparse rendering must improve the warped frame");
+    assert!(
+        psnr_sparw > psnr_naive,
+        "sparse rendering must improve the warped frame"
+    );
     write_results(
         "fig09",
         &Out {

@@ -38,16 +38,41 @@ fn eval_scene(name: &str, frames_n: usize) -> Row {
     let model = quality_model(&scene);
     let k = quality_intrinsics();
     let traj = Trajectory::orbit(&scene, frames_n, 30.0);
-    let gt: Vec<_> =
-        (0..traj.len()).map(|i| render_frame(&scene, &traj.camera(i, k), &exp_march()).color).collect();
+    let gt: Vec<_> = (0..traj.len())
+        .map(|i| render_frame(&scene, &traj.camera(i, k), &exp_march()).color)
+        .collect();
 
-    let baseline = run_pipeline(&scene, &model, &traj, k, &quality_config(Variant::Baseline, 1));
+    let baseline = run_pipeline(
+        &scene,
+        &model,
+        &traj,
+        k,
+        &quality_config(Variant::Baseline, 1),
+    );
     let mut c6cfg = quality_config(Variant::Cicero, 6);
     c6cfg.ref_placement = RefPlacement::Extrapolated;
     let c6 = run_pipeline(&scene, &model, &traj, k, &c6cfg);
-    let c16 = run_pipeline(&scene, &model, &traj, k, &quality_config(Variant::Cicero, 16));
-    let ds2 = run_ds2(&scene, &model, &traj, k, &quality_config(Variant::Baseline, 1));
-    let temp16 = run_temp(&scene, &model, &traj, k, &quality_config(Variant::Sparw, 16));
+    let c16 = run_pipeline(
+        &scene,
+        &model,
+        &traj,
+        k,
+        &quality_config(Variant::Cicero, 16),
+    );
+    let ds2 = run_ds2(
+        &scene,
+        &model,
+        &traj,
+        k,
+        &quality_config(Variant::Baseline, 1),
+    );
+    let temp16 = run_temp(
+        &scene,
+        &model,
+        &traj,
+        k,
+        &quality_config(Variant::Sparw, 16),
+    );
 
     Row {
         scene: name.into(),
@@ -69,8 +94,14 @@ fn main() {
     };
     let frames_n = 18;
 
-    let mut table =
-        Table::new(&["scene", "Baseline", "Cicero-6", "Cicero-16", "DS-2", "Temp-16"]);
+    let mut table = Table::new(&[
+        "scene",
+        "Baseline",
+        "Cicero-6",
+        "Cicero-16",
+        "DS-2",
+        "Temp-16",
+    ]);
     let mut rows = Vec::new();
     for name in &synth {
         let r = eval_scene(name, frames_n);
@@ -107,9 +138,29 @@ fn main() {
     let ds2 = mean(|r| r.ds2);
     let temp = mean(|r| r.temp16);
     println!();
-    paper_vs("Cicero-6 drop vs baseline", "<1.0 dB", &format!("{:.2} dB", base - c6));
-    paper_vs("Cicero-16 drop vs baseline", "~1.3 dB", &format!("{:.2} dB", base - c16));
-    paper_vs("Cicero-16 vs DS-2 (synthetic)", "better", if c16 > ds2 { "better" } else { "worse" });
-    paper_vs("Temp-16 is worst", "yes", if temp <= c16 && temp <= ds2 { "yes" } else { "no" });
+    paper_vs(
+        "Cicero-6 drop vs baseline",
+        "<1.0 dB",
+        &format!("{:.2} dB", base - c6),
+    );
+    paper_vs(
+        "Cicero-16 drop vs baseline",
+        "~1.3 dB",
+        &format!("{:.2} dB", base - c16),
+    );
+    paper_vs(
+        "Cicero-16 vs DS-2 (synthetic)",
+        "better",
+        if c16 > ds2 { "better" } else { "worse" },
+    );
+    paper_vs(
+        "Temp-16 is worst",
+        "yes",
+        if temp <= c16 && temp <= ds2 {
+            "yes"
+        } else {
+            "no"
+        },
+    );
     write_results("fig16", &rows);
 }

@@ -33,9 +33,7 @@ fn main() {
         let t_base = gpu.stage_times_software(&full).total();
 
         // Software SPARW: everything on the GPU; reference amortized.
-        let frame_time = |window: f64| {
-            t_base / window + gpu.stage_times_software(&sparse).total()
-        };
+        let frame_time = |window: f64| t_base / window + gpu.stage_times_software(&sparse).total();
         let t_c6 = frame_time(6.0);
         let t_c16 = frame_time(16.0);
         // DS-2: quarter workload + upsample (folded into warp cost).
@@ -47,7 +45,12 @@ fn main() {
         s6 += c6;
         s16 += c16;
         sds += ds;
-        table.row(&[kind.algorithm_name().into(), fmt(c6, 1), fmt(c16, 1), fmt(ds, 1)]);
+        table.row(&[
+            kind.algorithm_name().into(),
+            fmt(c6, 1),
+            fmt(c16, 1),
+            fmt(ds, 1),
+        ]);
         rows.push(Row {
             model: kind.algorithm_name().into(),
             cicero6_speedup: c6,
@@ -59,10 +62,22 @@ fn main() {
 
     let n = rows.len() as f64;
     println!();
-    paper_vs("Cicero-16 speedup (≈ energy saving on GPU)", "8.0x", &format!("{:.1}x", s16 / n));
+    paper_vs(
+        "Cicero-16 speedup (≈ energy saving on GPU)",
+        "8.0x",
+        &format!("{:.1}x", s16 / n),
+    );
     paper_vs("DS-2 speedup", "4.0x", &format!("{:.1}x", sds / n));
-    paper_vs("Cicero-6 beats DS-2", "yes", if s6 / n > sds / n { "yes" } else { "no" });
+    paper_vs(
+        "Cicero-6 beats DS-2",
+        "yes",
+        if s6 / n > sds / n { "yes" } else { "no" },
+    );
     // GPU energy = power × time, so energy savings mirror speedups.
-    paper_vs("Cicero-16 energy saving", "7.9x", &format!("{:.1}x", s16 / n));
+    paper_vs(
+        "Cicero-16 energy saving",
+        "7.9x",
+        &format!("{:.1}x", s16 / n),
+    );
     write_results("fig17", &rows);
 }

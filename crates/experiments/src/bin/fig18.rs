@@ -18,7 +18,10 @@ struct Row {
 }
 
 fn main() {
-    banner("fig18", "GPU time distribution: full-frame vs sparse NeRF vs others");
+    banner(
+        "fig18",
+        "GPU time distribution: full-frame vs sparse NeRF vs others",
+    );
     let scene = experiment_scene("lego");
     let gpu = GpuModel::new(GpuConfig::default());
     let model = standard_model(&scene, ModelKind::Grid);
@@ -52,9 +55,25 @@ fn main() {
     }
     table.print();
     println!();
-    paper_vs("Cicero-6 full-frame NeRF share", "86.1%", &format!("{:.1}%", rows[0].full_frame_nerf * 100.0));
-    paper_vs("Cicero-16 full-frame NeRF share", "49.7%", &format!("{:.1}%", rows[1].full_frame_nerf * 100.0));
-    paper_vs("Cicero-16 sparse NeRF share", "48.9%", &format!("{:.1}%", rows[1].sparse_nerf * 100.0));
-    paper_vs("others (warp) negligible", "yes", if rows[1].others < 0.1 { "yes" } else { "no" });
+    paper_vs(
+        "Cicero-6 full-frame NeRF share",
+        "86.1%",
+        &format!("{:.1}%", rows[0].full_frame_nerf * 100.0),
+    );
+    paper_vs(
+        "Cicero-16 full-frame NeRF share",
+        "49.7%",
+        &format!("{:.1}%", rows[1].full_frame_nerf * 100.0),
+    );
+    paper_vs(
+        "Cicero-16 sparse NeRF share",
+        "48.9%",
+        &format!("{:.1}%", rows[1].sparse_nerf * 100.0),
+    );
+    paper_vs(
+        "others (warp) negligible",
+        "yes",
+        if rows[1].others < 0.1 { "yes" } else { "no" },
+    );
     write_results("fig18", &rows);
 }

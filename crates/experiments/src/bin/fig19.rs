@@ -7,8 +7,8 @@
 //! pixels).
 
 use cicero::{Scenario, Variant};
-use cicero_accel::soc::{SocModel, FrameReport};
 use cicero_accel::config::SocConfig;
+use cicero_accel::soc::{FrameReport, SocModel};
 use cicero_experiments::*;
 use cicero_field::ModelKind;
 use serde::Serialize;
@@ -37,9 +37,7 @@ fn main() {
         for scenario in [Scenario::Local, Scenario::Remote] {
             let base: FrameReport = match scenario {
                 Scenario::Local => soc.full_frame(&scale_to_paper(&mw.full_pc), Variant::Baseline),
-                Scenario::Remote => {
-                    soc.baseline_remote_frame(&scale_to_paper(&mw.full_pc), pixels)
-                }
+                Scenario::Remote => soc.baseline_remote_frame(&scale_to_paper(&mw.full_pc), pixels),
             };
             for variant in [Variant::Sparw, Variant::SparwFs, Variant::Cicero] {
                 let (full, sparse) = mw.paper_pair(variant);
@@ -83,22 +81,42 @@ fn main() {
         sel.iter().sum::<f64>() / sel.len() as f64
     };
     println!();
-    paper_vs("local SPARW speedup", "8.1x", &format!("{:.1}x", mean("Local", "SpaRW", |r| r.speedup)));
-    paper_vs("local Cicero speedup", "28.2x", &format!("{:.1}x", mean("Local", "Cicero", |r| r.speedup)));
+    paper_vs(
+        "local SPARW speedup",
+        "8.1x",
+        &format!("{:.1}x", mean("Local", "SpaRW", |r| r.speedup)),
+    );
+    paper_vs(
+        "local Cicero speedup",
+        "28.2x",
+        &format!("{:.1}x", mean("Local", "Cicero", |r| r.speedup)),
+    );
     paper_vs(
         "local Cicero energy saving",
         "37.8x",
         &format!("{:.1}x", 1.0 / mean("Local", "Cicero", |r| r.energy_ratio)),
     );
-    paper_vs("remote SPARW speedup", "3.1x", &format!("{:.1}x", mean("Remote", "SpaRW", |r| r.speedup)));
-    paper_vs("remote Cicero speedup", "8.0x", &format!("{:.1}x", mean("Remote", "Cicero", |r| r.speedup)));
+    paper_vs(
+        "remote SPARW speedup",
+        "3.1x",
+        &format!("{:.1}x", mean("Remote", "SpaRW", |r| r.speedup)),
+    );
+    paper_vs(
+        "remote Cicero speedup",
+        "8.0x",
+        &format!("{:.1}x", mean("Remote", "Cicero", |r| r.speedup)),
+    );
     // The paper observes the remote baseline (pixels-only) beats every
     // variant on device energy; our GU makes Cicero's sparse path cheaper
     // than the wireless stream, so the check is made on SpaRW (GPU sparse).
     paper_vs(
         "remote baseline beats SpaRW on device energy",
         "yes",
-        if mean("Remote", "SpaRW", |r| r.energy_ratio) > 1.0 { "yes" } else { "no" },
+        if mean("Remote", "SpaRW", |r| r.energy_ratio) > 1.0 {
+            "yes"
+        } else {
+            "no"
+        },
     );
     write_results("fig19", &rows);
 }

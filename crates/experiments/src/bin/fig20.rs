@@ -24,7 +24,13 @@ fn main() {
     let scene = experiment_scene("lego");
     let soc = SocModel::new(SocConfig::default());
 
-    let mut table = Table::new(&["model", "GPU gather (s)", "GU gather (s)", "speedup ×", "energy ÷"]);
+    let mut table = Table::new(&[
+        "model",
+        "GPU gather (s)",
+        "GU gather (s)",
+        "speedup ×",
+        "energy ÷",
+    ]);
     let mut rows = Vec::new();
     for kind in ModelKind::ALL {
         let model = standard_model(&scene, kind);
@@ -58,12 +64,28 @@ fn main() {
     let mean_speedup = rows.iter().map(|r| r.speedup).sum::<f64>() / rows.len() as f64;
     let ingp = rows.iter().find(|r| r.model == "Instant-NGP").unwrap();
     println!();
-    paper_vs("mean gather speedup", "72.2x", &format!("{:.1}x", mean_speedup));
-    paper_vs("Instant-NGP gather speedup", "182.4x", &format!("{:.1}x", ingp.speedup));
+    paper_vs(
+        "mean gather speedup",
+        "72.2x",
+        &format!("{:.1}x", mean_speedup),
+    );
+    paper_vs(
+        "Instant-NGP gather speedup",
+        "182.4x",
+        &format!("{:.1}x", ingp.speedup),
+    );
     paper_vs(
         "GU dominates energy reduction",
         "99.9%",
-        &format!("{:.1}%", (1.0 - 1.0 / rows.iter().map(|r| r.energy_reduction).fold(f64::MAX, f64::min)) * 100.0),
+        &format!(
+            "{:.1}%",
+            (1.0 - 1.0
+                / rows
+                    .iter()
+                    .map(|r| r.energy_reduction)
+                    .fold(f64::MAX, f64::min))
+                * 100.0
+        ),
     );
     println!("  note: our conservative mobile-GPU transaction model narrows the gap;");
     println!("  direction and per-model ordering (Instant-NGP worst on GPU) match the paper.");

@@ -23,7 +23,10 @@ struct Row {
 }
 
 fn main() {
-    banner("fig21", "DRAM energy saving decomposition (800x800-equivalent)");
+    banner(
+        "fig21",
+        "DRAM energy saving decomposition (800x800-equivalent)",
+    );
     let scene = experiment_scene("lego");
     let dram = DramConfig::default();
     let e_of = |d: &cicero_mem::DramStats| {
@@ -31,8 +34,13 @@ fn main() {
             + d.random_bytes as f64 * dram.random_energy_pj_per_byte
     };
 
-    let mut table =
-        Table::new(&["model", "baseline MB", "FS MB", "traffic-cut %", "conversion %"]);
+    let mut table = Table::new(&[
+        "model",
+        "baseline MB",
+        "FS MB",
+        "traffic-cut %",
+        "conversion %",
+    ]);
     let mut rows = Vec::new();
     for kind in ModelKind::ALL {
         let model = standard_model(&scene, kind);
@@ -70,7 +78,15 @@ fn main() {
 
     let mean_cut = rows.iter().map(|r| r.traffic_reduction_share).sum::<f64>() / rows.len() as f64;
     println!();
-    paper_vs("traffic-reduction share of DRAM saving", "84.5%", &format!("{:.1}%", mean_cut * 100.0));
-    paper_vs("conversion share", "15.5%", &format!("{:.1}%", (1.0 - mean_cut) * 100.0));
+    paper_vs(
+        "traffic-reduction share of DRAM saving",
+        "84.5%",
+        &format!("{:.1}%", mean_cut * 100.0),
+    );
+    paper_vs(
+        "conversion share",
+        "15.5%",
+        &format!("{:.1}%", (1.0 - mean_cut) * 100.0),
+    );
     write_results("fig21", &rows);
 }

@@ -32,11 +32,13 @@ fn main() {
 
     let base_local = {
         let mw = measure_workloads(&scene, model.as_ref(), 2);
-        soc.full_frame(&scale_to_paper(&mw.full_pc), Variant::Baseline).time_s
+        soc.full_frame(&scale_to_paper(&mw.full_pc), Variant::Baseline)
+            .time_s
     };
     let base_remote = {
         let mw = measure_workloads(&scene, model.as_ref(), 2);
-        soc.baseline_remote_frame(&scale_to_paper(&mw.full_pc), pixels).time_s
+        soc.baseline_remote_frame(&scale_to_paper(&mw.full_pc), pixels)
+            .time_s
     };
 
     let k = quality_intrinsics();
@@ -45,10 +47,12 @@ fn main() {
     for window in [1usize, 6, 11, 16, 21, 26, 31] {
         let mw = measure_workloads(&scene, model.as_ref(), window);
         let (full, sparse) = mw.paper_pair(Variant::Cicero);
-        let local =
-            soc.sparw_local_frame(&full, &sparse, window, Variant::Cicero).time_s;
-        let remote =
-            soc.sparw_remote_frame(&full, &sparse, window, Variant::Cicero, pixels).time_s;
+        let local = soc
+            .sparw_local_frame(&full, &sparse, window, Variant::Cicero)
+            .time_s;
+        let remote = soc
+            .sparw_remote_frame(&full, &sparse, window, Variant::Cicero, pixels)
+            .time_s;
 
         // Quality: a short trajectory spanning one full window.
         let frames = (window + 2).min(24);
@@ -77,8 +81,20 @@ fn main() {
     let first = &rows[0];
     let last = &rows[rows.len() - 1];
     let peak = rows.iter().map(|r| r.local_speedup).fold(0.0, f64::max);
-    paper_vs("quality decreases with window", "yes", if last.psnr < first.psnr { "yes" } else { "no" });
-    paper_vs("local speedup plateaus (peak > w31?)", "yes", if peak >= last.local_speedup { "yes" } else { "no" });
+    paper_vs(
+        "quality decreases with window",
+        "yes",
+        if last.psnr < first.psnr { "yes" } else { "no" },
+    );
+    paper_vs(
+        "local speedup plateaus (peak > w31?)",
+        "yes",
+        if peak >= last.local_speedup {
+            "yes"
+        } else {
+            "no"
+        },
+    );
     paper_vs(
         "remote speedup grows to ~w16 then flattens",
         "yes",

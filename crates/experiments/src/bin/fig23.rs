@@ -5,7 +5,7 @@
 //! unused vertices.
 
 use cicero::traffic::{StreamingConfig, StreamingTraffic};
-use cicero_accel::{GuModel, GuConfig, EnergyConfig, FrameWorkload};
+use cicero_accel::{EnergyConfig, FrameWorkload, GuConfig, GuModel};
 use cicero_experiments::*;
 use cicero_field::render::{render_full, RenderOptions};
 use cicero_field::ModelKind;
@@ -24,15 +24,27 @@ fn main() {
     let model = standard_model(&scene, ModelKind::Grid);
     let k = exp_intrinsics();
     let cam = Trajectory::orbit(&scene, 2, 30.0).camera(0, k);
-    let opts = RenderOptions { march: exp_march(), use_occupancy: true };
+    let opts = RenderOptions {
+        march: exp_march(),
+        use_occupancy: true,
+    };
 
     let mut raw = Vec::new();
     for vft_kb in [8u64, 16, 32, 64, 128, 256] {
-        let cfg = StreamingConfig { vft_bytes: vft_kb << 10, ..Default::default() };
+        let cfg = StreamingConfig {
+            vft_bytes: vft_kb << 10,
+            ..Default::default()
+        };
         let mut sink = StreamingTraffic::new(model.as_ref(), cfg);
         let (_, stats) = render_full(model.as_ref(), &cam, &opts, &mut sink);
         let report = sink.finish();
-        let gu = GuModel::new(GuConfig { vft_bytes: vft_kb << 10, ..Default::default() }, EnergyConfig::default());
+        let gu = GuModel::new(
+            GuConfig {
+                vft_bytes: vft_kb << 10,
+                ..Default::default()
+            },
+            EnergyConfig::default(),
+        );
         let w = FrameWorkload {
             samples_processed: stats.samples_processed,
             gather_entry_reads: stats.gather_entry_reads,
@@ -49,7 +61,10 @@ fn main() {
     let mut rows = Vec::new();
     for (kb, e) in &raw {
         table.row(&[kb.to_string(), fmt(e / base, 3)]);
-        rows.push(Row { vft_kb: *kb, norm_energy: e / base });
+        rows.push(Row {
+            vft_kb: *kb,
+            norm_energy: e / base,
+        });
     }
     table.print();
 
@@ -58,6 +73,10 @@ fn main() {
     let e64 = rows[3].norm_energy;
     let e256 = rows[5].norm_energy;
     paper_vs("flat region 8–64 KB (ratio)", "~1.0", &fmt(e64 / e8, 2));
-    paper_vs("rise at 256 KB vs 64 KB", ">1.3x", &format!("{:.2}x", e256 / e64));
+    paper_vs(
+        "rise at 256 KB vs 64 KB",
+        ">1.3x",
+        &format!("{:.2}x", e256 / e64),
+    );
     write_results("fig23", &rows);
 }

@@ -51,17 +51,53 @@ fn main() {
     };
 
     let mut table = Table::new(&["design", "frame time (s)", "PEs", "feature buffer"]);
-    table.row(&["NeuRex".into(), fmt(out.neurex_s, 3), "32x32".into(), "64 KB".into()]);
-    table.row(&["NGPC".into(), fmt(out.ngpc_s, 3), "24x24".into(), "16 MB".into()]);
-    table.row(&["Cicero w/o SpaRW".into(), fmt(out.cicero_no_sparw_s, 3), "24x24".into(), "32 KB".into()]);
-    table.row(&["Cicero".into(), fmt(out.cicero_s, 3), "24x24".into(), "32 KB".into()]);
+    table.row(&[
+        "NeuRex".into(),
+        fmt(out.neurex_s, 3),
+        "32x32".into(),
+        "64 KB".into(),
+    ]);
+    table.row(&[
+        "NGPC".into(),
+        fmt(out.ngpc_s, 3),
+        "24x24".into(),
+        "16 MB".into(),
+    ]);
+    table.row(&[
+        "Cicero w/o SpaRW".into(),
+        fmt(out.cicero_no_sparw_s, 3),
+        "24x24".into(),
+        "32 KB".into(),
+    ]);
+    table.row(&[
+        "Cicero".into(),
+        fmt(out.cicero_s, 3),
+        "24x24".into(),
+        "32 KB".into(),
+    ]);
     table.print();
 
     println!();
-    paper_vs("Cicero w/o SpaRW vs NeuRex", "2.0x", &format!("{:.1}x", out.speedup_vs_neurex));
-    paper_vs("Cicero w/o SpaRW vs NGPC", "~1x", &format!("{:.2}x", out.speedup_vs_ngpc));
-    paper_vs("Cicero vs NeuRex", "16.4x", &format!("{:.1}x", out.sparw_speedup_vs_neurex));
-    paper_vs("Cicero vs NGPC", "8.2x", &format!("{:.1}x", out.sparw_speedup_vs_ngpc));
+    paper_vs(
+        "Cicero w/o SpaRW vs NeuRex",
+        "2.0x",
+        &format!("{:.1}x", out.speedup_vs_neurex),
+    );
+    paper_vs(
+        "Cicero w/o SpaRW vs NGPC",
+        "~1x",
+        &format!("{:.2}x", out.speedup_vs_ngpc),
+    );
+    paper_vs(
+        "Cicero vs NeuRex",
+        "16.4x",
+        &format!("{:.1}x", out.sparw_speedup_vs_neurex),
+    );
+    paper_vs(
+        "Cicero vs NGPC",
+        "8.2x",
+        &format!("{:.1}x", out.sparw_speedup_vs_ngpc),
+    );
     paper_vs("NGPC buffer vs Cicero buffer", "512x", "512x");
     write_results("fig24", &out);
 }

@@ -23,7 +23,11 @@ struct Row {
     temp16: f64,
 }
 
-fn eval(traj: &Trajectory, scene: &cicero_scene::AnalyticScene, model: &dyn cicero_field::NerfModel) -> (f64, f64, f64, f64, f64) {
+fn eval(
+    traj: &Trajectory,
+    scene: &cicero_scene::AnalyticScene,
+    model: &dyn cicero_field::NerfModel,
+) -> (f64, f64, f64, f64, f64) {
     let k = quality_intrinsics();
     let gt: Vec<_> = (0..traj.len())
         .map(|i| render_frame(scene, &traj.camera(i, k), &exp_march()).color)
@@ -52,14 +56,24 @@ fn eval(traj: &Trajectory, scene: &cicero_scene::AnalyticScene, model: &dyn cice
 }
 
 fn main() {
-    banner("fig25", "Ignatius: 1 FPS (sparse) vs 30 FPS (dense) capture");
+    banner(
+        "fig25",
+        "Ignatius: 1 FPS (sparse) vs 30 FPS (dense) capture",
+    );
     let scene = experiment_scene("ignatius");
     let model = quality_model(&scene);
 
     let dense = Trajectory::orbit(&scene, 18, 30.0);
     let sparse = Trajectory::orbit(&scene, 18 * 15, 30.0).subsample(15); // ~2 FPS-equivalent deltas
 
-    let mut table = Table::new(&["condition", "Baseline", "Cicero-6", "Cicero-16", "DS-2", "Temp-16"]);
+    let mut table = Table::new(&[
+        "condition",
+        "Baseline",
+        "Cicero-6",
+        "Cicero-16",
+        "DS-2",
+        "Temp-16",
+    ]);
     let mut rows = Vec::new();
     for (label, traj) in [("sparse (1 FPS-like)", &sparse), ("dense (30 FPS)", &dense)] {
         let (b, c6, c16, d, t) = eval(traj, &scene, &model);
@@ -88,7 +102,11 @@ fn main() {
     paper_vs(
         "1 FPS: Cicero-16 trails DS-2",
         "yes",
-        if sparse_row.cicero16 < sparse_row.ds2 { "yes" } else { "no" },
+        if sparse_row.cicero16 < sparse_row.ds2 {
+            "yes"
+        } else {
+            "no"
+        },
     );
     paper_vs(
         "30 FPS: Cicero-16 loss vs baseline",

@@ -21,7 +21,10 @@ struct Row {
 }
 
 fn main() {
-    banner("fig26", "Warp-angle threshold sweep (sparse Ignatius trace)");
+    banner(
+        "fig26",
+        "Warp-angle threshold sweep (sparse Ignatius trace)",
+    );
     let scene = experiment_scene("ignatius");
     let model = quality_model(&scene);
     let k = quality_intrinsics();
@@ -74,17 +77,33 @@ fn main() {
     println!("  baseline (full render): {base_psnr:.2} dB");
     let phi4 = &rows[2];
     let unlimited = &rows[rows.len() - 1];
-    paper_vs("phi=4 deg quality drop", "<=0.1 dB*", &format!("{:.2} dB", base_psnr - phi4.psnr));
-    paper_vs("phi=4 deg speedup", "4.3x", &format!("{:.1}x", phi4.speedup));
+    paper_vs(
+        "phi=4 deg quality drop",
+        "<=0.1 dB*",
+        &format!("{:.2} dB", base_psnr - phi4.psnr),
+    );
+    paper_vs(
+        "phi=4 deg speedup",
+        "4.3x",
+        &format!("{:.1}x", phi4.speedup),
+    );
     paper_vs(
         "smaller phi -> higher quality",
         "yes",
-        if rows[0].psnr >= unlimited.psnr { "yes" } else { "no" },
+        if rows[0].psnr >= unlimited.psnr {
+            "yes"
+        } else {
+            "no"
+        },
     );
     paper_vs(
         "smaller phi -> lower speedup",
         "yes",
-        if rows[0].speedup <= unlimited.speedup { "yes" } else { "no" },
+        if rows[0].speedup <= unlimited.speedup {
+            "yes"
+        } else {
+            "no"
+        },
     );
     println!("  (*paper measures on the photographic Ignatius; ours is the analytic stand-in)");
     write_results("fig26", &rows);

@@ -22,18 +22,38 @@ fn main() {
     let report = AreaModel::default().report(&NpuConfig::default(), &GuConfig::default());
 
     let mut table = Table::new(&["quantity", "value"]);
-    table.row(&["GU SRAM (RIT x2 + VFT)".into(), format!("{:.0} KB", report.gu_sram_kb)]);
+    table.row(&[
+        "GU SRAM (RIT x2 + VFT)".into(),
+        format!("{:.0} KB", report.gu_sram_kb),
+    ]);
     table.row(&["GU area".into(), format!("{:.3} mm2", report.gu_mm2)]);
-    table.row(&["baseline NPU area".into(), format!("{:.3} mm2", report.npu_mm2)]);
-    table.row(&["overhead".into(), format!("{:.2} %", report.overhead_fraction * 100.0)]);
-    table.row(&["crossbar avoided".into(), format!("{:.3} mm2", report.crossbar_saved_mm2)]);
+    table.row(&[
+        "baseline NPU area".into(),
+        format!("{:.3} mm2", report.npu_mm2),
+    ]);
+    table.row(&[
+        "overhead".into(),
+        format!("{:.2} %", report.overhead_fraction * 100.0),
+    ]);
+    table.row(&[
+        "crossbar avoided".into(),
+        format!("{:.3} mm2", report.crossbar_saved_mm2),
+    ]);
     table.print();
 
     println!();
     paper_vs("GU SRAM", "44 KB", &format!("{:.0} KB", report.gu_sram_kb));
     paper_vs("GU area", "0.048 mm2", &format!("{:.3} mm2", report.gu_mm2));
-    paper_vs("overhead vs NPU", "<2.5%", &format!("{:.2}%", report.overhead_fraction * 100.0));
-    paper_vs("crossbar saving", "0.036 mm2", &format!("{:.3} mm2", report.crossbar_saved_mm2));
+    paper_vs(
+        "overhead vs NPU",
+        "<2.5%",
+        &format!("{:.2}%", report.overhead_fraction * 100.0),
+    );
+    paper_vs(
+        "crossbar saving",
+        "0.036 mm2",
+        &format!("{:.3} mm2", report.crossbar_saved_mm2),
+    );
     write_results(
         "tab_area",
         &Out {

@@ -78,7 +78,10 @@ pub fn quality_intrinsics() -> Intrinsics {
 
 /// Standard march parameters (step sized to the scene scale).
 pub fn exp_march() -> MarchParams {
-    MarchParams { step: 0.01, ..Default::default() }
+    MarchParams {
+        step: 0.01,
+        ..Default::default()
+    }
 }
 
 /// Loads a library scene tuned for experiments.
@@ -99,12 +102,18 @@ pub fn experiment_scene(name: &str) -> AnalyticScene {
 /// Builds a model of `kind` for `scene` at the experiment scale, with a
 /// narrow executed decoder charged at the paper-scale width (64).
 pub fn standard_model(scene: &AnalyticScene, kind: ModelKind) -> Box<dyn NerfModel + Send + Sync> {
-    let opts = bake::BakeOptions { decoder_hidden: 16, ..Default::default() };
+    let opts = bake::BakeOptions {
+        decoder_hidden: 16,
+        ..Default::default()
+    };
     match kind {
         ModelKind::Grid => {
             let mut m = bake::bake_grid_with(
                 scene,
-                &GridConfig { resolution: 128, ..Default::default() },
+                &GridConfig {
+                    resolution: 128,
+                    ..Default::default()
+                },
                 &opts,
             );
             m.decoder.set_modeled_hidden(64);
@@ -113,7 +122,10 @@ pub fn standard_model(scene: &AnalyticScene, kind: ModelKind) -> Box<dyn NerfMod
         ModelKind::Hash => {
             let mut m = bake::bake_hash_with(
                 scene,
-                &HashConfig { table_size_log2: 17, ..Default::default() },
+                &HashConfig {
+                    table_size_log2: 17,
+                    ..Default::default()
+                },
                 &opts,
             );
             m.decoder.set_modeled_hidden(64);
@@ -122,7 +134,11 @@ pub fn standard_model(scene: &AnalyticScene, kind: ModelKind) -> Box<dyn NerfMod
         ModelKind::Tensor => {
             let mut m = bake::bake_tensor_with(
                 scene,
-                &TensorConfig { resolution: 96, components_per_signal: 2, bytes_per_value: 2 },
+                &TensorConfig {
+                    resolution: 96,
+                    components_per_signal: 2,
+                    bytes_per_value: 2,
+                },
                 &opts,
             );
             m.decoder.set_modeled_hidden(64);
@@ -161,7 +177,10 @@ impl ModelWorkloads {
                 scale_fs_to_paper(&self.sparse_fs, &self.sparse_fs_report),
             )
         } else {
-            (scale_to_paper(&self.full_pc), scale_to_paper(&self.sparse_pc))
+            (
+                scale_to_paper(&self.full_pc),
+                scale_to_paper(&self.sparse_pc),
+            )
         }
     }
 }
@@ -175,12 +194,18 @@ pub fn measure_workloads(
 ) -> ModelWorkloads {
     let k = exp_intrinsics();
     let traj = Trajectory::orbit(scene, window + 2, 60.0);
-    let opts = RenderOptions { march: exp_march(), use_occupancy: true };
+    let opts = RenderOptions {
+        march: exp_march(),
+        use_occupancy: true,
+    };
     let pixels = (EXP_RES * EXP_RES) as u64;
 
     // Working-set-scaled on-chip buffers: the paper's 2 MB at 800² behaves
     // like 2 MB × (EXP_RES/800)² ≈ 64 KB at the experiment resolution.
-    let pc_cfg = PixelCentricConfig { cache_bytes: 64 << 10, ..Default::default() };
+    let pc_cfg = PixelCentricConfig {
+        cache_bytes: 64 << 10,
+        ..Default::default()
+    };
     // Hash tables are resolution-independent, so their cache keeps the real
     // 2 MB capacity (the default) rather than the working-set-scaled one.
     let fs_cfg = StreamingConfig::default();
@@ -218,8 +243,13 @@ pub fn measure_workloads(
     };
     let pc_rep = pc.finish();
     let fs_rep_sparse = fs.finish();
-    let mut sparse_pc =
-        build_workload(&sparse_stats, model.decoder(), Some(&pc_rep), None, Some((pixels, pixels)));
+    let mut sparse_pc = build_workload(
+        &sparse_stats,
+        model.decoder(),
+        Some(&pc_rep),
+        None,
+        Some((pixels, pixels)),
+    );
     let mut sparse_fs = build_workload(
         &sparse_stats,
         model.decoder(),
@@ -257,10 +287,16 @@ pub fn workloads_for(mw: &ModelWorkloads, variant: Variant) -> (&FrameWorkload, 
 /// warping/downsampling errors *compose* with the model's own error; with the
 /// paper-scale baseline error, the composition matches the paper's regime.
 pub fn quality_model(scene: &AnalyticScene) -> cicero_field::GridModel {
-    let opts = bake::BakeOptions { decoder_hidden: 16, ..Default::default() };
+    let opts = bake::BakeOptions {
+        decoder_hidden: 16,
+        ..Default::default()
+    };
     let mut m = bake::bake_grid_with(
         scene,
-        &GridConfig { resolution: 56, ..Default::default() },
+        &GridConfig {
+            resolution: 56,
+            ..Default::default()
+        },
         &opts,
     );
     m.decoder.set_modeled_hidden(64);
@@ -293,7 +329,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with headers.
     pub fn new(headers: &[&str]) -> Self {
-        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Adds a row.
@@ -319,7 +358,14 @@ impl Table {
             println!("  {}", parts.join("  "));
         };
         line(&self.headers);
-        println!("  {}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+        println!(
+            "  {}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
         for row in &self.rows {
             line(row);
         }
@@ -363,7 +409,11 @@ mod tests {
 
     #[test]
     fn scaling_preserves_ratios() {
-        let w = FrameWorkload { rays: 100, mlp_macs: 1000, ..Default::default() };
+        let w = FrameWorkload {
+            rays: 100,
+            mlp_macs: 1000,
+            ..Default::default()
+        };
         let s = scale_to_paper(&w);
         let f = (PAPER_RES * PAPER_RES) as f64 / (EXP_RES * EXP_RES) as f64;
         assert_eq!(s.rays, (100.0 * f).round() as u64);
@@ -374,10 +424,16 @@ mod tests {
     #[test]
     fn measure_workloads_produces_sane_ratios() {
         let scene = library::scene_by_name("mic").unwrap();
-        let opts = bake::BakeOptions { decoder_hidden: 16, ..Default::default() };
+        let opts = bake::BakeOptions {
+            decoder_hidden: 16,
+            ..Default::default()
+        };
         let model = bake::bake_grid_with(
             &scene,
-            &GridConfig { resolution: 48, ..Default::default() },
+            &GridConfig {
+                resolution: 48,
+                ..Default::default()
+            },
             &opts,
         );
         let mw = measure_workloads(&scene, &model, 8);

@@ -36,7 +36,11 @@ pub struct BakeOptions {
 
 impl Default for BakeOptions {
     fn default() -> Self {
-        BakeOptions { occupancy_resolution: 48, decoder_hidden: 64, tensor_power_iters: 2 }
+        BakeOptions {
+            occupancy_resolution: 48,
+            decoder_hidden: 64,
+            tensor_power_iters: 2,
+        }
     }
 }
 
@@ -69,9 +73,9 @@ pub fn signals_at(scene: &AnalyticScene, p: Vec3, model_shininess: f32) -> [f32;
 }
 
 fn specular_head(scene: &AnalyticScene) -> Option<SpecularHead> {
-    scene
-        .has_specular()
-        .then(|| SpecularHead { shininess: scene.dominant_shininess() })
+    scene.has_specular().then(|| SpecularHead {
+        shininess: scene.dominant_shininess(),
+    })
 }
 
 fn bake_occupancy(scene: &AnalyticScene, res: usize) -> OccupancyGrid {
@@ -333,15 +337,24 @@ pub fn bake_by_kind(scene: &AnalyticScene, kind: ModelKind, scale: usize) -> Box
     match kind {
         ModelKind::Grid => Box::new(bake_grid(
             scene,
-            &GridConfig { resolution: scale, ..Default::default() },
+            &GridConfig {
+                resolution: scale,
+                ..Default::default()
+            },
         )),
         ModelKind::Hash => Box::new(bake_hash(
             scene,
-            &HashConfig { max_resolution: scale, ..Default::default() },
+            &HashConfig {
+                max_resolution: scale,
+                ..Default::default()
+            },
         )),
         ModelKind::Tensor => Box::new(bake_tensor(
             scene,
-            &TensorConfig { resolution: scale.max(8), ..Default::default() },
+            &TensorConfig {
+                resolution: scale.max(8),
+                ..Default::default()
+            },
         )),
     }
 }
@@ -363,7 +376,13 @@ mod tests {
     #[test]
     fn grid_bake_reproduces_density_inside_object() {
         let s = scene();
-        let model = bake_grid(&s, &GridConfig { resolution: 32, ..Default::default() });
+        let model = bake_grid(
+            &s,
+            &GridConfig {
+                resolution: 32,
+                ..Default::default()
+            },
+        );
         // Head of the mic: sphere at (0, 0.55, 0), radius 0.28.
         let p = Vec3::new(0.0, 0.55, 0.0);
         let (sigma, _) = model.query(p, Vec3::Z);
@@ -377,7 +396,13 @@ mod tests {
     #[test]
     fn grid_bake_zero_density_in_empty_space() {
         let s = scene();
-        let model = bake_grid(&s, &GridConfig { resolution: 32, ..Default::default() });
+        let model = bake_grid(
+            &s,
+            &GridConfig {
+                resolution: 32,
+                ..Default::default()
+            },
+        );
         let p = model.bounds().max - Vec3::splat(1e-2);
         let (sigma, _) = model.query(p, Vec3::Z);
         assert!(sigma < 0.1, "ghost density {sigma}");
@@ -386,7 +411,13 @@ mod tests {
     #[test]
     fn grid_bake_colors_match_truth_near_surface() {
         let s = scene();
-        let model = bake_grid(&s, &GridConfig { resolution: 48, ..Default::default() });
+        let model = bake_grid(
+            &s,
+            &GridConfig {
+                resolution: 48,
+                ..Default::default()
+            },
+        );
         // Just inside the mic head surface.
         let p = Vec3::new(0.0, 0.55 + 0.22, 0.0);
         let (_, rgb) = model.query(p, Vec3::new(0.0, -1.0, 0.0));
@@ -422,7 +453,11 @@ mod tests {
         let s = scene();
         let model = bake_tensor(
             &s,
-            &TensorConfig { resolution: 48, components_per_signal: 4, bytes_per_value: 2 },
+            &TensorConfig {
+                resolution: 48,
+                components_per_signal: 4,
+                bytes_per_value: 2,
+            },
         );
         let p = Vec3::new(0.0, 0.55, 0.0);
         let (sigma, _) = model.query(p, Vec3::Z);
@@ -435,12 +470,30 @@ mod tests {
     #[test]
     fn specular_scene_gets_specular_decoder() {
         let s = library::scene_by_name("materials").unwrap();
-        let model = bake_grid(&s, &GridConfig { resolution: 16, ..Default::default() });
+        let model = bake_grid(
+            &s,
+            &GridConfig {
+                resolution: 16,
+                ..Default::default()
+            },
+        );
         assert!(model.decoder.specular().is_some());
-        let diffuse = bake_grid(&scene(), &GridConfig { resolution: 16, ..Default::default() });
+        let diffuse = bake_grid(
+            &scene(),
+            &GridConfig {
+                resolution: 16,
+                ..Default::default()
+            },
+        );
         // `mic` has specular metal → also specular; use `lego` for diffuse.
         let lego = library::scene_by_name("lego").unwrap();
-        let lego_model = bake_grid(&lego, &GridConfig { resolution: 16, ..Default::default() });
+        let lego_model = bake_grid(
+            &lego,
+            &GridConfig {
+                resolution: 16,
+                ..Default::default()
+            },
+        );
         assert!(lego_model.decoder.specular().is_none());
         drop(diffuse);
     }

@@ -90,7 +90,11 @@ impl Decoder {
     pub fn new(feature_dim: usize, hidden: usize, specular: Option<SpecularHead>) -> Self {
         let mlp = Mlp::passthrough_decoder(feature_dim + 3, hidden, SIGNALS);
         let modeled_dims = mlp.layer_dims();
-        Decoder { mlp, specular, modeled_dims }
+        Decoder {
+            mlp,
+            specular,
+            modeled_dims,
+        }
     }
 
     /// Builds a decoder whose signals are fixed linear combinations of the
@@ -109,7 +113,11 @@ impl Decoder {
         rows: &[Vec<f32>],
         specular: Option<SpecularHead>,
     ) -> Self {
-        assert_eq!(rows.len(), SIGNALS, "decode matrix must produce {SIGNALS} signals");
+        assert_eq!(
+            rows.len(),
+            SIGNALS,
+            "decode matrix must produce {SIGNALS} signals"
+        );
         let full_rows: Vec<Vec<f32>> = rows
             .iter()
             .map(|r| {
@@ -121,7 +129,11 @@ impl Decoder {
             .collect();
         let mlp = Mlp::linear_decoder(feature_dim + 3, hidden, &full_rows);
         let modeled_dims = mlp.layer_dims();
-        Decoder { mlp, specular, modeled_dims }
+        Decoder {
+            mlp,
+            specular,
+            modeled_dims,
+        }
     }
 
     /// Overrides the hardware-cost model with a decoder of width `hidden`
@@ -172,7 +184,11 @@ impl Decoder {
     ///
     /// Panics if `features.len() != feature_dim()`.
     pub fn decode(&self, features: &[f32], dir: Vec3) -> (f32, Vec3) {
-        assert_eq!(features.len(), self.feature_dim(), "feature dimension mismatch");
+        assert_eq!(
+            features.len(),
+            self.feature_dim(),
+            "feature dimension mismatch"
+        );
         let mut input = Vec::with_capacity(features.len() + 3);
         input.extend_from_slice(features);
         input.extend_from_slice(&[dir.x, dir.y, dir.z]);
@@ -273,7 +289,10 @@ mod tests {
         let b = wide.decode(&feats, Vec3::Z);
         assert!((a.0 - b.0).abs() < 1e-4 && (a.1 - b.1).length() < 1e-4);
         narrow.set_modeled_hidden(64);
-        assert_eq!(narrow.modeled_macs_per_sample(), wide.modeled_macs_per_sample());
+        assert_eq!(
+            narrow.modeled_macs_per_sample(),
+            wide.modeled_macs_per_sample()
+        );
         assert_ne!(narrow.macs_per_sample(), wide.macs_per_sample());
     }
 

@@ -25,7 +25,11 @@ pub struct GridConfig {
 
 impl Default for GridConfig {
     fn default() -> Self {
-        GridConfig { resolution: 160, channels: 12, bytes_per_channel: 2 }
+        GridConfig {
+            resolution: 160,
+            channels: 12,
+            bytes_per_channel: 2,
+        }
     }
 }
 
@@ -45,10 +49,17 @@ impl DenseGrid {
     ///
     /// Panics if `channels < 7` or `resolution == 0`.
     pub fn new(cfg: GridConfig, bounds: Aabb) -> Self {
-        assert!(cfg.channels >= 7, "need at least 7 channels for the decoder signals");
+        assert!(
+            cfg.channels >= 7,
+            "need at least 7 channels for the decoder signals"
+        );
         assert!(cfg.resolution > 0);
         let verts = (cfg.resolution + 1).pow(3);
-        DenseGrid { cfg, bounds, data: vec![0.0; verts * cfg.channels] }
+        DenseGrid {
+            cfg,
+            bounds,
+            data: vec![0.0; verts * cfg.channels],
+        }
     }
 
     /// Grid configuration.
@@ -77,12 +88,7 @@ impl DenseGrid {
     pub fn vertex_position(&self, x: u32, y: u32, z: u32) -> Vec3 {
         let s = self.bounds.size();
         let r = self.cfg.resolution as f32;
-        self.bounds.min
-            + Vec3::new(
-                s.x * x as f32 / r,
-                s.y * y as f32 / r,
-                s.z * z as f32 / r,
-            )
+        self.bounds.min + Vec3::new(s.x * x as f32 / r, s.y * y as f32 / r, s.z * z as f32 / r)
     }
 
     /// Writes the feature vector of a vertex.
@@ -131,7 +137,10 @@ impl DenseGrid {
             let vy = cy + ((corner as u32 >> 1) & 1);
             let vz = cz + ((corner as u32 >> 2) & 1);
             let base = self.vertex_index(vx, vy, vz) as usize * self.cfg.channels;
-            for (o, v) in out.iter_mut().zip(&self.data[base..base + self.cfg.channels]) {
+            for (o, v) in out
+                .iter_mut()
+                .zip(&self.data[base..base + self.cfg.channels])
+            {
                 *o += weight * v;
             }
         }
@@ -164,7 +173,9 @@ impl DenseGrid {
 
     /// Full gather plan wrapping the single level.
     pub fn gather_plan(&self, p: Vec3) -> GatherPlan {
-        GatherPlan { levels: vec![self.plan_at(p, RegionId(0))] }
+        GatherPlan {
+            levels: vec![self.plan_at(p, RegionId(0))],
+        }
     }
 
     /// Feature storage bytes in the modeled DRAM image.
@@ -181,7 +192,11 @@ mod tests {
 
     fn small_grid() -> DenseGrid {
         DenseGrid::new(
-            GridConfig { resolution: 4, channels: 7, bytes_per_channel: 2 },
+            GridConfig {
+                resolution: 4,
+                channels: 7,
+                bytes_per_channel: 2,
+            },
             Aabb::centered_cube(1.0),
         )
     }

@@ -101,7 +101,11 @@ impl HashGrid {
                 }
             })
             .collect();
-        HashGrid { cfg, bounds, levels }
+        HashGrid {
+            cfg,
+            bounds,
+            levels,
+        }
     }
 
     /// Encoding configuration.
@@ -122,7 +126,10 @@ impl HashGrid {
     /// Index of the first level that uses hashed (non-streamable) addressing,
     /// or `levels` if every level is dense.
     pub fn first_hashed_level(&self) -> usize {
-        self.levels.iter().position(|l| !l.dense).unwrap_or(self.levels.len())
+        self.levels
+            .iter()
+            .position(|l| !l.dense)
+            .unwrap_or(self.levels.len())
     }
 
     /// Entry index for vertex `(x, y, z)` of `level`.
@@ -218,7 +225,9 @@ impl HashGrid {
     /// Gather plan for a query at `p`: one [`LevelGather`] per level, with
     /// region ids `0..levels` (level ℓ lives in region ℓ).
     pub fn gather_plan(&self, p: Vec3) -> GatherPlan {
-        let mut plan = GatherPlan { levels: Vec::with_capacity(self.cfg.levels) };
+        let mut plan = GatherPlan {
+            levels: Vec::with_capacity(self.cfg.levels),
+        };
         for (li, l) in self.levels.iter().enumerate() {
             let g = self.bounds.normalize(p) * l.resolution as f32;
             let res = l.resolution as u32;
@@ -323,7 +332,8 @@ mod tests {
     fn vertex_write_read_roundtrip() {
         let mut g = grid();
         let e = g.entry_index(1, 2, 2, 2);
-        g.entry_mut(1, e).copy_from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        g.entry_mut(1, e)
+            .copy_from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
         assert_eq!(g.entry(1, e)[2], 3.0);
     }
 
@@ -331,7 +341,8 @@ mod tests {
     fn interpolation_at_vertex_recovers_entry() {
         let mut g = grid();
         let e = g.entry_index(0, 2, 2, 2);
-        g.entry_mut(0, e).copy_from_slice(&[9.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        g.entry_mut(0, e)
+            .copy_from_slice(&[9.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
         let p = g.vertex_position(0, 2, 2, 2);
         let mut out = vec![0.0; 7];
         g.interpolate_level_into(0, p, &mut out);

@@ -28,7 +28,11 @@ pub struct TensorConfig {
 
 impl Default for TensorConfig {
     fn default() -> Self {
-        TensorConfig { resolution: 128, components_per_signal: 4, bytes_per_value: 2 }
+        TensorConfig {
+            resolution: 128,
+            components_per_signal: 4,
+            bytes_per_value: 2,
+        }
     }
 }
 
@@ -163,13 +167,13 @@ impl VmTensor {
         for (oi, o) in ORIENTATIONS.iter().enumerate() {
             let (pu, pv, lw) = o.split(n);
             let (u, v, w) = (self.texel(pu), self.texel(pv), self.texel(lw));
-            for s in 0..SIGNALS {
+            for (s, slot) in out.iter_mut().enumerate().take(SIGNALS) {
                 let mut acc = 0.0;
                 for comp in 0..k {
                     let c = s * k + comp;
                     acc += self.sample_plane(oi, u, v, c) * self.sample_line(oi, w, c);
                 }
-                out[s] += acc;
+                *slot += acc;
             }
         }
     }
@@ -180,7 +184,9 @@ impl VmTensor {
         let n = self.bounds.normalize(p);
         let res = self.cfg.resolution as u32;
         let entry_bytes = self.channels() as u32 * self.cfg.bytes_per_value;
-        let mut plan = GatherPlan { levels: Vec::with_capacity(6) };
+        let mut plan = GatherPlan {
+            levels: Vec::with_capacity(6),
+        };
         for (oi, o) in ORIENTATIONS.iter().enumerate() {
             let (pu, pv, lw) = o.split(n);
             let (u, v, w) = (self.texel(pu), self.texel(pv), self.texel(lw));
@@ -244,7 +250,11 @@ mod tests {
 
     fn tensor() -> VmTensor {
         VmTensor::new(
-            TensorConfig { resolution: 8, components_per_signal: 2, bytes_per_value: 2 },
+            TensorConfig {
+                resolution: 8,
+                components_per_signal: 2,
+                bytes_per_value: 2,
+            },
             Aabb::centered_cube(1.0),
         )
     }

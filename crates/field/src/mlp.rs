@@ -38,7 +38,10 @@ impl Layer {
     ///
     /// Panics if indices are out of range.
     pub fn set(&mut self, row: usize, col: usize, w: f32) {
-        assert!(row < self.out_dim && col < self.in_dim, "weight index out of range");
+        assert!(
+            row < self.out_dim && col < self.in_dim,
+            "weight index out of range"
+        );
         self.weights[row * self.in_dim + col] = w;
     }
 
@@ -113,7 +116,10 @@ impl Mlp {
     /// Multiply-accumulate operations per inference (the paper's MLP cost
     /// unit; a TPU-style MAC array executes exactly these).
     pub fn macs_per_inference(&self) -> u64 {
-        self.layers.iter().map(|l| (l.in_dim * l.out_dim) as u64).sum()
+        self.layers
+            .iter()
+            .map(|l| (l.in_dim * l.out_dim) as u64)
+            .sum()
     }
 
     /// Total weight + bias parameters.
@@ -176,7 +182,10 @@ impl Mlp {
     /// `in_dim`.
     pub fn linear_decoder(in_dim: usize, hidden: usize, rows: &[Vec<f32>]) -> Mlp {
         let signals = rows.len();
-        assert!(hidden >= 2 * signals, "hidden width {hidden} too small for {signals} signals");
+        assert!(
+            hidden >= 2 * signals,
+            "hidden width {hidden} too small for {signals} signals"
+        );
         for row in rows {
             assert_eq!(row.len(), in_dim, "decode row length must equal in_dim");
         }
@@ -282,10 +291,7 @@ mod tests {
     #[test]
     fn passthrough_cost_matches_dense_shape() {
         let m = Mlp::passthrough_decoder(15, 64, 7);
-        assert_eq!(
-            m.macs_per_inference(),
-            (15 * 64 + 64 * 64 + 64 * 7) as u64
-        );
+        assert_eq!(m.macs_per_inference(), (15 * 64 + 64 * 64 + 64 * 7) as u64);
         assert_eq!(m.layer_dims(), vec![(15, 64), (64, 64), (64, 7)]);
     }
 

@@ -188,7 +188,9 @@ impl HashModel {
 
 impl TensorModel {
     fn region_sizes_impl(&self) -> Vec<(RegionId, u64)> {
-        (0..6).map(|r| (RegionId(r as u16), self.encoding.region_bytes(r))).collect()
+        (0..6)
+            .map(|r| (RegionId(r as u16), self.encoding.region_bytes(r)))
+            .collect()
     }
 }
 
@@ -210,8 +212,13 @@ mod tests {
     #[test]
     fn grid_model_region_layout_is_single_region() {
         let scene = library::scene_by_name("mic").unwrap();
-        let model =
-            bake::bake_grid(&scene, &GridConfig { resolution: 12, ..Default::default() });
+        let model = bake::bake_grid(
+            &scene,
+            &GridConfig {
+                resolution: 12,
+                ..Default::default()
+            },
+        );
         let regions = model.region_sizes();
         assert_eq!(regions.len(), 1);
         assert_eq!(regions[0].1, model.memory_footprint_bytes());
@@ -220,8 +227,13 @@ mod tests {
     #[test]
     fn model_source_respects_occupancy() {
         let scene = library::scene_by_name("mic").unwrap();
-        let model =
-            bake::bake_grid(&scene, &GridConfig { resolution: 16, ..Default::default() });
+        let model = bake::bake_grid(
+            &scene,
+            &GridConfig {
+                resolution: 16,
+                ..Default::default()
+            },
+        );
         let src = ModelSource(&model);
         // Far corner of the bounds: no geometry → zero density via occupancy.
         let corner = model.bounds().max - cicero_math::Vec3::splat(1e-3);

@@ -26,8 +26,12 @@ impl OccupancyGrid {
     pub fn from_fn(bounds: Aabb, res: usize, mut f: impl FnMut(Vec3) -> bool) -> Self {
         assert!(res > 0);
         let words = (res * res * res).div_ceil(64);
-        let mut grid =
-            OccupancyGrid { res, bounds, bits: vec![0; words], occupied_count: 0 };
+        let mut grid = OccupancyGrid {
+            res,
+            bounds,
+            bits: vec![0; words],
+            occupied_count: 0,
+        };
         let cell = bounds.size() / res as f32;
         for z in 0..res {
             for y in 0..res {

@@ -111,7 +111,9 @@ mod tests {
 
     #[test]
     fn byte_accounting() {
-        let plan = GatherPlan { levels: vec![level(8, 24), level(4, 56)] };
+        let plan = GatherPlan {
+            levels: vec![level(8, 24), level(4, 56)],
+        };
         assert_eq!(plan.bytes(), 8 * 24 + 4 * 56);
         assert_eq!(plan.entry_reads(), 12);
     }
@@ -128,7 +130,9 @@ mod tests {
         let mut seen = Vec::new();
         {
             let mut sink = |ray: u32, t: f32, p: &GatherPlan| seen.push((ray, t, p.bytes()));
-            let plan = GatherPlan { levels: vec![level(2, 4)] };
+            let plan = GatherPlan {
+                levels: vec![level(2, 4)],
+            };
             sink.on_sample(3, 1.5, &plan);
         }
         assert_eq!(seen, vec![(3, 1.5, 8)]);

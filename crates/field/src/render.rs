@@ -27,7 +27,10 @@ pub struct RenderOptions {
 
 impl Default for RenderOptions {
     fn default() -> Self {
-        RenderOptions { march: MarchParams::default(), use_occupancy: true }
+        RenderOptions {
+            march: MarchParams::default(),
+            use_occupancy: true,
+        }
     }
 }
 
@@ -82,11 +85,8 @@ pub fn render_full<M: NerfModel + ?Sized, S: GatherSink>(
     sink: &mut S,
 ) -> (Frame, RenderStats) {
     let (w, h) = (camera.intrinsics.width, camera.intrinsics.height);
-    let mut frame = cicero_scene::ground_truth::background_frame(
-        &crate::model::ModelSource(model),
-        w,
-        h,
-    );
+    let mut frame =
+        cicero_scene::ground_truth::background_frame(&crate::model::ModelSource(model), w, h);
     let stats = render_masked(model, camera, opts, None, &mut frame, sink);
     (frame, stats)
 }
@@ -109,7 +109,11 @@ pub fn render_masked<M: NerfModel + ?Sized, S: GatherSink>(
     if let Some(m) = mask {
         assert_eq!(m.len(), w * h, "mask must cover every pixel");
     }
-    assert_eq!((frame.width(), frame.height()), (w, h), "frame/camera size mismatch");
+    assert_eq!(
+        (frame.width(), frame.height()),
+        (w, h),
+        "frame/camera size mismatch"
+    );
 
     let mut stats = RenderStats::default();
     let bounds = model.bounds();
@@ -137,7 +141,7 @@ pub fn render_masked<M: NerfModel + ?Sized, S: GatherSink>(
 
             if let Some((t0, t1)) = bounds.intersect(&ray) {
                 let step = opts.march.step;
-                let n = (((t1 - t0) / step).ceil() as u32).max(0);
+                let n = ((t1 - t0) / step).ceil() as u32;
                 for i in 0..n {
                     let t = t0 + (i as f32 + 0.5) * step;
                     if t >= t1 {
@@ -198,7 +202,13 @@ mod tests {
 
     fn setup() -> (cicero_scene::AnalyticScene, crate::GridModel, Camera) {
         let scene = library::scene_by_name("lego").unwrap();
-        let model = bake::bake_grid(&scene, &GridConfig { resolution: 48, ..Default::default() });
+        let model = bake::bake_grid(
+            &scene,
+            &GridConfig {
+                resolution: 48,
+                ..Default::default()
+            },
+        );
         let cam = Camera::new(
             Intrinsics::from_fov(48, 48, 0.9),
             Pose::look_at(
@@ -213,11 +223,20 @@ mod tests {
     #[test]
     fn model_render_approximates_ground_truth() {
         let (scene, model, cam) = setup();
-        let opts = RenderOptions { march: MarchParams { step: 0.02, ..Default::default() }, use_occupancy: true };
+        let opts = RenderOptions {
+            march: MarchParams {
+                step: 0.02,
+                ..Default::default()
+            },
+            use_occupancy: true,
+        };
         let (frame, stats) = render_full(&model, &cam, &opts, &mut NullSink);
         let gt = render_frame(&scene, &cam, &opts.march);
         let psnr = metrics::psnr(&frame.color, &gt.color);
-        assert!(psnr > 18.0, "model PSNR vs analytic ground truth: {psnr:.2} dB");
+        assert!(
+            psnr > 18.0,
+            "model PSNR vs analytic ground truth: {psnr:.2} dB"
+        );
         assert!(stats.rays == 48 * 48);
         assert!(stats.samples_processed > 0);
         assert!(stats.samples_processed <= stats.samples_indexed);
@@ -226,22 +245,57 @@ mod tests {
     #[test]
     fn occupancy_pruning_reduces_processed_samples() {
         let (_, model, cam) = setup();
-        let base = RenderOptions { march: MarchParams { step: 0.04, ..Default::default() }, use_occupancy: false };
-        let pruned = RenderOptions { use_occupancy: true, ..base };
+        let base = RenderOptions {
+            march: MarchParams {
+                step: 0.04,
+                ..Default::default()
+            },
+            use_occupancy: false,
+        };
+        let pruned = RenderOptions {
+            use_occupancy: true,
+            ..base
+        };
         let (_, full) = render_full(&model, &cam, &base, &mut NullSink);
         let (_, skip) = render_full(&model, &cam, &pruned, &mut NullSink);
-        assert!(skip.samples_processed < full.samples_processed / 2,
-            "{} vs {}", skip.samples_processed, full.samples_processed);
+        assert!(
+            skip.samples_processed < full.samples_processed / 2,
+            "{} vs {}",
+            skip.samples_processed,
+            full.samples_processed
+        );
     }
 
     #[test]
     fn pruned_and_unpruned_agree_visually() {
         let (_, model, cam) = setup();
-        let march = MarchParams { step: 0.03, ..Default::default() };
-        let (a, _) = render_full(&model, &cam, &RenderOptions { march, use_occupancy: false }, &mut NullSink);
-        let (b, _) = render_full(&model, &cam, &RenderOptions { march, use_occupancy: true }, &mut NullSink);
+        let march = MarchParams {
+            step: 0.03,
+            ..Default::default()
+        };
+        let (a, _) = render_full(
+            &model,
+            &cam,
+            &RenderOptions {
+                march,
+                use_occupancy: false,
+            },
+            &mut NullSink,
+        );
+        let (b, _) = render_full(
+            &model,
+            &cam,
+            &RenderOptions {
+                march,
+                use_occupancy: true,
+            },
+            &mut NullSink,
+        );
         let psnr = metrics::psnr(&a.color, &b.color);
-        assert!(psnr > 30.0, "occupancy pruning changed the image: {psnr:.2} dB");
+        assert!(
+            psnr > 30.0,
+            "occupancy pruning changed the image: {psnr:.2} dB"
+        );
     }
 
     #[test]
@@ -253,7 +307,13 @@ mod tests {
             count += 1;
             bytes += p.bytes();
         };
-        let opts = RenderOptions { march: MarchParams { step: 0.05, ..Default::default() }, use_occupancy: true };
+        let opts = RenderOptions {
+            march: MarchParams {
+                step: 0.05,
+                ..Default::default()
+            },
+            use_occupancy: true,
+        };
         let (_, stats) = render_full(&model, &cam, &opts, &mut sink);
         assert_eq!(count, stats.samples_processed);
         assert_eq!(bytes, stats.gather_bytes);
@@ -285,7 +345,14 @@ mod tests {
 
     #[test]
     fn stats_accumulate() {
-        let mut a = RenderStats { rays: 1, samples_indexed: 10, samples_processed: 5, gather_entry_reads: 40, gather_bytes: 960, mlp_macs: 1000 };
+        let mut a = RenderStats {
+            rays: 1,
+            samples_indexed: 10,
+            samples_processed: 5,
+            gather_entry_reads: 40,
+            gather_bytes: 960,
+            mlp_macs: 1000,
+        };
         let b = a;
         a.accumulate(&b);
         assert_eq!(a.rays, 2);

@@ -20,7 +20,11 @@ pub type DepthMap = Image<f32>;
 impl<T: Clone> Image<T> {
     /// Creates an image filled with `fill`.
     pub fn new(width: usize, height: usize, fill: T) -> Self {
-        Image { width, height, data: vec![fill; width * height] }
+        Image {
+            width,
+            height,
+            data: vec![fill; width * height],
+        }
     }
 
     /// Creates an image by evaluating `f(x, y)` at every pixel.
@@ -31,7 +35,11 @@ impl<T: Clone> Image<T> {
                 data.push(f(x, y));
             }
         }
-        Image { width, height, data }
+        Image {
+            width,
+            height,
+            data,
+        }
     }
 
     /// Image width in pixels.
@@ -59,7 +67,10 @@ impl<T: Clone> Image<T> {
     /// Panics if `(x, y)` is out of bounds.
     #[inline]
     pub fn get(&self, x: usize, y: usize) -> &T {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         &self.data[y * self.width + x]
     }
 
@@ -70,7 +81,10 @@ impl<T: Clone> Image<T> {
     /// Panics if `(x, y)` is out of bounds.
     #[inline]
     pub fn get_mut(&mut self, x: usize, y: usize) -> &mut T {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         &mut self.data[y * self.width + x]
     }
 
@@ -89,7 +103,10 @@ impl<T: Clone> Image<T> {
     /// Iterates `(x, y, &pixel)` in row-major order.
     pub fn enumerate_pixels(&self) -> impl Iterator<Item = (usize, usize, &T)> {
         let w = self.width;
-        self.data.iter().enumerate().map(move |(i, p)| (i % w, i / w, p))
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(i, p)| (i % w, i / w, p))
     }
 }
 

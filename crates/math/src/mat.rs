@@ -33,9 +33,21 @@ impl Mat3 {
     /// The identity matrix.
     pub const IDENTITY: Mat3 = Mat3 {
         cols: [
-            Vec3 { x: 1.0, y: 0.0, z: 0.0 },
-            Vec3 { x: 0.0, y: 1.0, z: 0.0 },
-            Vec3 { x: 0.0, y: 0.0, z: 1.0 },
+            Vec3 {
+                x: 1.0,
+                y: 0.0,
+                z: 0.0,
+            },
+            Vec3 {
+                x: 0.0,
+                y: 1.0,
+                z: 0.0,
+            },
+            Vec3 {
+                x: 0.0,
+                y: 0.0,
+                z: 1.0,
+            },
         ],
     };
 
@@ -148,17 +160,39 @@ impl Mat4 {
     /// The identity matrix.
     pub const IDENTITY: Mat4 = Mat4 {
         cols: [
-            Vec4 { x: 1.0, y: 0.0, z: 0.0, w: 0.0 },
-            Vec4 { x: 0.0, y: 1.0, z: 0.0, w: 0.0 },
-            Vec4 { x: 0.0, y: 0.0, z: 1.0, w: 0.0 },
-            Vec4 { x: 0.0, y: 0.0, z: 0.0, w: 1.0 },
+            Vec4 {
+                x: 1.0,
+                y: 0.0,
+                z: 0.0,
+                w: 0.0,
+            },
+            Vec4 {
+                x: 0.0,
+                y: 1.0,
+                z: 0.0,
+                w: 0.0,
+            },
+            Vec4 {
+                x: 0.0,
+                y: 0.0,
+                z: 1.0,
+                w: 0.0,
+            },
+            Vec4 {
+                x: 0.0,
+                y: 0.0,
+                z: 0.0,
+                w: 1.0,
+            },
         ],
     };
 
     /// Builds a matrix from four columns.
     #[inline]
     pub const fn from_cols(c0: Vec4, c1: Vec4, c2: Vec4, c3: Vec4) -> Self {
-        Mat4 { cols: [c0, c1, c2, c3] }
+        Mat4 {
+            cols: [c0, c1, c2, c3],
+        }
     }
 
     /// Builds a rigid transform from a rotation and a translation.

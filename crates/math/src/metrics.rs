@@ -41,6 +41,18 @@ pub fn psnr(a: &RgbImage, b: &RgbImage) -> f64 {
     }
 }
 
+/// Mean of per-frame PSNRs taken over MSE (the paper's per-scene averaging):
+/// each PSNR is converted back to an MSE, the MSEs are averaged, and the mean
+/// is converted back to dB. Returns `NaN` for an empty slice; infinite PSNRs
+/// (identical frames) contribute zero MSE.
+pub fn mean_psnr_db(psnrs: &[f64]) -> f64 {
+    if psnrs.is_empty() {
+        return f64::NAN;
+    }
+    let mse: f64 = psnrs.iter().map(|p| 10f64.powf(-p / 10.0)).sum::<f64>() / psnrs.len() as f64;
+    -10.0 * mse.log10()
+}
+
 /// Structural similarity (mean SSIM over 8×8 windows, luma only).
 ///
 /// Returns a value in `[-1, 1]`; 1.0 means identical.
@@ -90,7 +102,11 @@ pub fn ssim(a: &RgbImage, b: &RgbImage) -> f64 {
 }
 
 fn clamp01(p: Vec3) -> Vec3 {
-    Vec3::new(p.x.clamp(0.0, 1.0), p.y.clamp(0.0, 1.0), p.z.clamp(0.0, 1.0))
+    Vec3::new(
+        p.x.clamp(0.0, 1.0),
+        p.y.clamp(0.0, 1.0),
+        p.z.clamp(0.0, 1.0),
+    )
 }
 
 #[cfg(test)]

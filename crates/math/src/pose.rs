@@ -19,13 +19,19 @@ pub struct Pose {
 
 impl Default for Pose {
     fn default() -> Self {
-        Pose { position: Vec3::ZERO, rotation: Quat::IDENTITY }
+        Pose {
+            position: Vec3::ZERO,
+            rotation: Quat::IDENTITY,
+        }
     }
 }
 
 impl Pose {
     /// The identity pose (camera at origin looking down world +Z).
-    pub const IDENTITY: Pose = Pose { position: Vec3::ZERO, rotation: Quat::IDENTITY };
+    pub const IDENTITY: Pose = Pose {
+        position: Vec3::ZERO,
+        rotation: Quat::IDENTITY,
+    };
 
     /// Creates a pose from a position and a rotation.
     #[inline]
@@ -45,7 +51,10 @@ impl Pose {
     pub fn look_at(eye: Vec3, target: Vec3, up: Vec3) -> Pose {
         let forward = (target - eye).normalized(); // camera +Z
         let up_orth = up - forward * up.dot(forward);
-        debug_assert!(up_orth.length() > 1e-6, "up is parallel to the view direction");
+        debug_assert!(
+            up_orth.length() > 1e-6,
+            "up is parallel to the view direction"
+        );
         let down = -up_orth.normalized(); // camera +Y (image rows grow downward)
         let right = down.cross(forward); // camera +X; x = y × z keeps det = +1
         let rot = Mat3::from_cols(right, down, forward);
@@ -147,7 +156,10 @@ mod tests {
     fn visible_point_has_positive_depth() {
         let pose = Pose::look_at(Vec3::new(0.0, 1.0, -6.0), Vec3::ZERO, Vec3::Y);
         let cam = pose.to_camera(Vec3::ZERO);
-        assert!(cam.z > 0.0, "target should be in front of the camera, got {cam}");
+        assert!(
+            cam.z > 0.0,
+            "target should be in front of the camera, got {cam}"
+        );
     }
 
     #[test]

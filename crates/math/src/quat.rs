@@ -29,13 +29,23 @@ impl Default for Quat {
 
 impl Quat {
     /// The identity rotation.
-    pub const IDENTITY: Quat = Quat { w: 1.0, x: 0.0, y: 0.0, z: 0.0 };
+    pub const IDENTITY: Quat = Quat {
+        w: 1.0,
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     /// Rotation of `angle` radians about a (not necessarily unit) `axis`.
     pub fn from_axis_angle(axis: Vec3, angle: f32) -> Quat {
         let axis = axis.normalized();
         let (s, c) = (angle * 0.5).sin_cos();
-        Quat { w: c, x: axis.x * s, y: axis.y * s, z: axis.z * s }
+        Quat {
+            w: c,
+            x: axis.x * s,
+            y: axis.y * s,
+            z: axis.z * s,
+        }
     }
 
     /// Builds a quaternion from an orthonormal rotation matrix.
@@ -83,23 +93,45 @@ impl Quat {
     pub fn to_mat3(self) -> Mat3 {
         let Quat { w, x, y, z } = self;
         Mat3::from_rows(
-            Vec3::new(1.0 - 2.0 * (y * y + z * z), 2.0 * (x * y - w * z), 2.0 * (x * z + w * y)),
-            Vec3::new(2.0 * (x * y + w * z), 1.0 - 2.0 * (x * x + z * z), 2.0 * (y * z - w * x)),
-            Vec3::new(2.0 * (x * z - w * y), 2.0 * (y * z + w * x), 1.0 - 2.0 * (x * x + y * y)),
+            Vec3::new(
+                1.0 - 2.0 * (y * y + z * z),
+                2.0 * (x * y - w * z),
+                2.0 * (x * z + w * y),
+            ),
+            Vec3::new(
+                2.0 * (x * y + w * z),
+                1.0 - 2.0 * (x * x + z * z),
+                2.0 * (y * z - w * x),
+            ),
+            Vec3::new(
+                2.0 * (x * z - w * y),
+                2.0 * (y * z + w * x),
+                1.0 - 2.0 * (x * x + y * y),
+            ),
         )
     }
 
     /// Quaternion conjugate (inverse for unit quaternions).
     #[inline]
     pub fn conjugate(self) -> Quat {
-        Quat { w: self.w, x: -self.x, y: -self.y, z: -self.z }
+        Quat {
+            w: self.w,
+            x: -self.x,
+            y: -self.y,
+            z: -self.z,
+        }
     }
 
     /// Returns the normalized quaternion.
     pub fn normalized(self) -> Quat {
         let n = (self.w * self.w + self.x * self.x + self.y * self.y + self.z * self.z).sqrt();
         debug_assert!(n > 1e-12, "normalizing a zero quaternion");
-        Quat { w: self.w / n, x: self.x / n, y: self.y / n, z: self.z / n }
+        Quat {
+            w: self.w / n,
+            x: self.x / n,
+            y: self.y / n,
+            z: self.z / n,
+        }
     }
 
     /// Dot product of quaternion components.
@@ -123,7 +155,12 @@ impl Quat {
         let mut cos = self.dot(other);
         // Take the short arc.
         if cos < 0.0 {
-            other = Quat { w: -other.w, x: -other.x, y: -other.y, z: -other.z };
+            other = Quat {
+                w: -other.w,
+                x: -other.x,
+                y: -other.y,
+                z: -other.z,
+            };
             cos = -cos;
         }
         if cos > 0.9995 {

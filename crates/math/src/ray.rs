@@ -23,7 +23,10 @@ impl Ray {
     /// Panics in debug builds if `dir` is (near) zero length.
     #[inline]
     pub fn new(origin: Vec3, dir: Vec3) -> Self {
-        Ray { origin, dir: dir.normalized() }
+        Ray {
+            origin,
+            dir: dir.normalized(),
+        }
     }
 
     /// The point at parameter `t`.

@@ -1,7 +1,9 @@
 //! Small fixed-size `f32` vectors.
 
 use std::fmt;
-use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::ops::{
+    Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign,
+};
 
 /// A 2-component `f32` vector (pixel coordinates, plane features).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -175,15 +177,35 @@ impl Vec2 {
 
 impl Vec3 {
     /// The zero vector.
-    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
     /// All ones.
-    pub const ONE: Vec3 = Vec3 { x: 1.0, y: 1.0, z: 1.0 };
+    pub const ONE: Vec3 = Vec3 {
+        x: 1.0,
+        y: 1.0,
+        z: 1.0,
+    };
     /// Unit X axis.
-    pub const X: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
+    pub const X: Vec3 = Vec3 {
+        x: 1.0,
+        y: 0.0,
+        z: 0.0,
+    };
     /// Unit Y axis.
-    pub const Y: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
+    pub const Y: Vec3 = Vec3 {
+        x: 0.0,
+        y: 1.0,
+        z: 0.0,
+    };
     /// Unit Z axis.
-    pub const Z: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+    pub const Z: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 1.0,
+    };
 
     /// Creates a vector from components.
     #[inline]
@@ -213,6 +235,30 @@ impl Vec3 {
         Vec4::new(self.x, self.y, self.z, w)
     }
 
+    /// Component by index: `0 → x`, `1 → y`, `2 → z`; `None` out of range.
+    ///
+    /// The safe counterpart of `v[i]` for computed indices.
+    #[inline]
+    pub const fn get(self, i: usize) -> Option<f32> {
+        match i {
+            0 => Some(self.x),
+            1 => Some(self.y),
+            2 => Some(self.z),
+            _ => None,
+        }
+    }
+
+    /// Mutable component by index; `None` out of range.
+    #[inline]
+    pub fn get_mut(&mut self, i: usize) -> Option<&mut f32> {
+        match i {
+            0 => Some(&mut self.x),
+            1 => Some(&mut self.y),
+            2 => Some(&mut self.z),
+            _ => None,
+        }
+    }
+
     /// Angle in radians between `self` and `o` (both need not be normalized).
     ///
     /// This is the quantity θ of the paper's Fig. 8: the angle subtended at a
@@ -231,7 +277,12 @@ impl Vec3 {
 
 impl Vec4 {
     /// The zero vector.
-    pub const ZERO: Vec4 = Vec4 { x: 0.0, y: 0.0, z: 0.0, w: 0.0 };
+    pub const ZERO: Vec4 = Vec4 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+        w: 0.0,
+    };
 
     /// Creates a vector from components.
     #[inline]
@@ -242,7 +293,12 @@ impl Vec4 {
     /// All components set to `v`.
     #[inline]
     pub const fn splat(v: f32) -> Self {
-        Vec4 { x: v, y: v, z: v, w: v }
+        Vec4 {
+            x: v,
+            y: v,
+            z: v,
+            w: v,
+        }
     }
 
     /// Drops the `w` component.
@@ -260,13 +316,15 @@ impl Vec4 {
 
 impl Index<usize> for Vec3 {
     type Output = f32;
+    /// `v[i]` for a trusted index. Hot warp/gather loops only ever index
+    /// with `i < 3`; prefer [`Vec3::get`] when the index is computed.
     #[inline]
     fn index(&self, i: usize) -> &f32 {
+        debug_assert!(i < 3, "Vec3 index {i} out of range");
         match i {
             0 => &self.x,
             1 => &self.y,
-            2 => &self.z,
-            _ => panic!("Vec3 index {i} out of range"),
+            _ => &self.z,
         }
     }
 }
@@ -274,11 +332,11 @@ impl Index<usize> for Vec3 {
 impl IndexMut<usize> for Vec3 {
     #[inline]
     fn index_mut(&mut self, i: usize) -> &mut f32 {
+        debug_assert!(i < 3, "Vec3 index {i} out of range");
         match i {
             0 => &mut self.x,
             1 => &mut self.y,
-            2 => &mut self.z,
-            _ => panic!("Vec3 index {i} out of range"),
+            _ => &mut self.z,
         }
     }
 }
@@ -356,9 +414,28 @@ mod tests {
 
     #[test]
     #[should_panic]
-    fn index_out_of_range_panics() {
+    #[cfg(debug_assertions)]
+    fn index_out_of_range_panics_in_debug() {
         let v = Vec3::ZERO;
         let _ = v[3];
+    }
+
+    #[test]
+    fn get_is_total() {
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(v.get(0), Some(1.0));
+        assert_eq!(v.get(1), Some(2.0));
+        assert_eq!(v.get(2), Some(3.0));
+        assert_eq!(v.get(3), None);
+        assert_eq!(v.get(usize::MAX), None);
+    }
+
+    #[test]
+    fn get_mut_mutates_components() {
+        let mut v = Vec3::ZERO;
+        *v.get_mut(1).unwrap() = 5.0;
+        assert_eq!(v, Vec3::new(0.0, 5.0, 0.0));
+        assert!(v.get_mut(3).is_none());
     }
 
     #[test]

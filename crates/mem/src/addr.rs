@@ -21,7 +21,10 @@ impl AddressMap {
     /// Panics if `alignment` is not a power of two or region ids are not
     /// consecutive from zero.
     pub fn new(regions: &[(u16, u64)], alignment: u64) -> Self {
-        assert!(alignment.is_power_of_two(), "alignment must be a power of two");
+        assert!(
+            alignment.is_power_of_two(),
+            "alignment must be a power of two"
+        );
         let mut bases = Vec::with_capacity(regions.len());
         let mut sizes = Vec::with_capacity(regions.len());
         let mut cursor = 0u64;

@@ -36,7 +36,11 @@ pub struct BankSimConfig {
 
 impl Default for BankSimConfig {
     fn default() -> Self {
-        BankSimConfig { banks: 16, ports_per_bank: 1, lanes: 16 }
+        BankSimConfig {
+            banks: 16,
+            ports_per_bank: 1,
+            lanes: 16,
+        }
     }
 }
 
@@ -97,7 +101,11 @@ impl BankSim {
     /// Panics if any config field is zero.
     pub fn new(cfg: BankSimConfig) -> Self {
         assert!(cfg.banks > 0 && cfg.ports_per_bank > 0 && cfg.lanes > 0);
-        BankSim { cfg, stats: BankStats::default(), loads: vec![0; cfg.banks] }
+        BankSim {
+            cfg,
+            stats: BankStats::default(),
+            loads: vec![0; cfg.banks],
+        }
     }
 
     /// Configuration in use.
@@ -111,7 +119,10 @@ impl BankSim {
     /// A round in feature-major gathering = each of the `lanes` ray samples
     /// reading one of its eight vertex feature vectors.
     pub fn issue_round(&mut self, banks_hit: &[usize]) {
-        debug_assert!(banks_hit.len() <= self.cfg.lanes, "more requests than lanes");
+        debug_assert!(
+            banks_hit.len() <= self.cfg.lanes,
+            "more requests than lanes"
+        );
         self.loads.fill(0);
         for &b in banks_hit {
             self.loads[b % self.cfg.banks] += 1;
@@ -197,7 +208,11 @@ mod tests {
 
     #[test]
     fn disjoint_banks_do_not_stall() {
-        let mut s = BankSim::new(BankSimConfig { banks: 4, ports_per_bank: 1, lanes: 4 });
+        let mut s = BankSim::new(BankSimConfig {
+            banks: 4,
+            ports_per_bank: 1,
+            lanes: 4,
+        });
         s.issue_round(&[0, 1, 2, 3]);
         assert_eq!(s.stats().stalled_requests, 0);
         assert_eq!(s.stats().cycles, 1);
@@ -206,7 +221,11 @@ mod tests {
 
     #[test]
     fn same_bank_serializes() {
-        let mut s = BankSim::new(BankSimConfig { banks: 4, ports_per_bank: 1, lanes: 4 });
+        let mut s = BankSim::new(BankSimConfig {
+            banks: 4,
+            ports_per_bank: 1,
+            lanes: 4,
+        });
         s.issue_round(&[2, 2, 2, 2]);
         assert_eq!(s.stats().cycles, 4);
         assert_eq!(s.stats().stalled_requests, 3);
@@ -216,7 +235,11 @@ mod tests {
 
     #[test]
     fn multiport_banks_absorb_pairs() {
-        let mut s = BankSim::new(BankSimConfig { banks: 4, ports_per_bank: 2, lanes: 4 });
+        let mut s = BankSim::new(BankSimConfig {
+            banks: 4,
+            ports_per_bank: 2,
+            lanes: 4,
+        });
         s.issue_round(&[1, 1, 3, 3]);
         assert_eq!(s.stats().cycles, 1);
         assert_eq!(s.stats().stalled_requests, 0);
@@ -224,20 +247,33 @@ mod tests {
 
     #[test]
     fn feature_major_replay_detects_conflicts() {
-        let cfg = BankSimConfig { banks: 4, ports_per_bank: 1, lanes: 2 };
+        let cfg = BankSimConfig {
+            banks: 4,
+            ports_per_bank: 1,
+            lanes: 2,
+        };
         let mut s = BankSim::new(cfg);
         // Two concurrent samples whose vertex entries always share bank 0.
         let samples = vec![vec![0u64, 4, 8], vec![4u64, 8, 0]];
         s.replay_gather(&samples, FeatureLayout::FeatureMajor);
-        assert!(s.stats().conflict_rate() > 0.4, "{}", s.stats().conflict_rate());
+        assert!(
+            s.stats().conflict_rate() > 0.4,
+            "{}",
+            s.stats().conflict_rate()
+        );
     }
 
     #[test]
     fn channel_major_replay_never_conflicts() {
-        let cfg = BankSimConfig { banks: 32, ports_per_bank: 2, lanes: 32 };
+        let cfg = BankSimConfig {
+            banks: 32,
+            ports_per_bank: 2,
+            lanes: 32,
+        };
         let mut s = BankSim::new(cfg);
-        let samples: Vec<Vec<u64>> =
-            (0..64).map(|i| (0..8).map(|v| (i * 7 + v * 13) as u64).collect()).collect();
+        let samples: Vec<Vec<u64>> = (0..64)
+            .map(|i| (0..8).map(|v| (i * 7 + v * 13) as u64).collect())
+            .collect();
         s.replay_gather(&samples, FeatureLayout::ChannelMajor);
         assert_eq!(s.stats().conflict_rate(), 0.0);
         assert_eq!(s.stats().slowdown(), 1.0);
@@ -246,7 +282,11 @@ mod tests {
     #[test]
     fn channel_major_cycle_count_is_eight_per_sample_pair() {
         // M=2 ports → 2 samples in parallel, 8 vertices each → 8 cycles per pair.
-        let cfg = BankSimConfig { banks: 32, ports_per_bank: 2, lanes: 32 };
+        let cfg = BankSimConfig {
+            banks: 32,
+            ports_per_bank: 2,
+            lanes: 32,
+        };
         let mut s = BankSim::new(cfg);
         let samples: Vec<Vec<u64>> = (0..4).map(|_| vec![0u64; 8]).collect();
         s.replay_gather(&samples, FeatureLayout::ChannelMajor);
@@ -256,7 +296,11 @@ mod tests {
     #[test]
     fn random_feature_major_conflicts_grow_with_lanes() {
         let run = |lanes: usize| {
-            let cfg = BankSimConfig { banks: 16, ports_per_bank: 1, lanes };
+            let cfg = BankSimConfig {
+                banks: 16,
+                ports_per_bank: 1,
+                lanes,
+            };
             let mut s = BankSim::new(cfg);
             let samples: Vec<Vec<u64>> = (0..256)
                 .map(|i| {
@@ -275,8 +319,18 @@ mod tests {
 
     #[test]
     fn stats_accumulate() {
-        let mut a = BankStats { requests: 10, stalled_requests: 2, cycles: 5, ideal_cycles: 4 };
-        a.accumulate(&BankStats { requests: 10, stalled_requests: 4, cycles: 10, ideal_cycles: 4 });
+        let mut a = BankStats {
+            requests: 10,
+            stalled_requests: 2,
+            cycles: 5,
+            ideal_cycles: 4,
+        };
+        a.accumulate(&BankStats {
+            requests: 10,
+            stalled_requests: 4,
+            cycles: 10,
+            ideal_cycles: 4,
+        });
         assert_eq!(a.requests, 20);
         assert!((a.conflict_rate() - 0.3).abs() < 1e-12);
     }

@@ -51,9 +51,15 @@ impl LruCache {
     /// Panics if capacity is not divisible into at least one set of `ways`
     /// lines or parameters are not powers of two.
     pub fn new(capacity_bytes: u64, line_bytes: u64, ways: usize) -> Self {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let lines = capacity_bytes / line_bytes;
-        assert!(lines >= ways as u64 && ways > 0, "capacity too small for associativity");
+        assert!(
+            lines >= ways as u64 && ways > 0,
+            "capacity too small for associativity"
+        );
         let sets = (lines / ways as u64) as usize;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         LruCache {

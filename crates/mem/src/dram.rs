@@ -87,7 +87,11 @@ pub struct DramSim {
 impl DramSim {
     /// Creates a simulator.
     pub fn new(cfg: DramConfig) -> Self {
-        DramSim { cfg, stats: DramStats::default(), next_streaming_addr: None }
+        DramSim {
+            cfg,
+            stats: DramStats::default(),
+            next_streaming_addr: None,
+        }
     }
 
     /// Configuration in use.

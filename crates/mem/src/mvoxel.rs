@@ -51,8 +51,7 @@ impl MVoxelConfig {
             for &a in axes {
                 let mut next = dims;
                 next[a] *= 2;
-                let bytes =
-                    next[0] as u64 * next[1] as u64 * next[2] as u64 * entry_bytes as u64;
+                let bytes = next[0] as u64 * next[1] as u64 * next[2] as u64 * entry_bytes as u64;
                 let exceeds_region = next[a] > region_resolution[a].next_power_of_two();
                 if bytes <= vft_bytes && !exceeds_region {
                     dims = next;
@@ -91,7 +90,12 @@ impl MVoxelPartition {
             resolution[1].div_ceil(cfg.dims[1]),
             resolution[2].div_ceil(cfg.dims[2]),
         ];
-        MVoxelPartition { resolution, dims: cfg.dims, counts, entry_bytes }
+        MVoxelPartition {
+            resolution,
+            dims: cfg.dims,
+            counts,
+            entry_bytes,
+        }
     }
 
     /// Total number of MVoxels.
@@ -111,7 +115,11 @@ impl MVoxelPartition {
             "vertex {v:?} outside region {:?}",
             self.resolution
         );
-        let m = [v[0] / self.dims[0], v[1] / self.dims[1], v[2] / self.dims[2]];
+        let m = [
+            v[0] / self.dims[0],
+            v[1] / self.dims[1],
+            v[2] / self.dims[2],
+        ];
         ((m[2] * self.counts[1] + m[1]) * self.counts[0] + m[0]) as usize
     }
 

@@ -29,7 +29,10 @@ pub struct RitConfig {
 
 impl Default for RitConfig {
     fn default() -> Self {
-        RitConfig { bytes_per_record: 48, buffer_records: 128 }
+        RitConfig {
+            bytes_per_record: 48,
+            buffer_records: 128,
+        }
     }
 }
 
@@ -93,7 +96,10 @@ impl RayIndexTable {
 
     /// Number of MVoxels at least one sample touches.
     pub fn touched_mvoxels(&self) -> usize {
-        self.entries.iter().filter(|e| !e.samples.is_empty()).count()
+        self.entries
+            .iter()
+            .filter(|e| !e.samples.is_empty())
+            .count()
     }
 
     /// DRAM bytes the table itself occupies (written by Indexing on the GPU,
@@ -104,7 +110,11 @@ impl RayIndexTable {
 
     /// Largest entry length (bounds the GU's RIT buffer refills per MVoxel).
     pub fn max_entry_samples(&self) -> usize {
-        self.entries.iter().map(|e| e.samples.len()).max().unwrap_or(0)
+        self.entries
+            .iter()
+            .map(|e| e.samples.len())
+            .max()
+            .unwrap_or(0)
     }
 }
 

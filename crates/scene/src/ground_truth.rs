@@ -81,7 +81,11 @@ pub fn render_sparse<S: RadianceSource + ?Sized>(
 ) -> usize {
     let (w, h) = (camera.intrinsics.width, camera.intrinsics.height);
     assert_eq!(mask.len(), w * h, "mask must cover every pixel");
-    assert_eq!((frame.width(), frame.height()), (w, h), "frame/camera size mismatch");
+    assert_eq!(
+        (frame.width(), frame.height()),
+        (w, h),
+        "frame/camera size mismatch"
+    );
     let mut rendered = 0;
     for y in 0..h {
         for x in 0..w {
@@ -119,7 +123,11 @@ mod tests {
 
     fn sphere_scene() -> crate::AnalyticScene {
         SceneBuilder::new("t")
-            .object(Shape::Sphere { radius: 0.8 }, Vec3::ZERO, Material::solid(Vec3::ONE))
+            .object(
+                Shape::Sphere { radius: 0.8 },
+                Vec3::ZERO,
+                Material::solid(Vec3::ONE),
+            )
             .build()
     }
 
@@ -135,8 +143,14 @@ mod tests {
         let scene = sphere_scene();
         let cam = camera(33, 33);
         let f = render_frame(&scene, &cam, &MarchParams::default());
-        assert!(f.depth.get(16, 16).is_finite(), "center should hit the sphere");
-        assert!(f.depth.get(0, 0).is_infinite(), "corner should be background");
+        assert!(
+            f.depth.get(16, 16).is_finite(),
+            "center should hit the sphere"
+        );
+        assert!(
+            f.depth.get(0, 0).is_infinite(),
+            "corner should be background"
+        );
         // The lit sphere is brighter than the dark background.
         assert!(f.color.get(16, 16).length() > f.color.get(0, 0).length());
     }

@@ -11,8 +11,16 @@ use crate::{AnalyticScene, Material, SceneBuilder, Shape, Texture};
 use cicero_math::Vec3;
 
 /// Names of the eight Synthetic-NeRF-like scenes.
-pub const SYNTHETIC_SCENES: [&str; 8] =
-    ["chair", "drums", "ficus", "hotdog", "lego", "materials", "mic", "ship"];
+pub const SYNTHETIC_SCENES: [&str; 8] = [
+    "chair",
+    "drums",
+    "ficus",
+    "hotdog",
+    "lego",
+    "materials",
+    "mic",
+    "ship",
+];
 
 /// Names of the real-world-like scenes.
 pub const REAL_WORLD_SCENES: [&str; 2] = ["bonsai", "ignatius"];
@@ -36,7 +44,10 @@ pub fn scene_by_name(name: &str) -> Option<AnalyticScene> {
 
 /// All synthetic scenes, in canonical order.
 pub fn synthetic_scenes() -> Vec<AnalyticScene> {
-    SYNTHETIC_SCENES.iter().map(|n| scene_by_name(n).unwrap()).collect()
+    SYNTHETIC_SCENES
+        .iter()
+        .map(|n| scene_by_name(n).unwrap())
+        .collect()
 }
 
 /// A chair: seat, back, four legs.
@@ -52,18 +63,27 @@ pub fn chair() -> AnalyticScene {
     ));
     let mut b = SceneBuilder::new("chair")
         .object(
-            Shape::RoundedBox { half: Vec3::new(0.5, 0.06, 0.5), round: 0.03 },
+            Shape::RoundedBox {
+                half: Vec3::new(0.5, 0.06, 0.5),
+                round: 0.03,
+            },
             Vec3::new(0.0, 0.0, 0.0),
             cushion,
         )
         .object(
-            Shape::RoundedBox { half: Vec3::new(0.5, 0.45, 0.05), round: 0.03 },
+            Shape::RoundedBox {
+                half: Vec3::new(0.5, 0.45, 0.05),
+                round: 0.03,
+            },
             Vec3::new(0.0, 0.5, -0.47),
             wood,
         );
     for (sx, sz) in [(-1.0_f32, -1.0_f32), (-1.0, 1.0), (1.0, -1.0), (1.0, 1.0)] {
         b = b.object(
-            Shape::Cylinder { radius: 0.05, half_height: 0.35 },
+            Shape::Cylinder {
+                radius: 0.05,
+                half_height: 0.35,
+            },
             Vec3::new(sx * 0.42, -0.42, sz * 0.42),
             wood,
         );
@@ -81,24 +101,44 @@ pub fn drums() -> AnalyticScene {
     let metal = Material::solid(Vec3::splat(0.7)).with_specular(0.35, 24.0);
     SceneBuilder::new("drums")
         .object(
-            Shape::Cylinder { radius: 0.45, half_height: 0.28 },
+            Shape::Cylinder {
+                radius: 0.45,
+                half_height: 0.28,
+            },
             Vec3::new(0.0, -0.2, 0.0),
             shell,
         )
         .object(
-            Shape::Cylinder { radius: 0.25, half_height: 0.16 },
+            Shape::Cylinder {
+                radius: 0.25,
+                half_height: 0.16,
+            },
             Vec3::new(-0.55, 0.15, 0.2),
             shell,
         )
         .object(
-            Shape::Cylinder { radius: 0.25, half_height: 0.16 },
+            Shape::Cylinder {
+                radius: 0.25,
+                half_height: 0.16,
+            },
             Vec3::new(0.55, 0.15, 0.2),
             shell,
         )
-        .object(Shape::Sphere { radius: 0.18 }, Vec3::new(-0.3, 0.45, -0.3), metal)
-        .object(Shape::Sphere { radius: 0.18 }, Vec3::new(0.3, 0.45, -0.3), metal)
         .object(
-            Shape::Torus { major: 0.35, minor: 0.025 },
+            Shape::Sphere { radius: 0.18 },
+            Vec3::new(-0.3, 0.45, -0.3),
+            metal,
+        )
+        .object(
+            Shape::Sphere { radius: 0.18 },
+            Vec3::new(0.3, 0.45, -0.3),
+            metal,
+        )
+        .object(
+            Shape::Torus {
+                major: 0.35,
+                minor: 0.025,
+            },
             Vec3::new(0.0, 0.6, 0.15),
             metal,
         )
@@ -120,7 +160,10 @@ pub fn ficus() -> AnalyticScene {
     });
     let mut b = SceneBuilder::new("ficus")
         .object(
-            Shape::Cylinder { radius: 0.3, half_height: 0.2 },
+            Shape::Cylinder {
+                radius: 0.3,
+                half_height: 0.2,
+            },
             Vec3::new(0.0, -0.75, 0.0),
             pot,
         )
@@ -139,7 +182,9 @@ pub fn ficus() -> AnalyticScene {
         let r = 0.28 + 0.12 * ((i * 37 % 11) as f32 / 11.0);
         let y = 0.3 + 0.35 * ((i * 53 % 7) as f32 / 7.0);
         b = b.object(
-            Shape::Sphere { radius: 0.16 + 0.05 * ((i % 3) as f32 / 3.0) },
+            Shape::Sphere {
+                radius: 0.16 + 0.05 * ((i % 3) as f32 / 3.0),
+            },
             Vec3::new(r * a.cos(), y, r * a.sin()),
             leaves,
         );
@@ -162,7 +207,10 @@ pub fn hotdog() -> AnalyticScene {
     let plate = Material::solid(Vec3::splat(0.9)).with_specular(0.15, 12.0);
     SceneBuilder::new("hotdog")
         .object(
-            Shape::Cylinder { radius: 0.8, half_height: 0.04 },
+            Shape::Cylinder {
+                radius: 0.8,
+                half_height: 0.04,
+            },
             Vec3::new(0.0, -0.3, 0.0),
             plate,
         )
@@ -211,22 +259,30 @@ pub fn lego() -> AnalyticScene {
     let black = Material::solid(Vec3::splat(0.08));
     let mut b = SceneBuilder::new("lego")
         .object(
-            Shape::Box { half: Vec3::new(0.55, 0.12, 0.35) },
+            Shape::Box {
+                half: Vec3::new(0.55, 0.12, 0.35),
+            },
             Vec3::new(0.0, -0.25, 0.0),
             grey,
         )
         .object(
-            Shape::Box { half: Vec3::new(0.3, 0.2, 0.3) },
+            Shape::Box {
+                half: Vec3::new(0.3, 0.2, 0.3),
+            },
             Vec3::new(-0.15, 0.08, 0.0),
             yellow,
         )
         .object(
-            Shape::Box { half: Vec3::new(0.12, 0.12, 0.26) },
+            Shape::Box {
+                half: Vec3::new(0.12, 0.12, 0.26),
+            },
             Vec3::new(0.25, 0.02, 0.0),
             yellow,
         )
         .object(
-            Shape::Box { half: Vec3::new(0.04, 0.18, 0.3) },
+            Shape::Box {
+                half: Vec3::new(0.04, 0.18, 0.3),
+            },
             Vec3::new(0.52, 0.0, 0.0),
             yellow,
         );
@@ -234,12 +290,18 @@ pub fn lego() -> AnalyticScene {
         let x = -0.35 + i as f32 * 0.35;
         b = b
             .object(
-                Shape::Cylinder { radius: 0.12, half_height: 0.02 },
+                Shape::Cylinder {
+                    radius: 0.12,
+                    half_height: 0.02,
+                },
                 Vec3::new(x, -0.42, 0.38),
                 black,
             )
             .object(
-                Shape::Cylinder { radius: 0.12, half_height: 0.02 },
+                Shape::Cylinder {
+                    radius: 0.12,
+                    half_height: 0.02,
+                },
                 Vec3::new(x, -0.42, -0.38),
                 black,
             );
@@ -250,7 +312,9 @@ pub fn lego() -> AnalyticScene {
 /// A grid of spheres with varying specular strength (the non-diffuse scene).
 pub fn materials() -> AnalyticScene {
     let mut b = SceneBuilder::new("materials").object(
-        Shape::Box { half: Vec3::new(1.0, 0.04, 1.0) },
+        Shape::Box {
+            half: Vec3::new(1.0, 0.04, 1.0),
+        },
         Vec3::new(0.0, -0.35, 0.0),
         Material::diffuse(default_checker(Vec3::splat(0.25), Vec3::splat(0.6))),
     );
@@ -284,9 +348,16 @@ pub fn mic() -> AnalyticScene {
     let metal = Material::solid(Vec3::splat(0.55)).with_specular(0.4, 20.0);
     let base = Material::solid(Vec3::splat(0.12));
     SceneBuilder::new("mic")
-        .object(Shape::Sphere { radius: 0.28 }, Vec3::new(0.0, 0.55, 0.0), mesh)
         .object(
-            Shape::Torus { major: 0.3, minor: 0.03 },
+            Shape::Sphere { radius: 0.28 },
+            Vec3::new(0.0, 0.55, 0.0),
+            mesh,
+        )
+        .object(
+            Shape::Torus {
+                major: 0.3,
+                minor: 0.03,
+            },
             Vec3::new(0.0, 0.55, 0.0),
             metal,
         )
@@ -300,7 +371,10 @@ pub fn mic() -> AnalyticScene {
             metal,
         )
         .object(
-            Shape::Cylinder { radius: 0.35, half_height: 0.05 },
+            Shape::Cylinder {
+                radius: 0.35,
+                half_height: 0.05,
+            },
             Vec3::new(0.0, -0.68, 0.0),
             base,
         )
@@ -323,27 +397,40 @@ pub fn ship() -> AnalyticScene {
     .with_specular(0.3, 8.0);
     SceneBuilder::new("ship")
         .object(
-            Shape::Box { half: Vec3::new(1.1, 0.03, 1.1) },
+            Shape::Box {
+                half: Vec3::new(1.1, 0.03, 1.1),
+            },
             Vec3::new(0.0, -0.4, 0.0),
             water,
         )
         .object(
-            Shape::RoundedBox { half: Vec3::new(0.55, 0.14, 0.2), round: 0.06 },
+            Shape::RoundedBox {
+                half: Vec3::new(0.55, 0.14, 0.2),
+                round: 0.06,
+            },
             Vec3::new(0.0, -0.22, 0.0),
             hull,
         )
         .object(
-            Shape::Cylinder { radius: 0.03, half_height: 0.45 },
+            Shape::Cylinder {
+                radius: 0.03,
+                half_height: 0.45,
+            },
             Vec3::new(0.0, 0.2, 0.0),
             hull,
         )
         .object(
-            Shape::Box { half: Vec3::new(0.28, 0.22, 0.01) },
+            Shape::Box {
+                half: Vec3::new(0.28, 0.22, 0.01),
+            },
             Vec3::new(0.0, 0.28, 0.04),
             sail,
         )
         .object(
-            Shape::Cylinder { radius: 0.025, half_height: 0.3 },
+            Shape::Cylinder {
+                radius: 0.025,
+                half_height: 0.3,
+            },
             Vec3::new(0.45, 0.0, 0.0),
             hull,
         )
@@ -369,12 +456,17 @@ pub fn bonsai() -> AnalyticScene {
     ));
     let mut b = SceneBuilder::new("bonsai")
         .object(
-            Shape::Box { half: Vec3::new(1.4, 0.05, 1.4) },
+            Shape::Box {
+                half: Vec3::new(1.4, 0.05, 1.4),
+            },
             Vec3::new(0.0, -0.75, 0.0),
             table,
         )
         .object(
-            Shape::Cylinder { radius: 0.42, half_height: 0.18 },
+            Shape::Cylinder {
+                radius: 0.42,
+                half_height: 0.18,
+            },
             Vec3::new(0.0, -0.5, 0.0),
             pot,
         )
@@ -401,7 +493,9 @@ pub fn bonsai() -> AnalyticScene {
         let r = 0.25 + 0.15 * ((i * 29 % 13) as f32 / 13.0);
         let y = 0.35 + 0.3 * ((i * 41 % 9) as f32 / 9.0);
         b = b.object(
-            Shape::Sphere { radius: 0.14 + 0.06 * ((i % 4) as f32 / 4.0) },
+            Shape::Sphere {
+                radius: 0.14 + 0.06 * ((i % 4) as f32 / 4.0),
+            },
             Vec3::new(r * a.cos(), y, r * a.sin()),
             foliage,
         );
@@ -424,7 +518,9 @@ pub fn ignatius() -> AnalyticScene {
     });
     SceneBuilder::new("ignatius")
         .object(
-            Shape::Box { half: Vec3::new(0.5, 0.3, 0.5) },
+            Shape::Box {
+                half: Vec3::new(0.5, 0.3, 0.5),
+            },
             Vec3::new(0.0, -0.75, 0.0),
             stone,
         )
@@ -439,7 +535,11 @@ pub fn ignatius() -> AnalyticScene {
             bronze,
         )
         // Head.
-        .object(Shape::Sphere { radius: 0.14 }, Vec3::new(0.0, 0.5, 0.0), bronze)
+        .object(
+            Shape::Sphere { radius: 0.14 },
+            Vec3::new(0.0, 0.5, 0.0),
+            bronze,
+        )
         // Arms.
         .object(
             Shape::Capsule {

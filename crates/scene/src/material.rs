@@ -47,8 +47,8 @@ impl Texture {
             Texture::Solid(c) => c,
             Texture::Checker { a, b, scale } => {
                 let q = p / scale;
-                let parity = (q.x.floor() as i64 + q.y.floor() as i64 + q.z.floor() as i64)
-                    .rem_euclid(2);
+                let parity =
+                    (q.x.floor() as i64 + q.y.floor() as i64 + q.z.floor() as i64).rem_euclid(2);
                 if parity == 0 {
                     a
                 } else {
@@ -125,7 +125,12 @@ pub struct Material {
 impl Material {
     /// A perfectly diffuse material with the given texture.
     pub fn diffuse(albedo: Texture) -> Self {
-        Material { albedo, emissive: Vec3::ZERO, specular: 0.0, shininess: 1.0 }
+        Material {
+            albedo,
+            emissive: Vec3::ZERO,
+            specular: 0.0,
+            shininess: 1.0,
+        }
     }
 
     /// A diffuse solid color.
@@ -165,7 +170,11 @@ mod tests {
 
     #[test]
     fn checker_alternates() {
-        let t = Texture::Checker { a: Vec3::ZERO, b: Vec3::ONE, scale: 1.0 };
+        let t = Texture::Checker {
+            a: Vec3::ZERO,
+            b: Vec3::ONE,
+            scale: 1.0,
+        };
         let c0 = t.sample(Vec3::new(0.5, 0.5, 0.5));
         let c1 = t.sample(Vec3::new(1.5, 0.5, 0.5));
         assert_ne!(c0, c1);
@@ -175,7 +184,11 @@ mod tests {
 
     #[test]
     fn checker_handles_negative_coordinates() {
-        let t = Texture::Checker { a: Vec3::ZERO, b: Vec3::ONE, scale: 1.0 };
+        let t = Texture::Checker {
+            a: Vec3::ZERO,
+            b: Vec3::ONE,
+            scale: 1.0,
+        };
         let c0 = t.sample(Vec3::new(0.5, 0.5, 0.5));
         let c_neg = t.sample(Vec3::new(-0.5, 0.5, 0.5));
         assert_ne!(c0, c_neg);
@@ -183,7 +196,11 @@ mod tests {
 
     #[test]
     fn noise_is_deterministic_and_bounded() {
-        let t = Texture::Noise { a: Vec3::ZERO, b: Vec3::ONE, scale: 0.3 };
+        let t = Texture::Noise {
+            a: Vec3::ZERO,
+            b: Vec3::ONE,
+            scale: 0.3,
+        };
         for i in 0..50 {
             let p = Vec3::new(i as f32 * 0.17, -(i as f32) * 0.05, 1.0);
             let s = t.sample(p);
@@ -194,7 +211,11 @@ mod tests {
 
     #[test]
     fn noise_is_continuous() {
-        let t = Texture::Noise { a: Vec3::ZERO, b: Vec3::ONE, scale: 1.0 };
+        let t = Texture::Noise {
+            a: Vec3::ZERO,
+            b: Vec3::ONE,
+            scale: 1.0,
+        };
         let a = t.sample(Vec3::new(0.5, 0.5, 0.5));
         let b = t.sample(Vec3::new(0.5001, 0.5, 0.5));
         assert!((a - b).length() < 1e-2);
@@ -202,7 +223,9 @@ mod tests {
 
     #[test]
     fn material_builders_compose() {
-        let m = Material::solid(Vec3::ONE).with_specular(0.5, 32.0).with_emissive(Vec3::X);
+        let m = Material::solid(Vec3::ONE)
+            .with_specular(0.5, 32.0)
+            .with_emissive(Vec3::X);
         assert_eq!(m.specular, 0.5);
         assert_eq!(m.shininess, 32.0);
         assert_eq!(m.emissive, Vec3::X);

@@ -64,11 +64,13 @@ impl Shape {
                 let q = Vec3::new((p.x * p.x + p.z * p.z).sqrt() - major, p.y, 0.0);
                 q.length() - minor
             }
-            Shape::Cylinder { radius, half_height } => {
+            Shape::Cylinder {
+                radius,
+                half_height,
+            } => {
                 let d_radial = (p.x * p.x + p.z * p.z).sqrt() - radius;
                 let d_axial = p.y.abs() - half_height;
-                let outside =
-                    Vec3::new(d_radial.max(0.0), d_axial.max(0.0), 0.0).length();
+                let outside = Vec3::new(d_radial.max(0.0), d_axial.max(0.0), 0.0).length();
                 outside + d_radial.max(d_axial).min(0.0)
             }
             Shape::RoundedBox { half, round } => {
@@ -93,7 +95,10 @@ impl Shape {
                 let r = major + minor;
                 Aabb::new(Vec3::new(-r, -minor, -r), Vec3::new(r, minor, r))
             }
-            Shape::Cylinder { radius, half_height } => Aabb::new(
+            Shape::Cylinder {
+                radius,
+                half_height,
+            } => Aabb::new(
                 Vec3::new(-radius, -half_height, -radius),
                 Vec3::new(radius, half_height, radius),
             ),
@@ -122,7 +127,11 @@ pub struct Object {
 impl Object {
     /// Creates an object at `position`.
     pub fn new(shape: Shape, position: Vec3, material: Material) -> Self {
-        Object { shape, position, material }
+        Object {
+            shape,
+            position,
+            material,
+        }
     }
 
     /// Signed distance from world point `p`.
@@ -168,7 +177,9 @@ mod tests {
 
     #[test]
     fn box_sdf_on_faces() {
-        let b = Shape::Box { half: Vec3::new(1.0, 2.0, 3.0) };
+        let b = Shape::Box {
+            half: Vec3::new(1.0, 2.0, 3.0),
+        };
         assert!((b.sdf(Vec3::new(1.0, 0.0, 0.0))).abs() < 1e-6);
         assert!((b.sdf(Vec3::new(2.0, 0.0, 0.0)) - 1.0).abs() < 1e-6);
         assert!(b.sdf(Vec3::ZERO) < 0.0);
@@ -176,14 +187,20 @@ mod tests {
 
     #[test]
     fn torus_sdf_center_of_tube() {
-        let t = Shape::Torus { major: 2.0, minor: 0.5 };
+        let t = Shape::Torus {
+            major: 2.0,
+            minor: 0.5,
+        };
         // The circle x²+z²=4, y=0 is the tube center: distance = -minor.
         assert!((t.sdf(Vec3::new(2.0, 0.0, 0.0)) + 0.5).abs() < 1e-6);
     }
 
     #[test]
     fn cylinder_contains_axis() {
-        let c = Shape::Cylinder { radius: 0.5, half_height: 1.0 };
+        let c = Shape::Cylinder {
+            radius: 0.5,
+            half_height: 1.0,
+        };
         assert!(c.sdf(Vec3::ZERO) < 0.0);
         assert!(c.sdf(Vec3::new(0.0, 1.5, 0.0)) > 0.0);
         assert!(c.sdf(Vec3::new(1.0, 0.0, 0.0)) > 0.0);
@@ -191,7 +208,11 @@ mod tests {
 
     #[test]
     fn capsule_distance_from_segment() {
-        let c = Shape::Capsule { a: Vec3::ZERO, b: Vec3::Y, radius: 0.25 };
+        let c = Shape::Capsule {
+            a: Vec3::ZERO,
+            b: Vec3::Y,
+            radius: 0.25,
+        };
         assert!((c.sdf(Vec3::new(0.5, 0.5, 0.0)) - 0.25).abs() < 1e-6);
     }
 
@@ -199,10 +220,21 @@ mod tests {
     fn bounds_contain_surface_points() {
         let shapes = [
             Shape::Sphere { radius: 0.7 },
-            Shape::Box { half: Vec3::new(0.3, 0.5, 0.2) },
-            Shape::Torus { major: 0.6, minor: 0.2 },
-            Shape::Cylinder { radius: 0.4, half_height: 0.8 },
-            Shape::RoundedBox { half: Vec3::splat(0.4), round: 0.1 },
+            Shape::Box {
+                half: Vec3::new(0.3, 0.5, 0.2),
+            },
+            Shape::Torus {
+                major: 0.6,
+                minor: 0.2,
+            },
+            Shape::Cylinder {
+                radius: 0.4,
+                half_height: 0.8,
+            },
+            Shape::RoundedBox {
+                half: Vec3::splat(0.4),
+                round: 0.1,
+            },
         ];
         for s in shapes {
             let b = s.bounds();
@@ -234,7 +266,11 @@ mod tests {
 
     #[test]
     fn normal_points_outward_on_sphere() {
-        let o = Object::new(Shape::Sphere { radius: 1.0 }, Vec3::ZERO, Material::default());
+        let o = Object::new(
+            Shape::Sphere { radius: 1.0 },
+            Vec3::ZERO,
+            Material::default(),
+        );
         let n = o.normal(Vec3::new(0.0, 1.0, 0.0));
         assert!((n - Vec3::Y).length() < 1e-2);
     }

@@ -258,7 +258,10 @@ impl SceneBuilder {
     /// Panics if the scene has no objects and no explicit bounds.
     pub fn build(self) -> AnalyticScene {
         let bounds = self.explicit_bounds.unwrap_or_else(|| {
-            assert!(!self.objects.is_empty(), "scene needs objects or explicit bounds");
+            assert!(
+                !self.objects.is_empty(),
+                "scene needs objects or explicit bounds"
+            );
             let pad = Vec3::splat(self.shell_width * 2.0);
             let mut min = Vec3::splat(f32::INFINITY);
             let mut max = Vec3::splat(f32::NEG_INFINITY);
@@ -294,7 +297,11 @@ mod tests {
 
     fn one_sphere() -> AnalyticScene {
         SceneBuilder::new("t")
-            .object(Shape::Sphere { radius: 1.0 }, Vec3::ZERO, Material::solid(Vec3::ONE))
+            .object(
+                Shape::Sphere { radius: 1.0 },
+                Vec3::ZERO,
+                Material::solid(Vec3::ONE),
+            )
             .build()
     }
 
@@ -347,8 +354,16 @@ mod tests {
     #[test]
     fn auto_bounds_cover_objects() {
         let s = SceneBuilder::new("b")
-            .object(Shape::Sphere { radius: 0.5 }, Vec3::new(2.0, 0.0, 0.0), Material::default())
-            .object(Shape::Sphere { radius: 0.5 }, Vec3::new(-2.0, 0.0, 0.0), Material::default())
+            .object(
+                Shape::Sphere { radius: 0.5 },
+                Vec3::new(2.0, 0.0, 0.0),
+                Material::default(),
+            )
+            .object(
+                Shape::Sphere { radius: 0.5 },
+                Vec3::new(-2.0, 0.0, 0.0),
+                Material::default(),
+            )
             .build();
         assert!(s.bounds().contains(Vec3::new(2.4, 0.0, 0.0)));
         assert!(s.bounds().contains(Vec3::new(-2.4, 0.0, 0.0)));
@@ -388,8 +403,16 @@ mod tests {
         let red = Material::solid(Vec3::X);
         let blue = Material::solid(Vec3::Z);
         let s = SceneBuilder::new("two")
-            .object(Shape::Sphere { radius: 0.5 }, Vec3::new(-1.0, 0.0, 0.0), red)
-            .object(Shape::Sphere { radius: 0.5 }, Vec3::new(1.0, 0.0, 0.0), blue)
+            .object(
+                Shape::Sphere { radius: 0.5 },
+                Vec3::new(-1.0, 0.0, 0.0),
+                red,
+            )
+            .object(
+                Shape::Sphere { radius: 0.5 },
+                Vec3::new(1.0, 0.0, 0.0),
+                blue,
+            )
             .build();
         let r_left = s.radiance_at(Vec3::new(-1.0, 0.45, 0.0), Vec3::Z);
         let r_right = s.radiance_at(Vec3::new(1.0, 0.45, 0.0), Vec3::Z);

@@ -71,7 +71,7 @@ impl Trajectory {
         let radius = extent * 1.6;
         let height = extent * 0.45;
         let angular_speed = 18.0_f32.to_radians(); // rad/s
-        // Deterministic per-seed phases for handheld shake.
+                                                   // Deterministic per-seed phases for handheld shake.
         let phase = |k: u64| -> f32 {
             let mut h = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(k);
             h ^= h >> 33;
@@ -84,8 +84,7 @@ impl Trajectory {
                 match kind {
                     TrajectoryKind::Orbit => {
                         let a = angular_speed * t;
-                        let eye =
-                            center + Vec3::new(radius * a.cos(), height, radius * a.sin());
+                        let eye = center + Vec3::new(radius * a.cos(), height, radius * a.sin());
                         Pose::look_at(eye, center, Vec3::Y)
                     }
                     TrajectoryKind::Handheld => {
@@ -182,11 +181,7 @@ impl Trajectory {
         if self.poses.len() < 2 {
             return 0.0;
         }
-        let total: f32 = self
-            .poses
-            .windows(2)
-            .map(|w| w[0].distance_to(&w[1]))
-            .sum();
+        let total: f32 = self.poses.windows(2).map(|w| w[0].distance_to(&w[1])).sum();
         total / (self.poses.len() - 1) as f32
     }
 }
@@ -198,7 +193,11 @@ mod tests {
 
     fn scene() -> AnalyticScene {
         SceneBuilder::new("t")
-            .object(Shape::Sphere { radius: 1.0 }, Vec3::ZERO, Material::default())
+            .object(
+                Shape::Sphere { radius: 1.0 },
+                Vec3::ZERO,
+                Material::default(),
+            )
             .build()
     }
 

@@ -31,7 +31,11 @@ pub struct MarchParams {
 
 impl Default for MarchParams {
     fn default() -> Self {
-        MarchParams { step: 0.01, early_stop: 1e-3, surface_opacity: 0.5 }
+        MarchParams {
+            step: 0.01,
+            early_stop: 1e-3,
+            surface_opacity: 0.5,
+        }
     }
 }
 
@@ -67,7 +71,7 @@ pub fn march_ray<S: RadianceSource + ?Sized>(
     let mut opacity_acc = 0.0_f32;
     let mut samples = 0u32;
 
-    let n = (((t1 - t0) / params.step).ceil() as u32).max(0);
+    let n = ((t1 - t0) / params.step).ceil() as u32;
     for i in 0..n {
         let t = t0 + (i as f32 + 0.5) * params.step;
         if t >= t1 {
@@ -98,7 +102,12 @@ pub fn march_ray<S: RadianceSource + ?Sized>(
     } else {
         f32::INFINITY
     };
-    MarchResult { color, depth_t, transmittance, samples }
+    MarchResult {
+        color,
+        depth_t,
+        transmittance,
+        samples,
+    }
 }
 
 /// Integrates a ray against the source's own bounds.
@@ -157,7 +166,11 @@ mod tests {
 
     #[test]
     fn empty_volume_returns_background() {
-        let s = Slab { sigma: 0.0, radiance: Vec3::ONE, bg: Vec3::new(0.1, 0.2, 0.3) };
+        let s = Slab {
+            sigma: 0.0,
+            radiance: Vec3::ONE,
+            bg: Vec3::new(0.1, 0.2, 0.3),
+        };
         let r = march_ray_auto(&s, &z_ray(), &MarchParams::default());
         assert!((r.color - s.bg).length() < 1e-6);
         assert_eq!(r.depth_t, f32::INFINITY);
@@ -167,8 +180,19 @@ mod tests {
     #[test]
     fn dense_volume_matches_beer_lambert() {
         // Analytic: T = exp(-sigma * L) through a slab of thickness L = 2.
-        let s = Slab { sigma: 1.5, radiance: Vec3::ONE, bg: Vec3::ZERO };
-        let r = march_ray_auto(&s, &z_ray(), &MarchParams { step: 0.001, ..Default::default() });
+        let s = Slab {
+            sigma: 1.5,
+            radiance: Vec3::ONE,
+            bg: Vec3::ZERO,
+        };
+        let r = march_ray_auto(
+            &s,
+            &z_ray(),
+            &MarchParams {
+                step: 0.001,
+                ..Default::default()
+            },
+        );
         let expected_t = (-1.5_f32 * 2.0).exp();
         assert!(
             (r.transmittance - expected_t).abs() < 1e-2,
@@ -181,7 +205,11 @@ mod tests {
 
     #[test]
     fn opaque_volume_reports_front_surface_depth() {
-        let s = Slab { sigma: 500.0, radiance: Vec3::ONE, bg: Vec3::ZERO };
+        let s = Slab {
+            sigma: 500.0,
+            radiance: Vec3::ONE,
+            bg: Vec3::ZERO,
+        };
         let r = march_ray_auto(&s, &z_ray(), &MarchParams::default());
         // Front face of the unit cube is at t = 4 for a camera at z=-5.
         assert!((r.depth_t - 4.0).abs() < 0.05, "depth {}", r.depth_t);
@@ -190,7 +218,11 @@ mod tests {
 
     #[test]
     fn miss_ray_does_no_sampling() {
-        let s = Slab { sigma: 10.0, radiance: Vec3::ONE, bg: Vec3::ZERO };
+        let s = Slab {
+            sigma: 10.0,
+            radiance: Vec3::ONE,
+            bg: Vec3::ZERO,
+        };
         let ray = Ray::new(Vec3::new(0.0, 5.0, -5.0), Vec3::Z);
         let r = march_ray_auto(&s, &ray, &MarchParams::default());
         assert_eq!(r.samples, 0);
@@ -199,16 +231,26 @@ mod tests {
 
     #[test]
     fn early_stop_reduces_samples() {
-        let s = Slab { sigma: 500.0, radiance: Vec3::ONE, bg: Vec3::ZERO };
+        let s = Slab {
+            sigma: 500.0,
+            radiance: Vec3::ONE,
+            bg: Vec3::ZERO,
+        };
         let full = march_ray_auto(
             &s,
             &z_ray(),
-            &MarchParams { early_stop: 0.0, ..Default::default() },
+            &MarchParams {
+                early_stop: 0.0,
+                ..Default::default()
+            },
         );
         let early = march_ray_auto(
             &s,
             &z_ray(),
-            &MarchParams { early_stop: 1e-2, ..Default::default() },
+            &MarchParams {
+                early_stop: 1e-2,
+                ..Default::default()
+            },
         );
         assert!(early.samples < full.samples);
         // Early stop truncates at most `early_stop` of the radiance per channel.
@@ -217,9 +259,17 @@ mod tests {
 
     #[test]
     fn translucency_blends_with_background() {
-        let s = Slab { sigma: 0.2, radiance: Vec3::X, bg: Vec3::Z };
+        let s = Slab {
+            sigma: 0.2,
+            radiance: Vec3::X,
+            bg: Vec3::Z,
+        };
         let r = march_ray_auto(&s, &z_ray(), &MarchParams::default());
-        assert!(r.color.x > 0.0 && r.color.z > 0.0, "both media contribute: {}", r.color);
+        assert!(
+            r.color.x > 0.0 && r.color.z > 0.0,
+            "both media contribute: {}",
+            r.color
+        );
         // Thin volume: no surface.
         assert_eq!(r.depth_t, f32::INFINITY);
     }

@@ -1,0 +1,269 @@
+//! Cross-session reference-frame cache.
+//!
+//! Reference renders are the expensive, batchable resource of a SPARW
+//! serving system; warped target frames are cheap. Sessions co-located in the
+//! same scene request references at nearby poses, so a pose-quantized cache
+//! lets one full NeRF render seed the warp sources of many sessions — the
+//! multi-tenant generalization of the paper's single-client reference reuse.
+
+use cicero_accel::FrameWorkload;
+use cicero_math::{Intrinsics, Pose};
+use cicero_scene::ground_truth::Frame;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cache configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RefCacheConfig {
+    /// Maximum cached references before LRU eviction.
+    pub capacity: usize,
+    /// Position quantization step (world units). Poses within the same cell
+    /// share an entry.
+    pub pos_quantum: f32,
+    /// Rotation quantization step (unit-quaternion components).
+    pub rot_quantum: f32,
+}
+
+impl Default for RefCacheConfig {
+    fn default() -> Self {
+        RefCacheConfig {
+            capacity: 128,
+            pos_quantum: 0.05,
+            rot_quantum: 0.02,
+        }
+    }
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RefCacheStats {
+    /// Lookups satisfied from the cache.
+    pub hits: u64,
+    /// Lookups that required a fresh render.
+    pub misses: u64,
+    /// Entries inserted.
+    pub inserts: u64,
+    /// Entries evicted by the LRU policy.
+    pub evictions: u64,
+}
+
+/// One cached reference render.
+#[derive(Debug, Clone)]
+pub struct CachedReference {
+    /// The exact pose the frame was rendered at (not the quantized key).
+    pub pose: Pose,
+    /// The rendered reference frame (color + depth), shared: every session
+    /// warping from this entry holds the same allocation, not a copy.
+    pub frame: Arc<Frame>,
+    /// The full-render workload, for pricing installs.
+    pub workload: FrameWorkload,
+    /// Simulated time the producing render completes; consumers cannot warp
+    /// from this reference earlier.
+    pub available_at_s: f64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    scene: String,
+    width: usize,
+    height: usize,
+    /// Focal length and principal point in milli-pixels: frames rendered
+    /// with a different FoV are not geometrically interchangeable even at
+    /// the same resolution.
+    qfocal: [i32; 3],
+    qpos: [i32; 3],
+    qrot: [i32; 4],
+}
+
+/// A pose-quantized LRU cache of reference renders, shared across sessions.
+#[derive(Debug, Default)]
+pub struct RefCache {
+    cfg: RefCacheConfig,
+    entries: HashMap<CacheKey, (u64, Arc<CachedReference>)>,
+    tick: u64,
+    stats: RefCacheStats,
+}
+
+impl RefCache {
+    /// Creates an empty cache.
+    pub fn new(cfg: RefCacheConfig) -> Self {
+        RefCache {
+            cfg,
+            entries: HashMap::new(),
+            tick: 0,
+            stats: RefCacheStats::default(),
+        }
+    }
+
+    fn key(&self, scene: &str, intrinsics: Intrinsics, pose: &Pose, sign: f32) -> CacheKey {
+        let qp = self.cfg.pos_quantum.max(1e-6);
+        let qr = self.cfg.rot_quantum.max(1e-6);
+        CacheKey {
+            scene: scene.to_string(),
+            width: intrinsics.width,
+            height: intrinsics.height,
+            qfocal: [
+                (intrinsics.focal * 1e3).round() as i32,
+                (intrinsics.cx * 1e3).round() as i32,
+                (intrinsics.cy * 1e3).round() as i32,
+            ],
+            qpos: [
+                (pose.position.x / qp).round() as i32,
+                (pose.position.y / qp).round() as i32,
+                (pose.position.z / qp).round() as i32,
+            ],
+            qrot: [
+                (sign * pose.rotation.w / qr).round() as i32,
+                (sign * pose.rotation.x / qr).round() as i32,
+                (sign * pose.rotation.y / qr).round() as i32,
+                (sign * pose.rotation.z / qr).round() as i32,
+            ],
+        }
+    }
+
+    /// Looks up a reference near `pose` for `scene` at `intrinsics`'
+    /// resolution, counting a hit or miss.
+    ///
+    /// A quaternion and its negation are the same rotation, and no sign
+    /// canonicalization is stable for every pose (w is zero at 180°,
+    /// the argmax component flips when two magnitudes tie), so lookups
+    /// probe both signs instead.
+    pub fn lookup(
+        &mut self,
+        scene: &str,
+        intrinsics: Intrinsics,
+        pose: &Pose,
+    ) -> Option<Arc<CachedReference>> {
+        self.tick += 1;
+        for sign in [1.0, -1.0] {
+            let key = self.key(scene, intrinsics, pose, sign);
+            if let Some((used, entry)) = self.entries.get_mut(&key) {
+                *used = self.tick;
+                self.stats.hits += 1;
+                return Some(entry.clone());
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Inserts a freshly rendered reference, evicting the least recently used
+    /// entry when at capacity.
+    pub fn insert(&mut self, scene: &str, intrinsics: Intrinsics, entry: CachedReference) {
+        if self.cfg.capacity == 0 {
+            return;
+        }
+        let key = self.key(scene, intrinsics, &entry.pose, 1.0);
+        if self.entries.len() >= self.cfg.capacity && !self.entries.contains_key(&key) {
+            if let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (used, _))| *used)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&oldest);
+                self.stats.evictions += 1;
+            }
+        }
+        self.tick += 1;
+        self.entries.insert(key, (self.tick, Arc::new(entry)));
+        self.stats.inserts += 1;
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> RefCacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cicero_math::Vec3;
+
+    fn entry(pose: Pose) -> CachedReference {
+        CachedReference {
+            pose,
+            frame: Arc::new(Frame {
+                color: cicero_math::RgbImage::new(4, 4, Vec3::ZERO),
+                depth: cicero_math::DepthMap::new(4, 4, f32::INFINITY),
+            }),
+            workload: FrameWorkload::default(),
+            available_at_s: 0.0,
+        }
+    }
+
+    fn pose(x: f32) -> Pose {
+        Pose::look_at(Vec3::new(x, 0.0, -3.0), Vec3::ZERO, Vec3::Y)
+    }
+
+    #[test]
+    fn nearby_poses_share_an_entry() {
+        let mut c = RefCache::new(RefCacheConfig::default());
+        let k = Intrinsics::from_fov(8, 8, 0.9);
+        c.insert("lego", k, entry(pose(0.0)));
+        // Same cell: offset below half the position quantum.
+        assert!(c.lookup("lego", k, &pose(0.004)).is_some());
+        // Different scene, resolution or focal length: miss.
+        assert!(c.lookup("ship", k, &pose(0.0)).is_none());
+        assert!(c
+            .lookup("lego", Intrinsics::from_fov(16, 16, 0.9), &pose(0.0))
+            .is_none());
+        assert!(c
+            .lookup("lego", Intrinsics::from_fov(8, 8, 1.4), &pose(0.0))
+            .is_none());
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 3);
+    }
+
+    #[test]
+    fn negated_quaternions_share_an_entry() {
+        let mut c = RefCache::new(RefCacheConfig::default());
+        let k = Intrinsics::from_fov(8, 8, 0.9);
+        // 180° about Y: w == 0, the case where w-based sign canonicalization
+        // breaks; the dual-sign probe must still find the entry.
+        let mut p = pose(0.0);
+        p.rotation = cicero_math::Quat {
+            w: 0.0,
+            x: 0.0,
+            y: 1.0,
+            z: 0.0,
+        };
+        let mut n = p;
+        n.rotation = cicero_math::Quat {
+            w: -0.0,
+            x: -0.0,
+            y: -1.0,
+            z: -0.0,
+        };
+        c.insert("s", k, entry(p));
+        assert!(c.lookup("s", k, &n).is_some(), "q and -q must share a key");
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = RefCache::new(RefCacheConfig {
+            capacity: 2,
+            ..Default::default()
+        });
+        let k = Intrinsics::from_fov(8, 8, 0.9);
+        c.insert("s", k, entry(pose(0.0)));
+        c.insert("s", k, entry(pose(1.0)));
+        assert!(c.lookup("s", k, &pose(0.0)).is_some()); // refresh 0.0
+        c.insert("s", k, entry(pose(2.0))); // evicts 1.0
+        assert!(c.lookup("s", k, &pose(1.0)).is_none());
+        assert!(c.lookup("s", k, &pose(0.0)).is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.len(), 2);
+    }
+}

@@ -1,0 +1,64 @@
+//! **cicero-serve**: a multi-session frame-serving subsystem over the Cicero
+//! pipeline.
+//!
+//! The core crate reproduces the paper's single-trajectory pipeline; this
+//! crate scales it to a fleet. The observation (paper Fig. 19b remote
+//! scenario; Potamoi's unified streaming architecture) is that reference
+//! renders are the expensive, *batchable* resource while warped target
+//! frames are cheap — exactly the structure a multi-tenant scheduler can
+//! exploit:
+//!
+//! - [`session`] — client sessions: trajectory + intrinsics + scenario +
+//!   [`QosClass`] deadlines,
+//! - [`admission`] — load-estimating admission control so a saturated pool
+//!   degrades by rejecting, not by missing every deadline,
+//! - [`scheduler`] — the [`FrameServer`]: batches pending reference renders
+//!   across a [`WorkerPool`](cicero_accel::pool::WorkerPool) of simulated
+//!   SoCs and overlaps them with target-frame warps, generalizing the
+//!   single-client warping-window overlap (Fig. 10/11b),
+//! - [`cache`] — a pose-quantized [`RefCache`] so co-located sessions in the
+//!   same scene share warp sources,
+//! - [`report`] — [`ServiceReport`]: throughput, p50/p99 frame latency,
+//!   deadline misses, per-session PSNR.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use cicero::pipeline::PipelineConfig;
+//! use cicero_field::{bake, GridConfig};
+//! use cicero_math::Intrinsics;
+//! use cicero_scene::{library, Trajectory};
+//! use cicero_serve::{FrameServer, QosClass, ServeConfig, SessionSpec};
+//!
+//! let scene = library::scene_by_name("lego").unwrap();
+//! let model = bake::bake_grid(&scene, &GridConfig::default());
+//! let traj = Trajectory::orbit(&scene, 30, 30.0);
+//! let mut server = FrameServer::new(ServeConfig::default());
+//! server.submit(
+//!     SessionSpec {
+//!         name: "hmd-0".into(),
+//!         scene_key: "lego".into(),
+//!         qos: QosClass::Interactive,
+//!         start_offset_s: 0.0,
+//!         config: PipelineConfig::default(),
+//!     },
+//!     &scene, &model, &traj, Intrinsics::from_fov(128, 128, 0.9),
+//! ).unwrap();
+//! let report = server.run();
+//! println!("{:.0} fps, p99 {:.1} ms", report.throughput_fps, report.p99_latency_s * 1e3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod cache;
+pub mod report;
+pub mod scheduler;
+pub mod session;
+
+pub use admission::{AdmissionController, AdmissionError, AdmissionPolicy};
+pub use cache::{CachedReference, RefCache, RefCacheConfig, RefCacheStats};
+pub use report::{FrameRecord, ServiceReport, SessionSummary};
+pub use scheduler::{FrameServer, ServeConfig};
+pub use session::{QosClass, SessionId, SessionSpec};

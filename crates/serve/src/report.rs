@@ -1,0 +1,128 @@
+//! Service-level reporting: throughput, tail latency, deadline misses,
+//! per-session quality.
+
+use crate::cache::RefCacheStats;
+use crate::session::{QosClass, SessionId};
+
+/// One served frame, as the scheduler saw it.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameRecord {
+    /// The session the frame belongs to.
+    pub session: SessionId,
+    /// Trajectory frame index within the session.
+    pub frame_index: usize,
+    /// When the client expected the frame, simulated seconds.
+    pub arrival_s: f64,
+    /// When a worker started it.
+    pub start_s: f64,
+    /// When it completed.
+    pub completion_s: f64,
+    /// Its QoS deadline.
+    pub deadline_s: f64,
+    /// Worker that executed it.
+    pub worker: usize,
+    /// Whether it was a full (reference/bootstrap) render.
+    pub full_render: bool,
+}
+
+impl FrameRecord {
+    /// Client-observed latency: completion minus expected arrival.
+    pub fn latency_s(&self) -> f64 {
+        self.completion_s - self.arrival_s
+    }
+
+    /// Whether the frame missed its deadline.
+    pub fn missed_deadline(&self) -> bool {
+        self.completion_s > self.deadline_s
+    }
+}
+
+/// Per-session aggregate.
+#[derive(Debug, Clone)]
+pub struct SessionSummary {
+    /// Session id.
+    pub id: SessionId,
+    /// Session name (from the spec).
+    pub name: String,
+    /// QoS class.
+    pub qos: QosClass,
+    /// Frames served.
+    pub frames: usize,
+    /// Mean client-observed latency, seconds.
+    pub mean_latency_s: f64,
+    /// Worst client-observed latency, seconds.
+    pub max_latency_s: f64,
+    /// Frames past their deadline.
+    pub deadline_misses: u64,
+    /// MSE-averaged PSNR over quality-sampled frames, dB (NaN if quality
+    /// collection was off).
+    pub mean_psnr_db: f64,
+    /// Reference frames this session obtained from the shared cache.
+    pub cache_hits: u64,
+}
+
+/// Aggregate serving statistics for one [`crate::FrameServer::run`].
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// Every served frame, in dispatch (readiness) order. With one worker
+    /// this coincides with completion order; across several workers
+    /// completion times may interleave.
+    pub records: Vec<FrameRecord>,
+    /// Per-session aggregates, in admission order.
+    pub sessions: Vec<SessionSummary>,
+    /// Total frames served.
+    pub frames: usize,
+    /// End-to-end simulated makespan, seconds.
+    pub makespan_s: f64,
+    /// Aggregate throughput: frames / makespan.
+    pub throughput_fps: f64,
+    /// Median client-observed latency, seconds.
+    pub p50_latency_s: f64,
+    /// 99th-percentile client-observed latency, seconds.
+    pub p99_latency_s: f64,
+    /// Frames that missed their QoS deadline.
+    pub deadline_misses: u64,
+    /// Miss fraction over all frames.
+    pub deadline_miss_rate: f64,
+    /// Reference-cache counters.
+    pub cache: RefCacheStats,
+    /// Reference renders dispatched to the pool (cache misses that became
+    /// batch jobs).
+    pub reference_jobs: u64,
+    /// Mean worker utilization over the makespan.
+    pub pool_utilization: f64,
+    /// Workers in the pool.
+    pub workers: usize,
+}
+
+impl ServiceReport {
+    /// `q`-th percentile (0–100) of client-observed latency.
+    pub fn latency_percentile(&self, q: f64) -> f64 {
+        let mut lat: Vec<f64> = self.records.iter().map(FrameRecord::latency_s).collect();
+        percentile(&mut lat, q)
+    }
+}
+
+/// Nearest-rank percentile of `values` (sorted in place); NaN when empty.
+pub fn percentile(values: &mut [f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    values.sort_by(f64::total_cmp);
+    let rank = ((q / 100.0) * (values.len() - 1) as f64).round() as usize;
+    values[rank.min(values.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let mut v = vec![4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&mut v, 0.0), 1.0);
+        assert_eq!(percentile(&mut v, 100.0), 4.0);
+        assert_eq!(percentile(&mut v, 50.0), 3.0); // rank round(1.5) = 2
+        assert!(percentile(&mut [], 50.0).is_nan());
+    }
+}

@@ -1,0 +1,712 @@
+//! The frame server: admission, batch scheduling and the simulated-time
+//! event loop multiplexing many sessions over the SoC pool.
+//!
+//! # Scheduling model
+//!
+//! Time is simulated: each frame's cost comes from the session's
+//! [`SocModel`](cicero_accel::soc::SocModel) pricing, and the
+//! [`WorkerPool`](cicero_accel::pool::WorkerPool) tracks per-worker
+//! availability. Every iteration the scheduler
+//!
+//! 1. **batches reference renders**: for each session it looks one warping
+//!    window ahead ([`PipelineSession::upcoming_references`]); pending
+//!    references are resolved from the shared [`RefCache`] when a co-located
+//!    session already rendered a nearby pose, and otherwise dispatched
+//!    together across the least-loaded workers — generalizing the
+//!    single-client reference/target overlap of Fig. 10/11b to a fleet;
+//! 2. **serves one target frame**: among sessions whose next frame is ready
+//!    (client arrival reached, warp source available), it picks by earliest
+//!    readiness, breaking ties by QoS priority then earliest deadline, and
+//!    bills the frame's un-amortized service time to the least-loaded
+//!    worker — priced on *that worker's* SoC, so a pool of faster or slower
+//!    hardware than the clients assumed actually changes the timeline.
+//!
+//! Reference renders for *remote*-scenario sessions are priced at
+//! workstation speed (`SocConfig::remote.speedup_over_mobile`), matching the
+//! paper's remote accounting; everything else runs at SoC speed.
+
+use crate::admission::{AdmissionController, AdmissionError, AdmissionPolicy};
+use crate::cache::{CachedReference, RefCache, RefCacheConfig};
+use crate::report::{percentile, FrameRecord, ServiceReport, SessionSummary};
+use crate::session::{ServeSession, SessionId, SessionSpec};
+use cicero::pipeline::PipelineSession;
+use cicero::schedule::FramePlan;
+use cicero::Scenario;
+use cicero_accel::pool::{PoolConfig, WorkerPool};
+use cicero_accel::soc::SocModel;
+use cicero_accel::FrameWorkload;
+use cicero_field::NerfModel;
+use cicero_math::Intrinsics;
+use cicero_scene::{AnalyticScene, Trajectory};
+use std::sync::Arc;
+
+/// Frame-server configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeConfig {
+    /// Worker-pool shape.
+    pub pool: PoolConfig,
+    /// Reference-cache shape.
+    pub cache: RefCacheConfig,
+    /// Admission policy.
+    pub admission: AdmissionPolicy,
+    /// Reference lookahead in frames; `None` uses each session's warping
+    /// window — references are extrapolated from the *previous* window's
+    /// poses, so looking further ahead would use client poses that have not
+    /// arrived yet.
+    pub lookahead: Option<usize>,
+}
+
+/// A multi-session frame-serving engine over borrowed scene assets.
+///
+/// Scenes, baked models and trajectories are owned by the caller and must
+/// outlive the server; sessions borrow them. See the `serve_swarm` example
+/// for the intended shape.
+pub struct FrameServer<'a> {
+    cfg: ServeConfig,
+    pool: WorkerPool,
+    cache: RefCache,
+    admission: AdmissionController,
+    sessions: Vec<ServeSession<'a>>,
+    reference_jobs: u64,
+    records: Vec<FrameRecord>,
+}
+
+impl<'a> FrameServer<'a> {
+    /// Creates an empty server.
+    pub fn new(cfg: ServeConfig) -> Self {
+        FrameServer {
+            pool: WorkerPool::new(cfg.pool),
+            cache: RefCache::new(cfg.cache),
+            admission: AdmissionController::new(
+                cfg.admission,
+                cfg.pool.workers,
+                cfg.pool.soc.remote.speedup_over_mobile,
+            ),
+            sessions: Vec::new(),
+            reference_jobs: 0,
+            records: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// The admission controller (for load inspection).
+    pub fn admission(&self) -> &AdmissionController {
+        &self.admission
+    }
+
+    /// Sessions admitted so far.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Submits a session. On admission the session is queued for the next
+    /// [`run`](Self::run); on rejection the error says why.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traj` is empty or its fps is not positive.
+    pub fn submit(
+        &mut self,
+        spec: SessionSpec,
+        scene: &'a AnalyticScene,
+        model: &'a dyn NerfModel,
+        traj: &'a Trajectory,
+        intrinsics: Intrinsics,
+    ) -> Result<SessionId, AdmissionError> {
+        let fps = traj.fps() as f64;
+        assert!(fps > 0.0, "trajectory fps must be positive");
+        let est_load = self.admission.admit(&spec, intrinsics, fps)?;
+        let pipe = PipelineSession::new(scene, model, traj, intrinsics, &spec.config);
+        let n_refs = pipe.schedule().map_or(0, |s| s.references.len());
+        let id = self.sessions.len();
+        // Reference frames are only interchangeable between sessions whose
+        // render configuration matches: fold everything that changes the
+        // pixels or the priced workload into the cache key alongside the
+        // caller's scene/model identity.
+        let cache_key = format!(
+            "{}|{:?}|{:?}|traffic={}",
+            spec.scene_key, spec.config.variant, spec.config.march, spec.config.collect_traffic
+        );
+        self.sessions.push(ServeSession {
+            id,
+            spec,
+            pipe,
+            frame_interval_s: 1.0 / fps,
+            ref_ready: vec![None; n_refs],
+            psnrs: Vec::new(),
+            cache_hits: 0,
+            deadline_misses: 0,
+            latencies: Vec::new(),
+            cache_key,
+            est_load,
+            load_released: false,
+        });
+        Ok(id)
+    }
+
+    /// Simulated duration of a reference render priced on `soc` — the worker
+    /// that executes it: SoC speed locally, workstation speed for remote
+    /// sessions.
+    fn reference_duration(sess: &ServeSession<'_>, soc: &SocModel, w: &FrameWorkload) -> f64 {
+        match sess.spec.config.scenario {
+            Scenario::Local => soc.full_frame(w, sess.spec.config.variant).time_s,
+            Scenario::Remote => soc.remote_full_render_time(w),
+        }
+    }
+
+    /// Phase A: resolve or dispatch every reference needed within the
+    /// lookahead horizon, as one batch across the pool.
+    fn dispatch_references(&mut self) {
+        for sess in self.sessions.iter_mut().filter(|s| !s.pipe.is_done()) {
+            let horizon = self.cfg.lookahead.unwrap_or(sess.spec.config.window.max(1));
+            let dispatch_at = sess.arrival_s(sess.pipe.cursor());
+            for r in sess.pipe.upcoming_references(horizon) {
+                let pose = sess.pipe.reference_pose(r);
+                let intrinsics = sess.pipe.intrinsics();
+                if let Some(hit) = self.cache.lookup(&sess.cache_key, intrinsics, &pose) {
+                    sess.pipe.install_reference(
+                        r,
+                        hit.pose,
+                        hit.frame.clone(),
+                        hit.workload.clone(),
+                    );
+                    sess.ref_ready[r] = Some(hit.available_at_s);
+                    sess.cache_hits += 1;
+                } else {
+                    let (frame, workload) = sess.pipe.render_reference(r);
+                    let frame = Arc::new(frame);
+                    let worker = self.pool.least_loaded();
+                    let duration =
+                        Self::reference_duration(sess, &self.pool.workers()[worker].soc, &workload);
+                    let span = self.pool.assign(worker, dispatch_at, duration);
+                    self.cache.insert(
+                        &sess.cache_key,
+                        intrinsics,
+                        CachedReference {
+                            pose,
+                            frame: frame.clone(),
+                            workload: workload.clone(),
+                            available_at_s: span.end_s,
+                        },
+                    );
+                    sess.pipe.install_reference(r, pose, frame, workload);
+                    sess.ref_ready[r] = Some(span.end_s);
+                    self.reference_jobs += 1;
+                }
+            }
+        }
+    }
+
+    /// Readiness time of a session's next frame: client arrival, gated by
+    /// the availability of its warp source.
+    fn ready_time(sess: &ServeSession<'_>) -> f64 {
+        let arrival = sess.arrival_s(sess.pipe.cursor());
+        match sess.pipe.next_plan() {
+            Some(FramePlan::Warp { ref_index }) => {
+                arrival.max(sess.ref_ready[ref_index].unwrap_or(arrival))
+            }
+            _ => arrival,
+        }
+    }
+
+    /// Drains every admitted session and produces the service report.
+    ///
+    /// The server lives on one simulated timeline: on a reused server
+    /// (submit → run → submit → run) worker clocks, cache contents and
+    /// session summaries carry over, and the report covers the server's
+    /// whole lifetime — not just the latest call.
+    pub fn run(&mut self) -> ServiceReport {
+        let eps = 0.5
+            * self
+                .sessions
+                .iter()
+                .map(|s| s.frame_interval_s)
+                .fold(f64::INFINITY, f64::min)
+                .max(1e-9);
+
+        loop {
+            self.dispatch_references();
+
+            // Earliest-ready frame; QoS priority then deadline break ties
+            // within half a frame interval.
+            let min_ready = self
+                .sessions
+                .iter()
+                .filter(|s| !s.pipe.is_done())
+                .map(|s| Self::ready_time(s))
+                .fold(f64::INFINITY, f64::min);
+            if !min_ready.is_finite() {
+                break;
+            }
+            let chosen = self
+                .sessions
+                .iter()
+                .filter(|s| !s.pipe.is_done())
+                .filter(|s| Self::ready_time(s) <= min_ready + eps)
+                .min_by(|a, b| {
+                    let ka = (a.spec.qos.priority(), a.deadline_s(a.pipe.cursor()));
+                    let kb = (b.spec.qos.priority(), b.deadline_s(b.pipe.cursor()));
+                    ka.0.cmp(&kb.0)
+                        .then(ka.1.total_cmp(&kb.1))
+                        .then(a.id.cmp(&b.id))
+                })
+                .map(|s| s.id)
+                .expect("a ready session exists");
+
+            let sess = &mut self.sessions[chosen];
+            let frame_index = sess.pipe.cursor();
+            let arrival_s = sess.arrival_s(frame_index);
+            let ready = Self::ready_time(sess);
+            let plan = sess.pipe.next_plan();
+            let step = sess.pipe.step().expect("session not done");
+            let worker = self.pool.least_loaded();
+            let duration = sess
+                .pipe
+                .service_time_on(&self.pool.workers()[worker].soc, &step);
+            let span = self.pool.assign(worker, ready, duration);
+            // In-stream reference renders publish their availability — to
+            // the session itself and, like off-stream references, to the
+            // shared cache so co-located sessions reaching the same pose
+            // later skip the render.
+            if let Some(FramePlan::FullRender { ref_index }) = plan {
+                sess.ref_ready[ref_index] = Some(span.end_s);
+                if let Some(workload) = sess.pipe.reference_workload().cloned() {
+                    let frame = sess
+                        .pipe
+                        .reference_frame(ref_index)
+                        .expect("in-stream reference was just materialized");
+                    self.cache.insert(
+                        &sess.cache_key,
+                        sess.pipe.intrinsics(),
+                        CachedReference {
+                            pose: sess.pipe.reference_pose(ref_index),
+                            frame,
+                            workload,
+                            available_at_s: span.end_s,
+                        },
+                    );
+                }
+            }
+            let deadline_s = sess.deadline_s(frame_index);
+            let record = FrameRecord {
+                session: chosen,
+                frame_index,
+                arrival_s,
+                start_s: span.start_s,
+                completion_s: span.end_s,
+                deadline_s,
+                worker: span.worker,
+                full_render: step.outcome.full_render,
+            };
+            if record.missed_deadline() {
+                sess.deadline_misses += 1;
+            }
+            sess.latencies.push(record.latency_s());
+            sess.record_outcome(&step.outcome);
+            self.records.push(record);
+        }
+
+        // Drained sessions hand their committed capacity back, so a reused
+        // server can admit new work.
+        for sess in &mut self.sessions {
+            if sess.pipe.is_done() && !sess.load_released {
+                self.admission.release(sess.est_load);
+                sess.load_released = true;
+            }
+        }
+
+        self.finish_report()
+    }
+
+    fn finish_report(&self) -> ServiceReport {
+        let records = self.records.clone();
+        let frames = records.len();
+        let makespan_s = records.iter().map(|r| r.completion_s).fold(0.0, f64::max);
+        let mut latencies: Vec<f64> = records.iter().map(FrameRecord::latency_s).collect();
+        let deadline_misses = records.iter().filter(|r| r.missed_deadline()).count() as u64;
+        let sessions = self
+            .sessions
+            .iter()
+            .map(|s| SessionSummary {
+                id: s.id,
+                name: s.spec.name.clone(),
+                qos: s.spec.qos,
+                frames: s.latencies.len(),
+                mean_latency_s: if s.latencies.is_empty() {
+                    0.0
+                } else {
+                    s.latencies.iter().sum::<f64>() / s.latencies.len() as f64
+                },
+                max_latency_s: s.latencies.iter().cloned().fold(0.0, f64::max),
+                deadline_misses: s.deadline_misses,
+                mean_psnr_db: s.mean_psnr(),
+                cache_hits: s.cache_hits,
+            })
+            .collect();
+        ServiceReport {
+            frames,
+            makespan_s,
+            throughput_fps: if makespan_s > 0.0 {
+                frames as f64 / makespan_s
+            } else {
+                0.0
+            },
+            p50_latency_s: percentile(&mut latencies, 50.0),
+            p99_latency_s: percentile(&mut latencies, 99.0),
+            deadline_misses,
+            deadline_miss_rate: if frames > 0 {
+                deadline_misses as f64 / frames as f64
+            } else {
+                0.0
+            },
+            cache: self.cache.stats(),
+            reference_jobs: self.reference_jobs,
+            pool_utilization: self.pool.utilization(makespan_s),
+            workers: self.pool.len(),
+            sessions,
+            records,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::QosClass;
+    use cicero::pipeline::PipelineConfig;
+    use cicero_field::{bake, GridConfig, GridModel};
+    use cicero_scene::library;
+    use cicero_scene::volume::MarchParams;
+
+    fn assets() -> (AnalyticScene, GridModel, Trajectory) {
+        let scene = library::scene_by_name("lego").unwrap();
+        let model = bake::bake_grid(
+            &scene,
+            &GridConfig {
+                resolution: 24,
+                ..Default::default()
+            },
+        );
+        let traj = Trajectory::orbit(&scene, 8, 30.0);
+        (scene, model, traj)
+    }
+
+    fn fast_cfg() -> PipelineConfig {
+        PipelineConfig {
+            window: 4,
+            march: MarchParams {
+                step: 0.05,
+                ..Default::default()
+            },
+            collect_quality: false,
+            collect_traffic: false,
+            ..Default::default()
+        }
+    }
+
+    fn spec(name: &str, qos: QosClass, offset: f64) -> SessionSpec {
+        SessionSpec {
+            name: name.into(),
+            scene_key: "lego".into(),
+            qos,
+            start_offset_s: offset,
+            config: fast_cfg(),
+        }
+    }
+
+    #[test]
+    fn co_located_sessions_share_references() {
+        let (scene, model, traj) = assets();
+        let k = Intrinsics::from_fov(24, 24, 0.9);
+        let mut server = FrameServer::new(ServeConfig {
+            pool: PoolConfig {
+                workers: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        server
+            .submit(spec("a", QosClass::Standard, 0.0), &scene, &model, &traj, k)
+            .unwrap();
+        server
+            .submit(
+                spec("b", QosClass::Standard, 0.01),
+                &scene,
+                &model,
+                &traj,
+                k,
+            )
+            .unwrap();
+        let report = server.run();
+        assert_eq!(report.frames, 16);
+        // Identical trajectories: session b warps from a's cached references.
+        assert!(
+            report.cache.hits >= 1,
+            "expected cache hits, got {:?}",
+            report.cache
+        );
+        let b = &report.sessions[1];
+        assert!(b.cache_hits >= 1);
+        // Shared references mean fewer reference jobs than 2 sessions' worth.
+        assert!(report.reference_jobs < 2 * report.sessions[0].frames as u64);
+        assert!(report.throughput_fps > 0.0);
+        assert!(report.p99_latency_s >= report.p50_latency_s);
+    }
+
+    #[test]
+    fn report_latencies_are_consistent() {
+        let (scene, model, traj) = assets();
+        let k = Intrinsics::from_fov(24, 24, 0.9);
+        let mut server = FrameServer::new(ServeConfig {
+            pool: PoolConfig {
+                workers: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        server
+            .submit(
+                spec("a", QosClass::Interactive, 0.0),
+                &scene,
+                &model,
+                &traj,
+                k,
+            )
+            .unwrap();
+        let report = server.run();
+        assert_eq!(report.frames, traj.len());
+        for r in &report.records {
+            assert!(r.completion_s > r.start_s);
+            assert!(r.start_s >= r.arrival_s - 1e-12);
+            assert!(r.latency_s() > 0.0);
+        }
+        // Frames of one session complete in trajectory order.
+        let mut last = f64::NEG_INFINITY;
+        for r in &report.records {
+            assert!(r.completion_s >= last);
+            last = r.completion_s;
+        }
+        assert!(report.pool_utilization > 0.0 && report.pool_utilization <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn quality_collection_flows_into_summaries() {
+        let (scene, model, traj) = assets();
+        let k = Intrinsics::from_fov(24, 24, 0.9);
+        let mut server = FrameServer::new(ServeConfig::default());
+        let mut cfg = fast_cfg();
+        cfg.collect_quality = true;
+        server
+            .submit(
+                SessionSpec {
+                    name: "q".into(),
+                    scene_key: "lego".into(),
+                    qos: QosClass::Standard,
+                    start_offset_s: 0.0,
+                    config: cfg,
+                },
+                &scene,
+                &model,
+                &traj,
+                k,
+            )
+            .unwrap();
+        let report = server.run();
+        assert!(report.sessions[0].mean_psnr_db.is_finite());
+        assert!(report.sessions[0].mean_psnr_db > 10.0);
+    }
+
+    #[test]
+    fn drained_sessions_release_admission_capacity() {
+        let (scene, model, traj) = assets();
+        let k = Intrinsics::from_fov(24, 24, 0.9);
+        let mut server = FrameServer::new(ServeConfig {
+            admission: crate::AdmissionPolicy {
+                max_sessions: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        server
+            .submit(
+                spec("first", QosClass::Standard, 0.0),
+                &scene,
+                &model,
+                &traj,
+                k,
+            )
+            .unwrap();
+        assert!(server
+            .submit(
+                spec("too-many", QosClass::Standard, 0.0),
+                &scene,
+                &model,
+                &traj,
+                k
+            )
+            .is_err());
+        server.run();
+        // The drained session handed its slot and load back.
+        server
+            .submit(
+                spec("second", QosClass::Standard, 0.0),
+                &scene,
+                &model,
+                &traj,
+                k,
+            )
+            .expect("capacity released after run()");
+        assert!(server.admission().committed_load() > 0.0);
+    }
+
+    #[test]
+    fn mismatched_render_configs_do_not_share_references() {
+        let (scene, model, traj) = assets();
+        let k = Intrinsics::from_fov(24, 24, 0.9);
+        let coarse = spec("coarse", QosClass::Standard, 0.0);
+        let mut fine = spec("fine", QosClass::Standard, 0.01);
+        fine.config.march = MarchParams {
+            step: 0.02,
+            ..Default::default()
+        };
+        // Solo baselines: any hits are same-session reuse (an in-stream
+        // reference landing within a pose quantum of a later extrapolated
+        // one), which mismatched configs do not affect.
+        let solo_hits = |s: &SessionSpec| {
+            let mut server = FrameServer::new(ServeConfig::default());
+            server.submit(s.clone(), &scene, &model, &traj, k).unwrap();
+            server.run().sessions[0].cache_hits
+        };
+        let coarse_solo = solo_hits(&coarse);
+        let fine_solo = solo_hits(&fine);
+
+        let mut server = FrameServer::new(ServeConfig::default());
+        server.submit(coarse, &scene, &model, &traj, k).unwrap();
+        server.submit(fine, &scene, &model, &traj, k).unwrap();
+        let report = server.run();
+        // Same scene_key, different march parameters: the frames are not
+        // interchangeable, so co-locating the two sessions must not produce
+        // a single hit beyond their solo baselines.
+        assert_eq!(report.sessions[0].cache_hits, coarse_solo);
+        assert_eq!(report.sessions[1].cache_hits, fine_solo);
+        assert_eq!(report.cache.hits, coarse_solo + fine_solo);
+    }
+
+    #[test]
+    fn pool_hardware_speed_changes_the_timeline() {
+        let (scene, model, traj) = assets();
+        let k = Intrinsics::from_fov(24, 24, 0.9);
+        let run_with = |scale: f64| {
+            let mut pool = PoolConfig {
+                workers: 2,
+                ..Default::default()
+            };
+            pool.soc.gpu.peak_flops *= scale;
+            pool.soc.gpu.random_txn_per_sec *= scale;
+            pool.soc.gpu.sram_txn_per_sec *= scale;
+            pool.soc.gpu.kernel_overhead_s /= scale;
+            pool.soc.npu.clock_hz *= scale;
+            let mut server = FrameServer::new(ServeConfig {
+                pool,
+                ..Default::default()
+            });
+            server
+                .submit(spec("a", QosClass::Standard, 0.0), &scene, &model, &traj, k)
+                .unwrap();
+            server.run()
+        };
+        let slow = run_with(0.25);
+        let fast = run_with(4.0);
+        // Frames are billed at the executing worker's SoC speed, so pool
+        // hardware actually moves the reported timeline.
+        assert!(
+            slow.sessions[0].mean_latency_s > fast.sessions[0].mean_latency_s,
+            "slow pool {} vs fast pool {}",
+            slow.sessions[0].mean_latency_s,
+            fast.sessions[0].mean_latency_s
+        );
+    }
+
+    #[test]
+    fn reused_server_reports_lifetime_consistently() {
+        let (scene, model, traj) = assets();
+        let k = Intrinsics::from_fov(24, 24, 0.9);
+        let mut server = FrameServer::new(ServeConfig {
+            admission: crate::AdmissionPolicy {
+                max_sessions: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        server
+            .submit(
+                spec("first", QosClass::Standard, 0.0),
+                &scene,
+                &model,
+                &traj,
+                k,
+            )
+            .unwrap();
+        let r1 = server.run();
+        server
+            .submit(
+                spec("second", QosClass::Standard, 0.0),
+                &scene,
+                &model,
+                &traj,
+                k,
+            )
+            .unwrap();
+        let r2 = server.run();
+        // One simulated timeline: the second report covers both runs and its
+        // halves agree with each other.
+        assert_eq!(r2.frames, 2 * traj.len());
+        assert_eq!(r2.records.len(), r2.frames);
+        assert_eq!(r2.sessions.len(), 2);
+        assert_eq!(
+            r2.sessions.iter().map(|s| s.frames).sum::<usize>(),
+            r2.frames
+        );
+        assert!(r2.makespan_s >= r1.makespan_s);
+        assert!(r2.pool_utilization > 0.0 && r2.pool_utilization <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn interactive_sessions_win_contended_ties() {
+        let (scene, model, traj) = assets();
+        let k = Intrinsics::from_fov(24, 24, 0.9);
+        // One worker, two identical sessions, same offsets: priority decides.
+        let mut server = FrameServer::new(ServeConfig {
+            pool: PoolConfig {
+                workers: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        server
+            .submit(
+                spec("slow", QosClass::BestEffort, 0.0),
+                &scene,
+                &model,
+                &traj,
+                k,
+            )
+            .unwrap();
+        let fast = server.submit(
+            spec("fast", QosClass::Interactive, 0.0),
+            &scene,
+            &model,
+            &traj,
+            k,
+        );
+        let fast = fast.unwrap();
+        let report = server.run();
+        let s = &report.sessions;
+        assert!(
+            s[fast].mean_latency_s <= s[0].mean_latency_s,
+            "interactive {} vs best-effort {}",
+            s[fast].mean_latency_s,
+            s[0].mean_latency_s
+        );
+    }
+}

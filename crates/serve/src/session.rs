@@ -1,0 +1,127 @@
+//! Client sessions: what a tenant asks the frame server to render.
+
+use cicero::pipeline::{PipelineConfig, PipelineSession};
+use cicero::FrameOutcome;
+use std::fmt;
+
+/// Identifies an admitted session within one [`crate::FrameServer`].
+pub type SessionId = usize;
+
+/// Quality-of-service class, setting the frame-deadline budget and the
+/// tie-breaking priority in the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QosClass {
+    /// Head-tracked, latency-critical clients (VR/AR): tight deadlines,
+    /// highest priority.
+    Interactive,
+    /// Screen viewers: a few frames of slack.
+    Standard,
+    /// Offline consumers (preview export, thumbnailing): generous deadlines,
+    /// lowest priority.
+    BestEffort,
+}
+
+impl QosClass {
+    /// Deadline budget in frame intervals: a frame due at `t` must complete
+    /// by `t + budget × frame_interval`.
+    pub fn deadline_frames(self) -> f64 {
+        match self {
+            QosClass::Interactive => 1.5,
+            QosClass::Standard => 4.0,
+            QosClass::BestEffort => 24.0,
+        }
+    }
+
+    /// Scheduler priority; lower wins ties.
+    pub fn priority(self) -> u8 {
+        match self {
+            QosClass::Interactive => 0,
+            QosClass::Standard => 1,
+            QosClass::BestEffort => 2,
+        }
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            QosClass::Interactive => "interactive",
+            QosClass::Standard => "standard",
+            QosClass::BestEffort => "best-effort",
+        }
+    }
+}
+
+impl fmt::Display for QosClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A session submission: everything the server needs besides the borrowed
+/// scene/model/trajectory assets.
+#[derive(Debug, Clone)]
+pub struct SessionSpec {
+    /// Human-readable session name (reports).
+    pub name: String,
+    /// Identifies the (scene, model) pair for reference-cache sharing.
+    /// Sessions with equal keys and resolutions may exchange reference
+    /// frames, so the key must change whenever the scene *or* the baked
+    /// model does. Render-affecting configuration (variant, march
+    /// parameters, traffic collection) is folded into the cache key
+    /// automatically.
+    pub scene_key: String,
+    /// Quality-of-service class.
+    pub qos: QosClass,
+    /// When the client connects, in simulated seconds.
+    pub start_offset_s: f64,
+    /// Per-session pipeline configuration (variant, scenario, window, φ …).
+    pub config: PipelineConfig,
+}
+
+/// Internal per-session scheduler state.
+pub(crate) struct ServeSession<'a> {
+    pub(crate) id: SessionId,
+    pub(crate) spec: SessionSpec,
+    pub(crate) pipe: PipelineSession<'a>,
+    /// Seconds between successive frame arrivals (1 / trajectory fps).
+    pub(crate) frame_interval_s: f64,
+    /// Simulated availability time of each reference slot; `None` until the
+    /// reference has been scheduled (or produced in-stream).
+    pub(crate) ref_ready: Vec<Option<f64>>,
+    /// Per-frame quality samples, for the session summary.
+    pub(crate) psnrs: Vec<f64>,
+    pub(crate) cache_hits: u64,
+    pub(crate) deadline_misses: u64,
+    pub(crate) latencies: Vec<f64>,
+    /// Full reference-cache key: the caller's `scene_key` plus the session's
+    /// render-affecting configuration, so only compatible sessions share
+    /// reference frames.
+    pub(crate) cache_key: String,
+    /// Worker occupancy committed at admission, released once drained.
+    pub(crate) est_load: f64,
+    pub(crate) load_released: bool,
+}
+
+impl<'a> ServeSession<'a> {
+    /// Arrival time of frame `i`: the client expects one frame per interval
+    /// starting at its connection offset.
+    pub(crate) fn arrival_s(&self, i: usize) -> f64 {
+        self.spec.start_offset_s + i as f64 * self.frame_interval_s
+    }
+
+    /// Deadline for frame `i` under the session's QoS class.
+    pub(crate) fn deadline_s(&self, i: usize) -> f64 {
+        self.arrival_s(i) + self.spec.qos.deadline_frames() * self.frame_interval_s
+    }
+
+    pub(crate) fn record_outcome(&mut self, outcome: &FrameOutcome) {
+        if let Some(p) = outcome.psnr_db {
+            self.psnrs.push(p);
+        }
+    }
+
+    /// PSNR averaged over MSE, matching `PipelineRun::mean_psnr`.
+    pub(crate) fn mean_psnr(&self) -> f64 {
+        cicero_math::metrics::mean_psnr_db(&self.psnrs)
+    }
+}

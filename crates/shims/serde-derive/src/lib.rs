@@ -1,0 +1,138 @@
+//! Offline shim for `serde_derive`: a dependency-free `#[derive(Serialize)]`
+//! that supports the plain named-field structs this workspace serializes.
+//!
+//! The container this repo builds in has no crates.io access, so the real
+//! serde cannot be vendored. The experiment harnesses only ever derive
+//! `Serialize` on simple result-row structs, which this hand-rolled token
+//! walk covers; anything fancier (enums, generics, tuple structs) is a
+//! compile error directing the author to implement the trait by hand.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the in-tree `serde::Serialize` trait for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match generate(input) {
+        Ok(code) => code
+            .parse()
+            .expect("serde_derive shim produced invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn generate(input: TokenStream) -> Result<String, String> {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes and visibility ahead of the `struct` keyword.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the `[...]` group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(_)) = tokens.peek() {
+                    tokens.next(); // `pub(crate)` etc.
+                }
+            }
+            _ => break,
+        }
+    }
+
+    match tokens.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "struct" => {}
+        other => {
+            return Err(format!(
+                "serde shim: #[derive(Serialize)] only supports structs, got {other:?}"
+            ))
+        }
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("serde shim: expected struct name, got {other:?}")),
+    };
+
+    // Find the brace-delimited field block (rejecting generics on the way).
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err(format!("serde shim: generic struct {name} is unsupported"))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!("serde shim: tuple struct {name} is unsupported"))
+            }
+            Some(_) => continue,
+            None => return Err(format!("serde shim: struct {name} has no field block")),
+        }
+    };
+
+    let fields = field_names(body.stream())?;
+    let mut entries = String::new();
+    for f in &fields {
+        entries.push_str(&format!(
+            "(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f})),"
+        ));
+    }
+    Ok(format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> serde::Value {{\n\
+         serde::Value::Object(vec![{entries}])\n\
+         }}\n\
+         }}"
+    ))
+}
+
+/// Extracts field names from the token stream inside a struct's braces.
+fn field_names(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    'fields: loop {
+        // Skip field attributes and visibility.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(_)) = tokens.peek() {
+                        tokens.next();
+                    }
+                }
+                Some(_) => break,
+                None => break 'fields,
+            }
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            Some(other) => return Err(format!("serde shim: expected field name, got {other}")),
+            None => break,
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "serde shim: expected ':' after {name}, got {other:?}"
+                ))
+            }
+        }
+        names.push(name);
+        // Skip the type up to the next top-level comma. Angle brackets do not
+        // produce groups, but `,` inside them (e.g. `Vec<(A, B)>`) only occurs
+        // within `<...>` or parenthesized groups, so track angle depth.
+        let mut angle_depth = 0i32;
+        loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle_depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => break,
+                Some(_) => continue,
+                None => break 'fields,
+            }
+        }
+    }
+    Ok(names)
+}

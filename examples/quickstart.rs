@@ -18,7 +18,13 @@ fn main() {
 
     // 2. A model: bake a DirectVoxGO-like dense grid from the scene
     //    (training substitute — see DESIGN.md §3).
-    let model = bake::bake_grid(&scene, &GridConfig { resolution: 64, ..Default::default() });
+    let model = bake::bake_grid(
+        &scene,
+        &GridConfig {
+            resolution: 64,
+            ..Default::default()
+        },
+    );
     println!(
         "model: DirectVoxGO-like, {:.1} MB of features",
         cicero_field::NerfModel::memory_footprint_bytes(&model) as f64 / 1e6
@@ -29,13 +35,24 @@ fn main() {
     let intrinsics = Intrinsics::from_fov(96, 96, 0.9);
 
     // 4. Run the baseline and the full Cicero pipeline.
-    let base_cfg = PipelineConfig { variant: Variant::Baseline, ..Default::default() };
-    let cicero_cfg = PipelineConfig { variant: Variant::Cicero, window: 8, ..Default::default() };
+    let base_cfg = PipelineConfig {
+        variant: Variant::Baseline,
+        ..Default::default()
+    };
+    let cicero_cfg = PipelineConfig {
+        variant: Variant::Cicero,
+        window: 8,
+        ..Default::default()
+    };
     let base = run_pipeline(&scene, &model, &traj, intrinsics, &base_cfg);
     let cicero = run_pipeline(&scene, &model, &traj, intrinsics, &cicero_cfg);
 
     println!("\n              baseline      cicero");
-    println!("mean FPS      {:>8.2}    {:>8.2}", base.mean_fps(), cicero.mean_fps());
+    println!(
+        "mean FPS      {:>8.2}    {:>8.2}",
+        base.mean_fps(),
+        cicero.mean_fps()
+    );
     println!(
         "energy/frame  {:>7.3}J    {:>7.3}J",
         base.mean_energy(),

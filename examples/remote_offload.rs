@@ -14,11 +14,20 @@ use cicero_scene::{library, Trajectory};
 
 fn main() {
     let scene = library::scene_by_name("mic").expect("library scene");
-    let model = bake::bake_grid(&scene, &GridConfig { resolution: 64, ..Default::default() });
+    let model = bake::bake_grid(
+        &scene,
+        &GridConfig {
+            resolution: 64,
+            ..Default::default()
+        },
+    );
     let intrinsics = Intrinsics::from_fov(96, 96, 0.9);
 
     println!("remote offload: reference NeRF on the workstation, warping on device\n");
-    println!("{:>7} {:>10} {:>14} {:>9}", "window", "FPS", "device mJ/frame", "PSNR dB");
+    println!(
+        "{:>7} {:>10} {:>14} {:>9}",
+        "window", "FPS", "device mJ/frame", "PSNR dB"
+    );
     for window in [2usize, 4, 8, 16] {
         let traj = Trajectory::orbit(&scene, window * 2 + 2, 30.0);
         let cfg = PipelineConfig {

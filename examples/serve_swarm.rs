@@ -1,0 +1,202 @@
+//! `serve_swarm` — a fleet of heterogeneous clients on one SoC pool.
+//!
+//! Spins up dozens of concurrent sessions across several library scenes —
+//! head-tracked interactive viewers, standard screen viewers and best-effort
+//! preview exporters, mixing the paper's Local and Remote scenarios — and
+//! drains them through the `cicero-serve` batch scheduler. Co-located
+//! sessions share reference renders through the pose-quantized cache.
+//!
+//! Run with `cargo run --release --example serve_swarm`.
+
+use cicero::pipeline::PipelineConfig;
+use cicero::{Scenario, Variant};
+use cicero_accel::pool::PoolConfig;
+use cicero_field::{bake, GridConfig, GridModel};
+use cicero_math::Intrinsics;
+use cicero_scene::volume::MarchParams;
+use cicero_scene::{library, AnalyticScene, Trajectory};
+use cicero_serve::{FrameServer, QosClass, ServeConfig, SessionSpec};
+
+const SCENES: [&str; 4] = ["lego", "chair", "ship", "hotdog"];
+const VIEWERS_PER_SCENE: usize = 6; // 4 scenes × 6 = 24 sessions
+const FRAMES: usize = 12;
+const FPS: f32 = 30.0;
+
+struct SceneAssets {
+    name: &'static str,
+    scene: AnalyticScene,
+    model: GridModel,
+    orbit: Trajectory,
+    handheld: Trajectory,
+}
+
+fn main() {
+    println!("==========================================================");
+    println!(
+        "serve_swarm: {} sessions over {} scenes",
+        SCENES.len() * VIEWERS_PER_SCENE,
+        SCENES.len()
+    );
+    println!("==========================================================");
+
+    let assets: Vec<SceneAssets> = SCENES
+        .iter()
+        .map(|&name| {
+            let scene = library::scene_by_name(name).unwrap();
+            let model = bake::bake_grid(
+                &scene,
+                &GridConfig {
+                    resolution: 28,
+                    ..Default::default()
+                },
+            );
+            let orbit = Trajectory::orbit(&scene, FRAMES, FPS);
+            let handheld = Trajectory::handheld(&scene, FRAMES, FPS, 7);
+            SceneAssets {
+                name,
+                scene,
+                model,
+                orbit,
+                handheld,
+            }
+        })
+        .collect();
+
+    let mut server = FrameServer::new(ServeConfig {
+        pool: PoolConfig {
+            workers: 6,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+
+    // Six viewers per scene: two interactive head-tracked clients on the
+    // same handheld path (cache sharing), three standard orbit viewers, one
+    // best-effort remote exporter.
+    for (si, a) in assets.iter().enumerate() {
+        for v in 0..VIEWERS_PER_SCENE {
+            let (qos, scenario, traj): (QosClass, Scenario, &Trajectory) = match v {
+                0 | 1 => (QosClass::Interactive, Scenario::Local, &a.handheld),
+                2 | 3 => (QosClass::Standard, Scenario::Local, &a.orbit),
+                4 => (QosClass::Standard, Scenario::Remote, &a.orbit),
+                _ => (QosClass::BestEffort, Scenario::Remote, &a.orbit),
+            };
+            let spec = SessionSpec {
+                name: format!("{}-{}-{}", a.name, qos.label(), v),
+                scene_key: a.name.to_string(),
+                qos,
+                // Stagger connections a little within each scene.
+                start_offset_s: si as f64 * 0.002 + v as f64 * 0.005,
+                config: PipelineConfig {
+                    variant: if v % 2 == 0 {
+                        Variant::Cicero
+                    } else {
+                        Variant::SparwFs
+                    },
+                    scenario,
+                    window: if qos == QosClass::Interactive { 4 } else { 6 },
+                    march: MarchParams {
+                        step: 0.04,
+                        ..Default::default()
+                    },
+                    collect_quality: true,
+                    collect_traffic: false,
+                    ..Default::default()
+                },
+            };
+            server
+                .submit(
+                    spec,
+                    &a.scene,
+                    &a.model,
+                    traj,
+                    Intrinsics::from_fov(32, 32, 0.9),
+                )
+                .expect("swarm session admitted");
+        }
+    }
+
+    // Admission control in action: a 90 fps 640×640 baseline flood does not
+    // fit next to the committed swarm.
+    let flood = SessionSpec {
+        name: "flood".into(),
+        scene_key: "lego".into(),
+        qos: QosClass::Interactive,
+        start_offset_s: 0.0,
+        config: PipelineConfig {
+            variant: Variant::Baseline,
+            ..Default::default()
+        },
+    };
+    let flood_traj = Trajectory::orbit(&assets[0].scene, FRAMES, 90.0);
+    match server.submit(
+        flood,
+        &assets[0].scene,
+        &assets[0].model,
+        &flood_traj,
+        Intrinsics::from_fov(640, 640, 0.9),
+    ) {
+        Err(e) => println!("\nadmission control: flood session rejected ({e})"),
+        // Fail fast: if this ever fits, run() would full-render 640×640
+        // frames and blow the CI smoke-test budget.
+        Ok(_) => panic!("admission control failed: flood session admitted"),
+    }
+
+    let sessions = server.session_count();
+    let report = server.run();
+
+    println!("\nper-session summary:");
+    println!(
+        "  {:<24} {:>11} {:>7} {:>10} {:>8} {:>6} {:>6}",
+        "session", "qos", "frames", "mean lat", "psnr", "miss", "hits"
+    );
+    for s in &report.sessions {
+        println!(
+            "  {:<24} {:>11} {:>7} {:>8.2}ms {:>6.1}dB {:>6} {:>6}",
+            s.name,
+            s.qos.label(),
+            s.frames,
+            s.mean_latency_s * 1e3,
+            s.mean_psnr_db,
+            s.deadline_misses,
+            s.cache_hits
+        );
+    }
+
+    let total_hits: u64 = report.sessions.iter().map(|s| s.cache_hits).sum();
+    println!("\naggregate:");
+    println!("  sessions                  {sessions}");
+    println!("  frames served             {}", report.frames);
+    println!("  makespan                  {:.3} s", report.makespan_s);
+    println!(
+        "  throughput                {:.1} frames/s",
+        report.throughput_fps
+    );
+    println!(
+        "  p50 / p99 frame latency   {:.2} / {:.2} ms",
+        report.p50_latency_s * 1e3,
+        report.p99_latency_s * 1e3
+    );
+    println!(
+        "  deadline misses           {} ({:.1}%)",
+        report.deadline_misses,
+        report.deadline_miss_rate * 100.0
+    );
+    println!(
+        "  reference cache           {} hits / {} misses ({} pool jobs)",
+        report.cache.hits, report.cache.misses, report.reference_jobs
+    );
+    println!(
+        "  pool                      {} workers at {:.0}% utilization",
+        report.workers,
+        report.pool_utilization * 100.0
+    );
+
+    assert!(sessions >= 24, "swarm must run at least 24 sessions");
+    assert!(
+        total_hits >= 1,
+        "expected at least one cross-session cache hit"
+    );
+    assert!(report.throughput_fps > 0.0);
+    println!("\nOK: {sessions} sessions, {total_hits} cross-session cache hits");
+}

@@ -13,17 +13,35 @@ use cicero_scene::{library, Trajectory, TrajectoryKind};
 
 fn main() {
     let scene = library::scene_by_name("chair").expect("library scene");
-    let model = bake::bake_grid(&scene, &GridConfig { resolution: 64, ..Default::default() });
+    let model = bake::bake_grid(
+        &scene,
+        &GridConfig {
+            resolution: 64,
+            ..Default::default()
+        },
+    );
     // 60 FPS handheld head motion, seed-controlled shake.
     let traj = Trajectory::generate(&scene, 24, 60.0, TrajectoryKind::Handheld, 42);
     let intrinsics = Intrinsics::from_fov(96, 96, 1.1);
 
-    println!("VR trace: {} frames at {} FPS, mean pose delta {:.4}", traj.len(), traj.fps(), traj.mean_frame_delta());
-    println!("\n{:<10} {:>9} {:>12} {:>9}", "variant", "FPS", "energy (mJ)", "PSNR dB");
+    println!(
+        "VR trace: {} frames at {} FPS, mean pose delta {:.4}",
+        traj.len(),
+        traj.fps(),
+        traj.mean_frame_delta()
+    );
+    println!(
+        "\n{:<10} {:>9} {:>12} {:>9}",
+        "variant", "FPS", "energy (mJ)", "PSNR dB"
+    );
 
     let mut base_fps = 0.0;
     for variant in Variant::ALL {
-        let cfg = PipelineConfig { variant, window: 8, ..Default::default() };
+        let cfg = PipelineConfig {
+            variant,
+            window: 8,
+            ..Default::default()
+        };
         let run = run_pipeline(&scene, &model, &traj, intrinsics, &cfg);
         if variant == Variant::Baseline {
             base_fps = run.mean_fps();

@@ -14,7 +14,13 @@ use cicero_scene::{library, Trajectory};
 
 fn main() -> std::io::Result<()> {
     let scene = library::scene_by_name("chair").expect("library scene");
-    let model = bake::bake_grid(&scene, &GridConfig { resolution: 80, ..Default::default() });
+    let model = bake::bake_grid(
+        &scene,
+        &GridConfig {
+            resolution: 80,
+            ..Default::default()
+        },
+    );
     let k = Intrinsics::from_fov(160, 160, 0.9);
     let traj = Trajectory::orbit(&scene, 12, 5.0); // brisk motion → visible holes
     let cam_ref = traj.camera(0, k);
@@ -22,7 +28,13 @@ fn main() -> std::io::Result<()> {
     let opts = RenderOptions::default();
 
     let (reference, _) = render_full(&model, &cam_ref, &opts, &mut NullSink);
-    let warped = warp_frame(&reference, &cam_ref, &cam_tgt, model.background(), &WarpOptions::default());
+    let warped = warp_frame(
+        &reference,
+        &cam_ref,
+        &cam_tgt,
+        model.background(),
+        &WarpOptions::default(),
+    );
     let stats = warped.stats();
 
     // Paint disocclusions magenta in the "naive" image so holes are visible.
@@ -36,7 +48,14 @@ fn main() -> std::io::Result<()> {
 
     let mask = warped.render_mask();
     let mut sparw = warped.frame;
-    render_masked(&model, &cam_tgt, &opts, Some(&mask), &mut sparw, &mut NullSink);
+    render_masked(
+        &model,
+        &cam_tgt,
+        &opts,
+        Some(&mask),
+        &mut sparw,
+        &mut NullSink,
+    );
 
     reference.color.write_ppm("gallery_reference.ppm")?;
     naive.color.write_ppm("gallery_naive_warp.ppm")?;

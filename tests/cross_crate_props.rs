@@ -10,7 +10,11 @@ use proptest::prelude::*;
 
 fn small_scene(radius: f32) -> cicero_scene::AnalyticScene {
     SceneBuilder::new("prop")
-        .object(Shape::Sphere { radius }, Vec3::ZERO, Material::solid(Vec3::ONE))
+        .object(
+            Shape::Sphere { radius },
+            Vec3::ZERO,
+            Material::solid(Vec3::ONE),
+        )
         .build()
 }
 

@@ -12,7 +12,10 @@ fn fast_cfg(variant: Variant) -> PipelineConfig {
     let mut cfg = PipelineConfig {
         variant,
         window: 4,
-        march: MarchParams { step: 0.02, ..Default::default() },
+        march: MarchParams {
+            step: 0.02,
+            ..Default::default()
+        },
         ..Default::default()
     };
     cfg.soc.gpu.kernel_overhead_s = 0.0;
@@ -21,11 +24,17 @@ fn fast_cfg(variant: Variant) -> PipelineConfig {
 
 fn small_model(kind: ModelKind) -> (cicero_scene::AnalyticScene, Box<dyn NerfModel>) {
     let scene = library::scene_by_name("mic").unwrap();
-    let opts = bake::BakeOptions { decoder_hidden: 16, ..Default::default() };
+    let opts = bake::BakeOptions {
+        decoder_hidden: 16,
+        ..Default::default()
+    };
     let model: Box<dyn NerfModel> = match kind {
         ModelKind::Grid => Box::new(bake::bake_grid_with(
             &scene,
-            &GridConfig { resolution: 32, ..Default::default() },
+            &GridConfig {
+                resolution: 32,
+                ..Default::default()
+            },
             &opts,
         )),
         ModelKind::Hash => Box::new(bake::bake_hash_with(
@@ -41,7 +50,11 @@ fn small_model(kind: ModelKind) -> (cicero_scene::AnalyticScene, Box<dyn NerfMod
         )),
         ModelKind::Tensor => Box::new(bake::bake_tensor_with(
             &scene,
-            &TensorConfig { resolution: 32, components_per_signal: 2, bytes_per_value: 2 },
+            &TensorConfig {
+                resolution: 32,
+                components_per_signal: 2,
+                bytes_per_value: 2,
+            },
             &opts,
         )),
     };
@@ -70,7 +83,13 @@ fn all_variants_beat_or_match_baseline_quality_shape() {
     let (scene, model) = small_model(ModelKind::Grid);
     let traj = Trajectory::orbit(&scene, 6, 30.0);
     let k = Intrinsics::from_fov(40, 40, 0.9);
-    let base = run_pipeline(&scene, model.as_ref(), &traj, k, &fast_cfg(Variant::Baseline));
+    let base = run_pipeline(
+        &scene,
+        model.as_ref(),
+        &traj,
+        k,
+        &fast_cfg(Variant::Baseline),
+    );
     for variant in [Variant::Sparw, Variant::SparwFs, Variant::Cicero] {
         let run = run_pipeline(&scene, model.as_ref(), &traj, k, &fast_cfg(variant));
         assert!(

@@ -17,14 +17,23 @@ use cicero_scene::library;
 
 fn measured_workloads() -> (FrameWorkload, FrameWorkload) {
     let scene = library::scene_by_name("lego").unwrap();
-    let model = bake::bake_grid(&scene, &GridConfig { resolution: 64, ..Default::default() });
+    let model = bake::bake_grid(
+        &scene,
+        &GridConfig {
+            resolution: 64,
+            ..Default::default()
+        },
+    );
     let cam = Camera::new(
         Intrinsics::from_fov(64, 64, 0.9),
         Pose::look_at(Vec3::new(0.0, 1.1, -2.6), Vec3::ZERO, Vec3::Y),
     );
     let mut pc = PixelCentricTraffic::new(
         &model,
-        PixelCentricConfig { cache_bytes: 64 << 10, ..Default::default() },
+        PixelCentricConfig {
+            cache_bytes: 64 << 10,
+            ..Default::default()
+        },
     );
     let mut fs = StreamingTraffic::new(&model, StreamingConfig::default());
     let stats = {
@@ -34,8 +43,20 @@ fn measured_workloads() -> (FrameWorkload, FrameWorkload) {
     };
     let pc_rep = pc.finish();
     let fs_rep = fs.finish();
-    let w_pc = build_workload(&stats, NerfModel::decoder(&model), Some(&pc_rep), None, None);
-    let w_fs = build_workload(&stats, NerfModel::decoder(&model), None, Some(&fs_rep), None);
+    let w_pc = build_workload(
+        &stats,
+        NerfModel::decoder(&model),
+        Some(&pc_rep),
+        None,
+        None,
+    );
+    let w_fs = build_workload(
+        &stats,
+        NerfModel::decoder(&model),
+        None,
+        Some(&fs_rep),
+        None,
+    );
     (w_pc, w_fs)
 }
 
@@ -46,8 +67,18 @@ fn soc_variant_ladder_on_measured_workloads() {
     let base = soc.full_frame(&w_pc, Variant::Baseline);
     let fs = soc.full_frame(&w_fs, Variant::SparwFs);
     let gu = soc.full_frame(&w_fs, Variant::Cicero);
-    assert!(fs.time_s <= base.time_s * 1.05, "FS {} vs base {}", fs.time_s, base.time_s);
-    assert!(gu.time_s <= fs.time_s, "GU {} vs FS {}", gu.time_s, fs.time_s);
+    assert!(
+        fs.time_s <= base.time_s * 1.05,
+        "FS {} vs base {}",
+        fs.time_s,
+        base.time_s
+    );
+    assert!(
+        gu.time_s <= fs.time_s,
+        "GU {} vs FS {}",
+        gu.time_s,
+        fs.time_s
+    );
     assert!(gu.energy.total() < base.energy.total());
     // The GU variant stops using GPU gather energy and gains GU energy.
     assert!(gu.energy.gu_j > 0.0);
@@ -83,7 +114,10 @@ fn window_amortization_converges_to_target_cost() {
     let (w_pc, _) = measured_workloads();
     let soc = SocModel::new(SocConfig::default());
     let sparse = w_pc.scaled(0.05);
-    let t = |n: usize| soc.sparw_local_frame(&w_pc, &sparse, n, Variant::Sparw).time_s;
+    let t = |n: usize| {
+        soc.sparw_local_frame(&w_pc, &sparse, n, Variant::Sparw)
+            .time_s
+    };
     let t4 = t(4);
     let t16 = t(16);
     let t64 = t(64);
@@ -115,7 +149,10 @@ fn rivals_order_matches_fig24() {
     );
     let mut pc = PixelCentricTraffic::new(
         &model,
-        PixelCentricConfig { cache_bytes: 64 << 10, ..Default::default() },
+        PixelCentricConfig {
+            cache_bytes: 64 << 10,
+            ..Default::default()
+        },
     );
     let mut fs = StreamingTraffic::new(&model, StreamingConfig::default());
     let stats = {
@@ -125,13 +162,28 @@ fn rivals_order_matches_fig24() {
     };
     let pc_rep = pc.finish();
     let fs_rep = fs.finish();
-    let w_pc = build_workload(&stats, NerfModel::decoder(&model), Some(&pc_rep), None, None);
-    let w_fs = build_workload(&stats, NerfModel::decoder(&model), None, Some(&fs_rep), None);
+    let w_pc = build_workload(
+        &stats,
+        NerfModel::decoder(&model),
+        Some(&pc_rep),
+        None,
+        None,
+    );
+    let w_fs = build_workload(
+        &stats,
+        NerfModel::decoder(&model),
+        None,
+        Some(&fs_rep),
+        None,
+    );
     let soc = SocModel::new(SocConfig::default());
     let neurex = rivals::neurex_frame(&soc, &w_pc);
     let ngpc = rivals::ngpc_frame(&soc, &w_pc);
     let cicero = rivals::cicero_no_sparw_frame(&soc, &w_fs);
     assert!(cicero.time_s < neurex.time_s, "Cicero beats NeuRex");
     let ngpc_ratio = ngpc.time_s / cicero.time_s;
-    assert!(ngpc_ratio > 0.2 && ngpc_ratio < 5.0, "NGPC within range: {ngpc_ratio:.2}");
+    assert!(
+        ngpc_ratio > 0.2 && ngpc_ratio < 5.0,
+        "NGPC within range: {ngpc_ratio:.2}"
+    );
 }

@@ -47,7 +47,13 @@ fn address_map_covers_all_model_regions_disjointly() {
 #[test]
 fn pixel_centric_traffic_is_irregular_and_conflicted() {
     let scene = library::scene_by_name("lego").unwrap();
-    let model = bake::bake_grid(&scene, &GridConfig { resolution: 64, ..Default::default() });
+    let model = bake::bake_grid(
+        &scene,
+        &GridConfig {
+            resolution: 64,
+            ..Default::default()
+        },
+    );
     let mut sink = PixelCentricTraffic::new(&model, PixelCentricConfig::default());
     let (_, stats) = render_full(&model, &camera(64), &RenderOptions::default(), &mut sink);
     let report = sink.finish();
@@ -63,7 +69,13 @@ fn pixel_centric_traffic_is_irregular_and_conflicted() {
 #[test]
 fn streaming_traffic_is_fully_streaming_for_dense_models() {
     let scene = library::scene_by_name("lego").unwrap();
-    let model = bake::bake_grid(&scene, &GridConfig { resolution: 64, ..Default::default() });
+    let model = bake::bake_grid(
+        &scene,
+        &GridConfig {
+            resolution: 64,
+            ..Default::default()
+        },
+    );
     let mut sink = StreamingTraffic::new(&model, StreamingConfig::default());
     let (_, stats) = render_full(&model, &camera(64), &RenderOptions::default(), &mut sink);
     let report = sink.finish();
@@ -82,7 +94,13 @@ fn mvoxel_stream_is_insensitive_to_ray_count() {
     // The defining FS property: doubling rays re-uses the same MVoxels
     // instead of adding feature traffic.
     let scene = library::scene_by_name("lego").unwrap();
-    let model = bake::bake_grid(&scene, &GridConfig { resolution: 64, ..Default::default() });
+    let model = bake::bake_grid(
+        &scene,
+        &GridConfig {
+            resolution: 64,
+            ..Default::default()
+        },
+    );
     let measure = |res: usize| {
         let mut sink = StreamingTraffic::new(&model, StreamingConfig::default());
         render_full(&model, &camera(res), &RenderOptions::default(), &mut sink);
@@ -103,7 +121,13 @@ fn mvoxel_stream_is_insensitive_to_ray_count() {
 #[test]
 fn pair_sink_keeps_both_analyses_consistent() {
     let scene = library::scene_by_name("mic").unwrap();
-    let model = bake::bake_grid(&scene, &GridConfig { resolution: 48, ..Default::default() });
+    let model = bake::bake_grid(
+        &scene,
+        &GridConfig {
+            resolution: 48,
+            ..Default::default()
+        },
+    );
     let mut pc = PixelCentricTraffic::new(&model, PixelCentricConfig::default());
     let mut fs = StreamingTraffic::new(&model, StreamingConfig::default());
     let stats = {
@@ -133,7 +157,10 @@ fn hashed_levels_produce_bounded_random_traffic() {
     let mut sink = StreamingTraffic::new(&model, StreamingConfig::default());
     render_full(&model, &camera(48), &RenderOptions::default(), &mut sink);
     let report = sink.finish();
-    assert!(report.hashed_random_bytes > 0, "hashed levels revert to random");
+    assert!(
+        report.hashed_random_bytes > 0,
+        "hashed levels revert to random"
+    );
     // Residual random traffic cannot exceed all hashed entry reads uncached.
     let hashed_levels = 6 - model.encoding.first_hashed_level();
     assert!(hashed_levels > 0);
@@ -141,5 +168,9 @@ fn hashed_levels_produce_bounded_random_traffic() {
         * hashed_levels as u64
         * 8
         * 64; // line per entry
-    assert!(report.hashed_random_bytes <= upper, "{} > {upper}", report.hashed_random_bytes);
+    assert!(
+        report.hashed_random_bytes <= upper,
+        "{} > {upper}",
+        report.hashed_random_bytes
+    );
 }

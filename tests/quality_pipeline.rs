@@ -10,12 +10,23 @@ use cicero_scene::ground_truth::render_frame;
 use cicero_scene::volume::MarchParams;
 use cicero_scene::{library, Trajectory};
 
-fn setup() -> (cicero_scene::AnalyticScene, cicero_field::GridModel, Trajectory, Intrinsics) {
+fn setup() -> (
+    cicero_scene::AnalyticScene,
+    cicero_field::GridModel,
+    Trajectory,
+    Intrinsics,
+) {
     let scene = library::scene_by_name("lego").unwrap();
-    let opts = bake::BakeOptions { decoder_hidden: 16, ..Default::default() };
+    let opts = bake::BakeOptions {
+        decoder_hidden: 16,
+        ..Default::default()
+    };
     let model = bake::bake_grid_with(
         &scene,
-        &GridConfig { resolution: 64, ..Default::default() },
+        &GridConfig {
+            resolution: 64,
+            ..Default::default()
+        },
         &opts,
     );
     let traj = Trajectory::orbit(&scene, 9, 30.0);
@@ -26,7 +37,10 @@ fn cfg(variant: Variant, window: usize) -> cicero::pipeline::PipelineConfig {
     cicero::pipeline::PipelineConfig {
         variant,
         window,
-        march: MarchParams { step: 0.02, ..Default::default() },
+        march: MarchParams {
+            step: 0.02,
+            ..Default::default()
+        },
         collect_traffic: false,
         ..Default::default()
     }
@@ -48,7 +62,15 @@ fn method_ordering_matches_paper_fig16() {
     let (scene, model, traj, k) = setup();
     let gt: Vec<_> = (0..traj.len())
         .map(|i| {
-            render_frame(&scene, &traj.camera(i, k), &MarchParams { step: 0.02, ..Default::default() }).color
+            render_frame(
+                &scene,
+                &traj.camera(i, k),
+                &MarchParams {
+                    step: 0.02,
+                    ..Default::default()
+                },
+            )
+            .color
         })
         .collect();
     let score = |frames: &[cicero_scene::ground_truth::Frame]| {
@@ -67,11 +89,22 @@ fn method_ordering_matches_paper_fig16() {
     let temp = score(&run_temp(&scene, &model, &traj, k, &cfg(Variant::Sparw, 8)).frames);
 
     // Paper Fig. 16 shape: baseline ≥ Cicero-6, Cicero beats DS-2 and Temp.
-    assert!(base >= cicero6 - 0.3, "baseline {base:.2} vs cicero6 {cicero6:.2}");
+    assert!(
+        base >= cicero6 - 0.3,
+        "baseline {base:.2} vs cicero6 {cicero6:.2}"
+    );
     assert!(cicero6 > ds2 - 0.5, "cicero6 {cicero6:.2} vs ds2 {ds2:.2}");
-    assert!(cicero6 >= temp - 0.3, "cicero6 {cicero6:.2} vs temp {temp:.2}");
+    assert!(
+        cicero6 >= temp - 0.3,
+        "cicero6 {cicero6:.2} vs temp {temp:.2}"
+    );
     // And everything is in a plausible PSNR band.
-    for (name, v) in [("base", base), ("cicero6", cicero6), ("ds2", ds2), ("temp", temp)] {
+    for (name, v) in [
+        ("base", base),
+        ("cicero6", cicero6),
+        ("ds2", ds2),
+        ("temp", temp),
+    ] {
         assert!(v > 14.0 && v < 60.0, "{name} = {v:.1} dB out of band");
     }
 }
@@ -98,7 +131,10 @@ fn specular_scene_quality_degrades_more_under_warping() {
     // The paper's §VI-F observation: the radiance approximation weakens on
     // non-diffuse surfaces. Compare warp-induced loss on `materials`
     // (specular) vs `chair` (diffuse) under identical large motion.
-    let opts = bake::BakeOptions { decoder_hidden: 16, ..Default::default() };
+    let opts = bake::BakeOptions {
+        decoder_hidden: 16,
+        ..Default::default()
+    };
     // 96²: fine enough that splat noise is small against the specular
     // residual (at 48² both losses drown in silhouette error).
     let k = Intrinsics::from_fov(96, 96, 0.9);
@@ -107,7 +143,10 @@ fn specular_scene_quality_degrades_more_under_warping() {
         let scene = library::scene_by_name(name).unwrap();
         let model = bake::bake_grid_with(
             &scene,
-            &GridConfig { resolution: 64, ..Default::default() },
+            &GridConfig {
+                resolution: 64,
+                ..Default::default()
+            },
             &opts,
         );
         // Gentle VR-rate motion: disocclusion error stays small, so the

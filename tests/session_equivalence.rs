@@ -1,0 +1,122 @@
+//! The incremental [`PipelineSession`] API must be observationally identical
+//! to the monolithic [`run_pipeline`] driver: stepping a fresh session to
+//! completion yields the same `FrameOutcome` stream, the same frames and the
+//! same aggregate statistics, for every variant × scenario combination.
+
+use cicero::pipeline::{run_pipeline, PipelineConfig, PipelineSession};
+use cicero::schedule::RefPlacement;
+use cicero::{Scenario, Variant};
+use cicero_field::{bake, GridConfig};
+use cicero_math::Intrinsics;
+use cicero_scene::volume::MarchParams;
+use cicero_scene::{library, Trajectory};
+use proptest::prelude::*;
+
+fn cfg(
+    variant: Variant,
+    scenario: Scenario,
+    window: usize,
+    placement: RefPlacement,
+) -> PipelineConfig {
+    PipelineConfig {
+        variant,
+        scenario,
+        window,
+        ref_placement: placement,
+        march: MarchParams {
+            step: 0.05,
+            ..Default::default()
+        },
+        collect_quality: true,
+        collect_traffic: false,
+        ..Default::default()
+    }
+}
+
+/// Bitwise comparison: both paths run the identical computation, so even the
+/// floating-point reports must agree exactly.
+fn assert_equivalent(cfg: &PipelineConfig, frames: usize, res: usize) {
+    let scene = library::scene_by_name("lego").unwrap();
+    let model = bake::bake_grid(
+        &scene,
+        &GridConfig {
+            resolution: 24,
+            ..Default::default()
+        },
+    );
+    let traj = Trajectory::orbit(&scene, frames, 30.0);
+    let k = Intrinsics::from_fov(res, res, 0.9);
+
+    let run = run_pipeline(&scene, &model, &traj, k, cfg);
+
+    let mut session = PipelineSession::new(&scene, &model, &traj, k, cfg);
+    let mut stepped = Vec::new();
+    let mut step_frames = Vec::new();
+    while let Some(step) = session.step() {
+        assert!(step.service_time_s > 0.0);
+        stepped.push(step.outcome);
+        step_frames.push(step.frame);
+    }
+    assert!(session.is_done());
+    assert!(session.step().is_none(), "stepping past the end stays None");
+
+    assert_eq!(run.outcomes.len(), stepped.len());
+    for (a, b) in run.outcomes.iter().zip(&stepped) {
+        assert_eq!(a.frame_index, b.frame_index);
+        assert_eq!(a.full_render, b.full_render);
+        assert_eq!(a.report.time_s, b.report.time_s, "frame {}", a.frame_index);
+        assert_eq!(a.report.energy.total(), b.report.energy.total());
+        assert_eq!(a.psnr_db, b.psnr_db);
+        assert_eq!(a.ssim, b.ssim);
+        match (&a.warp_stats, &b.warp_stats) {
+            (None, None) => {}
+            (Some(x), Some(y)) => {
+                assert_eq!(x.total, y.total);
+                assert_eq!(x.warped, y.warped);
+                assert_eq!(x.disoccluded, y.disoccluded);
+                assert_eq!(x.void_pixels, y.void_pixels);
+                assert_eq!(x.rejected, y.rejected);
+            }
+            _ => panic!("warp stats mismatch at frame {}", a.frame_index),
+        }
+    }
+    for (fa, fb) in run.frames.iter().zip(&step_frames) {
+        assert_eq!(fa.color.pixels(), fb.color.pixels());
+    }
+    assert_eq!(run.warp_totals.total, session.warp_totals().total);
+    assert_eq!(run.warp_totals.warped, session.warp_totals().warped);
+}
+
+#[test]
+fn all_variants_and_scenarios_are_equivalent() {
+    for variant in Variant::ALL {
+        for scenario in [Scenario::Local, Scenario::Remote] {
+            assert_equivalent(
+                &cfg(variant, scenario, 4, RefPlacement::Extrapolated),
+                7,
+                24,
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Randomized windows, trajectory lengths and placements agree too.
+    #[test]
+    fn randomized_schedules_are_equivalent(
+        window in 1usize..6,
+        frames in 2usize..10,
+        pick in 0usize..8,
+    ) {
+        let variant = Variant::ALL[pick % 4];
+        let scenario = if pick < 4 { Scenario::Local } else { Scenario::Remote };
+        let placement = match pick % 3 {
+            0 => RefPlacement::Extrapolated,
+            1 => RefPlacement::OracleCentered,
+            _ => RefPlacement::OnTrajectory,
+        };
+        assert_equivalent(&cfg(variant, scenario, window, placement), frames, 16);
+    }
+}
