@@ -1,0 +1,149 @@
+//! `parallel_baseline` — measures tile-parallel render throughput and saves
+//! a JSON baseline, `--save-baseline`-style.
+//!
+//! ```text
+//! cargo run --release -p cicero-bench --bin parallel_baseline -- \
+//!     [--out results/bench_parallel.json] [--size 800] \
+//!     [--threads 1,2,4,8] [--samples 3]
+//! ```
+//!
+//! Renders a `size × size` frame of the shared bench model through
+//! `cicero_field::tiles` at each thread count (one warm-up plus `samples`
+//! timed renders), prints the sweep, and writes the measurements — including
+//! the host's available parallelism, without which the numbers are
+//! meaningless — to the output file.
+
+use cicero_bench::{bench_camera, bench_model};
+use cicero_field::tiles::{render_full_tiled, TileOptions};
+use cicero_field::{NullSink, RenderOptions};
+use std::time::Instant;
+
+struct Args {
+    out: String,
+    size: usize,
+    threads: Vec<usize>,
+    samples: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out: "results/bench_parallel.json".into(),
+        size: 800,
+        threads: vec![1, 2, 4, 8],
+        samples: 3,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--out" => args.out = value(),
+            "--size" => args.size = value().parse().expect("--size takes a pixel count"),
+            "--samples" => args.samples = value().parse().expect("--samples takes a count"),
+            "--threads" => {
+                args.threads = value()
+                    .split(',')
+                    .map(|t| t.trim().parse().expect("--threads takes a CSV of counts"))
+                    .collect();
+                assert!(!args.threads.is_empty(), "--threads must name at least one");
+            }
+            other => panic!("unknown flag {other} (expected --out/--size/--threads/--samples)"),
+        }
+    }
+    args.samples = args.samples.max(1);
+    args
+}
+
+struct Run {
+    threads: usize,
+    mean_s: f64,
+    min_s: f64,
+}
+
+fn main() {
+    let args = parse_args();
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let model = bench_model();
+    let cam = bench_camera(args.size);
+    let opts = RenderOptions::default();
+
+    println!(
+        "parallel_baseline: {0}x{0} frame, march step {1}, {2} samples/point, host cores {3}",
+        args.size, opts.march.step, args.samples, host_cores
+    );
+
+    let mut runs: Vec<Run> = Vec::new();
+    for &threads in &args.threads {
+        let tile = TileOptions::with_threads(threads);
+        // Warm-up render: page in the model, size the scratch buffers.
+        let _ = render_full_tiled(&model, &cam, &opts, &mut NullSink, &tile);
+        let mut times = Vec::with_capacity(args.samples);
+        for _ in 0..args.samples {
+            let t0 = Instant::now();
+            let (frame, stats) = render_full_tiled(&model, &cam, &opts, &mut NullSink, &tile);
+            times.push(t0.elapsed().as_secs_f64());
+            assert!(stats.rays as usize == frame.width() * frame.height());
+        }
+        let mean_s = times.iter().sum::<f64>() / times.len() as f64;
+        let min_s = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        println!(
+            "  {threads:>2} threads: mean {:>8.3} ms, min {:>8.3} ms, {:>6.2} fps",
+            mean_s * 1e3,
+            min_s * 1e3,
+            1.0 / mean_s
+        );
+        runs.push(Run {
+            threads,
+            mean_s,
+            min_s,
+        });
+    }
+
+    if let Some(base) = runs.iter().find(|r| r.threads == 1) {
+        for r in runs.iter().filter(|r| r.threads > 1) {
+            println!(
+                "  speedup at {} threads: {:.2}x",
+                r.threads,
+                base.mean_s / r.mean_s
+            );
+        }
+    }
+
+    let entries: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{ \"threads\": {}, \"mean_s\": {:.6}, \"min_s\": {:.6}, \"fps\": {:.3} }}",
+                r.threads,
+                r.mean_s,
+                r.min_s,
+                1.0 / r.mean_s
+            )
+        })
+        .collect();
+    let speedup = match (
+        runs.iter().find(|r| r.threads == 1),
+        runs.iter().find(|r| r.threads == 4),
+    ) {
+        (Some(b), Some(q)) => format!("{:.3}", b.mean_s / q.mean_s),
+        _ => "null".into(),
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"parallel_render\",\n  \"frame\": [{0}, {0}],\n  \
+         \"march_step\": {1},\n  \"samples\": {2},\n  \"host_cores\": {3},\n  \
+         \"speedup_4t_over_1t\": {4},\n  \"runs\": [\n{5}\n  ]\n}}\n",
+        args.size,
+        opts.march.step,
+        args.samples,
+        host_cores,
+        speedup,
+        entries.join(",\n")
+    );
+    if let Some(dir) = std::path::Path::new(&args.out).parent() {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    std::fs::write(&args.out, json).expect("write baseline file");
+    println!("baseline saved to {}", args.out);
+}

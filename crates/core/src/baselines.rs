@@ -9,8 +9,10 @@
 //!   accumulates error — "Temp-16 is the worst because it warps from previous
 //!   frames and accumulates errors" (§VI-A).
 
-use crate::sparw::{warp_frame, WarpOptions};
-use cicero_field::render::{render_full, render_masked, RenderOptions, RenderStats};
+use crate::sparw::{warp_frame_with, WarpOptions, WarpScratch};
+use cicero_field::render::{
+    render_full, render_masked_with, RenderOptions, RenderScratch, RenderStats,
+};
 use cicero_field::{GatherSink, NerfModel};
 use cicero_math::{Camera, Image, Intrinsics};
 use cicero_scene::ground_truth::Frame;
@@ -54,6 +56,9 @@ pub fn render_temp_chain<M: NerfModel + ?Sized>(
 ) -> Vec<(Frame, RenderStats)> {
     assert!(window >= 1);
     let mut out: Vec<(Frame, RenderStats)> = Vec::with_capacity(traj.len());
+    // Scratch reused across the whole chain: no per-frame buffer churn.
+    let mut warp_scratch = WarpScratch::new();
+    let mut render_scratch = RenderScratch::new();
     for i in 0..traj.len() {
         let cam = traj.camera(i, intrinsics);
         if i % window == 0 {
@@ -62,22 +67,25 @@ pub fn render_temp_chain<M: NerfModel + ?Sized>(
         } else {
             let prev_cam = traj.camera(i - 1, intrinsics);
             let prev_frame = &out[i - 1].0;
-            let warped = warp_frame(
+            let warped = warp_frame_with(
                 prev_frame,
                 &prev_cam,
                 &cam,
                 model.background(),
                 &WarpOptions::default(),
+                &mut warp_scratch,
+                1,
             );
             let mask = warped.render_mask();
             let mut frame = warped.frame;
-            let stats = render_masked(
+            let stats = render_masked_with(
                 model,
                 &cam,
                 opts,
                 Some(&mask),
                 &mut frame,
                 &mut cicero_field::NullSink,
+                &mut render_scratch,
             );
             out.push((frame, stats));
         }

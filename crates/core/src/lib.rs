@@ -51,4 +51,7 @@ pub use pipeline::{
     run_pipeline, FrameOutcome, PipelineConfig, PipelineRun, PipelineSession, SessionStep,
 };
 pub use schedule::{FramePlan, RefPlacement, Schedule};
-pub use sparw::{warp_frame, PixelSource, SplatMode, WarpOptions, WarpResult, WarpStats};
+pub use sparw::{
+    warp_frame, warp_frame_with, PixelSource, SplatMode, WarpOptions, WarpResult, WarpScratch,
+    WarpStats,
+};

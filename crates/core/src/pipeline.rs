@@ -17,7 +17,7 @@
 
 use crate::baselines;
 use crate::schedule::{FramePlan, RefPlacement, Schedule};
-use crate::sparw::{warp_frame, WarpOptions, WarpStats};
+use crate::sparw::{warp_frame_with, WarpOptions, WarpScratch, WarpStats};
 use crate::traffic::{
     build_workload, PixelCentricConfig, PixelCentricReport, PixelCentricTraffic, StreamingConfig,
     StreamingReport, StreamingTraffic,
@@ -25,7 +25,8 @@ use crate::traffic::{
 use cicero_accel::config::SocConfig;
 use cicero_accel::soc::{FrameReport, Scenario, SocModel, Variant};
 use cicero_accel::FrameWorkload;
-use cicero_field::render::{render_full, render_masked, RenderOptions, RenderStats};
+use cicero_field::render::{RenderOptions, RenderStats};
+use cicero_field::tiles::{env_render_threads, render_full_tiled, render_tiled, TileOptions};
 use cicero_field::{NerfModel, NullSink};
 use cicero_math::{metrics, Camera, Intrinsics, Pose};
 use cicero_scene::ground_truth::{render_frame, Frame};
@@ -54,6 +55,11 @@ pub struct PipelineConfig {
     pub collect_quality: bool,
     /// Run the memory simulators (required for faithful timing).
     pub collect_traffic: bool,
+    /// Host worker threads for tile-parallel rendering and warping. Affects
+    /// wall-clock speed only: output frames, statistics and simulated
+    /// timings are bit-identical at any value. Defaults to the
+    /// `RENDER_THREADS` environment variable (1 when unset).
+    pub render_threads: usize,
 }
 
 impl Default for PipelineConfig {
@@ -68,6 +74,7 @@ impl Default for PipelineConfig {
             soc: SocConfig::default(),
             collect_quality: true,
             collect_traffic: true,
+            render_threads: env_render_threads(),
         }
     }
 }
@@ -164,16 +171,17 @@ fn analyzed_full_render(
     variant: Variant,
     cfg: &PipelineConfig,
 ) -> (Frame, RenderStats, FrameWorkload) {
+    let tile = TileOptions::with_threads(cfg.render_threads);
     let (frame, stats, pc, fs) = if !cfg.collect_traffic {
-        let (frame, stats) = render_full(model, cam, opts, &mut NullSink);
+        let (frame, stats) = render_full_tiled(model, cam, opts, &mut NullSink, &tile);
         (frame, stats, None, None)
     } else if variant.fully_streaming() {
         let mut sink = StreamingTraffic::new(model, streaming_cfg(cfg));
-        let (frame, stats) = render_full(model, cam, opts, &mut sink);
+        let (frame, stats) = render_full_tiled(model, cam, opts, &mut sink, &tile);
         (frame, stats, None, Some(sink.finish()))
     } else {
         let mut sink = PixelCentricTraffic::new(model, pixel_cfg(cfg));
-        let (frame, stats) = render_full(model, cam, opts, &mut sink);
+        let (frame, stats) = render_full_tiled(model, cam, opts, &mut sink, &tile);
         (frame, stats, Some(sink.finish()), None)
     };
     let w = build_workload(&stats, model.decoder(), pc.as_ref(), fs.as_ref(), None);
@@ -195,17 +203,20 @@ fn analyzed_sparse_render(
         RenderStats,
         Option<PixelCentricReport>,
         Option<StreamingReport>,
-    ) = if !cfg.collect_traffic {
-        let stats = render_masked(model, cam, opts, Some(mask), frame, &mut NullSink);
-        (stats, None, None)
-    } else if variant.fully_streaming() {
-        let mut sink = StreamingTraffic::new(model, streaming_cfg(cfg));
-        let stats = render_masked(model, cam, opts, Some(mask), frame, &mut sink);
-        (stats, None, Some(sink.finish()))
-    } else {
-        let mut sink = PixelCentricTraffic::new(model, pixel_cfg(cfg));
-        let stats = render_masked(model, cam, opts, Some(mask), frame, &mut sink);
-        (stats, Some(sink.finish()), None)
+    ) = {
+        let tile = TileOptions::with_threads(cfg.render_threads);
+        if !cfg.collect_traffic {
+            let stats = render_tiled(model, cam, opts, Some(mask), frame, &mut NullSink, &tile);
+            (stats, None, None)
+        } else if variant.fully_streaming() {
+            let mut sink = StreamingTraffic::new(model, streaming_cfg(cfg));
+            let stats = render_tiled(model, cam, opts, Some(mask), frame, &mut sink, &tile);
+            (stats, None, Some(sink.finish()))
+        } else {
+            let mut sink = PixelCentricTraffic::new(model, pixel_cfg(cfg));
+            let stats = render_tiled(model, cam, opts, Some(mask), frame, &mut sink, &tile);
+            (stats, Some(sink.finish()), None)
+        }
     };
     let w = build_workload(
         &stats,
@@ -306,6 +317,10 @@ pub struct PipelineSession<'a> {
     cursor: usize,
     warp_totals: WarpStats,
     last_ref_workload: Option<FrameWorkload>,
+    /// Reusable warp working memory: hoists the per-frame splat list and
+    /// hole-fill buffers out of the frame loop (zero-allocation satellite of
+    /// the tile-engine work).
+    warp_scratch: WarpScratch,
 }
 
 impl<'a> PipelineSession<'a> {
@@ -359,6 +374,7 @@ impl<'a> PipelineSession<'a> {
             cursor: 0,
             warp_totals: WarpStats::default(),
             last_ref_workload: None,
+            warp_scratch: WarpScratch::new(),
         }
     }
 
@@ -620,22 +636,25 @@ impl<'a> PipelineSession<'a> {
             FramePlan::Warp { ref_index } => {
                 self.ensure_reference(ref_index);
                 let ref_cam = Camera::new(self.intrinsics, self.reference_pose(ref_index));
-                let (ref_frame, ref_w) = self.ref_frames[ref_index].as_ref().unwrap();
+                // Cheap Arc clone: ends the `ref_frames` borrow so the warp
+                // can take the session's scratch mutably.
+                let (ref_frame, ref_w) = self.ref_frames[ref_index].clone().unwrap();
                 let warp_opts = WarpOptions {
                     phi: self.cfg.phi,
                     ..Default::default()
                 };
-                let warped = warp_frame(
+                let warped = warp_frame_with(
                     ref_frame.as_ref(),
                     &ref_cam,
                     &cam,
                     self.model.background(),
                     &warp_opts,
+                    &mut self.warp_scratch,
+                    self.cfg.render_threads,
                 );
                 let stats = warped.stats();
                 let mask = warped.render_mask();
                 let mut frame = warped.frame;
-                let ref_w = ref_w.clone();
                 let (_s, tgt_w) = analyzed_sparse_render(
                     self.model,
                     &cam,

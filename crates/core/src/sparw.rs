@@ -147,53 +147,76 @@ impl WarpResult {
     }
 }
 
-/// Warps `reference` (rendered at `ref_cam`) to the pose of `tgt_cam`.
+/// A forward-splatted contribution to one target pixel (steps 1–3's point
+/// rasterization).
+#[derive(Debug, Clone, Copy)]
+struct Splat {
+    tx: u32,
+    ty: u32,
+    weight: f32,
+    z: f32,
+    color: Vec3,
+    rejected: bool,
+}
+
+/// Reusable warp working memory.
 ///
-/// `background` fills void/hole pixels until sparse rendering replaces the
-/// disoccluded ones.
-///
-/// # Panics
-///
-/// Panics if the reference frame's dimensions differ from `ref_cam`'s
-/// intrinsics.
-pub fn warp_frame(
+/// One warp at `tw × th` touches several full-frame scratch buffers (splat
+/// lists, z-buffer, accumulators, status snapshots). Allocating them per
+/// frame dominated small-frame warps; a scratch carried across frames (e.g.
+/// by `PipelineSession`) reuses every buffer. Contents never leak between
+/// warps — each pass clears before filling — so warping through a reused
+/// scratch is bit-identical to warping through a fresh one.
+#[derive(Debug, Default)]
+pub struct WarpScratch {
+    /// Per-band splat lists (one band per worker thread; band order =
+    /// reference row order, so concatenation reproduces the sequential
+    /// splat order exactly).
+    band_splats: Vec<Vec<Splat>>,
+    /// Per-target-pixel nearest splat depth.
+    zmin: Vec<f32>,
+    /// Weighted color accumulator.
+    acc_color: Vec<Vec3>,
+    /// Weight accumulator.
+    acc_w: Vec<f32>,
+    /// Weighted depth accumulator.
+    acc_z: Vec<f32>,
+    /// Weight rejected by the φ heuristic.
+    rej_w: Vec<f32>,
+    /// Status snapshot read by the classification/crack-fill passes.
+    snapshot: Vec<PixelSource>,
+    /// Color snapshot for the crack-fill pass.
+    color_snap: Vec<Vec3>,
+    /// Depth snapshot for the crack-fill pass.
+    depth_snap: Vec<f32>,
+}
+
+impl WarpScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Clears `v` and refills it with `n` copies of `fill`, keeping capacity.
+fn refill<T: Clone>(v: &mut Vec<T>, n: usize, fill: T) {
+    v.clear();
+    v.resize(n, fill);
+}
+
+/// Generates the splats of reference rows `rows` into `out` (cleared first).
+fn splat_rows(
     reference: &Frame,
     ref_cam: &Camera,
     tgt_cam: &Camera,
-    background: Vec3,
     opts: &WarpOptions,
-) -> WarpResult {
-    let (rw, rh) = (ref_cam.intrinsics.width, ref_cam.intrinsics.height);
-    assert_eq!(
-        (reference.width(), reference.height()),
-        (rw, rh),
-        "reference frame/camera mismatch"
-    );
+    rows: std::ops::Range<usize>,
+    out: &mut Vec<Splat>,
+) {
+    out.clear();
+    let rw = ref_cam.intrinsics.width;
     let (tw, th) = (tgt_cam.intrinsics.width, tgt_cam.intrinsics.height);
-
-    let mut frame = Frame {
-        color: cicero_math::Image::new(tw, th, background),
-        depth: cicero_math::DepthMap::empty(tw, th),
-    };
-    let mut status = vec![PixelSource::Disoccluded; tw * th];
-
-    // Step 1-3: point cloud conversion, transform, weighted bilinear forward
-    // splatting with a z-buffer (the "standard rasterization pipeline" of
-    // Eq. 3). Each reference point contributes to its four nearest target
-    // pixels; contributions within a depth tolerance of the nearest surface
-    // accumulate and normalize, which removes the ±half-pixel resampling
-    // error of nearest-pixel splatting.
-    struct Splat {
-        tx: u32,
-        ty: u32,
-        weight: f32,
-        z: f32,
-        color: Vec3,
-        rejected: bool,
-    }
-    let mut splats: Vec<Splat> = Vec::with_capacity(rw * rh * 2);
-    let mut zmin = vec![f32::INFINITY; tw * th];
-    for y in 0..rh {
+    for y in rows {
         for x in 0..rw {
             let d = *reference.depth.get(x, y);
             if !d.is_finite() {
@@ -242,11 +265,7 @@ pub fn warp_frame(
                 if tx < 0 || ty < 0 || tx >= tw as i64 || ty >= th as i64 {
                     continue;
                 }
-                let idx = ty as usize * tw + tx as usize;
-                if zt < zmin[idx] {
-                    zmin[idx] = zt;
-                }
-                splats.push(Splat {
+                out.push(Splat {
                     tx: tx as u32,
                     ty: ty as u32,
                     weight: w,
@@ -257,105 +276,278 @@ pub fn warp_frame(
             }
         }
     }
-    // Resolve: accumulate contributions near the front surface of each pixel.
-    let mut acc_color = vec![Vec3::ZERO; tw * th];
-    let mut acc_w = vec![0.0f32; tw * th];
-    let mut acc_z = vec![0.0f32; tw * th];
-    let mut rej_w = vec![0.0f32; tw * th];
-    for s in &splats {
-        let idx = s.ty as usize * tw + s.tx as usize;
-        let front = zmin[idx];
-        let tol = (front * 0.02).max(0.02);
-        if s.z > front + tol {
-            continue; // occluded contribution
+}
+
+/// Minimum rows per worker band: spawning a scoped thread costs more than
+/// processing a few short rows, so tiny frames use fewer bands than
+/// `threads`. Banding never affects results, only spawn overhead.
+const MIN_BAND_ROWS: usize = 8;
+
+/// Runs `f` once per row band of the target frame, in parallel across
+/// `threads` scoped workers. Each invocation gets the band's first row and
+/// disjoint mutable slices of the frame color/depth and the status map; the
+/// closure may freely read shared state. Per-pixel work is independent, so
+/// the result is identical at any thread count.
+fn for_each_target_band<F>(frame: &mut Frame, status: &mut [PixelSource], threads: usize, f: F)
+where
+    F: Fn(usize, &mut [Vec3], &mut [f32], &mut [PixelSource]) + Sync,
+{
+    let (tw, th) = (frame.width(), frame.height());
+    let n_bands = threads.min(th.div_ceil(MIN_BAND_ROWS)).max(1);
+    if n_bands <= 1 {
+        f(
+            0,
+            frame.color.pixels_mut(),
+            frame.depth.pixels_mut(),
+            status,
+        );
+        return;
+    }
+    let rows_per_band = th.div_ceil(n_bands).max(1);
+    let chunk = rows_per_band * tw;
+    let color = frame.color.pixels_mut();
+    let depth = frame.depth.pixels_mut();
+    std::thread::scope(|s| {
+        let bands = color
+            .chunks_mut(chunk)
+            .zip(depth.chunks_mut(chunk))
+            .zip(status.chunks_mut(chunk));
+        for (bi, ((cb, db), sb)) in bands.enumerate() {
+            let f = &f;
+            s.spawn(move || f(bi * rows_per_band, cb, db, sb));
         }
-        acc_color[idx] += s.color * s.weight;
-        acc_z[idx] += s.z * s.weight;
-        acc_w[idx] += s.weight;
-        if s.rejected {
-            rej_w[idx] += s.weight;
+    });
+}
+
+/// Warps `reference` (rendered at `ref_cam`) to the pose of `tgt_cam`.
+///
+/// `background` fills void/hole pixels until sparse rendering replaces the
+/// disoccluded ones. Allocates fresh working memory and runs
+/// single-threaded; frame loops use [`warp_frame_with`].
+///
+/// # Panics
+///
+/// Panics if the reference frame's dimensions differ from `ref_cam`'s
+/// intrinsics.
+pub fn warp_frame(
+    reference: &Frame,
+    ref_cam: &Camera,
+    tgt_cam: &Camera,
+    background: Vec3,
+    opts: &WarpOptions,
+) -> WarpResult {
+    warp_frame_with(
+        reference,
+        ref_cam,
+        tgt_cam,
+        background,
+        opts,
+        &mut WarpScratch::new(),
+        1,
+    )
+}
+
+/// [`warp_frame`] through reusable working memory and `threads` worker
+/// threads. The splat, normalize, hole-classification and crack-fill passes
+/// run band-parallel; the output is **bit-identical** to the sequential warp
+/// at any thread count (per-pixel work is independent, and the one
+/// order-sensitive float accumulation — splat resolution — always runs in
+/// reference row order).
+///
+/// # Panics
+///
+/// Panics if the reference frame's dimensions differ from `ref_cam`'s
+/// intrinsics, or if a worker thread panics.
+pub fn warp_frame_with(
+    reference: &Frame,
+    ref_cam: &Camera,
+    tgt_cam: &Camera,
+    background: Vec3,
+    opts: &WarpOptions,
+    scratch: &mut WarpScratch,
+    threads: usize,
+) -> WarpResult {
+    let (rw, rh) = (ref_cam.intrinsics.width, ref_cam.intrinsics.height);
+    assert_eq!(
+        (reference.width(), reference.height()),
+        (rw, rh),
+        "reference frame/camera mismatch"
+    );
+    let (tw, th) = (tgt_cam.intrinsics.width, tgt_cam.intrinsics.height);
+    let threads = threads.max(1);
+
+    let mut frame = Frame {
+        color: cicero_math::Image::new(tw, th, background),
+        depth: cicero_math::DepthMap::empty(tw, th),
+    };
+    let mut status = vec![PixelSource::Disoccluded; tw * th];
+
+    // Step 1-3: point cloud conversion, transform, weighted bilinear forward
+    // splatting with a z-buffer (the "standard rasterization pipeline" of
+    // Eq. 3). Each reference point contributes to its four nearest target
+    // pixels; contributions within a depth tolerance of the nearest surface
+    // accumulate and normalize, which removes the ±half-pixel resampling
+    // error of nearest-pixel splatting. Splat generation is per-reference-
+    // pixel independent: each band of reference rows fills its own list.
+    let n_bands = threads.min(rh.div_ceil(MIN_BAND_ROWS)).max(1);
+    let rows_per_band = rh.div_ceil(n_bands).max(1);
+    let n_bands = rh.div_ceil(rows_per_band).max(1);
+    scratch.band_splats.resize_with(n_bands, Vec::new);
+    if n_bands == 1 {
+        splat_rows(
+            reference,
+            ref_cam,
+            tgt_cam,
+            opts,
+            0..rh,
+            &mut scratch.band_splats[0],
+        );
+    } else {
+        std::thread::scope(|s| {
+            for (bi, out) in scratch.band_splats.iter_mut().enumerate() {
+                let y0 = bi * rows_per_band;
+                let y1 = ((bi + 1) * rows_per_band).min(rh);
+                s.spawn(move || splat_rows(reference, ref_cam, tgt_cam, opts, y0..y1, out));
+            }
+        });
+    }
+
+    // Resolve: accumulate contributions near the front surface of each pixel.
+    // Sequential in band (= reference row) order: float accumulation order is
+    // exactly the sequential warp's, so sums are bit-identical.
+    refill(&mut scratch.zmin, tw * th, f32::INFINITY);
+    refill(&mut scratch.acc_color, tw * th, Vec3::ZERO);
+    refill(&mut scratch.acc_w, tw * th, 0.0f32);
+    refill(&mut scratch.acc_z, tw * th, 0.0f32);
+    refill(&mut scratch.rej_w, tw * th, 0.0f32);
+    for band in &scratch.band_splats {
+        for s in band {
+            let idx = s.ty as usize * tw + s.tx as usize;
+            if s.z < scratch.zmin[idx] {
+                scratch.zmin[idx] = s.z;
+            }
         }
     }
-    for ty in 0..th {
-        for tx in 0..tw {
-            let idx = ty * tw + tx;
-            // Require near-full coverage: interior surface pixels integrate
-            // ~unit weight from their four contributing reference points,
-            // while silhouette-dilation fringes only catch tail weights and
-            // must stay holes (classified below) instead of smearing the
-            // object outline one pixel outward.
-            if acc_w[idx] < 0.75 {
-                continue;
+    for band in &scratch.band_splats {
+        for s in band {
+            let idx = s.ty as usize * tw + s.tx as usize;
+            let front = scratch.zmin[idx];
+            let tol = (front * 0.02).max(0.02);
+            if s.z > front + tol {
+                continue; // occluded contribution
             }
-            let inv = 1.0 / acc_w[idx];
-            *frame.color.get_mut(tx, ty) = acc_color[idx] * inv;
-            *frame.depth.get_mut(tx, ty) = acc_z[idx] * inv;
-            status[idx] = if rej_w[idx] * 2.0 > acc_w[idx] {
-                PixelSource::RejectedByAngle
-            } else {
-                PixelSource::Warped
-            };
+            scratch.acc_color[idx] += s.color * s.weight;
+            scratch.acc_z[idx] += s.z * s.weight;
+            scratch.acc_w[idx] += s.weight;
+            if s.rejected {
+                scratch.rej_w[idx] += s.weight;
+            }
         }
+    }
+    {
+        let (acc_color, acc_w) = (&scratch.acc_color, &scratch.acc_w);
+        let (acc_z, rej_w) = (&scratch.acc_z, &scratch.rej_w);
+        for_each_target_band(&mut frame, &mut status, threads, |y0, cb, db, sb| {
+            for (local, st) in sb.iter_mut().enumerate() {
+                let idx = y0 * tw + local;
+                // Require near-full coverage: interior surface pixels
+                // integrate ~unit weight from their four contributing
+                // reference points, while silhouette-dilation fringes only
+                // catch tail weights and must stay holes (classified below)
+                // instead of smearing the object outline one pixel outward.
+                if acc_w[idx] < 0.75 {
+                    continue;
+                }
+                let inv = 1.0 / acc_w[idx];
+                cb[local] = acc_color[idx] * inv;
+                db[local] = acc_z[idx] * inv;
+                *st = if rej_w[idx] * 2.0 > acc_w[idx] {
+                    PixelSource::RejectedByAngle
+                } else {
+                    PixelSource::Warped
+                };
+            }
+        });
     }
 
     // Step 4's depth test: classify remaining holes. A hole whose far probe
     // lands on reference background is void — nothing along the ray — and
-    // needs no rendering.
-    for ty in 0..th {
-        for tx in 0..tw {
-            if status[ty * tw + tx] != PixelSource::Disoccluded {
-                continue;
-            }
-            let (u, v) = (tx as f32 + 0.5, ty as f32 + 0.5);
-            let far_world = tgt_cam.unproject_to_world(u, v, opts.void_probe_depth);
-            let is_void = match ref_cam.project_world(far_world) {
-                Some((ru, rv, _)) => {
-                    let rx = (ru - 0.5).round() as i64;
-                    let ry = (rv - 0.5).round() as i64;
-                    if rx >= 0 && ry >= 0 && rx < rw as i64 && ry < rh as i64 {
-                        !reference.depth.get(rx as usize, ry as usize).is_finite()
-                    } else {
-                        false // outside the reference frustum: must render
-                    }
+    // needs no rendering. Neighbor lookups read a status snapshot; the only
+    // in-pass transition is Disoccluded → Void, which the Warped scan never
+    // observes, so snapshot reads equal the sequential in-place reads.
+    scratch.snapshot.clear();
+    scratch.snapshot.extend_from_slice(&status);
+    {
+        let snapshot = &scratch.snapshot;
+        for_each_target_band(&mut frame, &mut status, threads, |y0, cb, _db, sb| {
+            for (local, st) in sb.iter_mut().enumerate() {
+                if *st != PixelSource::Disoccluded {
+                    continue;
                 }
-                None => false,
-            };
-            let near_surface = {
-                let mut found = false;
-                'scan: for dy in -1i64..=1 {
-                    for dx in -1i64..=1 {
-                        let (nx, ny) = (tx as i64 + dx, ty as i64 + dy);
-                        if nx < 0 || ny < 0 || nx >= tw as i64 || ny >= th as i64 {
-                            continue;
-                        }
-                        if status[ny as usize * tw + nx as usize] == PixelSource::Warped {
-                            found = true;
-                            break 'scan;
+                let idx = y0 * tw + local;
+                let (tx, ty) = (idx % tw, idx / tw);
+                let (u, v) = (tx as f32 + 0.5, ty as f32 + 0.5);
+                let far_world = tgt_cam.unproject_to_world(u, v, opts.void_probe_depth);
+                let is_void = match ref_cam.project_world(far_world) {
+                    Some((ru, rv, _)) => {
+                        let rx = (ru - 0.5).round() as i64;
+                        let ry = (rv - 0.5).round() as i64;
+                        if rx >= 0 && ry >= 0 && rx < rw as i64 && ry < rh as i64 {
+                            !reference.depth.get(rx as usize, ry as usize).is_finite()
+                        } else {
+                            false // outside the reference frustum: must render
                         }
                     }
+                    None => false,
+                };
+                let near_surface = {
+                    let mut found = false;
+                    'scan: for dy in -1i64..=1 {
+                        for dx in -1i64..=1 {
+                            let (nx, ny) = (tx as i64 + dx, ty as i64 + dy);
+                            if nx < 0 || ny < 0 || nx >= tw as i64 || ny >= th as i64 {
+                                continue;
+                            }
+                            if snapshot[ny as usize * tw + nx as usize] == PixelSource::Warped {
+                                found = true;
+                                break 'scan;
+                            }
+                        }
+                    }
+                    found
+                };
+                if is_void && !near_surface {
+                    *st = PixelSource::Void;
+                } else {
+                    // Rejected-by-angle pixels that lost the z-test race stay
+                    // disoccluded; color remains background until sparse NeRF.
+                    cb[local] = background;
                 }
-                found
-            };
-            if is_void && !near_surface {
-                status[ty * tw + tx] = PixelSource::Void;
-            } else {
-                // Rejected-by-angle pixels that lost the z-test race stay
-                // disoccluded; color remains background until sparse NeRF.
-                *frame.color.get_mut(tx, ty) = background;
             }
-        }
+        });
     }
 
     // Crack filling: single-pixel splat holes surrounded by warped pixels
     // are reconstruction artifacts of nearest-pixel splatting, not
-    // disocclusions; inpaint them from their neighbors.
+    // disocclusions; inpaint them from their neighbors. Neighbor reads come
+    // from snapshots; only Disoccluded pixels are written and only Warped
+    // ones are read, so snapshot values equal live values.
     if opts.fill_cracks {
-        let snapshot = status.clone();
-        for ty in 0..th {
-            for tx in 0..tw {
-                if snapshot[ty * tw + tx] != PixelSource::Disoccluded {
+        scratch.snapshot.clear();
+        scratch.snapshot.extend_from_slice(&status);
+        scratch.color_snap.clear();
+        scratch.color_snap.extend_from_slice(frame.color.pixels());
+        scratch.depth_snap.clear();
+        scratch.depth_snap.extend_from_slice(frame.depth.pixels());
+        let snapshot = &scratch.snapshot;
+        let (color_snap, depth_snap) = (&scratch.color_snap, &scratch.depth_snap);
+        for_each_target_band(&mut frame, &mut status, threads, |y0, cb, db, sb| {
+            for (local, st) in sb.iter_mut().enumerate() {
+                let idx = y0 * tw + local;
+                if snapshot[idx] != PixelSource::Disoccluded {
                     continue;
                 }
+                let (tx, ty) = (idx % tw, idx / tw);
                 let mut warped_neighbors = 0;
                 let mut color = Vec3::ZERO;
                 let mut depth = 0.0f32;
@@ -368,21 +560,22 @@ pub fn warp_frame(
                         if nx < 0 || ny < 0 || nx >= tw as i64 || ny >= th as i64 {
                             continue;
                         }
-                        if snapshot[ny as usize * tw + nx as usize] == PixelSource::Warped {
+                        let n_idx = ny as usize * tw + nx as usize;
+                        if snapshot[n_idx] == PixelSource::Warped {
                             warped_neighbors += 1;
-                            color += *frame.color.get(nx as usize, ny as usize);
-                            depth += *frame.depth.get(nx as usize, ny as usize);
+                            color += color_snap[n_idx];
+                            depth += depth_snap[n_idx];
                         }
                     }
                 }
                 if warped_neighbors >= 5 {
                     let inv = 1.0 / warped_neighbors as f32;
-                    *frame.color.get_mut(tx, ty) = color * inv;
-                    *frame.depth.get_mut(tx, ty) = depth * inv;
-                    status[ty * tw + tx] = PixelSource::Warped;
+                    cb[local] = color * inv;
+                    db[local] = depth * inv;
+                    *st = PixelSource::Warped;
                 }
             }
-        }
+        });
     }
 
     WarpResult { frame, status }
@@ -557,6 +750,37 @@ mod tests {
             },
         );
         assert_eq!(strict.stats().rejected, 0);
+    }
+
+    #[test]
+    fn parallel_warp_is_bit_identical_and_scratch_reuse_is_clean() {
+        let (scene, ref_cam, tgt_cam, reference) = setup(0.12);
+        for opts in [
+            WarpOptions::default(),
+            WarpOptions {
+                phi: Some(0.05),
+                splat: SplatMode::Bilinear,
+                ..Default::default()
+            },
+        ] {
+            let seq = warp_frame(&reference, &ref_cam, &tgt_cam, scene.background(), &opts);
+            let mut scratch = WarpScratch::new();
+            for threads in [1, 2, 3, 8] {
+                // The same scratch serves every thread count back to back:
+                // reuse must not leak state between warps.
+                let par = warp_frame_with(
+                    &reference,
+                    &ref_cam,
+                    &tgt_cam,
+                    scene.background(),
+                    &opts,
+                    &mut scratch,
+                    threads,
+                );
+                assert_eq!(par.frame, seq.frame, "{threads} threads, {opts:?}");
+                assert_eq!(par.status, seq.status, "{threads} threads, {opts:?}");
+            }
+        }
     }
 
     #[test]

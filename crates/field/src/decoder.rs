@@ -13,7 +13,7 @@
 //! The head's small extra MAC count is reported by
 //! [`Decoder::macs_per_sample`] so hardware models charge for it.
 
-use crate::Mlp;
+use crate::{Mlp, MlpScratch};
 use cicero_math::Vec3;
 
 /// Number of raw signals every decoder produces.
@@ -184,15 +184,32 @@ impl Decoder {
     ///
     /// Panics if `features.len() != feature_dim()`.
     pub fn decode(&self, features: &[f32], dir: Vec3) -> (f32, Vec3) {
+        let mut scratch = MlpScratch::new();
+        self.decode_into(features, dir, &mut scratch)
+    }
+
+    /// Decodes one sample through caller-provided MLP scratch. Semantically
+    /// identical to [`Decoder::decode`] but allocation-free once the scratch
+    /// is warm — the renderer's per-sample path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != feature_dim()`.
+    pub fn decode_into(
+        &self,
+        features: &[f32],
+        dir: Vec3,
+        scratch: &mut MlpScratch,
+    ) -> (f32, Vec3) {
         assert_eq!(
             features.len(),
             self.feature_dim(),
             "feature dimension mismatch"
         );
-        let mut input = Vec::with_capacity(features.len() + 3);
+        let input = scratch.stage();
         input.extend_from_slice(features);
         input.extend_from_slice(&[dir.x, dir.y, dir.z]);
-        let out = self.mlp.forward(&input);
+        let out = self.mlp.forward_staged(scratch);
         let sigma = softplus(out[0]);
         let mut rgb = Vec3::new(out[1].max(0.0), out[2].max(0.0), out[3].max(0.0));
         if let Some(head) = &self.specular {

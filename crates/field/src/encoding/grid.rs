@@ -173,9 +173,16 @@ impl DenseGrid {
 
     /// Full gather plan wrapping the single level.
     pub fn gather_plan(&self, p: Vec3) -> GatherPlan {
-        GatherPlan {
-            levels: vec![self.plan_at(p, RegionId(0))],
-        }
+        let mut plan = GatherPlan::default();
+        self.gather_plan_into(p, &mut plan);
+        plan
+    }
+
+    /// Fills `out` with the gather plan at `p`, reusing its level buffer
+    /// (allocation-free once warm).
+    pub fn gather_plan_into(&self, p: Vec3, out: &mut GatherPlan) {
+        out.clear();
+        out.levels.push(self.plan_at(p, RegionId(0)));
     }
 
     /// Feature storage bytes in the modeled DRAM image.

@@ -228,6 +228,14 @@ impl HashGrid {
         let mut plan = GatherPlan {
             levels: Vec::with_capacity(self.cfg.levels),
         };
+        self.gather_plan_into(p, &mut plan);
+        plan
+    }
+
+    /// Fills `out` with the gather plan at `p`, reusing its level buffer
+    /// (allocation-free once warm).
+    pub fn gather_plan_into(&self, p: Vec3, plan: &mut GatherPlan) {
+        plan.clear();
         for (li, l) in self.levels.iter().enumerate() {
             let g = self.bounds.normalize(p) * l.resolution as f32;
             let res = l.resolution as u32;
@@ -251,7 +259,6 @@ impl HashGrid {
                 dense: l.dense,
             });
         }
-        plan
     }
 
     /// Total feature storage bytes.

@@ -181,12 +181,20 @@ impl VmTensor {
     /// Gather plan: 4-entry bilinear reads on 3 planes (regions 0–2) and
     /// 2-entry linear reads on 3 lines (regions 3–5).
     pub fn gather_plan(&self, p: Vec3) -> GatherPlan {
-        let n = self.bounds.normalize(p);
-        let res = self.cfg.resolution as u32;
-        let entry_bytes = self.channels() as u32 * self.cfg.bytes_per_value;
         let mut plan = GatherPlan {
             levels: Vec::with_capacity(6),
         };
+        self.gather_plan_into(p, &mut plan);
+        plan
+    }
+
+    /// Fills `out` with the gather plan at `p`, reusing its level buffer
+    /// (allocation-free once warm).
+    pub fn gather_plan_into(&self, p: Vec3, plan: &mut GatherPlan) {
+        plan.clear();
+        let n = self.bounds.normalize(p);
+        let res = self.cfg.resolution as u32;
+        let entry_bytes = self.channels() as u32 * self.cfg.bytes_per_value;
         for (oi, o) in ORIENTATIONS.iter().enumerate() {
             let (pu, pv, lw) = o.split(n);
             let (u, v, w) = (self.texel(pu), self.texel(pv), self.texel(lw));
@@ -220,7 +228,6 @@ impl VmTensor {
                 dense: true,
             });
         }
-        plan
     }
 
     /// Total feature storage bytes (planes + lines).

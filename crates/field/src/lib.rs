@@ -41,13 +41,15 @@ mod model;
 mod occupancy;
 mod plan;
 pub mod render;
+pub mod tiles;
 
 pub use decoder::{Decoder, SpecularHead};
 pub use encoding::grid::{DenseGrid, GridConfig};
 pub use encoding::hash::{HashConfig, HashGrid};
 pub use encoding::tensor::{TensorConfig, VmTensor};
-pub use mlp::Mlp;
-pub use model::{GridModel, HashModel, ModelKind, NerfModel, TensorModel};
+pub use mlp::{Mlp, MlpScratch};
+pub use model::{GridModel, HashModel, ModelKind, ModelSource, NerfModel, TensorModel};
 pub use occupancy::OccupancyGrid;
 pub use plan::{GatherPlan, GatherSink, LevelGather, NullSink, RegionId};
-pub use render::{RenderOptions, RenderStats};
+pub use render::{RenderOptions, RenderScratch, RenderStats};
+pub use tiles::{env_render_threads, render_full_tiled, render_tiled, TileOptions};

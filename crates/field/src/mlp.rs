@@ -63,6 +63,35 @@ impl Layer {
     }
 }
 
+/// Ping-pong activation buffers for allocation-free MLP inference.
+///
+/// The renderer's inner sample loop runs one inference per processed sample;
+/// a scratch owned by the caller (one per thread) lets every inference reuse
+/// the same two activation buffers instead of allocating fresh vectors. After
+/// the first inference warms the capacities, [`Mlp::forward_into`] and
+/// [`crate::Decoder::decode_into`] perform zero heap allocations.
+#[derive(Debug, Clone, Default)]
+pub struct MlpScratch {
+    /// Current activations; doubles as the staged input buffer.
+    a: Vec<f32>,
+    /// Next layer's output, swapped with `a` after every layer.
+    b: Vec<f32>,
+}
+
+impl MlpScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears and returns the input staging buffer. Fill it with the network
+    /// input, then call [`Mlp::forward_staged`].
+    pub fn stage(&mut self) -> &mut Vec<f32> {
+        self.a.clear();
+        &mut self.a
+    }
+}
+
 /// A multilayer perceptron.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Mlp {
@@ -97,20 +126,45 @@ impl Mlp {
         self.layers.last().unwrap().out_dim
     }
 
-    /// Runs the network.
+    /// Runs the network, allocating fresh buffers. Convenience wrapper over
+    /// [`Mlp::forward_into`] for cold paths; the renderer's sample loop uses
+    /// the scratch variant.
     ///
     /// # Panics
     ///
     /// Panics if `input` length differs from [`Mlp::in_dim`].
     pub fn forward(&self, input: &[f32]) -> Vec<f32> {
-        assert_eq!(input.len(), self.in_dim(), "MLP input size mismatch");
-        let mut a = input.to_vec();
-        let mut b = Vec::with_capacity(self.layers.iter().map(|l| l.out_dim).max().unwrap());
+        let mut scratch = MlpScratch::new();
+        self.forward_into(input, &mut scratch);
+        scratch.a
+    }
+
+    /// Runs the network through caller-provided ping-pong scratch, returning
+    /// the output activations as a slice into the scratch. Allocation-free
+    /// once the scratch capacities are warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` length differs from [`Mlp::in_dim`].
+    pub fn forward_into<'s>(&self, input: &[f32], scratch: &'s mut MlpScratch) -> &'s [f32] {
+        scratch.stage().extend_from_slice(input);
+        self.forward_staged(scratch)
+    }
+
+    /// Runs the network on the input previously staged via
+    /// [`MlpScratch::stage`]. Lets callers assemble the input in place
+    /// (features ‖ direction) without an intermediate copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the staged input length differs from [`Mlp::in_dim`].
+    pub fn forward_staged<'s>(&self, scratch: &'s mut MlpScratch) -> &'s [f32] {
+        assert_eq!(scratch.a.len(), self.in_dim(), "MLP input size mismatch");
         for layer in &self.layers {
-            layer.forward(&a, &mut b);
-            std::mem::swap(&mut a, &mut b);
+            layer.forward(&scratch.a, &mut scratch.b);
+            std::mem::swap(&mut scratch.a, &mut scratch.b);
         }
-        a
+        &scratch.a
     }
 
     /// Multiply-accumulate operations per inference (the paper's MLP cost
@@ -308,6 +362,27 @@ mod tests {
     fn wrong_input_length_panics() {
         let m = Mlp::passthrough_decoder(8, 32, 4);
         let _ = m.forward(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn forward_into_matches_forward_across_reuse() {
+        let m = Mlp::passthrough_decoder(10, 32, 7);
+        let mut scratch = MlpScratch::new();
+        for k in 0..4 {
+            let input: Vec<f32> = (0..10).map(|i| (i + k) as f32 * 0.3 - 1.0).collect();
+            let fresh = m.forward(&input);
+            let reused = m.forward_into(&input, &mut scratch);
+            assert_eq!(fresh.as_slice(), reused, "iteration {k}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn staged_input_length_is_checked() {
+        let m = Mlp::passthrough_decoder(8, 32, 4);
+        let mut scratch = MlpScratch::new();
+        scratch.stage().extend_from_slice(&[1.0, 2.0]);
+        let _ = m.forward_staged(&mut scratch);
     }
 
     #[test]

@@ -40,7 +40,12 @@ impl ModelKind {
 }
 
 /// A baked neural radiance field.
-pub trait NerfModel {
+///
+/// `Sync` is a supertrait: models are immutable at inference time, and the
+/// tile-parallel renderer ([`crate::tiles`]) shares one model reference
+/// across its worker threads. All three built-in families are plain data and
+/// satisfy it automatically.
+pub trait NerfModel: Sync {
     /// Model family.
     fn kind(&self) -> ModelKind;
 
@@ -56,6 +61,14 @@ pub trait NerfModel {
 
     /// The memory accesses a query at `p` performs (stage G's traffic).
     fn plan_at(&self, p: Vec3) -> GatherPlan;
+
+    /// Writes the gather plan at `p` into `out`, reusing its level buffer.
+    /// The renderer's per-sample path: allocation-free once `out` is warm.
+    /// The default falls back to [`NerfModel::plan_at`]; the built-in
+    /// families override it with true in-place fills.
+    fn plan_into(&self, p: Vec3, out: &mut GatherPlan) {
+        *out = self.plan_at(p);
+    }
 
     /// The decoder MLP (stage F).
     fn decoder(&self) -> &Decoder;
@@ -136,6 +149,9 @@ macro_rules! model_struct {
             }
             fn plan_at(&self, p: Vec3) -> GatherPlan {
                 self.encoding.gather_plan(p)
+            }
+            fn plan_into(&self, p: Vec3, out: &mut GatherPlan) {
+                self.encoding.gather_plan_into(p, out);
             }
             fn decoder(&self) -> &Decoder {
                 &self.decoder

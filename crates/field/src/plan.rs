@@ -67,6 +67,13 @@ impl GatherPlan {
     pub fn entry_reads(&self) -> u64 {
         self.levels.iter().map(|l| l.entry_count as u64).sum()
     }
+
+    /// Empties the plan, keeping the level buffer's capacity so it can be
+    /// refilled without allocating (the renderer reuses one plan per thread
+    /// across every sample).
+    pub fn clear(&mut self) {
+        self.levels.clear();
+    }
 }
 
 /// Receives the gather plan of every rendered ray sample.
@@ -77,6 +84,14 @@ impl GatherPlan {
 pub trait GatherSink {
     /// Called once per processed (non-skipped) ray sample.
     fn on_sample(&mut self, ray_id: u32, sample_t: f32, plan: &GatherPlan);
+
+    /// Whether this sink actually observes samples. The tile-parallel
+    /// renderer buffers per-tile sample streams so it can replay them to the
+    /// sink in deterministic tile order; sinks that discard everything
+    /// return `false` here so that buffering is skipped entirely.
+    fn observes_samples(&self) -> bool {
+        true
+    }
 }
 
 /// A sink that discards everything (for pure-quality rendering).
@@ -85,6 +100,10 @@ pub struct NullSink;
 
 impl GatherSink for NullSink {
     fn on_sample(&mut self, _ray_id: u32, _sample_t: f32, _plan: &GatherPlan) {}
+
+    fn observes_samples(&self) -> bool {
+        false
+    }
 }
 
 impl<F: FnMut(u32, f32, &GatherPlan)> GatherSink for F {

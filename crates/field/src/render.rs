@@ -9,8 +9,9 @@
 //! additionally produces the per-stage work counts that drive the hardware
 //! models (paper Fig. 3) and the memory traces (Fig. 4–6).
 
+use crate::mlp::MlpScratch;
 use crate::model::NerfModel;
-use crate::plan::GatherSink;
+use crate::plan::{GatherPlan, GatherSink};
 use cicero_math::{Camera, Vec3};
 use cicero_scene::ground_truth::Frame;
 use cicero_scene::volume::MarchParams;
@@ -75,6 +76,47 @@ impl RenderStats {
     }
 }
 
+/// Per-thread scratch buffers for the sample hot path.
+///
+/// One scratch serves one rendering thread: the feature vector, the gather
+/// plan and the MLP ping-pong activations are all reused across every sample
+/// the thread processes, so after the first sample warms the capacities the
+/// inner loop performs **zero heap allocations** (verified by the
+/// `zero_alloc` integration test). Buffer contents never leak between
+/// samples — each use clears before filling — so rendering through a reused
+/// scratch is bit-identical to rendering through a fresh one.
+#[derive(Debug, Clone, Default)]
+pub struct RenderScratch {
+    /// Interpolated feature vector of the current sample.
+    feats: Vec<f32>,
+    /// Gather plan of the current sample.
+    plan: GatherPlan,
+    /// Decoder MLP activations.
+    mlp: MlpScratch,
+}
+
+impl RenderScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// A mutable row band of an output frame: rows `y0..y1`, row-major, with
+/// `color`/`depth` indexed from the band's first row. The tile renderer hands
+/// each worker a band backed by tile-local buffers; the sequential path hands
+/// the whole frame.
+pub(crate) struct RowBand<'a> {
+    /// First row (inclusive).
+    pub y0: usize,
+    /// Last row (exclusive).
+    pub y1: usize,
+    /// Band pixels, `(y - y0) * width + x`.
+    pub color: &'a mut [Vec3],
+    /// Band depths, same indexing.
+    pub depth: &'a mut [f32],
+}
+
 /// Renders a full frame, returning the frame and work statistics.
 ///
 /// Every processed sample's [`crate::GatherPlan`] is forwarded to `sink`.
@@ -91,8 +133,19 @@ pub fn render_full<M: NerfModel + ?Sized, S: GatherSink>(
     (frame, stats)
 }
 
+std::thread_local! {
+    /// Per-thread fallback scratch for callers that don't carry their own:
+    /// frame loops going through [`render_masked`] (and the tile engine's
+    /// sequential path) stay allocation-free across frames, not just within
+    /// one. Taken out of the cell during the render (`mem::take`) so a
+    /// re-entrant render from a sink callback degrades to a cold scratch
+    /// instead of a `RefCell` panic.
+    static THREAD_SCRATCH: std::cell::RefCell<RenderScratch> =
+        std::cell::RefCell::new(RenderScratch::new());
+}
+
 /// Renders the pixels selected by `mask` (or all pixels when `None`) into an
-/// existing frame.
+/// existing frame, through a per-thread reused scratch.
 ///
 /// # Panics
 ///
@@ -105,6 +158,28 @@ pub fn render_masked<M: NerfModel + ?Sized, S: GatherSink>(
     frame: &mut Frame,
     sink: &mut S,
 ) -> RenderStats {
+    let mut scratch = THREAD_SCRATCH.with(|s| std::mem::take(&mut *s.borrow_mut()));
+    let stats = render_masked_with(model, camera, opts, mask, frame, sink, &mut scratch);
+    THREAD_SCRATCH.with(|s| *s.borrow_mut() = scratch);
+    stats
+}
+
+/// [`render_masked`] through caller-provided scratch, so repeated renders
+/// (frame sequences, benchmark loops) reuse the hot-path buffers. The result
+/// is bit-identical to [`render_masked`].
+///
+/// # Panics
+///
+/// Panics if the mask length or frame dimensions mismatch the camera.
+pub fn render_masked_with<M: NerfModel + ?Sized, S: GatherSink>(
+    model: &M,
+    camera: &Camera,
+    opts: &RenderOptions,
+    mask: Option<&[bool]>,
+    frame: &mut Frame,
+    sink: &mut S,
+    scratch: &mut RenderScratch,
+) -> RenderStats {
     let (w, h) = (camera.intrinsics.width, camera.intrinsics.height);
     if let Some(m) = mask {
         assert_eq!(m.len(), w * h, "mask must cover every pixel");
@@ -114,15 +189,37 @@ pub fn render_masked<M: NerfModel + ?Sized, S: GatherSink>(
         (w, h),
         "frame/camera size mismatch"
     );
+    let band = RowBand {
+        y0: 0,
+        y1: h,
+        color: frame.color.pixels_mut(),
+        depth: frame.depth.pixels_mut(),
+    };
+    render_rows(model, camera, opts, mask, band, sink, scratch)
+}
 
+/// The sample hot path: marches every (masked) ray of rows `out.y0..out.y1`
+/// into the band buffers. All per-sample state lives in `scratch`; the loop
+/// allocates nothing. Both the sequential renderers and the tile workers of
+/// [`crate::tiles`] funnel through here, which is what makes the parallel
+/// output bit-identical to the sequential one.
+pub(crate) fn render_rows<M: NerfModel + ?Sized, S: GatherSink>(
+    model: &M,
+    camera: &Camera,
+    opts: &RenderOptions,
+    mask: Option<&[bool]>,
+    out: RowBand<'_>,
+    sink: &mut S,
+    scratch: &mut RenderScratch,
+) -> RenderStats {
+    let w = camera.intrinsics.width;
     let mut stats = RenderStats::default();
     let bounds = model.bounds();
     let decoder = model.decoder();
     let macs_per_sample = decoder.modeled_macs_per_sample();
     let background = model.background();
-    let mut feats: Vec<f32> = Vec::new();
 
-    for y in 0..h {
+    for y in out.y0..out.y1 {
         for x in 0..w {
             if let Some(m) = mask {
                 if !m[y * w + x] {
@@ -153,14 +250,15 @@ pub fn render_masked<M: NerfModel + ?Sized, S: GatherSink>(
                         continue;
                     }
                     // Stage G: gather + interpolate features.
-                    let plan = model.plan_at(p);
-                    sink.on_sample(ray_id, t, &plan);
+                    model.plan_into(p, &mut scratch.plan);
+                    sink.on_sample(ray_id, t, &scratch.plan);
                     stats.samples_processed += 1;
-                    stats.gather_entry_reads += plan.entry_reads();
-                    stats.gather_bytes += plan.bytes();
-                    model.features_into(p, &mut feats);
+                    stats.gather_entry_reads += scratch.plan.entry_reads();
+                    stats.gather_bytes += scratch.plan.bytes();
+                    model.features_into(p, &mut scratch.feats);
                     // Stage F: decode.
-                    let (sigma, radiance) = decoder.decode(&feats, ray.dir);
+                    let (sigma, radiance) =
+                        decoder.decode_into(&scratch.feats, ray.dir, &mut scratch.mlp);
                     stats.mlp_macs += macs_per_sample;
                     if sigma <= 0.0 {
                         continue;
@@ -179,8 +277,9 @@ pub fn render_masked<M: NerfModel + ?Sized, S: GatherSink>(
             }
 
             color += background * transmittance;
-            *frame.color.get_mut(x, y) = color;
-            *frame.depth.get_mut(x, y) = if opacity_acc >= opts.march.surface_opacity {
+            let idx = (y - out.y0) * w + x;
+            out.color[idx] = color;
+            out.depth[idx] = if opacity_acc >= opts.march.surface_opacity {
                 (depth_acc / opacity_acc) * camera.z_scale(u, v)
             } else {
                 f32::INFINITY

@@ -1,0 +1,401 @@
+//! Tile-parallel frame rendering.
+//!
+//! The paper's SoC pool is simulated, but wall-clock rendering on the host
+//! was single-threaded until this module: a frame is partitioned into
+//! fixed-height row-band tiles, the tiles are rendered by scoped worker
+//! threads (`std::thread::scope`, no external dependencies), and the per-tile
+//! results are merged **deterministically in tile order**. Because every tile
+//! runs the exact same per-pixel code as the sequential renderer (see
+//! [`crate::render`]'s `render_rows`) and the merge is order-fixed, the
+//! output frame, the [`RenderStats`] and the [`GatherSink`] sample stream are
+//! all bit-identical to the sequential path at **any** thread count.
+//!
+//! Sample streams: observing sinks (memory-traffic replays) are inherently
+//! sequential, so each tile buffers its samples into a private trace and the
+//! merge replays the traces tile by tile. Sinks that discard samples
+//! ([`crate::NullSink`]; [`GatherSink::observes_samples`] returns `false`)
+//! skip the buffering entirely — the common quality-rendering path carries no
+//! trace overhead.
+
+use crate::model::NerfModel;
+use crate::plan::{GatherPlan, GatherSink, LevelGather, NullSink};
+use crate::render::{render_rows, RenderOptions, RenderScratch, RenderStats, RowBand};
+use cicero_math::{Camera, Vec3};
+use cicero_scene::ground_truth::Frame;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Tile-engine options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileOptions {
+    /// Worker threads. `1` renders inline on the calling thread (identical
+    /// code path, no spawn); values are clamped to at least 1.
+    pub threads: usize,
+    /// Tile height in rows. Tiles are full-width row bands so that merging
+    /// in tile order reproduces the sequential row-major pixel order. Frames
+    /// shorter than `threads × tile_rows` use proportionally shorter tiles
+    /// so every worker still gets one.
+    pub tile_rows: usize,
+}
+
+impl Default for TileOptions {
+    fn default() -> Self {
+        TileOptions {
+            threads: 1,
+            tile_rows: 32,
+        }
+    }
+}
+
+impl TileOptions {
+    /// Options with the given thread count and the default tile height.
+    pub fn with_threads(threads: usize) -> Self {
+        TileOptions {
+            threads: threads.max(1),
+            ..Default::default()
+        }
+    }
+}
+
+/// Reads the `RENDER_THREADS` environment variable (the CI matrix and the
+/// examples use it), defaulting to 1 — parallelism is opt-in so that
+/// experiment harnesses stay reproducible run-to-run by default.
+pub fn env_render_threads() -> usize {
+    std::env::var("RENDER_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
+/// One tile's buffered sample stream: flat event records plus a shared
+/// level arena, so buffering a sample never allocates per-event beyond the
+/// amortized `Vec` growth.
+#[derive(Debug, Default)]
+struct TileTrace {
+    /// `(ray_id, sample_t, level_count)` per processed sample.
+    events: Vec<(u32, f32, u32)>,
+    /// Concatenated levels of every buffered plan.
+    levels: Vec<LevelGather>,
+}
+
+impl GatherSink for TileTrace {
+    fn on_sample(&mut self, ray_id: u32, sample_t: f32, plan: &GatherPlan) {
+        self.events
+            .push((ray_id, sample_t, plan.levels.len() as u32));
+        self.levels.extend_from_slice(&plan.levels);
+    }
+}
+
+impl TileTrace {
+    /// Replays the buffered samples into `sink` through a reusable plan.
+    fn replay<S: GatherSink>(&self, sink: &mut S, plan: &mut GatherPlan) {
+        let mut off = 0usize;
+        for &(ray_id, sample_t, n) in &self.events {
+            plan.clear();
+            plan.levels
+                .extend_from_slice(&self.levels[off..off + n as usize]);
+            off += n as usize;
+            sink.on_sample(ray_id, sample_t, plan);
+        }
+    }
+}
+
+/// One rendered tile, produced by a worker and merged by the caller.
+struct TileOut {
+    y0: usize,
+    y1: usize,
+    color: Vec<Vec3>,
+    depth: Vec<f32>,
+    stats: RenderStats,
+    trace: Option<TileTrace>,
+}
+
+/// Renders the pixels selected by `mask` (or all pixels when `None`) into an
+/// existing frame, tile-parallel.
+///
+/// Bit-identical to [`crate::render::render_masked`] — frame, stats and sink
+/// stream — at any `tile.threads`. With `threads == 1` it *is* the
+/// sequential path (no tiles, no buffering).
+///
+/// # Panics
+///
+/// Panics if the mask length or frame dimensions mismatch the camera, or if
+/// a worker thread panics.
+pub fn render_tiled<M: NerfModel + ?Sized, S: GatherSink>(
+    model: &M,
+    camera: &Camera,
+    opts: &RenderOptions,
+    mask: Option<&[bool]>,
+    frame: &mut Frame,
+    sink: &mut S,
+    tile: &TileOptions,
+) -> RenderStats {
+    let (w, h) = (camera.intrinsics.width, camera.intrinsics.height);
+    if let Some(m) = mask {
+        assert_eq!(m.len(), w * h, "mask must cover every pixel");
+    }
+    assert_eq!(
+        (frame.width(), frame.height()),
+        (w, h),
+        "frame/camera size mismatch"
+    );
+
+    // Shrink tiles when the frame is shorter than `threads × tile_rows`, so
+    // small frames still split across every worker instead of collapsing to
+    // one tile (tiling never affects results, only load balance).
+    let threads = tile.threads.max(1);
+    let tile_rows = tile.tile_rows.max(1).min(h.div_ceil(threads).max(1));
+    let n_tiles = h.div_ceil(tile_rows);
+    let workers = threads.min(n_tiles.max(1));
+    if workers <= 1 {
+        // Sequential path: render_masked reuses a per-thread scratch, so
+        // frame loops stay allocation-free across frames too.
+        return crate::render::render_masked(model, camera, opts, mask, frame, sink);
+    }
+
+    let buffer_trace = sink.observes_samples();
+    let next_tile = AtomicUsize::new(0);
+    let mut slots: Vec<Option<TileOut>> = (0..n_tiles).map(|_| None).collect();
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next_tile = &next_tile;
+                s.spawn(move || {
+                    let mut scratch = RenderScratch::new();
+                    let mut done: Vec<(usize, TileOut)> = Vec::new();
+                    loop {
+                        let t = next_tile.fetch_add(1, Ordering::Relaxed);
+                        if t >= n_tiles {
+                            break;
+                        }
+                        let y0 = t * tile_rows;
+                        let y1 = ((t + 1) * tile_rows).min(h);
+                        let mut color = vec![Vec3::ZERO; (y1 - y0) * w];
+                        let mut depth = vec![f32::INFINITY; (y1 - y0) * w];
+                        let band = RowBand {
+                            y0,
+                            y1,
+                            color: &mut color,
+                            depth: &mut depth,
+                        };
+                        let (stats, trace) = if buffer_trace {
+                            let mut trace = TileTrace::default();
+                            let stats = render_rows(
+                                model,
+                                camera,
+                                opts,
+                                mask,
+                                band,
+                                &mut trace,
+                                &mut scratch,
+                            );
+                            (stats, Some(trace))
+                        } else {
+                            let stats = render_rows(
+                                model,
+                                camera,
+                                opts,
+                                mask,
+                                band,
+                                &mut NullSink,
+                                &mut scratch,
+                            );
+                            (stats, None)
+                        };
+                        done.push((
+                            t,
+                            TileOut {
+                                y0,
+                                y1,
+                                color,
+                                depth,
+                                stats,
+                                trace,
+                            },
+                        ));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (t, out) in handle.join().expect("tile render worker panicked") {
+                slots[t] = Some(out);
+            }
+        }
+    });
+
+    // Deterministic merge: tiles in ascending order. Tiles are full-width row
+    // bands, so this order equals the sequential row-major order — the sink
+    // sees the exact sample stream the sequential renderer would produce.
+    let mut stats = RenderStats::default();
+    let frame_color = frame.color.pixels_mut();
+    let frame_depth = frame.depth.pixels_mut();
+    let mut replay_plan = GatherPlan::default();
+    for slot in slots {
+        let out = slot.expect("every tile was claimed by a worker");
+        match mask {
+            // Unmasked: blit whole rows.
+            None => {
+                let rows = (out.y1 - out.y0) * w;
+                frame_color[out.y0 * w..out.y0 * w + rows].copy_from_slice(&out.color);
+                frame_depth[out.y0 * w..out.y0 * w + rows].copy_from_slice(&out.depth);
+            }
+            // Masked: unmasked pixels keep their previous frame content
+            // (sparse SPARW renders write into warped frames).
+            Some(m) => {
+                for y in out.y0..out.y1 {
+                    for x in 0..w {
+                        if m[y * w + x] {
+                            frame_color[y * w + x] = out.color[(y - out.y0) * w + x];
+                            frame_depth[y * w + x] = out.depth[(y - out.y0) * w + x];
+                        }
+                    }
+                }
+            }
+        }
+        stats.accumulate(&out.stats);
+        if let Some(trace) = &out.trace {
+            trace.replay(sink, &mut replay_plan);
+        }
+    }
+    stats
+}
+
+/// Renders a full frame tile-parallel, returning the frame and statistics.
+/// Bit-identical to [`crate::render::render_full`] at any thread count.
+pub fn render_full_tiled<M: NerfModel + ?Sized, S: GatherSink>(
+    model: &M,
+    camera: &Camera,
+    opts: &RenderOptions,
+    sink: &mut S,
+    tile: &TileOptions,
+) -> (Frame, RenderStats) {
+    let (w, h) = (camera.intrinsics.width, camera.intrinsics.height);
+    let mut frame =
+        cicero_scene::ground_truth::background_frame(&crate::model::ModelSource(model), w, h);
+    let stats = render_tiled(model, camera, opts, None, &mut frame, sink, tile);
+    (frame, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bake;
+    use crate::encoding::grid::GridConfig;
+    use crate::render::{render_full, render_masked};
+    use cicero_math::{Intrinsics, Pose};
+    use cicero_scene::library;
+
+    fn setup() -> (crate::GridModel, Camera) {
+        let scene = library::scene_by_name("lego").unwrap();
+        let model = bake::bake_grid(
+            &scene,
+            &GridConfig {
+                resolution: 32,
+                ..Default::default()
+            },
+        );
+        let cam = Camera::new(
+            Intrinsics::from_fov(40, 40, 0.9),
+            Pose::look_at(
+                cicero_math::Vec3::new(0.0, 1.2, -2.6),
+                cicero_math::Vec3::ZERO,
+                cicero_math::Vec3::Y,
+            ),
+        );
+        (model, cam)
+    }
+
+    #[test]
+    fn tiled_full_render_matches_sequential_bitwise() {
+        let (model, cam) = setup();
+        let opts = RenderOptions::default();
+        let (seq_frame, seq_stats) = render_full(&model, &cam, &opts, &mut NullSink);
+        for threads in [1, 2, 3, 8] {
+            let (par_frame, par_stats) = render_full_tiled(
+                &model,
+                &cam,
+                &opts,
+                &mut NullSink,
+                &TileOptions {
+                    threads,
+                    tile_rows: 7, // deliberately ragged vs the 40-row frame
+                },
+            );
+            assert_eq!(par_frame, seq_frame, "{threads} threads");
+            assert_eq!(par_stats, seq_stats, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn tiled_sink_stream_matches_sequential_order() {
+        let (model, cam) = setup();
+        let opts = RenderOptions::default();
+        let collect = |threads: usize| {
+            let mut events: Vec<(u32, f32, u64)> = Vec::new();
+            let mut sink = |ray: u32, t: f32, p: &GatherPlan| events.push((ray, t, p.bytes()));
+            if threads == 0 {
+                render_full(&model, &cam, &opts, &mut sink);
+            } else {
+                render_full_tiled(
+                    &model,
+                    &cam,
+                    &opts,
+                    &mut sink,
+                    &TileOptions {
+                        threads,
+                        tile_rows: 5,
+                    },
+                );
+            }
+            events
+        };
+        let seq = collect(0);
+        assert!(!seq.is_empty());
+        for threads in [2, 3, 8] {
+            assert_eq!(collect(threads), seq, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn tiled_masked_render_preserves_unmasked_pixels() {
+        let (model, cam) = setup();
+        let opts = RenderOptions::default();
+        let (w, h) = (40, 40);
+        let mut mask = vec![false; w * h];
+        for (i, m) in mask.iter_mut().enumerate() {
+            *m = i % 3 == 0;
+        }
+        let src = crate::model::ModelSource(&model);
+        let sentinel = cicero_math::Vec3::new(0.123, 0.456, 0.789);
+        let mut seq = cicero_scene::ground_truth::background_frame(&src, w, h);
+        let mut par = cicero_scene::ground_truth::background_frame(&src, w, h);
+        for f in [&mut seq, &mut par] {
+            *f.color.get_mut(1, 1) = sentinel; // unmasked: must survive
+        }
+        let s1 = render_masked(&model, &cam, &opts, Some(&mask), &mut seq, &mut NullSink);
+        let s2 = render_tiled(
+            &model,
+            &cam,
+            &opts,
+            Some(&mask),
+            &mut par,
+            &mut NullSink,
+            &TileOptions {
+                threads: 4,
+                tile_rows: 6,
+            },
+        );
+        assert_eq!(par, seq);
+        assert_eq!(s1, s2);
+        assert_eq!(*par.color.get(1, 1), sentinel);
+    }
+
+    #[test]
+    fn env_threads_defaults_to_one() {
+        // The test runner does not set RENDER_THREADS=0; parsing rejects it.
+        assert!(env_render_threads() >= 1);
+    }
+}

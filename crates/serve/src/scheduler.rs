@@ -54,6 +54,13 @@ pub struct ServeConfig {
     /// poses, so looking further ahead would use client poses that have not
     /// arrived yet.
     pub lookahead: Option<usize>,
+    /// Host worker threads per frame render/warp (the tile engine of
+    /// `cicero_field::tiles`). `0` keeps each session's own
+    /// `PipelineConfig::render_threads`; any other value overrides it for
+    /// every admitted session, so a server deployment saturates its machine
+    /// regardless of what clients asked for. Wall-clock only: frames and
+    /// simulated timings are bit-identical at any value.
+    pub render_threads: usize,
 }
 
 /// A multi-session frame-serving engine over borrowed scene assets.
@@ -113,6 +120,13 @@ impl<'a> FrameServer<'a> {
         traj: &'a Trajectory,
         intrinsics: Intrinsics,
     ) -> Result<SessionId, AdmissionError> {
+        let mut spec = spec;
+        if self.cfg.render_threads > 0 {
+            // Server-side override: the host's parallelism budget belongs to
+            // the deployment, not the client. Bit-identical output, so this
+            // never affects cache sharing or reported quality.
+            spec.config.render_threads = self.cfg.render_threads;
+        }
         let fps = traj.fps() as f64;
         assert!(fps > 0.0, "trajectory fps must be positive");
         let est_load = self.admission.admit(&spec, intrinsics, fps)?;
@@ -669,6 +683,33 @@ mod tests {
         );
         assert!(r2.makespan_s >= r1.makespan_s);
         assert!(r2.pool_utilization > 0.0 && r2.pool_utilization <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn render_threads_override_keeps_the_timeline_bit_identical() {
+        let (scene, model, traj) = assets();
+        let k = Intrinsics::from_fov(24, 24, 0.9);
+        let run_with = |render_threads: usize| {
+            let mut server = FrameServer::new(ServeConfig {
+                render_threads,
+                ..Default::default()
+            });
+            server
+                .submit(spec("a", QosClass::Standard, 0.0), &scene, &model, &traj, k)
+                .unwrap();
+            server.run()
+        };
+        let seq = run_with(0);
+        let par = run_with(3);
+        // Parallelism is wall-clock only: the simulated service timeline and
+        // every report field must match exactly.
+        assert_eq!(par.frames, seq.frames);
+        assert_eq!(par.makespan_s, seq.makespan_s);
+        assert_eq!(par.p99_latency_s, seq.p99_latency_s);
+        assert_eq!(
+            par.sessions[0].mean_latency_s,
+            seq.sessions[0].mean_latency_s
+        );
     }
 
     #[test]

@@ -6,7 +6,11 @@
 //! drains them through the `cicero-serve` batch scheduler. Co-located
 //! sessions share reference renders through the pose-quantized cache.
 //!
-//! Run with `cargo run --release --example serve_swarm`.
+//! Run with `cargo run --release --example serve_swarm [-- THREADS]`.
+//! `THREADS` sets the host render-thread count (default: the
+//! `RENDER_THREADS` environment variable, then 1), so the swarm demo doubles
+//! as a host-scaling demo: frames are bit-identical at any count, only the
+//! wall-clock frames/sec moves.
 
 use cicero::pipeline::PipelineConfig;
 use cicero::{Scenario, Variant};
@@ -31,11 +35,17 @@ struct SceneAssets {
 }
 
 fn main() {
+    let render_threads: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("usage: serve_swarm [render-threads]"))
+        .unwrap_or_else(cicero_field::env_render_threads)
+        .max(1);
     println!("==========================================================");
     println!(
-        "serve_swarm: {} sessions over {} scenes",
+        "serve_swarm: {} sessions over {} scenes, {} render thread(s)",
         SCENES.len() * VIEWERS_PER_SCENE,
-        SCENES.len()
+        SCENES.len(),
+        render_threads
     );
     println!("==========================================================");
 
@@ -67,6 +77,7 @@ fn main() {
             workers: 6,
             ..Default::default()
         },
+        render_threads,
         ..Default::default()
     });
 
@@ -143,7 +154,9 @@ fn main() {
     }
 
     let sessions = server.session_count();
+    let wall_start = std::time::Instant::now();
     let report = server.run();
+    let wall_s = wall_start.elapsed().as_secs_f64();
 
     println!("\nper-session summary:");
     println!(
@@ -190,6 +203,13 @@ fn main() {
         "  pool                      {} workers at {:.0}% utilization",
         report.workers,
         report.pool_utilization * 100.0
+    );
+    println!(
+        "  host                      {} render thread(s): {} frames in {:.2} s wall clock ({:.1} frames/s)",
+        render_threads,
+        report.frames,
+        wall_s,
+        report.frames as f64 / wall_s.max(1e-9)
     );
 
     assert!(sessions >= 24, "swarm must run at least 24 sessions");

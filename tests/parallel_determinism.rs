@@ -1,0 +1,188 @@
+//! Tile-parallel rendering and warping must be *bit-identical* to the
+//! sequential paths — for every thread count, scene, model family and
+//! pipeline variant. This is the contract that makes `render_threads` a pure
+//! wall-clock knob: experiment reproducibility, the serve layer's reference
+//! cache and the simulated timelines all rely on it.
+
+use cicero::pipeline::{run_pipeline, PipelineConfig};
+use cicero::sparw::{warp_frame, warp_frame_with, WarpOptions, WarpScratch};
+use cicero::Variant;
+use cicero_field::tiles::{render_full_tiled, TileOptions};
+use cicero_field::{bake, render::render_full, GatherPlan, HashConfig, RenderOptions};
+use cicero_math::{Camera, Intrinsics, Pose, Vec3};
+use cicero_scene::ground_truth::render_frame;
+use cicero_scene::volume::MarchParams;
+use cicero_scene::{library, RadianceSource, Trajectory};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 3, 8];
+
+fn fast_cfg(variant: Variant, threads: usize) -> PipelineConfig {
+    PipelineConfig {
+        variant,
+        window: 3,
+        march: MarchParams {
+            step: 0.05,
+            ..Default::default()
+        },
+        collect_quality: false,
+        collect_traffic: false,
+        render_threads: threads,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn tiled_render_is_bit_identical_across_scenes_models_and_threads() {
+    for scene_name in ["lego", "chair"] {
+        let scene = library::scene_by_name(scene_name).unwrap();
+        let models: [Box<dyn cicero_field::NerfModel>; 2] = [
+            Box::new(bake::bake_grid(
+                &scene,
+                &cicero_field::GridConfig {
+                    resolution: 24,
+                    ..Default::default()
+                },
+            )),
+            Box::new(bake::bake_hash(
+                &scene,
+                &HashConfig {
+                    levels: 4,
+                    base_resolution: 4,
+                    max_resolution: 24,
+                    table_size_log2: 10,
+                    ..Default::default()
+                },
+            )),
+        ];
+        let cam = Camera::new(
+            Intrinsics::from_fov(33, 33, 0.9), // odd size: ragged last tile
+            Pose::look_at(Vec3::new(0.3, 1.2, -2.6), Vec3::ZERO, Vec3::Y),
+        );
+        let opts = RenderOptions::default();
+        for model in &models {
+            let model = model.as_ref();
+            let mut seq_events: Vec<(u32, f32, u64)> = Vec::new();
+            let mut seq_sink =
+                |ray: u32, t: f32, p: &GatherPlan| seq_events.push((ray, t, p.bytes()));
+            let (seq_frame, seq_stats) = render_full(model, &cam, &opts, &mut seq_sink);
+            for threads in THREAD_COUNTS {
+                let mut events: Vec<(u32, f32, u64)> = Vec::new();
+                let mut sink = |ray: u32, t: f32, p: &GatherPlan| events.push((ray, t, p.bytes()));
+                let (frame, stats) = render_full_tiled(
+                    model,
+                    &cam,
+                    &opts,
+                    &mut sink,
+                    &TileOptions {
+                        threads,
+                        tile_rows: 8,
+                    },
+                );
+                assert_eq!(frame, seq_frame, "{scene_name}: {threads} threads");
+                assert_eq!(stats, seq_stats, "{scene_name}: {threads} threads");
+                assert_eq!(
+                    events, seq_events,
+                    "{scene_name}: sink stream, {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_warp_is_bit_identical_across_scenes_and_threads() {
+    for scene_name in ["lego", "ship"] {
+        let scene = library::scene_by_name(scene_name).unwrap();
+        let k = Intrinsics::from_fov(48, 48, 0.9);
+        let ref_cam = Camera::new(
+            k,
+            Pose::look_at(Vec3::new(0.0, 1.3, -2.8), Vec3::ZERO, Vec3::Y),
+        );
+        let tgt_cam = Camera::new(
+            k,
+            Pose::look_at(Vec3::new(0.25, 1.2, -2.7), Vec3::ZERO, Vec3::Y),
+        );
+        let reference = render_frame(&scene, &ref_cam, &MarchParams::default());
+        let opts = WarpOptions::default();
+        let seq = warp_frame(&reference, &ref_cam, &tgt_cam, scene.background(), &opts);
+        let mut scratch = WarpScratch::new();
+        for threads in THREAD_COUNTS {
+            let par = warp_frame_with(
+                &reference,
+                &ref_cam,
+                &tgt_cam,
+                scene.background(),
+                &opts,
+                &mut scratch,
+                threads,
+            );
+            assert_eq!(par.frame, seq.frame, "{scene_name}: {threads} threads");
+            assert_eq!(par.status, seq.status, "{scene_name}: {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn pipeline_runs_are_bit_identical_across_thread_counts() {
+    for scene_name in ["lego", "chair"] {
+        let scene = library::scene_by_name(scene_name).unwrap();
+        let model = bake::bake_grid(
+            &scene,
+            &cicero_field::GridConfig {
+                resolution: 24,
+                ..Default::default()
+            },
+        );
+        let traj = Trajectory::orbit(&scene, 6, 30.0);
+        let k = Intrinsics::from_fov(32, 32, 0.9);
+        for variant in [Variant::Sparw, Variant::Cicero] {
+            let seq = run_pipeline(&scene, &model, &traj, k, &fast_cfg(variant, 1));
+            for threads in [2, 3, 8] {
+                let par = run_pipeline(&scene, &model, &traj, k, &fast_cfg(variant, threads));
+                assert_eq!(
+                    par.frames, seq.frames,
+                    "{scene_name}/{variant:?}: frames differ at {threads} threads"
+                );
+                assert_eq!(par.warp_totals, seq.warp_totals);
+                for (p, s) in par.outcomes.iter().zip(&seq.outcomes) {
+                    assert_eq!(
+                        p.report.time_s, s.report.time_s,
+                        "{scene_name}/{variant:?}: simulated time drifted at {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn traffic_collection_is_deterministic_under_parallel_rendering() {
+    // The memory simulators replay the gather stream; tile traces must hand
+    // them the exact sequential order or the modeled timings would drift.
+    let scene = library::scene_by_name("lego").unwrap();
+    let model = bake::bake_grid(
+        &scene,
+        &cicero_field::GridConfig {
+            resolution: 20,
+            ..Default::default()
+        },
+    );
+    let traj = Trajectory::orbit(&scene, 4, 30.0);
+    let k = Intrinsics::from_fov(24, 24, 0.9);
+    for variant in [Variant::Cicero, Variant::Sparw] {
+        let mut cfg = fast_cfg(variant, 1);
+        cfg.collect_traffic = true;
+        let seq = run_pipeline(&scene, &model, &traj, k, &cfg);
+        cfg.render_threads = 4;
+        let par = run_pipeline(&scene, &model, &traj, k, &cfg);
+        assert_eq!(par.frames, seq.frames);
+        for (p, s) in par.outcomes.iter().zip(&seq.outcomes) {
+            assert_eq!(p.report.time_s, s.report.time_s, "{variant:?}");
+            assert_eq!(
+                p.report.energy.total(),
+                s.report.energy.total(),
+                "{variant:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! The renderer's inner sample loop must perform **zero heap allocations**
+//! once its per-thread scratch is warm (ISSUE 2 acceptance criterion; the
+//! paper's thesis is that per-sample overheads, not FLOPs, dominate neural
+//! rendering). A counting global allocator measures a full warmed-up frame
+//! render: the second render through the same scratch must not allocate at
+//! all.
+//!
+//! This file deliberately contains a single `#[test]` — the counter is
+//! process-global, and concurrent tests in the same binary would perturb it.
+
+use cicero_field::render::{render_masked, render_masked_with, RenderOptions, RenderScratch};
+use cicero_field::{bake, GridConfig, HashConfig, NerfModel, NullSink, TensorConfig};
+use cicero_math::{Camera, Intrinsics, Pose, Vec3};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+// SAFETY: delegates every operation to the system allocator unchanged; the
+// wrapper only increments a counter.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn warmed_sample_loop_performs_zero_heap_allocations() {
+    let scene = cicero_scene::library::scene_by_name("lego").unwrap();
+    let models: [(&str, Box<dyn NerfModel>); 3] = [
+        (
+            "grid",
+            Box::new(bake::bake_grid(
+                &scene,
+                &GridConfig {
+                    resolution: 24,
+                    ..Default::default()
+                },
+            )),
+        ),
+        (
+            "hash",
+            Box::new(bake::bake_hash(
+                &scene,
+                &HashConfig {
+                    levels: 4,
+                    base_resolution: 4,
+                    max_resolution: 24,
+                    table_size_log2: 10,
+                    ..Default::default()
+                },
+            )),
+        ),
+        (
+            "tensor",
+            Box::new(bake::bake_tensor(
+                &scene,
+                &TensorConfig {
+                    resolution: 24,
+                    ..Default::default()
+                },
+            )),
+        ),
+    ];
+    let cam = Camera::new(
+        Intrinsics::from_fov(32, 32, 0.9),
+        Pose::look_at(Vec3::new(0.0, 1.2, -2.6), Vec3::ZERO, Vec3::Y),
+    );
+    let opts = RenderOptions::default();
+
+    for (name, model) in &models {
+        let model = model.as_ref();
+        let mut frame =
+            cicero_scene::ground_truth::background_frame(&cicero_field::ModelSource(model), 32, 32);
+        let mut scratch = RenderScratch::new();
+        // Warm-up: grows every scratch capacity (features, plan levels, MLP
+        // ping-pong activations) to its steady-state size.
+        let warm = render_masked_with(
+            model,
+            &cam,
+            &opts,
+            None,
+            &mut frame,
+            &mut NullSink,
+            &mut scratch,
+        );
+        assert!(warm.samples_processed > 0, "{name}: no samples rendered");
+
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        let stats = render_masked_with(
+            model,
+            &cam,
+            &opts,
+            None,
+            &mut frame,
+            &mut NullSink,
+            &mut scratch,
+        );
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        assert_eq!(
+            after - before,
+            0,
+            "{name}: warmed render of {} samples allocated {} times",
+            stats.samples_processed,
+            after - before
+        );
+
+        // The scratch-less public entry point reuses a per-thread scratch,
+        // so the default pipeline path is also allocation-free once warm.
+        render_masked(model, &cam, &opts, None, &mut frame, &mut NullSink);
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        render_masked(model, &cam, &opts, None, &mut frame, &mut NullSink);
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        assert_eq!(
+            after - before,
+            0,
+            "{name}: warmed render_masked (thread-local scratch) allocated {} times",
+            after - before
+        );
+    }
+}
