@@ -1,0 +1,62 @@
+//! Spawn overhead: scoped `std::thread` crews vs the persistent render pool.
+//!
+//! Two families of measurements:
+//!
+//! - **Dispatch only** — an empty 4-lane pass through a warm pool checkout
+//!   vs spawning (and joining) a 4-thread `std::thread::scope` crew. This is
+//!   the fixed per-frame parallelism tax the pool removes.
+//! - **Small-frame renders** — a full 64×64 render through the pool engine
+//!   ([`render_full_tiled`]) vs the legacy scoped engine
+//!   ([`render_full_tiled_scoped`]). At this size the crew used to cost a
+//!   measurable share of the frame.
+//!
+//! `parallel_baseline` (the `cicero-bench` binary) records the same
+//! comparison — plus the 200×200/800×800 sizes and the warp per-pass
+//! breakdown — to `results/bench_parallel.json`.
+
+use cicero_bench::{bench_camera, bench_model};
+use cicero_field::pool::RenderPool;
+use cicero_field::tiles::{render_full_tiled, render_full_tiled_scoped, TileOptions};
+use cicero_field::{NullSink, RenderOptions};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_pool_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pool_overhead");
+    g.sample_size(20);
+
+    // Fixed cost of standing up 4 parallel lanes, no work inside.
+    g.bench_function("dispatch/scoped_4t", |b| {
+        b.iter(|| {
+            std::thread::scope(|s| {
+                for _ in 0..3 {
+                    s.spawn(|| black_box(0u64));
+                }
+                black_box(0u64)
+            })
+        })
+    });
+    g.bench_function("dispatch/pool_4t", |b| {
+        let co = RenderPool::global().checkout(3);
+        b.iter(|| {
+            co.run(|lane| {
+                black_box(lane);
+            })
+        })
+    });
+
+    // The same small frame through both engines.
+    let model = bench_model();
+    let opts = RenderOptions::default();
+    let cam = bench_camera(64);
+    let tile = TileOptions::with_threads(4);
+    g.bench_function("render64/pool_4t", |b| {
+        b.iter(|| render_full_tiled(&model, &cam, &opts, &mut NullSink, &tile))
+    });
+    g.bench_function("render64/scoped_4t", |b| {
+        b.iter(|| render_full_tiled_scoped(&model, &cam, &opts, &mut NullSink, &tile))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pool_overhead);
+criterion_main!(benches);

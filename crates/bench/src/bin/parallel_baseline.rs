@@ -1,34 +1,61 @@
-//! `parallel_baseline` — measures tile-parallel render throughput and saves
-//! a JSON baseline, `--save-baseline`-style.
+//! `parallel_baseline` — measures host render/warp throughput and saves a
+//! JSON baseline, `--save-baseline`-style.
 //!
 //! ```text
 //! cargo run --release -p cicero-bench --bin parallel_baseline -- \
-//!     [--out results/bench_parallel.json] [--size 800] \
+//!     [--out results/bench_parallel.json] [--sizes 64,200,800] \
 //!     [--threads 1,2,4,8] [--samples 3]
 //! ```
 //!
-//! Renders a `size × size` frame of the shared bench model through
-//! `cicero_field::tiles` at each thread count (one warm-up plus `samples`
-//! timed renders), prints the sweep, and writes the measurements — including
-//! the host's available parallelism, without which the numbers are
-//! meaningless — to the output file.
+//! Three measurement families, all recorded to the output file together
+//! with the host's available parallelism (without which the numbers are
+//! meaningless):
+//!
+//! - **render sweep** — a `size × size` frame of the shared bench model at
+//!   each thread count, through both engines: the persistent worker pool
+//!   (`render_full_tiled`) and the legacy per-frame scoped-spawn crew
+//!   (`render_full_tiled_scoped`). Their delta is the spawn overhead the
+//!   pool removed; it is largest on small frames, where the crew used to
+//!   cost a visible share of the frame.
+//! - **warp pass breakdown** — wall-clock seconds per SPARW pass (splat /
+//!   resolve / normalize / classify / crack-fill) via `warp_frame_timed`,
+//!   at each size and the highest thread count.
+//! - **pool spawn counter** — `RenderPool::spawned_total()` across every
+//!   timed pool-engine run; after warm-up it must not move (the zero-spawn
+//!   acceptance check, also enforced by `tests/zero_alloc.rs`).
 
+use cicero::sparw::{warp_frame_timed, WarpOptions, WarpScratch, WarpTiming};
 use cicero_bench::{bench_camera, bench_model};
-use cicero_field::tiles::{render_full_tiled, TileOptions};
-use cicero_field::{NullSink, RenderOptions};
+use cicero_field::pool::RenderPool;
+use cicero_field::tiles::{render_full_tiled, render_full_tiled_scoped, TileOptions};
+use cicero_field::{NerfModel, NullSink, RenderOptions};
+use cicero_math::{Camera, Pose, Vec3};
 use std::time::Instant;
 
 struct Args {
     out: String,
-    size: usize,
+    sizes: Vec<usize>,
     threads: Vec<usize>,
     samples: usize,
+}
+
+fn parse_csv(flag: &str, value: &str) -> Vec<usize> {
+    let v: Vec<usize> = value
+        .split(',')
+        .map(|t| {
+            t.trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("{flag} takes a CSV of counts"))
+        })
+        .collect();
+    assert!(!v.is_empty(), "{flag} must name at least one value");
+    v
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
         out: "results/bench_parallel.json".into(),
-        size: 800,
+        sizes: vec![64, 200, 800],
         threads: vec![1, 2, 4, 8],
         samples: 3,
     };
@@ -40,106 +67,216 @@ fn parse_args() -> Args {
         };
         match flag.as_str() {
             "--out" => args.out = value(),
-            "--size" => args.size = value().parse().expect("--size takes a pixel count"),
+            "--sizes" | "--size" => args.sizes = parse_csv("--sizes", &value()),
             "--samples" => args.samples = value().parse().expect("--samples takes a count"),
-            "--threads" => {
-                args.threads = value()
-                    .split(',')
-                    .map(|t| t.trim().parse().expect("--threads takes a CSV of counts"))
-                    .collect();
-                assert!(!args.threads.is_empty(), "--threads must name at least one");
-            }
-            other => panic!("unknown flag {other} (expected --out/--size/--threads/--samples)"),
+            "--threads" => args.threads = parse_csv("--threads", &value()),
+            other => panic!("unknown flag {other} (expected --out/--sizes/--threads/--samples)"),
         }
     }
     args.samples = args.samples.max(1);
     args
 }
 
-struct Run {
+struct RenderRun {
+    size: usize,
+    engine: &'static str,
     threads: usize,
     mean_s: f64,
     min_s: f64,
+}
+
+struct WarpRun {
+    size: usize,
+    threads: usize,
+    timing: WarpTiming, // mean per-pass seconds
+}
+
+fn time_renders(samples: usize, mut render: impl FnMut() -> u64) -> (f64, f64) {
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        let rays = render();
+        times.push(t0.elapsed().as_secs_f64());
+        assert!(rays > 0);
+    }
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    (mean, min)
 }
 
 fn main() {
     let args = parse_args();
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let model = bench_model();
-    let cam = bench_camera(args.size);
     let opts = RenderOptions::default();
+    let pool = RenderPool::global();
 
     println!(
-        "parallel_baseline: {0}x{0} frame, march step {1}, {2} samples/point, host cores {3}",
-        args.size, opts.march.step, args.samples, host_cores
+        "parallel_baseline: sizes {:?}, march step {}, {} samples/point, host cores {}",
+        args.sizes, opts.march.step, args.samples, host_cores
     );
 
-    let mut runs: Vec<Run> = Vec::new();
-    for &threads in &args.threads {
-        let tile = TileOptions::with_threads(threads);
-        // Warm-up render: page in the model, size the scratch buffers.
+    // Warm the pool once at the largest lane count so the timed pool runs
+    // measure steady state (zero spawns from here on).
+    let max_threads = args.threads.iter().copied().max().unwrap_or(1);
+    {
+        let cam = bench_camera(args.sizes[0]);
+        let tile = TileOptions::with_threads(max_threads);
         let _ = render_full_tiled(&model, &cam, &opts, &mut NullSink, &tile);
-        let mut times = Vec::with_capacity(args.samples);
-        for _ in 0..args.samples {
-            let t0 = Instant::now();
-            let (frame, stats) = render_full_tiled(&model, &cam, &opts, &mut NullSink, &tile);
-            times.push(t0.elapsed().as_secs_f64());
-            assert!(stats.rays as usize == frame.width() * frame.height());
+    }
+    let spawns_at_warm = pool.spawned_total();
+
+    let mut renders: Vec<RenderRun> = Vec::new();
+    for &size in &args.sizes {
+        let cam = bench_camera(size);
+        for &threads in &args.threads {
+            let tile = TileOptions::with_threads(threads);
+            for engine in ["pool", "scoped"] {
+                // One warm-up render per point: pages the model in and (for
+                // the pool) sizes every scratch.
+                let render = |frame_sink: &mut NullSink| match engine {
+                    "pool" => render_full_tiled(&model, &cam, &opts, frame_sink, &tile),
+                    _ => render_full_tiled_scoped(&model, &cam, &opts, frame_sink, &tile),
+                };
+                let _ = render(&mut NullSink);
+                let (mean_s, min_s) = time_renders(args.samples, || render(&mut NullSink).1.rays);
+                println!(
+                    "  render {size:>3}px {threads:>2}t {engine:<6}: mean {:>9.3} ms, min {:>9.3} ms, {:>7.2} fps",
+                    mean_s * 1e3,
+                    min_s * 1e3,
+                    1.0 / mean_s
+                );
+                renders.push(RenderRun {
+                    size,
+                    engine,
+                    threads,
+                    mean_s,
+                    min_s,
+                });
+            }
         }
-        let mean_s = times.iter().sum::<f64>() / times.len() as f64;
-        let min_s = times.iter().cloned().fold(f64::INFINITY, f64::min);
-        println!(
-            "  {threads:>2} threads: mean {:>8.3} ms, min {:>8.3} ms, {:>6.2} fps",
-            mean_s * 1e3,
-            min_s * 1e3,
-            1.0 / mean_s
+    }
+
+    // Warp per-pass breakdown at the highest thread count: warp the bench
+    // model's rendered reference to a slightly offset pose.
+    let mut warps: Vec<WarpRun> = Vec::new();
+    for &size in &args.sizes {
+        let ref_cam = bench_camera(size);
+        let tgt_cam = Camera::new(
+            ref_cam.intrinsics,
+            Pose::look_at(Vec3::new(0.12, 1.18, -2.55), Vec3::ZERO, Vec3::Y),
         );
-        runs.push(Run {
-            threads,
-            mean_s,
-            min_s,
+        let tile = TileOptions::with_threads(max_threads);
+        let (reference, _) = render_full_tiled(&model, &ref_cam, &opts, &mut NullSink, &tile);
+        let wopts = WarpOptions::default();
+        let mut scratch = WarpScratch::new();
+        // Warm-up warp, then accumulate the per-pass breakdown.
+        let mut discard = WarpTiming::default();
+        let _ = warp_frame_timed(
+            &reference,
+            &ref_cam,
+            &tgt_cam,
+            model.background(),
+            &wopts,
+            &mut scratch,
+            max_threads,
+            &mut discard,
+        );
+        let mut acc = WarpTiming::default();
+        for _ in 0..args.samples {
+            let r = warp_frame_timed(
+                &reference,
+                &ref_cam,
+                &tgt_cam,
+                model.background(),
+                &wopts,
+                &mut scratch,
+                max_threads,
+                &mut acc,
+            );
+            assert!(r.stats().total > 0);
+        }
+        let n = args.samples as f64;
+        let timing = WarpTiming {
+            splat_s: acc.splat_s / n,
+            resolve_s: acc.resolve_s / n,
+            normalize_s: acc.normalize_s / n,
+            classify_s: acc.classify_s / n,
+            crack_fill_s: acc.crack_fill_s / n,
+        };
+        println!(
+            "  warp   {size:>3}px {max_threads:>2}t: total {:>8.3} ms (splat {:.3} / resolve {:.3} / normalize {:.3} / classify {:.3} / cracks {:.3})",
+            timing.total_s() * 1e3,
+            timing.splat_s * 1e3,
+            timing.resolve_s * 1e3,
+            timing.normalize_s * 1e3,
+            timing.classify_s * 1e3,
+            timing.crack_fill_s * 1e3,
+        );
+        warps.push(WarpRun {
+            size,
+            threads: max_threads,
+            timing,
         });
     }
 
-    if let Some(base) = runs.iter().find(|r| r.threads == 1) {
-        for r in runs.iter().filter(|r| r.threads > 1) {
+    let pool_spawns = pool.spawned_total() - spawns_at_warm;
+    println!("  pool spawns during timed runs: {pool_spawns}");
+
+    for &size in &args.sizes {
+        let at = |engine: &str| {
+            renders
+                .iter()
+                .filter(|r| r.size == size && r.engine == engine && r.threads == max_threads)
+                .map(|r| r.mean_s)
+                .next()
+        };
+        if let (Some(pool_s), Some(scoped_s)) = (at("pool"), at("scoped")) {
             println!(
-                "  speedup at {} threads: {:.2}x",
-                r.threads,
-                base.mean_s / r.mean_s
+                "  {size}px at {max_threads}t: pool {:.3} ms vs scoped {:.3} ms ({:+.1}%)",
+                pool_s * 1e3,
+                scoped_s * 1e3,
+                (scoped_s / pool_s - 1.0) * 100.0
             );
         }
     }
 
-    let entries: Vec<String> = runs
+    let render_entries: Vec<String> = renders
         .iter()
         .map(|r| {
             format!(
-                "    {{ \"threads\": {}, \"mean_s\": {:.6}, \"min_s\": {:.6}, \"fps\": {:.3} }}",
-                r.threads,
-                r.mean_s,
-                r.min_s,
-                1.0 / r.mean_s
+                "    {{ \"size\": {}, \"engine\": \"{}\", \"threads\": {}, \"mean_s\": {:.6}, \"min_s\": {:.6}, \"fps\": {:.3} }}",
+                r.size, r.engine, r.threads, r.mean_s, r.min_s, 1.0 / r.mean_s
             )
         })
         .collect();
-    let speedup = match (
-        runs.iter().find(|r| r.threads == 1),
-        runs.iter().find(|r| r.threads == 4),
-    ) {
-        (Some(b), Some(q)) => format!("{:.3}", b.mean_s / q.mean_s),
-        _ => "null".into(),
-    };
+    let warp_entries: Vec<String> = warps
+        .iter()
+        .map(|w| {
+            format!(
+                "    {{ \"size\": {}, \"threads\": {}, \"splat_s\": {:.6}, \"resolve_s\": {:.6}, \"normalize_s\": {:.6}, \"classify_s\": {:.6}, \"crack_fill_s\": {:.6}, \"total_s\": {:.6} }}",
+                w.size,
+                w.threads,
+                w.timing.splat_s,
+                w.timing.resolve_s,
+                w.timing.normalize_s,
+                w.timing.classify_s,
+                w.timing.crack_fill_s,
+                w.timing.total_s()
+            )
+        })
+        .collect();
     let json = format!(
-        "{{\n  \"bench\": \"parallel_render\",\n  \"frame\": [{0}, {0}],\n  \
-         \"march_step\": {1},\n  \"samples\": {2},\n  \"host_cores\": {3},\n  \
-         \"speedup_4t_over_1t\": {4},\n  \"runs\": [\n{5}\n  ]\n}}\n",
-        args.size,
+        "{{\n  \"bench\": \"parallel_render\",\n  \"march_step\": {},\n  \
+         \"samples\": {},\n  \"host_cores\": {},\n  \
+         \"pool_spawns_during_timed_runs\": {},\n  \
+         \"render\": [\n{}\n  ],\n  \"warp_passes\": [\n{}\n  ]\n}}\n",
         opts.march.step,
         args.samples,
         host_cores,
-        speedup,
-        entries.join(",\n")
+        pool_spawns,
+        render_entries.join(",\n"),
+        warp_entries.join(",\n")
     );
     if let Some(dir) = std::path::Path::new(&args.out).parent() {
         std::fs::create_dir_all(dir).expect("create output directory");

@@ -55,10 +55,14 @@ pub struct PipelineConfig {
     pub collect_quality: bool,
     /// Run the memory simulators (required for faithful timing).
     pub collect_traffic: bool,
-    /// Host worker threads for tile-parallel rendering and warping. Affects
-    /// wall-clock speed only: output frames, statistics and simulated
-    /// timings are bit-identical at any value. Defaults to the
-    /// `RENDER_THREADS` environment variable (1 when unset).
+    /// Host lanes per render/warp pass, served by the persistent worker
+    /// pool (`cicero_field::pool`): `t` lanes = the calling thread plus
+    /// `t - 1` checked-out pool workers. Affects wall-clock speed only:
+    /// output frames, statistics and simulated timings are bit-identical at
+    /// any value (or under a capped/contended pool serving fewer lanes).
+    /// Defaults to the `RENDER_THREADS` environment variable (1 when
+    /// unset); external schedulers re-partition it live via
+    /// [`PipelineSession::set_render_threads`].
     pub render_threads: usize,
 }
 
@@ -401,6 +405,14 @@ impl<'a> PipelineSession<'a> {
     /// The session's configuration.
     pub fn config(&self) -> &PipelineConfig {
         &self.cfg
+    }
+
+    /// Overrides the host lane count used by this session's renders and
+    /// warps. Wall-clock only — frames, statistics and simulated timings
+    /// are bit-identical at any value — so an external scheduler is free to
+    /// re-partition its thread budget across live sessions between frames.
+    pub fn set_render_threads(&mut self, threads: usize) {
+        self.cfg.render_threads = threads.max(1);
     }
 
     /// The session's camera intrinsics.

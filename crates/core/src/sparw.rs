@@ -14,8 +14,10 @@
 //! reference/target rays subtend more than φ at the scene point — the
 //! diffuse-radiance approximation degrades there.
 
+use cicero_field::pool::{Bands, Checkout, RenderPool};
 use cicero_math::{Camera, Vec3};
 use cicero_scene::ground_truth::Frame;
+use std::time::Instant;
 
 /// How reference points rasterize into the target frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -278,22 +280,23 @@ fn splat_rows(
     }
 }
 
-/// Minimum rows per worker band: spawning a scoped thread costs more than
-/// processing a few short rows, so tiny frames use fewer bands than
-/// `threads`. Banding never affects results, only spawn overhead.
+/// Minimum rows per worker band: waking a pool lane costs more than
+/// processing a few short rows, so tiny frames use fewer bands than the
+/// checkout has lanes. Banding never affects results, only dispatch
+/// overhead.
 const MIN_BAND_ROWS: usize = 8;
 
-/// Runs `f` once per row band of the target frame, in parallel across
-/// `threads` scoped workers. Each invocation gets the band's first row and
-/// disjoint mutable slices of the frame color/depth and the status map; the
-/// closure may freely read shared state. Per-pixel work is independent, so
-/// the result is identical at any thread count.
-fn for_each_target_band<F>(frame: &mut Frame, status: &mut [PixelSource], threads: usize, f: F)
+/// Runs `f` once per row band of the target frame, one band per lane of the
+/// pool checkout. Each invocation gets the band's first row and disjoint
+/// mutable slices of the frame color/depth and the status map; the closure
+/// may freely read shared state. Per-pixel work is independent, so the
+/// result is identical at any lane count.
+fn for_each_target_band<F>(co: &Checkout<'_>, frame: &mut Frame, status: &mut [PixelSource], f: F)
 where
     F: Fn(usize, &mut [Vec3], &mut [f32], &mut [PixelSource]) + Sync,
 {
     let (tw, th) = (frame.width(), frame.height());
-    let n_bands = threads.min(th.div_ceil(MIN_BAND_ROWS)).max(1);
+    let n_bands = co.lanes().min(th.div_ceil(MIN_BAND_ROWS)).max(1);
     if n_bands <= 1 {
         f(
             0,
@@ -305,18 +308,44 @@ where
     }
     let rows_per_band = th.div_ceil(n_bands).max(1);
     let chunk = rows_per_band * tw;
-    let color = frame.color.pixels_mut();
-    let depth = frame.depth.pixels_mut();
-    std::thread::scope(|s| {
-        let bands = color
-            .chunks_mut(chunk)
-            .zip(depth.chunks_mut(chunk))
-            .zip(status.chunks_mut(chunk));
-        for (bi, ((cb, db), sb)) in bands.enumerate() {
-            let f = &f;
-            s.spawn(move || f(bi * rows_per_band, cb, db, sb));
+    let color = Bands::new(frame.color.pixels_mut(), chunk);
+    let depth = Bands::new(frame.depth.pixels_mut(), chunk);
+    let status = Bands::new(status, chunk);
+    let n_bands = color.len();
+    co.run(|lane| {
+        if lane < n_bands {
+            f(
+                lane * rows_per_band,
+                color.take(lane),
+                depth.take(lane),
+                status.take(lane),
+            );
         }
     });
+}
+
+/// Wall-clock time spent in each warp pass, seconds — the per-pass
+/// breakdown the `parallel_baseline` microbench records. Accumulates across
+/// warps; zero a fresh instance per measurement window.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WarpTiming {
+    /// Splat generation (pool pass 1).
+    pub splat_s: f64,
+    /// Sequential z-buffer resolve (reference-row order, leader only).
+    pub resolve_s: f64,
+    /// Normalize/classify-warped pass (pool pass 2).
+    pub normalize_s: f64,
+    /// Void/disocclusion classification pass (pool pass 3).
+    pub classify_s: f64,
+    /// Crack-fill pass (pool pass 4).
+    pub crack_fill_s: f64,
+}
+
+impl WarpTiming {
+    /// Sum over all passes.
+    pub fn total_s(&self) -> f64 {
+        self.splat_s + self.resolve_s + self.normalize_s + self.classify_s + self.crack_fill_s
+    }
 }
 
 /// Warps `reference` (rendered at `ref_cam`) to the pose of `tgt_cam`.
@@ -347,17 +376,19 @@ pub fn warp_frame(
     )
 }
 
-/// [`warp_frame`] through reusable working memory and `threads` worker
-/// threads. The splat, normalize, hole-classification and crack-fill passes
-/// run band-parallel; the output is **bit-identical** to the sequential warp
-/// at any thread count (per-pixel work is independent, and the one
-/// order-sensitive float accumulation — splat resolution — always runs in
-/// reference row order).
+/// [`warp_frame`] through reusable working memory and `threads` pool lanes.
+/// The splat, normalize, hole-classification and crack-fill passes all run
+/// on **one** checkout of the persistent render pool — one worker
+/// reservation per frame with a barrier between passes, instead of the four
+/// scoped spawn waves of earlier revisions. The output is **bit-identical**
+/// to the sequential warp at any lane count (per-pixel work is independent,
+/// and the one order-sensitive float accumulation — splat resolution —
+/// always runs in reference row order).
 ///
 /// # Panics
 ///
 /// Panics if the reference frame's dimensions differ from `ref_cam`'s
-/// intrinsics, or if a worker thread panics.
+/// intrinsics, or if a pool worker panics.
 pub fn warp_frame_with(
     reference: &Frame,
     ref_cam: &Camera,
@@ -367,6 +398,94 @@ pub fn warp_frame_with(
     scratch: &mut WarpScratch,
     threads: usize,
 ) -> WarpResult {
+    let mut out = WarpResult {
+        frame: Frame {
+            color: cicero_math::Image::new(0, 0, background),
+            depth: cicero_math::DepthMap::empty(0, 0),
+        },
+        status: Vec::new(),
+    };
+    warp_frame_into(
+        reference, ref_cam, tgt_cam, background, opts, scratch, threads, &mut out,
+    );
+    out
+}
+
+/// [`warp_frame_with`] writing into a caller-owned result, so frame loops
+/// that keep `out` (and `scratch`) across frames perform **zero heap
+/// allocations per warp** once warm — `tests/zero_alloc.rs` enforces this,
+/// pool checkout and pass barriers included. Dimension changes re-shape
+/// `out`; contents never leak between warps.
+///
+/// # Panics
+///
+/// Same contract as [`warp_frame_with`].
+#[allow(clippy::too_many_arguments)]
+pub fn warp_frame_into(
+    reference: &Frame,
+    ref_cam: &Camera,
+    tgt_cam: &Camera,
+    background: Vec3,
+    opts: &WarpOptions,
+    scratch: &mut WarpScratch,
+    threads: usize,
+    out: &mut WarpResult,
+) {
+    warp_frame_impl(
+        reference, ref_cam, tgt_cam, background, opts, scratch, threads, out, None,
+    );
+}
+
+/// [`warp_frame_with`] that also accumulates the wall-clock per-pass
+/// breakdown into `timing` (microbench instrumentation).
+///
+/// # Panics
+///
+/// Same contract as [`warp_frame_with`].
+#[allow(clippy::too_many_arguments)]
+pub fn warp_frame_timed(
+    reference: &Frame,
+    ref_cam: &Camera,
+    tgt_cam: &Camera,
+    background: Vec3,
+    opts: &WarpOptions,
+    scratch: &mut WarpScratch,
+    threads: usize,
+    timing: &mut WarpTiming,
+) -> WarpResult {
+    let mut out = WarpResult {
+        frame: Frame {
+            color: cicero_math::Image::new(0, 0, background),
+            depth: cicero_math::DepthMap::empty(0, 0),
+        },
+        status: Vec::new(),
+    };
+    warp_frame_impl(
+        reference,
+        ref_cam,
+        tgt_cam,
+        background,
+        opts,
+        scratch,
+        threads,
+        &mut out,
+        Some(timing),
+    );
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn warp_frame_impl(
+    reference: &Frame,
+    ref_cam: &Camera,
+    tgt_cam: &Camera,
+    background: Vec3,
+    opts: &WarpOptions,
+    scratch: &mut WarpScratch,
+    threads: usize,
+    out: &mut WarpResult,
+    mut timing: Option<&mut WarpTiming>,
+) {
     let (rw, rh) = (ref_cam.intrinsics.width, ref_cam.intrinsics.height);
     assert_eq!(
         (reference.width(), reference.height()),
@@ -375,12 +494,36 @@ pub fn warp_frame_with(
     );
     let (tw, th) = (tgt_cam.intrinsics.width, tgt_cam.intrinsics.height);
     let threads = threads.max(1);
-
-    let mut frame = Frame {
-        color: cicero_math::Image::new(tw, th, background),
-        depth: cicero_math::DepthMap::empty(tw, th),
+    let mut clock = Instant::now();
+    // Non-capturing, so it coerces to a plain `fn` passed per pass below.
+    let record = |slot: fn(&mut WarpTiming) -> &mut f64,
+                  timing: &mut Option<&mut WarpTiming>,
+                  clock: &mut Instant| {
+        let now = Instant::now();
+        if let Some(t) = timing.as_deref_mut() {
+            *slot(t) += (now - *clock).as_secs_f64();
+        }
+        *clock = now;
     };
-    let mut status = vec![PixelSource::Disoccluded; tw * th];
+
+    // Shape the output in place: reuse the buffers when dimensions match.
+    if out.frame.width() != tw || out.frame.height() != th {
+        out.frame = Frame {
+            color: cicero_math::Image::new(tw, th, background),
+            depth: cicero_math::DepthMap::empty(tw, th),
+        };
+    } else {
+        out.frame.color.fill(background);
+        out.frame.depth.fill(f32::INFINITY);
+    }
+    refill(&mut out.status, tw * th, PixelSource::Disoccluded);
+    let frame = &mut out.frame;
+    let status = &mut out.status;
+
+    // One checkout serves every pass of this warp: the workers are reserved
+    // once, each `co.run` below is one pass-barrier cycle, and the workers
+    // return to the pool when `co` drops at the end of the warp.
+    let co = RenderPool::global().checkout(threads - 1);
 
     // Step 1-3: point cloud conversion, transform, weighted bilinear forward
     // splatting with a z-buffer (the "standard rasterization pipeline" of
@@ -389,10 +532,15 @@ pub fn warp_frame_with(
     // accumulate and normalize, which removes the ±half-pixel resampling
     // error of nearest-pixel splatting. Splat generation is per-reference-
     // pixel independent: each band of reference rows fills its own list.
-    let n_bands = threads.min(rh.div_ceil(MIN_BAND_ROWS)).max(1);
+    let n_bands = co.lanes().min(rh.div_ceil(MIN_BAND_ROWS)).max(1);
     let rows_per_band = rh.div_ceil(n_bands).max(1);
     let n_bands = rh.div_ceil(rows_per_band).max(1);
-    scratch.band_splats.resize_with(n_bands, Vec::new);
+    if scratch.band_splats.len() < n_bands {
+        // Never shrink: capacities stay warm even when the pool serves
+        // fewer lanes on a contended frame. Only bands `..n_bands` are
+        // filled and resolved below.
+        scratch.band_splats.resize_with(n_bands, Vec::new);
+    }
     if n_bands == 1 {
         splat_rows(
             reference,
@@ -403,14 +551,17 @@ pub fn warp_frame_with(
             &mut scratch.band_splats[0],
         );
     } else {
-        std::thread::scope(|s| {
-            for (bi, out) in scratch.band_splats.iter_mut().enumerate() {
-                let y0 = bi * rows_per_band;
-                let y1 = ((bi + 1) * rows_per_band).min(rh);
-                s.spawn(move || splat_rows(reference, ref_cam, tgt_cam, opts, y0..y1, out));
+        let bands = Bands::new(&mut scratch.band_splats[..n_bands], 1);
+        co.run(|lane| {
+            if lane < n_bands {
+                let y0 = lane * rows_per_band;
+                let y1 = ((lane + 1) * rows_per_band).min(rh);
+                let band = &mut bands.take(lane)[0];
+                splat_rows(reference, ref_cam, tgt_cam, opts, y0..y1, band);
             }
         });
     }
+    record(|t| &mut t.splat_s, &mut timing, &mut clock);
 
     // Resolve: accumulate contributions near the front surface of each pixel.
     // Sequential in band (= reference row) order: float accumulation order is
@@ -420,7 +571,7 @@ pub fn warp_frame_with(
     refill(&mut scratch.acc_w, tw * th, 0.0f32);
     refill(&mut scratch.acc_z, tw * th, 0.0f32);
     refill(&mut scratch.rej_w, tw * th, 0.0f32);
-    for band in &scratch.band_splats {
+    for band in &scratch.band_splats[..n_bands] {
         for s in band {
             let idx = s.ty as usize * tw + s.tx as usize;
             if s.z < scratch.zmin[idx] {
@@ -428,7 +579,7 @@ pub fn warp_frame_with(
             }
         }
     }
-    for band in &scratch.band_splats {
+    for band in &scratch.band_splats[..n_bands] {
         for s in band {
             let idx = s.ty as usize * tw + s.tx as usize;
             let front = scratch.zmin[idx];
@@ -444,10 +595,11 @@ pub fn warp_frame_with(
             }
         }
     }
+    record(|t| &mut t.resolve_s, &mut timing, &mut clock);
     {
         let (acc_color, acc_w) = (&scratch.acc_color, &scratch.acc_w);
         let (acc_z, rej_w) = (&scratch.acc_z, &scratch.rej_w);
-        for_each_target_band(&mut frame, &mut status, threads, |y0, cb, db, sb| {
+        for_each_target_band(&co, frame, status, |y0, cb, db, sb| {
             for (local, st) in sb.iter_mut().enumerate() {
                 let idx = y0 * tw + local;
                 // Require near-full coverage: interior surface pixels
@@ -470,16 +622,18 @@ pub fn warp_frame_with(
         });
     }
 
+    record(|t| &mut t.normalize_s, &mut timing, &mut clock);
+
     // Step 4's depth test: classify remaining holes. A hole whose far probe
     // lands on reference background is void — nothing along the ray — and
     // needs no rendering. Neighbor lookups read a status snapshot; the only
     // in-pass transition is Disoccluded → Void, which the Warped scan never
     // observes, so snapshot reads equal the sequential in-place reads.
     scratch.snapshot.clear();
-    scratch.snapshot.extend_from_slice(&status);
+    scratch.snapshot.extend_from_slice(status);
     {
         let snapshot = &scratch.snapshot;
-        for_each_target_band(&mut frame, &mut status, threads, |y0, cb, _db, sb| {
+        for_each_target_band(&co, frame, status, |y0, cb, _db, sb| {
             for (local, st) in sb.iter_mut().enumerate() {
                 if *st != PixelSource::Disoccluded {
                     continue;
@@ -527,6 +681,8 @@ pub fn warp_frame_with(
         });
     }
 
+    record(|t| &mut t.classify_s, &mut timing, &mut clock);
+
     // Crack filling: single-pixel splat holes surrounded by warped pixels
     // are reconstruction artifacts of nearest-pixel splatting, not
     // disocclusions; inpaint them from their neighbors. Neighbor reads come
@@ -534,14 +690,14 @@ pub fn warp_frame_with(
     // ones are read, so snapshot values equal live values.
     if opts.fill_cracks {
         scratch.snapshot.clear();
-        scratch.snapshot.extend_from_slice(&status);
+        scratch.snapshot.extend_from_slice(status);
         scratch.color_snap.clear();
         scratch.color_snap.extend_from_slice(frame.color.pixels());
         scratch.depth_snap.clear();
         scratch.depth_snap.extend_from_slice(frame.depth.pixels());
         let snapshot = &scratch.snapshot;
         let (color_snap, depth_snap) = (&scratch.color_snap, &scratch.depth_snap);
-        for_each_target_band(&mut frame, &mut status, threads, |y0, cb, db, sb| {
+        for_each_target_band(&co, frame, status, |y0, cb, db, sb| {
             for (local, st) in sb.iter_mut().enumerate() {
                 let idx = y0 * tw + local;
                 if snapshot[idx] != PixelSource::Disoccluded {
@@ -577,8 +733,7 @@ pub fn warp_frame_with(
             }
         });
     }
-
-    WarpResult { frame, status }
+    record(|t| &mut t.crack_fill_s, &mut timing, &mut clock);
 }
 
 #[cfg(test)]

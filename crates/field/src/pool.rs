@@ -1,0 +1,780 @@
+//! The persistent render worker pool.
+//!
+//! Every data-parallel pass in the workspace — tile rendering
+//! ([`crate::tiles`]), the SPARW splat/normalize/classify/crack-fill waves
+//! (`cicero::sparw`), and the serve layer's concurrent session stepping —
+//! used to spawn fresh `std::thread::scope` crews per frame. Spawning a
+//! thread costs tens of microseconds; a small frame's worth of pixel work can
+//! be cheaper than the crew that renders it, and the warp path paid that tax
+//! up to four times per frame. This module replaces all of it with one
+//! process-wide pool of **parked** worker threads:
+//!
+//! - [`RenderPool::global`] — the shared pool. Workers are spawned on first
+//!   demand (up to [`RenderPool::cap`]), then live for the process. After
+//!   warm-up a frame performs **zero thread spawns and zero heap
+//!   allocations** in checkout, dispatch, barrier and release.
+//! - [`RenderPool::checkout`] — reserves up to `extra` idle workers for one
+//!   caller. A checkout is the unit of exclusivity: disjoint checkouts (e.g.
+//!   several serve sessions stepping concurrently) proceed fully
+//!   independently, which is how the serve layer partitions one host thread
+//!   budget across sessions.
+//! - [`Checkout::run`] — one *pass*: the closure runs once per lane (the
+//!   caller is lane 0, each checked-out worker one more), then all lanes meet
+//!   at a barrier. Running several passes on one checkout is the
+//!   pass-barrier protocol that replaced SPARW's four spawn waves.
+//!
+//! Checkouts are opportunistic: if the pool is capped or other checkouts
+//! hold the workers, the caller gets fewer lanes (possibly just itself) and
+//! the pass runs with less parallelism. That is always safe because every
+//! pass routed through the pool is **bit-identical at any lane count** — the
+//! contract established by the tile engine and enforced by
+//! `tests/parallel_determinism.rs`. Parallelism here is a pure wall-clock
+//! knob; nothing about the output, the statistics or the simulated timelines
+//! may depend on how many workers answered.
+//!
+//! The module also provides the two safe disjoint-access primitives the pass
+//! bodies are built from, so callers stay entirely in safe code:
+//! [`Bands`] (indexed chunks of one slice, each handed out at most once) and
+//! [`FrameTiles`] (an atomic claim queue over a frame's row-band tiles,
+//! writing straight into the output buffers — no per-tile staging copies).
+//!
+//! All `unsafe` in the workspace lives in this file, behind those two
+//! invariant-checked APIs and the job-dispatch trampoline; see the SAFETY
+//! comments on each block.
+
+#![allow(unsafe_code)]
+
+use cicero_math::Vec3;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Hard lane ceiling per checkout: lane bookkeeping lives in fixed-size
+/// stack arrays so a checkout never allocates. 64 lanes comfortably covers
+/// any host this simulator targets.
+pub const MAX_LANES: usize = 64;
+
+/// A pass dispatched to one worker: a lifetime-erased pointer to the
+/// caller's closure plus the barrier it reports to. The leader blocks on the
+/// [`Gate`] before its `run` call returns, so the pointers never outlive the
+/// borrow they were made from.
+#[derive(Clone, Copy)]
+struct Job {
+    data: *const (),
+    call: unsafe fn(*const (), usize),
+    lane: usize,
+    gate: *const Gate,
+}
+
+// SAFETY: the raw pointers are only dereferenced between dispatch and the
+// gate's completion, and `Checkout::run` does not return (even by unwinding)
+// until every dispatched lane has completed — the pointees are live for the
+// whole window in which a worker can touch them.
+unsafe impl Send for Job {}
+
+/// Monomorphic trampoline giving `Job` a thin function pointer instead of a
+/// fat `dyn` pointer (whose layout is unspecified).
+unsafe fn run_job<F: Fn(usize) + Sync>(data: *const (), lane: usize) {
+    // SAFETY: `data` was produced from `&F` in `Checkout::run`, which keeps
+    // the closure alive until the gate opens.
+    unsafe { (*(data as *const F))(lane) }
+}
+
+/// The barrier one pass's lanes report to. Lives on the leader's stack —
+/// creating it never allocates.
+struct Gate {
+    remaining: AtomicUsize,
+    panicked: AtomicBool,
+    mu: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new(lanes: usize) -> Self {
+        Gate {
+            remaining: AtomicUsize::new(lanes),
+            panicked: AtomicBool::new(false),
+            mu: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Called by each worker lane when its pass body returns.
+    fn complete(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Pair the notify with the waiter's re-check under the mutex so
+            // the wake-up cannot be lost between its load and its wait.
+            let _g = self.mu.lock().unwrap();
+            self.cv.notify_all();
+        }
+    }
+
+    /// Leader-side barrier: a short spin (passes are often tiny), then park.
+    fn wait(&self) {
+        for _ in 0..128 {
+            if self.remaining.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            std::hint::spin_loop();
+        }
+        let mut g = self.mu.lock().unwrap();
+        while self.remaining.load(Ordering::Acquire) != 0 {
+            g = self.cv.wait(g).unwrap();
+        }
+    }
+}
+
+/// Ensures the leader waits for every dispatched lane even if its own lane-0
+/// body panics — workers must never outlive the borrows in their `Job`.
+struct GateGuard<'g>(&'g Gate);
+
+impl Drop for GateGuard<'_> {
+    fn drop(&mut self) {
+        self.0.wait();
+    }
+}
+
+/// What a parked worker wakes up to.
+enum Mail {
+    Run(Job),
+    Retire,
+}
+
+/// One pool worker's mailbox. The worker parks here between passes.
+struct WorkerShared {
+    slot: Mutex<Option<Mail>>,
+    cv: Condvar,
+}
+
+impl WorkerShared {
+    fn send(&self, mail: Mail) {
+        let mut slot = self.slot.lock().unwrap();
+        debug_assert!(slot.is_none(), "worker dispatched while busy");
+        *slot = Some(mail);
+        self.cv.notify_one();
+    }
+
+    fn receive(&self) -> Mail {
+        let mut slot = self.slot.lock().unwrap();
+        loop {
+            if let Some(mail) = slot.take() {
+                return mail;
+            }
+            slot = self.cv.wait(slot).unwrap();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<WorkerShared>) {
+    loop {
+        match shared.receive() {
+            Mail::Run(job) => {
+                // SAFETY: see `Job` — the closure and gate outlive this call
+                // because the leader blocks on the gate.
+                let result = catch_unwind(AssertUnwindSafe(|| unsafe {
+                    (job.call)(job.data, job.lane)
+                }));
+                // SAFETY: the gate pointer is live until `complete` has been
+                // called by every lane (the leader waits for exactly that).
+                let gate = unsafe { &*job.gate };
+                if result.is_err() {
+                    gate.panicked.store(true, Ordering::Release);
+                }
+                gate.complete();
+            }
+            Mail::Retire => return,
+        }
+    }
+}
+
+/// Worker registry: the idle stack plus the live/cap accounting.
+struct Registry {
+    idle: Vec<Arc<WorkerShared>>,
+    live: usize,
+    cap: usize,
+}
+
+struct PoolInner {
+    registry: Mutex<Registry>,
+    /// Total worker threads ever spawned — the microbench and the
+    /// zero-spawn acceptance check read this before/after timed frames.
+    spawned_total: AtomicU64,
+}
+
+/// A pool of persistent, parked render workers.
+///
+/// The engine routes everything through the process-wide
+/// [`RenderPool::global`]; isolated pools ([`RenderPool::new`]) exist for
+/// tests and embedders that need private worker accounting.
+pub struct RenderPool {
+    inner: Arc<PoolInner>,
+}
+
+impl RenderPool {
+    /// Creates an isolated pool capped at `cap` workers (clamped to
+    /// [`MAX_LANES`]` - 1`). Workers spawn on first checkout.
+    pub fn new(cap: usize) -> Self {
+        RenderPool {
+            inner: Arc::new(PoolInner {
+                registry: Mutex::new(Registry {
+                    idle: Vec::new(),
+                    live: 0,
+                    cap: cap.min(MAX_LANES - 1),
+                }),
+                spawned_total: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The shared process-wide pool. Workers are spawned lazily by
+    /// [`checkout`](Self::checkout), so merely touching the pool costs
+    /// nothing.
+    pub fn global() -> &'static RenderPool {
+        static POOL: OnceLock<RenderPool> = OnceLock::new();
+        POOL.get_or_init(|| RenderPool::new(MAX_LANES))
+    }
+
+    /// Reserves up to `extra` workers for the caller (fewer if the pool is
+    /// capped or contended — possibly zero, in which case every pass simply
+    /// runs inline on the caller). Workers spawned or reserved here stay
+    /// with the checkout across any number of passes and return to the idle
+    /// stack when it drops. After warm-up this never allocates and never
+    /// spawns.
+    pub fn checkout(&self, extra: usize) -> Checkout<'_> {
+        let want = extra.min(MAX_LANES - 1);
+        let mut workers: [Option<Arc<WorkerShared>>; MAX_LANES - 1] = std::array::from_fn(|_| None);
+        let mut n = 0;
+        if want > 0 {
+            let mut reg = self.inner.registry.lock().unwrap();
+            while n < want {
+                if let Some(w) = reg.idle.pop() {
+                    workers[n] = Some(w);
+                    n += 1;
+                } else if reg.live < reg.cap {
+                    let shared = Arc::new(WorkerShared {
+                        slot: Mutex::new(None),
+                        cv: Condvar::new(),
+                    });
+                    let for_thread = shared.clone();
+                    std::thread::Builder::new()
+                        .name("cicero-render".into())
+                        .spawn(move || worker_loop(for_thread))
+                        .expect("spawn render pool worker");
+                    reg.live += 1;
+                    self.inner.spawned_total.fetch_add(1, Ordering::Relaxed);
+                    workers[n] = Some(shared);
+                    n += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        Checkout {
+            pool: &self.inner,
+            workers,
+            count: n,
+        }
+    }
+
+    /// Caps the number of live workers. Idle workers above the cap retire
+    /// immediately; checked-out ones retire when released. Raising the cap
+    /// lets future checkouts grow the pool again — output never depends on
+    /// pool size, so resizing mid-run is always safe.
+    pub fn set_cap(&self, cap: usize) {
+        let mut reg = self.inner.registry.lock().unwrap();
+        reg.cap = cap.min(MAX_LANES - 1);
+        while reg.live > reg.cap {
+            match reg.idle.pop() {
+                Some(w) => {
+                    w.send(Mail::Retire);
+                    reg.live -= 1;
+                }
+                None => break, // busy workers retire on release
+            }
+        }
+    }
+
+    /// The current worker cap.
+    pub fn cap(&self) -> usize {
+        self.inner.registry.lock().unwrap().cap
+    }
+
+    /// Live workers (idle + checked out).
+    pub fn live_workers(&self) -> usize {
+        self.inner.registry.lock().unwrap().live
+    }
+
+    /// Workers currently parked on the idle stack.
+    pub fn idle_workers(&self) -> usize {
+        self.inner.registry.lock().unwrap().idle.len()
+    }
+
+    /// Total worker threads ever spawned by this pool. Stable between two
+    /// reads ⇔ the work in between ran entirely on resident workers.
+    pub fn spawned_total(&self) -> u64 {
+        self.inner.spawned_total.load(Ordering::Relaxed)
+    }
+}
+
+/// A reservation of pool workers for one caller; see [`RenderPool::checkout`].
+///
+/// Dropping the checkout releases the workers (retiring any above the pool
+/// cap). Release never blocks: by the time `run` returns, every lane has
+/// passed the barrier.
+pub struct Checkout<'p> {
+    pool: &'p PoolInner,
+    workers: [Option<Arc<WorkerShared>>; MAX_LANES - 1],
+    count: usize,
+}
+
+impl Checkout<'_> {
+    /// Parallel lanes of this checkout: the caller plus every reserved
+    /// worker. Always at least 1.
+    pub fn lanes(&self) -> usize {
+        self.count + 1
+    }
+
+    /// Runs one pass: `f(lane)` for every lane in `0..lanes()`, the caller
+    /// executing lane 0 inline, then all lanes synchronize at a barrier.
+    /// With no reserved workers this is exactly `f(0)`.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any lane (after all lanes have finished, so
+    /// no borrow escapes).
+    pub fn run<F: Fn(usize) + Sync>(&self, f: F) {
+        if self.count == 0 {
+            f(0);
+            return;
+        }
+        let gate = Gate::new(self.count);
+        for (i, w) in self.workers[..self.count].iter().enumerate() {
+            let job = Job {
+                data: &f as *const F as *const (),
+                call: run_job::<F>,
+                lane: i + 1,
+                gate: &gate,
+            };
+            w.as_ref().expect("reserved worker").send(Mail::Run(job));
+        }
+        {
+            let _wait_even_on_panic = GateGuard(&gate);
+            f(0);
+        }
+        if gate.panicked.load(Ordering::Acquire) {
+            panic!("render pool worker panicked during a pass");
+        }
+    }
+}
+
+impl Drop for RenderPool {
+    fn drop(&mut self) {
+        // Only isolated pools drop (the global one lives for the process).
+        // `Checkout`s borrow the pool, so every worker is back on the idle
+        // stack by now; retire them all.
+        let mut reg = self.inner.registry.lock().unwrap();
+        while let Some(w) = reg.idle.pop() {
+            w.send(Mail::Retire);
+            reg.live -= 1;
+        }
+    }
+}
+
+impl Drop for Checkout<'_> {
+    fn drop(&mut self) {
+        if self.count == 0 {
+            return;
+        }
+        let mut reg = self.pool.registry.lock().unwrap();
+        for w in self.workers[..self.count].iter_mut() {
+            let w = w.take().expect("reserved worker");
+            if reg.live > reg.cap {
+                w.send(Mail::Retire);
+                reg.live -= 1;
+            } else {
+                reg.idle.push(w);
+            }
+        }
+    }
+}
+
+/// Indexed disjoint chunks of one mutable slice, for static band
+/// partitioning: band `i` covers `[i * chunk, (i + 1) * chunk)` (the last
+/// band is shorter). Each band can be taken **at most once**, which is what
+/// makes handing `&mut` bands to concurrent lanes sound; a double take
+/// panics instead of aliasing.
+pub struct Bands<'a, T> {
+    ptr: *mut T,
+    slice_len: usize,
+    chunk: usize,
+    n: usize,
+    taken: AtomicU64,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: `Bands` hands out non-overlapping `&mut [T]` sub-slices (enforced
+// by the take-once bitmap), so sharing it across lanes is as safe as
+// `chunks_mut` handed to scoped threads.
+unsafe impl<T: Send> Sync for Bands<'_, T> {}
+unsafe impl<T: Send> Send for Bands<'_, T> {}
+
+impl<'a, T> Bands<'a, T> {
+    /// Partitions `slice` into ceil(len / chunk) bands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk == 0` or the band count exceeds [`MAX_LANES`].
+    pub fn new(slice: &'a mut [T], chunk: usize) -> Self {
+        assert!(chunk > 0, "band chunk must be positive");
+        let n = slice.len().div_ceil(chunk);
+        assert!(n <= MAX_LANES, "too many bands ({n} > {MAX_LANES})");
+        Bands {
+            ptr: slice.as_mut_ptr(),
+            slice_len: slice.len(),
+            chunk,
+            n,
+            taken: AtomicU64::new(0),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Number of bands.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the source slice was empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Takes band `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or the band was already taken.
+    // `&mut` out of `&self` is the whole point here: concurrent lanes each
+    // take a distinct band through a shared reference, and the take-once
+    // bitmap (plus the panic) is what rules out aliasing.
+    #[allow(clippy::mut_from_ref)]
+    pub fn take(&self, i: usize) -> &mut [T] {
+        assert!(i < self.n, "band {i} out of range ({})", self.n);
+        let bit = 1u64 << i;
+        let prev = self.taken.fetch_or(bit, Ordering::AcqRel);
+        assert!(prev & bit == 0, "band {i} taken twice");
+        let start = i * self.chunk;
+        let end = ((i + 1) * self.chunk).min(self.slice_len);
+        // SAFETY: `start..end` is in bounds and, by the take-once bitmap,
+        // no other `&mut` to this range exists or can be created; the
+        // returned borrow is tied to `&self`, which outlives no lane.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), end - start) }
+    }
+}
+
+/// A claimed tile: a row band of the output frame, writable in place.
+pub struct Tile<'q, X> {
+    /// Tile index in top-to-bottom order.
+    pub index: usize,
+    /// First row (inclusive).
+    pub y0: usize,
+    /// Last row (exclusive).
+    pub y1: usize,
+    /// The band's pixels of the output frame, `(y - y0) * width + x`.
+    pub color: &'q mut [Vec3],
+    /// The band's depths, same indexing.
+    pub depth: &'q mut [f32],
+    /// The tile's extra slot (e.g. a sample-trace buffer), when provided.
+    pub extra: Option<&'q mut X>,
+}
+
+/// An atomic claim queue over a frame's row-band tiles.
+///
+/// Workers call [`claim`](Self::claim) until it returns `None`; every tile is
+/// handed out exactly once (uniqueness comes from a single `fetch_add`
+/// counter), and each claim yields disjoint `&mut` bands of the **actual
+/// output frame** — the pool render path has no per-tile staging buffers and
+/// therefore no per-frame allocations or merge copies.
+pub struct FrameTiles<'a, X> {
+    color: *mut Vec3,
+    depth: *mut f32,
+    extras: *mut X,
+    has_extras: bool,
+    width: usize,
+    height: usize,
+    tile_rows: usize,
+    n_tiles: usize,
+    /// Tiles `0..reserved` are pre-assigned one per lane (see
+    /// [`first_for_lane`](Self::first_for_lane)); the shared counter hands
+    /// out the rest.
+    reserved: usize,
+    next: AtomicUsize,
+    _marker: PhantomData<(&'a mut [Vec3], &'a mut [X])>,
+}
+
+// SAFETY: every `&mut` handed out by `claim` covers a distinct tile (unique
+// `fetch_add` ticket) and tiles are disjoint row ranges of the underlying
+// buffers — concurrent claims never alias.
+unsafe impl<X: Send> Sync for FrameTiles<'_, X> {}
+unsafe impl<X: Send> Send for FrameTiles<'_, X> {}
+
+impl<'a, X> FrameTiles<'a, X> {
+    /// Builds the queue over a frame's pixel buffers for `lanes` workers.
+    /// `extras`, when given, must hold one slot per tile
+    /// (`ceil(height / tile_rows)`).
+    ///
+    /// The first `min(lanes, n_tiles)` tiles are **reserved one per lane**
+    /// (fetched via [`first_for_lane`](Self::first_for_lane)) so that every
+    /// lane is guaranteed to render at least one tile per frame whenever
+    /// tiles are plentiful. Without the reservation a fast lane can drain
+    /// the whole queue before another wakes, leaving that worker's
+    /// thread-local scratch cold after the warm-up frame — which would turn
+    /// the zero-allocation guarantee into a race. Assignment never affects
+    /// output, only which worker renders which band.
+    ///
+    /// # Panics
+    ///
+    /// Panics on buffer/size mismatches.
+    pub fn new(
+        color: &'a mut [Vec3],
+        depth: &'a mut [f32],
+        extras: Option<&'a mut [X]>,
+        width: usize,
+        height: usize,
+        tile_rows: usize,
+        lanes: usize,
+    ) -> Self {
+        assert!(tile_rows > 0, "tile_rows must be positive");
+        assert_eq!(color.len(), width * height, "color buffer size mismatch");
+        assert_eq!(depth.len(), width * height, "depth buffer size mismatch");
+        let n_tiles = height.div_ceil(tile_rows);
+        let (extras, has_extras) = match extras {
+            Some(e) => {
+                assert_eq!(e.len(), n_tiles, "one extra slot per tile");
+                (e.as_mut_ptr(), true)
+            }
+            None => (std::ptr::NonNull::dangling().as_ptr(), false),
+        };
+        let reserved = lanes.min(n_tiles);
+        FrameTiles {
+            color: color.as_mut_ptr(),
+            depth: depth.as_mut_ptr(),
+            extras,
+            has_extras,
+            width,
+            height,
+            tile_rows,
+            n_tiles,
+            reserved,
+            next: AtomicUsize::new(reserved),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Total tiles in the queue.
+    pub fn n_tiles(&self) -> usize {
+        self.n_tiles
+    }
+
+    /// The calling lane's reserved first tile, or its first dynamic claim
+    /// when no tile is reserved for it. Call at most once per lane per
+    /// frame, before the [`claim`](Self::claim) loop — a second call for
+    /// the same lane would alias the reserved tile.
+    pub fn first_for_lane(&self, lane: usize) -> Option<Tile<'_, X>> {
+        if lane < self.reserved {
+            Some(self.tile(lane))
+        } else {
+            self.claim()
+        }
+    }
+
+    /// Claims the next unrendered tile, or `None` when the queue is drained.
+    pub fn claim(&self) -> Option<Tile<'_, X>> {
+        let t = self.next.fetch_add(1, Ordering::Relaxed);
+        if t >= self.n_tiles {
+            return None;
+        }
+        Some(self.tile(t))
+    }
+
+    /// Materializes tile `t`'s bands. Callers guarantee each `t` is used at
+    /// most once (reserved tiles: one lane each; the rest: unique counter
+    /// tickets).
+    fn tile(&self, t: usize) -> Tile<'_, X> {
+        let y0 = t * self.tile_rows;
+        let y1 = ((t + 1) * self.tile_rows).min(self.height);
+        let start = y0 * self.width;
+        let len = (y1 - y0) * self.width;
+        // SAFETY: `t` is handed out at most once (a reserved tile belongs to
+        // exactly one lane; dynamic tickets come from a single fetch_add
+        // counter starting past the reserved range), tiles are disjoint row
+        // ranges within the buffers, and the borrows are tied to `&self`
+        // which the caller keeps alive across the pass.
+        let (color, depth, extra) = unsafe {
+            (
+                std::slice::from_raw_parts_mut(self.color.add(start), len),
+                std::slice::from_raw_parts_mut(self.depth.add(start), len),
+                self.has_extras.then(|| &mut *self.extras.add(t)),
+            )
+        };
+        Tile {
+            index: t,
+            y0,
+            y1,
+            color,
+            depth,
+            extra,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn lanes_cover_every_index_exactly_once() {
+        let pool = RenderPool::new(3);
+        let co = pool.checkout(3);
+        assert_eq!(co.lanes(), 4);
+        let hits: Vec<AtomicU32> = (0..co.lanes()).map(|_| AtomicU32::new(0)).collect();
+        for _ in 0..100 {
+            co.run(|lane| {
+                hits[lane].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 100);
+        }
+    }
+
+    #[test]
+    fn checkout_reuses_workers_without_respawning() {
+        let pool = RenderPool::new(2);
+        {
+            let co = pool.checkout(2);
+            co.run(|_| {});
+        }
+        let before = pool.spawned_total();
+        for _ in 0..50 {
+            let co = pool.checkout(2);
+            co.run(|_| {});
+        }
+        assert_eq!(
+            pool.spawned_total(),
+            before,
+            "warmed checkouts must not spawn"
+        );
+        assert_eq!(before, 2);
+    }
+
+    #[test]
+    fn zero_worker_checkout_runs_inline() {
+        let pool = RenderPool::new(2);
+        let co = pool.checkout(0);
+        assert_eq!(co.lanes(), 1);
+        let ran = AtomicU32::new(0);
+        co.run(|lane| {
+            assert_eq!(lane, 0);
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn bands_partition_and_reject_double_take() {
+        let mut data = vec![0u32; 10];
+        {
+            let bands = Bands::new(&mut data, 4);
+            assert_eq!(bands.len(), 3);
+            {
+                let b0 = bands.take(0);
+                let b2 = bands.take(2);
+                assert_eq!((b0.len(), b2.len()), (4, 2));
+                b0[0] = 7;
+                b2[1] = 9;
+            }
+            assert!(catch_unwind(AssertUnwindSafe(|| bands.take(0))).is_err());
+        }
+        assert_eq!((data[0], data[9]), (7, 9));
+    }
+
+    #[test]
+    fn frame_tiles_claim_each_tile_once() {
+        let (w, h) = (4, 10);
+        let mut color = vec![Vec3::ZERO; w * h];
+        let mut depth = vec![0.0f32; w * h];
+        let mut extras = vec![0u8; 4];
+        let mut seen = Vec::new();
+        {
+            // Built for 2 lanes: tiles 0 and 1 are reserved, 2 and 3 pool.
+            let tiles = FrameTiles::new(&mut color, &mut depth, Some(&mut extras), w, h, 3, 2);
+            assert_eq!(tiles.n_tiles(), 4);
+            for lane in 0..2 {
+                let mut next = tiles.first_for_lane(lane);
+                while let Some(t) = next {
+                    seen.push((t.index, t.y0, t.y1, t.color.len()));
+                    *t.extra.unwrap() = t.index as u8 + 1;
+                    next = tiles.claim();
+                }
+            }
+        }
+        seen.sort();
+        assert_eq!(
+            seen,
+            vec![(0, 0, 3, 12), (1, 3, 6, 12), (2, 6, 9, 12), (3, 9, 10, 4)]
+        );
+        assert_eq!(extras, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn pool_resize_retires_and_regrows() {
+        let pool = RenderPool::new(8);
+        {
+            let co = pool.checkout(3);
+            co.run(|_| {});
+        }
+        pool.set_cap(0);
+        assert_eq!(pool.live_workers(), 0);
+        let co = pool.checkout(4);
+        assert_eq!(co.lanes(), 1, "capped pool must degrade to inline");
+        drop(co);
+        pool.set_cap(8);
+        let co = pool.checkout(2);
+        assert_eq!(co.lanes(), 3);
+        co.run(|_| {});
+    }
+
+    #[test]
+    fn busy_workers_above_the_cap_retire_on_release() {
+        let pool = RenderPool::new(4);
+        let co = pool.checkout(3);
+        pool.set_cap(1); // all three are checked out: none can retire yet
+        assert_eq!(pool.live_workers(), 3);
+        drop(co);
+        assert_eq!(pool.live_workers(), 1);
+        assert_eq!(pool.idle_workers(), 1);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_leader() {
+        let pool = RenderPool::new(1);
+        let co = pool.checkout(1);
+        assert_eq!(co.lanes(), 2);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            co.run(|lane| {
+                if lane == 1 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(r.is_err());
+        // The worker survives its panic and keeps serving passes.
+        let ok = AtomicU32::new(0);
+        co.run(|_| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 2);
+    }
+}

@@ -158,10 +158,20 @@ pub fn render_masked<M: NerfModel + ?Sized, S: GatherSink>(
     frame: &mut Frame,
     sink: &mut S,
 ) -> RenderStats {
+    with_thread_scratch(|scratch| {
+        render_masked_with(model, camera, opts, mask, frame, sink, scratch)
+    })
+}
+
+/// Runs `f` with this thread's persistent [`RenderScratch`]. Pool workers
+/// (see [`crate::pool`]) live for the process, so their scratches stay warm
+/// across frames — the pool render path allocates nothing after its first
+/// frame.
+pub(crate) fn with_thread_scratch<R>(f: impl FnOnce(&mut RenderScratch) -> R) -> R {
     let mut scratch = THREAD_SCRATCH.with(|s| std::mem::take(&mut *s.borrow_mut()));
-    let stats = render_masked_with(model, camera, opts, mask, frame, sink, &mut scratch);
+    let r = f(&mut scratch);
     THREAD_SCRATCH.with(|s| *s.borrow_mut() = scratch);
-    stats
+    r
 }
 
 /// [`render_masked`] through caller-provided scratch, so repeated renders

@@ -1,14 +1,22 @@
-//! Tile-parallel frame rendering.
+//! Tile-parallel frame rendering on the persistent worker pool.
 //!
 //! The paper's SoC pool is simulated, but wall-clock rendering on the host
-//! was single-threaded until this module: a frame is partitioned into
-//! fixed-height row-band tiles, the tiles are rendered by scoped worker
-//! threads (`std::thread::scope`, no external dependencies), and the per-tile
-//! results are merged **deterministically in tile order**. Because every tile
-//! runs the exact same per-pixel code as the sequential renderer (see
-//! [`crate::render`]'s `render_rows`) and the merge is order-fixed, the
-//! output frame, the [`RenderStats`] and the [`GatherSink`] sample stream are
-//! all bit-identical to the sequential path at **any** thread count.
+//! is real: a frame is partitioned into fixed-height row-band tiles and the
+//! tiles are claimed by the lanes of a [`crate::pool::RenderPool`] checkout —
+//! long-lived parked workers, not per-frame `std::thread::scope` spawns.
+//! Because every tile runs the exact same per-pixel code as the sequential
+//! renderer (see [`crate::render`]'s `render_rows`) and all merging is
+//! order-fixed (or an order-free integer sum), the output frame, the
+//! [`RenderStats`] and the [`GatherSink`] sample stream are all bit-identical
+//! to the sequential path at **any** lane count.
+//!
+//! Zero-allocation contract: lanes write **directly into the output frame**
+//! through the claim queue ([`crate::pool::FrameTiles`]) — there are no
+//! per-tile staging buffers and no merge copies — per-lane sample scratch
+//! comes from each pool worker's persistent thread-local, and the per-tile
+//! trace slots live in a reused thread-local [`TileScratch`]. After the first
+//! (warm-up) frame, a pool-path render performs zero heap allocations and
+//! zero thread spawns; `tests/zero_alloc.rs` enforces this.
 //!
 //! Sample streams: observing sinks (memory-traffic replays) are inherently
 //! sequential, so each tile buffers its samples into a private trace and the
@@ -16,24 +24,35 @@
 //! ([`crate::NullSink`]; [`GatherSink::observes_samples`] returns `false`)
 //! skip the buffering entirely — the common quality-rendering path carries no
 //! trace overhead.
+//!
+//! [`render_tiled_scoped`] preserves the previous engine — fresh scoped
+//! threads and per-tile staging buffers every frame — purely as the
+//! spawn-overhead comparator for the `parallel_baseline` microbench.
 
 use crate::model::NerfModel;
 use crate::plan::{GatherPlan, GatherSink, LevelGather, NullSink};
-use crate::render::{render_rows, RenderOptions, RenderScratch, RenderStats, RowBand};
+use crate::pool::{FrameTiles, RenderPool};
+use crate::render::{
+    render_rows, with_thread_scratch, RenderOptions, RenderScratch, RenderStats, RowBand,
+};
 use cicero_math::{Camera, Vec3};
 use cicero_scene::ground_truth::Frame;
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Tile-engine options.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TileOptions {
-    /// Worker threads. `1` renders inline on the calling thread (identical
-    /// code path, no spawn); values are clamped to at least 1.
+    /// Parallel lanes. `1` renders inline on the calling thread (identical
+    /// code path, no pool traffic); values are clamped to at least 1. The
+    /// pool may serve fewer lanes when capped or contended — output is
+    /// bit-identical either way.
     pub threads: usize,
     /// Tile height in rows. Tiles are full-width row bands so that merging
     /// in tile order reproduces the sequential row-major pixel order. Frames
     /// shorter than `threads × tile_rows` use proportionally shorter tiles
-    /// so every worker still gets one.
+    /// so every lane still gets one.
     pub tile_rows: usize,
 }
 
@@ -87,6 +106,11 @@ impl GatherSink for TileTrace {
 }
 
 impl TileTrace {
+    fn clear(&mut self) {
+        self.events.clear();
+        self.levels.clear();
+    }
+
     /// Replays the buffered samples into `sink` through a reusable plan.
     fn replay<S: GatherSink>(&self, sink: &mut S, plan: &mut GatherPlan) {
         let mut off = 0usize;
@@ -100,36 +124,32 @@ impl TileTrace {
     }
 }
 
-/// One rendered tile, produced by a worker and merged by the caller.
-struct TileOut {
-    y0: usize,
-    y1: usize,
-    color: Vec<Vec3>,
-    depth: Vec<f32>,
-    stats: RenderStats,
-    trace: Option<TileTrace>,
+/// Per-frame merge scratch of the pool render path: the per-tile trace slots
+/// and the replay plan. Kept in a thread-local and reused across frames so a
+/// warmed traffic-collecting render allocates nothing either.
+#[derive(Debug, Default)]
+struct TileScratch {
+    traces: Vec<TileTrace>,
+    replay_plan: GatherPlan,
 }
 
-/// Renders the pixels selected by `mask` (or all pixels when `None`) into an
-/// existing frame, tile-parallel.
-///
-/// Bit-identical to [`crate::render::render_masked`] — frame, stats and sink
-/// stream — at any `tile.threads`. With `threads == 1` it *is* the
-/// sequential path (no tiles, no buffering).
-///
-/// # Panics
-///
-/// Panics if the mask length or frame dimensions mismatch the camera, or if
-/// a worker thread panics.
-pub fn render_tiled<M: NerfModel + ?Sized, S: GatherSink>(
-    model: &M,
-    camera: &Camera,
-    opts: &RenderOptions,
-    mask: Option<&[bool]>,
-    frame: &mut Frame,
-    sink: &mut S,
-    tile: &TileOptions,
-) -> RenderStats {
+std::thread_local! {
+    static TILE_SCRATCH: RefCell<TileScratch> = RefCell::new(TileScratch::default());
+}
+
+/// Tile/lane geometry shared by both engines.
+fn tile_geometry(h: usize, tile: &TileOptions) -> (usize, usize, usize) {
+    // Shrink tiles when the frame is shorter than `threads × tile_rows`, so
+    // small frames still split across every lane instead of collapsing to
+    // one tile (tiling never affects results, only load balance).
+    let threads = tile.threads.max(1);
+    let tile_rows = tile.tile_rows.max(1).min(h.div_ceil(threads).max(1));
+    let n_tiles = h.div_ceil(tile_rows);
+    let workers = threads.min(n_tiles.max(1));
+    (tile_rows, n_tiles, workers)
+}
+
+fn check_inputs(camera: &Camera, mask: Option<&[bool]>, frame: &Frame) {
     let (w, h) = (camera.intrinsics.width, camera.intrinsics.height);
     if let Some(m) = mask {
         assert_eq!(m.len(), w * h, "mask must cover every pixel");
@@ -139,17 +159,163 @@ pub fn render_tiled<M: NerfModel + ?Sized, S: GatherSink>(
         (w, h),
         "frame/camera size mismatch"
     );
+}
 
-    // Shrink tiles when the frame is shorter than `threads × tile_rows`, so
-    // small frames still split across every worker instead of collapsing to
-    // one tile (tiling never affects results, only load balance).
-    let threads = tile.threads.max(1);
-    let tile_rows = tile.tile_rows.max(1).min(h.div_ceil(threads).max(1));
-    let n_tiles = h.div_ceil(tile_rows);
-    let workers = threads.min(n_tiles.max(1));
+/// Renders the pixels selected by `mask` (or all pixels when `None`) into an
+/// existing frame, tile-parallel on the persistent worker pool.
+///
+/// Bit-identical to [`crate::render::render_masked`] — frame, stats and sink
+/// stream — at any `tile.threads`. With `threads == 1` it *is* the
+/// sequential path (no tiles, no buffering). After warm-up the pool path
+/// performs zero heap allocations and zero thread spawns per frame.
+///
+/// # Panics
+///
+/// Panics if the mask length or frame dimensions mismatch the camera, or if
+/// a pool worker panics.
+pub fn render_tiled<M: NerfModel + ?Sized, S: GatherSink>(
+    model: &M,
+    camera: &Camera,
+    opts: &RenderOptions,
+    mask: Option<&[bool]>,
+    frame: &mut Frame,
+    sink: &mut S,
+    tile: &TileOptions,
+) -> RenderStats {
+    check_inputs(camera, mask, frame);
+    let (w, h) = (camera.intrinsics.width, camera.intrinsics.height);
+    let (tile_rows, n_tiles, workers) = tile_geometry(h, tile);
     if workers <= 1 {
         // Sequential path: render_masked reuses a per-thread scratch, so
         // frame loops stay allocation-free across frames too.
+        return crate::render::render_masked(model, camera, opts, mask, frame, sink);
+    }
+
+    let buffer_trace = sink.observes_samples();
+    let mut scratch = TILE_SCRATCH.with(|s| std::mem::take(&mut *s.borrow_mut()));
+    if buffer_trace {
+        while scratch.traces.len() < n_tiles {
+            scratch.traces.push(TileTrace::default());
+        }
+        for t in &mut scratch.traces[..n_tiles] {
+            t.clear();
+        }
+    }
+
+    // One checkout serves the whole frame; lanes pull tiles from the claim
+    // queue and write straight into the frame's pixel buffers (tiles are
+    // disjoint row bands, so there is nothing to merge afterwards). Stats
+    // are u64 counters — summing per-lane subtotals is order-free and
+    // bit-equal to the sequential accumulation.
+    let total = Mutex::new(RenderStats::default());
+    {
+        let co = RenderPool::global().checkout(workers - 1);
+        let extras = if buffer_trace {
+            Some(&mut scratch.traces[..n_tiles])
+        } else {
+            None
+        };
+        // Each lane starts on its reserved tile (so every worker's scratch
+        // warms deterministically on the first frame), then drains the
+        // shared queue.
+        let tiles = FrameTiles::new(
+            frame.color.pixels_mut(),
+            frame.depth.pixels_mut(),
+            extras,
+            w,
+            h,
+            tile_rows,
+            co.lanes(),
+        );
+        co.run(|lane| {
+            with_thread_scratch(|rs: &mut RenderScratch| {
+                let mut local = RenderStats::default();
+                let mut next = tiles.first_for_lane(lane);
+                while let Some(t) = next {
+                    let band = RowBand {
+                        y0: t.y0,
+                        y1: t.y1,
+                        color: t.color,
+                        depth: t.depth,
+                    };
+                    let stats = match t.extra {
+                        Some(trace) => render_rows(model, camera, opts, mask, band, trace, rs),
+                        None => render_rows(model, camera, opts, mask, band, &mut NullSink, rs),
+                    };
+                    local.accumulate(&stats);
+                    next = tiles.claim();
+                }
+                total.lock().unwrap().accumulate(&local);
+            });
+        });
+    }
+
+    // Deterministic trace replay: tiles in ascending order. Tiles are
+    // full-width row bands, so this order equals the sequential row-major
+    // order — the sink sees the exact sample stream the sequential renderer
+    // would produce.
+    if buffer_trace {
+        let TileScratch {
+            traces,
+            replay_plan,
+        } = &mut scratch;
+        for trace in &traces[..n_tiles] {
+            trace.replay(sink, replay_plan);
+        }
+    }
+    TILE_SCRATCH.with(|s| *s.borrow_mut() = scratch);
+    total.into_inner().unwrap()
+}
+
+/// Renders a full frame tile-parallel, returning the frame and statistics.
+/// Bit-identical to [`crate::render::render_full`] at any thread count.
+pub fn render_full_tiled<M: NerfModel + ?Sized, S: GatherSink>(
+    model: &M,
+    camera: &Camera,
+    opts: &RenderOptions,
+    sink: &mut S,
+    tile: &TileOptions,
+) -> (Frame, RenderStats) {
+    let (w, h) = (camera.intrinsics.width, camera.intrinsics.height);
+    let mut frame =
+        cicero_scene::ground_truth::background_frame(&crate::model::ModelSource(model), w, h);
+    let stats = render_tiled(model, camera, opts, None, &mut frame, sink, tile);
+    (frame, stats)
+}
+
+/// One rendered tile of the legacy scoped engine.
+struct TileOut {
+    y0: usize,
+    y1: usize,
+    color: Vec<Vec3>,
+    depth: Vec<f32>,
+    stats: RenderStats,
+    trace: Option<TileTrace>,
+}
+
+/// The previous tile engine: fresh `std::thread::scope` workers and per-tile
+/// staging buffers **every frame**. Output is bit-identical to
+/// [`render_tiled`]; the only difference is cost — per-frame thread spawns,
+/// per-tile allocations and a merge copy. Kept exclusively as the
+/// spawn-overhead comparator for the `parallel_baseline` microbench; new
+/// code should always use [`render_tiled`].
+///
+/// # Panics
+///
+/// Same contract as [`render_tiled`].
+pub fn render_tiled_scoped<M: NerfModel + ?Sized, S: GatherSink>(
+    model: &M,
+    camera: &Camera,
+    opts: &RenderOptions,
+    mask: Option<&[bool]>,
+    frame: &mut Frame,
+    sink: &mut S,
+    tile: &TileOptions,
+) -> RenderStats {
+    check_inputs(camera, mask, frame);
+    let (w, h) = (camera.intrinsics.width, camera.intrinsics.height);
+    let (tile_rows, n_tiles, workers) = tile_geometry(h, tile);
+    if workers <= 1 {
         return crate::render::render_masked(model, camera, opts, mask, frame, sink);
     }
 
@@ -226,9 +392,6 @@ pub fn render_tiled<M: NerfModel + ?Sized, S: GatherSink>(
         }
     });
 
-    // Deterministic merge: tiles in ascending order. Tiles are full-width row
-    // bands, so this order equals the sequential row-major order — the sink
-    // sees the exact sample stream the sequential renderer would produce.
     let mut stats = RenderStats::default();
     let frame_color = frame.color.pixels_mut();
     let frame_depth = frame.depth.pixels_mut();
@@ -263,9 +426,9 @@ pub fn render_tiled<M: NerfModel + ?Sized, S: GatherSink>(
     stats
 }
 
-/// Renders a full frame tile-parallel, returning the frame and statistics.
-/// Bit-identical to [`crate::render::render_full`] at any thread count.
-pub fn render_full_tiled<M: NerfModel + ?Sized, S: GatherSink>(
+/// [`render_tiled_scoped`] over a fresh full frame — the microbench's
+/// spawn-overhead comparator for [`render_full_tiled`].
+pub fn render_full_tiled_scoped<M: NerfModel + ?Sized, S: GatherSink>(
     model: &M,
     camera: &Camera,
     opts: &RenderOptions,
@@ -275,7 +438,7 @@ pub fn render_full_tiled<M: NerfModel + ?Sized, S: GatherSink>(
     let (w, h) = (camera.intrinsics.width, camera.intrinsics.height);
     let mut frame =
         cicero_scene::ground_truth::background_frame(&crate::model::ModelSource(model), w, h);
-    let stats = render_tiled(model, camera, opts, None, &mut frame, sink, tile);
+    let stats = render_tiled_scoped(model, camera, opts, None, &mut frame, sink, tile);
     (frame, stats)
 }
 
@@ -314,18 +477,20 @@ mod tests {
         let opts = RenderOptions::default();
         let (seq_frame, seq_stats) = render_full(&model, &cam, &opts, &mut NullSink);
         for threads in [1, 2, 3, 8] {
-            let (par_frame, par_stats) = render_full_tiled(
-                &model,
-                &cam,
-                &opts,
-                &mut NullSink,
-                &TileOptions {
-                    threads,
-                    tile_rows: 7, // deliberately ragged vs the 40-row frame
-                },
-            );
+            let tile = TileOptions {
+                threads,
+                tile_rows: 7, // deliberately ragged vs the 40-row frame
+            };
+            let (par_frame, par_stats) =
+                render_full_tiled(&model, &cam, &opts, &mut NullSink, &tile);
             assert_eq!(par_frame, seq_frame, "{threads} threads");
             assert_eq!(par_stats, seq_stats, "{threads} threads");
+            // The legacy scoped engine stays the pool's bit-exact twin (the
+            // microbench relies on comparing like with like).
+            let (scoped_frame, scoped_stats) =
+                render_full_tiled_scoped(&model, &cam, &opts, &mut NullSink, &tile);
+            assert_eq!(scoped_frame, seq_frame, "scoped, {threads} threads");
+            assert_eq!(scoped_stats, seq_stats, "scoped, {threads} threads");
         }
     }
 
@@ -391,6 +556,30 @@ mod tests {
         assert_eq!(par, seq);
         assert_eq!(s1, s2);
         assert_eq!(*par.color.get(1, 1), sentinel);
+    }
+
+    #[test]
+    fn repeated_pool_renders_reuse_workers() {
+        let (model, cam) = setup();
+        let opts = RenderOptions::default();
+        let tile = TileOptions {
+            threads: 3,
+            tile_rows: 8,
+        };
+        // Warm-up spawns at most the checked-out workers.
+        let (first, _) = render_full_tiled(&model, &cam, &opts, &mut NullSink, &tile);
+        let before = RenderPool::global().spawned_total();
+        for _ in 0..5 {
+            let (again, _) = render_full_tiled(&model, &cam, &opts, &mut NullSink, &tile);
+            assert_eq!(again, first);
+        }
+        // Other tests share the global pool, so tolerate *their* spawns only
+        // if they raced in; sequential runs of this test see exactly zero.
+        let spawned = RenderPool::global().spawned_total() - before;
+        assert!(
+            spawned <= 2,
+            "warmed pool renders spawned {spawned} threads"
+        );
     }
 
     #[test]

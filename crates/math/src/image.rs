@@ -94,6 +94,13 @@ impl<T: Clone> Image<T> {
         &self.data
     }
 
+    /// Overwrites every pixel with `value`, keeping the allocation — the
+    /// reuse primitive behind zero-allocation frame loops (e.g. the warp
+    /// output buffers of `cicero::sparw::warp_frame_into`).
+    pub fn fill(&mut self, value: T) {
+        self.data.fill(value);
+    }
+
     /// Raw mutable row-major pixel slice.
     #[inline]
     pub fn pixels_mut(&mut self) -> &mut [T] {

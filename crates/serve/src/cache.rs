@@ -63,7 +63,7 @@ pub struct CachedReference {
 }
 
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct CacheKey {
+pub(crate) struct CacheKey {
     scene: String,
     width: usize,
     height: usize,
@@ -119,6 +119,20 @@ impl RefCache {
                 (sign * pose.rotation.z / qr).round() as i32,
             ],
         }
+    }
+
+    /// The quantized cell a freshly rendered `pose` would be inserted under
+    /// (`sign == 1.0`), or the mirrored probe cell (`sign == -1.0`). The
+    /// scheduler uses these to recognize, *within one dispatch batch*, that
+    /// two sessions plan the same reference before either has rendered it.
+    pub(crate) fn cell(
+        &self,
+        scene: &str,
+        intrinsics: Intrinsics,
+        pose: &Pose,
+        sign: f32,
+    ) -> CacheKey {
+        self.key(scene, intrinsics, pose, sign)
     }
 
     /// Looks up a reference near `pose` for `scene` at `intrinsics`'

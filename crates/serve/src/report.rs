@@ -5,7 +5,7 @@ use crate::cache::RefCacheStats;
 use crate::session::{QosClass, SessionId};
 
 /// One served frame, as the scheduler saw it.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FrameRecord {
     /// The session the frame belongs to.
     pub session: SessionId,
@@ -38,7 +38,7 @@ impl FrameRecord {
 }
 
 /// Per-session aggregate.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SessionSummary {
     /// Session id.
     pub id: SessionId,
@@ -62,7 +62,7 @@ pub struct SessionSummary {
 }
 
 /// Aggregate serving statistics for one [`crate::FrameServer::run`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServiceReport {
     /// Every served frame, in dispatch (readiness) order. With one worker
     /// this coincides with completion order; across several workers

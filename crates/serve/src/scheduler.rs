@@ -11,34 +11,54 @@
 //! 1. **batches reference renders**: for each session it looks one warping
 //!    window ahead ([`PipelineSession::upcoming_references`]); pending
 //!    references are resolved from the shared [`RefCache`] when a co-located
-//!    session already rendered a nearby pose, and otherwise dispatched
-//!    together across the least-loaded workers — generalizing the
-//!    single-client reference/target overlap of Fig. 10/11b to a fleet;
-//! 2. **serves one target frame**: among sessions whose next frame is ready
-//!    (client arrival reached, warp source available), it picks by earliest
-//!    readiness, breaking ties by QoS priority then earliest deadline, and
-//!    bills the frame's un-amortized service time to the least-loaded
-//!    worker — priced on *that worker's* SoC, so a pool of faster or slower
-//!    hardware than the clients assumed actually changes the timeline.
+//!    session already rendered a nearby pose (including one planned earlier
+//!    *in the same batch*), and the remaining misses are rendered together
+//!    on the host render pool, then committed across the least-loaded
+//!    simulated workers — generalizing the single-client reference/target
+//!    overlap of Fig. 10/11b to a fleet;
+//! 2. **serves a batch of target frames**: every session whose next frame is
+//!    ready (client arrival reached, warp source available) within half a
+//!    frame interval of the earliest one steps in this round. The batch is
+//!    ordered by QoS priority, then earliest deadline, then session id, and
+//!    each frame bills its un-amortized service time to the least-loaded
+//!    worker in that order — priced on *that worker's* SoC, so a pool of
+//!    faster or slower hardware than the clients assumed actually changes
+//!    the timeline.
+//!
+//! # Host concurrency
+//!
+//! Batch membership, ordering and all simulated bookkeeping depend only on
+//! simulated time — never on host threads — while the *execution* of a
+//! batch (pixel rendering and warping) fans out across the persistent
+//! [`RenderPool`](cicero_field::pool::RenderPool): with a host thread
+//! budget of `T` ([`ServeConfig::render_threads`]) a batch of `B` sessions
+//! steps on `min(B, T)` concurrent drivers, each session's own passes using
+//! `T / min(B, T)` lanes. Frames, statistics and the entire
+//! [`ServiceReport`] are therefore **bit-identical at any budget**;
+//! concurrency moves wall-clock only. `tests/parallel_determinism.rs`
+//! enforces exactly this.
 //!
 //! Reference renders for *remote*-scenario sessions are priced at
 //! workstation speed (`SocConfig::remote.speedup_over_mobile`), matching the
 //! paper's remote accounting; everything else runs at SoC speed.
 
 use crate::admission::{AdmissionController, AdmissionError, AdmissionPolicy};
-use crate::cache::{CachedReference, RefCache, RefCacheConfig};
+use crate::cache::{CacheKey, CachedReference, RefCache, RefCacheConfig};
 use crate::report::{percentile, FrameRecord, ServiceReport, SessionSummary};
 use crate::session::{ServeSession, SessionId, SessionSpec};
-use cicero::pipeline::PipelineSession;
+use cicero::pipeline::{PipelineSession, SessionStep};
 use cicero::schedule::FramePlan;
 use cicero::Scenario;
 use cicero_accel::pool::{PoolConfig, WorkerPool};
 use cicero_accel::soc::SocModel;
 use cicero_accel::FrameWorkload;
+use cicero_field::pool::RenderPool;
 use cicero_field::NerfModel;
-use cicero_math::Intrinsics;
+use cicero_math::{Intrinsics, Pose};
+use cicero_scene::ground_truth::Frame;
 use cicero_scene::{AnalyticScene, Trajectory};
-use std::sync::Arc;
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
 
 /// Frame-server configuration.
 #[derive(Debug, Clone, Copy, Default)]
@@ -54,13 +74,38 @@ pub struct ServeConfig {
     /// poses, so looking further ahead would use client poses that have not
     /// arrived yet.
     pub lookahead: Option<usize>,
-    /// Host worker threads per frame render/warp (the tile engine of
-    /// `cicero_field::tiles`). `0` keeps each session's own
-    /// `PipelineConfig::render_threads`; any other value overrides it for
-    /// every admitted session, so a server deployment saturates its machine
-    /// regardless of what clients asked for. Wall-clock only: frames and
-    /// simulated timings are bit-identical at any value.
+    /// The server's **total host thread budget**. `0` steps sessions
+    /// serially, each with its own `PipelineConfig::render_threads`; any
+    /// other value enables concurrent session stepping on the persistent
+    /// render pool: a ready batch of `B` sessions runs on `min(B, budget)`
+    /// drivers and the budget is partitioned evenly across them (each
+    /// session's tile/warp passes get `budget / min(B, budget)` lanes), so
+    /// a deployment saturates its machine regardless of what clients asked
+    /// for. Wall-clock only: frames, statistics and the whole service
+    /// report are bit-identical at any value.
     pub render_threads: usize,
+}
+
+/// Runs `work` over every entry, fanning out across up to `drivers`
+/// concurrent render-pool lanes (inline when the budget grants only one, or
+/// when there is at most one entry). Each entry is processed exactly once;
+/// within a lane the order is deterministic, but cross-lane interleaving is
+/// not — callers must keep all order-sensitive bookkeeping *out* of `work`
+/// and apply it afterwards in entry order.
+fn fan_out<T: Send>(entries: &[Mutex<T>], drivers: usize, work: impl Fn(&mut T) + Sync) {
+    if drivers <= 1 || entries.len() <= 1 {
+        for entry in entries {
+            work(&mut entry.lock().unwrap());
+        }
+    } else {
+        let co = RenderPool::global().checkout(drivers - 1);
+        let lanes = co.lanes();
+        co.run(|lane| {
+            for entry in entries.iter().skip(lane).step_by(lanes) {
+                work(&mut entry.lock().unwrap());
+            }
+        });
+    }
 }
 
 /// A multi-session frame-serving engine over borrowed scene assets.
@@ -123,7 +168,9 @@ impl<'a> FrameServer<'a> {
         let mut spec = spec;
         if self.cfg.render_threads > 0 {
             // Server-side override: the host's parallelism budget belongs to
-            // the deployment, not the client. Bit-identical output, so this
+            // the deployment, not the client. This is only the initial lane
+            // count — the scheduler re-partitions the budget across each
+            // concurrently stepping batch. Bit-identical output, so this
             // never affects cache sharing or reported quality.
             spec.config.render_threads = self.cfg.render_threads;
         }
@@ -168,16 +215,82 @@ impl<'a> FrameServer<'a> {
         }
     }
 
+    /// Prices, caches and installs one freshly rendered reference — the
+    /// commit half of a reference job, always executed in deterministic
+    /// plan order on the simulated timeline.
+    #[allow(clippy::too_many_arguments)]
+    fn commit_reference(
+        pool: &mut WorkerPool,
+        cache: &mut RefCache,
+        reference_jobs: &mut u64,
+        sess: &mut ServeSession<'_>,
+        r: usize,
+        pose: Pose,
+        dispatch_at: f64,
+        frame: Frame,
+        workload: FrameWorkload,
+    ) {
+        let frame = Arc::new(frame);
+        let worker = pool.least_loaded();
+        let duration = Self::reference_duration(sess, &pool.workers()[worker].soc, &workload);
+        let span = pool.assign(worker, dispatch_at, duration);
+        cache.insert(
+            &sess.cache_key,
+            sess.pipe.intrinsics(),
+            CachedReference {
+                pose,
+                frame: frame.clone(),
+                workload: workload.clone(),
+                available_at_s: span.end_s,
+            },
+        );
+        sess.pipe.install_reference(r, pose, frame, workload);
+        sess.ref_ready[r] = Some(span.end_s);
+        *reference_jobs += 1;
+    }
+
     /// Phase A: resolve or dispatch every reference needed within the
-    /// lookahead horizon, as one batch across the pool.
+    /// lookahead horizon, as one batch.
+    ///
+    /// Three sub-phases keep the simulated timeline independent of host
+    /// concurrency: **plan** (sequential, session-id order) resolves cache
+    /// hits and dedupes same-cell requests planned within this batch;
+    /// **render** executes the missing full renders concurrently on the
+    /// host render pool; **commit** (sequential, plan order) prices each
+    /// render on the least-loaded simulated worker, publishes it to the
+    /// cache and installs it — bit-identical bookkeeping at any host
+    /// thread budget.
     fn dispatch_references(&mut self) {
+        struct RefJob {
+            sess: SessionId,
+            r: usize,
+            pose: Pose,
+            dispatch_at: f64,
+            rendered: Option<(Frame, FrameWorkload)>,
+        }
+
+        // Plan: hits install immediately; a miss whose quantized cell was
+        // already planned this batch defers to the producer's commit; the
+        // rest become render jobs.
+        let mut jobs: Vec<Mutex<RefJob>> = Vec::new();
+        let mut deferred: Vec<(SessionId, usize)> = Vec::new();
+        let mut pending: HashSet<CacheKey> = HashSet::new();
         for sess in self.sessions.iter_mut().filter(|s| !s.pipe.is_done()) {
             let horizon = self.cfg.lookahead.unwrap_or(sess.spec.config.window.max(1));
             let dispatch_at = sess.arrival_s(sess.pipe.cursor());
             for r in sess.pipe.upcoming_references(horizon) {
                 let pose = sess.pipe.reference_pose(r);
                 let intrinsics = sess.pipe.intrinsics();
-                if let Some(hit) = self.cache.lookup(&sess.cache_key, intrinsics, &pose) {
+                // A cell already planned this batch cannot be in the cache
+                // (its producer's lookup just missed), so checking `pending`
+                // first is semantically free — and it keeps the stats equal
+                // to serial dispatch: the deferred sharer's only counted
+                // lookup is the hit it scores at commit time.
+                if [1.0f32, -1.0].iter().any(|&s| {
+                    pending.contains(&self.cache.cell(&sess.cache_key, intrinsics, &pose, s))
+                }) {
+                    deferred.push((sess.id, r));
+                } else if let Some(hit) = self.cache.lookup(&sess.cache_key, intrinsics, &pose) {
                     sess.pipe.install_reference(
                         r,
                         hit.pose,
@@ -187,25 +300,88 @@ impl<'a> FrameServer<'a> {
                     sess.ref_ready[r] = Some(hit.available_at_s);
                     sess.cache_hits += 1;
                 } else {
-                    let (frame, workload) = sess.pipe.render_reference(r);
-                    let frame = Arc::new(frame);
-                    let worker = self.pool.least_loaded();
-                    let duration =
-                        Self::reference_duration(sess, &self.pool.workers()[worker].soc, &workload);
-                    let span = self.pool.assign(worker, dispatch_at, duration);
-                    self.cache.insert(
-                        &sess.cache_key,
-                        intrinsics,
-                        CachedReference {
-                            pose,
-                            frame: frame.clone(),
-                            workload: workload.clone(),
-                            available_at_s: span.end_s,
-                        },
+                    pending.insert(self.cache.cell(&sess.cache_key, intrinsics, &pose, 1.0));
+                    jobs.push(Mutex::new(RefJob {
+                        sess: sess.id,
+                        r,
+                        pose,
+                        dispatch_at,
+                        rendered: None,
+                    }));
+                }
+            }
+        }
+
+        // Render: the expensive full renders, fanned out across the host
+        // render pool (each render's own tile passes use the session's lane
+        // count, so nested checkouts divide whatever is left of the budget).
+        let budget = self.cfg.render_threads;
+        if !jobs.is_empty() {
+            if budget >= 1 {
+                let per = (budget / jobs.len().min(budget)).max(1);
+                for job in &jobs {
+                    let job = job.lock().unwrap();
+                    self.sessions[job.sess].pipe.set_render_threads(per);
+                }
+            }
+            let drivers = if budget >= 1 {
+                jobs.len().min(budget)
+            } else {
+                1
+            };
+            fan_out(&jobs, drivers, |job| {
+                job.rendered = Some(self.sessions[job.sess].pipe.render_reference(job.r));
+            });
+        }
+
+        // Commit: deterministic plan order, then resolve the deferred
+        // same-batch sharers against the now-published entries.
+        for job in jobs {
+            let job = job.into_inner().unwrap();
+            let (frame, workload) = job.rendered.expect("job was rendered");
+            Self::commit_reference(
+                &mut self.pool,
+                &mut self.cache,
+                &mut self.reference_jobs,
+                &mut self.sessions[job.sess],
+                job.r,
+                job.pose,
+                job.dispatch_at,
+                frame,
+                workload,
+            );
+        }
+        for (id, r) in deferred {
+            let sess = &mut self.sessions[id];
+            let pose = sess.pipe.reference_pose(r);
+            let intrinsics = sess.pipe.intrinsics();
+            match self.cache.lookup(&sess.cache_key, intrinsics, &pose) {
+                Some(hit) => {
+                    sess.pipe.install_reference(
+                        r,
+                        hit.pose,
+                        hit.frame.clone(),
+                        hit.workload.clone(),
                     );
-                    sess.pipe.install_reference(r, pose, frame, workload);
-                    sess.ref_ready[r] = Some(span.end_s);
-                    self.reference_jobs += 1;
+                    sess.ref_ready[r] = Some(hit.available_at_s);
+                    sess.cache_hits += 1;
+                }
+                // The producing entry was evicted between commit and resolve
+                // (tiny cache capacity): fall back to an own render.
+                None => {
+                    let dispatch_at = sess.arrival_s(sess.pipe.cursor());
+                    let (frame, workload) = sess.pipe.render_reference(r);
+                    Self::commit_reference(
+                        &mut self.pool,
+                        &mut self.cache,
+                        &mut self.reference_jobs,
+                        &mut self.sessions[id],
+                        r,
+                        pose,
+                        dispatch_at,
+                        frame,
+                        workload,
+                    );
                 }
             }
         }
@@ -229,7 +405,14 @@ impl<'a> FrameServer<'a> {
     /// (submit → run → submit → run) worker clocks, cache contents and
     /// session summaries carry over, and the report covers the server's
     /// whole lifetime — not just the latest call.
+    ///
+    /// Sessions step in **ready batches** (see the module docs): every
+    /// session whose next frame is ready within half a frame interval of
+    /// the earliest one advances this round, concurrently on the host
+    /// render pool when [`ServeConfig::render_threads`] grants a budget.
+    /// The report is bit-identical at any budget.
     pub fn run(&mut self) -> ServiceReport {
+        let budget = self.cfg.render_threads;
         let eps = 0.5
             * self
                 .sessions
@@ -241,8 +424,9 @@ impl<'a> FrameServer<'a> {
         loop {
             self.dispatch_references();
 
-            // Earliest-ready frame; QoS priority then deadline break ties
-            // within half a frame interval.
+            // The ready batch: everyone within eps of the earliest-ready
+            // frame, ordered by QoS priority, deadline, id. Membership and
+            // order depend only on simulated time.
             let min_ready = self
                 .sessions
                 .iter()
@@ -252,72 +436,120 @@ impl<'a> FrameServer<'a> {
             if !min_ready.is_finite() {
                 break;
             }
-            let chosen = self
+            let mut batch: Vec<SessionId> = self
                 .sessions
                 .iter()
                 .filter(|s| !s.pipe.is_done())
                 .filter(|s| Self::ready_time(s) <= min_ready + eps)
-                .min_by(|a, b| {
-                    let ka = (a.spec.qos.priority(), a.deadline_s(a.pipe.cursor()));
-                    let kb = (b.spec.qos.priority(), b.deadline_s(b.pipe.cursor()));
-                    ka.0.cmp(&kb.0)
-                        .then(ka.1.total_cmp(&kb.1))
-                        .then(a.id.cmp(&b.id))
-                })
                 .map(|s| s.id)
-                .expect("a ready session exists");
+                .collect();
+            batch.sort_by(|&a, &b| {
+                let (a, b) = (&self.sessions[a], &self.sessions[b]);
+                let ka = (a.spec.qos.priority(), a.deadline_s(a.pipe.cursor()));
+                let kb = (b.spec.qos.priority(), b.deadline_s(b.pipe.cursor()));
+                ka.0.cmp(&kb.0)
+                    .then(ka.1.total_cmp(&kb.1))
+                    .then(a.id.cmp(&b.id))
+            });
 
-            let sess = &mut self.sessions[chosen];
-            let frame_index = sess.pipe.cursor();
-            let arrival_s = sess.arrival_s(frame_index);
-            let ready = Self::ready_time(sess);
-            let plan = sess.pipe.next_plan();
-            let step = sess.pipe.step().expect("session not done");
-            let worker = self.pool.least_loaded();
-            let duration = sess
-                .pipe
-                .service_time_on(&self.pool.workers()[worker].soc, &step);
-            let span = self.pool.assign(worker, ready, duration);
-            // In-stream reference renders publish their availability — to
-            // the session itself and, like off-stream references, to the
-            // shared cache so co-located sessions reaching the same pose
-            // later skip the render.
-            if let Some(FramePlan::FullRender { ref_index }) = plan {
-                sess.ref_ready[ref_index] = Some(span.end_s);
-                if let Some(workload) = sess.pipe.reference_workload().cloned() {
-                    let frame = sess
-                        .pipe
-                        .reference_frame(ref_index)
-                        .expect("in-stream reference was just materialized");
-                    self.cache.insert(
-                        &sess.cache_key,
-                        sess.pipe.intrinsics(),
-                        CachedReference {
-                            pose: sess.pipe.reference_pose(ref_index),
-                            frame,
-                            workload,
-                            available_at_s: span.end_s,
-                        },
-                    );
-                }
+            // Step the batch — concurrently when the budget allows,
+            // partitioning the host threads evenly across the drivers. The
+            // pre-step snapshot (arrival, readiness, plan) travels with
+            // each entry so bookkeeping below never re-derives state from a
+            // stepped session.
+            struct Stepped {
+                frame_index: usize,
+                arrival_s: f64,
+                ready_s: f64,
+                deadline_s: f64,
+                plan: Option<FramePlan>,
+                step: SessionStep,
             }
-            let deadline_s = sess.deadline_s(frame_index);
-            let record = FrameRecord {
-                session: chosen,
-                frame_index,
-                arrival_s,
-                start_s: span.start_s,
-                completion_s: span.end_s,
-                deadline_s,
-                worker: span.worker,
-                full_render: step.outcome.full_render,
+            let drivers = if budget >= 1 {
+                batch.len().min(budget)
+            } else {
+                1
             };
-            if record.missed_deadline() {
-                sess.deadline_misses += 1;
+            let per_session = if budget >= 1 {
+                (budget / drivers).max(1)
+            } else {
+                0
+            };
+            let mut by_id: Vec<Option<&mut ServeSession<'a>>> =
+                self.sessions.iter_mut().map(Some).collect();
+            let entries: Vec<Mutex<(&mut ServeSession<'a>, Option<Stepped>)>> = batch
+                .iter()
+                .map(|&id| {
+                    let sess = by_id[id].take().expect("batch ids are distinct");
+                    if per_session >= 1 {
+                        sess.pipe.set_render_threads(per_session);
+                    }
+                    Mutex::new((sess, None))
+                })
+                .collect();
+            fan_out(&entries, drivers, |entry| {
+                let sess = &mut *entry.0;
+                let frame_index = sess.pipe.cursor();
+                entry.1 = Some(Stepped {
+                    frame_index,
+                    arrival_s: sess.arrival_s(frame_index),
+                    ready_s: Self::ready_time(sess),
+                    deadline_s: sess.deadline_s(frame_index),
+                    plan: sess.pipe.next_plan(),
+                    step: sess.pipe.step().expect("session not done"),
+                });
+            });
+
+            // Bookkeeping in batch order on the simulated timeline —
+            // identical whether the steps above ran serially or fanned out.
+            for entry in entries {
+                let (sess, stepped) = entry.into_inner().unwrap();
+                let st = stepped.expect("every batch entry stepped");
+                let worker = self.pool.least_loaded();
+                let duration = sess
+                    .pipe
+                    .service_time_on(&self.pool.workers()[worker].soc, &st.step);
+                let span = self.pool.assign(worker, st.ready_s, duration);
+                // In-stream reference renders publish their availability —
+                // to the session itself and, like off-stream references, to
+                // the shared cache so co-located sessions reaching the same
+                // pose later skip the render.
+                if let Some(FramePlan::FullRender { ref_index }) = st.plan {
+                    sess.ref_ready[ref_index] = Some(span.end_s);
+                    if let Some(workload) = sess.pipe.reference_workload().cloned() {
+                        let frame = sess
+                            .pipe
+                            .reference_frame(ref_index)
+                            .expect("in-stream reference was just materialized");
+                        self.cache.insert(
+                            &sess.cache_key,
+                            sess.pipe.intrinsics(),
+                            CachedReference {
+                                pose: sess.pipe.reference_pose(ref_index),
+                                frame,
+                                workload,
+                                available_at_s: span.end_s,
+                            },
+                        );
+                    }
+                }
+                let record = FrameRecord {
+                    session: sess.id,
+                    frame_index: st.frame_index,
+                    arrival_s: st.arrival_s,
+                    start_s: span.start_s,
+                    completion_s: span.end_s,
+                    deadline_s: st.deadline_s,
+                    worker: span.worker,
+                    full_render: st.step.outcome.full_render,
+                };
+                if record.missed_deadline() {
+                    sess.deadline_misses += 1;
+                }
+                sess.latencies.push(record.latency_s());
+                sess.record_outcome(&st.step.outcome);
+                self.records.push(record);
             }
-            sess.latencies.push(record.latency_s());
-            sess.record_outcome(&step.outcome);
-            self.records.push(record);
         }
 
         // Drained sessions hand their committed capacity back, so a reused

@@ -7,10 +7,13 @@
 //! sessions share reference renders through the pose-quantized cache.
 //!
 //! Run with `cargo run --release --example serve_swarm [-- THREADS]`.
-//! `THREADS` sets the host render-thread count (default: the
-//! `RENDER_THREADS` environment variable, then 1), so the swarm demo doubles
-//! as a host-scaling demo: frames are bit-identical at any count, only the
-//! wall-clock frames/sec moves.
+//! `THREADS` is the server's total host thread budget (default: the
+//! `RENDER_THREADS` environment variable, then 1): ready sessions step
+//! **concurrently** on the persistent render pool, with the budget
+//! partitioned across each batch. The swarm demo therefore doubles as a
+//! host-scaling demo — the service report is bit-identical at any budget
+//! (the `digest:` line below is CI's determinism oracle between the
+//! 1-thread and 4-thread legs), only the wall-clock frames/sec moves.
 
 use cicero::pipeline::PipelineConfig;
 use cicero::{Scenario, Variant};
@@ -218,5 +221,21 @@ fn main() {
         "expected at least one cross-session cache hit"
     );
     assert!(report.throughput_fps > 0.0);
+
+    // Determinism oracle: every field here is simulated-time state, so the
+    // line must be byte-identical at any host thread budget. CI runs the
+    // swarm at 1 and 4 threads and diffs the two digests.
+    let psnr_sum: f64 = report.sessions.iter().map(|s| s.mean_psnr_db).sum();
+    println!(
+        "digest: frames={} makespan={:.12} p50={:.12} p99={:.12} misses={} ref_jobs={} cache_hits={} psnr_sum={:.9}",
+        report.frames,
+        report.makespan_s,
+        report.p50_latency_s,
+        report.p99_latency_s,
+        report.deadline_misses,
+        report.reference_jobs,
+        total_hits,
+        psnr_sum
+    );
     println!("\nOK: {sessions} sessions, {total_hits} cross-session cache hits");
 }

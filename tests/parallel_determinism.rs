@@ -3,16 +3,23 @@
 //! pipeline variant. This is the contract that makes `render_threads` a pure
 //! wall-clock knob: experiment reproducibility, the serve layer's reference
 //! cache and the simulated timelines all rely on it.
+//!
+//! Since the persistent worker pool took over every data-parallel pass, the
+//! contract widened: it must also survive the pool's *lifecycle* — worker
+//! reuse across frames and sessions, resizes mid-run, and the serve
+//! scheduler stepping many sessions concurrently on one pool.
 
-use cicero::pipeline::{run_pipeline, PipelineConfig};
+use cicero::pipeline::{run_pipeline, PipelineConfig, PipelineSession};
 use cicero::sparw::{warp_frame, warp_frame_with, WarpOptions, WarpScratch};
 use cicero::Variant;
+use cicero_field::pool::RenderPool;
 use cicero_field::tiles::{render_full_tiled, TileOptions};
 use cicero_field::{bake, render::render_full, GatherPlan, HashConfig, RenderOptions};
 use cicero_math::{Camera, Intrinsics, Pose, Vec3};
 use cicero_scene::ground_truth::render_frame;
 use cicero_scene::volume::MarchParams;
 use cicero_scene::{library, RadianceSource, Trajectory};
+use cicero_serve::{FrameServer, QosClass, ServeConfig, SessionSpec};
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 3, 8];
 
@@ -152,6 +159,218 @@ fn pipeline_runs_are_bit_identical_across_thread_counts() {
                 }
             }
         }
+    }
+}
+
+/// The persistent pool's workers (and their thread-local scratches) serve
+/// every frame of every session; reuse across frames, interleaved sessions
+/// and whole-session lifetimes must never leak state into the output.
+#[test]
+fn pool_reuse_across_frames_and_sessions_is_bit_identical() {
+    let scene = library::scene_by_name("lego").unwrap();
+    let model = bake::bake_grid(
+        &scene,
+        &cicero_field::GridConfig {
+            resolution: 24,
+            ..Default::default()
+        },
+    );
+    let cam = Camera::new(
+        Intrinsics::from_fov(33, 33, 0.9),
+        Pose::look_at(Vec3::new(0.3, 1.2, -2.6), Vec3::ZERO, Vec3::Y),
+    );
+    let opts = RenderOptions::default();
+    let (seq_frame, seq_stats) = render_full(&model, &cam, &opts, &mut cicero_field::NullSink);
+
+    // Back-to-back frames through the same warm pool.
+    let tile = TileOptions {
+        threads: 4,
+        tile_rows: 8,
+    };
+    for i in 0..4 {
+        let (frame, stats) =
+            render_full_tiled(&model, &cam, &opts, &mut cicero_field::NullSink, &tile);
+        assert_eq!(frame, seq_frame, "pool frame {i}");
+        assert_eq!(stats, seq_stats, "pool stats {i}");
+    }
+
+    // Two sessions stepped in lockstep share the pool's workers frame by
+    // frame; each must reproduce its own solo (sequential) run exactly.
+    let traj = Trajectory::orbit(&scene, 6, 30.0);
+    let k = Intrinsics::from_fov(32, 32, 0.9);
+    for variant in [Variant::Sparw, Variant::Cicero] {
+        let solo = run_pipeline(&scene, &model, &traj, k, &fast_cfg(variant, 1));
+        let mut a = PipelineSession::new(&scene, &model, &traj, k, &fast_cfg(variant, 3));
+        let mut b = PipelineSession::new(&scene, &model, &traj, k, &fast_cfg(variant, 8));
+        let mut frames_a = Vec::new();
+        let mut frames_b = Vec::new();
+        loop {
+            let (sa, sb) = (a.step(), b.step());
+            if sa.is_none() && sb.is_none() {
+                break;
+            }
+            frames_a.extend(sa.map(|s| s.frame));
+            frames_b.extend(sb.map(|s| s.frame));
+        }
+        assert_eq!(frames_a, solo.frames, "{variant:?}: interleaved session a");
+        assert_eq!(frames_b, solo.frames, "{variant:?}: interleaved session b");
+    }
+}
+
+/// Resizing the pool mid-run — capping it to zero (every pass degrades to
+/// inline), regrowing it, shrinking between frames — must never change a
+/// pixel. Lane counts are a pure wall-clock knob even while they fluctuate.
+#[test]
+fn pool_resize_mid_run_keeps_output_bit_identical() {
+    let scene = library::scene_by_name("chair").unwrap();
+    let model = bake::bake_grid(
+        &scene,
+        &cicero_field::GridConfig {
+            resolution: 24,
+            ..Default::default()
+        },
+    );
+    let cam = Camera::new(
+        Intrinsics::from_fov(40, 40, 0.9),
+        Pose::look_at(Vec3::new(0.2, 1.1, -2.7), Vec3::ZERO, Vec3::Y),
+    );
+    let opts = RenderOptions::default();
+    let (seq_frame, seq_stats) = render_full(&model, &cam, &opts, &mut cicero_field::NullSink);
+
+    let pool = RenderPool::global();
+    let tile = TileOptions {
+        threads: 8,
+        tile_rows: 6,
+    };
+    // Also resize across a warp loop: the same scratch must stay clean
+    // while the bands it feeds change width under it.
+    let ref_cam = cam;
+    let tgt_cam = Camera::new(
+        cam.intrinsics,
+        Pose::look_at(Vec3::new(0.45, 1.1, -2.6), Vec3::ZERO, Vec3::Y),
+    );
+    let reference = render_frame(&scene, &ref_cam, &MarchParams::default());
+    let wopts = WarpOptions::default();
+    let warp_seq = warp_frame(&reference, &ref_cam, &tgt_cam, scene.background(), &wopts);
+    let mut scratch = WarpScratch::new();
+
+    for cap in [0usize, 1, 2, 63, 3, 0, 63] {
+        pool.set_cap(cap);
+        let (frame, stats) =
+            render_full_tiled(&model, &cam, &opts, &mut cicero_field::NullSink, &tile);
+        assert_eq!(frame, seq_frame, "cap {cap}");
+        assert_eq!(stats, seq_stats, "cap {cap}");
+        let warped = warp_frame_with(
+            &reference,
+            &ref_cam,
+            &tgt_cam,
+            scene.background(),
+            &wopts,
+            &mut scratch,
+            6,
+        );
+        assert_eq!(warped.frame, warp_seq.frame, "cap {cap}");
+        assert_eq!(warped.status, warp_seq.status, "cap {cap}");
+    }
+    pool.set_cap(63);
+}
+
+/// The serve scheduler steps ready batches concurrently when given a host
+/// thread budget; every budget must reproduce the serial (budget 0) service
+/// report **exactly** — records, latencies, PSNR, cache counters, timeline.
+#[test]
+fn concurrent_multi_session_serving_matches_serial_stepping() {
+    let lego = library::scene_by_name("lego").unwrap();
+    let ship = library::scene_by_name("ship").unwrap();
+    let models = [
+        bake::bake_grid(
+            &lego,
+            &cicero_field::GridConfig {
+                resolution: 24,
+                ..Default::default()
+            },
+        ),
+        bake::bake_grid(
+            &ship,
+            &cicero_field::GridConfig {
+                resolution: 24,
+                ..Default::default()
+            },
+        ),
+    ];
+    let scenes = [&lego, &ship];
+    let trajs = [
+        Trajectory::orbit(&lego, 8, 30.0),
+        Trajectory::orbit(&ship, 8, 30.0),
+    ];
+    let k = Intrinsics::from_fov(24, 24, 0.9);
+
+    let serve_with = |budget: usize| {
+        let mut server = FrameServer::new(ServeConfig {
+            render_threads: budget,
+            ..Default::default()
+        });
+        // Six sessions over two scenes: co-located pairs share references,
+        // QoS classes contend, offsets stagger the ready batches.
+        for (i, (qos, scene_ix, offset)) in [
+            (QosClass::Interactive, 0, 0.0),
+            (QosClass::Standard, 0, 0.004),
+            (QosClass::BestEffort, 0, 0.009),
+            (QosClass::Interactive, 1, 0.002),
+            (QosClass::Standard, 1, 0.006),
+            (QosClass::Standard, 1, 0.013),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let spec = SessionSpec {
+                name: format!("s{i}"),
+                scene_key: if scene_ix == 0 { "lego" } else { "ship" }.into(),
+                qos,
+                start_offset_s: offset,
+                config: PipelineConfig {
+                    variant: Variant::Cicero,
+                    window: 4,
+                    march: MarchParams {
+                        step: 0.05,
+                        ..Default::default()
+                    },
+                    collect_quality: true, // PSNR equality ⇒ frames match too
+                    collect_traffic: false,
+                    ..Default::default()
+                },
+            };
+            server
+                .submit(
+                    spec,
+                    scenes[scene_ix],
+                    &models[scene_ix],
+                    &trajs[scene_ix],
+                    k,
+                )
+                .unwrap();
+        }
+        server.run()
+    };
+
+    let serial = serve_with(0);
+    assert_eq!(serial.frames, 6 * 8);
+    for budget in [1, 2, 3, 8] {
+        let par = serve_with(budget);
+        assert_eq!(par.records, serial.records, "budget {budget}: records");
+        assert_eq!(par.sessions, serial.sessions, "budget {budget}: sessions");
+        assert_eq!(par.makespan_s, serial.makespan_s, "budget {budget}");
+        assert_eq!(par.p50_latency_s, serial.p50_latency_s, "budget {budget}");
+        assert_eq!(par.p99_latency_s, serial.p99_latency_s, "budget {budget}");
+        assert_eq!(par.cache, serial.cache, "budget {budget}: cache stats");
+        assert_eq!(
+            par.reference_jobs, serial.reference_jobs,
+            "budget {budget}: reference jobs"
+        );
+        assert_eq!(
+            par.deadline_misses, serial.deadline_misses,
+            "budget {budget}: deadline misses"
+        );
     }
 }
 

@@ -5,12 +5,26 @@
 //! render: the second render through the same scratch must not allocate at
 //! all.
 //!
+//! The persistent worker pool widened the contract (ISSUE 3): a warmed
+//! **pool-parallel** frame — checkout, job dispatch, pass barriers, direct
+//! frame writes, stats merge, worker release — and a warmed pool warp
+//! through [`cicero::sparw::warp_frame_into`] (one checkout, four pass
+//! barriers, reused output buffers) must also allocate nothing and spawn no
+//! threads. The allocator counter is process-global, so it covers the pool
+//! workers' lanes too, not just the calling thread.
+//!
 //! This file deliberately contains a single `#[test]` — the counter is
 //! process-global, and concurrent tests in the same binary would perturb it.
 
+use cicero::sparw::{warp_frame_into, WarpOptions, WarpResult, WarpScratch};
+use cicero_field::pool::RenderPool;
 use cicero_field::render::{render_masked, render_masked_with, RenderOptions, RenderScratch};
+use cicero_field::tiles::{render_tiled, TileOptions};
 use cicero_field::{bake, GridConfig, HashConfig, NerfModel, NullSink, TensorConfig};
 use cicero_math::{Camera, Intrinsics, Pose, Vec3};
+use cicero_scene::ground_truth::{render_frame, Frame};
+use cicero_scene::volume::MarchParams;
+use cicero_scene::RadianceSource;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -136,6 +150,106 @@ fn warmed_sample_loop_performs_zero_heap_allocations() {
             0,
             "{name}: warmed render_masked (thread-local scratch) allocated {} times",
             after - before
+        );
+    }
+
+    // ---- The pool-parallel paths (ISSUE 3) ----
+    //
+    // Tile rendering through the persistent worker pool: the first frame
+    // spawns and warms the workers; after that a frame's checkout, job
+    // dispatch, barrier, direct-to-frame tile writes, stats merge and
+    // worker release must neither allocate nor spawn.
+    let pool = RenderPool::global();
+    {
+        let model = models[0].1.as_ref(); // grid
+        let tile = TileOptions {
+            threads: 4,
+            tile_rows: 8,
+        };
+        let mut frame =
+            cicero_scene::ground_truth::background_frame(&cicero_field::ModelSource(model), 32, 32);
+        for _ in 0..2 {
+            render_tiled(model, &cam, &opts, None, &mut frame, &mut NullSink, &tile);
+        }
+        let spawns_before = pool.spawned_total();
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        let stats = render_tiled(model, &cam, &opts, None, &mut frame, &mut NullSink, &tile);
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        assert!(stats.samples_processed > 0);
+        assert_eq!(
+            after - before,
+            0,
+            "warmed pool render allocated {} times",
+            after - before
+        );
+        assert_eq!(
+            pool.spawned_total(),
+            spawns_before,
+            "warmed pool render spawned threads"
+        );
+    }
+
+    // Pool warping: one checkout, four pass barriers, caller-owned output.
+    // `warp_frame_into` reuses the result's frame/status buffers, the warp
+    // scratch and the pool workers — a warmed warp is allocation-free end
+    // to end.
+    {
+        let scene = cicero_scene::library::scene_by_name("lego").unwrap();
+        let k = Intrinsics::from_fov(48, 48, 0.9);
+        let ref_cam = Camera::new(
+            k,
+            Pose::look_at(Vec3::new(0.0, 1.3, -2.8), Vec3::ZERO, Vec3::Y),
+        );
+        let tgt_cam = Camera::new(
+            k,
+            Pose::look_at(Vec3::new(0.2, 1.25, -2.7), Vec3::ZERO, Vec3::Y),
+        );
+        let reference = render_frame(&scene, &ref_cam, &MarchParams::default());
+        let wopts = WarpOptions::default();
+        let mut scratch = WarpScratch::new();
+        let mut out = WarpResult {
+            frame: Frame {
+                color: cicero_math::RgbImage::new(0, 0, Vec3::ZERO),
+                depth: cicero_math::DepthMap::empty(0, 0),
+            },
+            status: Vec::new(),
+        };
+        for _ in 0..2 {
+            warp_frame_into(
+                &reference,
+                &ref_cam,
+                &tgt_cam,
+                scene.background(),
+                &wopts,
+                &mut scratch,
+                4,
+                &mut out,
+            );
+        }
+        let spawns_before = pool.spawned_total();
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        warp_frame_into(
+            &reference,
+            &ref_cam,
+            &tgt_cam,
+            scene.background(),
+            &wopts,
+            &mut scratch,
+            4,
+            &mut out,
+        );
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        assert!(out.stats().warped > 0);
+        assert_eq!(
+            after - before,
+            0,
+            "warmed pool warp allocated {} times",
+            after - before
+        );
+        assert_eq!(
+            pool.spawned_total(),
+            spawns_before,
+            "warmed pool warp spawned threads"
         );
     }
 }
