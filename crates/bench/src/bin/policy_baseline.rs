@@ -1,0 +1,307 @@
+//! `policy_baseline` — measures the serving core under each scheduling
+//! policy bundle and saves a JSON baseline, the serve-layer companion to
+//! `results/bench_parallel.json`.
+//!
+//! ```text
+//! cargo run --release -p cicero-bench --bin policy_baseline -- \
+//!     [--out results/bench_serve_policies.json] [--frames 10] [--threads 4]
+//! ```
+//!
+//! One fixed fleet (two scenes × four mixed-QoS viewers each, plus an
+//! oversized "flood" client the default policy must reject) runs through
+//! `cicero-serve` once per policy — default / affinity / degrade /
+//! prefetch — over identical baked assets. Recorded per policy:
+//!
+//! - simulated service quality: throughput, p50/p99 latency, deadline-miss
+//!   rate, makespan;
+//! - cache economics: hit rate, prefetch issued/hits/wasted;
+//! - admission outcomes: sessions admitted/rejected, degradations granted;
+//! - host wall-clock (with `host_cores`, without which it is meaningless).
+//!
+//! Every simulated figure is budget-deterministic, so two hosts disagreeing
+//! on anything but `wall_s` indicates a real regression.
+
+use cicero::pipeline::PipelineConfig;
+use cicero::{Scenario, Variant};
+use cicero_accel::pool::PoolConfig;
+use cicero_field::{bake, GridConfig, GridModel};
+use cicero_math::Intrinsics;
+use cicero_scene::volume::MarchParams;
+use cicero_scene::{library, AnalyticScene, Trajectory};
+use cicero_serve::{FrameServer, Policies, QosClass, ServeConfig, SessionSpec};
+use std::time::Instant;
+
+struct Args {
+    out: String,
+    frames: usize,
+    threads: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out: "results/bench_serve_policies.json".into(),
+        frames: 10,
+        threads: 4,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--out" => args.out = value(),
+            "--frames" => args.frames = value().parse().expect("--frames takes a count"),
+            "--threads" => args.threads = value().parse().expect("--threads takes a count"),
+            other => panic!("unknown flag {other} (expected --out/--frames/--threads)"),
+        }
+    }
+    assert!(args.frames >= 4, "--frames must be at least 4");
+    args
+}
+
+fn policies_for(name: &str) -> Policies {
+    Policies::by_name(name).unwrap_or_else(|| panic!("unknown policy {name}"))
+}
+
+struct SceneAssets {
+    name: &'static str,
+    scene: AnalyticScene,
+    model: GridModel,
+    orbit: Trajectory,
+    handheld: Trajectory,
+}
+
+struct PolicyRun {
+    policy: &'static str,
+    admitted: usize,
+    rejected: usize,
+    frames: usize,
+    throughput_fps: f64,
+    p50_s: f64,
+    p99_s: f64,
+    deadline_miss_rate: f64,
+    makespan_s: f64,
+    cache_hit_rate: f64,
+    reference_jobs: u64,
+    prefetch_jobs: u64,
+    prefetch_hits: u64,
+    prefetch_wasted: u64,
+    degradations: usize,
+    wall_s: f64,
+}
+
+fn run_policy(policy: &'static str, assets: &[SceneAssets], args: &Args) -> PolicyRun {
+    let mut server = FrameServer::new(ServeConfig {
+        pool: PoolConfig {
+            workers: 4,
+            ..Default::default()
+        },
+        render_threads: args.threads,
+        policies: policies_for(policy),
+        ..Default::default()
+    });
+
+    let mut admitted = 0;
+    for (si, a) in assets.iter().enumerate() {
+        for v in 0..4usize {
+            let (qos, scenario, traj): (QosClass, Scenario, &Trajectory) = match v {
+                0 => (QosClass::Interactive, Scenario::Local, &a.handheld),
+                1 | 2 => (QosClass::Standard, Scenario::Local, &a.orbit),
+                _ => (QosClass::BestEffort, Scenario::Remote, &a.orbit),
+            };
+            let spec = SessionSpec {
+                name: format!("{}-{v}", a.name),
+                scene_key: a.name.to_string(),
+                qos,
+                start_offset_s: si as f64 * 0.002 + v as f64 * 0.005,
+                config: PipelineConfig {
+                    variant: if v % 2 == 0 {
+                        Variant::Cicero
+                    } else {
+                        Variant::SparwFs
+                    },
+                    scenario,
+                    window: 4,
+                    march: MarchParams {
+                        step: 0.04,
+                        ..Default::default()
+                    },
+                    collect_quality: false,
+                    collect_traffic: false,
+                    ..Default::default()
+                },
+            };
+            if server
+                .submit(
+                    spec,
+                    &a.scene,
+                    &a.model,
+                    traj,
+                    Intrinsics::from_fov(32, 32, 0.9),
+                )
+                .is_ok()
+            {
+                admitted += 1;
+            }
+        }
+    }
+
+    // The oversized client: 90 fps 256×256 baseline. Reject-at-admission
+    // refuses it; the degrade ladder shrinks it until it fits.
+    let flood_traj = Trajectory::orbit(&assets[0].scene, args.frames, 90.0);
+    if server
+        .submit(
+            SessionSpec {
+                name: "flood".into(),
+                scene_key: assets[0].name.to_string(),
+                qos: QosClass::Interactive,
+                start_offset_s: 0.0,
+                config: PipelineConfig {
+                    variant: Variant::Baseline,
+                    march: MarchParams {
+                        step: 0.04,
+                        ..Default::default()
+                    },
+                    collect_quality: false,
+                    collect_traffic: false,
+                    ..Default::default()
+                },
+            },
+            &assets[0].scene,
+            &assets[0].model,
+            &flood_traj,
+            Intrinsics::from_fov(256, 256, 0.9),
+        )
+        .is_ok()
+    {
+        admitted += 1;
+    }
+
+    let wall = Instant::now();
+    let report = server.run();
+    let wall_s = wall.elapsed().as_secs_f64();
+    let lookups = report.cache.hits + report.cache.misses;
+    let run = PolicyRun {
+        policy,
+        admitted,
+        rejected: server.admission().rejected(),
+        frames: report.frames,
+        throughput_fps: report.throughput_fps,
+        p50_s: report.p50_latency_s,
+        p99_s: report.p99_latency_s,
+        deadline_miss_rate: report.deadline_miss_rate,
+        makespan_s: report.makespan_s,
+        cache_hit_rate: if lookups > 0 {
+            report.cache.hits as f64 / lookups as f64
+        } else {
+            0.0
+        },
+        reference_jobs: report.reference_jobs,
+        prefetch_jobs: report.prefetch_jobs,
+        prefetch_hits: report.cache.prefetch_hits,
+        prefetch_wasted: report.cache.prefetch_wasted,
+        degradations: report.degradations.len(),
+        wall_s,
+    };
+    println!(
+        "  {policy:<9}: {:>3} frames, {:>7.1} fps sim, p99 {:>7.3} ms, miss {:>5.1}%, \
+         cache {:>5.1}%, prefetch {}/{} ({} wasted), degraded {}, wall {:.2} s",
+        run.frames,
+        run.throughput_fps,
+        run.p99_s * 1e3,
+        run.deadline_miss_rate * 100.0,
+        run.cache_hit_rate * 100.0,
+        run.prefetch_hits,
+        run.prefetch_jobs,
+        run.prefetch_wasted,
+        run.degradations,
+        run.wall_s
+    );
+    run
+}
+
+fn main() {
+    let args = parse_args();
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "policy_baseline: {} frames/session, {} host thread(s), host cores {}",
+        args.frames, args.threads, host_cores
+    );
+
+    let assets: Vec<SceneAssets> = ["lego", "ship"]
+        .iter()
+        .map(|&name| {
+            let scene = library::scene_by_name(name).unwrap();
+            let model = bake::bake_grid(
+                &scene,
+                &GridConfig {
+                    resolution: 28,
+                    ..Default::default()
+                },
+            );
+            let orbit = Trajectory::orbit(&scene, args.frames, 30.0);
+            let handheld = Trajectory::handheld(&scene, args.frames, 30.0, 7);
+            SceneAssets {
+                name,
+                scene,
+                model,
+                orbit,
+                handheld,
+            }
+        })
+        .collect();
+
+    let runs: Vec<PolicyRun> = ["default", "affinity", "degrade", "prefetch"]
+        .into_iter()
+        .map(|p| run_policy(p, &assets, &args))
+        .collect();
+
+    // Sanity: the bundles actually differentiate.
+    let by = |p: &str| runs.iter().find(|r| r.policy == p).unwrap();
+    assert!(by("prefetch").prefetch_jobs > 0, "prefetch never engaged");
+    assert!(by("degrade").degradations > 0, "degrade never engaged");
+    assert!(by("degrade").rejected < by("default").rejected);
+
+    let entries: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{ \"policy\": \"{}\", \"admitted\": {}, \"rejected\": {}, \"frames\": {}, \
+                 \"throughput_fps\": {:.3}, \"p50_latency_s\": {:.9}, \"p99_latency_s\": {:.9}, \
+                 \"deadline_miss_rate\": {:.6}, \"makespan_s\": {:.9}, \"cache_hit_rate\": {:.6}, \
+                 \"reference_jobs\": {}, \"prefetch_jobs\": {}, \"prefetch_hits\": {}, \
+                 \"prefetch_wasted\": {}, \"degradations\": {}, \"wall_s\": {:.6} }}",
+                r.policy,
+                r.admitted,
+                r.rejected,
+                r.frames,
+                r.throughput_fps,
+                r.p50_s,
+                r.p99_s,
+                r.deadline_miss_rate,
+                r.makespan_s,
+                r.cache_hit_rate,
+                r.reference_jobs,
+                r.prefetch_jobs,
+                r.prefetch_hits,
+                r.prefetch_wasted,
+                r.degradations,
+                r.wall_s
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"serve_policies\",\n  \"frames_per_session\": {},\n  \
+         \"host_threads\": {},\n  \"host_cores\": {},\n  \"policies\": [\n{}\n  ]\n}}\n",
+        args.frames,
+        args.threads,
+        host_cores,
+        entries.join(",\n")
+    );
+    if let Some(dir) = std::path::Path::new(&args.out).parent() {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    std::fs::write(&args.out, &json).expect("write baseline");
+    println!("wrote {}", args.out);
+}

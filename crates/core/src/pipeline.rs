@@ -284,6 +284,32 @@ pub struct SessionStep {
     pub workload: FrameWorkload,
 }
 
+/// Where a session's poses come from: a complete borrowed trajectory, or an
+/// owned one grown pose-by-pose as a streaming client feeds it.
+enum TrajSource<'a> {
+    /// The whole trajectory was known at submission.
+    Borrowed(&'a Trajectory),
+    /// Poses arrive incrementally via [`PipelineSession::push_pose`];
+    /// `closed` marks end-of-stream (no further poses).
+    Streaming { traj: Trajectory, closed: bool },
+}
+
+impl TrajSource<'_> {
+    fn get(&self) -> &Trajectory {
+        match self {
+            TrajSource::Borrowed(t) => t,
+            TrajSource::Streaming { traj, .. } => traj,
+        }
+    }
+
+    fn closed(&self) -> bool {
+        match self {
+            TrajSource::Borrowed(_) => true,
+            TrajSource::Streaming { closed, .. } => *closed,
+        }
+    }
+}
+
 /// An incremental pipeline execution over one trajectory.
 ///
 /// A session owns the warping-window [`Schedule`], the cursor into it, and
@@ -293,11 +319,22 @@ pub struct SessionStep {
 /// reference render happens, and share reference frames between co-located
 /// sessions ([`install_reference`](Self::install_reference)).
 ///
+/// Sessions come in two ingestion modes. [`new`](Self::new) takes the whole
+/// trajectory up front; [`new_streaming`](Self::new_streaming) starts empty
+/// and accepts poses one at a time via [`push_pose`](Self::push_pose) — the
+/// schedule extends window-atomically as poses arrive
+/// ([`Schedule::extend`]), so feeding a captured trajectory pose-by-pose and
+/// then [`close_stream`](Self::close_stream)ing produces **bit-identical**
+/// frames, statistics and timings to submitting it whole. Streaming callers
+/// gate stepping on [`can_step`](Self::can_step): a pushed pose becomes
+/// steppable once its warping window is fully planned (its window's poses
+/// all arrived, or the stream closed).
+///
 /// Driving a fresh session to completion is exactly [`run_pipeline`].
 pub struct PipelineSession<'a> {
     scene: &'a AnalyticScene,
     model: &'a dyn NerfModel,
-    traj: &'a Trajectory,
+    traj: TrajSource<'a>,
     intrinsics: Intrinsics,
     cfg: PipelineConfig,
     soc: SocModel,
@@ -361,7 +398,7 @@ impl<'a> PipelineSession<'a> {
         PipelineSession {
             scene,
             model,
-            traj,
+            traj: TrajSource::Borrowed(traj),
             intrinsics,
             soc: SocModel::new(cfg.soc),
             opts: RenderOptions {
@@ -382,19 +419,152 @@ impl<'a> PipelineSession<'a> {
         }
     }
 
-    /// Total trajectory frames.
+    /// Creates an **empty streaming** session: poses arrive one at a time via
+    /// [`push_pose`](Self::push_pose) at a nominal `fps`, and the schedule
+    /// grows with them. Equivalent to [`new`](Self::new) once every pose of a
+    /// trajectory has been pushed and the stream closed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fps` is not positive or `cfg.window == 0` (for non-baseline
+    /// variants — checked at the first push).
+    pub fn new_streaming(
+        scene: &'a AnalyticScene,
+        model: &'a dyn NerfModel,
+        fps: f32,
+        intrinsics: Intrinsics,
+        cfg: &PipelineConfig,
+    ) -> Self {
+        let schedule = if cfg.variant == Variant::Baseline {
+            None
+        } else {
+            assert!(cfg.window >= 1, "warping window must be ≥ 1");
+            Some(Schedule::empty())
+        };
+        PipelineSession {
+            scene,
+            model,
+            traj: TrajSource::Streaming {
+                traj: Trajectory::streaming(fps),
+                closed: false,
+            },
+            intrinsics,
+            soc: SocModel::new(cfg.soc),
+            opts: RenderOptions {
+                march: cfg.march,
+                use_occupancy: true,
+            },
+            pixels: intrinsics.pixel_count() as u64,
+            cfg: cfg.clone(),
+            schedule,
+            ref_use: Vec::new(),
+            in_stream_refs: Vec::new(),
+            ref_frames: Vec::new(),
+            ref_pose_overrides: Vec::new(),
+            cursor: 0,
+            warp_totals: WarpStats::default(),
+            last_ref_workload: None,
+            warp_scratch: WarpScratch::new(),
+        }
+    }
+
+    /// Appends one pose to a streaming session and extends the schedule as
+    /// far as window-atomic planning allows.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a whole-trajectory session or after
+    /// [`close_stream`](Self::close_stream).
+    pub fn push_pose(&mut self, pose: Pose) {
+        match &mut self.traj {
+            TrajSource::Borrowed(_) => {
+                panic!("push_pose on a whole-trajectory session")
+            }
+            TrajSource::Streaming { traj, closed } => {
+                assert!(!*closed, "push_pose after close_stream");
+                traj.push(pose);
+            }
+        }
+        self.extend_schedule();
+    }
+
+    /// Marks a streaming session's pose feed complete, flushing the final
+    /// (possibly partial) warping window into the schedule. Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a whole-trajectory session.
+    pub fn close_stream(&mut self) {
+        match &mut self.traj {
+            TrajSource::Borrowed(_) => {
+                panic!("close_stream on a whole-trajectory session")
+            }
+            TrajSource::Streaming { closed, .. } => *closed = true,
+        }
+        self.extend_schedule();
+    }
+
+    /// `true` once no further poses can arrive: always for whole-trajectory
+    /// sessions, after [`close_stream`](Self::close_stream) for streaming
+    /// ones.
+    pub fn is_closed(&self) -> bool {
+        self.traj.closed()
+    }
+
+    /// Re-plans after an ingestion event, growing the per-reference
+    /// bookkeeping in lockstep with the schedule.
+    fn extend_schedule(&mut self) {
+        let Some(schedule) = &mut self.schedule else {
+            return; // Baseline: every frame full-renders, no planning needed.
+        };
+        let (traj, closed) = match &self.traj {
+            TrajSource::Streaming { traj, closed } => (traj, *closed),
+            TrajSource::Borrowed(t) => (*t, true),
+        };
+        let planned_before = schedule.plans.len();
+        schedule.extend(traj, self.cfg.window, self.cfg.ref_placement, closed);
+        let n_refs = schedule.references.len();
+        if n_refs > self.ref_frames.len() {
+            self.ref_use.resize(n_refs, 0);
+            self.in_stream_refs.resize(n_refs, false);
+            self.ref_frames.resize_with(n_refs, || None);
+            self.ref_pose_overrides.resize(n_refs, None);
+        }
+        for p in &schedule.plans[planned_before..] {
+            match p {
+                FramePlan::Warp { ref_index } => self.ref_use[*ref_index] += 1,
+                FramePlan::FullRender { ref_index } => self.in_stream_refs[*ref_index] = true,
+            }
+        }
+    }
+
+    /// Total trajectory frames *arrived so far* (the final count once the
+    /// session is closed).
     pub fn len(&self) -> usize {
-        self.traj.len()
+        self.traj.get().len()
     }
 
-    /// `true` when every frame has been produced.
+    /// `true` when every frame has been produced — for a streaming session,
+    /// only after the stream closed.
     pub fn is_done(&self) -> bool {
-        self.cursor >= self.traj.len()
+        self.traj.closed() && self.cursor >= self.traj.get().len()
     }
 
-    /// Never empty: sessions require a non-empty trajectory.
+    /// `true` while a streaming session has received no poses yet.
     pub fn is_empty(&self) -> bool {
-        false
+        self.traj.get().is_empty()
+    }
+
+    /// Whether [`step`](Self::step) can produce a frame right now. Always
+    /// `!is_done()` for whole-trajectory sessions; a streaming session can
+    /// additionally *starve* — its next frame's pose has not arrived, or its
+    /// warping window is not yet fully planned (window-atomic planning keeps
+    /// reference amortization bit-identical to whole-trajectory submission).
+    pub fn can_step(&self) -> bool {
+        match &self.schedule {
+            None => self.cursor < self.traj.get().len(),
+            Some(s) => self.cursor < s.plans.len(),
+        }
     }
 
     /// Index of the next frame [`step`](Self::step) will produce.
@@ -420,9 +590,16 @@ impl<'a> PipelineSession<'a> {
         self.intrinsics
     }
 
-    /// The trajectory being rendered.
+    /// The trajectory being rendered (the poses arrived so far, for a
+    /// streaming session).
     pub fn trajectory(&self) -> &Trajectory {
-        self.traj
+        self.traj.get()
+    }
+
+    /// Number of reference slots planned so far. Fixed at construction for
+    /// whole-trajectory sessions; grows with the schedule for streaming ones.
+    pub fn reference_count(&self) -> usize {
+        self.ref_frames.len()
     }
 
     /// The SoC model pricing this session's frames.
@@ -618,12 +795,15 @@ impl<'a> PipelineSession<'a> {
     /// Produces the next trajectory frame, or `None` when the trajectory is
     /// exhausted.
     pub fn step(&mut self) -> Option<SessionStep> {
-        let i = self.cursor;
-        if i >= self.traj.len() {
+        // For whole-trajectory sessions this is exactly the cursor-at-end
+        // check; streaming sessions additionally starve here until the next
+        // frame's warping window is fully planned.
+        if !self.can_step() {
             return None;
         }
+        let i = self.cursor;
         self.cursor += 1;
-        let cam = self.traj.camera(i, self.intrinsics);
+        let cam = self.traj.get().camera(i, self.intrinsics);
 
         let plan = match &self.schedule {
             // Baseline: every frame is an implicit full render, outside any
@@ -1024,6 +1204,49 @@ mod tests {
                 // Extrapolated placement has off-stream refs to hand out.
                 assert!(handed_out > 0, "{variant:?}/{scenario:?} handed out none");
             }
+        }
+    }
+
+    #[test]
+    fn streaming_session_matches_whole_trajectory_session() {
+        let (scene, model, traj, k) = small_setup();
+        for variant in [Variant::Sparw, Variant::Cicero, Variant::Baseline] {
+            let mut cfg = fast_cfg(variant);
+            cfg.collect_quality = false;
+            let whole = run_pipeline(&scene, &model, &traj, k, &cfg);
+
+            // Feed poses one at a time, stepping greedily whenever the
+            // window-atomic planner lets us.
+            let mut sess = PipelineSession::new_streaming(&scene, &model, traj.fps(), k, &cfg);
+            let mut outcomes = Vec::new();
+            let mut frames = Vec::new();
+            assert!(!sess.can_step() && !sess.is_done());
+            for pose in traj.poses() {
+                sess.push_pose(*pose);
+                while sess.can_step() {
+                    let step = sess.step().unwrap();
+                    outcomes.push(step.outcome);
+                    frames.push(step.frame);
+                }
+            }
+            assert!(!sess.is_done(), "open streams are never done");
+            sess.close_stream();
+            sess.close_stream(); // idempotent, even on a partial tail window
+            while let Some(step) = sess.step() {
+                outcomes.push(step.outcome);
+                frames.push(step.frame);
+            }
+            assert!(sess.is_done());
+
+            assert_eq!(outcomes.len(), whole.outcomes.len(), "{variant:?}");
+            for (a, b) in whole.outcomes.iter().zip(&outcomes) {
+                assert_eq!(a.frame_index, b.frame_index);
+                assert_eq!(a.full_render, b.full_render);
+                assert_eq!(a.report.time_s, b.report.time_s, "{variant:?}");
+                assert_eq!(a.report.energy.total(), b.report.energy.total());
+            }
+            assert_eq!(frames, whole.frames, "{variant:?}: streamed frames");
+            assert_eq!(whole.warp_totals.warped, sess.warp_totals().warped);
         }
     }
 

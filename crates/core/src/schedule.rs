@@ -62,6 +62,16 @@ impl Schedule {
         self.references.len()
     }
 
+    /// An empty schedule, the starting point for incremental
+    /// [`extend`](Self::extend) planning over a streaming trajectory.
+    pub fn empty() -> Schedule {
+        Schedule {
+            references: Vec::new(),
+            off_trajectory: Vec::new(),
+            plans: Vec::new(),
+        }
+    }
+
     /// Builds the schedule for `traj` with warping window `window`.
     ///
     /// Frame 0 is always a full render (bootstrap); thereafter each window of
@@ -71,19 +81,71 @@ impl Schedule {
     ///
     /// Panics if `window == 0`.
     pub fn plan(traj: &Trajectory, window: usize, placement: RefPlacement) -> Schedule {
+        let mut s = Schedule::empty();
+        s.extend(traj, window, placement, true);
+        s
+    }
+
+    /// Extends the plans over as many additional frames of `traj` as the
+    /// placement policy can commit to, and returns how many were added.
+    ///
+    /// This is the streaming-ingestion half of [`plan`]: a session that
+    /// receives poses one at a time re-invokes `extend` after each arrival.
+    /// Planning is **window-atomic** — a window's frames are planned only
+    /// once the window is fully covered by arrived poses (or `closed` marks
+    /// the stream complete, permitting a final partial window). That is what
+    /// keeps incremental planning bit-identical to planning the finished
+    /// trajectory in one shot: a window's reference pose and its
+    /// targets-per-reference amortization count never depend on poses that
+    /// have not arrived yet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0` or `self` was planned with a different
+    /// window/placement (detectable as a non-window-aligned resume point).
+    pub fn extend(
+        &mut self,
+        traj: &Trajectory,
+        window: usize,
+        placement: RefPlacement,
+        closed: bool,
+    ) -> usize {
         assert!(window >= 1, "warping window must be ≥ 1");
         let n = traj.len();
-        let mut references = Vec::new();
-        let mut off_trajectory = Vec::new();
-        let mut plans = Vec::with_capacity(n);
+        let references = &mut self.references;
+        let off_trajectory = &mut self.off_trajectory;
+        let plans = &mut self.plans;
+        let planned_before = plans.len();
 
         // Bootstrap: frame 0 renders fully and becomes reference 0.
-        references.push(*traj.pose(0));
-        off_trajectory.push(false);
-        plans.push(FramePlan::FullRender { ref_index: 0 });
+        if plans.is_empty() {
+            if n == 0 {
+                return 0;
+            }
+            references.push(*traj.pose(0));
+            off_trajectory.push(false);
+            plans.push(FramePlan::FullRender { ref_index: 0 });
+        }
 
-        let mut frame = 1;
+        // Resume at the next window boundary (windows start at frame 1).
+        let mut frame = plans.len();
+        if frame >= n {
+            // Fully planned (e.g. a repeated close after a partial tail
+            // window): nothing to do. Checked before the alignment assert —
+            // a flushed partial window legitimately ends off-boundary.
+            return plans.len() - planned_before;
+        }
+        assert!(
+            frame == 1 || (frame - 1).is_multiple_of(window),
+            "schedule resumed with a mismatched window"
+        );
         while frame < n {
+            // An open stream plans only complete windows: a partial window's
+            // reference pose (OracleCentered) and warp count (amortization)
+            // would change when more poses arrive.
+            if !closed && frame + window > n {
+                break;
+            }
             let end = (frame + window).min(n);
             let ref_index = if frame == 1 {
                 // The first window reuses the bootstrap reference: no pose
@@ -121,11 +183,7 @@ impl Schedule {
             }
             frame = end;
         }
-        Schedule {
-            references,
-            off_trajectory,
-            plans,
-        }
+        plans.len() - planned_before
     }
 }
 
@@ -216,6 +274,40 @@ mod tests {
             .count();
         assert_eq!(warps, 4);
         assert_eq!(s.full_render_count(), 4); // bootstrap + one ref per frame 2..5
+    }
+
+    #[test]
+    fn incremental_extend_matches_one_shot_plan() {
+        let full = traj(23);
+        for placement in [
+            RefPlacement::Extrapolated,
+            RefPlacement::OracleCentered,
+            RefPlacement::OnTrajectory,
+        ] {
+            for window in [1, 3, 4, 8] {
+                let oracle = Schedule::plan(&full, window, placement);
+                // Feed the poses one at a time, extending after each arrival,
+                // then close to flush the final partial window.
+                let mut streamed = Trajectory::streaming(full.fps());
+                let mut s = Schedule::empty();
+                for (i, p) in full.poses().iter().enumerate() {
+                    streamed.push(*p);
+                    s.extend(&streamed, window, placement, false);
+                    // Nothing planned may ever wait on an unarrived pose.
+                    assert!(
+                        s.plans.len() <= streamed.len(),
+                        "{placement:?}/w{window}@{i}"
+                    );
+                }
+                s.extend(&streamed, window, placement, true);
+                // Closing is idempotent even when the tail window was
+                // partial (plans end off a window boundary).
+                s.extend(&streamed, window, placement, true);
+                assert_eq!(s.plans, oracle.plans, "{placement:?} window {window}");
+                assert_eq!(s.references, oracle.references);
+                assert_eq!(s.off_trajectory, oracle.off_trajectory);
+            }
+        }
     }
 
     #[test]

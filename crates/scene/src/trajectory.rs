@@ -42,6 +42,29 @@ impl Trajectory {
         Trajectory { poses, fps }
     }
 
+    /// An **empty** trajectory for streaming ingestion: poses arrive one at a
+    /// time via [`push`](Self::push) as a client feeds them. Every other
+    /// constructor forbids emptiness; streaming consumers must tolerate
+    /// `len() == 0` until the first pose lands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fps` is not positive.
+    pub fn streaming(fps: f32) -> Self {
+        assert!(fps > 0.0, "fps must be positive");
+        Trajectory {
+            poses: Vec::new(),
+            fps,
+        }
+    }
+
+    /// Appends one pose to the trajectory (streaming ingestion: the client
+    /// produced its next frame's camera). Feeding every pose of a captured
+    /// trajectory through `push` reproduces that trajectory exactly.
+    pub fn push(&mut self, pose: Pose) {
+        self.poses.push(pose);
+    }
+
     /// A smooth orbit of `frames` poses around `scene` at `fps`.
     ///
     /// Angular speed is fixed at 18°/s regardless of frame rate, so a 30 FPS
@@ -130,7 +153,9 @@ impl Trajectory {
         self.poses.len()
     }
 
-    /// `true` when the trajectory holds no poses (never, by construction).
+    /// `true` when the trajectory holds no poses — only possible for a
+    /// [`streaming`](Self::streaming) trajectory that has not received its
+    /// first pose yet.
     pub fn is_empty(&self) -> bool {
         self.poses.is_empty()
     }

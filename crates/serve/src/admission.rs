@@ -138,7 +138,7 @@ impl AdmissionController {
             });
         }
         let estimated_load = self.estimate_load(spec, intrinsics, fps);
-        let capacity = self.workers as f64 * self.policy.max_utilization;
+        let capacity = self.capacity();
         if self.committed_load + estimated_load > capacity {
             self.rejected += 1;
             return Err(AdmissionError::Saturated {
@@ -157,6 +157,19 @@ impl AdmissionController {
     pub fn release(&mut self, load: f64) {
         self.committed_load = (self.committed_load - load).max(0.0);
         self.admitted = self.admitted.saturating_sub(1);
+    }
+
+    /// Total admissible load: workers × max-utilization.
+    pub fn capacity(&self) -> f64 {
+        self.workers as f64 * self.policy.max_utilization
+    }
+
+    /// Whether `load` more workers' worth of occupancy would be admitted
+    /// right now (session slot available and capacity not exceeded). A
+    /// side-effect-free probe for QoS policies exploring degradation rungs —
+    /// unlike [`admit`](Self::admit), it counts nothing.
+    pub fn would_fit(&self, load: f64) -> bool {
+        self.admitted < self.policy.max_sessions && self.committed_load + load <= self.capacity()
     }
 
     /// Load currently committed, in workers' worth of occupancy.

@@ -45,6 +45,17 @@ pub struct RefCacheStats {
     pub inserts: u64,
     /// Entries evicted by the LRU policy.
     pub evictions: u64,
+    /// Entries inserted speculatively by a prefetch policy
+    /// ([`insert_prefetched`](RefCache::insert_prefetched)); zero under the
+    /// default (demand-only) scheduler.
+    pub prefetch_inserts: u64,
+    /// Lookups satisfied by a prefetched entry.
+    pub prefetch_hits: u64,
+    /// Prefetched entries that never served a lookup: evicted (or
+    /// overwritten) unused, plus entries still sitting unused at snapshot
+    /// time. `prefetch_inserts - prefetch_wasted` is the number of
+    /// speculative renders that paid off.
+    pub prefetch_wasted: u64,
 }
 
 /// One cached reference render.
@@ -75,11 +86,21 @@ pub(crate) struct CacheKey {
     qrot: [i32; 4],
 }
 
+/// One cache slot: the shared entry plus LRU/prefetch bookkeeping.
+#[derive(Debug)]
+struct Slot {
+    used: u64,
+    /// Inserted speculatively, and whether a lookup ever hit it.
+    prefetched: bool,
+    hit: bool,
+    entry: Arc<CachedReference>,
+}
+
 /// A pose-quantized LRU cache of reference renders, shared across sessions.
 #[derive(Debug, Default)]
 pub struct RefCache {
     cfg: RefCacheConfig,
-    entries: HashMap<CacheKey, (u64, Arc<CachedReference>)>,
+    entries: HashMap<CacheKey, Slot>,
     tick: u64,
     stats: RefCacheStats,
 }
@@ -151,19 +172,62 @@ impl RefCache {
         self.tick += 1;
         for sign in [1.0, -1.0] {
             let key = self.key(scene, intrinsics, pose, sign);
-            if let Some((used, entry)) = self.entries.get_mut(&key) {
-                *used = self.tick;
+            if let Some(slot) = self.entries.get_mut(&key) {
+                slot.used = self.tick;
+                slot.hit = true;
                 self.stats.hits += 1;
-                return Some(entry.clone());
+                if slot.prefetched {
+                    self.stats.prefetch_hits += 1;
+                }
+                return Some(slot.entry.clone());
             }
         }
         self.stats.misses += 1;
         None
     }
 
+    /// Whether a reference near `pose` is cached, **without** touching the
+    /// hit/miss counters or LRU order. Prefetch planning probes with this so
+    /// speculation never perturbs the demand statistics.
+    pub fn peek(&self, scene: &str, intrinsics: Intrinsics, pose: &Pose) -> bool {
+        [1.0f32, -1.0].iter().any(|&sign| {
+            self.entries
+                .contains_key(&self.key(scene, intrinsics, pose, sign))
+        })
+    }
+
     /// Inserts a freshly rendered reference, evicting the least recently used
     /// entry when at capacity.
     pub fn insert(&mut self, scene: &str, intrinsics: Intrinsics, entry: CachedReference) {
+        self.insert_impl(scene, intrinsics, entry, false);
+    }
+
+    /// Inserts a **speculatively** rendered reference (prefetch policy),
+    /// tracked separately so the report can account prefetch hits vs waste.
+    pub fn insert_prefetched(
+        &mut self,
+        scene: &str,
+        intrinsics: Intrinsics,
+        entry: CachedReference,
+    ) {
+        self.insert_impl(scene, intrinsics, entry, true);
+    }
+
+    /// Drops `slot`, folding an unused prefetched entry into the waste
+    /// counter.
+    fn retire(stats: &mut RefCacheStats, slot: &Slot) {
+        if slot.prefetched && !slot.hit {
+            stats.prefetch_wasted += 1;
+        }
+    }
+
+    fn insert_impl(
+        &mut self,
+        scene: &str,
+        intrinsics: Intrinsics,
+        entry: CachedReference,
+        prefetched: bool,
+    ) {
         if self.cfg.capacity == 0 {
             return;
         }
@@ -172,16 +236,30 @@ impl RefCache {
             if let Some(oldest) = self
                 .entries
                 .iter()
-                .min_by_key(|(_, (used, _))| *used)
+                .min_by_key(|(_, slot)| slot.used)
                 .map(|(k, _)| k.clone())
             {
-                self.entries.remove(&oldest);
+                let slot = self.entries.remove(&oldest).expect("oldest exists");
+                Self::retire(&mut self.stats, &slot);
                 self.stats.evictions += 1;
             }
         }
         self.tick += 1;
-        self.entries.insert(key, (self.tick, Arc::new(entry)));
+        if let Some(old) = self.entries.insert(
+            key,
+            Slot {
+                used: self.tick,
+                prefetched,
+                hit: false,
+                entry: Arc::new(entry),
+            },
+        ) {
+            Self::retire(&mut self.stats, &old);
+        }
         self.stats.inserts += 1;
+        if prefetched {
+            self.stats.prefetch_inserts += 1;
+        }
     }
 
     /// Number of live entries.
@@ -194,9 +272,18 @@ impl RefCache {
         self.entries.is_empty()
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot. `prefetch_wasted` counts retired-unused entries
+    /// plus the prefetched entries currently live but never hit, so a
+    /// snapshot always satisfies
+    /// `prefetch_inserts == useful + prefetch_wasted` for some `useful ≥ 0`.
     pub fn stats(&self) -> RefCacheStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.prefetch_wasted += self
+            .entries
+            .values()
+            .filter(|s| s.prefetched && !s.hit)
+            .count() as u64;
+        stats
     }
 }
 
@@ -262,6 +349,31 @@ mod tests {
         };
         c.insert("s", k, entry(p));
         assert!(c.lookup("s", k, &n).is_some(), "q and -q must share a key");
+    }
+
+    #[test]
+    fn prefetch_hits_and_waste_are_accounted() {
+        let mut c = RefCache::new(RefCacheConfig::default());
+        let k = Intrinsics::from_fov(8, 8, 0.9);
+        c.insert_prefetched("s", k, entry(pose(0.0)));
+        c.insert_prefetched("s", k, entry(pose(1.0)));
+        // peek never perturbs counters.
+        assert!(c.peek("s", k, &pose(0.0)));
+        assert!(!c.peek("s", k, &pose(5.0)));
+        assert_eq!(c.stats().hits + c.stats().misses, 0);
+        // One prefetched entry consumed, one never used.
+        assert!(c.lookup("s", k, &pose(0.0)).is_some());
+        let s = c.stats();
+        assert_eq!(s.prefetch_inserts, 2);
+        assert_eq!(s.prefetch_hits, 1);
+        assert_eq!(s.prefetch_wasted, 1);
+        // A demand insert overwriting the unused prefetch retires it as
+        // waste permanently.
+        c.insert("s", k, entry(pose(1.0)));
+        assert!(c.lookup("s", k, &pose(1.0)).is_some());
+        let s = c.stats();
+        assert_eq!(s.prefetch_wasted, 1);
+        assert_eq!(s.prefetch_hits, 1);
     }
 
     #[test]

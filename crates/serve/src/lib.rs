@@ -53,12 +53,18 @@
 
 pub mod admission;
 pub mod cache;
+pub mod policy;
 pub mod report;
 pub mod scheduler;
 pub mod session;
 
 pub use admission::{AdmissionController, AdmissionError, AdmissionPolicy};
 pub use cache::{CachedReference, RefCache, RefCacheConfig, RefCacheStats};
-pub use report::{FrameRecord, ServiceReport, SessionSummary};
+pub use policy::{
+    Degradation, IdleWorkerPrefetch, JobKind, LeastLoaded, LoadAdaptiveDegrade, NoPrefetch,
+    PlacementJob, PlacementPolicy, Policies, PrefetchPolicy, QosAdmission, QosPolicy,
+    RejectAtAdmission, SceneAffinity,
+};
+pub use report::{DegradationRecord, FrameRecord, ServiceReport, SessionSummary};
 pub use scheduler::{FrameServer, ServeConfig};
 pub use session::{QosClass, SessionId, SessionSpec};

@@ -1,8 +1,21 @@
 //! Service-level reporting: throughput, tail latency, deadline misses,
-//! per-session quality.
+//! per-session quality, QoS degradations and prefetch economics.
 
 use crate::cache::RefCacheStats;
+use crate::policy::Degradation;
 use crate::session::{QosClass, SessionId};
+
+/// One QoS degradation granted at admission: which session, and what the
+/// [`QosPolicy`](crate::policy::QosPolicy) traded away to admit it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradationRecord {
+    /// The admitted session.
+    pub session: SessionId,
+    /// The session's name (from its spec).
+    pub name: String,
+    /// What was degraded.
+    pub degradation: Degradation,
+}
 
 /// One served frame, as the scheduler saw it.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -87,8 +100,15 @@ pub struct ServiceReport {
     /// Reference-cache counters.
     pub cache: RefCacheStats,
     /// Reference renders dispatched to the pool (cache misses that became
-    /// batch jobs).
+    /// batch jobs, plus speculative prefetch renders).
     pub reference_jobs: u64,
+    /// Speculative reference renders issued by the prefetch policy (also
+    /// included in `reference_jobs`); their hit/waste economics live in
+    /// [`cache`](Self::cache).
+    pub prefetch_jobs: u64,
+    /// QoS degradations granted at admission, in admission order. Empty
+    /// under the default reject-at-admission policy.
+    pub degradations: Vec<DegradationRecord>,
     /// Mean worker utilization over the makespan.
     pub pool_utilization: f64,
     /// Workers in the pool.

@@ -44,8 +44,9 @@
 
 use crate::admission::{AdmissionController, AdmissionError, AdmissionPolicy};
 use crate::cache::{CacheKey, CachedReference, RefCache, RefCacheConfig};
-use crate::report::{percentile, FrameRecord, ServiceReport, SessionSummary};
-use crate::session::{ServeSession, SessionId, SessionSpec};
+use crate::policy::{JobKind, PlacementJob, PlacementPolicy, Policies, QosAdmission};
+use crate::report::{percentile, DegradationRecord, FrameRecord, ServiceReport, SessionSummary};
+use crate::session::{ServeSession, SessionId, SessionManager, SessionSpec};
 use cicero::pipeline::{PipelineSession, SessionStep};
 use cicero::schedule::FramePlan;
 use cicero::Scenario;
@@ -61,7 +62,7 @@ use std::collections::HashSet;
 use std::sync::{Arc, Mutex};
 
 /// Frame-server configuration.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ServeConfig {
     /// Worker-pool shape.
     pub pool: PoolConfig,
@@ -69,6 +70,11 @@ pub struct ServeConfig {
     pub cache: RefCacheConfig,
     /// Admission policy.
     pub admission: AdmissionPolicy,
+    /// The scheduling policy bundle (placement / QoS / prefetch). Defaults
+    /// reproduce the historical hard-coded scheduler bit-for-bit; see
+    /// [`crate::policy`] for the determinism contract swapped-in policies
+    /// must obey.
+    pub policies: Policies,
     /// Reference lookahead in frames; `None` uses each session's warping
     /// window — references are extrapolated from the *previous* window's
     /// poses, so looking further ahead would use client poses that have not
@@ -118,8 +124,10 @@ pub struct FrameServer<'a> {
     pool: WorkerPool,
     cache: RefCache,
     admission: AdmissionController,
-    sessions: Vec<ServeSession<'a>>,
+    sessions: SessionManager<'a>,
     reference_jobs: u64,
+    prefetch_jobs: u64,
+    degradations: Vec<DegradationRecord>,
     records: Vec<FrameRecord>,
 }
 
@@ -134,8 +142,10 @@ impl<'a> FrameServer<'a> {
                 cfg.pool.workers,
                 cfg.pool.soc.remote.speedup_over_mobile,
             ),
-            sessions: Vec::new(),
+            sessions: SessionManager::new(),
             reference_jobs: 0,
+            prefetch_jobs: 0,
+            degradations: Vec::new(),
             records: Vec::new(),
             cfg,
         }
@@ -151,21 +161,14 @@ impl<'a> FrameServer<'a> {
         self.sessions.len()
     }
 
-    /// Submits a session. On admission the session is queued for the next
-    /// [`run`](Self::run); on rejection the error says why.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `traj` is empty or its fps is not positive.
-    pub fn submit(
+    /// Runs the QoS policy over a submission: server-side thread override,
+    /// then admit / degrade / reject.
+    fn admit(
         &mut self,
-        spec: SessionSpec,
-        scene: &'a AnalyticScene,
-        model: &'a dyn NerfModel,
-        traj: &'a Trajectory,
+        mut spec: SessionSpec,
         intrinsics: Intrinsics,
-    ) -> Result<SessionId, AdmissionError> {
-        let mut spec = spec;
+        fps: f64,
+    ) -> Result<QosAdmission, AdmissionError> {
         if self.cfg.render_threads > 0 {
             // Server-side override: the host's parallelism budget belongs to
             // the deployment, not the client. This is only the initial lane
@@ -174,12 +177,35 @@ impl<'a> FrameServer<'a> {
             // never affects cache sharing or reported quality.
             spec.config.render_threads = self.cfg.render_threads;
         }
-        let fps = traj.fps() as f64;
-        assert!(fps > 0.0, "trajectory fps must be positive");
-        let est_load = self.admission.admit(&spec, intrinsics, fps)?;
-        let pipe = PipelineSession::new(scene, model, traj, intrinsics, &spec.config);
-        let n_refs = pipe.schedule().map_or(0, |s| s.references.len());
+        self.cfg
+            .policies
+            .qos
+            .clone()
+            .admit(&spec, intrinsics, fps, &mut self.admission)
+    }
+
+    /// Registers an admitted (possibly degraded) session and returns its id.
+    fn install_session(
+        &mut self,
+        adm: QosAdmission,
+        fps: f64,
+        pipe: PipelineSession<'a>,
+    ) -> SessionId {
+        let QosAdmission {
+            spec,
+            est_load,
+            degradation,
+            ..
+        } = adm;
         let id = self.sessions.len();
+        if let Some(degradation) = degradation {
+            self.degradations.push(DegradationRecord {
+                session: id,
+                name: spec.name.clone(),
+                degradation,
+            });
+        }
+        let n_refs = pipe.reference_count();
         // Reference frames are only interchangeable between sessions whose
         // render configuration matches: fold everything that changes the
         // pixels or the priced workload into the cache key alongside the
@@ -201,8 +227,77 @@ impl<'a> FrameServer<'a> {
             cache_key,
             est_load,
             load_released: false,
-        });
-        Ok(id)
+        })
+    }
+
+    /// Submits a session over a complete trajectory. On admission the
+    /// session is queued for the next [`run`](Self::run); on rejection the
+    /// error says why. Under a degrading [`crate::policy::QosPolicy`] the
+    /// granted shape may differ from the requested one — the trade is
+    /// recorded in [`ServiceReport::degradations`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traj` is empty or its fps is not positive.
+    pub fn submit(
+        &mut self,
+        spec: SessionSpec,
+        scene: &'a AnalyticScene,
+        model: &'a dyn NerfModel,
+        traj: &'a Trajectory,
+        intrinsics: Intrinsics,
+    ) -> Result<SessionId, AdmissionError> {
+        let fps = traj.fps() as f64;
+        assert!(fps > 0.0, "trajectory fps must be positive");
+        let adm = self.admit(spec, intrinsics, fps)?;
+        let pipe = PipelineSession::new(scene, model, traj, adm.intrinsics, &adm.spec.config);
+        Ok(self.install_session(adm, fps, pipe))
+    }
+
+    /// Submits a **streaming** session: admission happens now (from the
+    /// nominal `fps` and `intrinsics`), poses arrive later one at a time via
+    /// [`push_pose`](Self::push_pose), and [`close_stream`](Self::close_stream)
+    /// marks the feed complete. Feeding a captured trajectory pose-by-pose
+    /// and closing before [`run`](Self::run) produces a service report
+    /// **bit-identical** to [`submit`](Self::submit)ting it whole; poses that
+    /// arrive between `run` calls simply serve later (frames cannot be
+    /// scheduled before their window's poses exist).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fps` is not positive.
+    pub fn submit_stream(
+        &mut self,
+        spec: SessionSpec,
+        scene: &'a AnalyticScene,
+        model: &'a dyn NerfModel,
+        fps: f32,
+        intrinsics: Intrinsics,
+    ) -> Result<SessionId, AdmissionError> {
+        assert!(fps > 0.0, "stream fps must be positive");
+        let adm = self.admit(spec, intrinsics, fps as f64)?;
+        let pipe =
+            PipelineSession::new_streaming(scene, model, fps, adm.intrinsics, &adm.spec.config);
+        Ok(self.install_session(adm, fps as f64, pipe))
+    }
+
+    /// Feeds one pose to a streaming session.
+    ///
+    /// # Panics
+    ///
+    /// Panics for whole-trajectory sessions, closed streams, or unknown ids.
+    pub fn push_pose(&mut self, id: SessionId, pose: Pose) {
+        self.sessions.push_pose(id, pose);
+    }
+
+    /// Closes a streaming session's pose feed (idempotent). The session
+    /// drains fully on the next [`run`](Self::run).
+    ///
+    /// # Panics
+    ///
+    /// Panics for whole-trajectory sessions or unknown ids.
+    pub fn close_stream(&mut self, id: SessionId) {
+        self.sessions.close_stream(id);
     }
 
     /// Simulated duration of a reference render priced on `soc` — the worker
@@ -218,12 +313,20 @@ impl<'a> FrameServer<'a> {
     /// Prices, caches and installs one freshly rendered reference — the
     /// commit half of a reference job, always executed in deterministic
     /// plan order on the simulated timeline.
+    ///
+    /// Demand renders (`JobKind::Reference`) install into the session and
+    /// publish to the cache. Speculative renders (`JobKind::Prefetch`)
+    /// publish to the cache **only** — the owning session's later demand
+    /// lookup then scores an ordinary, accounted hit, which keeps prefetch
+    /// economics visible in the report.
     #[allow(clippy::too_many_arguments)]
     fn commit_reference(
+        placement: &dyn PlacementPolicy,
         pool: &mut WorkerPool,
         cache: &mut RefCache,
         reference_jobs: &mut u64,
         sess: &mut ServeSession<'_>,
+        kind: JobKind,
         r: usize,
         pose: Pose,
         dispatch_at: f64,
@@ -231,21 +334,30 @@ impl<'a> FrameServer<'a> {
         workload: FrameWorkload,
     ) {
         let frame = Arc::new(frame);
-        let worker = pool.least_loaded();
+        let worker = placement.place(
+            &PlacementJob {
+                kind,
+                session: sess.id,
+                scene_key: &sess.spec.scene_key,
+                ready_at_s: dispatch_at,
+            },
+            pool,
+        );
         let duration = Self::reference_duration(sess, &pool.workers()[worker].soc, &workload);
         let span = pool.assign(worker, dispatch_at, duration);
-        cache.insert(
-            &sess.cache_key,
-            sess.pipe.intrinsics(),
-            CachedReference {
-                pose,
-                frame: frame.clone(),
-                workload: workload.clone(),
-                available_at_s: span.end_s,
-            },
-        );
-        sess.pipe.install_reference(r, pose, frame, workload);
-        sess.ref_ready[r] = Some(span.end_s);
+        let cached = CachedReference {
+            pose,
+            frame: frame.clone(),
+            workload: workload.clone(),
+            available_at_s: span.end_s,
+        };
+        if kind == JobKind::Prefetch {
+            cache.insert_prefetched(&sess.cache_key, sess.pipe.intrinsics(), cached);
+        } else {
+            cache.insert(&sess.cache_key, sess.pipe.intrinsics(), cached);
+            sess.pipe.install_reference(r, pose, frame, workload);
+            sess.ref_ready[r] = Some(span.end_s);
+        }
         *reference_jobs += 1;
     }
 
@@ -264,6 +376,7 @@ impl<'a> FrameServer<'a> {
         struct RefJob {
             sess: SessionId,
             r: usize,
+            kind: JobKind,
             pose: Pose,
             dispatch_at: f64,
             rendered: Option<(Frame, FrameWorkload)>,
@@ -275,6 +388,7 @@ impl<'a> FrameServer<'a> {
         let mut jobs: Vec<Mutex<RefJob>> = Vec::new();
         let mut deferred: Vec<(SessionId, usize)> = Vec::new();
         let mut pending: HashSet<CacheKey> = HashSet::new();
+        let mut requested: HashSet<(SessionId, usize)> = HashSet::new();
         for sess in self.sessions.iter_mut().filter(|s| !s.pipe.is_done()) {
             let horizon = self.cfg.lookahead.unwrap_or(sess.spec.config.window.max(1));
             let dispatch_at = sess.arrival_s(sess.pipe.cursor());
@@ -290,6 +404,7 @@ impl<'a> FrameServer<'a> {
                     pending.contains(&self.cache.cell(&sess.cache_key, intrinsics, &pose, s))
                 }) {
                     deferred.push((sess.id, r));
+                    requested.insert((sess.id, r));
                 } else if let Some(hit) = self.cache.lookup(&sess.cache_key, intrinsics, &pose) {
                     sess.pipe.install_reference(
                         r,
@@ -301,13 +416,62 @@ impl<'a> FrameServer<'a> {
                     sess.cache_hits += 1;
                 } else {
                     pending.insert(self.cache.cell(&sess.cache_key, intrinsics, &pose, 1.0));
+                    requested.insert((sess.id, r));
                     jobs.push(Mutex::new(RefJob {
                         sess: sess.id,
                         r,
+                        kind: JobKind::Reference,
                         pose,
                         dispatch_at,
                         rendered: None,
                     }));
+                }
+            }
+        }
+
+        // Prefetch: when demand underfills the *simulated* pool, the policy
+        // may fill idle workers with the next window's predicted references.
+        // Candidates are scanned in session-id order past the demand
+        // horizon; `peek` probes keep demand hit/miss statistics untouched.
+        // The budget is a function of simulated state only, so prefetch
+        // decisions — like everything else here — are bit-identical at any
+        // host thread budget.
+        let prefetch_budget = self.cfg.policies.prefetch.budget(jobs.len(), &self.pool);
+        if prefetch_budget > 0 {
+            let mut remaining = prefetch_budget;
+            'sessions: for sess in self.sessions.iter().filter(|s| !s.pipe.is_done()) {
+                let window = sess.spec.config.window.max(1);
+                let horizon = self.cfg.lookahead.unwrap_or(window);
+                let extra = self.cfg.policies.prefetch.extra_horizon(window);
+                if extra == 0 {
+                    continue;
+                }
+                let dispatch_at = sess.arrival_s(sess.pipe.cursor());
+                for r in sess.pipe.upcoming_references(horizon + extra) {
+                    if requested.contains(&(sess.id, r)) {
+                        continue; // already a demand job this round
+                    }
+                    let pose = sess.pipe.reference_pose(r);
+                    let intrinsics = sess.pipe.intrinsics();
+                    if [1.0f32, -1.0].iter().any(|&s| {
+                        pending.contains(&self.cache.cell(&sess.cache_key, intrinsics, &pose, s))
+                    }) || self.cache.peek(&sess.cache_key, intrinsics, &pose)
+                    {
+                        continue; // someone is (or has) rendered this cell
+                    }
+                    pending.insert(self.cache.cell(&sess.cache_key, intrinsics, &pose, 1.0));
+                    jobs.push(Mutex::new(RefJob {
+                        sess: sess.id,
+                        r,
+                        kind: JobKind::Prefetch,
+                        pose,
+                        dispatch_at,
+                        rendered: None,
+                    }));
+                    remaining -= 1;
+                    if remaining == 0 {
+                        break 'sessions;
+                    }
                 }
             }
         }
@@ -336,14 +500,20 @@ impl<'a> FrameServer<'a> {
 
         // Commit: deterministic plan order, then resolve the deferred
         // same-batch sharers against the now-published entries.
+        let placement = self.cfg.policies.placement.clone();
         for job in jobs {
             let job = job.into_inner().unwrap();
             let (frame, workload) = job.rendered.expect("job was rendered");
+            if job.kind == JobKind::Prefetch {
+                self.prefetch_jobs += 1;
+            }
             Self::commit_reference(
+                placement.as_ref(),
                 &mut self.pool,
                 &mut self.cache,
                 &mut self.reference_jobs,
                 &mut self.sessions[job.sess],
+                job.kind,
                 job.r,
                 job.pose,
                 job.dispatch_at,
@@ -372,10 +542,12 @@ impl<'a> FrameServer<'a> {
                     let dispatch_at = sess.arrival_s(sess.pipe.cursor());
                     let (frame, workload) = sess.pipe.render_reference(r);
                     Self::commit_reference(
+                        placement.as_ref(),
                         &mut self.pool,
                         &mut self.cache,
                         &mut self.reference_jobs,
                         &mut self.sessions[id],
+                        JobKind::Reference,
                         r,
                         pose,
                         dispatch_at,
@@ -388,8 +560,13 @@ impl<'a> FrameServer<'a> {
     }
 
     /// Readiness time of a session's next frame: client arrival, gated by
-    /// the availability of its warp source.
+    /// the availability of its warp source. A starved streaming session —
+    /// next pose not yet pushed, or its warping window not yet fully planned
+    /// — is never ready.
     fn ready_time(sess: &ServeSession<'_>) -> f64 {
+        if !sess.pipe.can_step() {
+            return f64::INFINITY;
+        }
         let arrival = sess.arrival_s(sess.pipe.cursor());
         match sess.pipe.next_plan() {
             Some(FramePlan::Warp { ref_index }) => {
@@ -413,6 +590,7 @@ impl<'a> FrameServer<'a> {
     /// The report is bit-identical at any budget.
     pub fn run(&mut self) -> ServiceReport {
         let budget = self.cfg.render_threads;
+        let placement = self.cfg.policies.placement.clone();
         let eps = 0.5
             * self
                 .sessions
@@ -505,7 +683,15 @@ impl<'a> FrameServer<'a> {
             for entry in entries {
                 let (sess, stepped) = entry.into_inner().unwrap();
                 let st = stepped.expect("every batch entry stepped");
-                let worker = self.pool.least_loaded();
+                let worker = placement.place(
+                    &PlacementJob {
+                        kind: JobKind::Target,
+                        session: sess.id,
+                        scene_key: &sess.spec.scene_key,
+                        ready_at_s: st.ready_s,
+                    },
+                    &self.pool,
+                );
                 let duration = sess
                     .pipe
                     .service_time_on(&self.pool.workers()[worker].soc, &st.step);
@@ -554,7 +740,7 @@ impl<'a> FrameServer<'a> {
 
         // Drained sessions hand their committed capacity back, so a reused
         // server can admit new work.
-        for sess in &mut self.sessions {
+        for sess in self.sessions.iter_mut() {
             if sess.pipe.is_done() && !sess.load_released {
                 self.admission.release(sess.est_load);
                 sess.load_released = true;
@@ -607,6 +793,8 @@ impl<'a> FrameServer<'a> {
             },
             cache: self.cache.stats(),
             reference_jobs: self.reference_jobs,
+            prefetch_jobs: self.prefetch_jobs,
+            degradations: self.degradations.clone(),
             pool_utilization: self.pool.utilization(makespan_s),
             workers: self.pool.len(),
             sessions,
@@ -942,6 +1130,165 @@ mod tests {
             par.sessions[0].mean_latency_s,
             seq.sessions[0].mean_latency_s
         );
+    }
+
+    #[test]
+    fn degrade_policy_admits_what_default_rejects_and_reports_it() {
+        let (scene, model, traj) = assets();
+        let k = Intrinsics::from_fov(24, 24, 0.9);
+        // Capacity for roughly one-and-a-bit sessions as requested.
+        let tight = crate::AdmissionPolicy {
+            max_utilization: 0.006,
+            ..Default::default()
+        };
+        fn submit_all<'a>(
+            server: &mut FrameServer<'a>,
+            scene: &'a AnalyticScene,
+            model: &'a cicero_field::GridModel,
+            traj: &'a Trajectory,
+            k: Intrinsics,
+        ) -> usize {
+            let mut admitted = 0;
+            for (i, offset) in [0.0, 0.004, 0.009, 0.013].into_iter().enumerate() {
+                if server
+                    .submit(
+                        spec(&format!("s{i}"), QosClass::Standard, offset),
+                        scene,
+                        model,
+                        traj,
+                        k,
+                    )
+                    .is_ok()
+                {
+                    admitted += 1;
+                }
+            }
+            admitted
+        }
+
+        let mut default_server = FrameServer::new(ServeConfig {
+            admission: tight,
+            ..Default::default()
+        });
+        let default_admitted = submit_all(&mut default_server, &scene, &model, &traj, k);
+        let default_rejected = default_server.admission().rejected();
+        assert!(
+            default_rejected >= 1,
+            "fixture must overload the default policy"
+        );
+
+        let mut degrade_server = FrameServer::new(ServeConfig {
+            admission: tight,
+            policies: Policies::default().with_qos(crate::policy::LoadAdaptiveDegrade {
+                max_window: 32,
+                min_resolution: 8,
+            }),
+            ..Default::default()
+        });
+        let degrade_admitted = submit_all(&mut degrade_server, &scene, &model, &traj, k);
+        // The whole point: quality trades for admission on an overloaded
+        // fleet — strictly fewer rejections at equal capacity.
+        assert!(
+            degrade_server.admission().rejected() < default_rejected,
+            "degrade rejected {} vs default {}",
+            degrade_server.admission().rejected(),
+            default_rejected
+        );
+        assert!(degrade_admitted > default_admitted);
+        let report = degrade_server.run();
+        assert!(
+            !report.degradations.is_empty(),
+            "granted trades must be visible in the report"
+        );
+        for d in &report.degradations {
+            let (from, to) = d.degradation.window;
+            let ((w0, h0), (w1, h1)) = d.degradation.resolution;
+            assert!(to > from || (w1 < w0 && h1 < h0), "no-op degradation");
+            // Degraded sessions still served their whole trajectory.
+            assert_eq!(report.sessions[d.session].frames, traj.len());
+        }
+    }
+
+    #[test]
+    fn prefetch_policy_increases_cache_hits_without_changing_frames() {
+        let (scene, model, _) = assets();
+        // Long enough that windows from frame 9 on carry genuinely
+        // extrapolated (non-degenerate) reference poses — those are the
+        // entries only a prefetch can publish ahead of demand.
+        let traj = Trajectory::orbit(&scene, 14, 30.0);
+        let k = Intrinsics::from_fov(24, 24, 0.9);
+        let run_with = |policies: Policies| {
+            let mut server = FrameServer::new(ServeConfig {
+                policies,
+                ..Default::default()
+            });
+            let mut cfg = fast_cfg();
+            cfg.collect_quality = true; // PSNR equality ⇒ frames match
+            for (i, offset) in [0.0, 0.007].into_iter().enumerate() {
+                let mut s = spec(&format!("s{i}"), QosClass::Standard, offset);
+                s.config = cfg.clone();
+                server.submit(s, &scene, &model, &traj, k).unwrap();
+            }
+            server.run()
+        };
+        let default = run_with(Policies::default());
+        let prefetched = run_with(
+            Policies::default().with_prefetch(crate::policy::IdleWorkerPrefetch::default()),
+        );
+
+        assert!(prefetched.prefetch_jobs > 0, "prefetch never engaged");
+        assert!(prefetched.cache.prefetch_hits > 0, "speculation never paid");
+        let hits = |r: &ServiceReport| r.sessions.iter().map(|s| s.cache_hits).sum::<u64>();
+        assert!(
+            hits(&prefetched) > hits(&default),
+            "prefetch {} vs default {} hits",
+            hits(&prefetched),
+            hits(&default)
+        );
+        // Not a single rendered pixel may move: prefetched entries hold the
+        // exact scheduled poses, so every session's MSE-averaged PSNR (a
+        // function of all its frames) must be bit-identical.
+        for (a, b) in default.sessions.iter().zip(&prefetched.sessions) {
+            assert_eq!(a.mean_psnr_db, b.mean_psnr_db, "session {}", a.id);
+            assert_eq!(a.frames, b.frames);
+        }
+        // Waste accounting stays consistent with issuance.
+        let c = prefetched.cache;
+        assert!(c.prefetch_hits + c.prefetch_wasted >= 1);
+        assert!(c.prefetch_inserts as i64 >= c.prefetch_wasted as i64);
+        assert_eq!(c.prefetch_inserts, prefetched.prefetch_jobs);
+    }
+
+    #[test]
+    fn affinity_policy_confines_a_scene_to_one_lane() {
+        let (scene, model, traj) = assets();
+        let k = Intrinsics::from_fov(24, 24, 0.9);
+        let mut server = FrameServer::new(ServeConfig {
+            pool: PoolConfig {
+                workers: 4,
+                ..Default::default()
+            },
+            policies: Policies::default().with_placement(crate::policy::SceneAffinity { lanes: 2 }),
+            ..Default::default()
+        });
+        for (i, offset) in [0.0, 0.005, 0.012].into_iter().enumerate() {
+            server
+                .submit(
+                    spec(&format!("s{i}"), QosClass::Standard, offset),
+                    &scene,
+                    &model,
+                    &traj,
+                    k,
+                )
+                .unwrap();
+        }
+        let report = server.run();
+        // Two lanes of two workers: every frame of the single scene must
+        // land in exactly one of them (model-weight residency).
+        let lanes: std::collections::HashSet<usize> =
+            report.records.iter().map(|r| r.worker / 2).collect();
+        assert_eq!(lanes.len(), 1, "scene spread across lanes: {lanes:?}");
+        assert_eq!(report.frames, 3 * traj.len());
     }
 
     #[test]

@@ -1,8 +1,11 @@
-//! Client sessions: what a tenant asks the frame server to render.
+//! Client sessions: what a tenant asks the frame server to render, and the
+//! [`SessionManager`] that owns the admitted fleet.
 
 use cicero::pipeline::{PipelineConfig, PipelineSession};
 use cicero::FrameOutcome;
+use cicero_math::Pose;
 use std::fmt;
+use std::ops::{Index, IndexMut};
 
 /// Identifies an admitted session within one [`crate::FrameServer`].
 pub type SessionId = usize;
@@ -109,6 +112,15 @@ impl<'a> ServeSession<'a> {
         self.spec.start_offset_s + i as f64 * self.frame_interval_s
     }
 
+    /// Grows the reference-availability ledger to match the pipeline's
+    /// planned reference slots (streaming sessions plan incrementally).
+    pub(crate) fn sync_ref_slots(&mut self) {
+        let n = self.pipe.reference_count();
+        if n > self.ref_ready.len() {
+            self.ref_ready.resize(n, None);
+        }
+    }
+
     /// Deadline for frame `i` under the session's QoS class.
     pub(crate) fn deadline_s(&self, i: usize) -> f64 {
         self.arrival_s(i) + self.spec.qos.deadline_frames() * self.frame_interval_s
@@ -123,5 +135,74 @@ impl<'a> ServeSession<'a> {
     /// PSNR averaged over MSE, matching `PipelineRun::mean_psnr`.
     pub(crate) fn mean_psnr(&self) -> f64 {
         cicero_math::metrics::mean_psnr_db(&self.psnrs)
+    }
+}
+
+/// Owns the admitted sessions of one [`crate::FrameServer`] and routes
+/// streaming pose ingestion to them.
+///
+/// Session ids are indices into admission order, stable for the server's
+/// lifetime. The manager is deliberately dumb about scheduling — policies
+/// and the scheduler decide everything — but it is the single place that
+/// keeps per-session serve bookkeeping (`ref_ready` ledgers) consistent as
+/// streaming sessions grow their schedules.
+pub(crate) struct SessionManager<'a> {
+    sessions: Vec<ServeSession<'a>>,
+}
+
+impl<'a> SessionManager<'a> {
+    pub(crate) fn new() -> Self {
+        SessionManager {
+            sessions: Vec::new(),
+        }
+    }
+
+    /// Sessions admitted so far.
+    pub(crate) fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Adds an admitted session, returning its id (= admission index).
+    pub(crate) fn push(&mut self, sess: ServeSession<'a>) -> SessionId {
+        debug_assert_eq!(sess.id, self.sessions.len());
+        self.sessions.push(sess);
+        self.sessions.len() - 1
+    }
+
+    pub(crate) fn iter(&self) -> std::slice::Iter<'_, ServeSession<'a>> {
+        self.sessions.iter()
+    }
+
+    pub(crate) fn iter_mut(&mut self) -> std::slice::IterMut<'_, ServeSession<'a>> {
+        self.sessions.iter_mut()
+    }
+
+    /// Feeds one pose to a streaming session (panics for whole-trajectory
+    /// sessions, mirroring `PipelineSession::push_pose`).
+    pub(crate) fn push_pose(&mut self, id: SessionId, pose: Pose) {
+        let sess = &mut self.sessions[id];
+        sess.pipe.push_pose(pose);
+        sess.sync_ref_slots();
+    }
+
+    /// Closes a streaming session's pose feed, flushing its final window.
+    pub(crate) fn close_stream(&mut self, id: SessionId) {
+        let sess = &mut self.sessions[id];
+        sess.pipe.close_stream();
+        sess.sync_ref_slots();
+    }
+}
+
+impl<'a> Index<SessionId> for SessionManager<'a> {
+    type Output = ServeSession<'a>;
+
+    fn index(&self, id: SessionId) -> &ServeSession<'a> {
+        &self.sessions[id]
+    }
+}
+
+impl<'a> IndexMut<SessionId> for SessionManager<'a> {
+    fn index_mut(&mut self, id: SessionId) -> &mut ServeSession<'a> {
+        &mut self.sessions[id]
     }
 }

@@ -6,14 +6,23 @@
 //! drains them through the `cicero-serve` batch scheduler. Co-located
 //! sessions share reference renders through the pose-quantized cache.
 //!
-//! Run with `cargo run --release --example serve_swarm [-- THREADS]`.
-//! `THREADS` is the server's total host thread budget (default: the
-//! `RENDER_THREADS` environment variable, then 1): ready sessions step
-//! **concurrently** on the persistent render pool, with the budget
-//! partitioned across each batch. The swarm demo therefore doubles as a
-//! host-scaling demo — the service report is bit-identical at any budget
-//! (the `digest:` line below is CI's determinism oracle between the
-//! 1-thread and 4-thread legs), only the wall-clock frames/sec moves.
+//! ```text
+//! cargo run --release --example serve_swarm [-- THREADS] [--policy P] [--stream]
+//! ```
+//!
+//! - `THREADS` is the server's total host thread budget (default: the
+//!   `RENDER_THREADS` environment variable, then 1): ready sessions step
+//!   **concurrently** on the persistent render pool, with the budget
+//!   partitioned across each batch. The service report is bit-identical at
+//!   any budget — each `digest…:` line below is CI's determinism oracle
+//!   between the 1-thread and 4-thread legs; only wall-clock moves.
+//! - `--policy <default|affinity|degrade|prefetch|all>` selects the serving
+//!   policy bundle (`all` runs each in turn over the same baked assets and
+//!   cross-checks them: prefetch must strictly add cache hits without
+//!   moving a pixel, degrade must admit the flood the others reject).
+//! - `--stream` feeds every session pose-by-pose through the streaming
+//!   ingestion API instead of whole trajectories — the digest must not
+//!   change, which CI also diffs.
 
 use cicero::pipeline::PipelineConfig;
 use cicero::{Scenario, Variant};
@@ -22,7 +31,7 @@ use cicero_field::{bake, GridConfig, GridModel};
 use cicero_math::Intrinsics;
 use cicero_scene::volume::MarchParams;
 use cicero_scene::{library, AnalyticScene, Trajectory};
-use cicero_serve::{FrameServer, QosClass, ServeConfig, SessionSpec};
+use cicero_serve::{FrameServer, Policies, QosClass, ServeConfig, ServiceReport, SessionSpec};
 
 const SCENES: [&str; 4] = ["lego", "chair", "ship", "hotdog"];
 const VIEWERS_PER_SCENE: usize = 6; // 4 scenes × 6 = 24 sessions
@@ -37,50 +46,68 @@ struct SceneAssets {
     handheld: Trajectory,
 }
 
-fn main() {
-    let render_threads: usize = std::env::args()
-        .nth(1)
-        .map(|a| a.parse().expect("usage: serve_swarm [render-threads]"))
+struct Args {
+    render_threads: usize,
+    policy: String,
+    stream: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        render_threads: 0,
+        policy: "default".into(),
+        stream: false,
+    };
+    let mut threads: Option<usize> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--policy" => {
+                args.policy = it
+                    .next()
+                    .expect("--policy takes <default|affinity|degrade|prefetch|all>");
+            }
+            "--stream" => args.stream = true,
+            other => {
+                assert!(
+                    threads.is_none(),
+                    "usage: serve_swarm [THREADS] [--policy P] [--stream]"
+                );
+                threads = Some(other.parse().expect("THREADS must be a number"));
+            }
+        }
+    }
+    args.render_threads = threads
         .unwrap_or_else(cicero_field::env_render_threads)
         .max(1);
-    println!("==========================================================");
-    println!(
-        "serve_swarm: {} sessions over {} scenes, {} render thread(s)",
-        SCENES.len() * VIEWERS_PER_SCENE,
-        SCENES.len(),
-        render_threads
-    );
-    println!("==========================================================");
+    args
+}
 
-    let assets: Vec<SceneAssets> = SCENES
-        .iter()
-        .map(|&name| {
-            let scene = library::scene_by_name(name).unwrap();
-            let model = bake::bake_grid(
-                &scene,
-                &GridConfig {
-                    resolution: 28,
-                    ..Default::default()
-                },
-            );
-            let orbit = Trajectory::orbit(&scene, FRAMES, FPS);
-            let handheld = Trajectory::handheld(&scene, FRAMES, FPS, 7);
-            SceneAssets {
-                name,
-                scene,
-                model,
-                orbit,
-                handheld,
-            }
-        })
-        .collect();
+fn policies_for(name: &str) -> Policies {
+    Policies::by_name(name)
+        .unwrap_or_else(|| panic!("unknown policy {name} (default|affinity|degrade|prefetch|all)"))
+}
 
+struct SwarmRun {
+    sessions: usize,
+    report: ServiceReport,
+    flood_rejected: bool,
+    wall_s: f64,
+}
+
+fn run_swarm(
+    assets: &[SceneAssets],
+    policy: &str,
+    render_threads: usize,
+    stream: bool,
+) -> SwarmRun {
     let mut server = FrameServer::new(ServeConfig {
         pool: PoolConfig {
             workers: 6,
             ..Default::default()
         },
         render_threads,
+        policies: policies_for(policy),
         ..Default::default()
     });
 
@@ -118,20 +145,30 @@ fn main() {
                     ..Default::default()
                 },
             };
-            server
-                .submit(
-                    spec,
-                    &a.scene,
-                    &a.model,
-                    traj,
-                    Intrinsics::from_fov(32, 32, 0.9),
-                )
-                .expect("swarm session admitted");
+            let k = Intrinsics::from_fov(32, 32, 0.9);
+            if stream {
+                // Streaming ingestion: the same client, feeding its poses
+                // one at a time. Fully fed before the drain, so the report
+                // must be bit-identical to whole-trajectory submission.
+                let id = server
+                    .submit_stream(spec, &a.scene, &a.model, traj.fps(), k)
+                    .expect("swarm session admitted");
+                for pose in traj.poses() {
+                    server.push_pose(id, *pose);
+                }
+                server.close_stream(id);
+            } else {
+                server
+                    .submit(spec, &a.scene, &a.model, traj, k)
+                    .expect("swarm session admitted");
+            }
         }
     }
 
     // Admission control in action: a 90 fps 640×640 baseline flood does not
-    // fit next to the committed swarm.
+    // fit next to the committed swarm. The default policy must reject it;
+    // the load-adaptive QoS policy instead admits it *degraded* (the ladder
+    // lands at 80×80), trading quality for admission.
     let flood = SessionSpec {
         name: "flood".into(),
         scene_key: "lego".into(),
@@ -143,45 +180,76 @@ fn main() {
         },
     };
     let flood_traj = Trajectory::orbit(&assets[0].scene, FRAMES, 90.0);
-    match server.submit(
+    let flood_rejected = match server.submit(
         flood,
         &assets[0].scene,
         &assets[0].model,
         &flood_traj,
         Intrinsics::from_fov(640, 640, 0.9),
     ) {
-        Err(e) => println!("\nadmission control: flood session rejected ({e})"),
-        // Fail fast: if this ever fits, run() would full-render 640×640
-        // frames and blow the CI smoke-test budget.
-        Ok(_) => panic!("admission control failed: flood session admitted"),
-    }
+        Err(e) => {
+            println!("\n[{policy}] admission control: flood session rejected ({e})");
+            true
+        }
+        Ok(id) => {
+            // Only the degrading QoS policy may let the flood in — and only
+            // in a reduced shape. Anything else blowing the budget here
+            // would also blow the CI smoke-test budget with 640×640 fulls.
+            assert_eq!(policy, "degrade", "flood admitted under {policy}");
+            println!("\n[{policy}] admission control: flood session {id} admitted DEGRADED");
+            false
+        }
+    };
 
     let sessions = server.session_count();
     let wall_start = std::time::Instant::now();
     let report = server.run();
     let wall_s = wall_start.elapsed().as_secs_f64();
+    SwarmRun {
+        sessions,
+        report,
+        flood_rejected,
+        wall_s,
+    }
+}
 
-    println!("\nper-session summary:");
-    println!(
-        "  {:<24} {:>11} {:>7} {:>10} {:>8} {:>6} {:>6}",
-        "session", "qos", "frames", "mean lat", "psnr", "miss", "hits"
-    );
-    for s in &report.sessions {
+fn total_hits(report: &ServiceReport) -> u64 {
+    report.sessions.iter().map(|s| s.cache_hits).sum()
+}
+
+fn psnr_sum(report: &ServiceReport) -> f64 {
+    report
+        .sessions
+        .iter()
+        .filter(|s| s.name != "flood") // the degraded flood is extra
+        .map(|s| s.mean_psnr_db)
+        .sum()
+}
+
+fn print_run(policy: &str, run: &SwarmRun, verbose: bool, render_threads: usize) {
+    let report = &run.report;
+    if verbose {
+        println!("\nper-session summary:");
         println!(
-            "  {:<24} {:>11} {:>7} {:>8.2}ms {:>6.1}dB {:>6} {:>6}",
-            s.name,
-            s.qos.label(),
-            s.frames,
-            s.mean_latency_s * 1e3,
-            s.mean_psnr_db,
-            s.deadline_misses,
-            s.cache_hits
+            "  {:<24} {:>11} {:>7} {:>10} {:>8} {:>6} {:>6}",
+            "session", "qos", "frames", "mean lat", "psnr", "miss", "hits"
         );
+        for s in &report.sessions {
+            println!(
+                "  {:<24} {:>11} {:>7} {:>8.2}ms {:>6.1}dB {:>6} {:>6}",
+                s.name,
+                s.qos.label(),
+                s.frames,
+                s.mean_latency_s * 1e3,
+                s.mean_psnr_db,
+                s.deadline_misses,
+                s.cache_hits
+            );
+        }
     }
 
-    let total_hits: u64 = report.sessions.iter().map(|s| s.cache_hits).sum();
-    println!("\naggregate:");
-    println!("  sessions                  {sessions}");
+    println!("\n[{policy}] aggregate:");
+    println!("  sessions                  {}", run.sessions);
     println!("  frames served             {}", report.frames);
     println!("  makespan                  {:.3} s", report.makespan_s);
     println!(
@@ -202,6 +270,20 @@ fn main() {
         "  reference cache           {} hits / {} misses ({} pool jobs)",
         report.cache.hits, report.cache.misses, report.reference_jobs
     );
+    if report.prefetch_jobs > 0 {
+        println!(
+            "  prefetch                  {} jobs: {} hits, {} wasted",
+            report.prefetch_jobs, report.cache.prefetch_hits, report.cache.prefetch_wasted
+        );
+    }
+    for d in &report.degradations {
+        let (w0, w1) = d.degradation.window;
+        let ((x0, y0), (x1, y1)) = d.degradation.resolution;
+        println!(
+            "  degraded                  {}: window {w0}→{w1}, {x0}×{y0}→{x1}×{y1}",
+            d.name
+        );
+    }
     println!(
         "  pool                      {} workers at {:.0}% utilization",
         report.workers,
@@ -211,31 +293,127 @@ fn main() {
         "  host                      {} render thread(s): {} frames in {:.2} s wall clock ({:.1} frames/s)",
         render_threads,
         report.frames,
-        wall_s,
-        report.frames as f64 / wall_s.max(1e-9)
+        run.wall_s,
+        report.frames as f64 / run.wall_s.max(1e-9)
     );
-
-    assert!(sessions >= 24, "swarm must run at least 24 sessions");
-    assert!(
-        total_hits >= 1,
-        "expected at least one cross-session cache hit"
-    );
-    assert!(report.throughput_fps > 0.0);
 
     // Determinism oracle: every field here is simulated-time state, so the
-    // line must be byte-identical at any host thread budget. CI runs the
-    // swarm at 1 and 4 threads and diffs the two digests.
-    let psnr_sum: f64 = report.sessions.iter().map(|s| s.mean_psnr_db).sum();
+    // line must be byte-identical at any host thread budget (and under
+    // streaming ingestion). CI diffs these digests across 1 vs 4 threads
+    // and stream vs whole-trajectory legs.
+    let suffix = if policy == "default" {
+        String::new()
+    } else {
+        format!("[{policy}]")
+    };
     println!(
-        "digest: frames={} makespan={:.12} p50={:.12} p99={:.12} misses={} ref_jobs={} cache_hits={} psnr_sum={:.9}",
+        "digest{suffix}: frames={} makespan={:.12} p50={:.12} p99={:.12} misses={} ref_jobs={} prefetch={} degraded={} cache_hits={} psnr_sum={:.9}",
         report.frames,
         report.makespan_s,
         report.p50_latency_s,
         report.p99_latency_s,
         report.deadline_misses,
         report.reference_jobs,
-        total_hits,
-        psnr_sum
+        report.prefetch_jobs,
+        report.degradations.len(),
+        total_hits(report),
+        psnr_sum(report)
     );
-    println!("\nOK: {sessions} sessions, {total_hits} cross-session cache hits");
+}
+
+fn main() {
+    let args = parse_args();
+    let policies: Vec<&str> = match args.policy.as_str() {
+        "all" => vec!["default", "affinity", "degrade", "prefetch"],
+        one => vec![one],
+    };
+    println!("==========================================================");
+    println!(
+        "serve_swarm: {} sessions over {} scenes, {} render thread(s), policies {:?}{}",
+        SCENES.len() * VIEWERS_PER_SCENE,
+        SCENES.len(),
+        args.render_threads,
+        policies,
+        if args.stream {
+            ", streaming ingestion"
+        } else {
+            ""
+        }
+    );
+    println!("==========================================================");
+
+    let assets: Vec<SceneAssets> = SCENES
+        .iter()
+        .map(|&name| {
+            let scene = library::scene_by_name(name).unwrap();
+            let model = bake::bake_grid(
+                &scene,
+                &GridConfig {
+                    resolution: 28,
+                    ..Default::default()
+                },
+            );
+            let orbit = Trajectory::orbit(&scene, FRAMES, FPS);
+            let handheld = Trajectory::handheld(&scene, FRAMES, FPS, 7);
+            SceneAssets {
+                name,
+                scene,
+                model,
+                orbit,
+                handheld,
+            }
+        })
+        .collect();
+
+    let mut runs: Vec<(&str, SwarmRun)> = Vec::new();
+    for (i, policy) in policies.iter().enumerate() {
+        let run = run_swarm(&assets, policy, args.render_threads, args.stream);
+        assert!(run.sessions >= 24, "swarm must run at least 24 sessions");
+        assert!(
+            total_hits(&run.report) >= 1,
+            "expected at least one cross-session cache hit"
+        );
+        assert!(run.report.throughput_fps > 0.0);
+        print_run(policy, &run, i == 0, args.render_threads);
+        runs.push((policy, run));
+    }
+
+    // Cross-policy acceptance checks (only meaningful with several runs).
+    if let Some((_, default)) = runs.iter().find(|(p, _)| *p == "default") {
+        for (policy, run) in &runs {
+            match *policy {
+                "prefetch" => {
+                    // Speculation must strictly add cache hits…
+                    assert!(
+                        total_hits(&run.report) > total_hits(&default.report),
+                        "prefetch hits {} ≤ default {}",
+                        total_hits(&run.report),
+                        total_hits(&default.report)
+                    );
+                    assert!(run.report.prefetch_jobs > 0);
+                    // …without moving a single rendered pixel.
+                    assert_eq!(
+                        psnr_sum(&run.report),
+                        psnr_sum(&default.report),
+                        "prefetch changed rendered frames"
+                    );
+                }
+                "degrade" => {
+                    // The flood the default rejected is admitted, degraded.
+                    assert!(default.flood_rejected);
+                    assert!(!run.flood_rejected, "degrade policy still rejected");
+                    assert!(!run.report.degradations.is_empty());
+                }
+                _ => {}
+            }
+        }
+        println!("\ncross-policy checks OK");
+    }
+
+    let (_, first) = &runs[0];
+    println!(
+        "\nOK: {} sessions, {} cross-session cache hits",
+        first.sessions,
+        total_hits(&first.report)
+    );
 }

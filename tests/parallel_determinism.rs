@@ -19,7 +19,10 @@ use cicero_math::{Camera, Intrinsics, Pose, Vec3};
 use cicero_scene::ground_truth::render_frame;
 use cicero_scene::volume::MarchParams;
 use cicero_scene::{library, RadianceSource, Trajectory};
-use cicero_serve::{FrameServer, QosClass, ServeConfig, SessionSpec};
+use cicero_serve::{
+    FrameServer, IdleWorkerPrefetch, LoadAdaptiveDegrade, Policies, QosClass, SceneAffinity,
+    ServeConfig, SessionSpec,
+};
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 3, 8];
 
@@ -371,6 +374,138 @@ fn concurrent_multi_session_serving_matches_serial_stepping() {
             par.deadline_misses, serial.deadline_misses,
             "budget {budget}: deadline misses"
         );
+    }
+}
+
+/// Every non-default policy must keep the serving core's determinism
+/// contract on its own: placement, QoS degradation and prefetch decisions
+/// may only consume simulated state, so the **entire** service report —
+/// records, degradations, prefetch economics, cache counters — is
+/// bit-identical at any host thread budget.
+#[test]
+fn non_default_policies_are_budget_deterministic() {
+    let lego = library::scene_by_name("lego").unwrap();
+    let ship = library::scene_by_name("ship").unwrap();
+    let models = [
+        bake::bake_grid(
+            &lego,
+            &cicero_field::GridConfig {
+                resolution: 24,
+                ..Default::default()
+            },
+        ),
+        bake::bake_grid(
+            &ship,
+            &cicero_field::GridConfig {
+                resolution: 24,
+                ..Default::default()
+            },
+        ),
+    ];
+    let scenes = [&lego, &ship];
+    let trajs = [
+        Trajectory::orbit(&lego, 8, 30.0),
+        Trajectory::orbit(&ship, 8, 30.0),
+    ];
+    let k = Intrinsics::from_fov(24, 24, 0.9);
+
+    let policies_for = |name: &str| -> Policies {
+        match name {
+            "affinity" => Policies::default().with_placement(SceneAffinity { lanes: 2 }),
+            "degrade" => Policies::default().with_qos(LoadAdaptiveDegrade {
+                max_window: 16,
+                min_resolution: 8,
+            }),
+            "prefetch" => Policies::default().with_prefetch(IdleWorkerPrefetch::default()),
+            other => panic!("unknown policy {other}"),
+        }
+    };
+
+    for policy in ["affinity", "degrade", "prefetch"] {
+        let serve_with = |budget: usize| {
+            let mut server = FrameServer::new(ServeConfig {
+                render_threads: budget,
+                policies: policies_for(policy),
+                // Tight enough that the degrade ladder actually engages for
+                // later sessions (and the default would reject them).
+                admission: cicero_serve::AdmissionPolicy {
+                    max_utilization: if policy == "degrade" { 0.012 } else { 0.85 },
+                    ..Default::default()
+                },
+                ..Default::default()
+            });
+            let mut admitted = 0;
+            for (i, (qos, scene_ix, offset)) in [
+                (QosClass::Interactive, 0, 0.0),
+                (QosClass::Standard, 0, 0.004),
+                (QosClass::BestEffort, 0, 0.009),
+                (QosClass::Interactive, 1, 0.002),
+                (QosClass::Standard, 1, 0.006),
+                (QosClass::Standard, 1, 0.013),
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                let spec = SessionSpec {
+                    name: format!("s{i}"),
+                    scene_key: if scene_ix == 0 { "lego" } else { "ship" }.into(),
+                    qos,
+                    start_offset_s: offset,
+                    config: PipelineConfig {
+                        variant: Variant::Cicero,
+                        window: 4,
+                        march: MarchParams {
+                            step: 0.05,
+                            ..Default::default()
+                        },
+                        collect_quality: true, // PSNR equality ⇒ frames match too
+                        collect_traffic: false,
+                        ..Default::default()
+                    },
+                };
+                // Degrade mode intentionally saturates: rejections are fine,
+                // they must simply be identical across budgets.
+                if server
+                    .submit(
+                        spec,
+                        scenes[scene_ix],
+                        &models[scene_ix],
+                        &trajs[scene_ix],
+                        k,
+                    )
+                    .is_ok()
+                {
+                    admitted += 1;
+                }
+            }
+            assert!(admitted >= 1, "{policy}: at least one session admitted");
+            (admitted, server.run())
+        };
+
+        let (admitted, serial) = serve_with(0);
+        assert_eq!(serial.frames, admitted * 8, "{policy}");
+        match policy {
+            // The exercised fixture must actually engage each policy.
+            "degrade" => assert!(
+                !serial.degradations.is_empty(),
+                "degrade policy never engaged"
+            ),
+            "prefetch" => assert!(serial.prefetch_jobs > 0, "prefetch policy never engaged"),
+            _ => {}
+        }
+        for budget in [1, 2, 3, 8] {
+            let (_, par) = serve_with(budget);
+            assert_eq!(par.records, serial.records, "{policy}: budget {budget}");
+            assert_eq!(par.sessions, serial.sessions, "{policy}: budget {budget}");
+            assert_eq!(par.makespan_s, serial.makespan_s, "{policy}: {budget}");
+            assert_eq!(par.p50_latency_s, serial.p50_latency_s, "{policy}");
+            assert_eq!(par.p99_latency_s, serial.p99_latency_s, "{policy}");
+            assert_eq!(par.cache, serial.cache, "{policy}: budget {budget}");
+            assert_eq!(par.reference_jobs, serial.reference_jobs, "{policy}");
+            assert_eq!(par.prefetch_jobs, serial.prefetch_jobs, "{policy}");
+            assert_eq!(par.degradations, serial.degradations, "{policy}");
+            assert_eq!(par.deadline_misses, serial.deadline_misses, "{policy}");
+        }
     }
 }
 
