@@ -1,6 +1,15 @@
-//! Feature Computation kernel (paper stage F): decoder MLP inference.
+//! Feature Computation kernel (paper stage F): decoder MLP inference —
+//! scalar per-sample decode vs the batched SoA block kernel.
+//!
+//! The block variants measure the tentpole of the batched sample engine:
+//! `Decoder::decode_block` loads every MLP weight row once per K samples
+//! (scalar reloads it per sample) and its inner sample loops autovectorize.
+//! The same-work comparison is `decode_scalar16_hiddenH` (16 scalar decodes
+//! per iteration) against `decode_blockK_hiddenH` (one K-sample block per
+//! iteration, so 16 samples at K=16); `decode_hiddenH` times a *single*
+//! decode and is not directly comparable to the block numbers.
 
-use cicero_field::{Decoder, SpecularHead};
+use cicero_field::{Decoder, MlpBlockScratch, MlpScratch, SpecularHead};
 use cicero_math::Vec3;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
@@ -12,6 +21,38 @@ fn bench_mlp(c: &mut Criterion) {
         g.bench_function(format!("decode_hidden{hidden}"), |b| {
             b.iter(|| dec.decode(black_box(&feats), black_box(Vec3::Z)))
         });
+        // Scalar loop over one block's worth of samples, through a warm
+        // scratch — the per-sample path the batched engine replaces.
+        let mut scratch = MlpScratch::new();
+        g.bench_function(format!("decode_scalar16_hidden{hidden}"), |b| {
+            b.iter(|| {
+                let mut acc = 0.0f32;
+                for _ in 0..16 {
+                    let (s, _) = dec.decode_into(black_box(&feats), Vec3::Z, &mut scratch);
+                    acc += s;
+                }
+                acc
+            })
+        });
+        // The batched SoA kernel on the same 16 samples.
+        for k in [4usize, 16, 64] {
+            let mut block = MlpBlockScratch::new();
+            let dirs = vec![Vec3::Z; k];
+            let mut sigma = vec![0.0f32; k];
+            let mut rgb = vec![Vec3::ZERO; k];
+            g.bench_function(format!("decode_block{k}_hidden{hidden}"), |b| {
+                b.iter(|| {
+                    let input = dec.stage_block(&mut block, k);
+                    for s in 0..k {
+                        for (c, &f) in feats.iter().enumerate() {
+                            input[c * k + s] = f;
+                        }
+                    }
+                    dec.decode_block(black_box(&dirs), k, &mut block, &mut sigma, &mut rgb);
+                    sigma[0]
+                })
+            });
+        }
     }
     let spec = Decoder::new(12, 64, Some(SpecularHead { shininess: 24.0 }));
     let feats: Vec<f32> = (0..12).map(|i| i as f32 * 0.1).collect();

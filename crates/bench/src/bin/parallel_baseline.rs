@@ -4,7 +4,9 @@
 //! ```text
 //! cargo run --release -p cicero-bench --bin parallel_baseline -- \
 //!     [--out results/bench_parallel.json] [--sizes 64,200,800] \
-//!     [--threads 1,2,4,8] [--samples 3]
+//!     [--threads 1,2,4,8] [--samples 3] \
+//!     [--batch-out results/bench_batch.json] [--blocks 1,4,16,32,64] \
+//!     [--batch-size 200]
 //! ```
 //!
 //! Three measurement families, all recorded to the output file together
@@ -23,9 +25,13 @@
 //! - **pool spawn counter** — `RenderPool::spawned_total()` across every
 //!   timed pool-engine run; after warm-up it must not move (the zero-spawn
 //!   acceptance check, also enforced by `tests/zero_alloc.rs`).
+//! - **batch leg** — single-thread samples/s of the batched SoA sample
+//!   engine vs the scalar marcher (`sample_block` sweep) on the paper-scale
+//!   decoder model (64 hidden units — the regime where MLP weight re-reads
+//!   dominate, per the paper's §II-B), recorded to `--batch-out`.
 
 use cicero::sparw::{warp_frame_timed, WarpOptions, WarpScratch, WarpTiming};
-use cicero_bench::{bench_camera, bench_model};
+use cicero_bench::{bench_camera, bench_model, bench_model_paper};
 use cicero_field::pool::RenderPool;
 use cicero_field::tiles::{render_full_tiled, render_full_tiled_scoped, TileOptions};
 use cicero_field::{NerfModel, NullSink, RenderOptions};
@@ -37,6 +43,9 @@ struct Args {
     sizes: Vec<usize>,
     threads: Vec<usize>,
     samples: usize,
+    batch_out: String,
+    blocks: Vec<usize>,
+    batch_size: usize,
 }
 
 fn parse_csv(flag: &str, value: &str) -> Vec<usize> {
@@ -58,6 +67,9 @@ fn parse_args() -> Args {
         sizes: vec![64, 200, 800],
         threads: vec![1, 2, 4, 8],
         samples: 3,
+        batch_out: "results/bench_batch.json".into(),
+        blocks: vec![1, 4, 16, 32, 64],
+        batch_size: 200,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -70,7 +82,12 @@ fn parse_args() -> Args {
             "--sizes" | "--size" => args.sizes = parse_csv("--sizes", &value()),
             "--samples" => args.samples = value().parse().expect("--samples takes a count"),
             "--threads" => args.threads = parse_csv("--threads", &value()),
-            other => panic!("unknown flag {other} (expected --out/--sizes/--threads/--samples)"),
+            "--batch-out" => args.batch_out = value(),
+            "--blocks" => args.blocks = parse_csv("--blocks", &value()),
+            "--batch-size" => args.batch_size = value().parse().expect("--batch-size takes a pixel count"),
+            other => panic!(
+                "unknown flag {other} (expected --out/--sizes/--threads/--samples/--batch-out/--blocks/--batch-size)"
+            ),
         }
     }
     args.samples = args.samples.max(1);
@@ -222,6 +239,96 @@ fn main() {
 
     let pool_spawns = pool.spawned_total() - spawns_at_warm;
     println!("  pool spawns during timed runs: {pool_spawns}");
+
+    // Batch leg: the batched SoA sample engine vs the scalar marcher,
+    // single-threaded (weight reuse is a per-core effect), on the
+    // paper-scale decoder model. Minimum-of-N timing: the block size is a
+    // pure throughput knob (bit-identical output, enforced by
+    // tests/batch_equivalence.rs), so only speed is recorded.
+    struct BatchRun {
+        block: usize,
+        mean_s: f64,
+        min_s: f64,
+        samples_per_s: f64,
+    }
+    let paper_model = bench_model_paper();
+    let batch_cam = bench_camera(args.batch_size);
+    let mut batch_runs: Vec<BatchRun> = Vec::new();
+    for &blk in &args.blocks {
+        let opts = RenderOptions {
+            sample_block: blk.max(1),
+            ..RenderOptions::default()
+        };
+        let tile = TileOptions::with_threads(1);
+        let mut processed = 0u64;
+        let mut render = || {
+            let (_, stats) =
+                render_full_tiled(&paper_model, &batch_cam, &opts, &mut NullSink, &tile);
+            processed = stats.samples_processed;
+            stats.rays
+        };
+        let _ = render(); // warm the block scratch at this size
+        let (mean_s, min_s) = time_renders(args.samples, &mut render);
+        let samples_per_s = processed as f64 / min_s;
+        println!(
+            "  batch  {:>3}px  1t block {blk:>3}: mean {:>9.3} ms, min {:>9.3} ms, {:>6.3} Msamples/s",
+            args.batch_size,
+            mean_s * 1e3,
+            min_s * 1e3,
+            samples_per_s / 1e6
+        );
+        batch_runs.push(BatchRun {
+            block: blk.max(1),
+            mean_s,
+            min_s,
+            samples_per_s,
+        });
+    }
+    let scalar_sps = batch_runs
+        .iter()
+        .find(|r| r.block == 1)
+        .map(|r| r.samples_per_s);
+    if let Some(base) = scalar_sps {
+        for r in batch_runs.iter().filter(|r| r.block > 1) {
+            println!(
+                "  batch speedup block {:>3}: {:.2}x over scalar",
+                r.block,
+                r.samples_per_s / base
+            );
+        }
+    }
+    let batch_entries: Vec<String> = batch_runs
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{ \"block\": {}, \"mean_s\": {:.6}, \"min_s\": {:.6}, \"samples_per_s\": {:.1}, \"speedup_vs_scalar\": {} }}",
+                r.block,
+                r.mean_s,
+                r.min_s,
+                r.samples_per_s,
+                // `null` when the sweep omitted the scalar baseline — a
+                // fabricated 1.0 would read as "no speedup measured".
+                scalar_sps.map_or("null".to_string(), |b| {
+                    format!("{:.4}", r.samples_per_s / b)
+                })
+            )
+        })
+        .collect();
+    let batch_json = format!(
+        "{{\n  \"bench\": \"batch_engine\",\n  \"size\": {},\n  \"threads\": 1,\n  \
+         \"march_step\": {},\n  \"samples\": {},\n  \"host_cores\": {},\n  \
+         \"decoder_hidden\": 64,\n  \"runs\": [\n{}\n  ]\n}}\n",
+        args.batch_size,
+        opts.march.step,
+        args.samples,
+        host_cores,
+        batch_entries.join(",\n")
+    );
+    if let Some(dir) = std::path::Path::new(&args.batch_out).parent() {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    std::fs::write(&args.batch_out, batch_json).expect("write batch baseline file");
+    println!("batch baseline saved to {}", args.batch_out);
 
     for &size in &args.sizes {
         let at = |engine: &str| {

@@ -25,7 +25,7 @@ use crate::traffic::{
 use cicero_accel::config::SocConfig;
 use cicero_accel::soc::{FrameReport, Scenario, SocModel, Variant};
 use cicero_accel::FrameWorkload;
-use cicero_field::render::{RenderOptions, RenderStats};
+use cicero_field::render::{env_sample_block, RenderOptions, RenderStats};
 use cicero_field::tiles::{env_render_threads, render_full_tiled, render_tiled, TileOptions};
 use cicero_field::{NerfModel, NullSink};
 use cicero_math::{metrics, Camera, Intrinsics, Pose};
@@ -64,6 +64,12 @@ pub struct PipelineConfig {
     /// unset); external schedulers re-partition it live via
     /// [`PipelineSession::set_render_threads`].
     pub render_threads: usize,
+    /// Samples per SoA block of the batched sample engine (`1` = scalar
+    /// marching). Like `render_threads`, a pure host-throughput knob:
+    /// frames, statistics, traces and simulated timings are bit-identical
+    /// at every value. Defaults to the `SAMPLE_BLOCK` environment variable
+    /// ([`cicero_field::DEFAULT_SAMPLE_BLOCK`] when unset).
+    pub sample_block: usize,
 }
 
 impl Default for PipelineConfig {
@@ -79,6 +85,7 @@ impl Default for PipelineConfig {
             collect_quality: true,
             collect_traffic: true,
             render_threads: env_render_threads(),
+            sample_block: env_sample_block(),
         }
     }
 }
@@ -404,6 +411,7 @@ impl<'a> PipelineSession<'a> {
             opts: RenderOptions {
                 march: cfg.march,
                 use_occupancy: true,
+                sample_block: cfg.sample_block,
             },
             pixels: intrinsics.pixel_count() as u64,
             cfg: cfg.clone(),
@@ -453,6 +461,7 @@ impl<'a> PipelineSession<'a> {
             opts: RenderOptions {
                 march: cfg.march,
                 use_occupancy: true,
+                sample_block: cfg.sample_block,
             },
             pixels: intrinsics.pixel_count() as u64,
             cfg: cfg.clone(),
@@ -942,6 +951,7 @@ pub fn run_ds2(
     let opts = RenderOptions {
         march: cfg.march,
         use_occupancy: true,
+        sample_block: cfg.sample_block,
     };
     let pixels = intrinsics.pixel_count() as u64;
     let mut outcomes = Vec::new();
@@ -1001,6 +1011,7 @@ pub fn run_temp(
     let opts = RenderOptions {
         march: cfg.march,
         use_occupancy: true,
+        sample_block: cfg.sample_block,
     };
     let pixels = intrinsics.pixel_count() as u64;
     let rendered = baselines::render_temp_chain(model, traj, intrinsics, cfg.window, &opts);

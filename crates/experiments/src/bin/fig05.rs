@@ -34,6 +34,7 @@ fn main() {
     let opts = RenderOptions {
         march: exp_march(),
         use_occupancy: true,
+        ..Default::default()
     };
 
     let scaled_bytes: u64 = 64 << 10; // 2 MB × (EXP_RES/PAPER_RES)²

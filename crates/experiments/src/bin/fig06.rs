@@ -28,6 +28,7 @@ fn measure(model: &dyn cicero_field::NerfModel, rays: usize, cam: &cicero_math::
     let opts = RenderOptions {
         march: exp_march(),
         use_occupancy: true,
+        ..Default::default()
     };
     render_full(model, cam, &opts, &mut sink);
     sink.finish().bank.conflict_rate()

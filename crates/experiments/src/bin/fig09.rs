@@ -29,6 +29,7 @@ fn main() {
     let opts = RenderOptions {
         march: exp_march(),
         use_occupancy: true,
+        ..Default::default()
     };
 
     let (reference, _) =

@@ -27,6 +27,7 @@ fn main() {
     let opts = RenderOptions {
         march: exp_march(),
         use_occupancy: true,
+        ..Default::default()
     };
 
     let mut raw = Vec::new();

@@ -197,6 +197,7 @@ pub fn measure_workloads(
     let opts = RenderOptions {
         march: exp_march(),
         use_occupancy: true,
+        ..Default::default()
     };
     let pixels = (EXP_RES * EXP_RES) as u64;
 

@@ -13,6 +13,7 @@
 //! The head's small extra MAC count is reported by
 //! [`Decoder::macs_per_sample`] so hardware models charge for it.
 
+use crate::mlp::MlpBlockScratch;
 use crate::{Mlp, MlpScratch};
 use cicero_math::Vec3;
 
@@ -219,6 +220,69 @@ impl Decoder {
         (sigma, rgb)
     }
 
+    /// Stages the SoA input matrix for a block decode of `k` samples and
+    /// returns it zero-filled.
+    ///
+    /// The matrix is `(feature_dim + 3) × k`, sample-minor: value `i` of
+    /// sample `s` lives at index `i * k + s`. Fill rows `0..feature_dim`
+    /// with the gathered features (e.g. via
+    /// [`crate::NerfModel::features_into_block`]); rows `feature_dim..` are
+    /// the ray-direction inputs, filled by [`Decoder::decode_block`].
+    pub fn stage_block<'s>(&self, scratch: &'s mut MlpBlockScratch, k: usize) -> &'s mut [f32] {
+        scratch.stage(self.mlp.in_dim() * k)
+    }
+
+    /// Decodes a block of `k` samples staged via [`Decoder::stage_block`],
+    /// with per-lane ray directions (the batched renderer packs samples of
+    /// several rays into one block). Writes `σ` into `sigma_out[..k]` and
+    /// radiance into `rgb_out[..k]`.
+    ///
+    /// Per sample, results are **bit-identical** to [`Decoder::decode_into`]:
+    /// the MLP block kernel preserves each sample's accumulation order and
+    /// the activation/specular math is the same scalar sequence per lane.
+    /// Allocation-free once the scratch is warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the staged input length mismatches, or `dirs` / the output
+    /// slices are shorter than `k`.
+    pub fn decode_block(
+        &self,
+        dirs: &[Vec3],
+        k: usize,
+        scratch: &mut MlpBlockScratch,
+        sigma_out: &mut [f32],
+        rgb_out: &mut [Vec3],
+    ) {
+        assert!(dirs.len() >= k, "direction slice too short");
+        assert!(
+            sigma_out.len() >= k && rgb_out.len() >= k,
+            "output too short"
+        );
+        let fd = self.feature_dim();
+        let input = scratch.staged_mut();
+        assert_eq!(input.len(), (fd + 3) * k, "staged block size mismatch");
+        for (s, d) in dirs[..k].iter().enumerate() {
+            input[fd * k + s] = d.x;
+            input[(fd + 1) * k + s] = d.y;
+            input[(fd + 2) * k + s] = d.z;
+        }
+        let out = self.mlp.forward_block(scratch, k);
+        for s in 0..k {
+            sigma_out[s] = softplus(out[s]);
+            let mut rgb = Vec3::new(
+                out[k + s].max(0.0),
+                out[2 * k + s].max(0.0),
+                out[3 * k + s].max(0.0),
+            );
+            if let Some(head) = &self.specular {
+                let q = Vec3::new(out[4 * k + s], out[5 * k + s], out[6 * k + s]);
+                rgb += Vec3::splat(head.eval(q, dirs[s]));
+            }
+            rgb_out[s] = rgb;
+        }
+    }
+
     /// Total MAC cost per decoded sample (MLP plus specular head).
     pub fn macs_per_sample(&self) -> u64 {
         self.mlp.macs_per_inference() + self.specular.map_or(0, |h| h.macs())
@@ -311,6 +375,41 @@ mod tests {
             wide.modeled_macs_per_sample()
         );
         assert_ne!(narrow.macs_per_sample(), wide.macs_per_sample());
+    }
+
+    #[test]
+    fn decode_block_matches_scalar_bitwise() {
+        for spec in [None, Some(SpecularHead { shininess: 24.0 })] {
+            let dec = Decoder::new(12, 32, spec);
+            let feat = |s: usize, c: usize| (c as f32 * 0.23 - 1.3) * (s as f32 * 0.41 + 1.0);
+            for k in [1usize, 3, 16] {
+                // Per-lane directions: blocks span rays, so every lane may
+                // look along a different direction.
+                let dirs: Vec<Vec3> = (0..k)
+                    .map(|s| {
+                        let t = s as f32 * 0.7;
+                        Vec3::new(t.sin() - 0.2, -0.9, t.cos() * 0.3).normalized()
+                    })
+                    .collect();
+                let mut block = MlpBlockScratch::new();
+                let input = dec.stage_block(&mut block, k);
+                for s in 0..k {
+                    for c in 0..12 {
+                        input[c * k + s] = feat(s, c);
+                    }
+                }
+                let mut sigma = vec![0.0; k];
+                let mut rgb = vec![Vec3::ZERO; k];
+                dec.decode_block(&dirs, k, &mut block, &mut sigma, &mut rgb);
+                let mut scratch = MlpScratch::new();
+                for s in 0..k {
+                    let feats: Vec<f32> = (0..12).map(|c| feat(s, c)).collect();
+                    let (sg, col) = dec.decode_into(&feats, dirs[s], &mut scratch);
+                    assert_eq!(sigma[s], sg, "k={k} s={s} spec={}", spec.is_some());
+                    assert_eq!(rgb[s], col, "k={k} s={s} spec={}", spec.is_some());
+                }
+            }
+        }
     }
 
     #[test]

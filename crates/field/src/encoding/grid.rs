@@ -146,6 +146,48 @@ impl DenseGrid {
         }
     }
 
+    /// Batched trilinear interpolation for a block of sample positions, in
+    /// SoA layout: channel `c` of sample `s` is written to
+    /// `out[c * stride + s]` (the decoder's staged input matrix).
+    ///
+    /// Per sample, the accumulation order (zero, then corners in ascending
+    /// binary order, zero-weight corners skipped) is exactly
+    /// [`DenseGrid::interpolate_into`]'s, so results are bit-identical to the
+    /// scalar path. Grid-constant work (resolution, channel count) is hoisted
+    /// out of the sample loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is too short or `stride < ps.len()`.
+    pub fn interpolate_block_into(&self, ps: &[Vec3], out: &mut [f32], stride: usize) {
+        let ch = self.cfg.channels;
+        let res = self.cfg.resolution as u32;
+        assert!(stride >= ps.len(), "stride shorter than the block");
+        assert!(out.len() >= ch * stride, "output matrix too short");
+        for (s, &p) in ps.iter().enumerate() {
+            let g = self.grid_coords(p);
+            let (cx, fx) = cell_fraction(g.x, res);
+            let (cy, fy) = cell_fraction(g.y, res);
+            let (cz, fz) = cell_fraction(g.z, res);
+            let w = trilinear_weights(fx, fy, fz);
+            for c in 0..ch {
+                out[c * stride + s] = 0.0;
+            }
+            for (corner, &weight) in w.iter().enumerate() {
+                if weight == 0.0 {
+                    continue;
+                }
+                let vx = cx + (corner as u32 & 1);
+                let vy = cy + ((corner as u32 >> 1) & 1);
+                let vz = cz + ((corner as u32 >> 2) & 1);
+                let base = self.vertex_index(vx, vy, vz) as usize * ch;
+                for (c, v) in self.data[base..base + ch].iter().enumerate() {
+                    out[c * stride + s] += weight * v;
+                }
+            }
+        }
+    }
+
     /// The gather plan (memory touches) for a query at `p`.
     pub fn plan_at(&self, p: Vec3, region: RegionId) -> LevelGather {
         let g = self.grid_coords(p);
@@ -254,6 +296,42 @@ mod tests {
         assert_eq!(e.len(), 8, "vertices must be distinct");
         assert!(l.dense);
         assert_eq!(l.entry_bytes, 7 * 2);
+    }
+
+    #[test]
+    fn block_interpolation_matches_scalar_bitwise() {
+        let mut g = small_grid();
+        let n = g.verts_per_axis() as u32;
+        for z in 0..n {
+            for y in 0..n {
+                for x in 0..n {
+                    let f: Vec<f32> = (0..7)
+                        .map(|c| ((x * 49 + y * 7 + z + c) as f32 * 0.137).sin())
+                        .collect();
+                    g.set_vertex(x, y, z, &f);
+                }
+            }
+        }
+        let ps: Vec<Vec3> = (0..13)
+            .map(|i| {
+                let t = i as f32 * 0.31;
+                Vec3::new(
+                    (t).sin() * 0.6,
+                    (t * 1.7).cos() * 0.6,
+                    (t * 0.9).sin() * 0.6,
+                )
+            })
+            .collect();
+        let stride = ps.len() + 3; // padded stride: block may be wider than filled lanes
+        let mut soa = vec![f32::NAN; 7 * stride];
+        g.interpolate_block_into(&ps, &mut soa, stride);
+        let mut scalar = Vec::new();
+        for (s, &p) in ps.iter().enumerate() {
+            g.interpolate_into(p, &mut scalar);
+            for (c, &v) in scalar.iter().enumerate() {
+                assert_eq!(soa[c * stride + s], v, "sample {s} channel {c}");
+            }
+        }
     }
 
     #[test]

@@ -207,6 +207,58 @@ impl HashGrid {
         }
     }
 
+    /// Batched multi-level interpolation for a block of sample positions, in
+    /// SoA layout: concatenated feature `i` (level-major, as in
+    /// [`HashGrid::interpolate_into`]) of sample `s` is written to
+    /// `out[i * stride + s]`.
+    ///
+    /// The level loop is outermost, hoisting every level-constant quantity
+    /// (resolution, table addressing mode, feature count) out of the sample
+    /// loop; per sample the accumulation order within a level (zero, corners
+    /// ascending) is unchanged from the scalar path, and levels write
+    /// disjoint rows — results are bit-identical to
+    /// [`HashGrid::interpolate_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is too short or `stride < ps.len()`.
+    pub fn interpolate_block_into(&self, ps: &[Vec3], out: &mut [f32], stride: usize) {
+        let f = self.cfg.features_per_entry;
+        assert!(stride >= ps.len(), "stride shorter than the block");
+        assert!(
+            out.len() >= self.cfg.levels * f * stride,
+            "output matrix too short"
+        );
+        for (li, l) in self.levels.iter().enumerate() {
+            let res = l.resolution as u32;
+            let rscale = l.resolution as f32;
+            let rows = &mut out[li * f * stride..(li + 1) * f * stride];
+            for (s, &p) in ps.iter().enumerate() {
+                let g = self.bounds.normalize(p) * rscale;
+                let (cx, fx) = cell_fraction(g.x, res);
+                let (cy, fy) = cell_fraction(g.y, res);
+                let (cz, fz) = cell_fraction(g.z, res);
+                let w = trilinear_weights(fx, fy, fz);
+                for c in 0..f {
+                    rows[c * stride + s] = 0.0;
+                }
+                for (corner, &weight) in w.iter().enumerate() {
+                    if weight == 0.0 {
+                        continue;
+                    }
+                    let vx = cx + (corner as u32 & 1);
+                    let vy = cy + ((corner as u32 >> 1) & 1);
+                    let vz = cz + ((corner as u32 >> 2) & 1);
+                    let e = self.entry_index(li, vx, vy, vz);
+                    let base = e as usize * f;
+                    for (c, v) in l.data[base..base + f].iter().enumerate() {
+                        rows[c * stride + s] += weight * v;
+                    }
+                }
+            }
+        }
+    }
+
     /// Sums per-level features into the 7 decoder signals (the residual
     /// scheme: every level stores a residual of the same signals).
     pub fn reconstruct_signals(&self, p: Vec3, up_to_level: usize) -> [f32; 7] {
@@ -372,6 +424,39 @@ mod tests {
         assert!((s[0] - 2.0).abs() < 1e-4, "{}", s[0]);
         let s1 = g.reconstruct_signals(p, 1);
         assert!((s1[0] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn block_interpolation_matches_scalar_bitwise() {
+        let mut g = grid();
+        for level in 0..4 {
+            for e in 0..g.levels()[level].table_len as u64 {
+                for c in 0..7 {
+                    g.entry_mut(level, e)[c] =
+                        ((e as f32 + level as f32 * 13.0 + c as f32) * 0.271).sin();
+                }
+            }
+        }
+        let ps: Vec<Vec3> = (0..11)
+            .map(|i| {
+                let t = i as f32 * 0.47;
+                Vec3::new(
+                    (t).cos() * 0.7,
+                    (t * 1.3).sin() * 0.7,
+                    (t * 0.6).cos() * 0.7,
+                )
+            })
+            .collect();
+        let stride = ps.len();
+        let mut soa = vec![f32::NAN; 4 * 7 * stride];
+        g.interpolate_block_into(&ps, &mut soa, stride);
+        let mut scalar = Vec::new();
+        for (s, &p) in ps.iter().enumerate() {
+            g.interpolate_into(p, &mut scalar);
+            for (c, &v) in scalar.iter().enumerate() {
+                assert_eq!(soa[c * stride + s], v, "sample {s} feature {c}");
+            }
+        }
     }
 
     #[test]

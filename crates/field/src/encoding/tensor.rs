@@ -178,6 +178,45 @@ impl VmTensor {
         }
     }
 
+    /// Batched signal evaluation for a block of sample positions, in SoA
+    /// layout: signal `sig` of sample `s` is written to
+    /// `out[sig * stride + s]`.
+    ///
+    /// Each sample runs the exact scalar sequence of
+    /// [`VmTensor::interpolate_into`] — one normalization, then orientations
+    /// in storage order each adding its component sum — so results are
+    /// bit-identical to the scalar path; only the output lands in the
+    /// decoder's strided SoA matrix instead of a dense vector. The
+    /// per-block win for the tensor family comes from the shared batched
+    /// decode, not from reordering the (already texel-local) gathers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is too short or `stride < ps.len()`.
+    pub fn interpolate_block_into(&self, ps: &[Vec3], out: &mut [f32], stride: usize) {
+        assert!(stride >= ps.len(), "stride shorter than the block");
+        assert!(out.len() >= SIGNALS * stride, "output matrix too short");
+        let k = self.cfg.components_per_signal;
+        for (s, &p) in ps.iter().enumerate() {
+            let n = self.bounds.normalize(p);
+            for sig in 0..SIGNALS {
+                out[sig * stride + s] = 0.0;
+            }
+            for (oi, o) in ORIENTATIONS.iter().enumerate() {
+                let (pu, pv, lw) = o.split(n);
+                let (u, v, w) = (self.texel(pu), self.texel(pv), self.texel(lw));
+                for sig in 0..SIGNALS {
+                    let mut acc = 0.0;
+                    for comp in 0..k {
+                        let c = sig * k + comp;
+                        acc += self.sample_plane(oi, u, v, c) * self.sample_line(oi, w, c);
+                    }
+                    out[sig * stride + s] += acc;
+                }
+            }
+        }
+    }
+
     /// Gather plan: 4-entry bilinear reads on 3 planes (regions 0–2) and
     /// 2-entry linear reads on 3 lines (regions 3–5).
     pub fn gather_plan(&self, p: Vec3) -> GatherPlan {
@@ -311,6 +350,41 @@ mod tests {
         let mut out = Vec::new();
         t.interpolate_into(Vec3::ZERO, &mut out);
         assert!((out[2] - 3.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn block_interpolation_matches_scalar_bitwise() {
+        let mut t = tensor();
+        let ch = t.channels();
+        for o in 0..3 {
+            for (i, v) in t.plane_mut(o).iter_mut().enumerate() {
+                *v = ((i + o * 31) as f32 * 0.113).sin();
+            }
+            for (i, v) in t.line_mut(o).iter_mut().enumerate() {
+                *v = ((i + o * 17) as f32 * 0.207).cos();
+            }
+        }
+        assert_eq!(ch, 14);
+        let ps: Vec<Vec3> = (0..9)
+            .map(|i| {
+                let s = i as f32 * 0.53;
+                Vec3::new(
+                    (s).sin() * 0.8,
+                    (s * 1.9).cos() * 0.8,
+                    (s * 0.7).sin() * 0.8,
+                )
+            })
+            .collect();
+        let stride = ps.len() + 1;
+        let mut soa = vec![f32::NAN; 7 * stride];
+        t.interpolate_block_into(&ps, &mut soa, stride);
+        let mut scalar = Vec::new();
+        for (s, &p) in ps.iter().enumerate() {
+            t.interpolate_into(p, &mut scalar);
+            for (sig, &v) in scalar.iter().enumerate() {
+                assert_eq!(soa[sig * stride + s], v, "sample {s} signal {sig}");
+            }
+        }
     }
 
     #[test]

@@ -52,10 +52,12 @@ pub use decoder::{Decoder, SpecularHead};
 pub use encoding::grid::{DenseGrid, GridConfig};
 pub use encoding::hash::{HashConfig, HashGrid};
 pub use encoding::tensor::{TensorConfig, VmTensor};
-pub use mlp::{Mlp, MlpScratch};
+pub use mlp::{Mlp, MlpBlockScratch, MlpScratch};
 pub use model::{GridModel, HashModel, ModelKind, ModelSource, NerfModel, TensorModel};
 pub use occupancy::OccupancyGrid;
 pub use plan::{GatherPlan, GatherSink, LevelGather, NullSink, RegionId};
 pub use pool::{Checkout, RenderPool};
-pub use render::{RenderOptions, RenderScratch, RenderStats};
+pub use render::{
+    env_sample_block, RenderOptions, RenderScratch, RenderStats, DEFAULT_SAMPLE_BLOCK,
+};
 pub use tiles::{env_render_threads, render_full_tiled, render_tiled, TileOptions};

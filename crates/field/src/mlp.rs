@@ -45,11 +45,12 @@ impl Layer {
         self.weights[row * self.in_dim + col] = w;
     }
 
-    /// Evaluates the layer into `out` (length `out_dim`).
-    fn forward(&self, input: &[f32], out: &mut Vec<f32>) {
+    /// Evaluates the layer into `out` (a fixed-size slice of length
+    /// `out_dim`), so the inner loop carries no `Vec` capacity bookkeeping.
+    fn forward(&self, input: &[f32], out: &mut [f32]) {
         debug_assert_eq!(input.len(), self.in_dim);
-        out.clear();
-        for r in 0..self.out_dim {
+        debug_assert_eq!(out.len(), self.out_dim);
+        for (r, o) in out.iter_mut().enumerate() {
             let row = &self.weights[r * self.in_dim..(r + 1) * self.in_dim];
             let mut acc = self.biases[r];
             for (w, x) in row.iter().zip(input) {
@@ -58,7 +59,35 @@ impl Layer {
             if self.relu {
                 acc = acc.max(0.0);
             }
-            out.push(acc);
+            *o = acc;
+        }
+    }
+
+    /// Evaluates the layer on a block of `k` samples in SoA layout.
+    ///
+    /// `input` is an `in_dim × k` matrix (`input[i * k + s]` = input `i` of
+    /// sample `s`); `out` is `out_dim × k`, same layout. The loop order is
+    /// output-row → input → sample: every weight is loaded **once per block**
+    /// instead of once per sample, and the contiguous inner sample loop
+    /// autovectorizes. Each sample's accumulation order (bias, then inputs in
+    /// ascending order, ReLU last) is exactly the scalar [`Layer::forward`]
+    /// order, so results are bit-identical per sample.
+    fn forward_block(&self, input: &[f32], out: &mut [f32], k: usize) {
+        debug_assert_eq!(input.len(), self.in_dim * k);
+        debug_assert_eq!(out.len(), self.out_dim * k);
+        for (r, orow) in out.chunks_exact_mut(k).enumerate() {
+            let row = &self.weights[r * self.in_dim..(r + 1) * self.in_dim];
+            orow.fill(self.biases[r]);
+            for (&w, xrow) in row.iter().zip(input.chunks_exact(k)) {
+                for (o, &x) in orow.iter_mut().zip(xrow) {
+                    *o += w * x;
+                }
+            }
+            if self.relu {
+                for o in orow.iter_mut() {
+                    *o = o.max(0.0);
+                }
+            }
         }
     }
 }
@@ -88,6 +117,42 @@ impl MlpScratch {
     /// input, then call [`Mlp::forward_staged`].
     pub fn stage(&mut self) -> &mut Vec<f32> {
         self.a.clear();
+        &mut self.a
+    }
+}
+
+/// Ping-pong activation matrices for batched (SoA) MLP inference.
+///
+/// The batched sample engine evaluates K ray samples per inference; both
+/// buffers hold `dim × K` activation matrices in sample-minor layout
+/// (`buf[i * K + s]` = value `i` of sample `s`), so the inner sample loop of
+/// [`Mlp::forward_block`] runs over contiguous memory. One scratch per thread
+/// is reused across every block; after warm-up no call allocates.
+#[derive(Debug, Clone, Default)]
+pub struct MlpBlockScratch {
+    /// Current activations; doubles as the staged input matrix.
+    a: Vec<f32>,
+    /// Next layer's output, swapped with `a` after every layer.
+    b: Vec<f32>,
+}
+
+impl MlpBlockScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stages an input matrix of `len` values, zero-filled, and returns it.
+    /// Fill it in SoA layout (`input[i * k + s]`), then call
+    /// [`Mlp::forward_block`].
+    pub fn stage(&mut self, len: usize) -> &mut [f32] {
+        self.a.clear();
+        self.a.resize(len, 0.0);
+        &mut self.a
+    }
+
+    /// The currently staged input matrix (mutable).
+    pub fn staged_mut(&mut self) -> &mut [f32] {
         &mut self.a
     }
 }
@@ -161,7 +226,38 @@ impl Mlp {
     pub fn forward_staged<'s>(&self, scratch: &'s mut MlpScratch) -> &'s [f32] {
         assert_eq!(scratch.a.len(), self.in_dim(), "MLP input size mismatch");
         for layer in &self.layers {
+            // Resize only adjusts length (layer.forward overwrites every
+            // element); no per-row push/capacity bookkeeping remains.
+            scratch.b.resize(layer.out_dim, 0.0);
             layer.forward(&scratch.a, &mut scratch.b);
+            std::mem::swap(&mut scratch.a, &mut scratch.b);
+        }
+        &scratch.a
+    }
+
+    /// Runs the network on a block of `k` samples staged in SoA layout via
+    /// [`MlpBlockScratch::stage`]. Activations are `dim × k` matrices
+    /// (`buf[i * k + s]`); every weight row is read once per block and the
+    /// inner sample loops autovectorize. Per sample, the result is
+    /// **bit-identical** to [`Mlp::forward_staged`] — the accumulation order
+    /// within each sample is unchanged; only the order *across* samples
+    /// differs, and samples never mix.
+    ///
+    /// Returns the `out_dim × k` output matrix. Allocation-free once the
+    /// scratch capacities are warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the staged input length differs from `in_dim × k`.
+    pub fn forward_block<'s>(&self, scratch: &'s mut MlpBlockScratch, k: usize) -> &'s [f32] {
+        assert_eq!(
+            scratch.a.len(),
+            self.in_dim() * k,
+            "MLP block input size mismatch"
+        );
+        for layer in &self.layers {
+            scratch.b.resize(layer.out_dim * k, 0.0);
+            layer.forward_block(&scratch.a, &mut scratch.b, k);
             std::mem::swap(&mut scratch.a, &mut scratch.b);
         }
         &scratch.a
@@ -374,6 +470,42 @@ mod tests {
             let reused = m.forward_into(&input, &mut scratch);
             assert_eq!(fresh.as_slice(), reused, "iteration {k}");
         }
+    }
+
+    #[test]
+    fn forward_block_matches_scalar_bitwise() {
+        // Passthrough decoders carry deterministic pseudo-random noise rows,
+        // so this exercises real mixed-sign accumulation, not just zeros.
+        let m = Mlp::passthrough_decoder(10, 32, 7);
+        let sample = |s: usize, i: usize| ((i as f32) * 0.37 - 1.1) * (s as f32 * 0.61 + 1.0);
+        for k in [1usize, 3, 16, 64] {
+            let mut block = MlpBlockScratch::new();
+            let input = block.stage(10 * k);
+            for s in 0..k {
+                for i in 0..10 {
+                    input[i * k + s] = sample(s, i);
+                }
+            }
+            let out = m.forward_block(&mut block, k).to_vec();
+            for s in 0..k {
+                let single: Vec<f32> = (0..10).map(|i| sample(s, i)).collect();
+                let scalar = m.forward(&single);
+                for (r, &v) in scalar.iter().enumerate() {
+                    // Bit-identical, not merely close: the batched engine's
+                    // determinism contract.
+                    assert_eq!(out[r * k + s], v, "k={k} sample={s} row={r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn block_input_length_is_checked() {
+        let m = Mlp::passthrough_decoder(8, 32, 4);
+        let mut scratch = MlpBlockScratch::new();
+        scratch.stage(8 * 3);
+        let _ = m.forward_block(&mut scratch, 4);
     }
 
     #[test]

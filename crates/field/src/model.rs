@@ -59,6 +59,26 @@ pub trait NerfModel: Sync {
     /// (Feature Gathering, stage G).
     fn features_into(&self, p: Vec3, out: &mut Vec<f32>);
 
+    /// Batched feature gathering for a block of sample positions, written in
+    /// SoA layout: feature `c` of sample `s` goes to `out[c * stride + s]`
+    /// (the decoder's staged input matrix; see
+    /// [`crate::Decoder::stage_block`]).
+    ///
+    /// Implementations must be **bit-identical** per sample to
+    /// [`NerfModel::features_into`] — the batched render path relies on it.
+    /// The default transposes through a temporary vector (allocating; correct
+    /// but slow); the built-in families override it with true SoA kernels
+    /// that hoist level-constant work out of the sample loop.
+    fn features_into_block(&self, ps: &[Vec3], out: &mut [f32], stride: usize) {
+        let mut tmp = Vec::new();
+        for (s, &p) in ps.iter().enumerate() {
+            self.features_into(p, &mut tmp);
+            for (c, &v) in tmp.iter().enumerate() {
+                out[c * stride + s] = v;
+            }
+        }
+    }
+
     /// The memory accesses a query at `p` performs (stage G's traffic).
     fn plan_at(&self, p: Vec3) -> GatherPlan;
 
@@ -146,6 +166,9 @@ macro_rules! model_struct {
             }
             fn features_into(&self, p: Vec3, out: &mut Vec<f32>) {
                 self.encoding.interpolate_into(p, out);
+            }
+            fn features_into_block(&self, ps: &[Vec3], out: &mut [f32], stride: usize) {
+                self.encoding.interpolate_block_into(ps, out, stride);
             }
             fn plan_at(&self, p: Vec3) -> GatherPlan {
                 self.encoding.gather_plan(p)

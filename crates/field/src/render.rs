@@ -9,12 +9,29 @@
 //! additionally produces the per-stage work counts that drive the hardware
 //! models (paper Fig. 3) and the memory traces (Fig. 4–6).
 
-use crate::mlp::MlpScratch;
+use crate::decoder::Decoder;
+use crate::mlp::{MlpBlockScratch, MlpScratch};
 use crate::model::NerfModel;
 use crate::plan::{GatherPlan, GatherSink};
 use cicero_math::{Camera, Vec3};
 use cicero_scene::ground_truth::Frame;
 use cicero_scene::volume::MarchParams;
+
+/// Default sample-block size of the batched engine: big enough that every
+/// MLP weight row amortizes over a SIMD-friendly sample vector, small enough
+/// that the SoA scratch stays cache-resident and partial tails stay cheap.
+pub const DEFAULT_SAMPLE_BLOCK: usize = 16;
+
+/// Reads the `SAMPLE_BLOCK` environment variable (the CI matrix uses it to
+/// run the whole suite through both engines), defaulting to
+/// [`DEFAULT_SAMPLE_BLOCK`]. `1` selects the scalar sample loop.
+pub fn env_sample_block() -> usize {
+    std::env::var("SAMPLE_BLOCK")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(DEFAULT_SAMPLE_BLOCK)
+}
 
 /// Rendering options.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -24,6 +41,14 @@ pub struct RenderOptions {
     /// Skip samples in unoccupied space (stage I pruning). Enabled for both
     /// pixel-centric and memory-centric paths for a fair comparison.
     pub use_occupancy: bool,
+    /// Samples per SoA block of the batched plan→gather→MLP engine. `1`
+    /// marches one sample at a time (the scalar path); larger values batch
+    /// up to this many processed samples of one ray per gather/decode so MLP
+    /// weight rows are re-read once per block instead of once per sample.
+    /// Pure throughput knob: frames, statistics and sink streams are
+    /// **bit-identical** at every value. Defaults to the `SAMPLE_BLOCK`
+    /// environment variable ([`DEFAULT_SAMPLE_BLOCK`] when unset).
+    pub sample_block: usize,
 }
 
 impl Default for RenderOptions {
@@ -31,6 +56,7 @@ impl Default for RenderOptions {
         RenderOptions {
             march: MarchParams::default(),
             use_occupancy: true,
+            sample_block: env_sample_block(),
         }
     }
 }
@@ -93,12 +119,209 @@ pub struct RenderScratch {
     plan: GatherPlan,
     /// Decoder MLP activations.
     mlp: MlpScratch,
+    /// SoA block scratch of the batched sample engine.
+    block: SampleBlock,
 }
 
 impl RenderScratch {
     /// Creates an empty scratch (buffers grow on first use).
     pub fn new() -> Self {
         Self::default()
+    }
+}
+
+/// Per-ray marching context of the batched engine: the compositing
+/// accumulators of one ray whose samples are (or will be) parked in the
+/// current [`SampleBlock`], plus the bookkeeping that keeps stats and pixel
+/// writes bit-identical to the scalar marcher.
+#[derive(Debug, Clone, Default)]
+struct RayCtx {
+    /// Dense per-frame ray index (row-major pixel order), for the sink.
+    ray_id: u32,
+    /// Pixel index within the output band.
+    idx: usize,
+    /// Depth scale of this pixel (`camera.z_scale(u, v)`).
+    z_scale: f32,
+    /// Accumulated radiance.
+    color: Vec3,
+    /// Remaining transmittance.
+    transmittance: f32,
+    /// Weighted depth accumulator.
+    depth_acc: f32,
+    /// Accumulated opacity.
+    opacity_acc: f32,
+    /// Candidates indexed since this ray's last parked lane (or since its
+    /// march began). Committed with the next lane, or — for rays that end
+    /// without terminating — at finalization; discarded when the ray
+    /// early-exits, exactly like the scalar `break`.
+    pending: u64,
+    /// This ray's uncommitted lanes in the current block.
+    lanes: u32,
+    /// The march loop has finished (ray end or early exit).
+    done: bool,
+    /// The transmittance early-exit fired; later lanes of this ray are
+    /// speculative and must not be committed.
+    stopped: bool,
+}
+
+/// SoA scratch of the batched sample engine: one block of up to K processed
+/// samples, gathered and decoded together. Blocks span rays — a ray that
+/// ends before the block is full hands the remaining lanes to the next ray
+/// of the band (the paper's tile locality argument: weight reuse should not
+/// be capped by per-ray sample counts).
+///
+/// The marcher parks every processed sample in a lane (t, position, gather
+/// plan, ray slot); a full block — or the band-end tail — is then evaluated
+/// in one batched features→MLP→activations pass and *committed* lane by lane
+/// in march order against each lane's [`RayCtx`]. All buffers, including
+/// each lane's [`GatherPlan`] level vector and the MLP ping-pong matrices,
+/// are reused across blocks, rays and frames, so a warmed batched frame
+/// performs zero heap allocations.
+#[derive(Debug, Clone, Default)]
+struct SampleBlock {
+    /// Ray parameter per lane.
+    ts: Vec<f32>,
+    /// Sample position per lane.
+    ps: Vec<Vec3>,
+    /// Ray direction per lane (rays differ within a block).
+    dirs: Vec<Vec3>,
+    /// Gather plan per lane (level buffers stay warm per lane).
+    plans: Vec<GatherPlan>,
+    /// Candidates indexed since the owning ray's previous lane (inclusive of
+    /// this lane's own indexing step).
+    indexed: Vec<u64>,
+    /// Index into `open` per lane.
+    slots: Vec<u32>,
+    /// Decoded density per lane.
+    sigma: Vec<f32>,
+    /// Decoded radiance per lane.
+    rgb: Vec<Vec3>,
+    /// Rays with uncommitted lanes (every entry except possibly the last has
+    /// finished marching; only the most recent ray can still be mid-march).
+    open: Vec<RayCtx>,
+    /// Ping-pong activation matrices of the block MLP kernel.
+    mlp: MlpBlockScratch,
+    /// Filled lanes.
+    count: usize,
+}
+
+impl SampleBlock {
+    /// Sizes every lane array for blocks of `k` samples.
+    fn ensure(&mut self, k: usize) {
+        if self.ts.len() < k {
+            self.ts.resize(k, 0.0);
+            self.ps.resize(k, Vec3::ZERO);
+            self.dirs.resize(k, Vec3::ZERO);
+            self.plans.resize_with(k, GatherPlan::default);
+            self.indexed.resize(k, 0);
+            self.slots.resize(k, 0);
+            self.sigma.resize(k, 0.0);
+            self.rgb.resize(k, Vec3::ZERO);
+            // Worst case: K single-lane finished rays plus the marching one.
+            self.open.reserve(k + 1);
+        }
+        self.count = 0;
+        self.open.clear();
+    }
+
+    /// Evaluates and commits the filled lanes.
+    ///
+    /// Evaluation is batched (SoA features, block MLP); **commitment** is
+    /// per-lane in march order and replicates the scalar loop exactly: stats
+    /// and sink first, then compositing into the lane's [`RayCtx`], then the
+    /// transmittance early-exit. When the exit fires at lane `j`, this ray's
+    /// later lanes were evaluated speculatively but are *not* committed — no
+    /// stats, no sink events, no compositing — so every observable output
+    /// matches the scalar path bit for bit; only the (discarded) speculative
+    /// arithmetic is extra, and it is bounded by one block.
+    #[allow(clippy::too_many_arguments)]
+    fn flush<M: NerfModel + ?Sized, S: GatherSink>(
+        &mut self,
+        model: &M,
+        decoder: &Decoder,
+        macs_per_sample: u64,
+        step: f32,
+        early_stop: f32,
+        sink: &mut S,
+        stats: &mut RenderStats,
+    ) {
+        let k = self.count;
+        self.count = 0;
+        if k == 0 {
+            return;
+        }
+        let fd = decoder.feature_dim();
+        let input = decoder.stage_block(&mut self.mlp, k);
+        model.features_into_block(&self.ps[..k], &mut input[..fd * k], k);
+        decoder.decode_block(
+            &self.dirs[..k],
+            k,
+            &mut self.mlp,
+            &mut self.sigma,
+            &mut self.rgb,
+        );
+        for j in 0..k {
+            let ray = &mut self.open[self.slots[j] as usize];
+            if ray.stopped {
+                continue; // speculative lane past this ray's early exit
+            }
+            stats.samples_indexed += self.indexed[j];
+            sink.on_sample(ray.ray_id, self.ts[j], &self.plans[j]);
+            stats.samples_processed += 1;
+            stats.gather_entry_reads += self.plans[j].entry_reads();
+            stats.gather_bytes += self.plans[j].bytes();
+            stats.mlp_macs += macs_per_sample;
+            let sigma = self.sigma[j];
+            if sigma <= 0.0 {
+                continue;
+            }
+            let alpha = 1.0 - (-sigma * step).exp();
+            let weight = ray.transmittance * alpha;
+            ray.color += self.rgb[j] * weight;
+            ray.depth_acc += self.ts[j] * weight;
+            ray.opacity_acc += weight;
+            ray.transmittance *= 1.0 - alpha;
+            if ray.transmittance < early_stop {
+                ray.transmittance = 0.0;
+                ray.stopped = true;
+            }
+        }
+        for ray in &mut self.open {
+            ray.lanes = 0;
+        }
+    }
+
+    /// Finalizes every finished ray whose lanes are all committed — adds the
+    /// trailing indexed candidates (unterminated rays only) and writes the
+    /// pixel — and drops it from `open`. After a flush every lane is
+    /// committed, so at most the still-marching last ray survives; between
+    /// flushes only the (lane-less) last ray can qualify, so retained slot
+    /// indices recorded in the block never shift.
+    fn retire(
+        &mut self,
+        background: Vec3,
+        surface_opacity: f32,
+        stats: &mut RenderStats,
+        out: &mut RowBand<'_>,
+    ) {
+        let (color_px, depth_px) = (&mut *out.color, &mut *out.depth);
+        self.open.retain_mut(|ray| {
+            if !ray.done || ray.lanes > 0 {
+                return true;
+            }
+            if !ray.stopped {
+                stats.samples_indexed += ray.pending;
+            }
+            let mut color = ray.color;
+            color += background * ray.transmittance;
+            color_px[ray.idx] = color;
+            depth_px[ray.idx] = if ray.opacity_acc >= surface_opacity {
+                (ray.depth_acc / ray.opacity_acc) * ray.z_scale
+            } else {
+                f32::INFINITY
+            };
+            false
+        });
     }
 }
 
@@ -222,6 +445,9 @@ pub(crate) fn render_rows<M: NerfModel + ?Sized, S: GatherSink>(
     sink: &mut S,
     scratch: &mut RenderScratch,
 ) -> RenderStats {
+    if opts.sample_block > 1 {
+        return render_rows_batched(model, camera, opts, mask, out, sink, scratch);
+    }
     let w = camera.intrinsics.width;
     let mut stats = RenderStats::default();
     let bounds = model.bounds();
@@ -299,6 +525,155 @@ pub(crate) fn render_rows<M: NerfModel + ?Sized, S: GatherSink>(
     stats
 }
 
+/// The batched sample hot path: identical contract to [`render_rows`], but
+/// processed samples are gathered and decoded in SoA blocks of
+/// `opts.sample_block` (see [`SampleBlock`]). The marcher walks candidates
+/// exactly like the scalar loop and parks every processed sample in a lane;
+/// a ray that ends before the block fills hands the remaining lanes to the
+/// next ray of the band, so blocks stay full even when occupancy pruning and
+/// early exits leave few samples per ray. A block is evaluated when it fills
+/// (or at band end) through `features_into_block` → [`Decoder::decode_block`];
+/// [`SampleBlock::flush`]'s commit semantics keep frames, statistics and the
+/// sink stream bit-identical to the scalar path at any block size.
+fn render_rows_batched<M: NerfModel + ?Sized, S: GatherSink>(
+    model: &M,
+    camera: &Camera,
+    opts: &RenderOptions,
+    mask: Option<&[bool]>,
+    mut out: RowBand<'_>,
+    sink: &mut S,
+    scratch: &mut RenderScratch,
+) -> RenderStats {
+    let w = camera.intrinsics.width;
+    let mut stats = RenderStats::default();
+    let bounds = model.bounds();
+    let decoder = model.decoder();
+    let macs_per_sample = decoder.modeled_macs_per_sample();
+    let background = model.background();
+    let step = opts.march.step;
+    let early_stop = opts.march.early_stop;
+    let surface_opacity = opts.march.surface_opacity;
+    let kmax = opts.sample_block;
+    let block = &mut scratch.block;
+    block.ensure(kmax);
+
+    for y in out.y0..out.y1 {
+        for x in 0..w {
+            if let Some(m) = mask {
+                if !m[y * w + x] {
+                    continue;
+                }
+            }
+            stats.rays += 1;
+            let ray_id = (y * w + x) as u32;
+            let (u, v) = (x as f32 + 0.5, y as f32 + 0.5);
+            let ray = camera.primary_ray(u, v);
+            let idx = (y - out.y0) * w + x;
+
+            let Some((t0, t1)) = bounds.intersect(&ray) else {
+                // No samples: write the pixel with the exact scalar
+                // arithmetic (zero accumulators, full transmittance) —
+                // including the surface-opacity conditional, which a
+                // degenerate `surface_opacity <= 0` configuration turns into
+                // a 0/0 depth exactly like the scalar path.
+                let (depth_acc, opacity_acc) = (0.0_f32, 0.0_f32);
+                let mut color = Vec3::ZERO;
+                color += background * 1.0_f32;
+                out.color[idx] = color;
+                out.depth[idx] = if opacity_acc >= surface_opacity {
+                    (depth_acc / opacity_acc) * camera.z_scale(u, v)
+                } else {
+                    f32::INFINITY
+                };
+                continue;
+            };
+
+            block.open.push(RayCtx {
+                ray_id,
+                idx,
+                z_scale: camera.z_scale(u, v),
+                color: Vec3::ZERO,
+                transmittance: 1.0,
+                depth_acc: 0.0,
+                opacity_acc: 0.0,
+                pending: 0,
+                lanes: 0,
+                done: false,
+                stopped: false,
+            });
+            let n = ((t1 - t0) / step).ceil() as u32;
+            // Candidates indexed since this ray's last parked lane, kept in a
+            // register through the candidate loop (the ray owns the block
+            // tail, so no other ray can interleave lanes).
+            let mut pending: u64 = 0;
+            let mut slot = block.open.len() - 1;
+            for i in 0..n {
+                let t = t0 + (i as f32 + 0.5) * step;
+                if t >= t1 {
+                    break;
+                }
+                let p = ray.at(t);
+                pending += 1;
+                if opts.use_occupancy && !model.occupancy().occupied(p) {
+                    continue;
+                }
+                let c = block.count;
+                block.ts[c] = t;
+                block.ps[c] = p;
+                block.dirs[c] = ray.dir;
+                model.plan_into(p, &mut block.plans[c]);
+                block.indexed[c] = pending;
+                pending = 0;
+                block.open[slot].lanes += 1;
+                block.slots[c] = slot as u32;
+                block.count = c + 1;
+                if block.count == kmax {
+                    block.flush(
+                        model,
+                        decoder,
+                        macs_per_sample,
+                        step,
+                        early_stop,
+                        sink,
+                        &mut stats,
+                    );
+                    block.retire(background, surface_opacity, &mut stats, &mut out);
+                    // Retirement kept at most this still-marching ray; if its
+                    // early exit fired during the flush, stop marching like
+                    // the scalar `break`.
+                    if block.open.last().is_some_and(|r| r.stopped) {
+                        break;
+                    }
+                    slot = block.open.len() - 1;
+                }
+            }
+            // Ray end (or early exit). Rays with lanes still parked in the
+            // block wait for the next flush; rays whose lanes are all
+            // committed finalize immediately so `open` stays bounded by the
+            // block size.
+            let ctx = block.open.last_mut().expect("current ray context");
+            ctx.pending = pending;
+            ctx.done = true;
+            if ctx.lanes == 0 {
+                block.retire(background, surface_opacity, &mut stats, &mut out);
+            }
+        }
+    }
+    // Band-end tail: evaluate the partial block and finalize every ray.
+    block.flush(
+        model,
+        decoder,
+        macs_per_sample,
+        step,
+        early_stop,
+        sink,
+        &mut stats,
+    );
+    block.retire(background, surface_opacity, &mut stats, &mut out);
+    debug_assert!(block.open.is_empty(), "every ray must be finalized");
+    stats
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,6 +713,7 @@ mod tests {
                 ..Default::default()
             },
             use_occupancy: true,
+            ..Default::default()
         };
         let (frame, stats) = render_full(&model, &cam, &opts, &mut NullSink);
         let gt = render_frame(&scene, &cam, &opts.march);
@@ -360,6 +736,7 @@ mod tests {
                 ..Default::default()
             },
             use_occupancy: false,
+            ..Default::default()
         };
         let pruned = RenderOptions {
             use_occupancy: true,
@@ -388,6 +765,7 @@ mod tests {
             &RenderOptions {
                 march,
                 use_occupancy: false,
+                ..Default::default()
             },
             &mut NullSink,
         );
@@ -397,6 +775,7 @@ mod tests {
             &RenderOptions {
                 march,
                 use_occupancy: true,
+                ..Default::default()
             },
             &mut NullSink,
         );
@@ -422,6 +801,7 @@ mod tests {
                 ..Default::default()
             },
             use_occupancy: true,
+            ..Default::default()
         };
         let (_, stats) = render_full(&model, &cam, &opts, &mut sink);
         assert_eq!(count, stats.samples_processed);

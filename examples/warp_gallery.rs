@@ -3,8 +3,11 @@
 //!
 //! ```sh
 //! cargo run --release --example warp_gallery
-//! # view gallery_*.ppm with any image viewer
+//! # view results/gallery_*.ppm with any image viewer
 //! ```
+//!
+//! Artifacts land under `results/` (gitignored), keeping the repository root
+//! to manifests and docs.
 
 use cicero::{warp_frame, PixelSource, WarpOptions};
 use cicero_field::render::{render_full, render_masked, RenderOptions};
@@ -57,11 +60,14 @@ fn main() -> std::io::Result<()> {
         &mut NullSink,
     );
 
-    reference.color.write_ppm("gallery_reference.ppm")?;
-    naive.color.write_ppm("gallery_naive_warp.ppm")?;
-    sparw.color.write_ppm("gallery_sparw.ppm")?;
+    std::fs::create_dir_all("results")?;
+    reference.color.write_ppm("results/gallery_reference.ppm")?;
+    naive.color.write_ppm("results/gallery_naive_warp.ppm")?;
+    sparw.color.write_ppm("results/gallery_sparw.ppm")?;
 
-    println!("wrote gallery_reference.ppm, gallery_naive_warp.ppm, gallery_sparw.ppm");
+    println!(
+        "wrote results/gallery_reference.ppm, results/gallery_naive_warp.ppm, results/gallery_sparw.ppm"
+    );
     println!(
         "target frame: {:.1}% warped, {:.1}% void, {:.2}% disoccluded (magenta)",
         stats.warped as f64 / stats.total as f64 * 100.0,

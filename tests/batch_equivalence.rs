@@ -1,0 +1,180 @@
+//! The batched SoA sample engine must be **bit-identical** to the scalar
+//! marcher — frames, [`RenderStats`], sink sample streams and whole pipeline
+//! runs — at every block size, for every scene, model family and variant.
+//! This is the contract that makes `sample_block` a pure throughput knob
+//! (like `render_threads`): experiment reproducibility, the serve layer's
+//! digests and the simulated timelines all rely on it.
+//!
+//! Block sizes cover the degenerate case (1 = the scalar path itself), a
+//! non-divisor size (3, so full blocks end mid-ray and band tails are
+//! ragged), the default (16) and an oversized block (64, most rays fit in
+//! one flush and band-end tails dominate).
+
+use cicero::pipeline::{run_pipeline, PipelineConfig};
+use cicero::Variant;
+use cicero_field::render::{render_full, render_masked};
+use cicero_field::{
+    bake, GatherPlan, GridConfig, HashConfig, NerfModel, NullSink, RenderOptions, TensorConfig,
+};
+use cicero_math::{Camera, Intrinsics, Pose, Vec3};
+use cicero_scene::library;
+use cicero_scene::volume::MarchParams;
+use cicero_scene::Trajectory;
+
+const BLOCK_SIZES: [usize; 4] = [1, 3, 16, 64];
+
+fn bench_camera() -> Camera {
+    Camera::new(
+        // Odd size: the last block of a band is always a ragged tail.
+        Intrinsics::from_fov(33, 33, 0.9),
+        Pose::look_at(Vec3::new(0.3, 1.2, -2.6), Vec3::ZERO, Vec3::Y),
+    )
+}
+
+fn model_for(scene_name: &str) -> Box<dyn NerfModel> {
+    let scene = library::scene_by_name(scene_name).unwrap();
+    // One family per scene keeps the matrix affordable while covering every
+    // encoding's block kernel: dense grid, multi-level hash, VM tensor.
+    match scene_name {
+        "lego" => Box::new(bake::bake_grid(
+            &scene,
+            &GridConfig {
+                resolution: 24,
+                ..Default::default()
+            },
+        )),
+        "chair" => Box::new(bake::bake_hash(
+            &scene,
+            &HashConfig {
+                levels: 4,
+                base_resolution: 4,
+                max_resolution: 24,
+                table_size_log2: 10,
+                ..Default::default()
+            },
+        )),
+        _ => Box::new(bake::bake_tensor(
+            &scene,
+            &TensorConfig {
+                resolution: 24,
+                ..Default::default()
+            },
+        )),
+    }
+}
+
+#[test]
+fn batched_render_is_bit_identical_across_scenes_models_and_block_sizes() {
+    for scene_name in ["lego", "chair", "ship"] {
+        let model = model_for(scene_name);
+        let model = model.as_ref();
+        let cam = bench_camera();
+        let collect = |block: usize| {
+            let opts = RenderOptions {
+                sample_block: block,
+                ..Default::default()
+            };
+            let mut events: Vec<(u32, f32, u64, u64)> = Vec::new();
+            let mut sink = |ray: u32, t: f32, p: &GatherPlan| {
+                events.push((ray, t, p.bytes(), p.entry_reads()))
+            };
+            let (frame, stats) = render_full(model, &cam, &opts, &mut sink);
+            (frame, stats, events)
+        };
+        let (seq_frame, seq_stats, seq_events) = collect(1);
+        assert!(
+            seq_stats.samples_processed > 0,
+            "{scene_name}: empty render"
+        );
+        for block in BLOCK_SIZES {
+            let (frame, stats, events) = collect(block);
+            assert_eq!(frame, seq_frame, "{scene_name}: frame, block {block}");
+            assert_eq!(stats, seq_stats, "{scene_name}: stats, block {block}");
+            assert_eq!(
+                events, seq_events,
+                "{scene_name}: sink stream, block {block}"
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_masked_render_matches_scalar() {
+    // Sparse (SPARW crack-fill style) renders: the mask skips pixels, so
+    // blocks pack samples of non-adjacent rays.
+    let model = model_for("lego");
+    let model = model.as_ref();
+    let cam = bench_camera();
+    let (w, h) = (33usize, 33usize);
+    let mut mask = vec![false; w * h];
+    for (i, m) in mask.iter_mut().enumerate() {
+        *m = i % 5 == 0 || i % 7 == 0;
+    }
+    let render = |block: usize| {
+        let opts = RenderOptions {
+            sample_block: block,
+            ..Default::default()
+        };
+        let mut frame =
+            cicero_scene::ground_truth::background_frame(&cicero_field::ModelSource(model), w, h);
+        let stats = render_masked(model, &cam, &opts, Some(&mask), &mut frame, &mut NullSink);
+        (frame, stats)
+    };
+    let (seq_frame, seq_stats) = render(1);
+    for block in BLOCK_SIZES {
+        let (frame, stats) = render(block);
+        assert_eq!(frame, seq_frame, "masked frame, block {block}");
+        assert_eq!(stats, seq_stats, "masked stats, block {block}");
+    }
+}
+
+#[test]
+fn pipeline_runs_are_block_size_invariant_including_traffic() {
+    // Whole-pipeline equality under SPARW and Cicero with the traffic
+    // simulators attached: the memory-trace sinks observe the per-sample
+    // gather stream, so this asserts the stream (not just the frames) is
+    // unchanged by batching. Simulated reports must match to the bit.
+    for scene_name in ["lego", "ship"] {
+        let scene = library::scene_by_name(scene_name).unwrap();
+        let model = model_for(scene_name);
+        let model = model.as_ref();
+        let traj = Trajectory::orbit(&scene, 4, 40.0);
+        let k = Intrinsics::from_fov(24, 24, 0.9);
+        for variant in [Variant::Sparw, Variant::Cicero] {
+            let run_with = |block: usize| {
+                let cfg = PipelineConfig {
+                    variant,
+                    window: 3,
+                    march: MarchParams {
+                        step: 0.05,
+                        ..Default::default()
+                    },
+                    collect_quality: false,
+                    collect_traffic: true,
+                    sample_block: block,
+                    ..Default::default()
+                };
+                run_pipeline(&scene, model, &traj, k, &cfg)
+            };
+            let base = run_with(1);
+            for block in [3usize, 16] {
+                let run = run_with(block);
+                assert_eq!(
+                    run.frames, base.frames,
+                    "{scene_name}/{variant:?}: frames, block {block}"
+                );
+                assert_eq!(
+                    run.warp_totals, base.warp_totals,
+                    "{scene_name}/{variant:?}: warp stats, block {block}"
+                );
+                assert_eq!(run.outcomes.len(), base.outcomes.len());
+                for (a, b) in run.outcomes.iter().zip(&base.outcomes) {
+                    assert_eq!(
+                        a.report, b.report,
+                        "{scene_name}/{variant:?}: report, block {block}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -102,55 +102,70 @@ fn warmed_sample_loop_performs_zero_heap_allocations() {
     );
     let opts = RenderOptions::default();
 
-    for (name, model) in &models {
-        let model = model.as_ref();
-        let mut frame =
-            cicero_scene::ground_truth::background_frame(&cicero_field::ModelSource(model), 32, 32);
-        let mut scratch = RenderScratch::new();
-        // Warm-up: grows every scratch capacity (features, plan levels, MLP
-        // ping-pong activations) to its steady-state size.
-        let warm = render_masked_with(
-            model,
-            &cam,
-            &opts,
-            None,
-            &mut frame,
-            &mut NullSink,
-            &mut scratch,
-        );
-        assert!(warm.samples_processed > 0, "{name}: no samples rendered");
+    // Both sample engines must hold the contract: the scalar marcher
+    // (`sample_block == 1`) and the batched SoA engine (whose block scratch —
+    // lane arrays, per-lane plan levels, ping-pong activation matrices, open
+    // ray contexts — also lives in `RenderScratch` and warms on frame one).
+    for sample_block in [1usize, cicero_field::DEFAULT_SAMPLE_BLOCK] {
+        for (name, model) in &models {
+            let model = model.as_ref();
+            let opts = RenderOptions {
+                sample_block,
+                ..opts
+            };
+            let mut frame = cicero_scene::ground_truth::background_frame(
+                &cicero_field::ModelSource(model),
+                32,
+                32,
+            );
+            let mut scratch = RenderScratch::new();
+            // Warm-up: grows every scratch capacity (features, plan levels,
+            // MLP ping-pong activations, sample-block lanes) to its
+            // steady-state size.
+            let warm = render_masked_with(
+                model,
+                &cam,
+                &opts,
+                None,
+                &mut frame,
+                &mut NullSink,
+                &mut scratch,
+            );
+            assert!(warm.samples_processed > 0, "{name}: no samples rendered");
 
-        let before = ALLOCATIONS.load(Ordering::SeqCst);
-        let stats = render_masked_with(
-            model,
-            &cam,
-            &opts,
-            None,
-            &mut frame,
-            &mut NullSink,
-            &mut scratch,
-        );
-        let after = ALLOCATIONS.load(Ordering::SeqCst);
-        assert_eq!(
-            after - before,
-            0,
-            "{name}: warmed render of {} samples allocated {} times",
-            stats.samples_processed,
-            after - before
-        );
+            let before = ALLOCATIONS.load(Ordering::SeqCst);
+            let stats = render_masked_with(
+                model,
+                &cam,
+                &opts,
+                None,
+                &mut frame,
+                &mut NullSink,
+                &mut scratch,
+            );
+            let after = ALLOCATIONS.load(Ordering::SeqCst);
+            assert_eq!(
+                after - before,
+                0,
+                "{name}: warmed block-{sample_block} render of {} samples allocated {} times",
+                stats.samples_processed,
+                after - before
+            );
 
-        // The scratch-less public entry point reuses a per-thread scratch,
-        // so the default pipeline path is also allocation-free once warm.
-        render_masked(model, &cam, &opts, None, &mut frame, &mut NullSink);
-        let before = ALLOCATIONS.load(Ordering::SeqCst);
-        render_masked(model, &cam, &opts, None, &mut frame, &mut NullSink);
-        let after = ALLOCATIONS.load(Ordering::SeqCst);
-        assert_eq!(
-            after - before,
-            0,
-            "{name}: warmed render_masked (thread-local scratch) allocated {} times",
-            after - before
-        );
+            // The scratch-less public entry point reuses a per-thread
+            // scratch, so the default pipeline path is also allocation-free
+            // once warm.
+            render_masked(model, &cam, &opts, None, &mut frame, &mut NullSink);
+            let before = ALLOCATIONS.load(Ordering::SeqCst);
+            render_masked(model, &cam, &opts, None, &mut frame, &mut NullSink);
+            let after = ALLOCATIONS.load(Ordering::SeqCst);
+            assert_eq!(
+                after - before,
+                0,
+                "{name}: warmed block-{sample_block} render_masked (thread-local scratch) allocated {} times",
+                after - before
+            );
+        }
     }
 
     // ---- The pool-parallel paths (ISSUE 3) ----
