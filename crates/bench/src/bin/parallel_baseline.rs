@@ -36,6 +36,7 @@ use cicero_field::pool::RenderPool;
 use cicero_field::tiles::{render_full_tiled, render_full_tiled_scoped, TileOptions};
 use cicero_field::{NerfModel, NullSink, RenderOptions};
 use cicero_math::{Camera, Pose, Vec3};
+use cicero_telemetry as telemetry;
 use std::time::Instant;
 
 struct Args {
@@ -46,6 +47,8 @@ struct Args {
     batch_out: String,
     blocks: Vec<usize>,
     batch_size: usize,
+    trace: Option<String>,
+    metrics: Option<String>,
 }
 
 fn parse_csv(flag: &str, value: &str) -> Vec<usize> {
@@ -70,6 +73,8 @@ fn parse_args() -> Args {
         batch_out: "results/bench_batch.json".into(),
         blocks: vec![1, 4, 16, 32, 64],
         batch_size: 200,
+        trace: None,
+        metrics: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -85,8 +90,10 @@ fn parse_args() -> Args {
             "--batch-out" => args.batch_out = value(),
             "--blocks" => args.blocks = parse_csv("--blocks", &value()),
             "--batch-size" => args.batch_size = value().parse().expect("--batch-size takes a pixel count"),
+            "--trace" => args.trace = Some(value()),
+            "--metrics" => args.metrics = Some(value()),
             other => panic!(
-                "unknown flag {other} (expected --out/--sizes/--threads/--samples/--batch-out/--blocks/--batch-size)"
+                "unknown flag {other} (expected --out/--sizes/--threads/--samples/--batch-out/--blocks/--batch-size/--trace/--metrics)"
             ),
         }
     }
@@ -123,6 +130,9 @@ fn time_renders(samples: usize, mut render: impl FnMut() -> u64) -> (f64, f64) {
 
 fn main() {
     let args = parse_args();
+    if args.trace.is_some() || args.metrics.is_some() {
+        telemetry::enable_with_capacity(1 << 16);
+    }
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let model = bench_model();
     let opts = RenderOptions::default();
@@ -315,7 +325,7 @@ fn main() {
         })
         .collect();
     let batch_json = format!(
-        "{{\n  \"bench\": \"batch_engine\",\n  \"size\": {},\n  \"threads\": 1,\n  \
+        "{{\n  \"bench\": \"batch_engine\",\n  \"schema_version\": 2,\n  \"size\": {},\n  \"threads\": 1,\n  \
          \"march_step\": {},\n  \"samples\": {},\n  \"host_cores\": {},\n  \
          \"decoder_hidden\": 64,\n  \"runs\": [\n{}\n  ]\n}}\n",
         args.batch_size,
@@ -374,7 +384,7 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"parallel_render\",\n  \"march_step\": {},\n  \
+        "{{\n  \"bench\": \"parallel_render\",\n  \"schema_version\": 2,\n  \"march_step\": {},\n  \
          \"samples\": {},\n  \"host_cores\": {},\n  \
          \"pool_spawns_during_timed_runs\": {},\n  \
          \"render\": [\n{}\n  ],\n  \"warp_passes\": [\n{}\n  ]\n}}\n",
@@ -390,4 +400,16 @@ fn main() {
     }
     std::fs::write(&args.out, json).expect("write baseline file");
     println!("baseline saved to {}", args.out);
+
+    if let Some(path) = &args.trace {
+        telemetry::write_chrome_trace(std::path::Path::new(path)).expect("write chrome trace");
+        println!(
+            "chrome trace ({} events) saved to {path}",
+            telemetry::event_count()
+        );
+    }
+    if let Some(path) = &args.metrics {
+        telemetry::write_prometheus(std::path::Path::new(path)).expect("write prometheus metrics");
+        println!("prometheus metrics saved to {path}");
+    }
 }

@@ -292,7 +292,7 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"serve_policies\",\n  \"frames_per_session\": {},\n  \
+        "{{\n  \"bench\": \"serve_policies\",\n  \"schema_version\": 2,\n  \"frames_per_session\": {},\n  \
          \"host_threads\": {},\n  \"host_cores\": {},\n  \"policies\": [\n{}\n  ]\n}}\n",
         args.frames,
         args.threads,

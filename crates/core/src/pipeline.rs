@@ -32,6 +32,7 @@ use cicero_math::{metrics, Camera, Intrinsics, Pose};
 use cicero_scene::ground_truth::{render_frame, Frame};
 use cicero_scene::volume::MarchParams;
 use cicero_scene::{AnalyticScene, Trajectory};
+use cicero_telemetry as telemetry;
 use std::sync::Arc;
 
 /// Pipeline configuration.
@@ -369,6 +370,10 @@ pub struct PipelineSession<'a> {
     /// hole-fill buffers out of the frame loop (zero-allocation satellite of
     /// the tile-engine work).
     warp_scratch: WarpScratch,
+    /// Session id attached to telemetry frame spans ([`set_telemetry_id`]
+    /// (Self::set_telemetry_id)); serving layers stamp their `SessionId`
+    /// here. Zero (the default) marks a standalone session.
+    telemetry_id: u64,
 }
 
 impl<'a> PipelineSession<'a> {
@@ -424,6 +429,7 @@ impl<'a> PipelineSession<'a> {
             warp_totals: WarpStats::default(),
             last_ref_workload: None,
             warp_scratch: WarpScratch::new(),
+            telemetry_id: 0,
         }
     }
 
@@ -474,6 +480,7 @@ impl<'a> PipelineSession<'a> {
             warp_totals: WarpStats::default(),
             last_ref_workload: None,
             warp_scratch: WarpScratch::new(),
+            telemetry_id: 0,
         }
     }
 
@@ -692,6 +699,12 @@ impl<'a> PipelineSession<'a> {
     /// shareable reference (and price it via [`soc`](Self::soc)), then hand
     /// it back through [`install_reference`](Self::install_reference).
     pub fn render_reference(&self, idx: usize) -> (Frame, FrameWorkload) {
+        let _span = telemetry::span_ab(
+            telemetry::Phase::ReferenceRender,
+            self.telemetry_id,
+            idx as u64,
+        );
+        telemetry::add(telemetry::Counter::ReferenceRenders, 1);
         let cam = Camera::new(self.intrinsics, self.reference_pose(idx));
         let (frame, _stats, w) =
             analyzed_full_render(self.model, &cam, &self.opts, self.cfg.variant, &self.cfg);
@@ -724,6 +737,13 @@ impl<'a> PipelineSession<'a> {
         self.ref_frames
             .get(idx)
             .and_then(|s| s.as_ref().map(|(f, _)| f.clone()))
+    }
+
+    /// Stamps the session id carried by telemetry frame spans. Serving
+    /// layers call this at admission so every span of a multi-session run is
+    /// attributable; purely observational — no output depends on it.
+    pub fn set_telemetry_id(&mut self, id: u64) {
+        self.telemetry_id = id;
     }
 
     /// Aggregate warp statistics over the target frames produced so far.
@@ -810,6 +830,28 @@ impl<'a> PipelineSession<'a> {
         if !self.can_step() {
             return None;
         }
+        let t0 = telemetry::is_enabled().then(telemetry::now_ns);
+        let mut frame_span = telemetry::span_ab(
+            telemetry::Phase::Frame,
+            self.telemetry_id,
+            self.cursor as u64,
+        );
+        let out = self.step_inner();
+        if let Some(step) = &out {
+            frame_span.set_arg_c(step.outcome.full_render as u64);
+            telemetry::add(telemetry::Counter::FramesStepped, 1);
+        }
+        drop(frame_span);
+        if let Some(t0) = t0 {
+            telemetry::observe(
+                telemetry::Hist::FrameNs,
+                telemetry::now_ns().saturating_sub(t0),
+            );
+        }
+        out
+    }
+
+    fn step_inner(&mut self) -> Option<SessionStep> {
         let i = self.cursor;
         self.cursor += 1;
         let cam = self.traj.get().camera(i, self.intrinsics);
@@ -856,6 +898,9 @@ impl<'a> PipelineSession<'a> {
                 let stats = warped.stats();
                 let mask = warped.render_mask();
                 let mut frame = warped.frame;
+                let sparse_span =
+                    telemetry::span_ab(telemetry::Phase::SparseRender, self.telemetry_id, i as u64);
+                telemetry::add(telemetry::Counter::SparseRenders, 1);
                 let (_s, tgt_w) = analyzed_sparse_render(
                     self.model,
                     &cam,
@@ -866,6 +911,7 @@ impl<'a> PipelineSession<'a> {
                     &self.cfg,
                     (self.pixels, self.pixels),
                 );
+                drop(sparse_span);
                 let window = self.ref_use[ref_index].max(1);
                 // Price the target frame once: it is both the un-amortized
                 // service time and an input to the amortized report.

@@ -17,6 +17,7 @@
 use cicero_field::pool::{Bands, Checkout, RenderPool};
 use cicero_math::{Camera, Vec3};
 use cicero_scene::ground_truth::Frame;
+use cicero_telemetry as telemetry;
 use std::time::Instant;
 
 /// How reference points rasterize into the target frame.
@@ -495,15 +496,31 @@ fn warp_frame_impl(
     let (tw, th) = (tgt_cam.intrinsics.width, tgt_cam.intrinsics.height);
     let threads = threads.max(1);
     let mut clock = Instant::now();
+    // Pass-boundary marker on the telemetry clock; zero means "recorder was
+    // off when the warp started", which skips span emission for this warp.
+    let mut span_mark = if telemetry::is_enabled() {
+        telemetry::now_ns()
+    } else {
+        0
+    };
     // Non-capturing, so it coerces to a plain `fn` passed per pass below.
+    // Each call closes one pass: it charges the elapsed interval to the
+    // `WarpTiming` slot and emits the matching telemetry span.
     let record = |slot: fn(&mut WarpTiming) -> &mut f64,
+                  phase: telemetry::Phase,
                   timing: &mut Option<&mut WarpTiming>,
-                  clock: &mut Instant| {
+                  clock: &mut Instant,
+                  span_mark: &mut u64| {
         let now = Instant::now();
         if let Some(t) = timing.as_deref_mut() {
             *slot(t) += (now - *clock).as_secs_f64();
         }
         *clock = now;
+        if *span_mark != 0 && telemetry::is_enabled() {
+            let now_ns = telemetry::now_ns();
+            telemetry::span_at(phase, *span_mark, now_ns, 0, 0, 0);
+            *span_mark = now_ns;
+        }
     };
 
     // Shape the output in place: reuse the buffers when dimensions match.
@@ -561,7 +578,13 @@ fn warp_frame_impl(
             }
         });
     }
-    record(|t| &mut t.splat_s, &mut timing, &mut clock);
+    record(
+        |t| &mut t.splat_s,
+        telemetry::Phase::WarpSplat,
+        &mut timing,
+        &mut clock,
+        &mut span_mark,
+    );
 
     // Resolve: accumulate contributions near the front surface of each pixel.
     // Sequential in band (= reference row) order: float accumulation order is
@@ -595,7 +618,13 @@ fn warp_frame_impl(
             }
         }
     }
-    record(|t| &mut t.resolve_s, &mut timing, &mut clock);
+    record(
+        |t| &mut t.resolve_s,
+        telemetry::Phase::WarpResolve,
+        &mut timing,
+        &mut clock,
+        &mut span_mark,
+    );
     {
         let (acc_color, acc_w) = (&scratch.acc_color, &scratch.acc_w);
         let (acc_z, rej_w) = (&scratch.acc_z, &scratch.rej_w);
@@ -622,7 +651,13 @@ fn warp_frame_impl(
         });
     }
 
-    record(|t| &mut t.normalize_s, &mut timing, &mut clock);
+    record(
+        |t| &mut t.normalize_s,
+        telemetry::Phase::WarpNormalize,
+        &mut timing,
+        &mut clock,
+        &mut span_mark,
+    );
 
     // Step 4's depth test: classify remaining holes. A hole whose far probe
     // lands on reference background is void — nothing along the ray — and
@@ -681,7 +716,13 @@ fn warp_frame_impl(
         });
     }
 
-    record(|t| &mut t.classify_s, &mut timing, &mut clock);
+    record(
+        |t| &mut t.classify_s,
+        telemetry::Phase::WarpClassify,
+        &mut timing,
+        &mut clock,
+        &mut span_mark,
+    );
 
     // Crack filling: single-pixel splat holes surrounded by warped pixels
     // are reconstruction artifacts of nearest-pixel splatting, not
@@ -733,7 +774,13 @@ fn warp_frame_impl(
             }
         });
     }
-    record(|t| &mut t.crack_fill_s, &mut timing, &mut clock);
+    record(
+        |t| &mut t.crack_fill_s,
+        telemetry::Phase::WarpCrackFill,
+        &mut timing,
+        &mut clock,
+        &mut span_mark,
+    );
 }
 
 #[cfg(test)]

@@ -16,6 +16,7 @@
 use crate::mlp::MlpBlockScratch;
 use crate::{Mlp, MlpScratch};
 use cicero_math::Vec3;
+use cicero_telemetry as telemetry;
 
 /// Number of raw signals every decoder produces.
 pub const SIGNALS: usize = 7;
@@ -267,7 +268,11 @@ impl Decoder {
             input[(fd + 1) * k + s] = d.y;
             input[(fd + 2) * k + s] = d.z;
         }
-        let out = self.mlp.forward_block(scratch, k);
+        let out = {
+            let _mlp_span = telemetry::span_ab(telemetry::Phase::MlpBlock, k as u64, 0);
+            self.mlp.forward_block(scratch, k)
+        };
+        let _decode_span = telemetry::span_ab(telemetry::Phase::Decode, k as u64, 0);
         for s in 0..k {
             sigma_out[s] = softplus(out[s]);
             let mut rgb = Vec3::new(

@@ -45,6 +45,7 @@
 #![allow(unsafe_code)]
 
 use cicero_math::Vec3;
+use cicero_telemetry as telemetry;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -168,8 +169,17 @@ impl WorkerShared {
 
 fn worker_loop(shared: Arc<WorkerShared>) {
     loop {
-        match shared.receive() {
+        // Park-time accounting: the receive() wait is this worker's idle
+        // interval. Clocks are read only while the recorder is live, so a
+        // disabled recorder costs one relaxed load per wake.
+        let idle_t0 = telemetry::is_enabled().then(telemetry::now_ns);
+        let mail = shared.receive();
+        if let Some(t0) = idle_t0 {
+            telemetry::worker_idle_ns(telemetry::now_ns().saturating_sub(t0));
+        }
+        match mail {
             Mail::Run(job) => {
+                let busy_t0 = telemetry::is_enabled().then(telemetry::now_ns);
                 // SAFETY: see `Job` — the closure and gate outlive this call
                 // because the leader blocks on the gate.
                 let result = catch_unwind(AssertUnwindSafe(|| unsafe {
@@ -182,6 +192,14 @@ fn worker_loop(shared: Arc<WorkerShared>) {
                     gate.panicked.store(true, Ordering::Release);
                 }
                 gate.complete();
+                if let Some(t0) = busy_t0 {
+                    let t1 = telemetry::now_ns();
+                    let dur = t1.saturating_sub(t0);
+                    telemetry::span_at(telemetry::Phase::PoolJob, t0, t1, job.lane as u64, 0, 0);
+                    telemetry::worker_busy_ns(dur);
+                    telemetry::observe(telemetry::Hist::PoolJobNs, dur);
+                    telemetry::add(telemetry::Counter::PoolJobs, 1);
+                }
             }
             Mail::Retire => return,
         }
@@ -247,6 +265,7 @@ impl RenderPool {
         let mut n = 0;
         if want > 0 {
             let mut reg = self.inner.registry.lock().unwrap();
+            let idle_before = reg.idle.len();
             while n < want {
                 if let Some(w) = reg.idle.pop() {
                     workers[n] = Some(w);
@@ -268,6 +287,13 @@ impl RenderPool {
                 } else {
                     break;
                 }
+            }
+            drop(reg);
+            if telemetry::is_enabled() {
+                telemetry::add(telemetry::Counter::PoolCheckouts, 1);
+                telemetry::add(telemetry::Counter::PoolLaneShortfall, (want - n) as u64);
+                telemetry::observe(telemetry::Hist::PoolIdleAtCheckout, idle_before as u64);
+                telemetry::observe(telemetry::Hist::PoolLanesGranted, n as u64);
             }
         }
         Checkout {
@@ -348,6 +374,7 @@ impl Checkout<'_> {
             f(0);
             return;
         }
+        let pass_t0 = telemetry::is_enabled().then(telemetry::now_ns);
         let gate = Gate::new(self.count);
         for (i, w) in self.workers[..self.count].iter().enumerate() {
             let job = Job {
@@ -364,6 +391,18 @@ impl Checkout<'_> {
         }
         if gate.panicked.load(Ordering::Acquire) {
             panic!("render pool worker panicked during a pass");
+        }
+        if let Some(t0) = pass_t0 {
+            let t1 = telemetry::now_ns();
+            telemetry::span_at(
+                telemetry::Phase::PoolPass,
+                t0,
+                t1,
+                self.lanes() as u64,
+                0,
+                0,
+            );
+            telemetry::observe(telemetry::Hist::PoolPassNs, t1.saturating_sub(t0));
         }
     }
 }

@@ -16,6 +16,7 @@ use crate::plan::{GatherPlan, GatherSink};
 use cicero_math::{Camera, Vec3};
 use cicero_scene::ground_truth::Frame;
 use cicero_scene::volume::MarchParams;
+use cicero_telemetry as telemetry;
 
 /// Default sample-block size of the batched engine: big enough that every
 /// MLP weight row amortizes over a SIMD-friendly sample vector, small enough
@@ -203,6 +204,11 @@ struct SampleBlock {
     mlp: MlpBlockScratch,
     /// Filled lanes.
     count: usize,
+    /// Telemetry only: host timestamp of the previous flush's end, so the
+    /// marching/planning interval between flushes can be exported as a
+    /// `plan` span. Zero when the recorder is (or was) off — the first
+    /// interval after enabling is skipped rather than mis-attributed.
+    phase_mark: u64,
 }
 
 impl SampleBlock {
@@ -222,6 +228,7 @@ impl SampleBlock {
         }
         self.count = 0;
         self.open.clear();
+        self.phase_mark = 0;
     }
 
     /// Evaluates and commits the filled lanes.
@@ -250,9 +257,20 @@ impl SampleBlock {
         if k == 0 {
             return;
         }
+        // Phase spans (batched engine): `plan` covers the march/fill interval
+        // since the previous flush, `gather` the SoA feature fetch; the MLP
+        // and activation-decode spans are emitted inside `decode_block`.
+        let t_flush = telemetry::is_enabled().then(telemetry::now_ns);
         let fd = decoder.feature_dim();
         let input = decoder.stage_block(&mut self.mlp, k);
         model.features_into_block(&self.ps[..k], &mut input[..fd * k], k);
+        if let Some(t0) = t_flush {
+            let t1 = telemetry::now_ns();
+            if self.phase_mark != 0 {
+                telemetry::span_at(telemetry::Phase::Plan, self.phase_mark, t0, k as u64, 0, 0);
+            }
+            telemetry::span_at(telemetry::Phase::Gather, t0, t1, k as u64, 0, 0);
+        }
         decoder.decode_block(
             &self.dirs[..k],
             k,
@@ -289,6 +307,11 @@ impl SampleBlock {
         for ray in &mut self.open {
             ray.lanes = 0;
         }
+        self.phase_mark = if t_flush.is_some() {
+            telemetry::now_ns()
+        } else {
+            0
+        };
     }
 
     /// Finalizes every finished ray whose lanes are all committed — adds the

@@ -37,6 +37,7 @@ use crate::render::{
 };
 use cicero_math::{Camera, Vec3};
 use cicero_scene::ground_truth::Frame;
+use cicero_telemetry as telemetry;
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -232,6 +233,8 @@ pub fn render_tiled<M: NerfModel + ?Sized, S: GatherSink>(
                 let mut local = RenderStats::default();
                 let mut next = tiles.first_for_lane(lane);
                 while let Some(t) = next {
+                    let span_t0 = telemetry::is_enabled().then(telemetry::now_ns);
+                    let (ty0, ty1) = (t.y0, t.y1);
                     let band = RowBand {
                         y0: t.y0,
                         y1: t.y1,
@@ -242,6 +245,16 @@ pub fn render_tiled<M: NerfModel + ?Sized, S: GatherSink>(
                         Some(trace) => render_rows(model, camera, opts, mask, band, trace, rs),
                         None => render_rows(model, camera, opts, mask, band, &mut NullSink, rs),
                     };
+                    if let Some(t0) = span_t0 {
+                        telemetry::span_at(
+                            telemetry::Phase::RenderTile,
+                            t0,
+                            telemetry::now_ns(),
+                            ty0 as u64,
+                            (ty1 - ty0) as u64,
+                            lane as u64,
+                        );
+                    }
                     local.accumulate(&stats);
                     next = tiles.claim();
                 }

@@ -12,6 +12,8 @@ use cicero_scene::ground_truth::Frame;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use cicero_telemetry as telemetry;
+
 /// Cache configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct RefCacheConfig {
@@ -35,7 +37,7 @@ impl Default for RefCacheConfig {
 }
 
 /// Hit/miss counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
 pub struct RefCacheStats {
     /// Lookups satisfied from the cache.
     pub hits: u64,
@@ -179,10 +181,14 @@ impl RefCache {
                 if slot.prefetched {
                     self.stats.prefetch_hits += 1;
                 }
+                telemetry::instant(telemetry::Phase::CacheHit, slot.prefetched as u64, 0);
+                telemetry::add(telemetry::Counter::CacheHits, 1);
                 return Some(slot.entry.clone());
             }
         }
         self.stats.misses += 1;
+        telemetry::instant(telemetry::Phase::CacheMiss, 0, 0);
+        telemetry::add(telemetry::Counter::CacheMisses, 1);
         None
     }
 
@@ -259,6 +265,8 @@ impl RefCache {
         self.stats.inserts += 1;
         if prefetched {
             self.stats.prefetch_inserts += 1;
+            telemetry::instant(telemetry::Phase::CachePrefetch, 0, 0);
+            telemetry::add(telemetry::Counter::CachePrefetchInserts, 1);
         }
     }
 

@@ -147,7 +147,7 @@ impl PlacementPolicy for SceneAffinity {
 // ---------------------------------------------------------------------------
 
 /// What a [`QosPolicy`] traded away to admit a session.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
 pub struct Degradation {
     /// Warping window: (requested, granted). Stretching the window amortizes
     /// each expensive reference render over more warped targets — less pool

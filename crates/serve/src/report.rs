@@ -4,10 +4,11 @@
 use crate::cache::RefCacheStats;
 use crate::policy::Degradation;
 use crate::session::{QosClass, SessionId};
+use serde::Serialize;
 
 /// One QoS degradation granted at admission: which session, and what the
 /// [`QosPolicy`](crate::policy::QosPolicy) traded away to admit it.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct DegradationRecord {
     /// The admitted session.
     pub session: SessionId,
@@ -18,7 +19,7 @@ pub struct DegradationRecord {
 }
 
 /// One served frame, as the scheduler saw it.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct FrameRecord {
     /// The session the frame belongs to.
     pub session: SessionId,
@@ -51,7 +52,7 @@ impl FrameRecord {
 }
 
 /// Per-session aggregate.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct SessionSummary {
     /// Session id.
     pub id: SessionId,
@@ -75,7 +76,7 @@ pub struct SessionSummary {
 }
 
 /// Aggregate serving statistics for one [`crate::FrameServer::run`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ServiceReport {
     /// Every served frame, in dispatch (readiness) order. With one worker
     /// this coincides with completion order; across several workers
@@ -144,5 +145,43 @@ mod tests {
         assert_eq!(percentile(&mut v, 100.0), 4.0);
         assert_eq!(percentile(&mut v, 50.0), 3.0); // rank round(1.5) = 2
         assert!(percentile(&mut [], 50.0).is_nan());
+    }
+
+    #[test]
+    fn percentile_empty_is_nan_at_every_rank() {
+        for q in [0.0, 50.0, 99.0, 100.0] {
+            assert!(percentile(&mut [], q).is_nan());
+        }
+    }
+
+    #[test]
+    fn percentile_single_sample_is_that_sample() {
+        for q in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(percentile(&mut [7.25], q), 7.25);
+        }
+    }
+
+    #[test]
+    fn percentile_p0_p100_are_min_max() {
+        let mut v = vec![9.0, -3.0, 5.0, 0.5, 2.0];
+        assert_eq!(percentile(&mut v, 0.0), -3.0);
+        assert_eq!(percentile(&mut v, 100.0), 9.0);
+        // Over-range q clamps to the last element rather than indexing past
+        // the end.
+        assert_eq!(percentile(&mut v, 150.0), 9.0);
+    }
+
+    #[test]
+    fn percentile_sorts_its_input() {
+        // Unsorted and reverse-sorted inputs agree with the sorted one: the
+        // function owns the ordering, callers never pre-sort.
+        let mut unsorted = vec![0.3, 0.1, 0.9, 0.7, 0.5];
+        let mut reversed = vec![0.9, 0.7, 0.5, 0.3, 0.1];
+        let mut sorted = vec![0.1, 0.3, 0.5, 0.7, 0.9];
+        for q in [0.0, 25.0, 50.0, 75.0, 100.0] {
+            let want = percentile(&mut sorted, q);
+            assert_eq!(percentile(&mut unsorted, q), want);
+            assert_eq!(percentile(&mut reversed, q), want);
+        }
     }
 }

@@ -58,6 +58,7 @@ use cicero_field::NerfModel;
 use cicero_math::{Intrinsics, Pose};
 use cicero_scene::ground_truth::Frame;
 use cicero_scene::{AnalyticScene, Trajectory};
+use cicero_telemetry as telemetry;
 use std::collections::HashSet;
 use std::sync::{Arc, Mutex};
 
@@ -177,11 +178,21 @@ impl<'a> FrameServer<'a> {
             // never affects cache sharing or reported quality.
             spec.config.render_threads = self.cfg.render_threads;
         }
-        self.cfg
-            .policies
-            .qos
-            .clone()
-            .admit(&spec, intrinsics, fps, &mut self.admission)
+        let decision =
+            self.cfg
+                .policies
+                .qos
+                .clone()
+                .admit(&spec, intrinsics, fps, &mut self.admission);
+        if decision.is_err() {
+            telemetry::instant(
+                telemetry::Phase::Reject,
+                self.sessions.len() as u64,
+                spec.qos.priority() as u64,
+            );
+            telemetry::add(telemetry::Counter::Rejected, 1);
+        }
+        decision
     }
 
     /// Registers an admitted (possibly degraded) session and returns its id.
@@ -198,7 +209,22 @@ impl<'a> FrameServer<'a> {
             ..
         } = adm;
         let id = self.sessions.len();
+        let mut pipe = pipe;
+        // Frame spans of this session's pipeline now carry its serve id.
+        pipe.set_telemetry_id(id as u64);
+        telemetry::instant(
+            telemetry::Phase::Admit,
+            id as u64,
+            spec.qos.priority() as u64,
+        );
+        telemetry::add(telemetry::Counter::Admitted, 1);
         if let Some(degradation) = degradation {
+            telemetry::instant(
+                telemetry::Phase::Degrade,
+                id as u64,
+                degradation.window.1 as u64,
+            );
+            telemetry::add(telemetry::Counter::Degraded, 1);
             self.degradations.push(DegradationRecord {
                 session: id,
                 name: spec.name.clone(),
@@ -345,6 +371,15 @@ impl<'a> FrameServer<'a> {
         );
         let duration = Self::reference_duration(sess, &pool.workers()[worker].soc, &workload);
         let span = pool.assign(worker, dispatch_at, duration);
+        telemetry::sim_span(
+            telemetry::Phase::ServeReference,
+            worker as u32,
+            span.start_s,
+            span.end_s,
+            sess.id as u64,
+            r as u64,
+        );
+        telemetry::add(telemetry::Counter::ServeReferenceJobs, 1);
         let cached = CachedReference {
             pose,
             frame: frame.clone(),
@@ -506,6 +541,7 @@ impl<'a> FrameServer<'a> {
             let (frame, workload) = job.rendered.expect("job was rendered");
             if job.kind == JobKind::Prefetch {
                 self.prefetch_jobs += 1;
+                telemetry::add(telemetry::Counter::ServePrefetchJobs, 1);
             }
             Self::commit_reference(
                 placement.as_ref(),
@@ -680,6 +716,8 @@ impl<'a> FrameServer<'a> {
 
             // Bookkeeping in batch order on the simulated timeline —
             // identical whether the steps above ran serially or fanned out.
+            let batch_jobs = entries.len();
+            let mut batch_end = min_ready;
             for entry in entries {
                 let (sess, stepped) = entry.into_inner().unwrap();
                 let st = stepped.expect("every batch entry stepped");
@@ -719,6 +757,16 @@ impl<'a> FrameServer<'a> {
                         );
                     }
                 }
+                telemetry::sim_span(
+                    telemetry::Phase::ServeFrame,
+                    span.worker as u32,
+                    span.start_s,
+                    span.end_s,
+                    sess.id as u64,
+                    st.frame_index as u64,
+                );
+                telemetry::add(telemetry::Counter::ServeFrames, 1);
+                batch_end = batch_end.max(span.end_s);
                 let record = FrameRecord {
                     session: sess.id,
                     frame_index: st.frame_index,
@@ -736,6 +784,18 @@ impl<'a> FrameServer<'a> {
                 sess.record_outcome(&st.step.outcome);
                 self.records.push(record);
             }
+            // One scheduler-track span per ready batch: dispatch readiness
+            // to last completion, sized by its job count.
+            telemetry::sim_span(
+                telemetry::Phase::ServeBatch,
+                telemetry::SIM_SCHEDULER_TRACK,
+                min_ready,
+                batch_end,
+                batch_jobs as u64,
+                0,
+            );
+            telemetry::add(telemetry::Counter::ServeBatches, 1);
+            telemetry::observe(telemetry::Hist::ServeBatchJobs, batch_jobs as u64);
         }
 
         // Drained sessions hand their committed capacity back, so a reused

@@ -60,6 +60,13 @@ impl fmt::Display for QosClass {
     }
 }
 
+// Hand impl: the derive shim only handles named-field structs, not enums.
+impl serde::Serialize for QosClass {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.label().to_string())
+    }
+}
+
 /// A session submission: everything the server needs besides the borrowed
 /// scene/model/trajectory assets.
 #[derive(Debug, Clone)]

@@ -8,6 +8,8 @@
 //!
 //! ```text
 //! cargo run --release --example serve_swarm [-- THREADS] [--policy P] [--stream]
+//!                                           [--trace T.json] [--metrics M.prom]
+//!                                           [--report-json R.json]
 //! ```
 //!
 //! - `THREADS` is the server's total host thread budget (default: the
@@ -23,6 +25,13 @@
 //! - `--stream` feeds every session pose-by-pose through the streaming
 //!   ingestion API instead of whole trajectories — the digest must not
 //!   change, which CI also diffs.
+//! - `--trace <path>` / `--metrics <path>` enable the telemetry recorder and
+//!   write a chrome-trace JSON (load in Perfetto / `chrome://tracing`) and a
+//!   Prometheus text snapshot at exit. Telemetry is observe-only: the digest
+//!   lines must be byte-identical with and without these flags (CI diffs
+//!   them).
+//! - `--report-json <path>` serializes the full [`ServiceReport`] of every
+//!   policy run to JSON.
 
 use cicero::pipeline::PipelineConfig;
 use cicero::{Scenario, Variant};
@@ -32,6 +41,7 @@ use cicero_math::Intrinsics;
 use cicero_scene::volume::MarchParams;
 use cicero_scene::{library, AnalyticScene, Trajectory};
 use cicero_serve::{FrameServer, Policies, QosClass, ServeConfig, ServiceReport, SessionSpec};
+use cicero_telemetry as telemetry;
 
 const SCENES: [&str; 4] = ["lego", "chair", "ship", "hotdog"];
 const VIEWERS_PER_SCENE: usize = 6; // 4 scenes × 6 = 24 sessions
@@ -50,6 +60,9 @@ struct Args {
     render_threads: usize,
     policy: String,
     stream: bool,
+    trace: Option<String>,
+    metrics: Option<String>,
+    report_json: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -57,6 +70,9 @@ fn parse_args() -> Args {
         render_threads: 0,
         policy: "default".into(),
         stream: false,
+        trace: None,
+        metrics: None,
+        report_json: None,
     };
     let mut threads: Option<usize> = None;
     let mut it = std::env::args().skip(1);
@@ -68,10 +84,15 @@ fn parse_args() -> Args {
                     .expect("--policy takes <default|affinity|degrade|prefetch|all>");
             }
             "--stream" => args.stream = true,
+            "--trace" => args.trace = Some(it.next().expect("--trace takes a path")),
+            "--metrics" => args.metrics = Some(it.next().expect("--metrics takes a path")),
+            "--report-json" => {
+                args.report_json = Some(it.next().expect("--report-json takes a path"));
+            }
             other => {
                 assert!(
                     threads.is_none(),
-                    "usage: serve_swarm [THREADS] [--policy P] [--stream]"
+                    "usage: serve_swarm [THREADS] [--policy P] [--stream] [--trace T] [--metrics M] [--report-json R]"
                 );
                 threads = Some(other.parse().expect("THREADS must be a number"));
             }
@@ -323,6 +344,11 @@ fn print_run(policy: &str, run: &SwarmRun, verbose: bool, render_threads: usize)
 
 fn main() {
     let args = parse_args();
+    if args.trace.is_some() || args.metrics.is_some() {
+        // A swarm drain emits far more events than the default ring holds;
+        // size the per-thread rings to retain the whole run.
+        telemetry::enable_with_capacity(1 << 16);
+    }
     let policies: Vec<&str> = match args.policy.as_str() {
         "all" => vec!["default", "affinity", "degrade", "prefetch"],
         one => vec![one],
@@ -408,6 +434,28 @@ fn main() {
             }
         }
         println!("\ncross-policy checks OK");
+    }
+
+    if let Some(path) = &args.report_json {
+        let value = serde::Value::Object(
+            runs.iter()
+                .map(|(policy, run)| (policy.to_string(), serde::Serialize::to_value(&run.report)))
+                .collect(),
+        );
+        let json = serde_json::to_string_pretty(&value).expect("serialize report");
+        std::fs::write(path, json).expect("write report json");
+        println!("report json -> {path}");
+    }
+    if let Some(path) = &args.trace {
+        telemetry::write_chrome_trace(std::path::Path::new(path)).expect("write chrome trace");
+        println!(
+            "chrome trace ({} events) -> {path}",
+            telemetry::event_count()
+        );
+    }
+    if let Some(path) = &args.metrics {
+        telemetry::write_prometheus(std::path::Path::new(path)).expect("write prometheus metrics");
+        println!("prometheus metrics -> {path}");
     }
 
     let (_, first) = &runs[0];

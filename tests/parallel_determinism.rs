@@ -23,6 +23,7 @@ use cicero_serve::{
     FrameServer, IdleWorkerPrefetch, LoadAdaptiveDegrade, Policies, QosClass, SceneAffinity,
     ServeConfig, SessionSpec,
 };
+use cicero_telemetry as telemetry;
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 3, 8];
 
@@ -536,6 +537,135 @@ fn traffic_collection_is_deterministic_under_parallel_rendering() {
                 p.report.energy.total(),
                 s.report.energy.total(),
                 "{variant:?}"
+            );
+        }
+    }
+}
+
+/// Telemetry is **observe-only**: flipping the recorder on must not move a
+/// single bit of output — frames, statistics, simulated timings or service
+/// reports — at any host thread budget or sample-block size. Spans and
+/// counters read the pipeline; nothing in the pipeline reads them back.
+/// (ISSUE 6 acceptance: threads {1, 4} × blocks {1, 16}, on vs off.)
+#[test]
+fn telemetry_on_is_bit_identical_to_off() {
+    let scene = library::scene_by_name("lego").unwrap();
+    let model = bake::bake_grid(
+        &scene,
+        &cicero_field::GridConfig {
+            resolution: 24,
+            ..Default::default()
+        },
+    );
+    let traj = Trajectory::orbit(&scene, 6, 30.0);
+    let k = Intrinsics::from_fov(24, 24, 0.9);
+
+    let pipeline_with = |threads: usize, block: usize| {
+        let cfg = PipelineConfig {
+            sample_block: block,
+            ..fast_cfg(Variant::Cicero, threads)
+        };
+        run_pipeline(&scene, &model, &traj, k, &cfg)
+    };
+    let serve_with = |threads: usize, block: usize| {
+        let mut server = FrameServer::new(ServeConfig {
+            render_threads: threads,
+            policies: Policies::default().with_prefetch(IdleWorkerPrefetch::default()),
+            ..Default::default()
+        });
+        for (i, (qos, offset)) in [
+            (QosClass::Interactive, 0.0),
+            (QosClass::Standard, 0.004),
+            (QosClass::BestEffort, 0.009),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let spec = SessionSpec {
+                name: format!("t{i}"),
+                scene_key: "lego".into(),
+                qos,
+                start_offset_s: offset,
+                config: PipelineConfig {
+                    collect_quality: true, // PSNR equality ⇒ frames match too
+                    sample_block: block,
+                    ..fast_cfg(Variant::Cicero, threads)
+                },
+            };
+            server.submit(spec, &scene, &model, &traj, k).unwrap();
+        }
+        server.run()
+    };
+
+    let cam = Camera::new(
+        Intrinsics::from_fov(33, 33, 0.9),
+        Pose::look_at(Vec3::new(0.3, 1.2, -2.6), Vec3::ZERO, Vec3::Y),
+    );
+    let render_with = |threads: usize, block: usize| {
+        let opts = RenderOptions {
+            sample_block: block,
+            ..Default::default()
+        };
+        let mut events: Vec<(u32, f32, u64)> = Vec::new();
+        let mut sink = |ray: u32, t: f32, p: &GatherPlan| events.push((ray, t, p.bytes()));
+        let (frame, stats) = render_full_tiled(
+            &model,
+            &cam,
+            &opts,
+            &mut sink,
+            &TileOptions {
+                threads,
+                tile_rows: 8,
+            },
+        );
+        (frame, stats, events)
+    };
+
+    for threads in [1usize, 4] {
+        for block in [1usize, 16] {
+            assert!(!telemetry::is_enabled());
+            let render_off = render_with(threads, block);
+            let pipe_off = pipeline_with(threads, block);
+            let serve_off = serve_with(threads, block);
+
+            telemetry::enable();
+            let render_on = render_with(threads, block);
+            let pipe_on = pipeline_with(threads, block);
+            let serve_on = serve_with(threads, block);
+            let events = telemetry::event_count();
+            telemetry::disable();
+            telemetry::reset();
+
+            assert!(
+                events > 0,
+                "{threads}t/{block}b: telemetry recorded nothing"
+            );
+            assert_eq!(
+                render_on.0, render_off.0,
+                "{threads}t/{block}b: telemetry moved a rendered pixel"
+            );
+            assert_eq!(
+                render_on.1, render_off.1,
+                "{threads}t/{block}b: telemetry moved RenderStats"
+            );
+            assert_eq!(
+                render_on.2, render_off.2,
+                "{threads}t/{block}b: telemetry moved the sink stream"
+            );
+            assert_eq!(
+                pipe_on.frames, pipe_off.frames,
+                "{threads}t/{block}b: telemetry moved a pipeline frame"
+            );
+            assert_eq!(pipe_on.warp_totals, pipe_off.warp_totals);
+            for (on, off) in pipe_on.outcomes.iter().zip(&pipe_off.outcomes) {
+                assert_eq!(
+                    on.report.time_s, off.report.time_s,
+                    "{threads}t/{block}b: telemetry drifted simulated time"
+                );
+            }
+            assert_eq!(
+                serve_on, serve_off,
+                "{threads}t/{block}b: telemetry moved the service report"
             );
         }
     }

@@ -13,6 +13,14 @@
 //! threads. The allocator counter is process-global, so it covers the pool
 //! workers' lanes too, not just the calling thread.
 //!
+//! The telemetry subsystem widened it again (ISSUE 6): with the recorder
+//! **enabled**, the same warmed paths — frame spans, pool job/pass spans,
+//! worker busy/idle tallies, counters and histograms — must still allocate
+//! nothing. Per-thread rings are pre-sized atomics created lazily at a
+//! thread's first record, so the telemetry-on warm-up frame both grows the
+//! scratches and materializes every ring; the measured frame then runs
+//! entirely on relaxed atomic stores.
+//!
 //! This file deliberately contains a single `#[test]` — the counter is
 //! process-global, and concurrent tests in the same binary would perturb it.
 
@@ -25,6 +33,7 @@ use cicero_math::{Camera, Intrinsics, Pose, Vec3};
 use cicero_scene::ground_truth::{render_frame, Frame};
 use cicero_scene::volume::MarchParams;
 use cicero_scene::RadianceSource;
+use cicero_telemetry as telemetry;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -267,4 +276,145 @@ fn warmed_sample_loop_performs_zero_heap_allocations() {
             "warmed pool warp spawned threads"
         );
     }
+
+    // ---- The same paths with telemetry ON (ISSUE 6) ----
+    //
+    // Enabling the recorder must not reintroduce allocations: probes write
+    // into pre-sized per-thread atomic rings. The warm-up pass below doubles
+    // as ring creation (each thread's ring is built lazily at its first
+    // record, which does allocate — once, covered by the warm-up).
+    telemetry::enable();
+    assert!(telemetry::is_enabled());
+    {
+        let model = models[0].1.as_ref(); // grid
+        let opts = RenderOptions {
+            sample_block: cicero_field::DEFAULT_SAMPLE_BLOCK,
+            ..opts
+        };
+        let mut frame =
+            cicero_scene::ground_truth::background_frame(&cicero_field::ModelSource(model), 32, 32);
+        let mut scratch = RenderScratch::new();
+
+        // Single-thread batched render.
+        render_masked_with(
+            model,
+            &cam,
+            &opts,
+            None,
+            &mut frame,
+            &mut NullSink,
+            &mut scratch,
+        );
+        let events_before = telemetry::event_count();
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        let stats = render_masked_with(
+            model,
+            &cam,
+            &opts,
+            None,
+            &mut frame,
+            &mut NullSink,
+            &mut scratch,
+        );
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        assert!(stats.samples_processed > 0);
+        assert_eq!(
+            after - before,
+            0,
+            "telemetry-on warmed render allocated {} times",
+            after - before
+        );
+        assert!(
+            telemetry::event_count() > events_before,
+            "telemetry-on render recorded no spans"
+        );
+
+        // Pool-parallel tile render: worker rings, busy/idle tallies, job
+        // and pass spans, checkout counters.
+        let tile = TileOptions {
+            threads: 4,
+            tile_rows: 8,
+        };
+        for _ in 0..2 {
+            render_tiled(model, &cam, &opts, None, &mut frame, &mut NullSink, &tile);
+        }
+        let jobs_before = telemetry::counter_value(telemetry::Counter::PoolJobs);
+        let spawns_before = pool.spawned_total();
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        render_tiled(model, &cam, &opts, None, &mut frame, &mut NullSink, &tile);
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        assert_eq!(
+            after - before,
+            0,
+            "telemetry-on warmed pool render allocated {} times",
+            after - before
+        );
+        assert_eq!(pool.spawned_total(), spawns_before);
+        assert!(
+            telemetry::counter_value(telemetry::Counter::PoolJobs) > jobs_before,
+            "telemetry-on pool render recorded no jobs"
+        );
+    }
+
+    // Pool warp with telemetry on: warp pass spans ride the pool job spans.
+    {
+        let scene = cicero_scene::library::scene_by_name("lego").unwrap();
+        let k = Intrinsics::from_fov(48, 48, 0.9);
+        let ref_cam = Camera::new(
+            k,
+            Pose::look_at(Vec3::new(0.0, 1.3, -2.8), Vec3::ZERO, Vec3::Y),
+        );
+        let tgt_cam = Camera::new(
+            k,
+            Pose::look_at(Vec3::new(0.2, 1.25, -2.7), Vec3::ZERO, Vec3::Y),
+        );
+        let reference = render_frame(&scene, &ref_cam, &MarchParams::default());
+        let wopts = WarpOptions::default();
+        let mut scratch = WarpScratch::new();
+        let mut out = WarpResult {
+            frame: Frame {
+                color: cicero_math::RgbImage::new(0, 0, Vec3::ZERO),
+                depth: cicero_math::DepthMap::empty(0, 0),
+            },
+            status: Vec::new(),
+        };
+        for _ in 0..2 {
+            warp_frame_into(
+                &reference,
+                &ref_cam,
+                &tgt_cam,
+                scene.background(),
+                &wopts,
+                &mut scratch,
+                4,
+                &mut out,
+            );
+        }
+        let events_before = telemetry::event_count();
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        warp_frame_into(
+            &reference,
+            &ref_cam,
+            &tgt_cam,
+            scene.background(),
+            &wopts,
+            &mut scratch,
+            4,
+            &mut out,
+        );
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        assert!(out.stats().warped > 0);
+        assert_eq!(
+            after - before,
+            0,
+            "telemetry-on warmed pool warp allocated {} times",
+            after - before
+        );
+        assert!(
+            telemetry::event_count() > events_before,
+            "telemetry-on warp recorded no spans"
+        );
+    }
+    telemetry::disable();
+    assert!(!telemetry::is_enabled());
 }
