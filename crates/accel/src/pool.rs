@@ -47,6 +47,7 @@ pub struct Worker {
     free_at: f64,
     busy_s: f64,
     jobs: u64,
+    quarantines: u64,
 }
 
 impl Worker {
@@ -63,6 +64,11 @@ impl Worker {
     /// Number of jobs executed.
     pub fn jobs_run(&self) -> u64 {
         self.jobs
+    }
+
+    /// Times this worker was quarantined after a simulated crash.
+    pub fn quarantines(&self) -> u64 {
+        self.quarantines
     }
 }
 
@@ -87,6 +93,7 @@ impl WorkerPool {
                     free_at: 0.0,
                     busy_s: 0.0,
                     jobs: 0,
+                    quarantines: 0,
                 })
                 .collect(),
         }
@@ -137,6 +144,22 @@ impl WorkerPool {
     pub fn assign_least_loaded(&mut self, ready_at: f64, duration: f64) -> JobSpan {
         let w = self.least_loaded();
         self.assign(w, ready_at, duration)
+    }
+
+    /// Takes `worker` out of rotation until simulated time `until_s`,
+    /// modeling the respawn delay after a crash. Idle time spent in
+    /// quarantine is not billed as busy time, so utilization reflects the
+    /// capacity loss. A no-op on the clock if the worker is already busy
+    /// past `until_s`, but still counted.
+    pub fn quarantine(&mut self, worker: usize, until_s: f64) {
+        let w = &mut self.workers[worker];
+        w.free_at = w.free_at.max(until_s);
+        w.quarantines += 1;
+    }
+
+    /// Total quarantines across the pool.
+    pub fn quarantines(&self) -> u64 {
+        self.workers.iter().map(|w| w.quarantines).sum()
     }
 
     /// Simulated time at which every worker is idle.
@@ -190,5 +213,26 @@ mod tests {
             .all(|w| (w.busy_seconds() - 2.0).abs() < 1e-12));
         assert_eq!(pool.drained_at(), 2.0);
         assert!((pool.utilization(2.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quarantine_pushes_the_clock_without_billing_busy_time() {
+        let mut pool = WorkerPool::new(PoolConfig {
+            workers: 2,
+            ..Default::default()
+        });
+        pool.assign(0, 0.0, 1.0);
+        pool.quarantine(0, 5.0);
+        assert_eq!(pool.workers()[0].free_at(), 5.0);
+        assert_eq!(pool.workers()[0].busy_seconds(), 1.0);
+        // Quarantine behind an already-later clock leaves the clock alone
+        // but still counts.
+        pool.quarantine(0, 2.0);
+        assert_eq!(pool.workers()[0].free_at(), 5.0);
+        assert_eq!(pool.workers()[0].quarantines(), 2);
+        assert_eq!(pool.quarantines(), 2);
+        // The next job serializes behind the quarantine window.
+        let s = pool.assign(0, 0.0, 1.0);
+        assert_eq!((s.start_s, s.end_s), (5.0, 6.0));
     }
 }

@@ -28,11 +28,13 @@ use cicero_field::{bake, GridConfig, GridModel};
 use cicero_math::Intrinsics;
 use cicero_scene::volume::MarchParams;
 use cicero_scene::{library, AnalyticScene, Trajectory};
-use cicero_serve::{FrameServer, Policies, QosClass, ServeConfig, SessionSpec};
+use cicero_serve::{FaultPlan, FrameServer, Policies, QosClass, ServeConfig, SessionSpec};
 use std::time::Instant;
 
 struct Args {
     out: String,
+    faults_out: String,
+    fault_seed: u64,
     frames: usize,
     threads: usize,
 }
@@ -40,6 +42,8 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         out: "results/bench_serve_policies.json".into(),
+        faults_out: "results/bench_serve_faults.json".into(),
+        fault_seed: 42,
         frames: 10,
         threads: 4,
     };
@@ -51,9 +55,14 @@ fn parse_args() -> Args {
         };
         match flag.as_str() {
             "--out" => args.out = value(),
+            "--faults-out" => args.faults_out = value(),
+            "--fault-seed" => args.fault_seed = value().parse().expect("--fault-seed takes a u64"),
             "--frames" => args.frames = value().parse().expect("--frames takes a count"),
             "--threads" => args.threads = value().parse().expect("--threads takes a count"),
-            other => panic!("unknown flag {other} (expected --out/--frames/--threads)"),
+            other => panic!(
+                "unknown flag {other} \
+                 (expected --out/--faults-out/--fault-seed/--frames/--threads)"
+            ),
         }
     }
     assert!(args.frames >= 4, "--frames must be at least 4");
@@ -89,9 +98,23 @@ struct PolicyRun {
     prefetch_wasted: u64,
     degradations: usize,
     wall_s: f64,
+    // Chaos-leg accounting (zero / 1.0 on the fault-free leg).
+    injected: u64,
+    recoveries: u64,
+    fallback_warps: u64,
+    degraded_rerenders: u64,
+    watchdog_grants: u64,
+    quarantines: u64,
+    time_to_recover_s: f64,
+    availability: f64,
 }
 
-fn run_policy(policy: &'static str, assets: &[SceneAssets], args: &Args) -> PolicyRun {
+fn run_policy(
+    policy: &'static str,
+    assets: &[SceneAssets],
+    args: &Args,
+    faults: Option<FaultPlan>,
+) -> PolicyRun {
     let mut server = FrameServer::new(ServeConfig {
         pool: PoolConfig {
             workers: 4,
@@ -99,6 +122,7 @@ fn run_policy(policy: &'static str, assets: &[SceneAssets], args: &Args) -> Poli
         },
         render_threads: args.threads,
         policies: policies_for(policy),
+        faults,
         ..Default::default()
     });
 
@@ -203,21 +227,48 @@ fn run_policy(policy: &'static str, assets: &[SceneAssets], args: &Args) -> Poli
         prefetch_wasted: report.cache.prefetch_wasted,
         degradations: report.degradations.len(),
         wall_s,
+        injected: report.faults.injected(),
+        recoveries: report.faults.recoveries(),
+        fallback_warps: report.faults.fallback_warps,
+        degraded_rerenders: report.faults.degraded_rerenders,
+        watchdog_grants: report.faults.watchdog_grants,
+        quarantines: report.faults.quarantines,
+        time_to_recover_s: report.faults.time_to_recover_s,
+        availability: report.faults.availability,
     };
-    println!(
-        "  {policy:<9}: {:>3} frames, {:>7.1} fps sim, p99 {:>7.3} ms, miss {:>5.1}%, \
-         cache {:>5.1}%, prefetch {}/{} ({} wasted), degraded {}, wall {:.2} s",
-        run.frames,
-        run.throughput_fps,
-        run.p99_s * 1e3,
-        run.deadline_miss_rate * 100.0,
-        run.cache_hit_rate * 100.0,
-        run.prefetch_hits,
-        run.prefetch_jobs,
-        run.prefetch_wasted,
-        run.degradations,
-        run.wall_s
-    );
+    if run.injected > 0 {
+        println!(
+            "  {policy:<9}: {:>3} frames, p99 {:>7.3} ms, miss {:>5.1}%, \
+             {} injected, {} recoveries ({} fallback-warps, {} rerenders, {} grants), \
+             ttr {:.3} ms, availability {:.4}, wall {:.2} s",
+            run.frames,
+            run.p99_s * 1e3,
+            run.deadline_miss_rate * 100.0,
+            run.injected,
+            run.recoveries,
+            run.fallback_warps,
+            run.degraded_rerenders,
+            run.watchdog_grants,
+            run.time_to_recover_s * 1e3,
+            run.availability,
+            run.wall_s
+        );
+    } else {
+        println!(
+            "  {policy:<9}: {:>3} frames, {:>7.1} fps sim, p99 {:>7.3} ms, miss {:>5.1}%, \
+             cache {:>5.1}%, prefetch {}/{} ({} wasted), degraded {}, wall {:.2} s",
+            run.frames,
+            run.throughput_fps,
+            run.p99_s * 1e3,
+            run.deadline_miss_rate * 100.0,
+            run.cache_hit_rate * 100.0,
+            run.prefetch_hits,
+            run.prefetch_jobs,
+            run.prefetch_wasted,
+            run.degradations,
+            run.wall_s
+        );
+    }
     run
 }
 
@@ -254,7 +305,7 @@ fn main() {
 
     let runs: Vec<PolicyRun> = ["default", "affinity", "degrade", "prefetch"]
         .into_iter()
-        .map(|p| run_policy(p, &assets, &args))
+        .map(|p| run_policy(p, &assets, &args, None))
         .collect();
 
     // Sanity: the bundles actually differentiate.
@@ -304,4 +355,68 @@ fn main() {
     }
     std::fs::write(&args.out, &json).expect("write baseline");
     println!("wrote {}", args.out);
+
+    // The chaos leg: the same fleet per policy under the standard seeded
+    // fault mix. Availability and p99-under-faults are the figures every
+    // future scheduler change regresses against.
+    println!(
+        "chaos leg: seed {}, rate {}",
+        args.fault_seed,
+        FaultPlan::DEFAULT_RATE
+    );
+    let chaos: Vec<PolicyRun> = ["default", "affinity", "degrade", "prefetch"]
+        .into_iter()
+        .map(|p| run_policy(p, &assets, &args, Some(FaultPlan::seeded(args.fault_seed))))
+        .collect();
+    for r in &chaos {
+        assert!(r.injected > 0, "{}: chaos leg injected nothing", r.policy);
+        assert!(r.recoveries > 0, "{}: chaos leg never recovered", r.policy);
+        assert!(
+            r.availability >= 0.99,
+            "{}: availability {} under the default fault rate",
+            r.policy,
+            r.availability
+        );
+    }
+    let entries: Vec<String> = chaos
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{ \"policy\": \"{}\", \"frames\": {}, \"p99_latency_s\": {:.9}, \
+                 \"deadline_miss_rate\": {:.6}, \"injected\": {}, \"recoveries\": {}, \
+                 \"fallback_warps\": {}, \"degraded_rerenders\": {}, \"watchdog_grants\": {}, \
+                 \"quarantines\": {}, \"time_to_recover_s\": {:.9}, \"availability\": {:.6}, \
+                 \"wall_s\": {:.6} }}",
+                r.policy,
+                r.frames,
+                r.p99_s,
+                r.deadline_miss_rate,
+                r.injected,
+                r.recoveries,
+                r.fallback_warps,
+                r.degraded_rerenders,
+                r.watchdog_grants,
+                r.quarantines,
+                r.time_to_recover_s,
+                r.availability,
+                r.wall_s
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"serve_faults\",\n  \"schema_version\": 2,\n  \"fault_seed\": {},\n  \
+         \"fault_rate\": {},\n  \"frames_per_session\": {},\n  \"host_threads\": {},\n  \
+         \"host_cores\": {},\n  \"policies\": [\n{}\n  ]\n}}\n",
+        args.fault_seed,
+        FaultPlan::DEFAULT_RATE,
+        args.frames,
+        args.threads,
+        host_cores,
+        entries.join(",\n")
+    );
+    if let Some(dir) = std::path::Path::new(&args.faults_out).parent() {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    std::fs::write(&args.faults_out, &json).expect("write chaos baseline");
+    println!("wrote {}", args.faults_out);
 }

@@ -571,6 +571,13 @@ impl<'a> PipelineSession<'a> {
         self.traj.get().is_empty()
     }
 
+    /// `true` for sessions fed pose-by-pose
+    /// ([`new_streaming`](Self::new_streaming)), whether or not the feed has
+    /// closed; `false` for whole-trajectory sessions.
+    pub fn is_streaming(&self) -> bool {
+        matches!(self.traj, TrajSource::Streaming { .. })
+    }
+
     /// Whether [`step`](Self::step) can produce a frame right now. Always
     /// `!is_done()` for whole-trajectory sessions; a streaming session can
     /// additionally *starve* — its next frame's pose has not arrived, or its
@@ -616,6 +623,14 @@ impl<'a> PipelineSession<'a> {
     /// whole-trajectory sessions; grows with the schedule for streaming ones.
     pub fn reference_count(&self) -> usize {
         self.ref_frames.len()
+    }
+
+    /// Target frames planned (so far) to warp from reference slot `idx` —
+    /// the blast radius of substituting that reference's warp source, which
+    /// is what a recovery layer wants to account when it installs a stale
+    /// fallback. Streaming sessions may plan more consumers later.
+    pub fn reference_consumers(&self, idx: usize) -> usize {
+        self.ref_use.get(idx).copied().unwrap_or(0)
     }
 
     /// The SoC model pricing this session's frames.

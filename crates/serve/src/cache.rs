@@ -6,6 +6,7 @@
 //! lets one full NeRF render seed the warp sources of many sessions — the
 //! multi-tenant generalization of the paper's single-client reference reuse.
 
+use crate::error::ServeError;
 use cicero_accel::FrameWorkload;
 use cicero_math::{Intrinsics, Pose};
 use cicero_scene::ground_truth::Frame;
@@ -239,16 +240,11 @@ impl RefCache {
         }
         let key = self.key(scene, intrinsics, &entry.pose, 1.0);
         if self.entries.len() >= self.cfg.capacity && !self.entries.contains_key(&key) {
-            if let Some(oldest) = self
-                .entries
-                .iter()
-                .min_by_key(|(_, slot)| slot.used)
-                .map(|(k, _)| k.clone())
-            {
-                let slot = self.entries.remove(&oldest).expect("oldest exists");
-                Self::retire(&mut self.stats, &slot);
-                self.stats.evictions += 1;
-            }
+            // At capacity the cache is necessarily non-empty, so the LRU
+            // eviction cannot fail here; an `Err` would mean a bookkeeping
+            // bug, and inserting anyway (one entry over budget) degrades far
+            // more gracefully than panicking mid-serve.
+            let _ = self.evict_lru();
         }
         self.tick += 1;
         if let Some(old) = self.entries.insert(
@@ -268,6 +264,85 @@ impl RefCache {
             telemetry::instant(telemetry::Phase::CachePrefetch, 0, 0);
             telemetry::add(telemetry::Counter::CachePrefetchInserts, 1);
         }
+    }
+
+    /// Evicts the least-recently-used entry, or reports
+    /// [`ServeError::EmptyEviction`] when there is nothing to evict —
+    /// the one cache operation that used to `expect` its way through.
+    pub fn evict_lru(&mut self) -> Result<(), ServeError> {
+        let oldest = self
+            .entries
+            .iter()
+            .min_by_key(|(_, slot)| slot.used)
+            .map(|(k, _)| k.clone())
+            .ok_or(ServeError::EmptyEviction)?;
+        if let Some(slot) = self.entries.remove(&oldest) {
+            Self::retire(&mut self.stats, &slot);
+            self.stats.evictions += 1;
+        }
+        Ok(())
+    }
+
+    /// Removes the entry covering `pose` (either quaternion sign), if any —
+    /// the fault injector's "corruption detected at lookup" hook. Returns
+    /// whether an entry was removed. Does not count as an LRU eviction;
+    /// an unused prefetched victim still retires as waste.
+    pub fn invalidate(&mut self, scene: &str, intrinsics: Intrinsics, pose: &Pose) -> bool {
+        for sign in [1.0, -1.0] {
+            let key = self.key(scene, intrinsics, pose, sign);
+            if let Some(slot) = self.entries.remove(&key) {
+                Self::retire(&mut self.stats, &slot);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The closest compatible cached reference to `pose` within the given
+    /// position/rotation radii, ignoring quantization cells — the recovery
+    /// ladder's stale-warp rung. Counter- and LRU-free like
+    /// [`peek`](Self::peek).
+    ///
+    /// Selection is a **total-order minimum** over (position error, rotation
+    /// error, quantized pose key), never map iteration order, so the choice
+    /// is bit-identical across processes and host thread budgets.
+    pub fn best_within(
+        &self,
+        scene: &str,
+        intrinsics: Intrinsics,
+        pose: &Pose,
+        pos_radius: f32,
+        rot_radius: f32,
+    ) -> Option<Arc<CachedReference>> {
+        let proto = self.key(scene, intrinsics, pose, 1.0);
+        let mut best: Option<(f32, f32, &CacheKey, &Slot)> = None;
+        for (key, slot) in &self.entries {
+            if key.scene != proto.scene
+                || key.width != proto.width
+                || key.height != proto.height
+                || key.qfocal != proto.qfocal
+            {
+                continue;
+            }
+            let pos_err = (slot.entry.pose.position - pose.position).length();
+            let rot_err = slot.entry.pose.rotation.angle_to(pose.rotation);
+            if pos_err > pos_radius || rot_err > rot_radius {
+                continue;
+            }
+            let better = match &best {
+                None => true,
+                Some((bp, br, bk, _)) => pos_err
+                    .total_cmp(bp)
+                    .then(rot_err.total_cmp(br))
+                    .then(key.qpos.cmp(&bk.qpos))
+                    .then(key.qrot.cmp(&bk.qrot))
+                    .is_lt(),
+            };
+            if better {
+                best = Some((pos_err, rot_err, key, slot));
+            }
+        }
+        best.map(|(_, _, _, slot)| slot.entry.clone())
     }
 
     /// Number of live entries.
@@ -399,5 +474,49 @@ mod tests {
         assert!(c.lookup("s", k, &pose(0.0)).is_some());
         assert_eq!(c.stats().evictions, 1);
         assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn empty_eviction_is_an_error_not_a_panic() {
+        let mut c = RefCache::new(RefCacheConfig::default());
+        assert_eq!(c.evict_lru(), Err(crate::ServeError::EmptyEviction));
+        assert_eq!(c.stats().evictions, 0);
+        let k = Intrinsics::from_fov(8, 8, 0.9);
+        c.insert("s", k, entry(pose(0.0)));
+        assert_eq!(c.evict_lru(), Ok(()));
+        assert!(c.is_empty());
+        assert_eq!(c.stats().evictions, 1);
+        // Draining leaves the cache empty again: the edge is reachable twice.
+        assert_eq!(c.evict_lru(), Err(crate::ServeError::EmptyEviction));
+    }
+
+    #[test]
+    fn invalidate_removes_either_sign_without_counting_eviction() {
+        let mut c = RefCache::new(RefCacheConfig::default());
+        let k = Intrinsics::from_fov(8, 8, 0.9);
+        c.insert("s", k, entry(pose(0.0)));
+        assert!(!c.invalidate("s", k, &pose(5.0)), "nothing there");
+        assert!(c.invalidate("s", k, &pose(0.004)), "same cell");
+        assert!(c.is_empty());
+        assert_eq!(c.stats().evictions, 0);
+        assert!(c.lookup("s", k, &pose(0.0)).is_none());
+    }
+
+    #[test]
+    fn best_within_picks_the_nearest_compatible_entry() {
+        let mut c = RefCache::new(RefCacheConfig::default());
+        let k = Intrinsics::from_fov(8, 8, 0.9);
+        c.insert("s", k, entry(pose(0.6)));
+        c.insert("s", k, entry(pose(0.2)));
+        c.insert("other", k, entry(pose(0.0)));
+        let hit = c
+            .best_within("s", k, &pose(0.0), 1.0, 1.0)
+            .expect("two entries in radius");
+        assert_eq!(hit.pose.position, pose(0.2).position);
+        // Radius gates both errors; incompatible scenes never match.
+        assert!(c.best_within("s", k, &pose(0.0), 0.05, 1.0).is_none());
+        assert!(c.best_within("missing", k, &pose(0.2), 1.0, 1.0).is_none());
+        // Counter-free, like peek.
+        assert_eq!(c.stats().hits + c.stats().misses, 0);
     }
 }

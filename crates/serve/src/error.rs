@@ -1,0 +1,80 @@
+//! The serve-side error type: every fallible server path returns
+//! [`ServeError`] instead of panicking, so a production deployment can
+//! degrade, retry or surface the failure rather than die.
+
+use crate::admission::AdmissionError;
+use crate::session::SessionId;
+use std::fmt;
+
+/// Why a frame-server operation failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The session was rejected at admission.
+    Admission(AdmissionError),
+    /// No session with this id was ever admitted.
+    UnknownSession {
+        /// The offending id.
+        id: SessionId,
+    },
+    /// A streaming-only operation (pose ingestion, stream close) was applied
+    /// to a whole-trajectory session.
+    NotStreaming {
+        /// The session.
+        id: SessionId,
+    },
+    /// A pose was pushed after [`close_stream`](crate::FrameServer::close_stream).
+    StreamClosed {
+        /// The session.
+        id: SessionId,
+    },
+    /// An eviction was requested from an empty reference cache.
+    EmptyEviction,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Admission(e) => write!(f, "admission rejected: {e}"),
+            ServeError::UnknownSession { id } => write!(f, "unknown session {id}"),
+            ServeError::NotStreaming { id } => {
+                write!(f, "session {id} is not streaming (whole-trajectory)")
+            }
+            ServeError::StreamClosed { id } => {
+                write!(f, "session {id}'s pose stream is closed")
+            }
+            ServeError::EmptyEviction => write!(f, "eviction requested from an empty cache"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Admission(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AdmissionError> for ServeError {
+    fn from(e: AdmissionError) -> Self {
+        ServeError::Admission(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_converts() {
+        let e: ServeError = AdmissionError::SessionLimit { max_sessions: 3 }.into();
+        assert!(matches!(e, ServeError::Admission(_)));
+        assert!(e.to_string().contains("admission rejected"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(ServeError::UnknownSession { id: 7 }
+            .to_string()
+            .contains('7'));
+        assert!(std::error::Error::source(&ServeError::EmptyEviction).is_none());
+    }
+}

@@ -1,0 +1,422 @@
+//! Deterministic fault injection for the frame server.
+//!
+//! A production fleet fails constantly — workers die mid-render, caches go
+//! bad, pose feeds stall — and a scheduler that has only ever seen a
+//! fault-free world cannot be trusted at scale. This module makes failure a
+//! first-class, **reproducible** input: a [`FaultPlan`] is a seeded schedule
+//! of injected faults, and the scheduler consults it at its existing
+//! sequential seams (reference commit, target bookkeeping, demand cache
+//! lookup, pose ingestion).
+//!
+//! # Determinism contract
+//!
+//! The standing serve invariant — bit-identical [`ServiceReport`]s at any
+//! host thread budget — extends to chaos runs. Every injection decision is a
+//! **keyed, idempotent draw**: a fixed-seed hash of
+//! `(seed, fault kind, key triple)` compared against the kind's rate, never a
+//! sequential RNG stream. Keyed draws are order-independent, so the same
+//! `(session, job, attempt)` asks the same question and gets the same answer
+//! regardless of how host threads interleaved the surrounding work, and no
+//! wall-clock or ambient state is ever consulted. A zero-rate plan draws
+//! `false` everywhere and leaves the server byte-identical to an un-armed
+//! one — `tests/fault_recovery.rs` asserts both properties.
+//!
+//! Decisions are pure integer hashing over stack bytes: arming the injector
+//! adds **zero heap allocations** per warmed frame (`tests/zero_alloc.rs`).
+//!
+//! # Fault taxonomy
+//!
+//! - [`FaultKind::WorkerCrash`] — a simulated reference/target job dies
+//!   partway through its priced duration; the worker is quarantined and the
+//!   recovery ladder (retry → stale warp → degraded re-render; see
+//!   [`RecoveryPolicy`](crate::policy::RecoveryPolicy)) takes over.
+//! - [`FaultKind::Straggler`] — the job completes but takes
+//!   [`straggler_factor`](FaultPlan::straggler_factor)× its priced time.
+//! - [`FaultKind::CacheCorruption`] — a resident reference-cache entry is
+//!   detected corrupt at demand lookup and invalidated, forcing a fresh
+//!   render.
+//! - [`FaultKind::PoseStall`] — a streamed pose arrives
+//!   [`stall_s`](FaultPlan::stall_s) late, shifting the session's later
+//!   frame arrivals (and deadlines) by the accumulated delay.
+//! - [`FaultKind::PoseDrop`] — a streamed pose is lost in flight; the
+//!   session simply serves one fewer frame.
+//!
+//! [`ServiceReport`]: crate::ServiceReport
+
+use crate::policy::fnv1a;
+use serde::Serialize;
+
+/// The kinds of injected faults. See the module docs for semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A simulated worker dies partway through a job.
+    WorkerCrash,
+    /// A job takes `straggler_factor`× its priced duration.
+    Straggler,
+    /// A resident cache entry is detected corrupt at lookup.
+    CacheCorruption,
+    /// A streamed pose arrives late.
+    PoseStall,
+    /// A streamed pose is lost in flight.
+    PoseDrop,
+}
+
+impl FaultKind {
+    /// Stable snake_case label (logs, digests).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::WorkerCrash => "worker_crash",
+            FaultKind::Straggler => "straggler",
+            FaultKind::CacheCorruption => "cache_corruption",
+            FaultKind::PoseStall => "pose_stall",
+            FaultKind::PoseDrop => "pose_drop",
+        }
+    }
+
+    /// Domain-separation tag mixed into every draw for this kind.
+    fn tag(self) -> u64 {
+        match self {
+            FaultKind::WorkerCrash => 1,
+            FaultKind::Straggler => 2,
+            FaultKind::CacheCorruption => 3,
+            FaultKind::PoseStall => 4,
+            FaultKind::PoseDrop => 5,
+        }
+    }
+}
+
+/// A seeded, fully deterministic fault schedule.
+///
+/// Rates are per-decision probabilities in `[0, 1]`; a rate of `0` never
+/// fires and `1` always fires, exactly (no floating-point edge where a
+/// zero-rate plan could still draw a fault). [`with_rate`](Self::with_rate)
+/// builds the standard mix used by `serve_swarm --faults`, scaling every
+/// rate from one knob.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the keyed draw schedule. Two runs with equal seeds (and equal
+    /// workloads) inject identical faults.
+    pub seed: u64,
+    /// Probability a reference/target attempt crashes.
+    pub crash_rate: f64,
+    /// Fraction of the priced duration a crashed attempt still bills to its
+    /// worker before dying.
+    pub crash_fraction: f64,
+    /// Probability a job straggles.
+    pub straggler_rate: f64,
+    /// Duration multiplier for straggling jobs.
+    pub straggler_factor: f64,
+    /// Probability a resident cache entry is corrupt at demand lookup.
+    pub corruption_rate: f64,
+    /// Probability a streamed pose stalls.
+    pub stall_rate: f64,
+    /// Ingest delay of a stalled pose, simulated seconds.
+    pub stall_s: f64,
+    /// Probability a streamed pose is dropped.
+    pub drop_rate: f64,
+}
+
+impl FaultPlan {
+    /// The default per-decision fault rate (`--faults` without
+    /// `--fault-rate`).
+    pub const DEFAULT_RATE: f64 = 0.02;
+
+    /// The standard mix at [`DEFAULT_RATE`](Self::DEFAULT_RATE).
+    pub fn seeded(seed: u64) -> Self {
+        Self::with_rate(seed, Self::DEFAULT_RATE)
+    }
+
+    /// The standard mix with every rate scaled from `rate`: crashes,
+    /// stragglers, corruptions and stalls at `rate`, drops at `rate / 4`
+    /// (losing poses shrinks sessions, so drops stay rarer than delays).
+    pub fn with_rate(seed: u64, rate: f64) -> Self {
+        FaultPlan {
+            seed,
+            crash_rate: rate,
+            crash_fraction: 0.35,
+            straggler_rate: rate,
+            straggler_factor: 4.0,
+            corruption_rate: rate,
+            stall_rate: rate,
+            stall_s: 0.05,
+            drop_rate: 0.25 * rate,
+        }
+    }
+
+    /// A plan that never fires — armed plumbing, zero faults. Byte-identical
+    /// serving to an un-armed server.
+    pub fn zero(seed: u64) -> Self {
+        Self::with_rate(seed, 0.0)
+    }
+
+    fn rate_of(&self, kind: FaultKind) -> f64 {
+        match kind {
+            FaultKind::WorkerCrash => self.crash_rate,
+            FaultKind::Straggler => self.straggler_rate,
+            FaultKind::CacheCorruption => self.corruption_rate,
+            FaultKind::PoseStall => self.stall_rate,
+            FaultKind::PoseDrop => self.drop_rate,
+        }
+    }
+
+    /// Whether the fault `kind` fires for the decision keyed `(a, b, c)`.
+    ///
+    /// Idempotent and order-independent: the answer depends only on the plan
+    /// and the key, so repeated evaluation and host-thread interleaving
+    /// cannot change it. Key conventions (the scheduler's; any caller-chosen
+    /// scheme works as long as distinct decisions get distinct keys):
+    /// crashes key `(session, job index, attempt·4 | job domain)`, stragglers
+    /// `(session, job index, job domain)`, corruptions
+    /// `(session, reference index, 0)`, stalls/drops
+    /// `(session, push attempt, 0)`.
+    pub fn fires(&self, kind: FaultKind, a: u64, b: u64, c: u64) -> bool {
+        let rate = self.rate_of(kind);
+        if rate <= 0.0 {
+            return false;
+        }
+        if rate >= 1.0 {
+            return true;
+        }
+        // 53-bit uniform in [0, 1) from a keyed xorshift64* draw.
+        let u = (self.draw(kind, a, b, c) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < rate
+    }
+
+    /// The raw keyed draw behind [`fires`](Self::fires): FNV-1a over the
+    /// domain-tagged key bytes, xor-folded with the seed, then one
+    /// xorshift64* round. Pure stack arithmetic — no allocation, no state.
+    fn draw(&self, kind: FaultKind, a: u64, b: u64, c: u64) -> u64 {
+        let mut bytes = [0u8; 32];
+        bytes[..8].copy_from_slice(&kind.tag().to_le_bytes());
+        bytes[8..16].copy_from_slice(&a.to_le_bytes());
+        bytes[16..24].copy_from_slice(&b.to_le_bytes());
+        bytes[24..].copy_from_slice(&c.to_le_bytes());
+        let mut x = self.seed ^ fnv1a(&bytes);
+        if x == 0 {
+            x = 0x9e37_79b9_7f4a_7c15; // xorshift's fixed point; any odd seed
+        }
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+/// One fallback-warp recovery: a reference whose fresh render was abandoned
+/// and replaced by the best stale cached reference within the recovery
+/// policy's pose-error radius.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FallbackRecord {
+    /// The recovering session.
+    pub session: usize,
+    /// The session's reference slot that fell back.
+    pub ref_index: usize,
+    /// Position error between the intended and the stale pose, world units.
+    pub pos_error: f32,
+    /// Rotation error between the intended and the stale pose, radians.
+    pub rot_error: f32,
+    /// Target frames planned (so far) to warp from this reference.
+    pub frames: usize,
+}
+
+/// Fault and recovery accounting for one [`crate::FrameServer`] lifetime,
+/// carried on [`ServiceReport::faults`](crate::ServiceReport::faults).
+///
+/// An un-armed server — and an armed one whose plan never fired — reports
+/// exactly [`FaultReport::default()`]: all counters zero, availability `1.0`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FaultReport {
+    /// Injected worker crashes (failed render attempts).
+    pub worker_crashes: u64,
+    /// Injected stragglers (jobs slowed by the straggler factor).
+    pub stragglers: u64,
+    /// Cache entries invalidated as corrupt at demand lookup.
+    pub cache_corruptions: u64,
+    /// Streamed poses that arrived late.
+    pub pose_stalls: u64,
+    /// Streamed poses lost in flight.
+    pub pose_drops: u64,
+    /// Crashed attempts retried with deterministic backoff.
+    pub retries: u64,
+    /// References recovered by warping from a stale cached entry.
+    pub fallback_warps: u64,
+    /// Target frames planned to warp from a fallback reference.
+    pub fallback_warp_frames: u64,
+    /// References recovered by a final guaranteed (degraded) re-render after
+    /// retries were exhausted and no stale entry was in radius.
+    pub degraded_rerenders: u64,
+    /// Workers taken out of rotation after a crash.
+    pub quarantines: u64,
+    /// Quarantined workers returned to rotation (every quarantine ends).
+    pub respawns: u64,
+    /// Fault-affected deadline overruns the per-frame watchdog converted
+    /// into grants (within the recovery policy's slack) instead of leaving
+    /// as silent misses.
+    pub watchdog_grants: u64,
+    /// Fault-affected deadline overruns beyond the watchdog slack — the
+    /// frames counted against [`availability`](Self::availability).
+    pub unrecovered: u64,
+    /// Simulated seconds spent recovering: failed partial attempts plus
+    /// backoff waits, summed over all retries.
+    pub time_to_recover_s: f64,
+    /// `1 − unrecovered / frames`: the fraction of served frames that were
+    /// not fault-lost beyond the watchdog slack. `1.0` when nothing fired.
+    pub availability: f64,
+    /// Every fallback-warp recovery, in commit order.
+    pub fallbacks: Vec<FallbackRecord>,
+}
+
+impl Default for FaultReport {
+    fn default() -> Self {
+        FaultReport {
+            worker_crashes: 0,
+            stragglers: 0,
+            cache_corruptions: 0,
+            pose_stalls: 0,
+            pose_drops: 0,
+            retries: 0,
+            fallback_warps: 0,
+            fallback_warp_frames: 0,
+            degraded_rerenders: 0,
+            quarantines: 0,
+            respawns: 0,
+            watchdog_grants: 0,
+            unrecovered: 0,
+            time_to_recover_s: 0.0,
+            availability: 1.0,
+            fallbacks: Vec::new(),
+        }
+    }
+}
+
+impl FaultReport {
+    /// Total injected faults, all kinds.
+    pub fn injected(&self) -> u64 {
+        self.worker_crashes
+            + self.stragglers
+            + self.cache_corruptions
+            + self.pose_stalls
+            + self.pose_drops
+    }
+
+    /// Total recovery actions: retries, fallback warps, degraded re-renders
+    /// and watchdog grants.
+    pub fn recoveries(&self) -> u64 {
+        self.retries + self.fallback_warps + self.degraded_rerenders + self.watchdog_grants
+    }
+}
+
+/// The armed injector one [`crate::FrameServer`] carries: the plan plus the
+/// running [`FaultReport`]. Decisions ([`fires`](Self::fires)) are pure; all
+/// accounting is mutated by the scheduler at its sequential seams, so the
+/// report is bit-identical at any host thread budget.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    pub(crate) report: FaultReport,
+}
+
+impl FaultInjector {
+    /// Arms `plan` with zeroed accounting.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            plan,
+            report: FaultReport::default(),
+        }
+    }
+
+    /// The armed plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Keyed decision draw — see [`FaultPlan::fires`].
+    pub fn fires(&self, kind: FaultKind, a: u64, b: u64, c: u64) -> bool {
+        self.plan.fires(kind, a, b, c)
+    }
+
+    /// The accounting accumulated so far.
+    pub fn report(&self) -> &FaultReport {
+        &self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_are_keyed_and_idempotent() {
+        let plan = FaultPlan::seeded(42);
+        for kind in [
+            FaultKind::WorkerCrash,
+            FaultKind::Straggler,
+            FaultKind::CacheCorruption,
+            FaultKind::PoseStall,
+            FaultKind::PoseDrop,
+        ] {
+            for key in 0..64u64 {
+                let first = plan.fires(kind, key, key / 3, key % 5);
+                for _ in 0..3 {
+                    assert_eq!(first, plan.fires(kind, key, key / 3, key % 5));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rate_never_fires_and_unit_rate_always_fires() {
+        let zero = FaultPlan::zero(7);
+        let mut one = FaultPlan::with_rate(7, 1.0);
+        one.drop_rate = 1.0;
+        for a in 0..256u64 {
+            for kind in [
+                FaultKind::WorkerCrash,
+                FaultKind::Straggler,
+                FaultKind::CacheCorruption,
+                FaultKind::PoseStall,
+                FaultKind::PoseDrop,
+            ] {
+                assert!(!zero.fires(kind, a, 1, 2));
+                assert!(one.fires(kind, a, 1, 2));
+            }
+        }
+    }
+
+    #[test]
+    fn rate_is_roughly_respected() {
+        let plan = FaultPlan::with_rate(1234, 0.1);
+        let fired = (0..10_000u64)
+            .filter(|&a| plan.fires(FaultKind::WorkerCrash, a, 0, 0))
+            .count();
+        assert!(
+            (700..1300).contains(&fired),
+            "10% rate fired {fired}/10000 times"
+        );
+    }
+
+    #[test]
+    fn seeds_decorrelate_and_kinds_domain_separate() {
+        let a = FaultPlan::with_rate(1, 0.5);
+        let b = FaultPlan::with_rate(2, 0.5);
+        let mut differs_by_seed = false;
+        let mut differs_by_kind = false;
+        for key in 0..256u64 {
+            differs_by_seed |= a.fires(FaultKind::WorkerCrash, key, 0, 0)
+                != b.fires(FaultKind::WorkerCrash, key, 0, 0);
+            differs_by_kind |= a.fires(FaultKind::WorkerCrash, key, 0, 0)
+                != a.fires(FaultKind::Straggler, key, 0, 0);
+        }
+        assert!(differs_by_seed, "seeds must change the schedule");
+        assert!(differs_by_kind, "kinds must draw independently");
+    }
+
+    #[test]
+    fn empty_report_is_default_and_fully_available() {
+        let r = FaultReport::default();
+        assert_eq!(r.injected(), 0);
+        assert_eq!(r.recoveries(), 0);
+        assert_eq!(r.availability, 1.0);
+        assert_eq!(FaultInjector::new(FaultPlan::zero(0)).report(), &r);
+    }
+}

@@ -18,8 +18,12 @@
 //!   single-client warping-window overlap (Fig. 10/11b),
 //! - [`cache`] — a pose-quantized [`RefCache`] so co-located sessions in the
 //!   same scene share warp sources,
+//! - [`fault`] — seeded, fully deterministic fault injection
+//!   ([`FaultPlan`]) with a recovery ladder
+//!   ([`policy::RecoveryPolicy`]): retry with backoff, warp from the best
+//!   stale cached reference, degraded re-render,
 //! - [`report`] — [`ServiceReport`]: throughput, p50/p99 frame latency,
-//!   deadline misses, per-session PSNR.
+//!   deadline misses, per-session PSNR, fault/recovery accounting.
 //!
 //! # Example
 //!
@@ -53,6 +57,8 @@
 
 pub mod admission;
 pub mod cache;
+pub mod error;
+pub mod fault;
 pub mod policy;
 pub mod report;
 pub mod scheduler;
@@ -60,10 +66,12 @@ pub mod session;
 
 pub use admission::{AdmissionController, AdmissionError, AdmissionPolicy};
 pub use cache::{CachedReference, RefCache, RefCacheConfig, RefCacheStats};
+pub use error::ServeError;
+pub use fault::{FallbackRecord, FaultInjector, FaultKind, FaultPlan, FaultReport};
 pub use policy::{
     Degradation, IdleWorkerPrefetch, JobKind, LeastLoaded, LoadAdaptiveDegrade, NoPrefetch,
     PlacementJob, PlacementPolicy, Policies, PrefetchPolicy, QosAdmission, QosPolicy,
-    RejectAtAdmission, SceneAffinity,
+    RecoveryPolicy, RejectAtAdmission, RetryWithBackoff, SceneAffinity,
 };
 pub use report::{DegradationRecord, FrameRecord, ServiceReport, SessionSummary};
 pub use scheduler::{FrameServer, ServeConfig};

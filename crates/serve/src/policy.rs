@@ -360,6 +360,116 @@ impl PrefetchPolicy for IdleWorkerPrefetch {
 }
 
 // ---------------------------------------------------------------------------
+// Recovery
+// ---------------------------------------------------------------------------
+
+/// How the server recovers from injected (or, eventually, real) faults —
+/// the policy side of [`crate::fault`].
+///
+/// The recovery **ladder** for a failed reference render, gentlest first:
+///
+/// 1. retry on a fresh worker after [`backoff_s`](Self::backoff_s), up to
+///    [`max_attempts`](Self::max_attempts) total attempts (the crashed
+///    worker is quarantined for [`quarantine_s`](Self::quarantine_s));
+/// 2. warp from the **best stale cached reference** within the pose-error
+///    radius ([`stale_pos_radius`](Self::stale_pos_radius) /
+///    [`stale_rot_radius`](Self::stale_rot_radius)) — Cicero's warping math
+///    tolerates bounded pose error, which makes stale references a valid
+///    degraded warp source exactly the way `LoadAdaptiveDegrade` makes
+///    stretched windows a valid degraded schedule;
+/// 3. a final guaranteed (degraded) re-render when nothing is in radius.
+///
+/// Target frames retry without rungs 2–3 (their pixels exist host-side; a
+/// crash only costs simulated time), and a per-frame **watchdog** converts
+/// fault-caused deadline overruns within
+/// [`watchdog_slack_s`](Self::watchdog_slack_s) into accounted grants
+/// instead of silent misses.
+///
+/// Implementations obey the same determinism contract as every other policy
+/// here: decisions are pure functions of the inputs handed over — never
+/// wall-clock, host parallelism or ambient state.
+pub trait RecoveryPolicy: fmt::Debug + Send + Sync {
+    /// Total render attempts (including the first) before falling back.
+    fn max_attempts(&self) -> u32;
+
+    /// Deterministic backoff before retry number `attempt` (1-based, the
+    /// attempt that just failed), given the job's priced duration.
+    fn backoff_s(&self, attempt: u32, base_duration_s: f64) -> f64;
+
+    /// Largest position error (world units) a stale reference may have from
+    /// the intended pose and still serve as a fallback warp source.
+    fn stale_pos_radius(&self) -> f32;
+
+    /// Largest rotation error (radians) a stale fallback reference may have.
+    fn stale_rot_radius(&self) -> f32;
+
+    /// How long a crashed worker stays out of rotation, given the failed
+    /// job's priced duration.
+    fn quarantine_s(&self, base_duration_s: f64) -> f64;
+
+    /// Deadline slack within which the watchdog converts a fault-affected
+    /// overrun into a grant, given the session's frame interval.
+    fn watchdog_slack_s(&self, frame_interval_s: f64) -> f64;
+}
+
+/// Default recovery: bounded retries with exponential backoff, then the
+/// stale-warp / degraded-re-render ladder.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryWithBackoff {
+    /// Total attempts including the first.
+    pub max_attempts: u32,
+    /// Backoff = `base_duration · factor · 2^(attempt−1)`.
+    pub backoff_factor: f64,
+    /// Stale-fallback position radius, world units.
+    pub stale_pos_radius: f32,
+    /// Stale-fallback rotation radius, radians.
+    pub stale_rot_radius: f32,
+    /// Quarantine = `base_duration · quarantine_factor`.
+    pub quarantine_factor: f64,
+    /// Watchdog slack in frame intervals past the deadline.
+    pub watchdog_slack_frames: f64,
+}
+
+impl Default for RetryWithBackoff {
+    fn default() -> Self {
+        RetryWithBackoff {
+            max_attempts: 3,
+            backoff_factor: 0.5,
+            stale_pos_radius: 0.75,
+            stale_rot_radius: 0.6,
+            quarantine_factor: 4.0,
+            watchdog_slack_frames: 8.0,
+        }
+    }
+}
+
+impl RecoveryPolicy for RetryWithBackoff {
+    fn max_attempts(&self) -> u32 {
+        self.max_attempts
+    }
+
+    fn backoff_s(&self, attempt: u32, base_duration_s: f64) -> f64 {
+        base_duration_s * self.backoff_factor * f64::from(1u32 << (attempt - 1).min(16))
+    }
+
+    fn stale_pos_radius(&self) -> f32 {
+        self.stale_pos_radius
+    }
+
+    fn stale_rot_radius(&self) -> f32 {
+        self.stale_rot_radius
+    }
+
+    fn quarantine_s(&self, base_duration_s: f64) -> f64 {
+        base_duration_s * self.quarantine_factor
+    }
+
+    fn watchdog_slack_s(&self, frame_interval_s: f64) -> f64 {
+        frame_interval_s * self.watchdog_slack_frames
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Bundle
 // ---------------------------------------------------------------------------
 
@@ -374,6 +484,10 @@ pub struct Policies {
     pub qos: Arc<dyn QosPolicy>,
     /// Speculative reference rendering.
     pub prefetch: Arc<dyn PrefetchPolicy>,
+    /// Fault recovery (retry / fallback / watchdog). Only consulted when
+    /// [`ServeConfig::faults`](crate::ServeConfig::faults) arms an injector,
+    /// so swapping it is a no-op on fault-free runs.
+    pub recovery: Arc<dyn RecoveryPolicy>,
 }
 
 impl Default for Policies {
@@ -382,6 +496,7 @@ impl Default for Policies {
             placement: Arc::new(LeastLoaded),
             qos: Arc::new(RejectAtAdmission),
             prefetch: Arc::new(NoPrefetch),
+            recovery: Arc::new(RetryWithBackoff::default()),
         }
     }
 }
@@ -416,6 +531,12 @@ impl Policies {
     /// Replaces the prefetch policy.
     pub fn with_prefetch(mut self, p: impl PrefetchPolicy + 'static) -> Self {
         self.prefetch = Arc::new(p);
+        self
+    }
+
+    /// Replaces the recovery policy.
+    pub fn with_recovery(mut self, r: impl RecoveryPolicy + 'static) -> Self {
+        self.recovery = Arc::new(r);
         self
     }
 }
@@ -544,5 +665,17 @@ mod tests {
         assert_eq!(p.budget(9, &pool), 0);
         assert_eq!(p.extra_horizon(6), 6);
         assert_eq!(NoPrefetch.budget(0, &pool), 0);
+    }
+
+    #[test]
+    fn retry_backoff_is_deterministic_and_monotonic() {
+        let r = RetryWithBackoff::default();
+        assert!(r.max_attempts() >= 1);
+        assert!(r.backoff_s(1, 0.1) > 0.0);
+        assert!(r.backoff_s(1, 0.1) < r.backoff_s(2, 0.1));
+        assert_eq!(r.backoff_s(2, 0.1), r.backoff_s(2, 0.1));
+        assert!(r.quarantine_s(0.1) > 0.0);
+        assert!(r.watchdog_slack_s(1.0 / 30.0) > 0.0);
+        assert!(r.stale_pos_radius() > 0.0 && r.stale_rot_radius() > 0.0);
     }
 }

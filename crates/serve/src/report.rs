@@ -2,6 +2,7 @@
 //! per-session quality, QoS degradations and prefetch economics.
 
 use crate::cache::RefCacheStats;
+use crate::fault::FaultReport;
 use crate::policy::Degradation;
 use crate::session::{QosClass, SessionId};
 use serde::Serialize;
@@ -114,6 +115,11 @@ pub struct ServiceReport {
     pub pool_utilization: f64,
     /// Workers in the pool.
     pub workers: usize,
+    /// Fault-injection and recovery accounting. Exactly
+    /// [`FaultReport::default()`] (all zero, availability `1.0`) on a server
+    /// without an armed [`FaultPlan`](crate::FaultPlan) — or with one that
+    /// never fired.
+    pub faults: FaultReport,
 }
 
 impl ServiceReport {

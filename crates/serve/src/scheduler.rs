@@ -44,7 +44,11 @@
 
 use crate::admission::{AdmissionController, AdmissionError, AdmissionPolicy};
 use crate::cache::{CacheKey, CachedReference, RefCache, RefCacheConfig};
-use crate::policy::{JobKind, PlacementJob, PlacementPolicy, Policies, QosAdmission};
+use crate::error::ServeError;
+use crate::fault::{FallbackRecord, FaultInjector, FaultKind, FaultPlan, FaultReport};
+use crate::policy::{
+    JobKind, PlacementJob, PlacementPolicy, Policies, QosAdmission, RecoveryPolicy,
+};
 use crate::report::{percentile, DegradationRecord, FrameRecord, ServiceReport, SessionSummary};
 use crate::session::{ServeSession, SessionId, SessionManager, SessionSpec};
 use cicero::pipeline::{PipelineSession, SessionStep};
@@ -91,6 +95,11 @@ pub struct ServeConfig {
     /// for. Wall-clock only: frames, statistics and the whole service
     /// report are bit-identical at any value.
     pub render_threads: usize,
+    /// Arms deterministic fault injection (see [`crate::fault`]). `None`
+    /// serves fault-free; a plan whose rates are all zero is byte-identical
+    /// to `None`. Faults and recoveries obey the same determinism contract
+    /// as everything else: bit-identical reports at any host thread budget.
+    pub faults: Option<FaultPlan>,
 }
 
 /// Runs `work` over every entry, fanning out across up to `drivers`
@@ -126,6 +135,7 @@ pub struct FrameServer<'a> {
     cache: RefCache,
     admission: AdmissionController,
     sessions: SessionManager<'a>,
+    injector: Option<FaultInjector>,
     reference_jobs: u64,
     prefetch_jobs: u64,
     degradations: Vec<DegradationRecord>,
@@ -144,6 +154,7 @@ impl<'a> FrameServer<'a> {
                 cfg.pool.soc.remote.speedup_over_mobile,
             ),
             sessions: SessionManager::new(),
+            injector: cfg.faults.map(FaultInjector::new),
             reference_jobs: 0,
             prefetch_jobs: 0,
             degradations: Vec::new(),
@@ -246,6 +257,9 @@ impl<'a> FrameServer<'a> {
             pipe,
             frame_interval_s: 1.0 / fps,
             ref_ready: vec![None; n_refs],
+            ref_faulted: vec![false; n_refs],
+            ingest_delay: Vec::new(),
+            pose_pushes: 0,
             psnrs: Vec::new(),
             cache_hits: 0,
             deadline_misses: 0,
@@ -272,7 +286,7 @@ impl<'a> FrameServer<'a> {
         model: &'a dyn NerfModel,
         traj: &'a Trajectory,
         intrinsics: Intrinsics,
-    ) -> Result<SessionId, AdmissionError> {
+    ) -> Result<SessionId, ServeError> {
         let fps = traj.fps() as f64;
         assert!(fps > 0.0, "trajectory fps must be positive");
         let adm = self.admit(spec, intrinsics, fps)?;
@@ -299,7 +313,7 @@ impl<'a> FrameServer<'a> {
         model: &'a dyn NerfModel,
         fps: f32,
         intrinsics: Intrinsics,
-    ) -> Result<SessionId, AdmissionError> {
+    ) -> Result<SessionId, ServeError> {
         assert!(fps > 0.0, "stream fps must be positive");
         let adm = self.admit(spec, intrinsics, fps as f64)?;
         let pipe =
@@ -307,23 +321,47 @@ impl<'a> FrameServer<'a> {
         Ok(self.install_session(adm, fps as f64, pipe))
     }
 
-    /// Feeds one pose to a streaming session.
+    /// Feeds one pose to a streaming session. Errors for whole-trajectory
+    /// sessions, closed streams, or unknown ids.
     ///
-    /// # Panics
-    ///
-    /// Panics for whole-trajectory sessions, closed streams, or unknown ids.
-    pub fn push_pose(&mut self, id: SessionId, pose: Pose) {
-        self.sessions.push_pose(id, pose);
+    /// With an armed [`FaultPlan`](ServeConfig::faults) the pose may be
+    /// injected-dropped (lost in flight — the session serves one fewer
+    /// frame; still `Ok`) or stalled (delivered, but shifting the session's
+    /// later arrivals and deadlines by the accumulated delay).
+    pub fn push_pose(&mut self, id: SessionId, pose: Pose) -> Result<(), ServeError> {
+        let sess = self.sessions.streaming_mut(id, false)?;
+        if let Some(inj) = &mut self.injector {
+            let attempt = sess.pose_pushes;
+            sess.pose_pushes += 1;
+            if inj.fires(FaultKind::PoseDrop, sess.id as u64, attempt, 0) {
+                inj.report.pose_drops += 1;
+                telemetry::instant(telemetry::Phase::FaultInject, sess.id as u64, attempt);
+                telemetry::add(telemetry::Counter::FaultsInjected, 1);
+                return Ok(());
+            }
+            let stall_s = if inj.fires(FaultKind::PoseStall, sess.id as u64, attempt, 0) {
+                inj.report.pose_stalls += 1;
+                telemetry::instant(telemetry::Phase::FaultInject, sess.id as u64, attempt);
+                telemetry::add(telemetry::Counter::FaultsInjected, 1);
+                inj.plan().stall_s
+            } else {
+                0.0
+            };
+            sess.note_ingest_delay(stall_s);
+        }
+        sess.pipe.push_pose(pose);
+        sess.sync_ref_slots();
+        Ok(())
     }
 
     /// Closes a streaming session's pose feed (idempotent). The session
-    /// drains fully on the next [`run`](Self::run).
-    ///
-    /// # Panics
-    ///
-    /// Panics for whole-trajectory sessions or unknown ids.
-    pub fn close_stream(&mut self, id: SessionId) {
-        self.sessions.close_stream(id);
+    /// drains fully on the next [`run`](Self::run). Errors for
+    /// whole-trajectory sessions or unknown ids.
+    pub fn close_stream(&mut self, id: SessionId) -> Result<(), ServeError> {
+        let sess = self.sessions.streaming_mut(id, true)?;
+        sess.pipe.close_stream();
+        sess.sync_ref_slots();
+        Ok(())
     }
 
     /// Simulated duration of a reference render priced on `soc` — the worker
@@ -345,21 +383,124 @@ impl<'a> FrameServer<'a> {
     /// publish to the cache **only** — the owning session's later demand
     /// lookup then scores an ordinary, accounted hit, which keeps prefetch
     /// economics visible in the report.
+    ///
+    /// With an armed injector each attempt may crash (partial bill +
+    /// quarantine) and the `recovery` ladder takes over: deterministic
+    /// backoff retries, then — for demand renders out of attempts — warping
+    /// from the best stale cached reference within the policy's pose-error
+    /// radius, then a final guaranteed degraded re-render. Crashed prefetch
+    /// renders are simply abandoned: speculation is not worth chasing.
     #[allow(clippy::too_many_arguments)]
     fn commit_reference(
         placement: &dyn PlacementPolicy,
         pool: &mut WorkerPool,
         cache: &mut RefCache,
         reference_jobs: &mut u64,
+        mut injector: Option<&mut FaultInjector>,
+        recovery: &dyn RecoveryPolicy,
         sess: &mut ServeSession<'_>,
         kind: JobKind,
         r: usize,
         pose: Pose,
-        dispatch_at: f64,
+        mut dispatch_at: f64,
         frame: Frame,
         workload: FrameWorkload,
     ) {
         let frame = Arc::new(frame);
+        let domain: u64 = if kind == JobKind::Prefetch { 2 } else { 0 };
+        let mut attempt: u64 = 1;
+        let mut faulted = false;
+        // Crash ladder: each attempt draws independently on its keyed
+        // (session, reference, attempt | domain) triple.
+        while let Some(inj) = injector.as_deref_mut() {
+            if !inj.fires(
+                FaultKind::WorkerCrash,
+                sess.id as u64,
+                r as u64,
+                (attempt << 2) | domain,
+            ) {
+                break;
+            }
+            faulted = true;
+            let worker = placement.place(
+                &PlacementJob {
+                    kind,
+                    session: sess.id,
+                    scene_key: &sess.spec.scene_key,
+                    ready_at_s: dispatch_at,
+                },
+                pool,
+            );
+            let duration = Self::reference_duration(sess, &pool.workers()[worker].soc, &workload);
+            // The crashed attempt bills its partial progress, then the worker
+            // sits out its respawn window.
+            let failed = pool.assign(worker, dispatch_at, duration * inj.plan().crash_fraction);
+            pool.quarantine(worker, failed.end_s + recovery.quarantine_s(duration));
+            inj.report.worker_crashes += 1;
+            inj.report.quarantines += 1;
+            inj.report.respawns += 1;
+            telemetry::instant(telemetry::Phase::FaultInject, sess.id as u64, r as u64);
+            telemetry::add(telemetry::Counter::FaultsInjected, 1);
+            telemetry::instant(telemetry::Phase::Quarantine, worker as u64, 0);
+            telemetry::add(telemetry::Counter::Quarantines, 1);
+            if kind == JobKind::Prefetch {
+                // Abandon the speculation: the dispatched job is still
+                // accounted, but nothing is published.
+                *reference_jobs += 1;
+                return;
+            }
+            if attempt < u64::from(recovery.max_attempts()) {
+                let backoff = recovery.backoff_s(attempt as u32, duration);
+                inj.report.retries += 1;
+                inj.report.time_to_recover_s += (failed.end_s - dispatch_at) + backoff;
+                telemetry::instant(telemetry::Phase::FaultRetry, sess.id as u64, r as u64);
+                telemetry::add(telemetry::Counter::FaultRetries, 1);
+                dispatch_at = failed.end_s + backoff;
+                attempt += 1;
+                continue;
+            }
+            // Out of attempts — rung two: warp from the best stale cached
+            // reference within the policy's pose-error radius. Cicero's
+            // warping tolerates bounded pose error, so a nearby stale entry
+            // is a valid degraded warp source; installing it under its *own*
+            // pose keeps the warp geometry consistent.
+            if let Some(hit) = cache.best_within(
+                &sess.cache_key,
+                sess.pipe.intrinsics(),
+                &pose,
+                recovery.stale_pos_radius(),
+                recovery.stale_rot_radius(),
+            ) {
+                let frames = sess.pipe.reference_consumers(r);
+                inj.report.fallback_warps += 1;
+                inj.report.fallback_warp_frames += frames as u64;
+                inj.report.time_to_recover_s += failed.end_s - dispatch_at;
+                inj.report.fallbacks.push(FallbackRecord {
+                    session: sess.id,
+                    ref_index: r,
+                    pos_error: (hit.pose.position - pose.position).length(),
+                    rot_error: hit.pose.rotation.angle_to(pose.rotation),
+                    frames,
+                });
+                telemetry::instant(telemetry::Phase::FaultFallback, sess.id as u64, r as u64);
+                telemetry::add(telemetry::Counter::FaultFallbacks, 1);
+                telemetry::observe(telemetry::Hist::RetryAttempts, attempt - 1);
+                sess.pipe
+                    .install_reference(r, hit.pose, hit.frame.clone(), hit.workload.clone());
+                sess.ref_ready[r] = Some(failed.end_s.max(hit.available_at_s));
+                sess.ref_faulted[r] = true;
+                *reference_jobs += 1;
+                return;
+            }
+            // Rung three: nothing in radius — one final guaranteed
+            // (degraded) re-render, committed normally below.
+            inj.report.degraded_rerenders += 1;
+            inj.report.time_to_recover_s += failed.end_s - dispatch_at;
+            telemetry::instant(telemetry::Phase::FaultFallback, sess.id as u64, r as u64);
+            telemetry::add(telemetry::Counter::FaultFallbacks, 1);
+            dispatch_at = failed.end_s;
+            break;
+        }
         let worker = placement.place(
             &PlacementJob {
                 kind,
@@ -369,7 +510,19 @@ impl<'a> FrameServer<'a> {
             },
             pool,
         );
-        let duration = Self::reference_duration(sess, &pool.workers()[worker].soc, &workload);
+        let mut duration = Self::reference_duration(sess, &pool.workers()[worker].soc, &workload);
+        if let Some(inj) = injector {
+            if inj.fires(FaultKind::Straggler, sess.id as u64, r as u64, domain) {
+                duration *= inj.plan().straggler_factor;
+                inj.report.stragglers += 1;
+                faulted = true;
+                telemetry::instant(telemetry::Phase::FaultInject, sess.id as u64, r as u64);
+                telemetry::add(telemetry::Counter::FaultsInjected, 1);
+            }
+            if attempt > 1 {
+                telemetry::observe(telemetry::Hist::RetryAttempts, attempt - 1);
+            }
+        }
         let span = pool.assign(worker, dispatch_at, duration);
         telemetry::sim_span(
             telemetry::Phase::ServeReference,
@@ -392,6 +545,9 @@ impl<'a> FrameServer<'a> {
             cache.insert(&sess.cache_key, sess.pipe.intrinsics(), cached);
             sess.pipe.install_reference(r, pose, frame, workload);
             sess.ref_ready[r] = Some(span.end_s);
+            if faulted {
+                sess.ref_faulted[r] = true;
+            }
         }
         *reference_jobs += 1;
     }
@@ -440,7 +596,21 @@ impl<'a> FrameServer<'a> {
                 }) {
                     deferred.push((sess.id, r));
                     requested.insert((sess.id, r));
-                } else if let Some(hit) = self.cache.lookup(&sess.cache_key, intrinsics, &pose) {
+                    continue;
+                }
+                // Corruption is detected at demand lookup: the resident entry
+                // is invalidated and the ordinary miss path below renders a
+                // fresh replacement.
+                if let Some(inj) = &mut self.injector {
+                    if inj.fires(FaultKind::CacheCorruption, sess.id as u64, r as u64, 0)
+                        && self.cache.invalidate(&sess.cache_key, intrinsics, &pose)
+                    {
+                        inj.report.cache_corruptions += 1;
+                        telemetry::instant(telemetry::Phase::FaultInject, sess.id as u64, r as u64);
+                        telemetry::add(telemetry::Counter::FaultsInjected, 1);
+                    }
+                }
+                if let Some(hit) = self.cache.lookup(&sess.cache_key, intrinsics, &pose) {
                     sess.pipe.install_reference(
                         r,
                         hit.pose,
@@ -536,6 +706,7 @@ impl<'a> FrameServer<'a> {
         // Commit: deterministic plan order, then resolve the deferred
         // same-batch sharers against the now-published entries.
         let placement = self.cfg.policies.placement.clone();
+        let recovery = self.cfg.policies.recovery.clone();
         for job in jobs {
             let job = job.into_inner().unwrap();
             let (frame, workload) = job.rendered.expect("job was rendered");
@@ -548,6 +719,8 @@ impl<'a> FrameServer<'a> {
                 &mut self.pool,
                 &mut self.cache,
                 &mut self.reference_jobs,
+                self.injector.as_mut(),
+                recovery.as_ref(),
                 &mut self.sessions[job.sess],
                 job.kind,
                 job.r,
@@ -582,6 +755,8 @@ impl<'a> FrameServer<'a> {
                         &mut self.pool,
                         &mut self.cache,
                         &mut self.reference_jobs,
+                        self.injector.as_mut(),
+                        recovery.as_ref(),
                         &mut self.sessions[id],
                         JobKind::Reference,
                         r,
@@ -627,6 +802,7 @@ impl<'a> FrameServer<'a> {
     pub fn run(&mut self) -> ServiceReport {
         let budget = self.cfg.render_threads;
         let placement = self.cfg.policies.placement.clone();
+        let recovery = self.cfg.policies.recovery.clone();
         let eps = 0.5
             * self
                 .sessions
@@ -721,25 +897,112 @@ impl<'a> FrameServer<'a> {
             for entry in entries {
                 let (sess, stepped) = entry.into_inner().unwrap();
                 let st = stepped.expect("every batch entry stepped");
+                let mut ready = st.ready_s;
+                // A frame is fault-affected if its own job faults below or
+                // its warp source was fault-delayed — only those frames are
+                // eligible for watchdog accounting.
+                let mut affected = matches!(
+                    st.plan,
+                    Some(FramePlan::Warp { ref_index }) if sess.ref_faulted[ref_index]
+                );
+                if let Some(inj) = self.injector.as_mut() {
+                    // Target frames retry in place: their pixels exist
+                    // host-side, a crash only costs simulated time, and the
+                    // final attempt always succeeds (no fallback rungs).
+                    let mut attempt: u64 = 1;
+                    while attempt < u64::from(recovery.max_attempts())
+                        && inj.fires(
+                            FaultKind::WorkerCrash,
+                            sess.id as u64,
+                            st.frame_index as u64,
+                            (attempt << 2) | 1,
+                        )
+                    {
+                        affected = true;
+                        let worker = placement.place(
+                            &PlacementJob {
+                                kind: JobKind::Target,
+                                session: sess.id,
+                                scene_key: &sess.spec.scene_key,
+                                ready_at_s: ready,
+                            },
+                            &self.pool,
+                        );
+                        let duration = sess
+                            .pipe
+                            .service_time_on(&self.pool.workers()[worker].soc, &st.step);
+                        let failed =
+                            self.pool
+                                .assign(worker, ready, duration * inj.plan().crash_fraction);
+                        self.pool
+                            .quarantine(worker, failed.end_s + recovery.quarantine_s(duration));
+                        let backoff = recovery.backoff_s(attempt as u32, duration);
+                        inj.report.worker_crashes += 1;
+                        inj.report.quarantines += 1;
+                        inj.report.respawns += 1;
+                        inj.report.retries += 1;
+                        inj.report.time_to_recover_s += (failed.end_s - ready) + backoff;
+                        telemetry::instant(
+                            telemetry::Phase::FaultInject,
+                            sess.id as u64,
+                            st.frame_index as u64,
+                        );
+                        telemetry::add(telemetry::Counter::FaultsInjected, 1);
+                        telemetry::instant(telemetry::Phase::Quarantine, worker as u64, 0);
+                        telemetry::add(telemetry::Counter::Quarantines, 1);
+                        telemetry::instant(
+                            telemetry::Phase::FaultRetry,
+                            sess.id as u64,
+                            st.frame_index as u64,
+                        );
+                        telemetry::add(telemetry::Counter::FaultRetries, 1);
+                        ready = failed.end_s + backoff;
+                        attempt += 1;
+                    }
+                    if attempt > 1 {
+                        telemetry::observe(telemetry::Hist::RetryAttempts, attempt - 1);
+                    }
+                }
                 let worker = placement.place(
                     &PlacementJob {
                         kind: JobKind::Target,
                         session: sess.id,
                         scene_key: &sess.spec.scene_key,
-                        ready_at_s: st.ready_s,
+                        ready_at_s: ready,
                     },
                     &self.pool,
                 );
-                let duration = sess
+                let mut duration = sess
                     .pipe
                     .service_time_on(&self.pool.workers()[worker].soc, &st.step);
-                let span = self.pool.assign(worker, st.ready_s, duration);
+                if let Some(inj) = self.injector.as_mut() {
+                    if inj.fires(
+                        FaultKind::Straggler,
+                        sess.id as u64,
+                        st.frame_index as u64,
+                        1,
+                    ) {
+                        duration *= inj.plan().straggler_factor;
+                        inj.report.stragglers += 1;
+                        affected = true;
+                        telemetry::instant(
+                            telemetry::Phase::FaultInject,
+                            sess.id as u64,
+                            st.frame_index as u64,
+                        );
+                        telemetry::add(telemetry::Counter::FaultsInjected, 1);
+                    }
+                }
+                let span = self.pool.assign(worker, ready, duration);
                 // In-stream reference renders publish their availability —
                 // to the session itself and, like off-stream references, to
                 // the shared cache so co-located sessions reaching the same
                 // pose later skip the render.
                 if let Some(FramePlan::FullRender { ref_index }) = st.plan {
                     sess.ref_ready[ref_index] = Some(span.end_s);
+                    if affected {
+                        sess.ref_faulted[ref_index] = true;
+                    }
                     if let Some(workload) = sess.pipe.reference_workload().cloned() {
                         let frame = sess
                             .pipe
@@ -779,6 +1042,28 @@ impl<'a> FrameServer<'a> {
                 };
                 if record.missed_deadline() {
                     sess.deadline_misses += 1;
+                    // The watchdog converts fault-caused overruns into
+                    // accounted grants (within the policy's slack) instead
+                    // of silent misses; beyond the slack the frame counts
+                    // against availability. Deadline-miss statistics are
+                    // untouched either way — grants are accounting, not
+                    // forgiveness.
+                    if affected {
+                        if let Some(inj) = self.injector.as_mut() {
+                            let slack = recovery.watchdog_slack_s(sess.frame_interval_s);
+                            if record.completion_s <= record.deadline_s + slack {
+                                inj.report.watchdog_grants += 1;
+                                telemetry::instant(
+                                    telemetry::Phase::WatchdogGrant,
+                                    sess.id as u64,
+                                    st.frame_index as u64,
+                                );
+                                telemetry::add(telemetry::Counter::WatchdogGrants, 1);
+                            } else {
+                                inj.report.unrecovered += 1;
+                            }
+                        }
+                    }
                 }
                 sess.latencies.push(record.latency_s());
                 sess.record_outcome(&st.step.outcome);
@@ -813,6 +1098,18 @@ impl<'a> FrameServer<'a> {
     fn finish_report(&self) -> ServiceReport {
         let records = self.records.clone();
         let frames = records.len();
+        let faults = match &self.injector {
+            Some(inj) => {
+                let mut f = inj.report.clone();
+                f.availability = if frames > 0 {
+                    1.0 - f.unrecovered as f64 / frames as f64
+                } else {
+                    1.0
+                };
+                f
+            }
+            None => FaultReport::default(),
+        };
         let makespan_s = records.iter().map(|r| r.completion_s).fold(0.0, f64::max);
         let mut latencies: Vec<f64> = records.iter().map(FrameRecord::latency_s).collect();
         let deadline_misses = records.iter().filter(|r| r.missed_deadline()).count() as u64;
@@ -859,6 +1156,7 @@ impl<'a> FrameServer<'a> {
             workers: self.pool.len(),
             sessions,
             records,
+            faults,
         }
     }
 }

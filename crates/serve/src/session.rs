@@ -1,9 +1,9 @@
 //! Client sessions: what a tenant asks the frame server to render, and the
 //! [`SessionManager`] that owns the admitted fleet.
 
+use crate::error::ServeError;
 use cicero::pipeline::{PipelineConfig, PipelineSession};
 use cicero::FrameOutcome;
-use cicero_math::Pose;
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
@@ -98,6 +98,18 @@ pub(crate) struct ServeSession<'a> {
     /// Simulated availability time of each reference slot; `None` until the
     /// reference has been scheduled (or produced in-stream).
     pub(crate) ref_ready: Vec<Option<f64>>,
+    /// Whether the reference slot's availability was fault-delayed (crash,
+    /// straggler or fallback recovery); frames warping from a tainted slot
+    /// are eligible for watchdog grants. Always all-`false` without an armed
+    /// injector.
+    pub(crate) ref_faulted: Vec<bool>,
+    /// Cumulative pose-ingest delay at each delivered pose (injected stream
+    /// stalls). Empty — adding exactly nothing to arrivals — without an
+    /// armed injector.
+    pub(crate) ingest_delay: Vec<f64>,
+    /// Stream pose-push attempts seen so far (delivered or dropped): the
+    /// deterministic key for stall/drop draws.
+    pub(crate) pose_pushes: u64,
     /// Per-frame quality samples, for the session summary.
     pub(crate) psnrs: Vec<f64>,
     pub(crate) cache_hits: u64,
@@ -114,9 +126,23 @@ pub(crate) struct ServeSession<'a> {
 
 impl<'a> ServeSession<'a> {
     /// Arrival time of frame `i`: the client expects one frame per interval
-    /// starting at its connection offset.
+    /// starting at its connection offset, shifted by any injected
+    /// pose-stream stall delay accumulated up to that pose (deadlines shift
+    /// with arrivals, so a stalled stream is late, not doomed).
     pub(crate) fn arrival_s(&self, i: usize) -> f64 {
-        self.spec.start_offset_s + i as f64 * self.frame_interval_s
+        let base = self.spec.start_offset_s + i as f64 * self.frame_interval_s;
+        match self.ingest_delay.get(i).or(self.ingest_delay.last()) {
+            Some(d) => base + d,
+            None => base,
+        }
+    }
+
+    /// Records one delivered streamed pose's ingest delay (`0.0` when the
+    /// armed injector did not stall it), keeping the cumulative-delay ledger
+    /// parallel to the delivered poses.
+    pub(crate) fn note_ingest_delay(&mut self, stall_s: f64) {
+        let total = self.ingest_delay.last().copied().unwrap_or(0.0) + stall_s;
+        self.ingest_delay.push(total);
     }
 
     /// Grows the reference-availability ledger to match the pipeline's
@@ -125,6 +151,7 @@ impl<'a> ServeSession<'a> {
         let n = self.pipe.reference_count();
         if n > self.ref_ready.len() {
             self.ref_ready.resize(n, None);
+            self.ref_faulted.resize(n, false);
         }
     }
 
@@ -184,19 +211,25 @@ impl<'a> SessionManager<'a> {
         self.sessions.iter_mut()
     }
 
-    /// Feeds one pose to a streaming session (panics for whole-trajectory
-    /// sessions, mirroring `PipelineSession::push_pose`).
-    pub(crate) fn push_pose(&mut self, id: SessionId, pose: Pose) {
-        let sess = &mut self.sessions[id];
-        sess.pipe.push_pose(pose);
-        sess.sync_ref_slots();
-    }
-
-    /// Closes a streaming session's pose feed, flushing its final window.
-    pub(crate) fn close_stream(&mut self, id: SessionId) {
-        let sess = &mut self.sessions[id];
-        sess.pipe.close_stream();
-        sess.sync_ref_slots();
+    /// The streaming session `id`, validated for pose ingestion: the id must
+    /// be known, the session streaming, and (unless `allow_closed`, for the
+    /// idempotent close) its feed still open.
+    pub(crate) fn streaming_mut(
+        &mut self,
+        id: SessionId,
+        allow_closed: bool,
+    ) -> Result<&mut ServeSession<'a>, ServeError> {
+        let sess = self
+            .sessions
+            .get_mut(id)
+            .ok_or(ServeError::UnknownSession { id })?;
+        if !sess.pipe.is_streaming() {
+            return Err(ServeError::NotStreaming { id });
+        }
+        if !allow_closed && sess.pipe.is_closed() {
+            return Err(ServeError::StreamClosed { id });
+        }
+        Ok(sess)
     }
 }
 

@@ -61,6 +61,19 @@ pub enum Phase {
     CacheMiss,
     /// Speculative (prefetch) insert into the reference cache.
     CachePrefetch,
+    // --- serve: fault injection & recovery ---
+    /// A fault fired (args: session, subject index, fault kind tag).
+    FaultInject,
+    /// A crashed job retried with deterministic backoff.
+    FaultRetry,
+    /// Recovery fell back past retries (args: session, reference,
+    /// 0 = stale-warp fallback, 1 = degraded re-render).
+    FaultFallback,
+    /// A worker was quarantined after a simulated crash.
+    Quarantine,
+    /// A watchdog grant: a fault-affected deadline overrun forgiven within
+    /// the policy's slack.
+    WatchdogGrant,
 }
 
 impl Phase {
@@ -91,6 +104,11 @@ impl Phase {
             Phase::CacheHit => "cache_hit",
             Phase::CacheMiss => "cache_miss",
             Phase::CachePrefetch => "cache_prefetch",
+            Phase::FaultInject => "fault_inject",
+            Phase::FaultRetry => "fault_retry",
+            Phase::FaultFallback => "fault_fallback",
+            Phase::Quarantine => "quarantine",
+            Phase::WatchdogGrant => "watchdog_grant",
         }
     }
 
@@ -120,7 +138,12 @@ impl Phase {
             | Phase::Degrade
             | Phase::CacheHit
             | Phase::CacheMiss
-            | Phase::CachePrefetch => "serve",
+            | Phase::CachePrefetch
+            | Phase::FaultInject
+            | Phase::FaultRetry
+            | Phase::FaultFallback
+            | Phase::Quarantine
+            | Phase::WatchdogGrant => "serve",
         }
     }
 
@@ -138,12 +161,17 @@ impl Phase {
             Phase::PoolPass => ["lanes", "b", "c"],
             Phase::RenderTile => ["tile", "rows", "c"],
             Phase::Plan | Phase::Gather | Phase::MlpBlock | Phase::Decode => ["samples", "b", "c"],
+            Phase::FaultInject => ["session", "subject", "kind"],
+            Phase::FaultRetry => ["session", "subject", "attempt"],
+            Phase::FaultFallback => ["session", "reference", "rung"],
+            Phase::Quarantine => ["worker", "b", "c"],
+            Phase::WatchdogGrant => ["session", "frame", "c"],
             _ => ["a", "b", "c"],
         }
     }
 
     pub(crate) fn from_u8(v: u8) -> Option<Phase> {
-        const ALL: [Phase; 24] = [
+        const ALL: [Phase; 29] = [
             Phase::Plan,
             Phase::Gather,
             Phase::MlpBlock,
@@ -168,6 +196,11 @@ impl Phase {
             Phase::CacheHit,
             Phase::CacheMiss,
             Phase::CachePrefetch,
+            Phase::FaultInject,
+            Phase::FaultRetry,
+            Phase::FaultFallback,
+            Phase::Quarantine,
+            Phase::WatchdogGrant,
         ];
         ALL.get(v as usize).copied()
     }
@@ -209,11 +242,21 @@ pub enum Counter {
     CacheMisses,
     /// Speculative inserts into the reference cache.
     CachePrefetchInserts,
+    /// Faults injected (all kinds).
+    FaultsInjected,
+    /// Retries performed after simulated crashes.
+    FaultRetries,
+    /// Recoveries past retries (stale-warp fallbacks + degraded re-renders).
+    FaultFallbacks,
+    /// Worker quarantines after simulated crashes.
+    Quarantines,
+    /// Watchdog grants for fault-affected deadline overruns.
+    WatchdogGrants,
 }
 
 impl Counter {
     /// Number of counters (sizes the recorder's fixed array).
-    pub const COUNT: usize = 16;
+    pub const COUNT: usize = 21;
 
     /// Prometheus series name (without the `cicero_` prefix / `_total`
     /// suffix).
@@ -235,6 +278,11 @@ impl Counter {
             Counter::CacheHits => "cache_hits",
             Counter::CacheMisses => "cache_misses",
             Counter::CachePrefetchInserts => "cache_prefetch_inserts",
+            Counter::FaultsInjected => "faults_injected",
+            Counter::FaultRetries => "fault_retries",
+            Counter::FaultFallbacks => "fault_fallbacks",
+            Counter::Quarantines => "quarantines",
+            Counter::WatchdogGrants => "watchdog_grants",
         }
     }
 
@@ -256,6 +304,11 @@ impl Counter {
             Counter::CacheHits,
             Counter::CacheMisses,
             Counter::CachePrefetchInserts,
+            Counter::FaultsInjected,
+            Counter::FaultRetries,
+            Counter::FaultFallbacks,
+            Counter::Quarantines,
+            Counter::WatchdogGrants,
         ];
         ALL.get(v).copied()
     }
@@ -278,11 +331,14 @@ pub enum Hist {
     PoolLanesGranted,
     /// Ready-batch size (jobs per dispatch) in the serving loop.
     ServeBatchJobs,
+    /// Extra attempts a crashed job needed before recovery (observed only
+    /// when at least one retry happened).
+    RetryAttempts,
 }
 
 impl Hist {
     /// Number of histograms (sizes the recorder's fixed array).
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 7;
 
     /// Prometheus series name (without the `cicero_` prefix).
     pub fn name(self) -> &'static str {
@@ -293,6 +349,7 @@ impl Hist {
             Hist::PoolIdleAtCheckout => "pool_idle_at_checkout",
             Hist::PoolLanesGranted => "pool_lanes_granted",
             Hist::ServeBatchJobs => "serve_batch_jobs",
+            Hist::RetryAttempts => "retry_attempts",
         }
     }
 
@@ -304,6 +361,7 @@ impl Hist {
             Hist::PoolIdleAtCheckout,
             Hist::PoolLanesGranted,
             Hist::ServeBatchJobs,
+            Hist::RetryAttempts,
         ];
         ALL.get(v).copied()
     }

@@ -8,6 +8,7 @@
 //!
 //! ```text
 //! cargo run --release --example serve_swarm [-- THREADS] [--policy P] [--stream]
+//!                                           [--faults SEED] [--fault-rate R]
 //!                                           [--trace T.json] [--metrics M.prom]
 //!                                           [--report-json R.json]
 //! ```
@@ -25,6 +26,12 @@
 //! - `--stream` feeds every session pose-by-pose through the streaming
 //!   ingestion API instead of whole trajectories — the digest must not
 //!   change, which CI also diffs.
+//! - `--faults <seed>` arms deterministic fault injection (worker crashes,
+//!   stragglers, cache corruption; with `--stream` also pose stalls/drops)
+//!   at the standard rate mix; `--fault-rate <r>` overrides the per-decision
+//!   rate (`0` must be byte-identical to an un-armed run — CI diffs that
+//!   too). Chaos digests (`fault_digest…:` lines) are deterministic at any
+//!   thread budget, exactly like the fault-free ones.
 //! - `--trace <path>` / `--metrics <path>` enable the telemetry recorder and
 //!   write a chrome-trace JSON (load in Perfetto / `chrome://tracing`) and a
 //!   Prometheus text snapshot at exit. Telemetry is observe-only: the digest
@@ -40,7 +47,9 @@ use cicero_field::{bake, GridConfig, GridModel};
 use cicero_math::Intrinsics;
 use cicero_scene::volume::MarchParams;
 use cicero_scene::{library, AnalyticScene, Trajectory};
-use cicero_serve::{FrameServer, Policies, QosClass, ServeConfig, ServiceReport, SessionSpec};
+use cicero_serve::{
+    FaultPlan, FrameServer, Policies, QosClass, ServeConfig, ServiceReport, SessionSpec,
+};
 use cicero_telemetry as telemetry;
 
 const SCENES: [&str; 4] = ["lego", "chair", "ship", "hotdog"];
@@ -60,9 +69,22 @@ struct Args {
     render_threads: usize,
     policy: String,
     stream: bool,
+    fault_seed: Option<u64>,
+    fault_rate: Option<f64>,
     trace: Option<String>,
     metrics: Option<String>,
     report_json: Option<String>,
+}
+
+impl Args {
+    /// The armed fault plan, if any: `--faults <seed>` at the standard rate
+    /// mix, scaled by `--fault-rate` when given.
+    fn fault_plan(&self) -> Option<FaultPlan> {
+        self.fault_seed.map(|seed| match self.fault_rate {
+            Some(rate) => FaultPlan::with_rate(seed, rate),
+            None => FaultPlan::seeded(seed),
+        })
+    }
 }
 
 fn parse_args() -> Args {
@@ -70,6 +92,8 @@ fn parse_args() -> Args {
         render_threads: 0,
         policy: "default".into(),
         stream: false,
+        fault_seed: None,
+        fault_rate: None,
         trace: None,
         metrics: None,
         report_json: None,
@@ -84,6 +108,22 @@ fn parse_args() -> Args {
                     .expect("--policy takes <default|affinity|degrade|prefetch|all>");
             }
             "--stream" => args.stream = true,
+            "--faults" => {
+                args.fault_seed = Some(
+                    it.next()
+                        .expect("--faults takes a seed")
+                        .parse()
+                        .expect("--faults seed must be a number"),
+                );
+            }
+            "--fault-rate" => {
+                args.fault_rate = Some(
+                    it.next()
+                        .expect("--fault-rate takes a rate in [0,1]")
+                        .parse()
+                        .expect("--fault-rate must be a number"),
+                );
+            }
             "--trace" => args.trace = Some(it.next().expect("--trace takes a path")),
             "--metrics" => args.metrics = Some(it.next().expect("--metrics takes a path")),
             "--report-json" => {
@@ -92,12 +132,16 @@ fn parse_args() -> Args {
             other => {
                 assert!(
                     threads.is_none(),
-                    "usage: serve_swarm [THREADS] [--policy P] [--stream] [--trace T] [--metrics M] [--report-json R]"
+                    "usage: serve_swarm [THREADS] [--policy P] [--stream] [--faults SEED] [--fault-rate R] [--trace T] [--metrics M] [--report-json R]"
                 );
                 threads = Some(other.parse().expect("THREADS must be a number"));
             }
         }
     }
+    assert!(
+        args.fault_rate.is_none() || args.fault_seed.is_some(),
+        "--fault-rate requires --faults <seed>"
+    );
     args.render_threads = threads
         .unwrap_or_else(cicero_field::env_render_threads)
         .max(1);
@@ -121,6 +165,7 @@ fn run_swarm(
     policy: &str,
     render_threads: usize,
     stream: bool,
+    faults: Option<FaultPlan>,
 ) -> SwarmRun {
     let mut server = FrameServer::new(ServeConfig {
         pool: PoolConfig {
@@ -129,6 +174,7 @@ fn run_swarm(
         },
         render_threads,
         policies: policies_for(policy),
+        faults,
         ..Default::default()
     });
 
@@ -175,9 +221,9 @@ fn run_swarm(
                     .submit_stream(spec, &a.scene, &a.model, traj.fps(), k)
                     .expect("swarm session admitted");
                 for pose in traj.poses() {
-                    server.push_pose(id, *pose);
+                    server.push_pose(id, *pose).expect("streamed pose");
                 }
-                server.close_stream(id);
+                server.close_stream(id).expect("stream closed");
             } else {
                 server
                     .submit(spec, &a.scene, &a.model, traj, k)
@@ -247,7 +293,7 @@ fn psnr_sum(report: &ServiceReport) -> f64 {
         .sum()
 }
 
-fn print_run(policy: &str, run: &SwarmRun, verbose: bool, render_threads: usize) {
+fn print_run(policy: &str, run: &SwarmRun, verbose: bool, render_threads: usize, armed: bool) {
     let report = &run.report;
     if verbose {
         println!("\nper-session summary:");
@@ -305,6 +351,21 @@ fn print_run(policy: &str, run: &SwarmRun, verbose: bool, render_threads: usize)
             d.name
         );
     }
+    if armed {
+        let f = &report.faults;
+        println!(
+            "  faults                    {} injected ({} crashes, {} stragglers, {} corruptions, {} stalls, {} drops)",
+            f.injected(), f.worker_crashes, f.stragglers, f.cache_corruptions, f.pose_stalls, f.pose_drops
+        );
+        println!(
+            "  recoveries                {} ({} retries, {} fallback warps, {} degraded re-renders, {} watchdog grants)",
+            f.recoveries(), f.retries, f.fallback_warps, f.degraded_rerenders, f.watchdog_grants
+        );
+        println!(
+            "  availability              {:.4} ({} unrecovered of {} frames, {:.3} s recovering)",
+            f.availability, f.unrecovered, report.frames, f.time_to_recover_s
+        );
+    }
     println!(
         "  pool                      {} workers at {:.0}% utilization",
         report.workers,
@@ -340,6 +401,29 @@ fn print_run(policy: &str, run: &SwarmRun, verbose: bool, render_threads: usize)
         total_hits(report),
         psnr_sum(report)
     );
+    // The chaos leg gets its own digest: same determinism contract, printed
+    // only when an injector is armed so fault-free output stays byte-stable.
+    if armed {
+        let f = &report.faults;
+        println!(
+            "fault_digest{suffix}: injected={} crashes={} stragglers={} corruptions={} stalls={} drops={} retries={} fallback_warps={} fallback_frames={} degraded_rerenders={} quarantines={} watchdog_grants={} unrecovered={} ttr={:.9} availability={:.6}",
+            f.injected(),
+            f.worker_crashes,
+            f.stragglers,
+            f.cache_corruptions,
+            f.pose_stalls,
+            f.pose_drops,
+            f.retries,
+            f.fallback_warps,
+            f.fallback_warp_frames,
+            f.degraded_rerenders,
+            f.quarantines,
+            f.watchdog_grants,
+            f.unrecovered,
+            f.time_to_recover_s,
+            f.availability,
+        );
+    }
 }
 
 fn main() {
@@ -353,9 +437,10 @@ fn main() {
         "all" => vec!["default", "affinity", "degrade", "prefetch"],
         one => vec![one],
     };
+    let faults = args.fault_plan();
     println!("==========================================================");
     println!(
-        "serve_swarm: {} sessions over {} scenes, {} render thread(s), policies {:?}{}",
+        "serve_swarm: {} sessions over {} scenes, {} render thread(s), policies {:?}{}{}",
         SCENES.len() * VIEWERS_PER_SCENE,
         SCENES.len(),
         args.render_threads,
@@ -364,6 +449,10 @@ fn main() {
             ", streaming ingestion"
         } else {
             ""
+        },
+        match &faults {
+            Some(p) => format!(", faults seed {} rate {}", p.seed, p.crash_rate),
+            None => String::new(),
         }
     );
     println!("==========================================================");
@@ -393,22 +482,37 @@ fn main() {
 
     let mut runs: Vec<(&str, SwarmRun)> = Vec::new();
     for (i, policy) in policies.iter().enumerate() {
-        let run = run_swarm(&assets, policy, args.render_threads, args.stream);
+        let run = run_swarm(&assets, policy, args.render_threads, args.stream, faults);
         assert!(run.sessions >= 24, "swarm must run at least 24 sessions");
         assert!(
             total_hits(&run.report) >= 1,
             "expected at least one cross-session cache hit"
         );
         assert!(run.report.throughput_fps > 0.0);
-        print_run(policy, &run, i == 0, args.render_threads);
+        if faults.is_some() && args.fault_rate.is_none() {
+            // Acceptance at the standard chaos rate: faults actually fired,
+            // the recovery ladder engaged, and the fleet stayed available.
+            let f = &run.report.faults;
+            assert!(f.injected() > 0, "[{policy}] armed plan never fired");
+            assert!(f.recoveries() > 0, "[{policy}] no recovery engaged");
+            assert!(
+                f.availability >= 0.99,
+                "[{policy}] availability {} < 0.99",
+                f.availability
+            );
+        }
+        print_run(policy, &run, i == 0, args.render_threads, faults.is_some());
         runs.push((policy, run));
     }
 
     // Cross-policy acceptance checks (only meaningful with several runs).
+    // Pixel- and hit-level equalities assume fault-free serving: injected
+    // crashes and corruptions legitimately move reference economics, so the
+    // chaos leg keeps only the admission-shape checks.
     if let Some((_, default)) = runs.iter().find(|(p, _)| *p == "default") {
         for (policy, run) in &runs {
             match *policy {
-                "prefetch" => {
+                "prefetch" if faults.is_none() => {
                     // Speculation must strictly add cache hits…
                     assert!(
                         total_hits(&run.report) > total_hits(&default.report),

@@ -108,9 +108,9 @@ fn streamed_sessions_report_identically_to_whole_trajectories() {
                         .submit_stream(spec, &scene, &model, traj.fps(), k)
                         .unwrap();
                     for pose in traj.poses() {
-                        server.push_pose(id, *pose);
+                        server.push_pose(id, *pose).unwrap();
                     }
-                    server.close_stream(id);
+                    server.close_stream(id).unwrap();
                 } else {
                     server.submit(spec, &scene, &model, &traj, k).unwrap();
                 }
@@ -157,12 +157,12 @@ fn interleaved_push_and_run_drains_incrementally_and_deterministically() {
         // Feed in three uneven chunks with a drain after each.
         for chunk in [&traj.poses()[0..3], &traj.poses()[3..4], &traj.poses()[4..]] {
             for pose in chunk {
-                server.push_pose(id, *pose);
+                server.push_pose(id, *pose).unwrap();
             }
             let report = server.run();
             frames_after.push(report.frames);
         }
-        server.close_stream(id);
+        server.close_stream(id).unwrap();
         let report = server.run();
         (frames_after, report)
     };

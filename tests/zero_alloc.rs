@@ -417,4 +417,43 @@ fn warmed_sample_loop_performs_zero_heap_allocations() {
     }
     telemetry::disable();
     assert!(!telemetry::is_enabled());
+
+    // ---- Armed fault injection (ISSUE 7) ----
+    //
+    // Fault decisions are keyed hashes over stack bytes: an armed
+    // [`FaultPlan`] consulted at every scheduler seam must add zero heap
+    // allocations per warmed frame. A dense sweep over every fault kind —
+    // far more draws than any real frame performs — must leave the
+    // allocation counter untouched.
+    {
+        use cicero_serve::{FaultKind, FaultPlan};
+        let plan = FaultPlan::seeded(7);
+        let kinds = [
+            FaultKind::WorkerCrash,
+            FaultKind::Straggler,
+            FaultKind::CacheCorruption,
+            FaultKind::PoseStall,
+            FaultKind::PoseDrop,
+        ];
+        // Warm-up (nothing to warm — draws own no state — but keep the
+        // measurement shape identical to the other legs).
+        let mut fired = 0u64;
+        for kind in kinds {
+            fired += u64::from(plan.fires(kind, 1, 2, 3));
+        }
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        for kind in kinds {
+            for a in 0..256u64 {
+                fired += u64::from(std::hint::black_box(plan.fires(kind, a, a / 3, a % 5)));
+            }
+        }
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        assert_eq!(
+            after - before,
+            0,
+            "armed fault draws allocated {} times",
+            after - before
+        );
+        assert!(std::hint::black_box(fired) > 0, "seeded plan never fired");
+    }
 }
