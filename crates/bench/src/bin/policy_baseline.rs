@@ -28,12 +28,20 @@ use cicero_field::{bake, GridConfig, GridModel};
 use cicero_math::Intrinsics;
 use cicero_scene::volume::MarchParams;
 use cicero_scene::{library, AnalyticScene, Trajectory};
-use cicero_serve::{FaultPlan, FrameServer, Policies, QosClass, ServeConfig, SessionSpec};
+use cicero_serve::{
+    FaultPlan, Fleet, FleetConfig, FrameServer, Policies, QosClass, ServeConfig, SessionSpec,
+};
 use std::time::Instant;
+
+/// The shard-kill rate of the fleet chaos leg: high enough that the seeded
+/// plan reliably kills shards mid-drain (the figure under test is failover,
+/// not the no-op path), low enough that survivors remain to adopt.
+const SHARD_KILL_RATE: f64 = 0.45;
 
 struct Args {
     out: String,
     faults_out: String,
+    fleet_out: String,
     fault_seed: u64,
     frames: usize,
     threads: usize,
@@ -43,6 +51,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         out: "results/bench_serve_policies.json".into(),
         faults_out: "results/bench_serve_faults.json".into(),
+        fleet_out: "results/bench_fleet.json".into(),
         fault_seed: 42,
         frames: 10,
         threads: 4,
@@ -56,12 +65,13 @@ fn parse_args() -> Args {
         match flag.as_str() {
             "--out" => args.out = value(),
             "--faults-out" => args.faults_out = value(),
+            "--fleet-out" => args.fleet_out = value(),
             "--fault-seed" => args.fault_seed = value().parse().expect("--fault-seed takes a u64"),
             "--frames" => args.frames = value().parse().expect("--frames takes a count"),
             "--threads" => args.threads = value().parse().expect("--threads takes a count"),
             other => panic!(
                 "unknown flag {other} \
-                 (expected --out/--faults-out/--fault-seed/--frames/--threads)"
+                 (expected --out/--faults-out/--fleet-out/--fault-seed/--frames/--threads)"
             ),
         }
     }
@@ -272,6 +282,140 @@ fn run_policy(
     run
 }
 
+struct FleetRun {
+    shards: usize,
+    frames: usize,
+    throughput_fps: f64,
+    p50_s: f64,
+    p99_s: f64,
+    deadline_miss_rate: f64,
+    availability: f64,
+    shard_crashes: u64,
+    shard_brownouts: u64,
+    heartbeat_misses: u64,
+    migrations: usize,
+    resumed: usize,
+    lost_sessions: u64,
+    lost_frames: u64,
+    mean_time_to_resume_s: f64,
+    wall_s: f64,
+}
+
+/// One fleet drain under the shard-kill plan: the same mixed-QoS fleet (no
+/// flood — admission economics are the policy legs' subject), default
+/// policies, `shards` fault domains. The recorded figures are what a
+/// deployment actually buys with extra shards: availability and migration
+/// time-to-resume under shard loss.
+fn run_fleet(shards: usize, assets: &[SceneAssets], args: &Args, plan: FaultPlan) -> FleetRun {
+    let mut fleet = Fleet::new(FleetConfig {
+        shards,
+        base: ServeConfig {
+            pool: PoolConfig {
+                workers: 4,
+                ..Default::default()
+            },
+            render_threads: args.threads,
+            policies: policies_for("default"),
+            faults: Some(plan),
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    for (si, a) in assets.iter().enumerate() {
+        for v in 0..4usize {
+            let (qos, scenario, traj): (QosClass, Scenario, &Trajectory) = match v {
+                0 => (QosClass::Interactive, Scenario::Local, &a.handheld),
+                1 | 2 => (QosClass::Standard, Scenario::Local, &a.orbit),
+                _ => (QosClass::BestEffort, Scenario::Remote, &a.orbit),
+            };
+            let spec = SessionSpec {
+                name: format!("{}-{v}", a.name),
+                scene_key: a.name.to_string(),
+                qos,
+                start_offset_s: si as f64 * 0.002 + v as f64 * 0.005,
+                config: PipelineConfig {
+                    variant: if v % 2 == 0 {
+                        Variant::Cicero
+                    } else {
+                        Variant::SparwFs
+                    },
+                    scenario,
+                    window: 4,
+                    march: MarchParams {
+                        step: 0.04,
+                        ..Default::default()
+                    },
+                    collect_quality: false,
+                    collect_traffic: false,
+                    ..Default::default()
+                },
+            };
+            fleet
+                .submit(
+                    spec,
+                    &a.scene,
+                    &a.model,
+                    traj,
+                    Intrinsics::from_fov(32, 32, 0.9),
+                )
+                .expect("fleet session admitted");
+        }
+    }
+    let wall = Instant::now();
+    let report = fleet.run();
+    let wall_s = wall.elapsed().as_secs_f64();
+    let resumed = report
+        .migrations
+        .iter()
+        .filter(|m| m.resumed_s >= 0.0)
+        .count();
+    let mean_ttr = if resumed > 0 {
+        report
+            .migrations
+            .iter()
+            .filter(|m| m.time_to_resume_s >= 0.0)
+            .map(|m| m.time_to_resume_s)
+            .sum::<f64>()
+            / resumed as f64
+    } else {
+        0.0
+    };
+    let run = FleetRun {
+        shards,
+        frames: report.frames,
+        throughput_fps: report.throughput_fps,
+        p50_s: report.p50_latency_s,
+        p99_s: report.p99_latency_s,
+        deadline_miss_rate: report.deadline_miss_rate,
+        availability: report.availability,
+        shard_crashes: report.shard_crashes,
+        shard_brownouts: report.shard_brownouts,
+        heartbeat_misses: report.heartbeat_misses,
+        migrations: report.migrations.len(),
+        resumed,
+        lost_sessions: report.lost_sessions,
+        lost_frames: report.lost_frames,
+        mean_time_to_resume_s: mean_ttr,
+        wall_s,
+    };
+    println!(
+        "  {:>2} shard(s): {:>3} frames, p99 {:>7.3} ms, {} crashes, {} brownouts, \
+         {} migrations ({} resumed, mean ttr {:.3} ms), {} lost, availability {:.4}, wall {:.2} s",
+        run.shards,
+        run.frames,
+        run.p99_s * 1e3,
+        run.shard_crashes,
+        run.shard_brownouts,
+        run.migrations,
+        run.resumed,
+        run.mean_time_to_resume_s * 1e3,
+        run.lost_sessions,
+        run.availability,
+        run.wall_s
+    );
+    run
+}
+
 fn main() {
     let args = parse_args();
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -419,4 +563,78 @@ fn main() {
     }
     std::fs::write(&args.faults_out, &json).expect("write chaos baseline");
     println!("wrote {}", args.faults_out);
+
+    // The fleet chaos leg: the same workload behind 1/2/4 shard fault
+    // domains under a shard-kill plan. One shard means shard loss is fleet
+    // loss (availability takes the hit); with survivors, failover migration
+    // keeps sessions serving and the time-to-resume is the price paid.
+    println!(
+        "fleet leg: seed {}, shard-kill rate {}",
+        args.fault_seed, SHARD_KILL_RATE
+    );
+    let mut plan = FaultPlan::seeded(args.fault_seed);
+    plan.shard_crash_rate = SHARD_KILL_RATE;
+    plan.shard_brownout_rate = FaultPlan::DEFAULT_RATE;
+    let fleets: Vec<FleetRun> = [1usize, 2, 4]
+        .into_iter()
+        .map(|shards| run_fleet(shards, &assets, &args, plan))
+        .collect();
+    // The kill plan must actually exercise failover somewhere in the sweep,
+    // and no multi-shard fleet may lose a session while a survivor stood by.
+    assert!(
+        fleets.iter().any(|f| f.shard_crashes > 0),
+        "shard-kill plan never killed a shard"
+    );
+    assert!(
+        fleets
+            .iter()
+            .all(|f| f.shards == 1 || f.lost_sessions == 0 || f.shard_crashes as usize >= f.shards),
+        "sessions lost despite surviving shards"
+    );
+    let entries: Vec<String> = fleets
+        .iter()
+        .map(|f| {
+            format!(
+                "    {{ \"shards\": {}, \"frames\": {}, \"throughput_fps\": {:.3}, \
+                 \"p50_latency_s\": {:.9}, \"p99_latency_s\": {:.9}, \"deadline_miss_rate\": {:.6}, \
+                 \"availability\": {:.6}, \"shard_crashes\": {}, \"shard_brownouts\": {}, \
+                 \"heartbeat_misses\": {}, \"migrations\": {}, \"resumed\": {}, \
+                 \"lost_sessions\": {}, \"lost_frames\": {}, \"mean_time_to_resume_s\": {:.9}, \
+                 \"wall_s\": {:.6} }}",
+                f.shards,
+                f.frames,
+                f.throughput_fps,
+                f.p50_s,
+                f.p99_s,
+                f.deadline_miss_rate,
+                f.availability,
+                f.shard_crashes,
+                f.shard_brownouts,
+                f.heartbeat_misses,
+                f.migrations,
+                f.resumed,
+                f.lost_sessions,
+                f.lost_frames,
+                f.mean_time_to_resume_s,
+                f.wall_s
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"serve_fleet\",\n  \"schema_version\": 2,\n  \"fault_seed\": {},\n  \
+         \"shard_kill_rate\": {},\n  \"shard_brownout_rate\": {},\n  \"frames_per_session\": {},\n  \
+         \"host_threads\": {},\n  \"host_cores\": {},\n  \"fleets\": [\n{}\n  ]\n}}\n",
+        args.fault_seed,
+        SHARD_KILL_RATE,
+        FaultPlan::DEFAULT_RATE,
+        args.frames,
+        args.threads,
+        host_cores,
+        entries.join(",\n")
+    );
+    if let Some(dir) = std::path::Path::new(&args.fleet_out).parent() {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    std::fs::write(&args.fleet_out, &json).expect("write fleet baseline");
+    println!("wrote {}", args.fleet_out);
 }

@@ -152,6 +152,17 @@ impl AdmissionController {
         Ok(estimated_load)
     }
 
+    /// Commits `load` **without** a capacity or session-limit check — the
+    /// fleet failover path: a session adopted from a dead shard was already
+    /// admitted once, and dropping it to enforce this shard's bound would be
+    /// strictly worse than running temporarily hot. The committed ledger may
+    /// exceed [`capacity`](Self::capacity) afterwards, which correctly
+    /// pushes back on *future* ordinary admissions.
+    pub fn force_commit(&mut self, load: f64) {
+        self.committed_load += load;
+        self.admitted += 1;
+    }
+
     /// Releases a drained session's committed load so its slot and capacity
     /// become available to future submissions.
     pub fn release(&mut self, load: f64) {

@@ -519,4 +519,45 @@ mod tests {
         // Counter-free, like peek.
         assert_eq!(c.stats().hits + c.stats().misses, 0);
     }
+
+    #[test]
+    fn best_within_on_an_empty_cache_is_none() {
+        let c = RefCache::new(RefCacheConfig::default());
+        let k = Intrinsics::from_fov(8, 8, 0.9);
+        assert!(c
+            .best_within("s", k, &pose(0.0), f32::MAX, f32::MAX)
+            .is_none());
+        assert_eq!(c.stats().hits + c.stats().misses, 0);
+    }
+
+    #[test]
+    fn best_within_breaks_exact_ties_by_key_order() {
+        // Two entries mirrored about the probe with *identical* rotations:
+        // position and rotation errors are bitwise equal, so only the final
+        // quantized-key tie-break can decide — and it must decide the same
+        // way regardless of insertion order (the fleet's failover warmth
+        // probe feeds routing, so a flapping winner would flap placement).
+        let probe = pose(0.0);
+        let mirrored = |x: f32| {
+            let mut p = probe;
+            p.position = cicero_math::Vec3::new(x, 0.0, -3.0);
+            p
+        };
+        let k = Intrinsics::from_fov(8, 8, 0.9);
+        let winner = |first: f32, second: f32| {
+            let mut c = RefCache::new(RefCacheConfig::default());
+            c.insert("s", k, entry(mirrored(first)));
+            c.insert("s", k, entry(mirrored(second)));
+            c.best_within("s", k, &probe, 1.0, 1.0)
+                .expect("both mirrored entries are in radius")
+                .pose
+                .position
+        };
+        let a = winner(-0.5, 0.5);
+        let b = winner(0.5, -0.5);
+        assert_eq!(a, b, "tie winner must not depend on insertion order");
+        // Key order is the tiebreak: the lexicographically smaller quantized
+        // position (the −x entry) wins.
+        assert_eq!(a, mirrored(-0.5).position);
+    }
 }

@@ -40,6 +40,18 @@
 //!   frame arrivals (and deadlines) by the accumulated delay.
 //! - [`FaultKind::PoseDrop`] — a streamed pose is lost in flight; the
 //!   session simply serves one fewer frame.
+//! - [`FaultKind::ShardCrash`] — a whole [`Fleet`](crate::Fleet) shard
+//!   misses a heartbeat; [`miss_threshold`](crate::FleetConfig::miss_threshold)
+//!   consecutive misses declare the shard dead and its live sessions fail
+//!   over to survivors.
+//! - [`FaultKind::ShardBrownout`] — a shard's entire simulated pool stalls
+//!   for [`brownout_s`](FaultPlan::brownout_s) (thermal throttle, network
+//!   partition healing): the shard survives, its frames run late.
+//!
+//! The shard kinds are drawn by the fleet's health model, keyed
+//! `(shard, heartbeat index, 0)` against the **base** plan seed; the
+//! per-shard servers draw their worker/cache/pose faults against
+//! shard-decorrelated seeds so chaos is not mirrored across shards.
 //!
 //! [`ServiceReport`]: crate::ServiceReport
 
@@ -59,6 +71,10 @@ pub enum FaultKind {
     PoseStall,
     /// A streamed pose is lost in flight.
     PoseDrop,
+    /// A fleet shard misses a heartbeat (consecutive misses kill it).
+    ShardCrash,
+    /// A fleet shard's whole pool stalls for a bounded window.
+    ShardBrownout,
 }
 
 impl FaultKind {
@@ -70,6 +86,8 @@ impl FaultKind {
             FaultKind::CacheCorruption => "cache_corruption",
             FaultKind::PoseStall => "pose_stall",
             FaultKind::PoseDrop => "pose_drop",
+            FaultKind::ShardCrash => "shard_crash",
+            FaultKind::ShardBrownout => "shard_brownout",
         }
     }
 
@@ -81,6 +99,8 @@ impl FaultKind {
             FaultKind::CacheCorruption => 3,
             FaultKind::PoseStall => 4,
             FaultKind::PoseDrop => 5,
+            FaultKind::ShardCrash => 6,
+            FaultKind::ShardBrownout => 7,
         }
     }
 }
@@ -114,6 +134,14 @@ pub struct FaultPlan {
     pub stall_s: f64,
     /// Probability a streamed pose is dropped.
     pub drop_rate: f64,
+    /// Probability a fleet shard misses one heartbeat. Drawn by the fleet's
+    /// health model per `(shard, heartbeat)`; ignored by a bare
+    /// [`FrameServer`](crate::FrameServer).
+    pub shard_crash_rate: f64,
+    /// Probability a fleet shard browns out at a heartbeat.
+    pub shard_brownout_rate: f64,
+    /// Duration of an injected shard brownout, simulated seconds.
+    pub brownout_s: f64,
 }
 
 impl FaultPlan {
@@ -140,6 +168,9 @@ impl FaultPlan {
             stall_rate: rate,
             stall_s: 0.05,
             drop_rate: 0.25 * rate,
+            shard_crash_rate: rate,
+            shard_brownout_rate: rate,
+            brownout_s: 0.1,
         }
     }
 
@@ -149,6 +180,17 @@ impl FaultPlan {
         Self::with_rate(seed, 0.0)
     }
 
+    /// The plan a [`Fleet`](crate::Fleet) hands shard `shard`: identical
+    /// rates, seed decorrelated by the shard index so chaos is not mirrored
+    /// across shards. Shard 0 keeps the base seed **unchanged**, which is
+    /// what makes a fleet of one byte-identical to a bare server under the
+    /// same plan.
+    pub fn for_shard(&self, shard: usize) -> Self {
+        let mut plan = *self;
+        plan.seed = self.seed ^ (shard as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        plan
+    }
+
     fn rate_of(&self, kind: FaultKind) -> f64 {
         match kind {
             FaultKind::WorkerCrash => self.crash_rate,
@@ -156,6 +198,8 @@ impl FaultPlan {
             FaultKind::CacheCorruption => self.corruption_rate,
             FaultKind::PoseStall => self.stall_rate,
             FaultKind::PoseDrop => self.drop_rate,
+            FaultKind::ShardCrash => self.shard_crash_rate,
+            FaultKind::ShardBrownout => self.shard_brownout_rate,
         }
     }
 
@@ -345,16 +389,20 @@ impl FaultInjector {
 mod tests {
     use super::*;
 
+    const ALL_KINDS: [FaultKind; 7] = [
+        FaultKind::WorkerCrash,
+        FaultKind::Straggler,
+        FaultKind::CacheCorruption,
+        FaultKind::PoseStall,
+        FaultKind::PoseDrop,
+        FaultKind::ShardCrash,
+        FaultKind::ShardBrownout,
+    ];
+
     #[test]
     fn draws_are_keyed_and_idempotent() {
         let plan = FaultPlan::seeded(42);
-        for kind in [
-            FaultKind::WorkerCrash,
-            FaultKind::Straggler,
-            FaultKind::CacheCorruption,
-            FaultKind::PoseStall,
-            FaultKind::PoseDrop,
-        ] {
+        for kind in ALL_KINDS {
             for key in 0..64u64 {
                 let first = plan.fires(kind, key, key / 3, key % 5);
                 for _ in 0..3 {
@@ -370,13 +418,7 @@ mod tests {
         let mut one = FaultPlan::with_rate(7, 1.0);
         one.drop_rate = 1.0;
         for a in 0..256u64 {
-            for kind in [
-                FaultKind::WorkerCrash,
-                FaultKind::Straggler,
-                FaultKind::CacheCorruption,
-                FaultKind::PoseStall,
-                FaultKind::PoseDrop,
-            ] {
+            for kind in ALL_KINDS {
                 assert!(!zero.fires(kind, a, 1, 2));
                 assert!(one.fires(kind, a, 1, 2));
             }
@@ -409,6 +451,58 @@ mod tests {
         }
         assert!(differs_by_seed, "seeds must change the schedule");
         assert!(differs_by_kind, "kinds must draw independently");
+    }
+
+    #[test]
+    fn golden_draws_never_change_across_refactors() {
+        // Every recorded chaos digest (CI oracles, results/bench_serve_*.json,
+        // results/bench_fleet.json) depends on the exact keyed-draw schedule.
+        // This pins `fires()` for a fixed seed over a fixed key lattice: 32
+        // draws per kind, packed LSB-first into one u32 per kind in ALL_KINDS
+        // order. If a refactor changes any bit here it silently invalidates
+        // every recorded digest — fix the refactor, never the constants.
+        const GOLDEN: [u32; 7] = [
+            0x1131_1015,
+            0x0000_8020,
+            0x2090_2649,
+            0x1400_0c80,
+            0x0090_0000,
+            0x0314_c1d0,
+            0x2872_020e,
+        ];
+        let plan = FaultPlan::with_rate(42, 0.3);
+        let mut masks = [0u32; 7];
+        for (k, kind) in ALL_KINDS.iter().enumerate() {
+            for i in 0..32u64 {
+                let (a, b, c) = (i / 4, (i / 2) % 2, i % 2);
+                if plan.fires(*kind, a, b, c) {
+                    masks[k] |= 1 << i;
+                }
+            }
+        }
+        assert_eq!(
+            masks, GOLDEN,
+            "keyed draw schedule drifted: got {masks:#010x?}"
+        );
+    }
+
+    #[test]
+    fn shard_seed_derivation_keeps_shard_zero_and_decorrelates_the_rest() {
+        let base = FaultPlan::with_rate(42, 0.5);
+        assert_eq!(base.for_shard(0), base);
+        let s1 = base.for_shard(1);
+        let s2 = base.for_shard(2);
+        assert_ne!(s1.seed, base.seed);
+        assert_ne!(s1.seed, s2.seed);
+        // Rates are untouched — only the seed moves.
+        assert_eq!(s1.crash_rate, base.crash_rate);
+        assert_eq!(s1.shard_crash_rate, base.shard_crash_rate);
+        let mut differs = false;
+        for key in 0..256u64 {
+            differs |= base.fires(FaultKind::ShardCrash, key, 0, 0)
+                != s1.fires(FaultKind::ShardCrash, key, 0, 0);
+        }
+        assert!(differs, "shard seeds must change the schedule");
     }
 
     #[test]

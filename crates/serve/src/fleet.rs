@@ -1,0 +1,608 @@
+//! The fleet: N independent [`FrameServer`] shards behind one router, with
+//! shard-level fault domains, a health-checked failover path, and
+//! **bit-identical** session migration.
+//!
+//! # Why shards
+//!
+//! One [`FrameServer`] is one fault domain: a single simulated pool, cache
+//! and admission ledger. A deployment that must survive machine loss splits
+//! capacity into shards that fail independently — the serving analogue of
+//! the paper's multi-SoC scaling argument, applied to *availability* instead
+//! of throughput. The [`Fleet`] owns the shards, routes each session to one
+//! at admission (by scene hash or load; see
+//! [`ShardRoutingPolicy`](crate::policy::ShardRoutingPolicy)), and
+//! interleaves their scheduling rounds on one global simulated timeline.
+//!
+//! # Health model
+//!
+//! With an armed [`FaultPlan`](crate::FaultPlan), every shard is
+//! heartbeat-checked each [`FleetConfig::heartbeat_interval_s`] of simulated
+//! time. A heartbeat miss is a keyed idempotent draw —
+//! `fires(ShardCrash, shard, heartbeat index, 0)` against the **base** plan
+//! — so the health timeline is bit-identical at any host thread budget, like
+//! everything else in this crate. [`FleetConfig::miss_threshold`]
+//! *consecutive* misses declare the shard dead; a single missed beat
+//! (network blip) merely resets on the next healthy one.
+//! `fires(ShardBrownout, …)` instead stalls the shard's whole pool for
+//! [`brownout_s`](crate::FaultPlan::brownout_s): the shard survives, its
+//! frames run late. The per-shard servers draw their *own* worker/cache/pose
+//! faults against shard-decorrelated seeds
+//! ([`FaultPlan::for_shard`](crate::FaultPlan::for_shard)), so chaos is not
+//! mirrored across shards — while shard 0 keeps the base seed, which makes a
+//! fleet of one byte-identical to a bare server under the same plan.
+//!
+//! # Failover and migration determinism
+//!
+//! When a shard dies, its live sessions drain and resume on survivors. The
+//! contract is **bit-identity**: a migrated session replays its remaining
+//! schedule from its current position and produces exactly the frames it
+//! would have produced unmigrated. That holds because pixels depend only on
+//! the session's own pipeline state (which travels with it) — the
+//! destination shard changes *when* frames are served (a
+//! [`resume floor`](crate::session) at the failover time, new worker
+//! clocks), never *what* is rendered. The router may peek survivor cache
+//! warmth ([`RefCache::best_within`](crate::RefCache::best_within)) to pick
+//! the destination, but the peek only steers placement; nothing is
+//! installed.
+//!
+//! Sessions whose shard dies with **no** survivor are *lost*: their
+//! already-served frames stay in the dead shard's report, their unserved
+//! remainder counts against [`FleetReport::availability`].
+//!
+//! # One global timeline
+//!
+//! [`Fleet::run`] repeatedly picks the shard whose next batch is earliest
+//! (pre-dispatch readiness lower bound; ties to the lowest shard index),
+//! processes every heartbeat due at or before that time in
+//! `(time, shard)` order, then runs one scheduling round on the earliest
+//! alive shard. A shard therefore never serves a batch whose readiness
+//! estimate lies at or after its declared death; the actual batch may
+//! *complete* later (dispatch extends past the estimate), which is the
+//! usual crash-consistency window — frames in flight at the death instant
+//! were already irrevocably priced. Deterministic either way.
+
+use crate::error::ServeError;
+use crate::fault::{FaultKind, FaultPlan};
+use crate::policy::{RecoveryPolicy, SceneHashRouting, ShardCandidate, ShardRoutingPolicy};
+use crate::report::{percentile, FrameRecord, ServiceReport};
+use crate::scheduler::{FrameServer, ServeConfig};
+use crate::session::{SessionId, SessionSpec};
+use cicero_field::NerfModel;
+use cicero_math::{Intrinsics, Pose};
+use cicero_scene::{AnalyticScene, Trajectory};
+use cicero_telemetry as telemetry;
+use serde::Serialize;
+use std::sync::Arc;
+
+/// Fleet shape and health-model knobs.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of independent [`FrameServer`] shards (≥ 1).
+    pub shards: usize,
+    /// Per-shard server configuration. Every shard gets an identical copy,
+    /// except that an armed [`ServeConfig::faults`] plan is re-seeded per
+    /// shard via [`FaultPlan::for_shard`] (shard 0 unchanged).
+    pub base: ServeConfig,
+    /// Session→shard routing, at admission and failover.
+    pub routing: Arc<dyn ShardRoutingPolicy>,
+    /// Simulated seconds between health checks of each shard.
+    pub heartbeat_interval_s: f64,
+    /// Consecutive heartbeat misses that declare a shard dead.
+    pub miss_threshold: u32,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            shards: 1,
+            base: ServeConfig::default(),
+            routing: Arc::new(SceneHashRouting),
+            heartbeat_interval_s: 0.05,
+            miss_threshold: 2,
+        }
+    }
+}
+
+/// One failover migration: a session drained from a dead shard and resumed
+/// on a survivor.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MigrationRecord {
+    /// Fleet-level session id.
+    pub session: SessionId,
+    /// The session's human-readable name.
+    pub name: String,
+    /// The shard that died.
+    pub from_shard: usize,
+    /// The surviving shard that adopted the session.
+    pub to_shard: usize,
+    /// Simulated time the source shard was declared dead.
+    pub at_s: f64,
+    /// Completion time of the session's first frame on the destination, or
+    /// `-1.0` if it never served there (starved stream, or the destination
+    /// died too).
+    pub resumed_s: f64,
+    /// `resumed_s - at_s`, or `-1.0` if the session never resumed.
+    pub time_to_resume_s: f64,
+}
+
+/// The fleet-wide service report: per-shard [`ServiceReport`]s plus
+/// aggregates and the failover ledger. Bit-identical at any host thread
+/// budget, like the per-shard reports it is built from.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FleetReport {
+    /// Per-shard reports, in shard order (dead shards included — their
+    /// records end at the death time).
+    pub shards: Vec<ServiceReport>,
+    /// Frames served fleet-wide.
+    pub frames: usize,
+    /// Latest completion across all shards, simulated seconds.
+    pub makespan_s: f64,
+    /// `frames / makespan_s`.
+    pub throughput_fps: f64,
+    /// Median frame latency over every record fleet-wide.
+    pub p50_latency_s: f64,
+    /// 99th-percentile frame latency fleet-wide.
+    pub p99_latency_s: f64,
+    /// Deadline misses fleet-wide.
+    pub deadline_misses: u64,
+    /// `deadline_misses / frames`.
+    pub deadline_miss_rate: f64,
+    /// Fraction of client-expected frames that were served and recovered:
+    /// `1 − (unrecovered + lost) / (served + lost)`. Watchdog-granted
+    /// fault overruns count as available; frames of lost sessions and
+    /// beyond-slack overruns do not.
+    pub availability: f64,
+    /// Shards declared dead.
+    pub shard_crashes: u64,
+    /// Whole-shard brownouts injected.
+    pub shard_brownouts: u64,
+    /// Heartbeat misses drawn (including the ones that killed shards).
+    pub heartbeat_misses: u64,
+    /// Every failover migration, in occurrence order.
+    pub migrations: Vec<MigrationRecord>,
+    /// Sessions lost because their shard died with no survivor.
+    pub lost_sessions: u64,
+    /// Client-expected frames those lost sessions never served.
+    pub lost_frames: u64,
+    /// Shards still alive at the end of the run.
+    pub alive_shards: usize,
+}
+
+/// A sharded fleet of [`FrameServer`]s on one simulated timeline.
+///
+/// Sessions are submitted to the fleet, which routes them to a shard and
+/// hands back a **fleet-level** id; pose ingestion and stream close follow
+/// the session to wherever failover moved it. See the module docs for the
+/// health and migration model.
+pub struct Fleet<'a> {
+    cfg: FleetConfig,
+    recovery: Arc<dyn RecoveryPolicy>,
+    servers: Vec<FrameServer<'a>>,
+    alive: Vec<bool>,
+    /// Heartbeats already processed per shard (dead shards stop beating).
+    hb_count: Vec<u64>,
+    /// Consecutive misses per shard; reset by every healthy beat.
+    misses: Vec<u32>,
+    /// Fleet session id → current `(shard, local id)`; `None` = lost.
+    homes: Vec<Option<(usize, SessionId)>>,
+    names: Vec<String>,
+    migrations: Vec<MigrationRecord>,
+    /// Destination `(shard, local id)` per migration record, for resolving
+    /// `resumed_s` against the destination's frame records at report time.
+    migration_dest: Vec<(usize, SessionId)>,
+    heartbeat_misses: u64,
+    shard_crashes: u64,
+    shard_brownouts: u64,
+    lost_sessions: u64,
+    lost_frames: u64,
+}
+
+impl<'a> Fleet<'a> {
+    /// Builds the fleet: `cfg.shards` independent servers, each with its
+    /// shard-decorrelated fault plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.shards` is zero, the heartbeat interval is not
+    /// positive, or the miss threshold is zero.
+    pub fn new(cfg: FleetConfig) -> Self {
+        assert!(cfg.shards >= 1, "a fleet needs at least one shard");
+        assert!(
+            cfg.heartbeat_interval_s > 0.0,
+            "heartbeat interval must be positive"
+        );
+        assert!(cfg.miss_threshold >= 1, "miss threshold must be at least 1");
+        let servers = (0..cfg.shards)
+            .map(|i| {
+                let mut shard_cfg = cfg.base.clone();
+                shard_cfg.faults = cfg.base.faults.map(|p| p.for_shard(i));
+                FrameServer::new(shard_cfg)
+            })
+            .collect();
+        Fleet {
+            recovery: cfg.base.policies.recovery.clone(),
+            servers,
+            alive: vec![true; cfg.shards],
+            hb_count: vec![0; cfg.shards],
+            misses: vec![0; cfg.shards],
+            homes: Vec::new(),
+            names: Vec::new(),
+            migrations: Vec::new(),
+            migration_dest: Vec::new(),
+            heartbeat_misses: 0,
+            shard_crashes: 0,
+            shard_brownouts: 0,
+            lost_sessions: 0,
+            lost_frames: 0,
+            cfg,
+        }
+    }
+
+    /// Shards still alive.
+    pub fn alive_shards(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Fleet-level sessions admitted so far (including lost ones).
+    pub fn session_count(&self) -> usize {
+        self.homes.len()
+    }
+
+    /// The alive shards as routing candidates, in ascending shard order.
+    /// `warmth` optionally probes each shard's reference cache for the given
+    /// `(cache key, intrinsics, pose)` — failover only; admission passes
+    /// `None` because a fresh session has no position yet.
+    fn candidates(&self, warmth: Option<(&str, Intrinsics, &Pose)>) -> Vec<ShardCandidate> {
+        (0..self.cfg.shards)
+            .filter(|&i| self.alive[i])
+            .map(|i| {
+                let server = &self.servers[i];
+                let warm_pos_error = warmth.and_then(|(key, intrinsics, pose)| {
+                    server
+                        .cache()
+                        .best_within(
+                            key,
+                            intrinsics,
+                            pose,
+                            self.recovery.stale_pos_radius(),
+                            self.recovery.stale_rot_radius(),
+                        )
+                        .map(|hit| (hit.pose.position - pose.position).length())
+                });
+                ShardCandidate {
+                    shard: i,
+                    committed_load: server.admission().committed_load(),
+                    capacity: server.admission().capacity(),
+                    sessions: server.session_count(),
+                    warm_pos_error,
+                }
+            })
+            .collect()
+    }
+
+    /// Routes a new session to an alive shard, or [`ServeError::FleetDown`].
+    fn route_admission(&self, scene_key: &str) -> Result<usize, ServeError> {
+        let candidates = self.candidates(None);
+        if candidates.is_empty() {
+            return Err(ServeError::FleetDown);
+        }
+        Ok(self.cfg.routing.admit(scene_key, &candidates))
+    }
+
+    /// Records a freshly admitted session's home, returning its fleet id.
+    fn register(&mut self, shard: usize, local: SessionId, name: String) -> SessionId {
+        self.homes.push(Some((shard, local)));
+        self.names.push(name);
+        self.homes.len() - 1
+    }
+
+    /// Rewrites a shard-local error's session id to the fleet-level `id` the
+    /// caller used, so fleet errors never leak shard-local numbering.
+    fn globalize(e: ServeError, id: SessionId) -> ServeError {
+        match e {
+            ServeError::UnknownSession { .. } => ServeError::UnknownSession { id },
+            ServeError::NotStreaming { .. } => ServeError::NotStreaming { id },
+            ServeError::StreamClosed { .. } => ServeError::StreamClosed { id },
+            ServeError::SessionMigrated { .. } => ServeError::SessionMigrated { id },
+            ServeError::SessionLost { .. } => ServeError::SessionLost { id },
+            other => other,
+        }
+    }
+
+    /// Submits a whole-trajectory session, routed by the fleet's
+    /// [`ShardRoutingPolicy`]. Returns the **fleet-level** session id.
+    /// Errors if admission rejects it or every shard is dead.
+    pub fn submit(
+        &mut self,
+        spec: SessionSpec,
+        scene: &'a AnalyticScene,
+        model: &'a dyn NerfModel,
+        traj: &'a Trajectory,
+        intrinsics: Intrinsics,
+    ) -> Result<SessionId, ServeError> {
+        let shard = self.route_admission(&spec.scene_key)?;
+        let name = spec.name.clone();
+        let local = self.servers[shard].submit(spec, scene, model, traj, intrinsics)?;
+        Ok(self.register(shard, local, name))
+    }
+
+    /// Submits a streaming session (poses arrive via
+    /// [`push_pose`](Self::push_pose)), routed like [`submit`](Self::submit).
+    pub fn submit_stream(
+        &mut self,
+        spec: SessionSpec,
+        scene: &'a AnalyticScene,
+        model: &'a dyn NerfModel,
+        fps: f32,
+        intrinsics: Intrinsics,
+    ) -> Result<SessionId, ServeError> {
+        let shard = self.route_admission(&spec.scene_key)?;
+        let name = spec.name.clone();
+        let local = self.servers[shard].submit_stream(spec, scene, model, fps, intrinsics)?;
+        Ok(self.register(shard, local, name))
+    }
+
+    /// Resolves a fleet session id to its current home shard.
+    fn home(&self, id: SessionId) -> Result<(usize, SessionId), ServeError> {
+        match self.homes.get(id) {
+            None => Err(ServeError::UnknownSession { id }),
+            Some(None) => Err(ServeError::SessionLost { id }),
+            Some(&Some(home)) => Ok(home),
+        }
+    }
+
+    /// Feeds one pose to a streaming session, following it to wherever
+    /// failover moved it. Errors with [`ServeError::SessionLost`] if its
+    /// shard died with no survivor.
+    pub fn push_pose(&mut self, id: SessionId, pose: Pose) -> Result<(), ServeError> {
+        let (shard, local) = self.home(id)?;
+        self.servers[shard]
+            .push_pose(local, pose)
+            .map_err(|e| Self::globalize(e, id))
+    }
+
+    /// Closes a streaming session's pose feed (idempotent), following the
+    /// session like [`push_pose`](Self::push_pose).
+    pub fn close_stream(&mut self, id: SessionId) -> Result<(), ServeError> {
+        let (shard, local) = self.home(id)?;
+        self.servers[shard]
+            .close_stream(local)
+            .map_err(|e| Self::globalize(e, id))
+    }
+
+    /// Earliest pre-dispatch batch readiness among alive shards, with the
+    /// owning shard (ties to the lowest index). `None` when no alive shard
+    /// can serve.
+    fn earliest_ready(&self) -> Option<(f64, usize)> {
+        let mut best: Option<(f64, usize)> = None;
+        for i in 0..self.cfg.shards {
+            if !self.alive[i] {
+                continue;
+            }
+            let t = self.servers[i].next_ready_s();
+            if t.is_finite() && best.is_none_or(|(bt, _)| t < bt) {
+                best = Some((t, i));
+            }
+        }
+        best
+    }
+
+    /// Processes every heartbeat due at or before `until_s`, in
+    /// `(time, shard)` order. Only called with an armed fault plan.
+    fn process_heartbeats(&mut self, plan: &FaultPlan, until_s: f64) {
+        loop {
+            // The earliest pending beat among alive shards. Equal-time beats
+            // (the common case — one shared interval) process in ascending
+            // shard order because the strict `<` keeps the first minimum.
+            let mut next: Option<(f64, usize)> = None;
+            for i in 0..self.cfg.shards {
+                if !self.alive[i] {
+                    continue;
+                }
+                let at = (self.hb_count[i] + 1) as f64 * self.cfg.heartbeat_interval_s;
+                if at <= until_s && next.is_none_or(|(bt, _)| at < bt) {
+                    next = Some((at, i));
+                }
+            }
+            let Some((at, shard)) = next else { break };
+            let k = self.hb_count[shard];
+            self.hb_count[shard] += 1;
+            if plan.fires(FaultKind::ShardBrownout, shard as u64, k, 0) {
+                self.servers[shard].brownout(at + plan.brownout_s);
+                self.shard_brownouts += 1;
+                telemetry::instant(telemetry::Phase::ShardBrownout, shard as u64, k);
+                telemetry::add(telemetry::Counter::ShardBrownouts, 1);
+            }
+            if plan.fires(FaultKind::ShardCrash, shard as u64, k, 0) {
+                self.misses[shard] += 1;
+                self.heartbeat_misses += 1;
+                telemetry::instant(telemetry::Phase::HeartbeatMiss, shard as u64, k);
+                telemetry::add(telemetry::Counter::HeartbeatMisses, 1);
+                if self.misses[shard] >= self.cfg.miss_threshold {
+                    self.kill_shard(shard, at);
+                }
+            } else {
+                self.misses[shard] = 0;
+            }
+        }
+    }
+
+    /// Declares `shard` dead at `at_s` and fails its live sessions over to
+    /// survivors (or marks them lost when there are none).
+    fn kill_shard(&mut self, shard: usize, at_s: f64) {
+        self.alive[shard] = false;
+        self.shard_crashes += 1;
+        let has_survivor = self.alive.iter().any(|&a| a);
+        // Fleet-session ids of this shard's residents, by local id.
+        let residents: Vec<(SessionId, SessionId)> = self
+            .homes
+            .iter()
+            .enumerate()
+            .filter_map(|(global, home)| match home {
+                Some((s, local)) if *s == shard => Some((*local, global)),
+                _ => None,
+            })
+            .collect();
+        if !has_survivor {
+            // Nothing can adopt: leave the sessions resident (their served
+            // frames still summarize in the dead shard's report) and charge
+            // the unserved remainder against availability.
+            let mut lost: Vec<SessionId> = Vec::new();
+            for &(local, global) in &residents {
+                let sess = self.servers[shard].session(local);
+                if !sess.pipe.is_done() {
+                    lost.push(global);
+                    self.lost_frames += (sess.pipe.len() - sess.pipe.cursor()) as u64;
+                }
+            }
+            self.lost_sessions += lost.len() as u64;
+            telemetry::instant(
+                telemetry::Phase::ShardCrash,
+                shard as u64,
+                lost.len() as u64,
+            );
+            telemetry::add(telemetry::Counter::ShardCrashes, 1);
+            for global in lost {
+                self.homes[global] = None;
+            }
+            return;
+        }
+        let taken = self.servers[shard].take_live_sessions();
+        telemetry::instant(
+            telemetry::Phase::ShardCrash,
+            shard as u64,
+            taken.len() as u64,
+        );
+        telemetry::add(telemetry::Counter::ShardCrashes, 1);
+        for sess in taken {
+            let global = residents
+                .iter()
+                .find(|&&(local, _)| local == sess.id)
+                .map(|&(_, global)| global)
+                .expect("every resident session has a fleet id");
+            // Probe survivors' cache warmth at the session's next *unmade*
+            // reference pose — the first render the destination will owe it.
+            // A peek only: nothing is installed, so routing cannot change
+            // pixels.
+            let horizon = sess.spec.config.window.max(1);
+            let probe = sess
+                .pipe
+                .upcoming_references(horizon)
+                .first()
+                .map(|&r| sess.pipe.reference_pose(r));
+            let candidates = self.candidates(
+                probe
+                    .as_ref()
+                    .map(|pose| (sess.cache_key.as_str(), sess.pipe.intrinsics(), pose)),
+            );
+            let dest = self.cfg.routing.failover(&sess.spec.scene_key, &candidates);
+            debug_assert!(self.alive[dest], "routing must pick an alive candidate");
+            let local = self.servers[dest].adopt_session(sess, at_s);
+            self.homes[global] = Some((dest, local));
+            telemetry::instant(
+                telemetry::Phase::SessionMigrate,
+                global as u64,
+                shard as u64,
+            );
+            telemetry::add(telemetry::Counter::SessionMigrations, 1);
+            self.migrations.push(MigrationRecord {
+                session: global,
+                name: self.names[global].clone(),
+                from_shard: shard,
+                to_shard: dest,
+                at_s,
+                resumed_s: -1.0,
+                time_to_resume_s: -1.0,
+            });
+            self.migration_dest.push((dest, local));
+        }
+    }
+
+    /// Drains every session fleet-wide and produces the [`FleetReport`].
+    ///
+    /// The loop interleaves shard scheduling rounds on one global simulated
+    /// timeline: pick the shard whose next batch is earliest, process every
+    /// heartbeat due by then (deaths migrate sessions *before* the round
+    /// runs), then run that round on the earliest still-alive shard. With
+    /// one shard and no shard faults this degenerates to exactly
+    /// [`FrameServer::run`] — byte-for-byte.
+    pub fn run(&mut self) -> FleetReport {
+        let plan = self.cfg.base.faults;
+        while let Some((t, _)) = self.earliest_ready() {
+            if let Some(plan) = &plan {
+                self.process_heartbeats(plan, t);
+            }
+            // Heartbeats may have killed the picked shard or shifted
+            // readiness by adopting sessions elsewhere; re-pick among the
+            // alive shards. Readiness only moves *forward* of the death time
+            // processed above, so the re-pick is deterministic.
+            let Some((_, target)) = self.earliest_ready() else {
+                break;
+            };
+            self.servers[target].run_round();
+        }
+
+        for server in &mut self.servers {
+            server.release_drained_loads();
+        }
+        self.finish_report()
+    }
+
+    fn finish_report(&self) -> FleetReport {
+        let shards: Vec<ServiceReport> = self.servers.iter().map(|s| s.finish_report()).collect();
+        let frames: usize = shards.iter().map(|r| r.frames).sum();
+        let makespan_s = shards.iter().map(|r| r.makespan_s).fold(0.0, f64::max);
+        let mut latencies: Vec<f64> = shards
+            .iter()
+            .flat_map(|r| r.records.iter().map(FrameRecord::latency_s))
+            .collect();
+        let deadline_misses: u64 = shards.iter().map(|r| r.deadline_misses).sum();
+        let unrecovered: u64 = shards.iter().map(|r| r.faults.unrecovered).sum();
+        let expected = frames as u64 + self.lost_frames;
+        let mut migrations = self.migrations.clone();
+        for (m, &(dest, local)) in migrations.iter_mut().zip(&self.migration_dest) {
+            // The destination assigned a fresh local id at adoption, so every
+            // record under it postdates the migration.
+            let resumed = shards[dest]
+                .records
+                .iter()
+                .filter(|r| r.session == local)
+                .map(|r| r.completion_s)
+                .fold(f64::INFINITY, f64::min);
+            if resumed.is_finite() {
+                m.resumed_s = resumed;
+                m.time_to_resume_s = resumed - m.at_s;
+            }
+        }
+        FleetReport {
+            frames,
+            makespan_s,
+            throughput_fps: if makespan_s > 0.0 {
+                frames as f64 / makespan_s
+            } else {
+                0.0
+            },
+            p50_latency_s: percentile(&mut latencies, 50.0),
+            p99_latency_s: percentile(&mut latencies, 99.0),
+            deadline_misses,
+            deadline_miss_rate: if frames > 0 {
+                deadline_misses as f64 / frames as f64
+            } else {
+                0.0
+            },
+            availability: if expected > 0 {
+                1.0 - (unrecovered + self.lost_frames) as f64 / expected as f64
+            } else {
+                1.0
+            },
+            shard_crashes: self.shard_crashes,
+            shard_brownouts: self.shard_brownouts,
+            heartbeat_misses: self.heartbeat_misses,
+            migrations,
+            lost_sessions: self.lost_sessions,
+            lost_frames: self.lost_frames,
+            alive_shards: self.alive_shards(),
+            shards,
+        }
+    }
+}

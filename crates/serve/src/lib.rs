@@ -18,6 +18,10 @@
 //!   single-client warping-window overlap (Fig. 10/11b),
 //! - [`cache`] — a pose-quantized [`RefCache`] so co-located sessions in the
 //!   same scene share warp sources,
+//! - [`fleet`] — the [`Fleet`]: N shard servers behind a
+//!   [`ShardRoutingPolicy`](policy::ShardRoutingPolicy) router, with
+//!   heartbeat health checks, shard-level fault domains and bit-identical
+//!   failover migration,
 //! - [`fault`] — seeded, fully deterministic fault injection
 //!   ([`FaultPlan`]) with a recovery ladder
 //!   ([`policy::RecoveryPolicy`]): retry with backoff, warp from the best
@@ -59,6 +63,7 @@ pub mod admission;
 pub mod cache;
 pub mod error;
 pub mod fault;
+pub mod fleet;
 pub mod policy;
 pub mod report;
 pub mod scheduler;
@@ -68,10 +73,12 @@ pub use admission::{AdmissionController, AdmissionError, AdmissionPolicy};
 pub use cache::{CachedReference, RefCache, RefCacheConfig, RefCacheStats};
 pub use error::ServeError;
 pub use fault::{FallbackRecord, FaultInjector, FaultKind, FaultPlan, FaultReport};
+pub use fleet::{Fleet, FleetConfig, FleetReport, MigrationRecord};
 pub use policy::{
-    Degradation, IdleWorkerPrefetch, JobKind, LeastLoaded, LoadAdaptiveDegrade, NoPrefetch,
-    PlacementJob, PlacementPolicy, Policies, PrefetchPolicy, QosAdmission, QosPolicy,
-    RecoveryPolicy, RejectAtAdmission, RetryWithBackoff, SceneAffinity,
+    Degradation, IdleWorkerPrefetch, JobKind, LeastLoaded, LeastLoadedRouting, LoadAdaptiveDegrade,
+    NoPrefetch, PlacementJob, PlacementPolicy, Policies, PrefetchPolicy, QosAdmission, QosPolicy,
+    RecoveryPolicy, RejectAtAdmission, RetryWithBackoff, SceneAffinity, SceneHashRouting,
+    ShardCandidate, ShardRoutingPolicy,
 };
 pub use report::{DegradationRecord, FrameRecord, ServiceReport, SessionSummary};
 pub use scheduler::{FrameServer, ServeConfig};

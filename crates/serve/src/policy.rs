@@ -470,6 +470,97 @@ impl RecoveryPolicy for RetryWithBackoff {
 }
 
 // ---------------------------------------------------------------------------
+// Shard routing (fleet)
+// ---------------------------------------------------------------------------
+
+/// One shard's state, as a [`ShardRoutingPolicy`] sees it. Candidates are
+/// always presented in ascending shard order and contain **alive** shards
+/// only.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardCandidate {
+    /// The shard's index in the fleet.
+    pub shard: usize,
+    /// Worker occupancy committed on the shard's admission ledger.
+    pub committed_load: f64,
+    /// The shard's admissible capacity (workers × max-utilization).
+    pub capacity: f64,
+    /// Sessions currently resident on the shard.
+    pub sessions: usize,
+    /// Failover only: pose error (position, world units) of the warmest
+    /// compatible reference in this shard's cache to the migrating session's
+    /// next needed pose, via [`RefCache::best_within`](crate::RefCache::best_within).
+    /// `None` at admission, or when the shard's cache has nothing in radius.
+    pub warm_pos_error: Option<f32>,
+}
+
+/// Decides which [`Fleet`](crate::Fleet) shard owns a session — at admission
+/// and again at failover, when a dead shard's sessions resume on survivors.
+///
+/// Same determinism contract as every other policy: decide from the
+/// presented candidates only (simulated state), hash with [`fnv1a`], return
+/// the `shard` field of one of the candidates. A routing decision changes
+/// *placement*, never pixels — a migrated session replays its remaining
+/// schedule bit-identically wherever it lands.
+pub trait ShardRoutingPolicy: fmt::Debug + Send + Sync {
+    /// Shard for a newly admitted session. `candidates` is never empty.
+    fn admit(&self, scene_key: &str, candidates: &[ShardCandidate]) -> usize;
+
+    /// Shard to resume a drained session on; `candidates` excludes the dead
+    /// shard and is never empty. The default prefers cache warmth (smallest
+    /// `warm_pos_error`), then the least committed load, then the lowest
+    /// shard index — all total-ordered, so ties cannot flap.
+    fn failover(&self, scene_key: &str, candidates: &[ShardCandidate]) -> usize {
+        let _ = scene_key;
+        candidates
+            .iter()
+            .min_by(|a, b| {
+                let wa = a.warm_pos_error.unwrap_or(f32::INFINITY);
+                let wb = b.warm_pos_error.unwrap_or(f32::INFINITY);
+                wa.total_cmp(&wb)
+                    .then(a.committed_load.total_cmp(&b.committed_load))
+                    .then(a.shard.cmp(&b.shard))
+            })
+            .expect("failover candidates are never empty")
+            .shard
+    }
+}
+
+/// Default routing: a session lands on `fnv1a(scene_key) % shards`, so every
+/// session of one scene shares a shard — the fleet-level analogue of
+/// [`SceneAffinity`]'s model-weight residency, and the placement that makes
+/// the reference cache actually shareable. Failover uses the default
+/// warmth-first rule.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SceneHashRouting;
+
+impl ShardRoutingPolicy for SceneHashRouting {
+    fn admit(&self, scene_key: &str, candidates: &[ShardCandidate]) -> usize {
+        candidates[(fnv1a(scene_key.as_bytes()) % candidates.len() as u64) as usize].shard
+    }
+}
+
+/// Load-balancing routing: a session lands on the alive shard with the most
+/// spare committed capacity (capacity − committed load; ties to the lowest
+/// shard index). Spreads one scene across shards — better load spread,
+/// colder caches.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeastLoadedRouting;
+
+impl ShardRoutingPolicy for LeastLoadedRouting {
+    fn admit(&self, _scene_key: &str, candidates: &[ShardCandidate]) -> usize {
+        candidates
+            .iter()
+            .min_by(|a, b| {
+                let spare_a = a.capacity - a.committed_load;
+                let spare_b = b.capacity - b.committed_load;
+                spare_b.total_cmp(&spare_a).then(a.shard.cmp(&b.shard))
+            })
+            .expect("admission candidates are never empty")
+            .shard
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Bundle
 // ---------------------------------------------------------------------------
 
@@ -665,6 +756,48 @@ mod tests {
         assert_eq!(p.budget(9, &pool), 0);
         assert_eq!(p.extra_horizon(6), 6);
         assert_eq!(NoPrefetch.budget(0, &pool), 0);
+    }
+
+    #[test]
+    fn scene_hash_routing_is_sticky_and_in_range() {
+        let candidates: Vec<ShardCandidate> = (0..4)
+            .map(|shard| ShardCandidate {
+                shard,
+                committed_load: shard as f64,
+                capacity: 5.1,
+                sessions: 0,
+                warm_pos_error: None,
+            })
+            .collect();
+        for scene in ["lego", "chair", "ship", "hotdog"] {
+            let first = SceneHashRouting.admit(scene, &candidates);
+            assert!(candidates.iter().any(|c| c.shard == first));
+            for _ in 0..4 {
+                assert_eq!(SceneHashRouting.admit(scene, &candidates), first);
+            }
+        }
+        // Least-loaded admission picks the sparest shard (0 here).
+        assert_eq!(LeastLoadedRouting.admit("lego", &candidates), 0);
+    }
+
+    #[test]
+    fn default_failover_prefers_warmth_then_load_then_id() {
+        let c = |shard, committed_load, warm| ShardCandidate {
+            shard,
+            committed_load,
+            capacity: 5.1,
+            sessions: 1,
+            warm_pos_error: warm,
+        };
+        // Warmth beats load.
+        let got = SceneHashRouting.failover("lego", &[c(0, 0.0, None), c(2, 4.0, Some(0.3))]);
+        assert_eq!(got, 2);
+        // Equal warmth: least committed load.
+        let got = SceneHashRouting.failover("lego", &[c(0, 2.0, Some(0.5)), c(1, 1.0, Some(0.5))]);
+        assert_eq!(got, 1);
+        // Full tie: lowest shard id.
+        let got = SceneHashRouting.failover("lego", &[c(3, 1.0, Some(0.5)), c(1, 1.0, Some(0.5))]);
+        assert_eq!(got, 1);
     }
 
     #[test]

@@ -267,6 +267,7 @@ impl<'a> FrameServer<'a> {
             cache_key,
             est_load,
             load_released: false,
+            resume_floor_s: 0.0,
         })
     }
 
@@ -582,7 +583,7 @@ impl<'a> FrameServer<'a> {
         let mut requested: HashSet<(SessionId, usize)> = HashSet::new();
         for sess in self.sessions.iter_mut().filter(|s| !s.pipe.is_done()) {
             let horizon = self.cfg.lookahead.unwrap_or(sess.spec.config.window.max(1));
-            let dispatch_at = sess.arrival_s(sess.pipe.cursor());
+            let dispatch_at = sess.arrival_s(sess.pipe.cursor()).max(sess.resume_floor_s);
             for r in sess.pipe.upcoming_references(horizon) {
                 let pose = sess.pipe.reference_pose(r);
                 let intrinsics = sess.pipe.intrinsics();
@@ -651,7 +652,7 @@ impl<'a> FrameServer<'a> {
                 if extra == 0 {
                     continue;
                 }
-                let dispatch_at = sess.arrival_s(sess.pipe.cursor());
+                let dispatch_at = sess.arrival_s(sess.pipe.cursor()).max(sess.resume_floor_s);
                 for r in sess.pipe.upcoming_references(horizon + extra) {
                     if requested.contains(&(sess.id, r)) {
                         continue; // already a demand job this round
@@ -748,7 +749,7 @@ impl<'a> FrameServer<'a> {
                 // The producing entry was evicted between commit and resolve
                 // (tiny cache capacity): fall back to an own render.
                 None => {
-                    let dispatch_at = sess.arrival_s(sess.pipe.cursor());
+                    let dispatch_at = sess.arrival_s(sess.pipe.cursor()).max(sess.resume_floor_s);
                     let (frame, workload) = sess.pipe.render_reference(r);
                     Self::commit_reference(
                         placement.as_ref(),
@@ -770,15 +771,16 @@ impl<'a> FrameServer<'a> {
         }
     }
 
-    /// Readiness time of a session's next frame: client arrival, gated by
-    /// the availability of its warp source. A starved streaming session —
-    /// next pose not yet pushed, or its warping window not yet fully planned
-    /// — is never ready.
+    /// Readiness time of a session's next frame: client arrival (floored by
+    /// the post-failover resume floor, a no-op on unmigrated sessions),
+    /// gated by the availability of its warp source. A starved streaming
+    /// session — next pose not yet pushed, or its warping window not yet
+    /// fully planned — is never ready.
     fn ready_time(sess: &ServeSession<'_>) -> f64 {
         if !sess.pipe.can_step() {
             return f64::INFINITY;
         }
-        let arrival = sess.arrival_s(sess.pipe.cursor());
+        let arrival = sess.arrival_s(sess.pipe.cursor()).max(sess.resume_floor_s);
         match sess.pipe.next_plan() {
             Some(FramePlan::Warp { ref_index }) => {
                 arrival.max(sess.ref_ready[ref_index].unwrap_or(arrival))
@@ -787,19 +789,33 @@ impl<'a> FrameServer<'a> {
         }
     }
 
-    /// Drains every admitted session and produces the service report.
+    /// Lower bound on the next round's dispatch time: the minimum
+    /// [`ready_time`](Self::ready_time) over live sessions *before* this
+    /// round's references are dispatched (reference gating can only push
+    /// readiness later). Infinite when no session can serve — exactly when
+    /// [`run_round`](Self::run_round) would return `None`. The fleet uses
+    /// this to order shard rounds on the global simulated timeline and to
+    /// gate heartbeat processing.
+    pub(crate) fn next_ready_s(&self) -> f64 {
+        self.sessions
+            .iter()
+            .filter(|s| !s.pipe.is_done())
+            .map(Self::ready_time)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Runs one scheduling round — reference dispatch plus one ready batch
+    /// of target frames — and returns the batch's dispatch-readiness time,
+    /// or `None` when no session can serve (all drained, or every streaming
+    /// session starved).
     ///
-    /// The server lives on one simulated timeline: on a reused server
-    /// (submit → run → submit → run) worker clocks, cache contents and
-    /// session summaries carry over, and the report covers the server's
-    /// whole lifetime — not just the latest call.
-    ///
-    /// Sessions step in **ready batches** (see the module docs): every
-    /// session whose next frame is ready within half a frame interval of
-    /// the earliest one advances this round, concurrently on the host
-    /// render pool when [`ServeConfig::render_threads`] grants a budget.
-    /// The report is bit-identical at any budget.
-    pub fn run(&mut self) -> ServiceReport {
+    /// [`run`](Self::run) is a loop over this; a [`crate::Fleet`] instead
+    /// interleaves rounds of many shards on one simulated timeline. The
+    /// half-interval batching epsilon is recomputed from the current session
+    /// set each round: identical every round on a fixed set (so a bare
+    /// server is byte-identical to the historical single-loop form) and
+    /// correctly reflecting sessions adopted mid-run on a fleet shard.
+    pub(crate) fn run_round(&mut self) -> Option<f64> {
         let budget = self.cfg.render_threads;
         let placement = self.cfg.policies.placement.clone();
         let recovery = self.cfg.policies.recovery.clone();
@@ -811,7 +827,7 @@ impl<'a> FrameServer<'a> {
                 .fold(f64::INFINITY, f64::min)
                 .max(1e-9);
 
-        loop {
+        {
             self.dispatch_references();
 
             // The ready batch: everyone within eps of the earliest-ready
@@ -824,7 +840,7 @@ impl<'a> FrameServer<'a> {
                 .map(|s| Self::ready_time(s))
                 .fold(f64::INFINITY, f64::min);
             if !min_ready.is_finite() {
-                break;
+                return None;
             }
             let mut batch: Vec<SessionId> = self
                 .sessions
@@ -865,8 +881,7 @@ impl<'a> FrameServer<'a> {
             } else {
                 0
             };
-            let mut by_id: Vec<Option<&mut ServeSession<'a>>> =
-                self.sessions.iter_mut().map(Some).collect();
+            let mut by_id: Vec<Option<&mut ServeSession<'a>>> = self.sessions.by_id_mut();
             let entries: Vec<Mutex<(&mut ServeSession<'a>, Option<Stepped>)>> = batch
                 .iter()
                 .map(|&id| {
@@ -1081,21 +1096,96 @@ impl<'a> FrameServer<'a> {
             );
             telemetry::add(telemetry::Counter::ServeBatches, 1);
             telemetry::observe(telemetry::Hist::ServeBatchJobs, batch_jobs as u64);
+            Some(min_ready)
         }
+    }
 
-        // Drained sessions hand their committed capacity back, so a reused
-        // server can admit new work.
-        for sess in self.sessions.iter_mut() {
-            if sess.pipe.is_done() && !sess.load_released {
-                self.admission.release(sess.est_load);
-                sess.load_released = true;
-            }
-        }
-
+    /// Drains every admitted session and produces the service report.
+    ///
+    /// The server lives on one simulated timeline: on a reused server
+    /// (submit → run → submit → run) worker clocks, cache contents and
+    /// session summaries carry over, and the report covers the server's
+    /// whole lifetime — not just the latest call.
+    ///
+    /// Sessions step in **ready batches** (see the module docs): every
+    /// session whose next frame is ready within half a frame interval of
+    /// the earliest one advances this round, concurrently on the host
+    /// render pool when [`ServeConfig::render_threads`] grants a budget.
+    /// The report is bit-identical at any budget.
+    pub fn run(&mut self) -> ServiceReport {
+        while self.run_round().is_some() {}
+        self.release_drained_loads();
         self.finish_report()
     }
 
-    fn finish_report(&self) -> ServiceReport {
+    /// Hands drained sessions' committed capacity back to admission, so a
+    /// reused server can admit new work.
+    pub(crate) fn release_drained_loads(&mut self) {
+        let mut releases: Vec<f64> = Vec::new();
+        for sess in self.sessions.iter_mut() {
+            if sess.pipe.is_done() && !sess.load_released {
+                releases.push(sess.est_load);
+                sess.load_released = true;
+            }
+        }
+        for load in releases {
+            self.admission.release(load);
+        }
+    }
+
+    /// Stalls the shard's entire simulated pool until `until_s` — an
+    /// injected [`FaultKind::ShardBrownout`]: every worker's clock is pushed
+    /// to at least the brownout end, so in-flight and subsequent jobs run
+    /// late but nothing is lost.
+    pub(crate) fn brownout(&mut self, until_s: f64) {
+        for worker in 0..self.pool.len() {
+            self.pool.quarantine(worker, until_s);
+        }
+    }
+
+    /// Removes every live (undrained) session for failover, in id order,
+    /// leaving their slots permanently vacant. Already-served frames stay in
+    /// this server's records; the sessions carry their own quality/latency
+    /// ledgers with them.
+    pub(crate) fn take_live_sessions(&mut self) -> Vec<ServeSession<'a>> {
+        let ids: Vec<SessionId> = self
+            .sessions
+            .iter()
+            .filter(|s| !s.pipe.is_done())
+            .map(|s| s.id)
+            .collect();
+        ids.into_iter()
+            .map(|id| self.sessions.take(id).expect("live session is resident"))
+            .collect()
+    }
+
+    /// Adopts a session migrated from a dead shard, returning its id on
+    /// *this* server. The session keeps its pipeline position, installed
+    /// references and quality/latency ledgers; it gets a fresh local id, a
+    /// resume floor at the failover time (it cannot serve before its old
+    /// home died), and its load is force-committed — failover does not
+    /// re-run admission, because dropping an already-admitted session to
+    /// enforce a capacity bound would be strictly worse than running hot.
+    pub(crate) fn adopt_session(&mut self, mut sess: ServeSession<'a>, at_s: f64) -> SessionId {
+        let id = self.sessions.len();
+        sess.id = id;
+        sess.pipe.set_telemetry_id(id as u64);
+        sess.resume_floor_s = at_s;
+        self.admission.force_commit(sess.est_load);
+        self.sessions.push(sess)
+    }
+
+    /// The reference cache (fleet failover peeks survivor warmth here).
+    pub(crate) fn cache(&self) -> &RefCache {
+        &self.cache
+    }
+
+    /// The resident session `id`. Panics on a vacated (migrated) slot.
+    pub(crate) fn session(&self, id: SessionId) -> &ServeSession<'a> {
+        &self.sessions[id]
+    }
+
+    pub(crate) fn finish_report(&self) -> ServiceReport {
         let records = self.records.clone();
         let frames = records.len();
         let faults = match &self.injector {

@@ -122,6 +122,11 @@ pub(crate) struct ServeSession<'a> {
     /// Worker occupancy committed at admission, released once drained.
     pub(crate) est_load: f64,
     pub(crate) load_released: bool,
+    /// Earliest simulated time the session may serve or dispatch again —
+    /// `0.0` (a no-op floor) except after a fleet failover, where it is the
+    /// failed shard's death time: a migrated session cannot resume before
+    /// its old home was declared dead.
+    pub(crate) resume_floor_s: f64,
 }
 
 impl<'a> ServeSession<'a> {
@@ -176,53 +181,74 @@ impl<'a> ServeSession<'a> {
 /// streaming pose ingestion to them.
 ///
 /// Session ids are indices into admission order, stable for the server's
-/// lifetime. The manager is deliberately dumb about scheduling — policies
-/// and the scheduler decide everything — but it is the single place that
-/// keeps per-session serve bookkeeping (`ref_ready` ledgers) consistent as
-/// streaming sessions grow their schedules.
+/// lifetime. Each id owns a *slot*: on a bare server every slot stays
+/// occupied forever, but a fleet failover [`take`](Self::take)s a live
+/// session out of a dead shard's manager, leaving a permanent vacancy — the
+/// id is never reused, and touching it surfaces
+/// [`ServeError::SessionMigrated`] instead of a panic. The manager is
+/// deliberately dumb about scheduling — policies and the scheduler decide
+/// everything — but it is the single place that keeps per-session serve
+/// bookkeeping (`ref_ready` ledgers) consistent as streaming sessions grow
+/// their schedules.
 pub(crate) struct SessionManager<'a> {
-    sessions: Vec<ServeSession<'a>>,
+    slots: Vec<Option<ServeSession<'a>>>,
 }
 
 impl<'a> SessionManager<'a> {
     pub(crate) fn new() -> Self {
-        SessionManager {
-            sessions: Vec::new(),
-        }
+        SessionManager { slots: Vec::new() }
     }
 
-    /// Sessions admitted so far.
+    /// Session ids allocated so far (occupied and vacated slots alike — ids
+    /// are admission indices and never shift).
     pub(crate) fn len(&self) -> usize {
-        self.sessions.len()
+        self.slots.len()
     }
 
     /// Adds an admitted session, returning its id (= admission index).
     pub(crate) fn push(&mut self, sess: ServeSession<'a>) -> SessionId {
-        debug_assert_eq!(sess.id, self.sessions.len());
-        self.sessions.push(sess);
-        self.sessions.len() - 1
+        debug_assert_eq!(sess.id, self.slots.len());
+        self.slots.push(Some(sess));
+        self.slots.len() - 1
     }
 
-    pub(crate) fn iter(&self) -> std::slice::Iter<'_, ServeSession<'a>> {
-        self.sessions.iter()
+    /// Removes and returns session `id` for migration, leaving its slot
+    /// permanently vacant. `None` if the slot is already vacant or unknown.
+    pub(crate) fn take(&mut self, id: SessionId) -> Option<ServeSession<'a>> {
+        self.slots.get_mut(id).and_then(Option::take)
     }
 
-    pub(crate) fn iter_mut(&mut self) -> std::slice::IterMut<'_, ServeSession<'a>> {
-        self.sessions.iter_mut()
+    /// Occupied sessions, in id order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &ServeSession<'a>> {
+        self.slots.iter().flatten()
+    }
+
+    /// Occupied sessions, mutably, in id order.
+    pub(crate) fn iter_mut(&mut self) -> impl Iterator<Item = &mut ServeSession<'a>> {
+        self.slots.iter_mut().flatten()
+    }
+
+    /// One `Option<&mut _>` per slot, **index-aligned with session ids**
+    /// (vacated slots yield `None`) — the scheduler's batch step relies on
+    /// `by_id[id]` addressing session `id` directly.
+    pub(crate) fn by_id_mut(&mut self) -> Vec<Option<&mut ServeSession<'a>>> {
+        self.slots.iter_mut().map(Option::as_mut).collect()
     }
 
     /// The streaming session `id`, validated for pose ingestion: the id must
-    /// be known, the session streaming, and (unless `allow_closed`, for the
-    /// idempotent close) its feed still open.
+    /// be known and still resident (not migrated off this shard), the
+    /// session streaming, and (unless `allow_closed`, for the idempotent
+    /// close) its feed still open.
     pub(crate) fn streaming_mut(
         &mut self,
         id: SessionId,
         allow_closed: bool,
     ) -> Result<&mut ServeSession<'a>, ServeError> {
-        let sess = self
-            .sessions
+        let slot = self
+            .slots
             .get_mut(id)
             .ok_or(ServeError::UnknownSession { id })?;
+        let sess = slot.as_mut().ok_or(ServeError::SessionMigrated { id })?;
         if !sess.pipe.is_streaming() {
             return Err(ServeError::NotStreaming { id });
         }
@@ -237,12 +263,12 @@ impl<'a> Index<SessionId> for SessionManager<'a> {
     type Output = ServeSession<'a>;
 
     fn index(&self, id: SessionId) -> &ServeSession<'a> {
-        &self.sessions[id]
+        self.slots[id].as_ref().expect("session migrated off shard")
     }
 }
 
 impl<'a> IndexMut<SessionId> for SessionManager<'a> {
     fn index_mut(&mut self, id: SessionId) -> &mut ServeSession<'a> {
-        &mut self.sessions[id]
+        self.slots[id].as_mut().expect("session migrated off shard")
     }
 }

@@ -74,6 +74,17 @@ pub enum Phase {
     /// A watchdog grant: a fault-affected deadline overrun forgiven within
     /// the policy's slack.
     WatchdogGrant,
+    // --- serve: fleet health & failover ---
+    /// A fleet shard missed a heartbeat (args: shard, heartbeat index).
+    HeartbeatMiss,
+    /// A shard was declared dead after consecutive heartbeat misses
+    /// (args: shard, live sessions to drain).
+    ShardCrash,
+    /// A shard's whole pool browned out (args: shard, heartbeat index).
+    ShardBrownout,
+    /// A session migrated to a surviving shard (args: global session,
+    /// source shard).
+    SessionMigrate,
 }
 
 impl Phase {
@@ -109,6 +120,10 @@ impl Phase {
             Phase::FaultFallback => "fault_fallback",
             Phase::Quarantine => "quarantine",
             Phase::WatchdogGrant => "watchdog_grant",
+            Phase::HeartbeatMiss => "heartbeat_miss",
+            Phase::ShardCrash => "shard_crash",
+            Phase::ShardBrownout => "shard_brownout",
+            Phase::SessionMigrate => "session_migrate",
         }
     }
 
@@ -143,7 +158,11 @@ impl Phase {
             | Phase::FaultRetry
             | Phase::FaultFallback
             | Phase::Quarantine
-            | Phase::WatchdogGrant => "serve",
+            | Phase::WatchdogGrant
+            | Phase::HeartbeatMiss
+            | Phase::ShardCrash
+            | Phase::ShardBrownout
+            | Phase::SessionMigrate => "serve",
         }
     }
 
@@ -166,12 +185,15 @@ impl Phase {
             Phase::FaultFallback => ["session", "reference", "rung"],
             Phase::Quarantine => ["worker", "b", "c"],
             Phase::WatchdogGrant => ["session", "frame", "c"],
+            Phase::HeartbeatMiss | Phase::ShardBrownout => ["shard", "heartbeat", "c"],
+            Phase::ShardCrash => ["shard", "sessions", "c"],
+            Phase::SessionMigrate => ["session", "from_shard", "c"],
             _ => ["a", "b", "c"],
         }
     }
 
     pub(crate) fn from_u8(v: u8) -> Option<Phase> {
-        const ALL: [Phase; 29] = [
+        const ALL: [Phase; 33] = [
             Phase::Plan,
             Phase::Gather,
             Phase::MlpBlock,
@@ -201,6 +223,10 @@ impl Phase {
             Phase::FaultFallback,
             Phase::Quarantine,
             Phase::WatchdogGrant,
+            Phase::HeartbeatMiss,
+            Phase::ShardCrash,
+            Phase::ShardBrownout,
+            Phase::SessionMigrate,
         ];
         ALL.get(v as usize).copied()
     }
@@ -252,11 +278,19 @@ pub enum Counter {
     Quarantines,
     /// Watchdog grants for fault-affected deadline overruns.
     WatchdogGrants,
+    /// Fleet heartbeat misses drawn from the fault plan.
+    HeartbeatMisses,
+    /// Shards declared dead after consecutive heartbeat misses.
+    ShardCrashes,
+    /// Whole-shard brownouts (every worker quarantined at once).
+    ShardBrownouts,
+    /// Sessions migrated to a surviving shard during failover.
+    SessionMigrations,
 }
 
 impl Counter {
     /// Number of counters (sizes the recorder's fixed array).
-    pub const COUNT: usize = 21;
+    pub const COUNT: usize = 25;
 
     /// Prometheus series name (without the `cicero_` prefix / `_total`
     /// suffix).
@@ -283,6 +317,10 @@ impl Counter {
             Counter::FaultFallbacks => "fault_fallbacks",
             Counter::Quarantines => "quarantines",
             Counter::WatchdogGrants => "watchdog_grants",
+            Counter::HeartbeatMisses => "heartbeat_misses",
+            Counter::ShardCrashes => "shard_crashes",
+            Counter::ShardBrownouts => "shard_brownouts",
+            Counter::SessionMigrations => "session_migrations",
         }
     }
 
@@ -309,6 +347,10 @@ impl Counter {
             Counter::FaultFallbacks,
             Counter::Quarantines,
             Counter::WatchdogGrants,
+            Counter::HeartbeatMisses,
+            Counter::ShardCrashes,
+            Counter::ShardBrownouts,
+            Counter::SessionMigrations,
         ];
         ALL.get(v).copied()
     }

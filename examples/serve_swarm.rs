@@ -8,6 +8,7 @@
 //!
 //! ```text
 //! cargo run --release --example serve_swarm [-- THREADS] [--policy P] [--stream]
+//!                                           [--shards N] [--shard-rate R]
 //!                                           [--faults SEED] [--fault-rate R]
 //!                                           [--trace T.json] [--metrics M.prom]
 //!                                           [--report-json R.json]
@@ -26,19 +27,29 @@
 //! - `--stream` feeds every session pose-by-pose through the streaming
 //!   ingestion API instead of whole trajectories — the digest must not
 //!   change, which CI also diffs.
+//! - `--shards <n>` serves the swarm through an n-shard [`Fleet`] instead of
+//!   a bare [`FrameServer`]: sessions route to shards by scene hash, shards
+//!   are heartbeat health-checked when faults are armed, and a dead shard's
+//!   sessions fail over to survivors bit-identically. `--shards 1` with no
+//!   faults prints a `digest` line byte-identical to the bare server's — CI
+//!   diffs that too. Fleet runs add a `fleet_digest…:` line (shard health,
+//!   migrations, availability), deterministic at any thread budget.
 //! - `--faults <seed>` arms deterministic fault injection (worker crashes,
-//!   stragglers, cache corruption; with `--stream` also pose stalls/drops)
-//!   at the standard rate mix; `--fault-rate <r>` overrides the per-decision
-//!   rate (`0` must be byte-identical to an un-armed run — CI diffs that
-//!   too). Chaos digests (`fault_digest…:` lines) are deterministic at any
-//!   thread budget, exactly like the fault-free ones.
+//!   stragglers, cache corruption; with `--stream` also pose stalls/drops;
+//!   with `--shards` also shard crashes/brownouts) at the standard rate mix;
+//!   `--fault-rate <r>` overrides the per-decision rate (`0` must be
+//!   byte-identical to an un-armed run — CI diffs that too) and
+//!   `--shard-rate <r>` overrides just the shard crash/brownout rates (the
+//!   chaos leg's shard-kill knob). Chaos digests (`fault_digest…:` lines)
+//!   are deterministic at any thread budget, exactly like the fault-free
+//!   ones.
 //! - `--trace <path>` / `--metrics <path>` enable the telemetry recorder and
 //!   write a chrome-trace JSON (load in Perfetto / `chrome://tracing`) and a
 //!   Prometheus text snapshot at exit. Telemetry is observe-only: the digest
 //!   lines must be byte-identical with and without these flags (CI diffs
 //!   them).
-//! - `--report-json <path>` serializes the full [`ServiceReport`] of every
-//!   policy run to JSON.
+//! - `--report-json <path>` serializes the full [`ServiceReport`] (or
+//!   [`FleetReport`] under `--shards`) of every policy run to JSON.
 
 use cicero::pipeline::PipelineConfig;
 use cicero::{Scenario, Variant};
@@ -48,7 +59,8 @@ use cicero_math::Intrinsics;
 use cicero_scene::volume::MarchParams;
 use cicero_scene::{library, AnalyticScene, Trajectory};
 use cicero_serve::{
-    FaultPlan, FrameServer, Policies, QosClass, ServeConfig, ServiceReport, SessionSpec,
+    FaultPlan, FaultReport, Fleet, FleetConfig, FleetReport, FrameServer, Policies, QosClass,
+    ServeConfig, ServeError, ServiceReport, SessionId, SessionSpec, SessionSummary,
 };
 use cicero_telemetry as telemetry;
 
@@ -69,6 +81,8 @@ struct Args {
     render_threads: usize,
     policy: String,
     stream: bool,
+    shards: Option<usize>,
+    shard_rate: Option<f64>,
     fault_seed: Option<u64>,
     fault_rate: Option<f64>,
     trace: Option<String>,
@@ -78,13 +92,40 @@ struct Args {
 
 impl Args {
     /// The armed fault plan, if any: `--faults <seed>` at the standard rate
-    /// mix, scaled by `--fault-rate` when given.
+    /// mix, scaled by `--fault-rate` when given, with the shard-fault rates
+    /// overridden by `--shard-rate` when given.
     fn fault_plan(&self) -> Option<FaultPlan> {
-        self.fault_seed.map(|seed| match self.fault_rate {
-            Some(rate) => FaultPlan::with_rate(seed, rate),
-            None => FaultPlan::seeded(seed),
+        self.fault_seed.map(|seed| {
+            let mut plan = match self.fault_rate {
+                Some(rate) => FaultPlan::with_rate(seed, rate),
+                None => FaultPlan::seeded(seed),
+            };
+            if let Some(rate) = self.shard_rate {
+                plan.shard_crash_rate = rate;
+                plan.shard_brownout_rate = rate;
+            }
+            plan
         })
     }
+}
+
+/// A CLI mistake is the *user's* error, not a server fault: explain and exit
+/// instead of panicking with a backtrace.
+fn usage(msg: &str) -> ! {
+    eprintln!("serve_swarm: {msg}");
+    eprintln!(
+        "usage: serve_swarm [THREADS] [--policy P] [--stream] [--shards N] [--shard-rate R] [--faults SEED] [--fault-rate R] [--trace T] [--metrics M] [--report-json R]"
+    );
+    std::process::exit(2);
+}
+
+/// A runtime failure (a rejected serve call, an unwritable output file)
+/// surfaces as a message and a nonzero exit — the serve API returns
+/// [`ServeError`] everywhere precisely so a client binary never dies on a
+/// panic.
+fn fail(context: &str, e: impl std::fmt::Display) -> ! {
+    eprintln!("serve_swarm: {context}: {e}");
+    std::process::exit(1);
 }
 
 fn parse_args() -> Args {
@@ -92,6 +133,8 @@ fn parse_args() -> Args {
         render_threads: 0,
         policy: "default".into(),
         stream: false,
+        shards: None,
+        shard_rate: None,
         fault_seed: None,
         fault_rate: None,
         trace: None,
@@ -103,45 +146,76 @@ fn parse_args() -> Args {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--policy" => {
-                args.policy = it
-                    .next()
-                    .expect("--policy takes <default|affinity|degrade|prefetch|all>");
+                args.policy = it.next().unwrap_or_else(|| {
+                    usage("--policy takes <default|affinity|degrade|prefetch|all>")
+                });
             }
             "--stream" => args.stream = true,
+            "--shards" => {
+                let n: usize = it
+                    .next()
+                    .unwrap_or_else(|| usage("--shards takes a shard count"))
+                    .parse()
+                    .unwrap_or_else(|_| usage("--shards must be a number"));
+                if n == 0 {
+                    usage("--shards must be at least 1");
+                }
+                args.shards = Some(n);
+            }
+            "--shard-rate" => {
+                args.shard_rate = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("--shard-rate takes a rate in [0,1]"))
+                        .parse()
+                        .unwrap_or_else(|_| usage("--shard-rate must be a number")),
+                );
+            }
             "--faults" => {
                 args.fault_seed = Some(
                     it.next()
-                        .expect("--faults takes a seed")
+                        .unwrap_or_else(|| usage("--faults takes a seed"))
                         .parse()
-                        .expect("--faults seed must be a number"),
+                        .unwrap_or_else(|_| usage("--faults seed must be a number")),
                 );
             }
             "--fault-rate" => {
                 args.fault_rate = Some(
                     it.next()
-                        .expect("--fault-rate takes a rate in [0,1]")
+                        .unwrap_or_else(|| usage("--fault-rate takes a rate in [0,1]"))
                         .parse()
-                        .expect("--fault-rate must be a number"),
+                        .unwrap_or_else(|_| usage("--fault-rate must be a number")),
                 );
             }
-            "--trace" => args.trace = Some(it.next().expect("--trace takes a path")),
-            "--metrics" => args.metrics = Some(it.next().expect("--metrics takes a path")),
+            "--trace" => {
+                args.trace = Some(it.next().unwrap_or_else(|| usage("--trace takes a path")));
+            }
+            "--metrics" => {
+                args.metrics = Some(it.next().unwrap_or_else(|| usage("--metrics takes a path")));
+            }
             "--report-json" => {
-                args.report_json = Some(it.next().expect("--report-json takes a path"));
+                args.report_json = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("--report-json takes a path")),
+                );
             }
             other => {
-                assert!(
-                    threads.is_none(),
-                    "usage: serve_swarm [THREADS] [--policy P] [--stream] [--faults SEED] [--fault-rate R] [--trace T] [--metrics M] [--report-json R]"
+                if threads.is_some() {
+                    usage(&format!("unexpected argument {other}"));
+                }
+                threads = Some(
+                    other
+                        .parse()
+                        .unwrap_or_else(|_| usage("THREADS must be a number")),
                 );
-                threads = Some(other.parse().expect("THREADS must be a number"));
             }
         }
     }
-    assert!(
-        args.fault_rate.is_none() || args.fault_seed.is_some(),
-        "--fault-rate requires --faults <seed>"
-    );
+    if args.fault_rate.is_some() && args.fault_seed.is_none() {
+        usage("--fault-rate requires --faults <seed>");
+    }
+    if args.shard_rate.is_some() && (args.fault_seed.is_none() || args.shards.is_none()) {
+        usage("--shard-rate requires --shards <n> and --faults <seed>");
+    }
     args.render_threads = threads
         .unwrap_or_else(cicero_field::env_render_threads)
         .max(1);
@@ -149,15 +223,118 @@ fn parse_args() -> Args {
 }
 
 fn policies_for(name: &str) -> Policies {
-    Policies::by_name(name)
-        .unwrap_or_else(|| panic!("unknown policy {name} (default|affinity|degrade|prefetch|all)"))
+    Policies::by_name(name).unwrap_or_else(|| {
+        usage(&format!(
+            "unknown policy {name} (default|affinity|degrade|prefetch|all)"
+        ))
+    })
+}
+
+/// The serve backend behind one swarm run: a bare [`FrameServer`], or a
+/// [`Fleet`] of them when `--shards` is given. Both expose the same
+/// submission surface, so the swarm loop is written once.
+enum Backend<'a> {
+    Bare(Box<FrameServer<'a>>),
+    Fleet(Box<Fleet<'a>>),
+}
+
+impl<'a> Backend<'a> {
+    fn submit(
+        &mut self,
+        spec: SessionSpec,
+        scene: &'a AnalyticScene,
+        model: &'a GridModel,
+        traj: &'a Trajectory,
+        intrinsics: Intrinsics,
+    ) -> Result<SessionId, ServeError> {
+        match self {
+            Backend::Bare(s) => s.submit(spec, scene, model, traj, intrinsics),
+            Backend::Fleet(f) => f.submit(spec, scene, model, traj, intrinsics),
+        }
+    }
+
+    fn submit_stream(
+        &mut self,
+        spec: SessionSpec,
+        scene: &'a AnalyticScene,
+        model: &'a GridModel,
+        fps: f32,
+        intrinsics: Intrinsics,
+    ) -> Result<SessionId, ServeError> {
+        match self {
+            Backend::Bare(s) => s.submit_stream(spec, scene, model, fps, intrinsics),
+            Backend::Fleet(f) => f.submit_stream(spec, scene, model, fps, intrinsics),
+        }
+    }
+
+    fn push_pose(&mut self, id: SessionId, pose: cicero_math::Pose) -> Result<(), ServeError> {
+        match self {
+            Backend::Bare(s) => s.push_pose(id, pose),
+            Backend::Fleet(f) => f.push_pose(id, pose),
+        }
+    }
+
+    fn close_stream(&mut self, id: SessionId) -> Result<(), ServeError> {
+        match self {
+            Backend::Bare(s) => s.close_stream(id),
+            Backend::Fleet(f) => f.close_stream(id),
+        }
+    }
+
+    fn session_count(&self) -> usize {
+        match self {
+            Backend::Bare(s) => s.session_count(),
+            Backend::Fleet(f) => f.session_count(),
+        }
+    }
 }
 
 struct SwarmRun {
     sessions: usize,
+    /// The bare server's report, or shard 0's under `--shards 1` (which the
+    /// fleet keeps byte-identical). Multi-shard runs report through `fleet`.
     report: ServiceReport,
+    fleet: Option<FleetReport>,
     flood_rejected: bool,
     wall_s: f64,
+}
+
+impl SwarmRun {
+    /// Every per-shard report of this run (one entry for a bare server).
+    fn shard_reports(&self) -> &[ServiceReport] {
+        match &self.fleet {
+            Some(f) => &f.shards,
+            None => std::slice::from_ref(&self.report),
+        }
+    }
+
+    fn throughput_fps(&self) -> f64 {
+        match &self.fleet {
+            Some(f) => f.throughput_fps,
+            None => self.report.throughput_fps,
+        }
+    }
+
+    /// Fault/recovery accounting summed over every shard:
+    /// `(injected, recoveries, availability)`. The availability is the
+    /// fleet-wide figure (lost-session frames included) when sharded.
+    fn fault_totals(&self) -> (u64, u64, f64) {
+        let injected: u64 = self
+            .shard_reports()
+            .iter()
+            .map(|r| r.faults.injected())
+            .sum();
+        let recoveries: u64 = self
+            .shard_reports()
+            .iter()
+            .map(|r| r.faults.recoveries())
+            .sum();
+        let availability = match &self.fleet {
+            Some(f) => f.availability,
+            None => self.report.faults.availability,
+        };
+        (injected, recoveries, availability)
+    }
 }
 
 fn run_swarm(
@@ -166,8 +343,9 @@ fn run_swarm(
     render_threads: usize,
     stream: bool,
     faults: Option<FaultPlan>,
+    shards: Option<usize>,
 ) -> SwarmRun {
-    let mut server = FrameServer::new(ServeConfig {
+    let cfg = ServeConfig {
         pool: PoolConfig {
             workers: 6,
             ..Default::default()
@@ -176,7 +354,15 @@ fn run_swarm(
         policies: policies_for(policy),
         faults,
         ..Default::default()
-    });
+    };
+    let mut server = match shards {
+        None => Backend::Bare(Box::new(FrameServer::new(cfg))),
+        Some(n) => Backend::Fleet(Box::new(Fleet::new(FleetConfig {
+            shards: n,
+            base: cfg,
+            ..Default::default()
+        }))),
+    };
 
     // Six viewers per scene: two interactive head-tracked clients on the
     // same handheld path (cache sharing), three standard orbit viewers, one
@@ -219,15 +405,19 @@ fn run_swarm(
                 // must be bit-identical to whole-trajectory submission.
                 let id = server
                     .submit_stream(spec, &a.scene, &a.model, traj.fps(), k)
-                    .expect("swarm session admitted");
+                    .unwrap_or_else(|e| fail("swarm session rejected", e));
                 for pose in traj.poses() {
-                    server.push_pose(id, *pose).expect("streamed pose");
+                    server
+                        .push_pose(id, *pose)
+                        .unwrap_or_else(|e| fail("streamed pose refused", e));
                 }
-                server.close_stream(id).expect("stream closed");
+                server
+                    .close_stream(id)
+                    .unwrap_or_else(|e| fail("stream close refused", e));
             } else {
                 server
                     .submit(spec, &a.scene, &a.model, traj, k)
-                    .expect("swarm session admitted");
+                    .unwrap_or_else(|e| fail("swarm session rejected", e));
             }
         }
     }
@@ -235,84 +425,116 @@ fn run_swarm(
     // Admission control in action: a 90 fps 640×640 baseline flood does not
     // fit next to the committed swarm. The default policy must reject it;
     // the load-adaptive QoS policy instead admits it *degraded* (the ladder
-    // lands at 80×80), trading quality for admission.
-    let flood = SessionSpec {
-        name: "flood".into(),
-        scene_key: "lego".into(),
-        qos: QosClass::Interactive,
-        start_offset_s: 0.0,
-        config: PipelineConfig {
-            variant: Variant::Baseline,
-            ..Default::default()
-        },
-    };
+    // lands at 80×80), trading quality for admission. A multi-shard fleet
+    // skips the probe: admission is per-shard, so splitting the swarm four
+    // ways leaves headroom that could admit the flood at full resolution —
+    // a capacity statement, not the admission-control story this probes
+    // (and one whose 640×640 full renders would blow the CI smoke budget).
     let flood_traj = Trajectory::orbit(&assets[0].scene, FRAMES, 90.0);
-    let flood_rejected = match server.submit(
-        flood,
-        &assets[0].scene,
-        &assets[0].model,
-        &flood_traj,
-        Intrinsics::from_fov(640, 640, 0.9),
-    ) {
-        Err(e) => {
-            println!("\n[{policy}] admission control: flood session rejected ({e})");
-            true
-        }
-        Ok(id) => {
-            // Only the degrading QoS policy may let the flood in — and only
-            // in a reduced shape. Anything else blowing the budget here
-            // would also blow the CI smoke-test budget with 640×640 fulls.
-            assert_eq!(policy, "degrade", "flood admitted under {policy}");
-            println!("\n[{policy}] admission control: flood session {id} admitted DEGRADED");
-            false
+    let flood_rejected = if matches!(shards, Some(n) if n > 1) {
+        false
+    } else {
+        let flood = SessionSpec {
+            name: "flood".into(),
+            scene_key: "lego".into(),
+            qos: QosClass::Interactive,
+            start_offset_s: 0.0,
+            config: PipelineConfig {
+                variant: Variant::Baseline,
+                ..Default::default()
+            },
+        };
+        match server.submit(
+            flood,
+            &assets[0].scene,
+            &assets[0].model,
+            &flood_traj,
+            Intrinsics::from_fov(640, 640, 0.9),
+        ) {
+            Err(e) => {
+                println!("\n[{policy}] admission control: flood session rejected ({e})");
+                true
+            }
+            Ok(id) => {
+                // Only the degrading QoS policy may let the flood in — and
+                // only in a reduced shape. Anything else blowing the budget
+                // here would also blow the CI smoke-test budget with 640×640
+                // fulls.
+                assert_eq!(policy, "degrade", "flood admitted under {policy}");
+                println!("\n[{policy}] admission control: flood session {id} admitted DEGRADED");
+                false
+            }
         }
     };
 
     let sessions = server.session_count();
     let wall_start = std::time::Instant::now();
-    let report = server.run();
+    let (report, fleet) = match server {
+        Backend::Bare(mut s) => (s.run(), None),
+        Backend::Fleet(mut f) => {
+            let fleet = f.run();
+            (fleet.shards[0].clone(), Some(fleet))
+        }
+    };
     let wall_s = wall_start.elapsed().as_secs_f64();
     SwarmRun {
         sessions,
         report,
+        fleet,
         flood_rejected,
         wall_s,
     }
 }
 
-fn total_hits(report: &ServiceReport) -> u64 {
-    report.sessions.iter().map(|s| s.cache_hits).sum()
+fn total_hits(reports: &[ServiceReport]) -> u64 {
+    reports
+        .iter()
+        .flat_map(|r| r.sessions.iter())
+        .map(|s| s.cache_hits)
+        .sum()
 }
 
-fn psnr_sum(report: &ServiceReport) -> f64 {
-    report
-        .sessions
+fn psnr_sum(reports: &[ServiceReport]) -> f64 {
+    reports
         .iter()
+        .flat_map(|r| r.sessions.iter())
         .filter(|s| s.name != "flood") // the degraded flood is extra
         .map(|s| s.mean_psnr_db)
         .sum()
+}
+
+fn digest_suffix(policy: &str) -> String {
+    if policy == "default" {
+        String::new()
+    } else {
+        format!("[{policy}]")
+    }
+}
+
+fn print_session_table(sessions: &[SessionSummary]) {
+    println!(
+        "  {:<24} {:>11} {:>7} {:>10} {:>8} {:>6} {:>6}",
+        "session", "qos", "frames", "mean lat", "psnr", "miss", "hits"
+    );
+    for s in sessions {
+        println!(
+            "  {:<24} {:>11} {:>7} {:>8.2}ms {:>6.1}dB {:>6} {:>6}",
+            s.name,
+            s.qos.label(),
+            s.frames,
+            s.mean_latency_s * 1e3,
+            s.mean_psnr_db,
+            s.deadline_misses,
+            s.cache_hits
+        );
+    }
 }
 
 fn print_run(policy: &str, run: &SwarmRun, verbose: bool, render_threads: usize, armed: bool) {
     let report = &run.report;
     if verbose {
         println!("\nper-session summary:");
-        println!(
-            "  {:<24} {:>11} {:>7} {:>10} {:>8} {:>6} {:>6}",
-            "session", "qos", "frames", "mean lat", "psnr", "miss", "hits"
-        );
-        for s in &report.sessions {
-            println!(
-                "  {:<24} {:>11} {:>7} {:>8.2}ms {:>6.1}dB {:>6} {:>6}",
-                s.name,
-                s.qos.label(),
-                s.frames,
-                s.mean_latency_s * 1e3,
-                s.mean_psnr_db,
-                s.deadline_misses,
-                s.cache_hits
-            );
-        }
+        print_session_table(&report.sessions);
     }
 
     println!("\n[{policy}] aggregate:");
@@ -383,11 +605,7 @@ fn print_run(policy: &str, run: &SwarmRun, verbose: bool, render_threads: usize,
     // line must be byte-identical at any host thread budget (and under
     // streaming ingestion). CI diffs these digests across 1 vs 4 threads
     // and stream vs whole-trajectory legs.
-    let suffix = if policy == "default" {
-        String::new()
-    } else {
-        format!("[{policy}]")
-    };
+    let suffix = digest_suffix(policy);
     println!(
         "digest{suffix}: frames={} makespan={:.12} p50={:.12} p99={:.12} misses={} ref_jobs={} prefetch={} degraded={} cache_hits={} psnr_sum={:.9}",
         report.frames,
@@ -398,32 +616,184 @@ fn print_run(policy: &str, run: &SwarmRun, verbose: bool, render_threads: usize,
         report.reference_jobs,
         report.prefetch_jobs,
         report.degradations.len(),
-        total_hits(report),
-        psnr_sum(report)
+        total_hits(std::slice::from_ref(report)),
+        psnr_sum(std::slice::from_ref(report))
     );
     // The chaos leg gets its own digest: same determinism contract, printed
     // only when an injector is armed so fault-free output stays byte-stable.
     if armed {
-        let f = &report.faults;
-        println!(
-            "fault_digest{suffix}: injected={} crashes={} stragglers={} corruptions={} stalls={} drops={} retries={} fallback_warps={} fallback_frames={} degraded_rerenders={} quarantines={} watchdog_grants={} unrecovered={} ttr={:.9} availability={:.6}",
-            f.injected(),
-            f.worker_crashes,
-            f.stragglers,
-            f.cache_corruptions,
-            f.pose_stalls,
-            f.pose_drops,
-            f.retries,
-            f.fallback_warps,
-            f.fallback_warp_frames,
-            f.degraded_rerenders,
-            f.quarantines,
-            f.watchdog_grants,
-            f.unrecovered,
-            f.time_to_recover_s,
-            f.availability,
+        print_fault_digest(
+            &suffix,
+            std::slice::from_ref(report),
+            report.faults.availability,
         );
     }
+}
+
+/// The chaos digest over one or more shard reports: counters summed, the
+/// availability supplied by the caller (per-shard for a bare run, fleet-wide
+/// for a sharded one).
+fn print_fault_digest(suffix: &str, reports: &[ServiceReport], availability: f64) {
+    let sum =
+        |field: fn(&FaultReport) -> u64| -> u64 { reports.iter().map(|r| field(&r.faults)).sum() };
+    let ttr: f64 = reports.iter().map(|r| r.faults.time_to_recover_s).sum();
+    println!(
+        "fault_digest{suffix}: injected={} crashes={} stragglers={} corruptions={} stalls={} drops={} retries={} fallback_warps={} fallback_frames={} degraded_rerenders={} quarantines={} watchdog_grants={} unrecovered={} ttr={:.9} availability={:.6}",
+        sum(FaultReport::injected),
+        sum(|f| f.worker_crashes),
+        sum(|f| f.stragglers),
+        sum(|f| f.cache_corruptions),
+        sum(|f| f.pose_stalls),
+        sum(|f| f.pose_drops),
+        sum(|f| f.retries),
+        sum(|f| f.fallback_warps),
+        sum(|f| f.fallback_warp_frames),
+        sum(|f| f.degraded_rerenders),
+        sum(|f| f.quarantines),
+        sum(|f| f.watchdog_grants),
+        sum(|f| f.unrecovered),
+        ttr,
+        availability,
+    );
+}
+
+/// The multi-shard aggregate printout: fleet-wide figures from the
+/// [`FleetReport`], per-shard digest inputs summed over the shard reports.
+fn print_fleet_run(
+    policy: &str,
+    run: &SwarmRun,
+    fleet: &FleetReport,
+    verbose: bool,
+    render_threads: usize,
+    armed: bool,
+) {
+    if verbose {
+        for (i, shard) in fleet.shards.iter().enumerate() {
+            if shard.sessions.is_empty() {
+                continue;
+            }
+            println!("\nshard {i} per-session summary:");
+            print_session_table(&shard.sessions);
+        }
+    }
+
+    println!("\n[{policy}] fleet aggregate:");
+    println!(
+        "  shards                    {} ({} alive at exit)",
+        fleet.shards.len(),
+        fleet.alive_shards
+    );
+    println!("  sessions                  {}", run.sessions);
+    println!("  frames served             {}", fleet.frames);
+    println!("  makespan                  {:.3} s", fleet.makespan_s);
+    println!(
+        "  throughput                {:.1} frames/s",
+        fleet.throughput_fps
+    );
+    println!(
+        "  p50 / p99 frame latency   {:.2} / {:.2} ms",
+        fleet.p50_latency_s * 1e3,
+        fleet.p99_latency_s * 1e3
+    );
+    println!(
+        "  deadline misses           {} ({:.1}%)",
+        fleet.deadline_misses,
+        fleet.deadline_miss_rate * 100.0
+    );
+    if armed {
+        println!(
+            "  shard health              {} heartbeat misses, {} crashes, {} brownouts",
+            fleet.heartbeat_misses, fleet.shard_crashes, fleet.shard_brownouts
+        );
+        for m in &fleet.migrations {
+            if m.resumed_s >= 0.0 {
+                println!(
+                    "  failover                  {}: shard {} → {} at {:.3} s, resumed +{:.3} s",
+                    m.name, m.from_shard, m.to_shard, m.at_s, m.time_to_resume_s
+                );
+            } else {
+                println!(
+                    "  failover                  {}: shard {} → {} at {:.3} s, never resumed",
+                    m.name, m.from_shard, m.to_shard, m.at_s
+                );
+            }
+        }
+        if fleet.lost_sessions > 0 {
+            println!(
+                "  lost                      {} session(s), {} frame(s) — no survivor to adopt",
+                fleet.lost_sessions, fleet.lost_frames
+            );
+        }
+        println!("  availability              {:.4}", fleet.availability);
+    }
+    println!(
+        "  host                      {} render thread(s): {} frames in {:.2} s wall clock ({:.1} frames/s)",
+        render_threads,
+        fleet.frames,
+        run.wall_s,
+        fleet.frames as f64 / run.wall_s.max(1e-9)
+    );
+
+    // Same determinism contract as the bare digest — the fleet report is
+    // bit-identical at any host thread budget, so CI diffs these lines
+    // across the 1- and 4-thread chaos legs.
+    let suffix = digest_suffix(policy);
+    println!(
+        "digest{suffix}: frames={} makespan={:.12} p50={:.12} p99={:.12} misses={} ref_jobs={} prefetch={} degraded={} cache_hits={} psnr_sum={:.9}",
+        fleet.frames,
+        fleet.makespan_s,
+        fleet.p50_latency_s,
+        fleet.p99_latency_s,
+        fleet.deadline_misses,
+        fleet.shards.iter().map(|r| r.reference_jobs).sum::<u64>(),
+        fleet.shards.iter().map(|r| r.prefetch_jobs).sum::<u64>(),
+        fleet
+            .shards
+            .iter()
+            .map(|r| r.degradations.len())
+            .sum::<usize>(),
+        total_hits(&fleet.shards),
+        psnr_sum(&fleet.shards)
+    );
+    if armed {
+        print_fault_digest(&suffix, &fleet.shards, fleet.availability);
+    }
+}
+
+/// The fleet-health digest line: printed for every `--shards` run (any
+/// count), bit-stable at any thread budget like the others.
+fn print_fleet_digest(policy: &str, fleet: &FleetReport) {
+    let resumed = fleet
+        .migrations
+        .iter()
+        .filter(|m| m.resumed_s >= 0.0)
+        .count();
+    let mean_ttr = if resumed > 0 {
+        fleet
+            .migrations
+            .iter()
+            .filter(|m| m.time_to_resume_s >= 0.0)
+            .map(|m| m.time_to_resume_s)
+            .sum::<f64>()
+            / resumed as f64
+    } else {
+        0.0
+    };
+    let suffix = digest_suffix(policy);
+    println!(
+        "fleet_digest{suffix}: shards={} alive={} crashes={} brownouts={} hb_misses={} migrations={} resumed={} lost_sessions={} lost_frames={} mean_ttr={:.9} availability={:.6}",
+        fleet.shards.len(),
+        fleet.alive_shards,
+        fleet.shard_crashes,
+        fleet.shard_brownouts,
+        fleet.heartbeat_misses,
+        fleet.migrations.len(),
+        resumed,
+        fleet.lost_sessions,
+        fleet.lost_frames,
+        mean_ttr,
+        fleet.availability,
+    );
 }
 
 fn main() {
@@ -440,18 +810,25 @@ fn main() {
     let faults = args.fault_plan();
     println!("==========================================================");
     println!(
-        "serve_swarm: {} sessions over {} scenes, {} render thread(s), policies {:?}{}{}",
+        "serve_swarm: {} sessions over {} scenes, {} render thread(s), policies {:?}{}{}{}",
         SCENES.len() * VIEWERS_PER_SCENE,
         SCENES.len(),
         args.render_threads,
         policies,
+        match args.shards {
+            Some(n) => format!(", {n}-shard fleet"),
+            None => String::new(),
+        },
         if args.stream {
             ", streaming ingestion"
         } else {
             ""
         },
         match &faults {
-            Some(p) => format!(", faults seed {} rate {}", p.seed, p.crash_rate),
+            Some(p) => format!(
+                ", faults seed {} rate {} shard rate {}",
+                p.seed, p.crash_rate, p.shard_crash_rate
+            ),
             None => String::new(),
         }
     );
@@ -482,57 +859,85 @@ fn main() {
 
     let mut runs: Vec<(&str, SwarmRun)> = Vec::new();
     for (i, policy) in policies.iter().enumerate() {
-        let run = run_swarm(&assets, policy, args.render_threads, args.stream, faults);
+        let run = run_swarm(
+            &assets,
+            policy,
+            args.render_threads,
+            args.stream,
+            faults,
+            args.shards,
+        );
         assert!(run.sessions >= 24, "swarm must run at least 24 sessions");
         assert!(
-            total_hits(&run.report) >= 1,
+            total_hits(run.shard_reports()) >= 1,
             "expected at least one cross-session cache hit"
         );
-        assert!(run.report.throughput_fps > 0.0);
-        if faults.is_some() && args.fault_rate.is_none() {
+        assert!(run.throughput_fps() > 0.0);
+        if faults.is_some() && args.fault_rate.is_none() && args.shard_rate.is_none() {
             // Acceptance at the standard chaos rate: faults actually fired,
-            // the recovery ladder engaged, and the fleet stayed available.
-            let f = &run.report.faults;
-            assert!(f.injected() > 0, "[{policy}] armed plan never fired");
-            assert!(f.recoveries() > 0, "[{policy}] no recovery engaged");
+            // the recovery ladder engaged, and the fleet stayed available —
+            // for sharded runs the availability is fleet-wide, lost-session
+            // frames included.
+            let (injected, recoveries, availability) = run.fault_totals();
+            assert!(injected > 0, "[{policy}] armed plan never fired");
+            assert!(recoveries > 0, "[{policy}] no recovery engaged");
             assert!(
-                f.availability >= 0.99,
-                "[{policy}] availability {} < 0.99",
-                f.availability
+                availability >= 0.99,
+                "[{policy}] availability {availability} < 0.99"
             );
         }
-        print_run(policy, &run, i == 0, args.render_threads, faults.is_some());
+        match &run.fleet {
+            Some(fleet) if fleet.shards.len() > 1 => {
+                print_fleet_run(
+                    policy,
+                    &run,
+                    fleet,
+                    i == 0,
+                    args.render_threads,
+                    faults.is_some(),
+                );
+            }
+            _ => print_run(policy, &run, i == 0, args.render_threads, faults.is_some()),
+        }
+        if let Some(fleet) = &run.fleet {
+            print_fleet_digest(policy, fleet);
+        }
         runs.push((policy, run));
     }
 
     // Cross-policy acceptance checks (only meaningful with several runs).
     // Pixel- and hit-level equalities assume fault-free serving: injected
     // crashes and corruptions legitimately move reference economics, so the
-    // chaos leg keeps only the admission-shape checks.
+    // chaos leg keeps only the admission-shape checks — and multi-shard
+    // fleets skip the flood probe entirely (admission is per-shard).
+    let multi_shard = matches!(args.shards, Some(n) if n > 1);
     if let Some((_, default)) = runs.iter().find(|(p, _)| *p == "default") {
         for (policy, run) in &runs {
             match *policy {
                 "prefetch" if faults.is_none() => {
                     // Speculation must strictly add cache hits…
                     assert!(
-                        total_hits(&run.report) > total_hits(&default.report),
+                        total_hits(run.shard_reports()) > total_hits(default.shard_reports()),
                         "prefetch hits {} ≤ default {}",
-                        total_hits(&run.report),
-                        total_hits(&default.report)
+                        total_hits(run.shard_reports()),
+                        total_hits(default.shard_reports())
                     );
-                    assert!(run.report.prefetch_jobs > 0);
+                    assert!(run.shard_reports().iter().any(|r| r.prefetch_jobs > 0));
                     // …without moving a single rendered pixel.
                     assert_eq!(
-                        psnr_sum(&run.report),
-                        psnr_sum(&default.report),
+                        psnr_sum(run.shard_reports()),
+                        psnr_sum(default.shard_reports()),
                         "prefetch changed rendered frames"
                     );
                 }
-                "degrade" => {
+                "degrade" if !multi_shard => {
                     // The flood the default rejected is admitted, degraded.
                     assert!(default.flood_rejected);
                     assert!(!run.flood_rejected, "degrade policy still rejected");
-                    assert!(!run.report.degradations.is_empty());
+                    assert!(run
+                        .shard_reports()
+                        .iter()
+                        .any(|r| !r.degradations.is_empty()));
                 }
                 _ => {}
             }
@@ -543,22 +948,31 @@ fn main() {
     if let Some(path) = &args.report_json {
         let value = serde::Value::Object(
             runs.iter()
-                .map(|(policy, run)| (policy.to_string(), serde::Serialize::to_value(&run.report)))
+                .map(|(policy, run)| {
+                    let report = match &run.fleet {
+                        Some(fleet) => serde::Serialize::to_value(fleet),
+                        None => serde::Serialize::to_value(&run.report),
+                    };
+                    (policy.to_string(), report)
+                })
                 .collect(),
         );
-        let json = serde_json::to_string_pretty(&value).expect("serialize report");
-        std::fs::write(path, json).expect("write report json");
+        let json =
+            serde_json::to_string_pretty(&value).unwrap_or_else(|e| fail("serialize report", e));
+        std::fs::write(path, json).unwrap_or_else(|e| fail("write report json", e));
         println!("report json -> {path}");
     }
     if let Some(path) = &args.trace {
-        telemetry::write_chrome_trace(std::path::Path::new(path)).expect("write chrome trace");
+        telemetry::write_chrome_trace(std::path::Path::new(path))
+            .unwrap_or_else(|e| fail("write chrome trace", e));
         println!(
             "chrome trace ({} events) -> {path}",
             telemetry::event_count()
         );
     }
     if let Some(path) = &args.metrics {
-        telemetry::write_prometheus(std::path::Path::new(path)).expect("write prometheus metrics");
+        telemetry::write_prometheus(std::path::Path::new(path))
+            .unwrap_or_else(|e| fail("write prometheus metrics", e));
         println!("prometheus metrics -> {path}");
     }
 
@@ -566,6 +980,6 @@ fn main() {
     println!(
         "\nOK: {} sessions, {} cross-session cache hits",
         first.sessions,
-        total_hits(&first.report)
+        total_hits(first.shard_reports())
     );
 }

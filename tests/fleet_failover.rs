@@ -1,0 +1,387 @@
+//! Fleet fault domains and failover determinism. Four contracts:
+//!
+//! (a) a fleet of one shard with zero shard faults is **byte-identical** to a
+//!     bare [`FrameServer`] — the fleet layer's presence alone moves
+//!     nothing, armed or not;
+//! (b) a mid-run [`ShardCrash`](cicero_serve::FaultKind::ShardCrash) drains
+//!     the dead shard's live sessions onto survivors and the migrated
+//!     session's frames are **bit-identical** to a fault-free run — failover
+//!     changes *when* frames serve, never their pixels;
+//! (c) the whole [`FleetReport`](cicero_serve::FleetReport) — per-shard
+//!     reports, migrations, availability — reproduces bit-for-bit across
+//!     host thread budgets {0, 1, 4};
+//! (d) a shard that dies with no survivor loses its live sessions: their
+//!     unserved frames count against availability and touching them surfaces
+//!     [`ServeError::SessionLost`](cicero_serve::ServeError), not a panic.
+
+use cicero::pipeline::PipelineConfig;
+use cicero::Variant;
+use cicero_field::{bake, GridConfig, GridModel};
+use cicero_math::{Intrinsics, Pose, Vec3};
+use cicero_scene::volume::MarchParams;
+use cicero_scene::{library, AnalyticScene, Trajectory};
+use cicero_serve::{
+    FaultKind, FaultPlan, Fleet, FleetConfig, FleetReport, FrameServer, QosClass, ServeConfig,
+    ServeError, SessionSpec, SessionSummary, ShardCandidate, ShardRoutingPolicy,
+};
+use std::sync::Arc;
+
+fn assets(name: &str, frames: usize) -> (AnalyticScene, GridModel, Trajectory) {
+    let scene = library::scene_by_name(name).unwrap();
+    let model = bake::bake_grid(
+        &scene,
+        &GridConfig {
+            resolution: 24,
+            ..Default::default()
+        },
+    );
+    let traj = Trajectory::orbit(&scene, frames, 30.0);
+    (scene, model, traj)
+}
+
+fn cfg() -> PipelineConfig {
+    PipelineConfig {
+        variant: Variant::Cicero,
+        window: 4,
+        march: MarchParams {
+            step: 0.05,
+            ..Default::default()
+        },
+        collect_quality: true, // PSNR equality ⇒ frames match too
+        collect_traffic: false,
+        ..Default::default()
+    }
+}
+
+fn spec(name: &str, scene_key: &str, qos: QosClass, offset: f64) -> SessionSpec {
+    SessionSpec {
+        name: name.into(),
+        scene_key: scene_key.into(),
+        qos,
+        start_offset_s: offset,
+        config: cfg(),
+    }
+}
+
+/// First heartbeat index at which `threshold` consecutive misses declare
+/// `shard` dead under `plan`, scanning `horizon` beats — the same consecutive
+/// logic the fleet's health model runs, usable to pre-scan seeds.
+fn shard_death_beat(plan: &FaultPlan, shard: u64, horizon: u64, threshold: u32) -> Option<u64> {
+    let mut misses = 0u32;
+    for k in 0..horizon {
+        if plan.fires(FaultKind::ShardCrash, shard, k, 0) {
+            misses += 1;
+            if misses >= threshold {
+                return Some(k);
+            }
+        } else {
+            misses = 0;
+        }
+    }
+    None
+}
+
+/// (a) Fleet of one, zero shard faults ⇒ byte-for-byte a bare server, both
+/// un-armed and with an armed zero-rate plan.
+#[test]
+fn fleet_of_one_is_byte_identical_to_bare_server() {
+    let (lego, lego_model, lego_traj) = assets("lego", 8);
+    let (ship, ship_model, ship_traj) = assets("ship", 8);
+    let submissions = [
+        ("a", "lego", QosClass::Interactive, 0.0),
+        ("b", "lego", QosClass::Standard, 0.004),
+        ("c", "ship", QosClass::Standard, 0.006),
+        ("d", "ship", QosClass::BestEffort, 0.013),
+    ];
+    for faults in [None, Some(FaultPlan::zero(42))] {
+        let serve_cfg = ServeConfig {
+            faults,
+            ..Default::default()
+        };
+        let mut bare = FrameServer::new(serve_cfg.clone());
+        let mut fleet = Fleet::new(FleetConfig {
+            shards: 1,
+            base: serve_cfg,
+            ..Default::default()
+        });
+        for (name, scene_key, qos, offset) in submissions {
+            let s = spec(name, scene_key, qos, offset);
+            let (scene, model, traj) = if scene_key == "lego" {
+                (&lego, &lego_model, &lego_traj)
+            } else {
+                (&ship, &ship_model, &ship_traj)
+            };
+            let k = Intrinsics::from_fov(24, 24, 0.9);
+            bare.submit(s.clone(), scene, model, traj, k).unwrap();
+            fleet.submit(s, scene, model, traj, k).unwrap();
+        }
+        // A streamed session fed pose-by-pose through both front doors.
+        let k = Intrinsics::from_fov(24, 24, 0.9);
+        let s = spec("stream", "lego", QosClass::Standard, 0.009);
+        let bare_id = bare
+            .submit_stream(s.clone(), &lego, &lego_model, lego_traj.fps(), k)
+            .unwrap();
+        let fleet_id = fleet
+            .submit_stream(s, &lego, &lego_model, lego_traj.fps(), k)
+            .unwrap();
+        for pose in lego_traj.poses() {
+            bare.push_pose(bare_id, *pose).unwrap();
+            fleet.push_pose(fleet_id, *pose).unwrap();
+        }
+        bare.close_stream(bare_id).unwrap();
+        fleet.close_stream(fleet_id).unwrap();
+        let oracle = bare.run();
+        let report = fleet.run();
+        assert_eq!(
+            report.shards[0],
+            oracle,
+            "armed={}: fleet of one drifted from the bare server",
+            faults.is_some()
+        );
+        assert_eq!(report.frames, oracle.frames);
+        assert_eq!(report.availability, 1.0);
+        assert_eq!(report.shard_crashes, 0);
+        assert!(report.migrations.is_empty());
+        assert_eq!(report.alive_shards, 1);
+    }
+}
+
+/// Pins admissions by scene so the failover fixture controls which shard
+/// hosts the victim: lego → shard 0, everything else → shard 1. Failover
+/// keeps the default warmth-then-load rule.
+#[derive(Debug)]
+struct PinByScene;
+
+impl ShardRoutingPolicy for PinByScene {
+    fn admit(&self, scene_key: &str, candidates: &[ShardCandidate]) -> usize {
+        let want = if scene_key == "lego" { 0 } else { 1 };
+        candidates
+            .iter()
+            .map(|c| c.shard)
+            .find(|&s| s == want)
+            .unwrap_or(candidates[0].shard)
+    }
+}
+
+/// A seed whose base plan kills shard 0 early (death beat 1..=5, i.e. within
+/// the first ~0.3 s at a 0.05 s heartbeat) while shard 1 outlives the whole
+/// run. Pure hashing — the scan costs microseconds.
+fn crash_seed(rate: f64) -> u64 {
+    (0..20_000u64)
+        .find(|&seed| {
+            let mut plan = FaultPlan::zero(seed);
+            plan.shard_crash_rate = rate;
+            matches!(shard_death_beat(&plan, 0, 24, 1), Some(k) if (1..=5).contains(&k))
+                && shard_death_beat(&plan, 1, 24, 1).is_none()
+        })
+        .expect("some seed kills shard 0 early and spares shard 1")
+}
+
+/// A lateral dolly that never revisits a pose cell: 0.1 world units per
+/// frame is past the reference cache's 0.05 position quantum, and — unlike
+/// a closing orbit — its extrapolated references can never wrap back into
+/// the start pose's cell and score a self-hit. The failover fixture needs
+/// the victim's hit count pinned at zero so PSNR equality proves pixel
+/// equality.
+fn dolly(frames: usize) -> Trajectory {
+    Trajectory::from_poses(
+        (0..frames)
+            .map(|i| {
+                Pose::look_at(
+                    Vec3::new(-0.8 + 0.1 * i as f32, 1.2, -2.6),
+                    Vec3::ZERO,
+                    Vec3::Y,
+                )
+            })
+            .collect::<Vec<Pose>>(),
+        30.0,
+    )
+}
+
+/// The failover fixture: two shards, the victim session isolated in its own
+/// scene on shard 0, a longer-lived bystander on shard 1, and a plan that
+/// deterministically kills shard 0 mid-run.
+fn failover_fixture(faults: Option<FaultPlan>, budget: usize) -> FleetReport {
+    let (lego, lego_model, _) = assets("lego", 12);
+    let lego_traj = dolly(12);
+    let (ship, ship_model, ship_traj) = assets("ship", 16);
+    let mut fleet = Fleet::new(FleetConfig {
+        shards: 2,
+        base: ServeConfig {
+            render_threads: budget,
+            faults,
+            ..Default::default()
+        },
+        routing: Arc::new(PinByScene),
+        heartbeat_interval_s: 0.05,
+        miss_threshold: 1,
+    });
+    let k = Intrinsics::from_fov(24, 24, 0.9);
+    fleet
+        .submit(
+            spec("victim", "lego", QosClass::Standard, 0.0),
+            &lego,
+            &lego_model,
+            &lego_traj,
+            k,
+        )
+        .unwrap();
+    fleet
+        .submit(
+            spec("bystander", "ship", QosClass::Standard, 0.004),
+            &ship,
+            &ship_model,
+            &ship_traj,
+            k,
+        )
+        .unwrap();
+    fleet.run()
+}
+
+fn find_session<'r>(report: &'r FleetReport, name: &str) -> &'r SessionSummary {
+    report
+        .shards
+        .iter()
+        .flat_map(|s| s.sessions.iter())
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("session {name} has a summary somewhere"))
+}
+
+/// (b) + (c): the killed shard's session resumes on the survivor with
+/// bit-identical frames, and the whole fleet report reproduces across
+/// budgets.
+#[test]
+fn shard_crash_migrates_sessions_bit_identically() {
+    let mut plan = FaultPlan::zero(crash_seed(0.1));
+    plan.shard_crash_rate = 0.1;
+
+    let chaotic = failover_fixture(Some(plan), 0);
+    assert_eq!(
+        chaotic.shard_crashes, 1,
+        "fixture must kill exactly shard 0"
+    );
+    assert_eq!(chaotic.alive_shards, 1);
+    assert_eq!(
+        chaotic.lost_sessions, 0,
+        "a survivor existed — nothing lost"
+    );
+    let migration = chaotic
+        .migrations
+        .iter()
+        .find(|m| m.name == "victim")
+        .expect("the victim must migrate");
+    assert_eq!(migration.from_shard, 0);
+    assert_eq!(migration.to_shard, 1);
+    assert!(migration.at_s > 0.0);
+    assert!(
+        migration.time_to_resume_s >= 0.0,
+        "the victim must actually resume on the survivor: {migration:?}"
+    );
+    assert_eq!(
+        migration.resumed_s,
+        migration.at_s + migration.time_to_resume_s
+    );
+
+    // Bit-identical frames: the victim is alone in its scene, so any cache
+    // hit is a *self*-hit installing its own rendered frame — equal hit
+    // counts mean both runs resolved every warp source identically, and
+    // equal PSNR ledgers then mean equal pixels, frame by frame. Latencies
+    // may legitimately differ (migration delays service); pixels must not.
+    let oracle = failover_fixture(None, 0);
+    let migrated = find_session(&chaotic, "victim");
+    let unmigrated = find_session(&oracle, "victim");
+    assert_eq!(
+        migrated.frames, 12,
+        "every victim frame served post-failover"
+    );
+    assert_eq!(migrated.frames, unmigrated.frames);
+    assert_eq!(migrated.cache_hits, unmigrated.cache_hits);
+    assert_eq!(
+        migrated.mean_psnr_db, unmigrated.mean_psnr_db,
+        "migration changed the victim's pixels"
+    );
+    // The migrated summary lives on the survivor; the dead shard keeps only
+    // the frames it served before dying.
+    assert!(chaotic.shards[1]
+        .sessions
+        .iter()
+        .any(|s| s.name == "victim"));
+    assert!(!chaotic.shards[0]
+        .sessions
+        .iter()
+        .any(|s| s.name == "victim"));
+    assert!(chaotic.shards[0].frames < oracle.shards[0].frames);
+
+    // (c) The whole report — records, migrations, availability — is
+    // bit-identical at any host thread budget.
+    for budget in [1usize, 4] {
+        let par = failover_fixture(Some(plan), budget);
+        assert_eq!(par, chaotic, "budget {budget}: failover run drifted");
+    }
+}
+
+/// (d) No survivor: the shard's live sessions are lost, their unserved
+/// frames dent availability, and touching them errors instead of panicking.
+#[test]
+fn last_shard_death_loses_sessions_without_panicking() {
+    let seed = (0..20_000u64)
+        .find(|&s| {
+            let mut plan = FaultPlan::zero(s);
+            plan.shard_crash_rate = 0.1;
+            matches!(shard_death_beat(&plan, 0, 24, 1), Some(k) if (1..=4).contains(&k))
+        })
+        .expect("some seed kills shard 0 early");
+    let mut plan = FaultPlan::zero(seed);
+    plan.shard_crash_rate = 0.1;
+
+    let (lego, lego_model, lego_traj) = assets("lego", 12);
+    let mut fleet = Fleet::new(FleetConfig {
+        shards: 1,
+        base: ServeConfig {
+            faults: Some(plan),
+            ..Default::default()
+        },
+        heartbeat_interval_s: 0.05,
+        miss_threshold: 1,
+        ..Default::default()
+    });
+    let k = Intrinsics::from_fov(24, 24, 0.9);
+    let id = fleet
+        .submit(
+            spec("doomed", "lego", QosClass::Standard, 0.0),
+            &lego,
+            &lego_model,
+            &lego_traj,
+            k,
+        )
+        .unwrap();
+    let report = fleet.run();
+    assert_eq!(report.shard_crashes, 1);
+    assert_eq!(report.alive_shards, 0);
+    assert_eq!(report.lost_sessions, 1);
+    assert!(report.lost_frames > 0, "the doomed session had frames left");
+    assert!(
+        report.availability < 1.0,
+        "lost frames must dent availability: {}",
+        report.availability
+    );
+    assert!(report.migrations.is_empty(), "nothing could adopt");
+    // The session's early frames still served and still summarize.
+    assert!(report.shards[0].frames < lego_traj.len());
+    assert_eq!(report.frames, report.shards[0].frames);
+    // Touching the lost session errors; new admissions find no shard.
+    assert!(matches!(
+        fleet.push_pose(id, lego_traj.poses()[0]),
+        Err(ServeError::SessionLost { id: e }) if e == id
+    ));
+    assert!(matches!(
+        fleet.submit(
+            spec("late", "lego", QosClass::Standard, 1.0),
+            &lego,
+            &lego_model,
+            &lego_traj,
+            k
+        ),
+        Err(ServeError::FleetDown)
+    ));
+}
