@@ -6,7 +6,7 @@
 //!     [--out results/bench_parallel.json] [--sizes 64,200,800] \
 //!     [--threads 1,2,4,8] [--samples 3] \
 //!     [--batch-out results/bench_batch.json] [--blocks 1,4,16,32,64] \
-//!     [--batch-size 200]
+//!     [--batch-size 200] [--simd-out results/bench_simd.json]
 //! ```
 //!
 //! Three measurement families, all recorded to the output file together
@@ -25,10 +25,18 @@
 //! - **pool spawn counter** — `RenderPool::spawned_total()` across every
 //!   timed pool-engine run; after warm-up it must not move (the zero-spawn
 //!   acceptance check, also enforced by `tests/zero_alloc.rs`).
-//! - **batch leg** — single-thread samples/s of the batched SoA sample
-//!   engine vs the scalar marcher (`sample_block` sweep) on the paper-scale
-//!   decoder model (64 hidden units — the regime where MLP weight re-reads
-//!   dominate, per the paper's §II-B), recorded to `--batch-out`.
+//! - **batch leg** — samples/s of the batched SoA sample engine vs the
+//!   scalar marcher (`sample_block` sweep) at every `--threads` count, on
+//!   the paper-scale decoder model (64 hidden units — the regime where MLP
+//!   weight re-reads dominate, per the paper's §II-B), recorded to
+//!   `--batch-out`. Block speedups are computed against the scalar marcher
+//!   at the *same* thread count, so they stay a per-core effect.
+//! - **SIMD matrix** — the batch leg again as a full
+//!   `threads × blocks × {scalar, simd}` matrix over the runtime kernel
+//!   switch, plus a direct `forward_block` kernel timing at the paper-scale
+//!   hidden-64 decoder, recorded to `--simd-out`. Without `--features simd`
+//!   the switch is inert (the JSON says `"simd_compiled": false`) and the
+//!   wide rows re-measure the scalar path.
 
 use cicero::sparw::{warp_frame_timed, WarpOptions, WarpScratch, WarpTiming};
 use cicero_bench::{bench_camera, bench_model, bench_model_paper};
@@ -47,6 +55,7 @@ struct Args {
     batch_out: String,
     blocks: Vec<usize>,
     batch_size: usize,
+    simd_out: String,
     trace: Option<String>,
     metrics: Option<String>,
 }
@@ -73,6 +82,7 @@ fn parse_args() -> Args {
         batch_out: "results/bench_batch.json".into(),
         blocks: vec![1, 4, 16, 32, 64],
         batch_size: 200,
+        simd_out: "results/bench_simd.json".into(),
         trace: None,
         metrics: None,
     };
@@ -90,10 +100,11 @@ fn parse_args() -> Args {
             "--batch-out" => args.batch_out = value(),
             "--blocks" => args.blocks = parse_csv("--blocks", &value()),
             "--batch-size" => args.batch_size = value().parse().expect("--batch-size takes a pixel count"),
+            "--simd-out" => args.simd_out = value(),
             "--trace" => args.trace = Some(value()),
             "--metrics" => args.metrics = Some(value()),
             other => panic!(
-                "unknown flag {other} (expected --out/--sizes/--threads/--samples/--batch-out/--blocks/--batch-size/--trace/--metrics)"
+                "unknown flag {other} (expected --out/--sizes/--threads/--samples/--batch-out/--blocks/--batch-size/--simd-out/--trace/--metrics)"
             ),
         }
     }
@@ -250,12 +261,17 @@ fn main() {
     let pool_spawns = pool.spawned_total() - spawns_at_warm;
     println!("  pool spawns during timed runs: {pool_spawns}");
 
-    // Batch leg: the batched SoA sample engine vs the scalar marcher,
-    // single-threaded (weight reuse is a per-core effect), on the
-    // paper-scale decoder model. Minimum-of-N timing: the block size is a
-    // pure throughput knob (bit-identical output, enforced by
-    // tests/batch_equivalence.rs), so only speed is recorded.
+    // Batch leg: the batched SoA sample engine vs the scalar marcher, at
+    // every requested thread count (the batch leg was single-thread only
+    // until ISSUE 9 wired `--threads` through), on the paper-scale decoder
+    // model. Minimum-of-N timing: block size and thread count are pure
+    // throughput knobs (bit-identical output, enforced by
+    // tests/batch_equivalence.rs and tests/parallel_determinism.rs), so
+    // only speed is recorded. Block speedups compare against the scalar
+    // marcher at the *same* thread count — weight reuse is a per-core
+    // effect and must not be conflated with parallel scaling.
     struct BatchRun {
+        threads: usize,
         block: usize,
         mean_s: f64,
         min_s: f64,
@@ -263,13 +279,12 @@ fn main() {
     }
     let paper_model = bench_model_paper();
     let batch_cam = bench_camera(args.batch_size);
-    let mut batch_runs: Vec<BatchRun> = Vec::new();
-    for &blk in &args.blocks {
+    let run_batch_cell = |threads: usize, blk: usize| -> BatchRun {
         let opts = RenderOptions {
             sample_block: blk.max(1),
             ..RenderOptions::default()
         };
-        let tile = TileOptions::with_threads(1);
+        let tile = TileOptions::with_threads(threads);
         let mut processed = 0u64;
         let mut render = || {
             let (_, stats) =
@@ -279,29 +294,39 @@ fn main() {
         };
         let _ = render(); // warm the block scratch at this size
         let (mean_s, min_s) = time_renders(args.samples, &mut render);
-        let samples_per_s = processed as f64 / min_s;
-        println!(
-            "  batch  {:>3}px  1t block {blk:>3}: mean {:>9.3} ms, min {:>9.3} ms, {:>6.3} Msamples/s",
-            args.batch_size,
-            mean_s * 1e3,
-            min_s * 1e3,
-            samples_per_s / 1e6
-        );
-        batch_runs.push(BatchRun {
+        BatchRun {
+            threads,
             block: blk.max(1),
             mean_s,
             min_s,
-            samples_per_s,
-        });
-    }
-    let scalar_sps = batch_runs
-        .iter()
-        .find(|r| r.block == 1)
-        .map(|r| r.samples_per_s);
-    if let Some(base) = scalar_sps {
-        for r in batch_runs.iter().filter(|r| r.block > 1) {
+            samples_per_s: processed as f64 / min_s,
+        }
+    };
+    let mut batch_runs: Vec<BatchRun> = Vec::new();
+    for &threads in &args.threads {
+        for &blk in &args.blocks {
+            let r = run_batch_cell(threads, blk);
             println!(
-                "  batch speedup block {:>3}: {:.2}x over scalar",
+                "  batch  {:>3}px {threads:>2}t block {:>3}: mean {:>9.3} ms, min {:>9.3} ms, {:>6.3} Msamples/s",
+                args.batch_size,
+                r.block,
+                r.mean_s * 1e3,
+                r.min_s * 1e3,
+                r.samples_per_s / 1e6
+            );
+            batch_runs.push(r);
+        }
+    }
+    let scalar_sps_at = |runs: &[BatchRun], threads: usize| {
+        runs.iter()
+            .find(|r| r.block == 1 && r.threads == threads)
+            .map(|r| r.samples_per_s)
+    };
+    for r in batch_runs.iter().filter(|r| r.block > 1) {
+        if let Some(base) = scalar_sps_at(&batch_runs, r.threads) {
+            println!(
+                "  batch speedup {:>2}t block {:>3}: {:.2}x over scalar",
+                r.threads,
                 r.block,
                 r.samples_per_s / base
             );
@@ -311,24 +336,27 @@ fn main() {
         .iter()
         .map(|r| {
             format!(
-                "    {{ \"block\": {}, \"mean_s\": {:.6}, \"min_s\": {:.6}, \"samples_per_s\": {:.1}, \"speedup_vs_scalar\": {} }}",
+                "    {{ \"threads\": {}, \"block\": {}, \"mean_s\": {:.6}, \"min_s\": {:.6}, \"samples_per_s\": {:.1}, \"speedup_vs_scalar\": {} }}",
+                r.threads,
                 r.block,
                 r.mean_s,
                 r.min_s,
                 r.samples_per_s,
-                // `null` when the sweep omitted the scalar baseline — a
-                // fabricated 1.0 would read as "no speedup measured".
-                scalar_sps.map_or("null".to_string(), |b| {
+                // `null` when the sweep omitted the same-thread scalar
+                // baseline — a fabricated 1.0 would read as "no speedup
+                // measured".
+                scalar_sps_at(&batch_runs, r.threads).map_or("null".to_string(), |b| {
                     format!("{:.4}", r.samples_per_s / b)
                 })
             )
         })
         .collect();
     let batch_json = format!(
-        "{{\n  \"bench\": \"batch_engine\",\n  \"schema_version\": 2,\n  \"size\": {},\n  \"threads\": 1,\n  \
+        "{{\n  \"bench\": \"batch_engine\",\n  \"schema_version\": 3,\n  \"size\": {},\n  \"threads\": {:?},\n  \
          \"march_step\": {},\n  \"samples\": {},\n  \"host_cores\": {},\n  \
          \"decoder_hidden\": 64,\n  \"runs\": [\n{}\n  ]\n}}\n",
         args.batch_size,
+        args.threads,
         opts.march.step,
         args.samples,
         host_cores,
@@ -339,6 +367,133 @@ fn main() {
     }
     std::fs::write(&args.batch_out, batch_json).expect("write batch baseline file");
     println!("batch baseline saved to {}", args.batch_out);
+
+    // SIMD matrix: the same batch cells again, now over the runtime wide-
+    // kernel switch — `threads × blocks × {scalar, simd}` — plus a direct
+    // `forward_block` timing at the paper-scale hidden-64 decoder. The
+    // wide path is bit-identical to the scalar one (enforced by
+    // tests/simd_equivalence.rs), so again only speed is recorded.
+    let simd_compiled = cicero_field::simd::compiled();
+    let backend = cicero_field::simd::backend();
+    struct SimdCell {
+        threads: usize,
+        block: usize,
+        kernels: &'static str,
+        mean_s: f64,
+        min_s: f64,
+        samples_per_s: f64,
+    }
+    let mut simd_cells: Vec<SimdCell> = Vec::new();
+    for &threads in &args.threads {
+        for &blk in &args.blocks {
+            let cell = |wide: bool| {
+                cicero_field::simd::set_kernels_enabled(wide);
+                let r = run_batch_cell(threads, blk);
+                SimdCell {
+                    threads,
+                    block: r.block,
+                    kernels: if wide { backend } else { "scalar" },
+                    mean_s: r.mean_s,
+                    min_s: r.min_s,
+                    samples_per_s: r.samples_per_s,
+                }
+            };
+            let scalar = cell(false);
+            let wide = cell(true);
+            println!(
+                "  simd   {:>3}px {threads:>2}t block {:>3}: scalar {:>6.3} Msamples/s, {backend} {:>6.3} Msamples/s ({:.2}x)",
+                args.batch_size,
+                scalar.block,
+                scalar.samples_per_s / 1e6,
+                wide.samples_per_s / 1e6,
+                wide.samples_per_s / scalar.samples_per_s
+            );
+            simd_cells.push(scalar);
+            simd_cells.push(wide);
+        }
+    }
+    cicero_field::simd::set_kernels_enabled(true); // compiled-in default
+
+    // Direct kernel timing: the hidden-64 decoder's forward_block on a
+    // 64-sample SoA block, scalar vs wide, outside the render loop — the
+    // isolated wide-kernel speedup the matrix cells dilute with marching,
+    // gathers and compositing.
+    let fb_block = 64usize;
+    let fb_mlp = cicero_field::Mlp::passthrough_decoder(12, 64, 7);
+    let fb_input: Vec<f32> = (0..12 * fb_block)
+        .map(|i| (i as f32 * 0.113).sin())
+        .collect();
+    let mut fb_scratch = cicero_field::MlpBlockScratch::new();
+    let mut fb_time = |wide: bool| -> f64 {
+        cicero_field::simd::set_kernels_enabled(wide);
+        let mut time_once = || {
+            let reps = 2000u32;
+            let t0 = Instant::now();
+            let mut acc = 0.0f32;
+            for _ in 0..reps {
+                fb_scratch
+                    .stage(fb_input.len())
+                    .copy_from_slice(std::hint::black_box(&fb_input));
+                acc += fb_mlp.forward_block(&mut fb_scratch, fb_block)[0];
+            }
+            std::hint::black_box(acc);
+            fb_block as f64 * f64::from(reps) / t0.elapsed().as_secs_f64()
+        };
+        let _ = time_once(); // warm
+        (0..args.samples).map(|_| time_once()).fold(0.0, f64::max)
+    };
+    let fb_scalar = fb_time(false);
+    let fb_wide = fb_time(true);
+    cicero_field::simd::set_kernels_enabled(true);
+    println!(
+        "  forward_block hidden 64 block {fb_block}: scalar {:>7.2} Msamples/s, {backend} {:>7.2} Msamples/s ({:.2}x)",
+        fb_scalar / 1e6,
+        fb_wide / 1e6,
+        fb_wide / fb_scalar
+    );
+
+    let simd_entries: Vec<String> = simd_cells
+        .iter()
+        .map(|c| {
+            let base = simd_cells
+                .iter()
+                .find(|s| s.threads == c.threads && s.block == c.block && s.kernels == "scalar")
+                .map(|s| s.samples_per_s);
+            format!(
+                "    {{ \"threads\": {}, \"block\": {}, \"kernels\": \"{}\", \"mean_s\": {:.6}, \"min_s\": {:.6}, \"samples_per_s\": {:.1}, \"speedup_vs_scalar\": {} }}",
+                c.threads,
+                c.block,
+                c.kernels,
+                c.mean_s,
+                c.min_s,
+                c.samples_per_s,
+                base.map_or("null".to_string(), |b| format!("{:.4}", c.samples_per_s / b))
+            )
+        })
+        .collect();
+    let simd_json = format!(
+        "{{\n  \"bench\": \"simd_kernels\",\n  \"schema_version\": 2,\n  \"size\": {},\n  \
+         \"march_step\": {},\n  \"samples\": {},\n  \"host_cores\": {},\n  \
+         \"decoder_hidden\": 64,\n  \"simd_compiled\": {},\n  \"backend\": \"{}\",\n  \
+         \"forward_block\": {{ \"hidden\": 64, \"block\": {}, \"scalar_samples_per_s\": {:.1}, \"wide_samples_per_s\": {:.1}, \"speedup_vs_scalar\": {:.4} }},\n  \
+         \"matrix\": [\n{}\n  ]\n}}\n",
+        args.batch_size,
+        opts.march.step,
+        args.samples,
+        host_cores,
+        simd_compiled,
+        backend,
+        fb_block,
+        fb_scalar,
+        fb_wide,
+        fb_wide / fb_scalar,
+        simd_entries.join(",\n")
+    );
+    if let Some(dir) = std::path::Path::new(&args.simd_out).parent() {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    std::fs::write(&args.simd_out, simd_json).expect("write simd baseline file");
+    println!("simd baseline saved to {}", args.simd_out);
 
     for &size in &args.sizes {
         let at = |engine: &str| {

@@ -15,7 +15,8 @@
 //! diffuse-radiance approximation degrades there.
 
 use cicero_field::pool::{Bands, Checkout, RenderPool};
-use cicero_math::{Camera, Vec3};
+use cicero_field::simd::{self, F32x8, LANES};
+use cicero_math::{Camera, Mat3, Vec3};
 use cicero_scene::ground_truth::Frame;
 use cicero_telemetry as telemetry;
 use std::time::Instant;
@@ -152,7 +153,7 @@ impl WarpResult {
 
 /// A forward-splatted contribution to one target pixel (steps 1–3's point
 /// rasterization).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 struct Splat {
     tx: u32,
     ty: u32,
@@ -217,8 +218,22 @@ fn splat_rows(
     out: &mut Vec<Splat>,
 ) {
     out.clear();
+    if simd::kernels_enabled() {
+        return splat_rows_wide(reference, ref_cam, tgt_cam, opts, rows, out);
+    }
+    splat_rows_scalar(reference, ref_cam, tgt_cam, opts, rows, out)
+}
+
+/// Scalar splat pass (the oracle the wide pass must match bit for bit).
+fn splat_rows_scalar(
+    reference: &Frame,
+    ref_cam: &Camera,
+    tgt_cam: &Camera,
+    opts: &WarpOptions,
+    rows: std::ops::Range<usize>,
+    out: &mut Vec<Splat>,
+) {
     let rw = ref_cam.intrinsics.width;
-    let (tw, th) = (tgt_cam.intrinsics.width, tgt_cam.intrinsics.height);
     for y in rows {
         for x in 0..rw {
             let d = *reference.depth.get(x, y);
@@ -230,54 +245,423 @@ fn splat_rows(
             let Some((ut, vt, zt)) = tgt_cam.project_world(p_world) else {
                 continue; // behind the target camera — Eq. 2+3
             };
-            let rejected = match opts.phi {
-                Some(phi) => {
-                    // θ of Fig. 8: angle at P between the two camera rays.
-                    let theta = (ref_cam.pose.position - p_world)
-                        .angle_between(tgt_cam.pose.position - p_world);
-                    theta > phi
+            push_splats(
+                reference, ref_cam, tgt_cam, opts, x, y, p_world, ut, vt, zt, out,
+            );
+        }
+    }
+}
+
+/// The tail of one splat-pass pixel: the φ rejection test, splat-mode tap
+/// weights, and bounds-checked pushes. Shared verbatim by the scalar and
+/// wide splat passes (the wide pass hands it per-lane values that are
+/// bit-identical to the scalar chain's, see [`WideWarpChain`]).
+#[allow(clippy::too_many_arguments)]
+fn push_splats(
+    reference: &Frame,
+    ref_cam: &Camera,
+    tgt_cam: &Camera,
+    opts: &WarpOptions,
+    x: usize,
+    y: usize,
+    p_world: Vec3,
+    ut: f32,
+    vt: f32,
+    zt: f32,
+    out: &mut Vec<Splat>,
+) {
+    let (tw, th) = (tgt_cam.intrinsics.width, tgt_cam.intrinsics.height);
+    let rejected = match opts.phi {
+        Some(phi) => {
+            // θ of Fig. 8: angle at P between the two camera rays.
+            let theta =
+                (ref_cam.pose.position - p_world).angle_between(tgt_cam.pose.position - p_world);
+            theta > phi
+        }
+        None => false,
+    };
+    let color = *reference.color.get(x, y);
+    let fx = ut - 0.5;
+    let fy = vt - 0.5;
+    let x0 = fx.floor();
+    let y0 = fy.floor();
+    let (wx, wy) = (fx - x0, fy - y0);
+    let taps: [(i64, i64, f32); 4] = match opts.splat {
+        SplatMode::Bilinear => [
+            (0, 0, (1.0 - wx) * (1.0 - wy)),
+            (1, 0, wx * (1.0 - wy)),
+            (0, 1, (1.0 - wx) * wy),
+            (1, 1, wx * wy),
+        ],
+        SplatMode::Nearest => [
+            ((fx.round() - x0) as i64, (fy.round() - y0) as i64, 1.0),
+            (0, 0, 0.0),
+            (0, 0, 0.0),
+            (0, 0, 0.0),
+        ],
+    };
+    for (dx, dy, w) in taps {
+        if w < 1e-4 {
+            continue;
+        }
+        let tx = x0 as i64 + dx;
+        let ty = y0 as i64 + dy;
+        if tx < 0 || ty < 0 || tx >= tw as i64 || ty >= th as i64 {
+            continue;
+        }
+        out.push(Splat {
+            tx: tx as u32,
+            ty: ty as u32,
+            weight: w,
+            z: zt,
+            color,
+            rejected,
+        });
+    }
+}
+
+/// Hoisted constants for the 8-lane reprojection chain
+/// `dst.project_world(src.unproject_to_world(u, v, d))`.
+///
+/// Bit-identity argument, op by op against the scalar methods:
+///
+/// - `Intrinsics::unproject`: `(u - c) * d / focal` — the wide path issues
+///   the same sub / mul / div sequence per lane.
+/// - `Pose::to_world`: `rotation.rotate(p) + position` where
+///   `Quat::rotate` is `to_mat3() * v` and `Mat3 * Vec3` expands to
+///   `cols[0]*v.x + cols[1]*v.y + cols[2]*v.z` — per component that is
+///   `(m00*x + m01*y) + m02*z`, the exact tree [`mat_row`] builds; the
+///   position add follows, componentwise. Hoisting `to_mat3()` is safe:
+///   the quaternion is fixed, so every per-pixel call rebuilds the same
+///   matrix bits.
+/// - `Pose::to_camera`: `conjugate().rotate(p - position)` — componentwise
+///   sub first, then the same matrix tree with the conjugate matrix.
+/// - `Intrinsics::project`: `focal * x / z + c` — same mul / div / add
+///   sequence; the wide path computes all lanes unconditionally (IEEE
+///   division never traps; z ≤ 1e-6 lanes produce garbage that callers
+///   discard exactly where the scalar path takes the `None` arm).
+struct WideWarpChain {
+    src_cx: f32,
+    src_cy: f32,
+    src_focal: f32,
+    src_m: Mat3,
+    src_pos: Vec3,
+    dst_mc: Mat3,
+    dst_pos: Vec3,
+    dst_cx: f32,
+    dst_cy: f32,
+    dst_focal: f32,
+}
+
+/// One rotation-matrix row applied to 8 lanes: `(a*x + b*y) + c*z`, the
+/// per-component tree of `Mat3 * Vec3` (two left-associated Vec3 adds).
+fn mat_row(a: f32, b: f32, c: f32, x: F32x8, y: F32x8, z: F32x8) -> F32x8 {
+    F32x8::splat(a)
+        .mul(x)
+        .add(F32x8::splat(b).mul(y))
+        .add(F32x8::splat(c).mul(z))
+}
+
+impl WideWarpChain {
+    fn new(src: &Camera, dst: &Camera) -> Self {
+        Self {
+            src_cx: src.intrinsics.cx,
+            src_cy: src.intrinsics.cy,
+            src_focal: src.intrinsics.focal,
+            src_m: src.pose.rotation.to_mat3(),
+            src_pos: src.pose.position,
+            dst_mc: dst.pose.rotation.conjugate().to_mat3(),
+            dst_pos: dst.pose.position,
+            dst_cx: dst.intrinsics.cx,
+            dst_cy: dst.intrinsics.cy,
+            dst_focal: dst.intrinsics.focal,
+        }
+    }
+
+    /// 8 lanes of unproject → to-world → to-camera → project. Returns
+    /// `[p_world.x, p_world.y, p_world.z, u_dst, v_dst, z_dst]`; a lane is
+    /// valid (scalar `project` returns `Some`) iff its `z_dst > 1e-6`.
+    fn run(&self, u: F32x8, v: F32x8, d: F32x8) -> [F32x8; 6] {
+        let focal = F32x8::splat(self.src_focal);
+        let px = u.sub(F32x8::splat(self.src_cx)).mul(d).div(focal);
+        let py = v.sub(F32x8::splat(self.src_cy)).mul(d).div(focal);
+        let pz = d;
+        let m = &self.src_m;
+        let wx = mat_row(m.cols[0].x, m.cols[1].x, m.cols[2].x, px, py, pz)
+            .add(F32x8::splat(self.src_pos.x));
+        let wy = mat_row(m.cols[0].y, m.cols[1].y, m.cols[2].y, px, py, pz)
+            .add(F32x8::splat(self.src_pos.y));
+        let wz = mat_row(m.cols[0].z, m.cols[1].z, m.cols[2].z, px, py, pz)
+            .add(F32x8::splat(self.src_pos.z));
+        let qx = wx.sub(F32x8::splat(self.dst_pos.x));
+        let qy = wy.sub(F32x8::splat(self.dst_pos.y));
+        let qz = wz.sub(F32x8::splat(self.dst_pos.z));
+        let mc = &self.dst_mc;
+        let rx = mat_row(mc.cols[0].x, mc.cols[1].x, mc.cols[2].x, qx, qy, qz);
+        let ry = mat_row(mc.cols[0].y, mc.cols[1].y, mc.cols[2].y, qx, qy, qz);
+        let rz = mat_row(mc.cols[0].z, mc.cols[1].z, mc.cols[2].z, qx, qy, qz);
+        let df = F32x8::splat(self.dst_focal);
+        let ut = df.mul(rx).div(rz).add(F32x8::splat(self.dst_cx));
+        let vt = df.mul(ry).div(rz).add(F32x8::splat(self.dst_cy));
+        [wx, wy, wz, ut, vt, rz]
+    }
+}
+
+/// Explicit-SIMD splat pass: the reprojection chain for 8 consecutive
+/// reference-row pixels runs through [`WideWarpChain`] (bit-identical to
+/// the scalar camera methods, see its docs); the per-pixel finish — depth
+/// validity, behind-camera rejection, φ test, taps, pushes — stays scalar
+/// in [`push_splats`], in the same left-to-right pixel order. Row
+/// remainders run the scalar chain verbatim.
+fn splat_rows_wide(
+    reference: &Frame,
+    ref_cam: &Camera,
+    tgt_cam: &Camera,
+    opts: &WarpOptions,
+    rows: std::ops::Range<usize>,
+    out: &mut Vec<Splat>,
+) {
+    let rw = ref_cam.intrinsics.width;
+    let chain = WideWarpChain::new(ref_cam, tgt_cam);
+    let depth = reference.depth.pixels();
+    let mut us = [0.0f32; LANES];
+    for y in rows {
+        let v = F32x8::splat(y as f32 + 0.5);
+        let drow = &depth[y * rw..(y + 1) * rw];
+        let mut x = 0;
+        while x + LANES <= rw {
+            for (lane, u) in us.iter_mut().enumerate() {
+                *u = (x + lane) as f32 + 0.5;
+            }
+            let d = F32x8::load(&drow[x..]);
+            let [pwx, pwy, pwz, ut, vt, zt] = chain.run(F32x8::load(&us), v, d);
+            let (pwx, pwy, pwz) = (pwx.to_array(), pwy.to_array(), pwz.to_array());
+            let (ut, vt, zt) = (ut.to_array(), vt.to_array(), zt.to_array());
+            let d = d.to_array();
+            for lane in 0..LANES {
+                if !d[lane].is_finite() || zt[lane] <= 1e-6 {
+                    continue; // same skips as the scalar pass, per lane
                 }
-                None => false,
+                let p_world = Vec3::new(pwx[lane], pwy[lane], pwz[lane]);
+                push_splats(
+                    reference,
+                    ref_cam,
+                    tgt_cam,
+                    opts,
+                    x + lane,
+                    y,
+                    p_world,
+                    ut[lane],
+                    vt[lane],
+                    zt[lane],
+                    out,
+                );
+            }
+            x += LANES;
+        }
+        for (x, &d) in drow.iter().enumerate().skip(x) {
+            if !d.is_finite() {
+                continue;
+            }
+            let (u, v) = (x as f32 + 0.5, y as f32 + 0.5);
+            let p_world = ref_cam.unproject_to_world(u, v, d);
+            let Some((ut, vt, zt)) = tgt_cam.project_world(p_world) else {
+                continue;
             };
-            let color = *reference.color.get(x, y);
-            let fx = ut - 0.5;
-            let fy = vt - 0.5;
-            let x0 = fx.floor();
-            let y0 = fy.floor();
-            let (wx, wy) = (fx - x0, fy - y0);
-            let taps: [(i64, i64, f32); 4] = match opts.splat {
-                SplatMode::Bilinear => [
-                    (0, 0, (1.0 - wx) * (1.0 - wy)),
-                    (1, 0, wx * (1.0 - wy)),
-                    (0, 1, (1.0 - wx) * wy),
-                    (1, 1, wx * wy),
-                ],
-                SplatMode::Nearest => [
-                    ((fx.round() - x0) as i64, (fy.round() - y0) as i64, 1.0),
-                    (0, 0, 0.0),
-                    (0, 0, 0.0),
-                    (0, 0, 0.0),
-                ],
-            };
-            for (dx, dy, w) in taps {
-                if w < 1e-4 {
+            push_splats(
+                reference, ref_cam, tgt_cam, opts, x, y, p_world, ut, vt, zt, out,
+            );
+        }
+    }
+}
+
+/// Explicit-SIMD normalize pass over one target band: the weight
+/// reciprocal and normalized depth for 8 consecutive pixels run wide
+/// (`divps`/`mulps` are per-lane identical to the scalar `/` and `*`), the
+/// per-pixel coverage gate, Vec3 color scale and status write stay scalar.
+/// Uncovered lanes are computed and discarded exactly where the scalar
+/// path skips (IEEE division never traps — a zero weight just yields an
+/// unused `inf`). Band remainders run the scalar body.
+#[allow(clippy::too_many_arguments)]
+fn normalize_band_wide(
+    acc_color: &[Vec3],
+    acc_z: &[f32],
+    acc_w: &[f32],
+    rej_w: &[f32],
+    base: usize,
+    cb: &mut [Vec3],
+    db: &mut [f32],
+    sb: &mut [PixelSource],
+) {
+    let classify = |idx: usize| {
+        if rej_w[idx] * 2.0 > acc_w[idx] {
+            PixelSource::RejectedByAngle
+        } else {
+            PixelSource::Warped
+        }
+    };
+    let mut local = 0;
+    while local + LANES <= sb.len() {
+        let idx0 = base + local;
+        let inv = F32x8::splat(1.0).div(F32x8::load(&acc_w[idx0..]));
+        let dz = F32x8::load(&acc_z[idx0..]).mul(inv);
+        let inv = inv.to_array();
+        let dz = dz.to_array();
+        for lane in 0..LANES {
+            let idx = idx0 + lane;
+            if acc_w[idx] < 0.75 {
+                continue;
+            }
+            cb[local + lane] = acc_color[idx] * inv[lane];
+            db[local + lane] = dz[lane];
+            sb[local + lane] = classify(idx);
+        }
+        local += LANES;
+    }
+    for local in local..sb.len() {
+        let idx = base + local;
+        if acc_w[idx] < 0.75 {
+            continue;
+        }
+        let inv = 1.0 / acc_w[idx];
+        cb[local] = acc_color[idx] * inv;
+        db[local] = acc_z[idx] * inv;
+        sb[local] = classify(idx);
+    }
+}
+
+/// The tail of one void-classification pixel: the warped-neighbor scan and
+/// the Void / background write. Shared verbatim by the scalar and wide
+/// classify passes once `is_void` has been decided.
+#[allow(clippy::too_many_arguments)]
+fn classify_finish(
+    snapshot: &[PixelSource],
+    background: Vec3,
+    tw: usize,
+    th: usize,
+    idx: usize,
+    is_void: bool,
+    cb: &mut Vec3,
+    sb: &mut PixelSource,
+) {
+    let (tx, ty) = (idx % tw, idx / tw);
+    let near_surface = {
+        let mut found = false;
+        'scan: for dy in -1i64..=1 {
+            for dx in -1i64..=1 {
+                let (nx, ny) = (tx as i64 + dx, ty as i64 + dy);
+                if nx < 0 || ny < 0 || nx >= tw as i64 || ny >= th as i64 {
                     continue;
                 }
-                let tx = x0 as i64 + dx;
-                let ty = y0 as i64 + dy;
-                if tx < 0 || ty < 0 || tx >= tw as i64 || ty >= th as i64 {
-                    continue;
+                if snapshot[ny as usize * tw + nx as usize] == PixelSource::Warped {
+                    found = true;
+                    break 'scan;
                 }
-                out.push(Splat {
-                    tx: tx as u32,
-                    ty: ty as u32,
-                    weight: w,
-                    z: zt,
-                    color,
-                    rejected,
-                });
             }
         }
+        found
+    };
+    if is_void && !near_surface {
+        *sb = PixelSource::Void;
+    } else {
+        // Rejected-by-angle pixels that lost the z-test race stay
+        // disoccluded; color remains background until sparse NeRF.
+        *cb = background;
+    }
+}
+
+/// Explicit-SIMD void-classification pass over one target band: hole
+/// pixels are gathered into 8-lane batches and their far-probe
+/// reprojection (target unproject at `void_probe_depth` → reference
+/// project) runs through [`WideWarpChain`]; the per-pixel finish — texel
+/// rounding, frustum/background test, warped-neighbor scan, write — stays
+/// scalar in [`classify_finish`]. Deferring a pixel's finish to its batch
+/// flush cannot change results: decisions read only the status *snapshot*
+/// and the reference frame, never in-band writes. The sub-batch remainder
+/// runs the scalar camera methods, which the chain matches bit for bit.
+#[allow(clippy::too_many_arguments)]
+fn classify_band_wide(
+    reference: &Frame,
+    ref_cam: &Camera,
+    tgt_cam: &Camera,
+    opts: &WarpOptions,
+    snapshot: &[PixelSource],
+    background: Vec3,
+    y0: usize,
+    cb: &mut [Vec3],
+    sb: &mut [PixelSource],
+) {
+    let (tw, th) = (tgt_cam.intrinsics.width, tgt_cam.intrinsics.height);
+    let (rw, rh) = (ref_cam.intrinsics.width, ref_cam.intrinsics.height);
+    let chain = WideWarpChain::new(tgt_cam, ref_cam);
+    let probe = F32x8::splat(opts.void_probe_depth);
+    let mut locs = [0usize; LANES];
+    let mut us = [0.0f32; LANES];
+    let mut vs = [0.0f32; LANES];
+    let mut n = 0;
+    for local in 0..sb.len() {
+        if sb[local] != PixelSource::Disoccluded {
+            continue;
+        }
+        let idx = y0 * tw + local;
+        locs[n] = local;
+        us[n] = (idx % tw) as f32 + 0.5;
+        vs[n] = (idx / tw) as f32 + 0.5;
+        n += 1;
+        if n < LANES {
+            continue;
+        }
+        n = 0;
+        let [_, _, _, ru, rv, rz] = chain.run(F32x8::load(&us), F32x8::load(&vs), probe);
+        let (ru, rv, rz) = (ru.to_array(), rv.to_array(), rz.to_array());
+        for lane in 0..LANES {
+            let local = locs[lane];
+            let is_void = rz[lane] > 1e-6 && {
+                let rx = (ru[lane] - 0.5).round() as i64;
+                let ry = (rv[lane] - 0.5).round() as i64;
+                if rx >= 0 && ry >= 0 && rx < rw as i64 && ry < rh as i64 {
+                    !reference.depth.get(rx as usize, ry as usize).is_finite()
+                } else {
+                    false // outside the reference frustum: must render
+                }
+            };
+            classify_finish(
+                snapshot,
+                background,
+                tw,
+                th,
+                y0 * tw + local,
+                is_void,
+                &mut cb[local],
+                &mut sb[local],
+            );
+        }
+    }
+    for j in 0..n {
+        let local = locs[j];
+        let far_world = tgt_cam.unproject_to_world(us[j], vs[j], opts.void_probe_depth);
+        let is_void = match ref_cam.project_world(far_world) {
+            Some((ru, rv, _)) => {
+                let rx = (ru - 0.5).round() as i64;
+                let ry = (rv - 0.5).round() as i64;
+                if rx >= 0 && ry >= 0 && rx < rw as i64 && ry < rh as i64 {
+                    !reference.depth.get(rx as usize, ry as usize).is_finite()
+                } else {
+                    false
+                }
+            }
+            None => false,
+        };
+        classify_finish(
+            snapshot,
+            background,
+            tw,
+            th,
+            y0 * tw + local,
+            is_void,
+            &mut cb[local],
+            &mut sb[local],
+        );
     }
 }
 
@@ -629,6 +1013,9 @@ fn warp_frame_impl(
         let (acc_color, acc_w) = (&scratch.acc_color, &scratch.acc_w);
         let (acc_z, rej_w) = (&scratch.acc_z, &scratch.rej_w);
         for_each_target_band(&co, frame, status, |y0, cb, db, sb| {
+            if simd::kernels_enabled() {
+                return normalize_band_wide(acc_color, acc_z, acc_w, rej_w, y0 * tw, cb, db, sb);
+            }
             for (local, st) in sb.iter_mut().enumerate() {
                 let idx = y0 * tw + local;
                 // Require near-full coverage: interior surface pixels
@@ -669,6 +1056,11 @@ fn warp_frame_impl(
     {
         let snapshot = &scratch.snapshot;
         for_each_target_band(&co, frame, status, |y0, cb, _db, sb| {
+            if simd::kernels_enabled() {
+                return classify_band_wide(
+                    reference, ref_cam, tgt_cam, opts, snapshot, background, y0, cb, sb,
+                );
+            }
             for (local, st) in sb.iter_mut().enumerate() {
                 if *st != PixelSource::Disoccluded {
                     continue;
@@ -804,6 +1196,91 @@ mod tests {
         );
         let reference = render_frame(&scene, &ref_cam, &MarchParams::default());
         (scene, ref_cam, tgt_cam, reference)
+    }
+
+    #[test]
+    fn wide_warp_chain_matches_camera_methods_bitwise() {
+        // The lemma behind the wide splat and classify passes: 8 lanes of
+        // WideWarpChain must equal dst.project_world(src.unproject_to_world)
+        // bit for bit, including the world-space intermediate. Exercised in
+        // both chain directions over translated + rotated camera pairs.
+        let k = Intrinsics::from_fov(64, 48, 0.9);
+        let cam_a = Camera::new(
+            k,
+            Pose::look_at(Vec3::new(0.3, 1.2, -2.6), Vec3::ZERO, Vec3::Y),
+        );
+        let cam_b = Camera::new(
+            k,
+            Pose::look_at(Vec3::new(-0.9, 0.4, 2.8), Vec3::new(0.2, 0.1, 0.0), Vec3::Y),
+        );
+        for (src, dst) in [(&cam_a, &cam_b), (&cam_b, &cam_a)] {
+            let chain = WideWarpChain::new(src, dst);
+            for group in 0..4 {
+                let mut us = [0.0f32; LANES];
+                let mut vs = [0.0f32; LANES];
+                let mut ds = [0.0f32; LANES];
+                for lane in 0..LANES {
+                    let i = (group * LANES + lane) as f32;
+                    us[lane] = (i * 7.3).sin().abs() * 63.0 + 0.5;
+                    vs[lane] = (i * 3.1).cos().abs() * 47.0 + 0.5;
+                    ds[lane] = 0.5 + (i * 1.7).sin().abs() * 6.0;
+                }
+                let [wx, wy, wz, ut, vt, zt] =
+                    chain.run(F32x8::load(&us), F32x8::load(&vs), F32x8::load(&ds));
+                let (wx, wy, wz) = (wx.to_array(), wy.to_array(), wz.to_array());
+                let (ut, vt, zt) = (ut.to_array(), vt.to_array(), zt.to_array());
+                for lane in 0..LANES {
+                    let p_world = src.unproject_to_world(us[lane], vs[lane], ds[lane]);
+                    assert_eq!(wx[lane].to_bits(), p_world.x.to_bits(), "lane {lane} wx");
+                    assert_eq!(wy[lane].to_bits(), p_world.y.to_bits(), "lane {lane} wy");
+                    assert_eq!(wz[lane].to_bits(), p_world.z.to_bits(), "lane {lane} wz");
+                    match dst.project_world(p_world) {
+                        Some((su, sv, sz)) => {
+                            assert!(zt[lane] > 1e-6, "lane {lane} validity");
+                            assert_eq!(ut[lane].to_bits(), su.to_bits(), "lane {lane} u");
+                            assert_eq!(vt[lane].to_bits(), sv.to_bits(), "lane {lane} v");
+                            assert_eq!(zt[lane].to_bits(), sz.to_bits(), "lane {lane} z");
+                        }
+                        None => assert!(zt[lane] <= 1e-6, "lane {lane} validity"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_splat_pass_matches_scalar_bitwise() {
+        // Direct kernel-vs-kernel comparison on real rendered references
+        // (finite + infinite depths, both splat modes, with and without the
+        // φ rejection test), independent of the `simd::kernels_enabled`
+        // switch. The 64-wide frame runs full lane groups only; the 35-wide
+        // frame adds a 3-pixel scalar row tail per row.
+        let (scene, ref_cam, tgt_cam, reference) = setup(0.12);
+        let narrow_k = Intrinsics::from_fov(35, 24, 0.9);
+        let narrow_ref_cam = Camera::new(narrow_k, ref_cam.pose);
+        let narrow_tgt_cam = Camera::new(narrow_k, tgt_cam.pose);
+        let narrow = render_frame(&scene, &narrow_ref_cam, &MarchParams::default());
+        let legs: [(&Frame, &Camera, &Camera, usize); 2] = [
+            (&reference, &ref_cam, &tgt_cam, 64),
+            (&narrow, &narrow_ref_cam, &narrow_tgt_cam, 24),
+        ];
+        for (frame, rc, tc, rows) in legs {
+            for phi in [None, Some(0.02)] {
+                for splat in [SplatMode::Bilinear, SplatMode::Nearest] {
+                    let opts = WarpOptions {
+                        splat,
+                        phi,
+                        ..Default::default()
+                    };
+                    let mut scalar = Vec::new();
+                    let mut wide = Vec::new();
+                    splat_rows_scalar(frame, rc, tc, &opts, 0..rows, &mut scalar);
+                    splat_rows_wide(frame, rc, tc, &opts, 0..rows, &mut wide);
+                    assert!(!scalar.is_empty(), "splat={splat:?} phi={phi:?}: no splats");
+                    assert_eq!(scalar, wide, "splat={splat:?} phi={phi:?}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use crate::encoding::{cell_fraction, trilinear_weights};
 use crate::plan::{GatherPlan, LevelGather, RegionId};
+use crate::simd::{F32x8, LANES};
 use cicero_math::{Aabb, Vec3};
 
 /// Configuration of a dense feature grid.
@@ -160,6 +161,13 @@ impl DenseGrid {
     ///
     /// Panics if `out` is too short or `stride < ps.len()`.
     pub fn interpolate_block_into(&self, ps: &[Vec3], out: &mut [f32], stride: usize) {
+        if crate::simd::kernels_enabled() && self.cfg.channels >= LANES {
+            return self.interpolate_block_wide(ps, out, stride);
+        }
+        self.interpolate_block_scalar(ps, out, stride)
+    }
+
+    fn interpolate_block_scalar(&self, ps: &[Vec3], out: &mut [f32], stride: usize) {
         let ch = self.cfg.channels;
         let res = self.cfg.resolution as u32;
         assert!(stride >= ps.len(), "stride shorter than the block");
@@ -184,6 +192,66 @@ impl DenseGrid {
                 for (c, v) in self.data[base..base + ch].iter().enumerate() {
                     out[c * stride + s] += weight * v;
                 }
+            }
+        }
+    }
+
+    /// Explicit-SIMD [`DenseGrid::interpolate_block_scalar`]: the lanes are
+    /// the *channels* of one sample — each corner's feature row is
+    /// contiguous in vertex-major `data`, so a corner contributes
+    /// `splat(weight) * load(row)` per 8-channel group.
+    ///
+    /// Bit-identical to the scalar path: the corner coordinates and
+    /// trilinear weights are computed by the same scalar code, the
+    /// zero-weight corner skip is preserved (so the term list per channel is
+    /// identical, in the same ascending corner order), and each channel's
+    /// register accumulator starts from 0.0 exactly like the scalar
+    /// in-memory accumulation. Channels past the last full group run the
+    /// scalar loop verbatim.
+    fn interpolate_block_wide(&self, ps: &[Vec3], out: &mut [f32], stride: usize) {
+        let ch = self.cfg.channels;
+        let res = self.cfg.resolution as u32;
+        assert!(stride >= ps.len(), "stride shorter than the block");
+        assert!(out.len() >= ch * stride, "output matrix too short");
+        let wide_ch = ch - ch % LANES;
+        for (s, &p) in ps.iter().enumerate() {
+            let g = self.grid_coords(p);
+            let (cx, fx) = cell_fraction(g.x, res);
+            let (cy, fy) = cell_fraction(g.y, res);
+            let (cz, fz) = cell_fraction(g.z, res);
+            let w = trilinear_weights(fx, fy, fz);
+            // Collect live corners in ascending order, keeping the scalar
+            // path's zero-weight skip so the term lists match exactly.
+            let mut bases = [0usize; 8];
+            let mut ws = [0.0f32; 8];
+            let mut live = 0;
+            for (corner, &weight) in w.iter().enumerate() {
+                if weight == 0.0 {
+                    continue;
+                }
+                let vx = cx + (corner as u32 & 1);
+                let vy = cy + ((corner as u32 >> 1) & 1);
+                let vz = cz + ((corner as u32 >> 2) & 1);
+                bases[live] = self.vertex_index(vx, vy, vz) as usize * ch;
+                ws[live] = weight;
+                live += 1;
+            }
+            for c0 in (0..wide_ch).step_by(LANES) {
+                let mut acc = F32x8::splat(0.0);
+                for j in 0..live {
+                    let row = &self.data[bases[j] + c0..];
+                    acc = acc.add(F32x8::splat(ws[j]).mul(F32x8::load(row)));
+                }
+                for (dc, &v) in acc.to_array().iter().enumerate() {
+                    out[(c0 + dc) * stride + s] = v;
+                }
+            }
+            for c in wide_ch..ch {
+                let mut acc = 0.0;
+                for j in 0..live {
+                    acc += ws[j] * self.data[bases[j] + c];
+                }
+                out[c * stride + s] = acc;
             }
         }
     }
@@ -248,6 +316,53 @@ mod tests {
             },
             Aabb::centered_cube(1.0),
         )
+    }
+
+    #[test]
+    fn wide_block_interpolation_matches_scalar_bitwise() {
+        // Direct kernel-vs-kernel comparison, independent of the
+        // `simd::kernels_enabled` switch. 13 channels: one full F32x8 group
+        // plus a 5-channel scalar tail. Samples straddle interior cells,
+        // faces and the clamped boundary (exercising zero-weight corners).
+        let mut g = DenseGrid::new(
+            GridConfig {
+                resolution: 4,
+                channels: 13,
+                bytes_per_channel: 2,
+            },
+            Aabb::centered_cube(1.0),
+        );
+        let n = g.verts_per_axis() as u32;
+        for z in 0..n {
+            for y in 0..n {
+                for x in 0..n {
+                    let f: Vec<f32> = (0..13)
+                        .map(|c| ((x * 59 + y * 11 + z * 3 + c) as f32 * 0.211).sin())
+                        .collect();
+                    g.set_vertex(x, y, z, &f);
+                }
+            }
+        }
+        let ps: Vec<Vec3> = (0..17)
+            .map(|i| {
+                let t = i as f32 * 0.47;
+                Vec3::new(t.sin() * 1.1, (t * 1.9).cos() * 1.1, (t * 0.7).sin())
+            })
+            .collect();
+        let stride = ps.len() + 2;
+        let mut scalar = vec![f32::NAN; 13 * stride];
+        let mut wide = vec![f32::NAN; 13 * stride];
+        g.interpolate_block_scalar(&ps, &mut scalar, stride);
+        g.interpolate_block_wide(&ps, &mut wide, stride);
+        for s in 0..ps.len() {
+            for c in 0..13 {
+                assert_eq!(
+                    scalar[c * stride + s].to_bits(),
+                    wide[c * stride + s].to_bits(),
+                    "sample {s} channel {c}"
+                );
+            }
+        }
     }
 
     #[test]

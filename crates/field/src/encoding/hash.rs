@@ -9,6 +9,7 @@
 
 use crate::encoding::{cell_fraction, trilinear_weights};
 use crate::plan::{GatherPlan, LevelGather, RegionId};
+use crate::simd::{F32x8, LANES};
 use cicero_math::{Aabb, Vec3};
 
 /// Configuration of the hash encoding.
@@ -223,6 +224,13 @@ impl HashGrid {
     ///
     /// Panics if `out` is too short or `stride < ps.len()`.
     pub fn interpolate_block_into(&self, ps: &[Vec3], out: &mut [f32], stride: usize) {
+        if crate::simd::kernels_enabled() && self.cfg.features_per_entry >= LANES {
+            return self.interpolate_block_wide(ps, out, stride);
+        }
+        self.interpolate_block_scalar(ps, out, stride)
+    }
+
+    fn interpolate_block_scalar(&self, ps: &[Vec3], out: &mut [f32], stride: usize) {
         let f = self.cfg.features_per_entry;
         assert!(stride >= ps.len(), "stride shorter than the block");
         assert!(
@@ -254,6 +262,71 @@ impl HashGrid {
                     for (c, v) in l.data[base..base + f].iter().enumerate() {
                         rows[c * stride + s] += weight * v;
                     }
+                }
+            }
+        }
+    }
+
+    /// Explicit-SIMD [`HashGrid::interpolate_block_scalar`]: lanes are the
+    /// features of one table entry (contiguous in entry-major level data),
+    /// so each live corner contributes `splat(weight) * load(entry_row)`
+    /// per 8-feature group. At the default `features_per_entry = 8` one
+    /// group covers a whole entry.
+    ///
+    /// Bit-identical to the scalar path: hashing / corner coordinates /
+    /// trilinear weights run the same scalar code (collected in ascending
+    /// corner order with the zero-weight skip preserved), and each
+    /// feature's register accumulator starts from 0.0 exactly like the
+    /// scalar in-memory accumulation. Features past the last full group run
+    /// the scalar loop verbatim.
+    fn interpolate_block_wide(&self, ps: &[Vec3], out: &mut [f32], stride: usize) {
+        let f = self.cfg.features_per_entry;
+        assert!(stride >= ps.len(), "stride shorter than the block");
+        assert!(
+            out.len() >= self.cfg.levels * f * stride,
+            "output matrix too short"
+        );
+        let wide_f = f - f % LANES;
+        for (li, l) in self.levels.iter().enumerate() {
+            let res = l.resolution as u32;
+            let rscale = l.resolution as f32;
+            let rows = &mut out[li * f * stride..(li + 1) * f * stride];
+            for (s, &p) in ps.iter().enumerate() {
+                let g = self.bounds.normalize(p) * rscale;
+                let (cx, fx) = cell_fraction(g.x, res);
+                let (cy, fy) = cell_fraction(g.y, res);
+                let (cz, fz) = cell_fraction(g.z, res);
+                let w = trilinear_weights(fx, fy, fz);
+                let mut bases = [0usize; 8];
+                let mut ws = [0.0f32; 8];
+                let mut live = 0;
+                for (corner, &weight) in w.iter().enumerate() {
+                    if weight == 0.0 {
+                        continue;
+                    }
+                    let vx = cx + (corner as u32 & 1);
+                    let vy = cy + ((corner as u32 >> 1) & 1);
+                    let vz = cz + ((corner as u32 >> 2) & 1);
+                    bases[live] = self.entry_index(li, vx, vy, vz) as usize * f;
+                    ws[live] = weight;
+                    live += 1;
+                }
+                for c0 in (0..wide_f).step_by(LANES) {
+                    let mut acc = F32x8::splat(0.0);
+                    for j in 0..live {
+                        let row = &l.data[bases[j] + c0..];
+                        acc = acc.add(F32x8::splat(ws[j]).mul(F32x8::load(row)));
+                    }
+                    for (dc, &v) in acc.to_array().iter().enumerate() {
+                        rows[(c0 + dc) * stride + s] = v;
+                    }
+                }
+                for c in wide_f..f {
+                    let mut acc = 0.0;
+                    for j in 0..live {
+                        acc += ws[j] * l.data[bases[j] + c];
+                    }
+                    rows[c * stride + s] = acc;
                 }
             }
         }
@@ -349,6 +422,53 @@ mod tests {
             },
             Aabb::centered_cube(1.0),
         )
+    }
+
+    #[test]
+    fn wide_block_interpolation_matches_scalar_bitwise() {
+        // Direct kernel-vs-kernel comparison, independent of the
+        // `simd::kernels_enabled` switch. 11 features: one full F32x8 group
+        // plus a 3-feature scalar tail, across dense and hashed levels.
+        let mut g = HashGrid::new(
+            HashConfig {
+                levels: 4,
+                base_resolution: 4,
+                max_resolution: 32,
+                table_size_log2: 10,
+                features_per_entry: 11,
+                bytes_per_feature: 2,
+            },
+            Aabb::centered_cube(1.0),
+        );
+        for level in 0..4 {
+            for e in 0..g.levels()[level].table_len as u64 {
+                let row: Vec<f32> = (0..11)
+                    .map(|c| ((e * 13 + c + level as u64 * 5) as f32 * 0.173).sin())
+                    .collect();
+                g.entry_mut(level, e).copy_from_slice(&row);
+            }
+        }
+        let ps: Vec<Vec3> = (0..19)
+            .map(|i| {
+                let t = i as f32 * 0.53;
+                Vec3::new(t.sin() * 1.1, (t * 2.3).cos() * 1.1, (t * 0.8).sin())
+            })
+            .collect();
+        let stride = ps.len() + 1;
+        let rows = 4 * 11;
+        let mut scalar = vec![f32::NAN; rows * stride];
+        let mut wide = vec![f32::NAN; rows * stride];
+        g.interpolate_block_scalar(&ps, &mut scalar, stride);
+        g.interpolate_block_wide(&ps, &mut wide, stride);
+        for s in 0..ps.len() {
+            for r in 0..rows {
+                assert_eq!(
+                    scalar[r * stride + s].to_bits(),
+                    wide[r * stride + s].to_bits(),
+                    "sample {s} row {r}"
+                );
+            }
+        }
     }
 
     #[test]

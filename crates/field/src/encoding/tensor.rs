@@ -10,10 +10,16 @@
 //! with its own distinctive memory footprint and access shape.
 
 use crate::plan::{GatherPlan, LevelGather, RegionId};
+use crate::simd::{F32x8, LANES};
 use cicero_math::{Aabb, Vec3};
 
 /// Number of decoder signals (mirrors `decoder::SIGNALS`).
 const SIGNALS: usize = 7;
+
+/// Widest channel count the SIMD tensor kernel handles (its per-orientation
+/// product buffer lives on the stack); wider configs use the scalar path.
+/// The default config is `7 signals × 4 components = 28` channels.
+const WIDE_MAX_CHANNELS: usize = 64;
 
 /// Configuration of the VM tensor encoding.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -194,6 +200,14 @@ impl VmTensor {
     ///
     /// Panics if `out` is too short or `stride < ps.len()`.
     pub fn interpolate_block_into(&self, ps: &[Vec3], out: &mut [f32], stride: usize) {
+        let ch = self.channels();
+        if crate::simd::kernels_enabled() && (LANES..=WIDE_MAX_CHANNELS).contains(&ch) {
+            return self.interpolate_block_wide(ps, out, stride);
+        }
+        self.interpolate_block_scalar(ps, out, stride)
+    }
+
+    fn interpolate_block_scalar(&self, ps: &[Vec3], out: &mut [f32], stride: usize) {
         assert!(stride >= ps.len(), "stride shorter than the block");
         assert!(out.len() >= SIGNALS * stride, "output matrix too short");
         let k = self.cfg.components_per_signal;
@@ -210,6 +224,89 @@ impl VmTensor {
                     for comp in 0..k {
                         let c = sig * k + comp;
                         acc += self.sample_plane(oi, u, v, c) * self.sample_line(oi, w, c);
+                    }
+                    out[sig * stride + s] += acc;
+                }
+            }
+        }
+    }
+
+    /// Explicit-SIMD [`VmTensor::interpolate_block_scalar`]: lanes are the
+    /// texel *channels* — at fixed texel coordinates, the four plane taps
+    /// and two line taps are each contiguous `channels()`-long rows, so the
+    /// whole bilinear × linear product evaluates 8 channels per [`F32x8`]
+    /// group into a stack buffer; the per-signal component reduction then
+    /// reads the buffer in the scalar path's ascending order.
+    ///
+    /// Bit-identical to the scalar path: texel coordinates and lerp
+    /// fractions come from the same scalar expressions as
+    /// [`VmTensor::sample_plane`] / [`VmTensor::sample_line`], each lane's
+    /// product uses the identical mul/add tree (no FMA contraction), and
+    /// both the component sum and the cross-orientation `+=` keep the
+    /// scalar order. Channels past the last full group run the scalar
+    /// expressions per lane. Configurations wider than
+    /// [`WIDE_MAX_CHANNELS`] fall back to the scalar kernel (see
+    /// `interpolate_block_into`).
+    fn interpolate_block_wide(&self, ps: &[Vec3], out: &mut [f32], stride: usize) {
+        assert!(stride >= ps.len(), "stride shorter than the block");
+        assert!(out.len() >= SIGNALS * stride, "output matrix too short");
+        let k = self.cfg.components_per_signal;
+        let ch = self.channels();
+        debug_assert!(ch <= WIDE_MAX_CHANNELS);
+        let res = self.cfg.resolution;
+        let wide_ch = ch - ch % LANES;
+        let mut prod = [0.0f32; WIDE_MAX_CHANNELS];
+        for (s, &p) in ps.iter().enumerate() {
+            let n = self.bounds.normalize(p);
+            for sig in 0..SIGNALS {
+                out[sig * stride + s] = 0.0;
+            }
+            for (oi, o) in ORIENTATIONS.iter().enumerate() {
+                let (pu, pv, lw) = o.split(n);
+                let (u, v, w) = (self.texel(pu), self.texel(pv), self.texel(lw));
+                // Same texel/fraction expressions as sample_plane/sample_line.
+                let x0 = (u.floor() as usize).min(res - 2);
+                let y0 = (v.floor() as usize).min(res - 2);
+                let fx = (u - x0 as f32).clamp(0.0, 1.0);
+                let fy = (v - y0 as f32).clamp(0.0, 1.0);
+                let w0 = (w.floor() as usize).min(res - 2);
+                let fw = (w - w0 as f32).clamp(0.0, 1.0);
+                let p00 = (y0 * res + x0) * ch;
+                let p10 = (y0 * res + x0 + 1) * ch;
+                let p01 = ((y0 + 1) * res + x0) * ch;
+                let p11 = ((y0 + 1) * res + x0 + 1) * ch;
+                let l0 = w0 * ch;
+                let l1 = (w0 + 1) * ch;
+                let plane = &self.planes[oi];
+                let line = &self.lines[oi];
+                for c0 in (0..wide_ch).step_by(LANES) {
+                    let vfx = F32x8::splat(fx);
+                    let gfx = F32x8::splat(1.0 - fx);
+                    let top = F32x8::load(&plane[p00 + c0..])
+                        .mul(gfx)
+                        .add(F32x8::load(&plane[p10 + c0..]).mul(vfx));
+                    let bot = F32x8::load(&plane[p01 + c0..])
+                        .mul(gfx)
+                        .add(F32x8::load(&plane[p11 + c0..]).mul(vfx));
+                    let pl = top
+                        .mul(F32x8::splat(1.0 - fy))
+                        .add(bot.mul(F32x8::splat(fy)));
+                    let ln = F32x8::load(&line[l0 + c0..])
+                        .mul(F32x8::splat(1.0 - fw))
+                        .add(F32x8::load(&line[l1 + c0..]).mul(F32x8::splat(fw)));
+                    pl.mul(ln).store(&mut prod[c0..]);
+                }
+                for c in wide_ch..ch {
+                    let top = plane[p00 + c] * (1.0 - fx) + plane[p10 + c] * fx;
+                    let bot = plane[p01 + c] * (1.0 - fx) + plane[p11 + c] * fx;
+                    let pl = top * (1.0 - fy) + bot * fy;
+                    let ln = line[l0 + c] * (1.0 - fw) + line[l1 + c] * fw;
+                    prod[c] = pl * ln;
+                }
+                for sig in 0..SIGNALS {
+                    let mut acc = 0.0;
+                    for comp in 0..k {
+                        acc += prod[sig * k + comp];
                     }
                     out[sig * stride + s] += acc;
                 }
@@ -303,6 +400,51 @@ mod tests {
             },
             Aabb::centered_cube(1.0),
         )
+    }
+
+    #[test]
+    fn wide_block_interpolation_matches_scalar_bitwise() {
+        // Direct kernel-vs-kernel comparison, independent of the
+        // `simd::kernels_enabled` switch. 3 components → 21 channels: two
+        // full F32x8 groups plus a 5-channel scalar tail.
+        let mut t = VmTensor::new(
+            TensorConfig {
+                resolution: 8,
+                components_per_signal: 3,
+                bytes_per_value: 2,
+            },
+            Aabb::centered_cube(1.0),
+        );
+        let ch = t.channels();
+        for o in 0..3 {
+            for (i, v) in t.plane_mut(o).iter_mut().enumerate() {
+                *v = ((i * 7 + o * 3) as f32 * 0.149).sin();
+            }
+            for (i, v) in t.line_mut(o).iter_mut().enumerate() {
+                *v = ((i * 5 + o * 11) as f32 * 0.097).cos();
+            }
+        }
+        assert_eq!(ch, 21);
+        let ps: Vec<Vec3> = (0..15)
+            .map(|i| {
+                let t = i as f32 * 0.43;
+                Vec3::new(t.sin() * 1.2, (t * 1.3).cos() * 1.2, (t * 0.9).sin())
+            })
+            .collect();
+        let stride = ps.len() + 4;
+        let mut scalar = vec![f32::NAN; SIGNALS * stride];
+        let mut wide = vec![f32::NAN; SIGNALS * stride];
+        t.interpolate_block_scalar(&ps, &mut scalar, stride);
+        t.interpolate_block_wide(&ps, &mut wide, stride);
+        for s in 0..ps.len() {
+            for sig in 0..SIGNALS {
+                assert_eq!(
+                    scalar[sig * stride + s].to_bits(),
+                    wide[sig * stride + s].to_bits(),
+                    "sample {s} signal {sig}"
+                );
+            }
+        }
     }
 
     #[test]

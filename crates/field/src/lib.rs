@@ -30,10 +30,11 @@
 //! assert!(model.memory_footprint_bytes() > 0);
 //! ```
 
-// `deny` instead of `forbid`: the one exception is `pool`, which implements
-// the persistent worker pool's job dispatch and disjoint-slice primitives
-// (the workspace's only unsafe code, each block SAFETY-annotated). Everything
-// else in the crate remains unsafe-free.
+// `deny` instead of `forbid`: the two exceptions are `pool`, which implements
+// the persistent worker pool's job dispatch and disjoint-slice primitives,
+// and `simd`, whose SSE2 backend uses unaligned load/store intrinsics behind
+// slice-length asserts (every block SAFETY-annotated). Everything else in the
+// crate remains unsafe-free.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -46,6 +47,7 @@ mod occupancy;
 mod plan;
 pub mod pool;
 pub mod render;
+pub mod simd;
 pub mod tiles;
 
 pub use decoder::{Decoder, SpecularHead};

@@ -5,6 +5,8 @@
 //! Weights are plain `f32` row-major matrices; [`Mlp::macs_per_inference`]
 //! feeds the compute-cost models in `cicero-accel`.
 
+use crate::simd::{F32x8, LANES};
+
 /// One dense layer: `y = W·x + b` with optional ReLU.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Layer {
@@ -73,6 +75,13 @@ impl Layer {
     /// ascending order, ReLU last) is exactly the scalar [`Layer::forward`]
     /// order, so results are bit-identical per sample.
     fn forward_block(&self, input: &[f32], out: &mut [f32], k: usize) {
+        if crate::simd::kernels_enabled() && k >= LANES {
+            return self.forward_block_wide(input, out, k);
+        }
+        self.forward_block_scalar(input, out, k)
+    }
+
+    fn forward_block_scalar(&self, input: &[f32], out: &mut [f32], k: usize) {
         debug_assert_eq!(input.len(), self.in_dim * k);
         debug_assert_eq!(out.len(), self.out_dim * k);
         for (r, orow) in out.chunks_exact_mut(k).enumerate() {
@@ -87,6 +96,67 @@ impl Layer {
                 for o in orow.iter_mut() {
                     *o = o.max(0.0);
                 }
+            }
+        }
+    }
+
+    /// Explicit-SIMD [`Layer::forward_block_scalar`]: same layer→row→sample
+    /// loop order, but the sample dimension is processed 8 lanes at a time
+    /// ([`F32x8`]), with each weight broadcast across the lane group.
+    ///
+    /// Bit-identical to the scalar path (see `crate::simd` module docs):
+    /// each lane's accumulator starts from the bias, adds `w * x` terms in
+    /// the same ascending input order (mul and add stay separate ops — no
+    /// FMA contraction), and applies ReLU as `acc.max(0.0)` last. The two
+    /// accumulator chains per 16-sample group are independent *columns*, so
+    /// interleaving them changes instruction-level parallelism, never a
+    /// per-sample operation order. Samples past the last full lane group run
+    /// the scalar accumulation verbatim.
+    fn forward_block_wide(&self, input: &[f32], out: &mut [f32], k: usize) {
+        debug_assert_eq!(input.len(), self.in_dim * k);
+        debug_assert_eq!(out.len(), self.out_dim * k);
+        for (r, orow) in out.chunks_exact_mut(k).enumerate() {
+            let row = &self.weights[r * self.in_dim..(r + 1) * self.in_dim];
+            let bias = self.biases[r];
+            let mut s = 0;
+            while s + 2 * LANES <= k {
+                let mut acc0 = F32x8::splat(bias);
+                let mut acc1 = F32x8::splat(bias);
+                for (i, &w) in row.iter().enumerate() {
+                    let wv = F32x8::splat(w);
+                    let xrow = &input[i * k + s..];
+                    acc0 = acc0.add(wv.mul(F32x8::load(xrow)));
+                    acc1 = acc1.add(wv.mul(F32x8::load(&xrow[LANES..])));
+                }
+                if self.relu {
+                    let zero = F32x8::splat(0.0);
+                    acc0 = acc0.max(zero);
+                    acc1 = acc1.max(zero);
+                }
+                acc0.store(&mut orow[s..]);
+                acc1.store(&mut orow[s + LANES..]);
+                s += 2 * LANES;
+            }
+            while s + LANES <= k {
+                let mut acc = F32x8::splat(bias);
+                for (i, &w) in row.iter().enumerate() {
+                    acc = acc.add(F32x8::splat(w).mul(F32x8::load(&input[i * k + s..])));
+                }
+                if self.relu {
+                    acc = acc.max(F32x8::splat(0.0));
+                }
+                acc.store(&mut orow[s..]);
+                s += LANES;
+            }
+            for s in s..k {
+                let mut acc = bias;
+                for (i, &w) in row.iter().enumerate() {
+                    acc += w * input[i * k + s];
+                }
+                if self.relu {
+                    acc = acc.max(0.0);
+                }
+                orow[s] = acc;
             }
         }
     }
@@ -494,6 +564,35 @@ mod tests {
                     // Bit-identical, not merely close: the batched engine's
                     // determinism contract.
                     assert_eq!(out[r * k + s], v, "k={k} sample={s} row={r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forward_block_wide_matches_scalar_bitwise() {
+        // Direct comparison of the two private layer kernels — independent
+        // of the process-wide `simd::kernels_enabled` switch, and covering
+        // every lane shape: 2-group main loop (k ≥ 16), single group
+        // (8 ≤ k < 16), scalar tail (k % 8 ≠ 0), and pure tail (k < 8).
+        for relu in [false, true] {
+            let mut layer = Layer::zeros(11, 9, relu);
+            for r in 0..9 {
+                layer.biases[r] = (r as f32 * 0.83).cos() * 0.2;
+                for c in 0..11 {
+                    layer.set(r, c, ((r * 31 + c * 7) as f32 * 0.113).sin());
+                }
+            }
+            for k in [1usize, 5, 8, 13, 16, 24, 29, 64] {
+                let input: Vec<f32> = (0..11 * k)
+                    .map(|i| (i as f32 * 0.291).sin() * 2.5 - 0.6)
+                    .collect();
+                let mut scalar = vec![0.0f32; 9 * k];
+                let mut wide = vec![0.0f32; 9 * k];
+                layer.forward_block_scalar(&input, &mut scalar, k);
+                layer.forward_block_wide(&input, &mut wide, k);
+                for (i, (&a, &b)) in scalar.iter().zip(&wide).enumerate() {
+                    assert_eq!(a.to_bits(), b.to_bits(), "relu={relu} k={k} slot={i}");
                 }
             }
         }

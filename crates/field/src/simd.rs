@@ -1,0 +1,426 @@
+//! Explicit wide-vector kernels: an `f32x8` wrapper with a portable fallback.
+//!
+//! The SoA sample engine (PR 5) relies on the autovectorizer to find lanes in
+//! `forward_block` and the batched feature gathers. This module makes the
+//! lanes explicit: [`F32x8`] is an 8-wide f32 vector backed by two SSE2
+//! `__m128` registers when the `simd` cargo feature is enabled on an x86_64
+//! target (SSE2 is baseline on x86_64, so no runtime CPU detection is
+//! needed), and by a plain `[f32; 8]` with per-lane loops everywhere else.
+//!
+//! # Determinism contract
+//!
+//! The wide kernels must be **bit-identical** to the scalar paths they
+//! replace, so the whole determinism suite holds under both features. The
+//! rules every wide kernel follows:
+//!
+//! - **Same expression tree per lane.** Each lane of a wide op computes
+//!   exactly the scalar expression: `_mm_add_ps` / `_mm_mul_ps` /
+//!   `_mm_div_ps` / `_mm_max_ps` are per-lane IEEE-754 identical to the
+//!   scalar `+`, `*`, `/` and `f32::max`. No `rsqrt`/`rcp` approximations,
+//!   no horizontal ops.
+//! - **No FMA contraction.** Rust never contracts `a * b + c` into a fused
+//!   multiply-add (rustc compiles with contraction off), and this module
+//!   only emits mul-then-add pairs — the scalar and wide paths round
+//!   identically at every step.
+//! - **Fixed accumulation order.** Accumulators start from the same value
+//!   as the scalar code (the bias, or 0.0) and add terms in the same
+//!   ascending order. Adding into a register instead of a memory slot does
+//!   not change results: f32 addition is deterministic regardless of where
+//!   the operand lives.
+//! - **Operand order preserved.** `max` keeps the scalar operand order
+//!   (`acc.max(0.0)`, not `0.0.max(acc)`) so NaN propagation matches maxss.
+//! - **Scalar tails run the scalar code.** Remainder lanes (block size not
+//!   a multiple of 8, trailing channels) fall through to the untouched
+//!   scalar loops, which is trivially bit-identical.
+//!
+//! # Runtime toggle
+//!
+//! Compiling with `--features simd` makes the wide kernels *available*;
+//! whether hot loops route through them is a process-wide runtime switch so
+//! one binary can compare both paths (the equivalence tests and the
+//! `kernels` bench flip it). The switch defaults to **on** when the feature
+//! is compiled in, and can be disabled with `CICERO_SIMD=0` (or `off`).
+//! Without the feature, [`kernels_enabled`] is always `false` and the
+//! scalar paths are byte-identical to a build of the previous revision.
+//!
+//! # Adding a wide kernel
+//!
+//! 1. Write the scalar loop first; it stays in place as the fallback and
+//!    the oracle.
+//! 2. Express the inner loop over [`F32x8`] groups with the same
+//!    accumulation order and operand order, and finish with the scalar
+//!    code for the `len % 8` tail.
+//! 3. Dispatch with `if simd::kernels_enabled() { wide(...); return; }` at
+//!    the top of the scalar function.
+//! 4. Add a bitwise unit test (wide vs scalar over irregular sizes) next to
+//!    the kernel, and extend `tests/simd_equivalence.rs` if the kernel
+//!    feeds a new end-to-end path.
+
+// Unsafe is confined to the SSE2 backend below: `_mm_loadu_ps` /
+// `_mm_storeu_ps` with slice-length asserts in the callers. The portable
+// backend and everything else in this module is unsafe-free.
+#![cfg_attr(all(feature = "simd", target_arch = "x86_64"), allow(unsafe_code))]
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Lane count of [`F32x8`]. Wide kernels process `LANES` samples (or
+/// channels) per group and fall back to scalar code for the remainder.
+pub const LANES: usize = 8;
+
+// Process-wide kernel switch: 0 = unset (read CICERO_SIMD on first use),
+// 1 = off, 2 = on.
+static KERNELS: AtomicU8 = AtomicU8::new(0);
+
+/// Whether the `simd` cargo feature was compiled in.
+pub const fn compiled() -> bool {
+    cfg!(feature = "simd")
+}
+
+/// Name of the active vector backend: `"sse2"` on x86_64 with the feature
+/// enabled, `"portable"` otherwise.
+pub const fn backend() -> &'static str {
+    if cfg!(all(feature = "simd", target_arch = "x86_64")) {
+        "sse2"
+    } else {
+        "portable"
+    }
+}
+
+/// Should hot loops route through the wide kernels right now?
+///
+/// Always `false` without the `simd` feature. With it, defaults to `true`
+/// unless `CICERO_SIMD=0`/`off` is set or [`set_kernels_enabled`] turned
+/// the kernels off.
+#[inline]
+pub fn kernels_enabled() -> bool {
+    if !compiled() {
+        return false;
+    }
+    match KERNELS.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => init_from_env(),
+    }
+}
+
+#[cold]
+fn init_from_env() -> bool {
+    let on = !matches!(
+        std::env::var("CICERO_SIMD").as_deref(),
+        Ok("0") | Ok("off") | Ok("false")
+    );
+    KERNELS.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+    on
+}
+
+/// Force the wide kernels on or off for this process (overrides the
+/// `CICERO_SIMD` environment default). A no-op without the `simd` feature:
+/// the wide path cannot be enabled if it was not compiled in — though the
+/// wide kernel *functions* are always compiled (over the portable backend)
+/// so their unit tests run in every configuration.
+pub fn set_kernels_enabled(on: bool) {
+    KERNELS.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod backend {
+    use std::arch::x86_64::{
+        __m128, _mm_add_ps, _mm_div_ps, _mm_loadu_ps, _mm_max_ps, _mm_mul_ps, _mm_set1_ps,
+        _mm_storeu_ps, _mm_sub_ps,
+    };
+
+    /// 8 f32 lanes in two SSE2 registers (lo = lanes 0–3, hi = lanes 4–7).
+    ///
+    /// SAFETY note shared by every intrinsic call below: SSE/SSE2 are part
+    /// of the x86_64 baseline ABI, statically enabled for every x86_64
+    /// target, so the `#[target_feature]` requirement on the intrinsics is
+    /// always met; the register-only intrinsics touch no memory.
+    #[derive(Clone, Copy)]
+    pub struct F32x8 {
+        lo: __m128,
+        hi: __m128,
+    }
+
+    // Named `add`/`mul`/... rather than operator traits: kernel call
+    // sites chain them explicitly (`acc.add(w.mul(x))`), mirroring the
+    // documented accumulation order; `impl Add` would also invite silent
+    // operator mixing with scalars.
+    #[allow(clippy::should_implement_trait)]
+    impl F32x8 {
+        /// All 8 lanes set to `v`.
+        #[inline]
+        pub fn splat(v: f32) -> Self {
+            // SAFETY: sse2 baseline (see type docs); register-only.
+            let r = unsafe { _mm_set1_ps(v) };
+            Self { lo: r, hi: r }
+        }
+
+        /// Load lanes from `src[0..8]`. Panics if `src` is shorter than 8.
+        #[inline]
+        pub fn load(src: &[f32]) -> Self {
+            assert!(src.len() >= super::LANES, "F32x8::load needs 8 elements");
+            // SAFETY: the assert guarantees 8 readable f32s at `src`;
+            // loadu has no alignment requirement.
+            unsafe {
+                Self {
+                    lo: _mm_loadu_ps(src.as_ptr()),
+                    hi: _mm_loadu_ps(src.as_ptr().add(4)),
+                }
+            }
+        }
+
+        /// Store lanes to `dst[0..8]`. Panics if `dst` is shorter than 8.
+        #[inline]
+        pub fn store(self, dst: &mut [f32]) {
+            assert!(dst.len() >= super::LANES, "F32x8::store needs 8 elements");
+            // SAFETY: the assert guarantees 8 writable f32s at `dst`;
+            // storeu has no alignment requirement.
+            unsafe {
+                _mm_storeu_ps(dst.as_mut_ptr(), self.lo);
+                _mm_storeu_ps(dst.as_mut_ptr().add(4), self.hi);
+            }
+        }
+
+        /// Lane-wise `a + b` (addps ≡ per-lane scalar `+`).
+        #[inline]
+        pub fn add(self, o: Self) -> Self {
+            // SAFETY: sse2 baseline (see type docs); register-only.
+            unsafe {
+                Self {
+                    lo: _mm_add_ps(self.lo, o.lo),
+                    hi: _mm_add_ps(self.hi, o.hi),
+                }
+            }
+        }
+
+        /// Lane-wise `a - b`.
+        #[inline]
+        pub fn sub(self, o: Self) -> Self {
+            // SAFETY: sse2 baseline (see type docs); register-only.
+            unsafe {
+                Self {
+                    lo: _mm_sub_ps(self.lo, o.lo),
+                    hi: _mm_sub_ps(self.hi, o.hi),
+                }
+            }
+        }
+
+        /// Lane-wise `a * b` (never contracted with a following add).
+        #[inline]
+        pub fn mul(self, o: Self) -> Self {
+            // SAFETY: sse2 baseline (see type docs); register-only.
+            unsafe {
+                Self {
+                    lo: _mm_mul_ps(self.lo, o.lo),
+                    hi: _mm_mul_ps(self.hi, o.hi),
+                }
+            }
+        }
+
+        /// Lane-wise `a / b` (divps: correctly rounded, ≡ scalar `/`).
+        #[inline]
+        pub fn div(self, o: Self) -> Self {
+            // SAFETY: sse2 baseline (see type docs); register-only.
+            unsafe {
+                Self {
+                    lo: _mm_div_ps(self.lo, o.lo),
+                    hi: _mm_div_ps(self.hi, o.hi),
+                }
+            }
+        }
+
+        /// Lane-wise `self.max(o)`. Bit-identical to scalar `f32::max` as
+        /// long as `o` has no NaN or -0.0 lanes (maxps returns the second
+        /// operand on NaN or ±0 ties, which then coincides with scalar
+        /// maximumNumber semantics) — the kernels only ever pass
+        /// `o = splat(0.0)`, the relu threshold, which satisfies both.
+        #[inline]
+        pub fn max(self, o: Self) -> Self {
+            // SAFETY: sse2 baseline (see type docs); register-only.
+            unsafe {
+                Self {
+                    lo: _mm_max_ps(self.lo, o.lo),
+                    hi: _mm_max_ps(self.hi, o.hi),
+                }
+            }
+        }
+
+        /// Copy lanes out to an array (for scalar-side scatters).
+        #[inline]
+        pub fn to_array(self) -> [f32; 8] {
+            let mut out = [0.0f32; 8];
+            self.store(&mut out);
+            out
+        }
+    }
+}
+
+#[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+mod backend {
+    /// Portable 8-lane fallback: per-lane loops over `[f32; 8]`. Same
+    /// per-lane expression trees as the SSE2 backend, so results are
+    /// bit-identical across backends too.
+    #[derive(Clone, Copy)]
+    pub struct F32x8([f32; 8]);
+
+    // Named `add`/`mul`/... rather than operator traits: kernel call
+    // sites chain them explicitly (`acc.add(w.mul(x))`), mirroring the
+    // documented accumulation order; `impl Add` would also invite silent
+    // operator mixing with scalars.
+    #[allow(clippy::should_implement_trait)]
+    impl F32x8 {
+        /// All 8 lanes set to `v`.
+        #[inline]
+        pub fn splat(v: f32) -> Self {
+            Self([v; 8])
+        }
+
+        /// Load lanes from `src[0..8]`. Panics if `src` is shorter than 8.
+        #[inline]
+        pub fn load(src: &[f32]) -> Self {
+            let mut lanes = [0.0f32; 8];
+            lanes.copy_from_slice(&src[..super::LANES]);
+            Self(lanes)
+        }
+
+        /// Store lanes to `dst[0..8]`. Panics if `dst` is shorter than 8.
+        #[inline]
+        pub fn store(self, dst: &mut [f32]) {
+            dst[..super::LANES].copy_from_slice(&self.0);
+        }
+
+        /// Lane-wise `a + b`.
+        #[inline]
+        pub fn add(mut self, o: Self) -> Self {
+            for (a, b) in self.0.iter_mut().zip(o.0) {
+                *a += b;
+            }
+            self
+        }
+
+        /// Lane-wise `a - b`.
+        #[inline]
+        pub fn sub(mut self, o: Self) -> Self {
+            for (a, b) in self.0.iter_mut().zip(o.0) {
+                *a -= b;
+            }
+            self
+        }
+
+        /// Lane-wise `a * b`.
+        #[inline]
+        pub fn mul(mut self, o: Self) -> Self {
+            for (a, b) in self.0.iter_mut().zip(o.0) {
+                *a *= b;
+            }
+            self
+        }
+
+        /// Lane-wise `a / b`.
+        #[inline]
+        pub fn div(mut self, o: Self) -> Self {
+            for (a, b) in self.0.iter_mut().zip(o.0) {
+                *a /= b;
+            }
+            self
+        }
+
+        /// Lane-wise `self.max(o)` (scalar `f32::max` semantics).
+        #[inline]
+        pub fn max(mut self, o: Self) -> Self {
+            for (a, b) in self.0.iter_mut().zip(o.0) {
+                *a = a.max(b);
+            }
+            self
+        }
+
+        /// Copy lanes out to an array (for scalar-side scatters).
+        #[inline]
+        pub fn to_array(self) -> [f32; 8] {
+            self.0
+        }
+    }
+}
+
+pub use backend::F32x8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lanewise_ops_match_scalar_bitwise() {
+        let a = [1.5f32, -2.25, 0.0, 1e-30, 3.75e8, -0.0, 7.0, 123.456];
+        let b = [0.5f32, 3.0, -1.0, 1e30, 2.5, 4.0, -7.0, 0.001];
+        let va = F32x8::load(&a);
+        let vb = F32x8::load(&b);
+        type ScalarOp = fn(f32, f32) -> f32;
+        let checks: [(F32x8, ScalarOp); 5] = [
+            (va.add(vb), |x, y| x + y),
+            (va.sub(vb), |x, y| x - y),
+            (va.mul(vb), |x, y| x * y),
+            (va.div(vb), |x, y| x / y),
+            (va.max(vb), |x, y| x.max(y)),
+        ];
+        for (wide, scalar) in checks {
+            let got = wide.to_array();
+            for i in 0..LANES {
+                assert_eq!(got[i].to_bits(), scalar(a[i], b[i]).to_bits(), "lane {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_add_chain_matches_scalar_accumulation() {
+        // The kernel idiom: acc starts from a splat, then ascending
+        // `acc += w * x` terms. Must match the scalar loop bit for bit.
+        let xs: Vec<f32> = (0..32).map(|i| (i as f32 * 0.37).sin() * 3.0).collect();
+        let ws: Vec<f32> = (0..4).map(|i| 0.71f32.powi(i) - 0.4).collect();
+        let bias = 0.125f32;
+
+        let mut acc = F32x8::splat(bias);
+        for (i, &w) in ws.iter().enumerate() {
+            acc = acc.add(F32x8::splat(w).mul(F32x8::load(&xs[i * 8..])));
+        }
+        let wide = acc.max(F32x8::splat(0.0)).to_array();
+
+        for lane in 0..LANES {
+            let mut acc = bias;
+            for (i, &w) in ws.iter().enumerate() {
+                acc += w * xs[i * 8 + lane];
+            }
+            acc = acc.max(0.0);
+            assert_eq!(wide[lane].to_bits(), acc.to_bits(), "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn load_store_round_trip() {
+        let src = [1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
+        let v = F32x8::load(&src);
+        let mut dst = [0.0f32; 9];
+        v.store(&mut dst);
+        assert_eq!(&dst[..8], &src[..8]);
+        assert_eq!(dst[8], 0.0);
+        assert_eq!(v.to_array(), [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn toggle_reflects_feature_gate() {
+        set_kernels_enabled(true);
+        assert_eq!(kernels_enabled(), compiled());
+        set_kernels_enabled(false);
+        assert!(!kernels_enabled());
+        // Leave the switch on (the compiled-in default) for other tests.
+        set_kernels_enabled(true);
+    }
+
+    #[test]
+    fn backend_matches_compilation() {
+        if compiled() && cfg!(target_arch = "x86_64") {
+            assert_eq!(backend(), "sse2");
+        } else {
+            assert_eq!(backend(), "portable");
+        }
+    }
+}

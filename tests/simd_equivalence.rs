@@ -1,0 +1,267 @@
+//! The explicit SIMD kernel layer must be **bit-identical** to the scalar
+//! paths it replaces — frames, [`RenderStats`], sink sample streams, warped
+//! frames and full serve `ServiceReport`s — for every scene, model family
+//! and block size. This is the contract that lets the `simd` cargo feature
+//! ride the same determinism matrix as `render_threads` and `sample_block`:
+//! a pure throughput knob that never moves a pixel.
+//!
+//! Both paths are compiled into one binary (the wide kernels always build,
+//! over the portable backend when the feature is off); which one the hot
+//! loops take is the process-wide `cicero_field::simd` switch. Each test
+//! here runs its workload with the kernels forced off (the scalar oracle)
+//! and forced on, and asserts byte equality. Without `--features simd` the
+//! switch is pinned off and both legs run scalar — the suite then degrades
+//! to a self-check, and CI additionally diffs digests across separately
+//! compiled feature builds.
+//!
+//! The switch is process-global, so every test serializes on [`lock`]; the
+//! per-kernel bitwise tests live next to the kernels (no toggle needed),
+//! and the wide path's zero-allocation leg lives in `tests/zero_alloc.rs`
+//! (the counting allocator is process-global too).
+
+use std::sync::{Mutex, MutexGuard};
+
+use cicero::pipeline::{run_pipeline, PipelineConfig};
+use cicero::sparw::{warp_frame, WarpOptions};
+use cicero::Variant;
+use cicero_field::render::render_full;
+use cicero_field::simd;
+use cicero_field::{
+    bake, GatherPlan, GridConfig, HashConfig, NerfModel, RenderOptions, TensorConfig,
+};
+use cicero_math::{Camera, Intrinsics, Pose, Vec3};
+use cicero_scene::ground_truth::render_frame;
+use cicero_scene::volume::MarchParams;
+use cicero_scene::{library, RadianceSource, Trajectory};
+use cicero_serve::{FrameServer, QosClass, ServeConfig, ServiceReport, SessionSpec};
+
+const BLOCK_SIZES: [usize; 3] = [1, 16, 64];
+
+/// Serializes tests that flip the process-wide kernel switch.
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    // A poisoned lock only means another equivalence test failed; the
+    // switch state is restored by `with_kernels` regardless.
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs `f` with the wide kernels forced on or off, then restores the
+/// compiled-in default (on; a no-op without the feature).
+fn with_kernels<T>(on: bool, f: impl FnOnce() -> T) -> T {
+    simd::set_kernels_enabled(on);
+    let out = f();
+    simd::set_kernels_enabled(true);
+    out
+}
+
+fn bench_camera() -> Camera {
+    Camera::new(
+        // Odd size: lane groups always end in a ragged scalar tail.
+        Intrinsics::from_fov(33, 33, 0.9),
+        Pose::look_at(Vec3::new(0.3, 1.2, -2.6), Vec3::ZERO, Vec3::Y),
+    )
+}
+
+fn model_for(scene_name: &str) -> Box<dyn NerfModel> {
+    let scene = library::scene_by_name(scene_name).unwrap();
+    // One family per scene: dense grid, multi-level hash, VM tensor — each
+    // with its own wide gather kernel.
+    match scene_name {
+        "lego" => Box::new(bake::bake_grid(
+            &scene,
+            &GridConfig {
+                resolution: 24,
+                ..Default::default()
+            },
+        )),
+        "chair" => Box::new(bake::bake_hash(
+            &scene,
+            &HashConfig {
+                levels: 4,
+                base_resolution: 4,
+                max_resolution: 24,
+                table_size_log2: 10,
+                ..Default::default()
+            },
+        )),
+        _ => Box::new(bake::bake_tensor(
+            &scene,
+            &TensorConfig {
+                resolution: 24,
+                ..Default::default()
+            },
+        )),
+    }
+}
+
+#[test]
+fn wide_render_is_bit_identical_across_scenes_models_and_block_sizes() {
+    let _guard = lock();
+    for scene_name in ["lego", "chair", "ship"] {
+        let model = model_for(scene_name);
+        let model = model.as_ref();
+        let cam = bench_camera();
+        let collect = |block: usize| {
+            let opts = RenderOptions {
+                sample_block: block,
+                ..Default::default()
+            };
+            let mut events: Vec<(u32, f32, u64, u64)> = Vec::new();
+            let mut sink = |ray: u32, t: f32, p: &GatherPlan| {
+                events.push((ray, t, p.bytes(), p.entry_reads()))
+            };
+            let (frame, stats) = render_full(model, &cam, &opts, &mut sink);
+            (frame, stats, events)
+        };
+        for block in BLOCK_SIZES {
+            let (frame, stats, events) = with_kernels(false, || collect(block));
+            let (w_frame, w_stats, w_events) = with_kernels(true, || collect(block));
+            assert!(stats.samples_processed > 0, "{scene_name}: empty render");
+            assert_eq!(w_frame, frame, "{scene_name}: frame, block {block}");
+            assert_eq!(w_stats, stats, "{scene_name}: stats, block {block}");
+            assert_eq!(w_events, events, "{scene_name}: sink stream, block {block}");
+        }
+    }
+}
+
+#[test]
+fn wide_warp_passes_are_bit_identical() {
+    // The SPARW splat / normalize / void-classify kernels, end to end on a
+    // real rendered reference — covers both splat modes and the φ test.
+    let _guard = lock();
+    let scene = library::scene_by_name("lego").unwrap();
+    let k = Intrinsics::from_fov(48, 48, 0.9);
+    let ref_cam = Camera::new(
+        k,
+        Pose::look_at(Vec3::new(0.0, 1.3, -2.8), Vec3::ZERO, Vec3::Y),
+    );
+    let tgt_cam = Camera::new(
+        k,
+        Pose::look_at(Vec3::new(0.25, 1.2, -2.7), Vec3::ZERO, Vec3::Y),
+    );
+    let reference = render_frame(&scene, &ref_cam, &MarchParams::default());
+    for opts in [
+        WarpOptions::default(),
+        WarpOptions {
+            splat: cicero::sparw::SplatMode::Bilinear,
+            ..Default::default()
+        },
+        WarpOptions {
+            phi: Some(0.02),
+            ..Default::default()
+        },
+    ] {
+        let warp = || warp_frame(&reference, &ref_cam, &tgt_cam, scene.background(), &opts);
+        let scalar = with_kernels(false, warp);
+        let wide = with_kernels(true, warp);
+        assert_eq!(wide.frame, scalar.frame, "phi={:?}: frame", opts.phi);
+        assert_eq!(wide.status, scalar.status, "phi={:?}: status", opts.phi);
+    }
+}
+
+#[test]
+fn wide_pipeline_runs_are_bit_identical() {
+    // Whole pipeline (render + warp + schedule) under SPARW and Cicero:
+    // every wide kernel in one pass, with simulated reports compared.
+    let _guard = lock();
+    for scene_name in ["lego", "ship"] {
+        let scene = library::scene_by_name(scene_name).unwrap();
+        let model = model_for(scene_name);
+        let model = model.as_ref();
+        let traj = Trajectory::orbit(&scene, 4, 40.0);
+        let k = Intrinsics::from_fov(24, 24, 0.9);
+        for variant in [Variant::Sparw, Variant::Cicero] {
+            let run = || {
+                let cfg = PipelineConfig {
+                    variant,
+                    window: 3,
+                    march: MarchParams {
+                        step: 0.05,
+                        ..Default::default()
+                    },
+                    collect_quality: false,
+                    collect_traffic: true,
+                    ..Default::default()
+                };
+                run_pipeline(&scene, model, &traj, k, &cfg)
+            };
+            let scalar = with_kernels(false, run);
+            let wide = with_kernels(true, run);
+            assert_eq!(
+                wide.frames, scalar.frames,
+                "{scene_name}/{variant:?}: frames"
+            );
+            assert_eq!(
+                wide.warp_totals, scalar.warp_totals,
+                "{scene_name}/{variant:?}: warp stats"
+            );
+            assert_eq!(wide.outcomes.len(), scalar.outcomes.len());
+            for (a, b) in wide.outcomes.iter().zip(&scalar.outcomes) {
+                assert_eq!(a.report, b.report, "{scene_name}/{variant:?}: report");
+            }
+        }
+    }
+}
+
+#[test]
+fn wide_serve_reports_are_bit_identical() {
+    // Full service reports — frame records, latency percentiles, cache
+    // economics — through the multi-session serve layer.
+    let _guard = lock();
+    let lego = library::scene_by_name("lego").unwrap();
+    let ship = library::scene_by_name("ship").unwrap();
+    let models = [model_for("lego"), model_for("ship")];
+    let scenes = [&lego, &ship];
+    let trajs = [
+        Trajectory::orbit(&lego, 6, 30.0),
+        Trajectory::orbit(&ship, 6, 30.0),
+    ];
+    let k = Intrinsics::from_fov(24, 24, 0.9);
+    let serve = || -> ServiceReport {
+        let mut server = FrameServer::new(ServeConfig {
+            render_threads: 2,
+            ..Default::default()
+        });
+        for (i, (qos, scene_ix, offset)) in [
+            (QosClass::Interactive, 0, 0.0),
+            (QosClass::Standard, 0, 0.004),
+            (QosClass::BestEffort, 1, 0.009),
+            (QosClass::Standard, 1, 0.006),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let spec = SessionSpec {
+                name: format!("s{i}"),
+                scene_key: if scene_ix == 0 { "lego" } else { "ship" }.into(),
+                qos,
+                start_offset_s: offset,
+                config: PipelineConfig {
+                    variant: Variant::Cicero,
+                    window: 4,
+                    march: MarchParams {
+                        step: 0.05,
+                        ..Default::default()
+                    },
+                    collect_quality: true, // PSNR equality ⇒ frames match too
+                    collect_traffic: false,
+                    ..Default::default()
+                },
+            };
+            server
+                .submit(
+                    spec,
+                    scenes[scene_ix],
+                    models[scene_ix].as_ref(),
+                    &trajs[scene_ix],
+                    k,
+                )
+                .unwrap();
+        }
+        server.run()
+    };
+    let scalar = with_kernels(false, serve);
+    let wide = with_kernels(true, serve);
+    assert!(scalar.frames > 0, "empty serve run");
+    assert_eq!(wide, scalar, "full service report");
+}

@@ -177,6 +177,60 @@ fn warmed_sample_loop_performs_zero_heap_allocations() {
         }
     }
 
+    // ---- The explicit SIMD kernel layer (ISSUE 9) ----
+    //
+    // The wide kernels accumulate entirely in registers and gather through
+    // the same warmed scratches, so forcing them on must not add a single
+    // allocation per warmed frame. Without `--features simd` the toggle is
+    // inert and this leg re-measures the scalar path; with it, the toggle
+    // stays on (the compiled-in default), so every pool and telemetry leg
+    // below also runs the wide splat/normalize/classify warp passes under
+    // the same zero-alloc and zero-spawn assertions.
+    cicero_field::simd::set_kernels_enabled(true);
+    {
+        let opts = RenderOptions {
+            sample_block: cicero_field::DEFAULT_SAMPLE_BLOCK,
+            ..opts
+        };
+        for (name, model) in &models {
+            let model = model.as_ref();
+            let mut frame = cicero_scene::ground_truth::background_frame(
+                &cicero_field::ModelSource(model),
+                32,
+                32,
+            );
+            let mut scratch = RenderScratch::new();
+            render_masked_with(
+                model,
+                &cam,
+                &opts,
+                None,
+                &mut frame,
+                &mut NullSink,
+                &mut scratch,
+            );
+            let before = ALLOCATIONS.load(Ordering::SeqCst);
+            let stats = render_masked_with(
+                model,
+                &cam,
+                &opts,
+                None,
+                &mut frame,
+                &mut NullSink,
+                &mut scratch,
+            );
+            let after = ALLOCATIONS.load(Ordering::SeqCst);
+            assert!(stats.samples_processed > 0);
+            assert_eq!(
+                after - before,
+                0,
+                "{name}: warmed wide-kernel ({}) render allocated {} times",
+                cicero_field::simd::backend(),
+                after - before
+            );
+        }
+    }
+
     // ---- The pool-parallel paths (ISSUE 3) ----
     //
     // Tile rendering through the persistent worker pool: the first frame
