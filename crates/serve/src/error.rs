@@ -43,6 +43,14 @@ pub enum ServeError {
     },
     /// Every shard in the fleet is dead; no operation can be routed.
     FleetDown,
+    /// The server is saturated: the pending-admission queue is full and this
+    /// request was the predicted-worst SLO risk, so it was pushed back
+    /// instead of queued. Explicit backpressure — the client should resubmit
+    /// after `retry_after_s` (the replay harness does, with seeded jitter).
+    Overloaded {
+        /// Simulated seconds the client should wait before resubmitting.
+        retry_after_s: f64,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -64,6 +72,9 @@ impl fmt::Display for ServeError {
                 write!(f, "session {id} was lost: its shard died with no survivor")
             }
             ServeError::FleetDown => write!(f, "every shard in the fleet is dead"),
+            ServeError::Overloaded { retry_after_s } => {
+                write!(f, "server overloaded; retry after {retry_after_s}s")
+            }
         }
     }
 }
@@ -97,5 +108,10 @@ mod tests {
             .to_string()
             .contains('7'));
         assert!(std::error::Error::source(&ServeError::EmptyEviction).is_none());
+        let over = ServeError::Overloaded {
+            retry_after_s: 0.25,
+        };
+        assert!(over.to_string().contains("retry after 0.25s"));
+        assert!(std::error::Error::source(&over).is_none());
     }
 }

@@ -58,6 +58,38 @@
 use crate::policy::fnv1a;
 use serde::Serialize;
 
+/// The keyed idempotent draw shared by every deterministic generator in this
+/// crate: FNV-1a over the `(tag, a, b, c)` key bytes, xor-folded with `seed`,
+/// then one xorshift64* round. Pure stack arithmetic — no allocation, no
+/// state, order-independent by construction, so the same question always
+/// gets the same 64-bit answer regardless of host-thread interleaving.
+///
+/// `tag` is a domain-separation namespace: [`FaultPlan`] draws use tags 1–7
+/// (one per [`FaultKind`]), the traffic generators in [`crate::traffic`] use
+/// tags 101+. New domains must pick unused tags so schedules never alias.
+pub fn keyed_draw(seed: u64, tag: u64, a: u64, b: u64, c: u64) -> u64 {
+    let mut bytes = [0u8; 32];
+    bytes[..8].copy_from_slice(&tag.to_le_bytes());
+    bytes[8..16].copy_from_slice(&a.to_le_bytes());
+    bytes[16..24].copy_from_slice(&b.to_le_bytes());
+    bytes[24..].copy_from_slice(&c.to_le_bytes());
+    let mut x = seed ^ fnv1a(&bytes);
+    if x == 0 {
+        x = 0x9e37_79b9_7f4a_7c15; // xorshift's fixed point; any odd seed
+    }
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+/// [`keyed_draw`] mapped to a 53-bit uniform in `[0, 1)` — the unit draw
+/// behind [`FaultPlan::fires`] and the traffic generators' inverse-CDF
+/// sampling.
+pub fn keyed_unit(seed: u64, tag: u64, a: u64, b: u64, c: u64) -> f64 {
+    (keyed_draw(seed, tag, a, b, c) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
 /// The kinds of injected faults. See the module docs for semantics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultKind {
@@ -221,28 +253,7 @@ impl FaultPlan {
         if rate >= 1.0 {
             return true;
         }
-        // 53-bit uniform in [0, 1) from a keyed xorshift64* draw.
-        let u = (self.draw(kind, a, b, c) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
-        u < rate
-    }
-
-    /// The raw keyed draw behind [`fires`](Self::fires): FNV-1a over the
-    /// domain-tagged key bytes, xor-folded with the seed, then one
-    /// xorshift64* round. Pure stack arithmetic — no allocation, no state.
-    fn draw(&self, kind: FaultKind, a: u64, b: u64, c: u64) -> u64 {
-        let mut bytes = [0u8; 32];
-        bytes[..8].copy_from_slice(&kind.tag().to_le_bytes());
-        bytes[8..16].copy_from_slice(&a.to_le_bytes());
-        bytes[16..24].copy_from_slice(&b.to_le_bytes());
-        bytes[24..].copy_from_slice(&c.to_le_bytes());
-        let mut x = self.seed ^ fnv1a(&bytes);
-        if x == 0 {
-            x = 0x9e37_79b9_7f4a_7c15; // xorshift's fixed point; any odd seed
-        }
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        keyed_unit(self.seed, kind.tag(), a, b, c) < rate
     }
 }
 
@@ -503,6 +514,17 @@ mod tests {
                 != s1.fires(FaultKind::ShardCrash, key, 0, 0);
         }
         assert!(differs, "shard seeds must change the schedule");
+    }
+
+    #[test]
+    fn keyed_unit_is_a_unit_draw_and_separates_tags() {
+        let mut differs = false;
+        for i in 0..512u64 {
+            let u = keyed_unit(42, 101, i, i / 3, i % 5);
+            assert!((0.0..1.0).contains(&u), "draw out of unit range: {u}");
+            differs |= keyed_draw(42, 101, i, 0, 0) != keyed_draw(42, 102, i, 0, 0);
+        }
+        assert!(differs, "tags must domain-separate the draw stream");
     }
 
     #[test]

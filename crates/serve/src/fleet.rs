@@ -65,7 +65,7 @@ use crate::error::ServeError;
 use crate::fault::{FaultKind, FaultPlan};
 use crate::policy::{RecoveryPolicy, SceneHashRouting, ShardCandidate, ShardRoutingPolicy};
 use crate::report::{percentile, FrameRecord, ServiceReport};
-use crate::scheduler::{FrameServer, ServeConfig};
+use crate::scheduler::{FrameServer, ServeConfig, SubmitOutcome, TicketId, TicketState};
 use crate::session::{SessionId, SessionSpec};
 use cicero_field::NerfModel;
 use cicero_math::{Intrinsics, Pose};
@@ -158,6 +158,11 @@ pub struct FleetReport {
     pub shard_brownouts: u64,
     /// Heartbeat misses drawn (including the ones that killed shards).
     pub heartbeat_misses: u64,
+    /// Admissions diverted off their primary shard to a sibling with
+    /// immediate headroom — the fleet's **divert before shed** leg of the
+    /// overload ladder. Always zero without an armed
+    /// [`OverloadControl`](crate::OverloadControl) on the base config.
+    pub diversions: u64,
     /// Every failover migration, in occurrence order.
     pub migrations: Vec<MigrationRecord>,
     /// Sessions lost because their shard died with no survivor.
@@ -190,6 +195,13 @@ pub struct Fleet<'a> {
     /// Destination `(shard, local id)` per migration record, for resolving
     /// `resumed_s` against the destination's frame records at report time.
     migration_dest: Vec<(usize, SessionId)>,
+    /// Fleet ticket → the shard and shard-local ticket holding it.
+    ticket_homes: Vec<(usize, TicketId)>,
+    /// Session names for queued submissions, applied at admission.
+    ticket_names: Vec<String>,
+    /// Fleet-level ticket resolutions; `Admitted` carries the **fleet** id.
+    ticket_states: Vec<TicketState>,
+    diversions: u64,
     heartbeat_misses: u64,
     shard_crashes: u64,
     shard_brownouts: u64,
@@ -229,6 +241,10 @@ impl<'a> Fleet<'a> {
             names: Vec::new(),
             migrations: Vec::new(),
             migration_dest: Vec::new(),
+            ticket_homes: Vec::new(),
+            ticket_names: Vec::new(),
+            ticket_states: Vec::new(),
+            diversions: 0,
             heartbeat_misses: 0,
             shard_crashes: 0,
             shard_brownouts: 0,
@@ -342,6 +358,163 @@ impl<'a> Fleet<'a> {
         Ok(self.register(shard, local, name))
     }
 
+    /// The fleet's **divert before shed** step: if the primary shard has no
+    /// immediate headroom but an alive sibling does, route the admission to
+    /// the least-loaded such sibling (ties to the lowest shard index) instead
+    /// of queueing on the primary. Only engages with an armed
+    /// [`OverloadControl`](crate::OverloadControl); otherwise the routing
+    /// policy's choice stands unchanged.
+    fn divert_target(
+        &mut self,
+        primary: usize,
+        spec: &SessionSpec,
+        intrinsics: Intrinsics,
+        fps: f64,
+    ) -> usize {
+        if self.cfg.base.overload.is_none()
+            || self.servers[primary].direct_fit(spec, intrinsics, fps)
+        {
+            return primary;
+        }
+        let mut best: Option<(f64, usize)> = None;
+        for i in 0..self.cfg.shards {
+            if i == primary || !self.alive[i] {
+                continue;
+            }
+            if !self.servers[i].direct_fit(spec, intrinsics, fps) {
+                continue;
+            }
+            let load = self.servers[i].admission().committed_load();
+            if best.is_none_or(|(bl, _)| load < bl) {
+                best = Some((load, i));
+            }
+        }
+        let Some((_, dest)) = best else {
+            return primary; // no headroom anywhere: queue/shed on the primary
+        };
+        self.diversions += 1;
+        self.servers[primary].note_diversion();
+        telemetry::instant(
+            telemetry::Phase::OverloadDivert,
+            dest as u64,
+            primary as u64,
+        );
+        telemetry::add(telemetry::Counter::OverloadDiversions, 1);
+        dest
+    }
+
+    /// Folds a shard-local [`SubmitOutcome`] into fleet-level numbering:
+    /// immediate admissions register a fleet session id, queued submissions
+    /// register a fleet ticket resolved by [`ticket`](Self::ticket).
+    fn register_outcome(
+        &mut self,
+        shard: usize,
+        outcome: SubmitOutcome,
+        name: String,
+    ) -> SubmitOutcome {
+        match outcome {
+            SubmitOutcome::Admitted(local) => {
+                SubmitOutcome::Admitted(self.register(shard, local, name))
+            }
+            SubmitOutcome::Queued(local_ticket) => {
+                self.ticket_homes.push((shard, local_ticket));
+                self.ticket_names.push(name);
+                self.ticket_states.push(TicketState::Pending);
+                SubmitOutcome::Queued(self.ticket_homes.len() - 1)
+            }
+        }
+    }
+
+    /// Pulls shard-local ticket resolutions up to fleet level, registering a
+    /// fleet session id for every freshly admitted queued submission. Must
+    /// run after any pump and before any shard death is processed, so that
+    /// every admitted session has a fleet id when failover drains its shard.
+    fn reconcile_tickets(&mut self) {
+        for t in 0..self.ticket_homes.len() {
+            if self.ticket_states[t] != TicketState::Pending {
+                continue;
+            }
+            let (shard, local_ticket) = self.ticket_homes[t];
+            match self.servers[shard].ticket(local_ticket) {
+                Some(TicketState::Admitted(local)) => {
+                    let name = self.ticket_names[t].clone();
+                    let global = self.register(shard, local, name);
+                    self.ticket_states[t] = TicketState::Admitted(global);
+                }
+                Some(TicketState::Shed) => self.ticket_states[t] = TicketState::Shed,
+                _ => {}
+            }
+        }
+    }
+
+    /// Time-aware submission through the overload controller, with the
+    /// fleet's extra rung: **divert before shed**. The routing policy picks a
+    /// primary shard; if it has no immediate headroom but a sibling does, the
+    /// admission diverts there rather than queueing. Otherwise the primary's
+    /// queue/shed/backpressure semantics apply
+    /// (see [`FrameServer::submit_at`]). Returned ids and tickets are
+    /// fleet-level.
+    #[allow(clippy::too_many_arguments)]
+    pub fn submit_at(
+        &mut self,
+        now_s: f64,
+        spec: SessionSpec,
+        scene: &'a AnalyticScene,
+        model: &'a dyn NerfModel,
+        traj: &'a Trajectory,
+        intrinsics: Intrinsics,
+    ) -> Result<SubmitOutcome, ServeError> {
+        let primary = self.route_admission(&spec.scene_key)?;
+        let shard = self.divert_target(primary, &spec, intrinsics, traj.fps() as f64);
+        let name = spec.name.clone();
+        let outcome = self.servers[shard].submit_at(now_s, spec, scene, model, traj, intrinsics)?;
+        let outcome = self.register_outcome(shard, outcome, name);
+        // submit_at pumps the shard's queue internally; surface any queued
+        // admissions it unlocked before a later shard death could drain them.
+        self.reconcile_tickets();
+        Ok(outcome)
+    }
+
+    /// Time-aware streaming submission with fleet divert-before-shed; see
+    /// [`submit_at`](Self::submit_at). Buffer poses client-side until the
+    /// ticket resolves to [`TicketState::Admitted`].
+    pub fn submit_stream_at(
+        &mut self,
+        now_s: f64,
+        spec: SessionSpec,
+        scene: &'a AnalyticScene,
+        model: &'a dyn NerfModel,
+        fps: f32,
+        intrinsics: Intrinsics,
+    ) -> Result<SubmitOutcome, ServeError> {
+        let primary = self.route_admission(&spec.scene_key)?;
+        let shard = self.divert_target(primary, &spec, intrinsics, fps as f64);
+        let name = spec.name.clone();
+        let outcome =
+            self.servers[shard].submit_stream_at(now_s, spec, scene, model, fps, intrinsics)?;
+        let outcome = self.register_outcome(shard, outcome, name);
+        self.reconcile_tickets();
+        Ok(outcome)
+    }
+
+    /// Resolution state of a fleet-level queued-submission ticket; `None`
+    /// for unknown tickets. `Admitted` carries the **fleet** session id,
+    /// usable with [`push_pose`](Self::push_pose) /
+    /// [`close_stream`](Self::close_stream) wherever failover later moves
+    /// the session.
+    pub fn ticket(&mut self, ticket: TicketId) -> Option<TicketState> {
+        self.reconcile_tickets();
+        self.ticket_states.get(ticket).copied()
+    }
+
+    /// Pending-admission queue depth summed across alive shards.
+    pub fn queued(&self) -> usize {
+        (0..self.cfg.shards)
+            .filter(|&i| self.alive[i])
+            .map(|i| self.servers[i].queued())
+            .sum()
+    }
+
     /// Resolves a fleet session id to its current home shard.
     fn home(&self, id: SessionId) -> Result<(usize, SessionId), ServeError> {
         match self.homes.get(id) {
@@ -432,6 +605,10 @@ impl<'a> Fleet<'a> {
     fn kill_shard(&mut self, shard: usize, at_s: f64) {
         self.alive[shard] = false;
         self.shard_crashes += 1;
+        // Queued (never-admitted) submissions die with the shard: shed them
+        // so their tickets resolve and their demand stays accounted. Live
+        // sessions migrate below instead.
+        self.servers[shard].shed_queue();
         let has_survivor = self.alive.iter().any(|&a| a);
         // Fleet-session ids of this shard's residents, by local id.
         let residents: Vec<(SessionId, SessionId)> = self
@@ -528,16 +705,54 @@ impl<'a> Fleet<'a> {
     /// [`FrameServer::run`] — byte-for-byte.
     pub fn run(&mut self) -> FleetReport {
         let plan = self.cfg.base.faults;
-        while let Some((t, _)) = self.earliest_ready() {
-            if let Some(plan) = &plan {
-                self.process_heartbeats(plan, t);
+        let armed = self.cfg.base.overload.is_some();
+        loop {
+            if let Some((t, _)) = self.earliest_ready() {
+                if let Some(plan) = &plan {
+                    self.process_heartbeats(plan, t);
+                }
             }
             // Heartbeats may have killed the picked shard or shifted
             // readiness by adopting sessions elsewhere; re-pick among the
             // alive shards. Readiness only moves *forward* of the death time
             // processed above, so the re-pick is deterministic.
+            let Some((t, _)) = self.earliest_ready() else {
+                if !armed {
+                    break;
+                }
+                // Every admitted batch has drained but submissions may still
+                // wait in shard queues: advance to the earliest SLO admission
+                // deadline fleet-wide and pump, which admits (possibly
+                // browned out) or sheds the frontier entry.
+                let frontier = (0..self.cfg.shards)
+                    .filter(|&i| self.alive[i])
+                    .filter_map(|i| self.servers[i].queue_frontier_s())
+                    .min_by(f64::total_cmp);
+                let Some(ft) = frontier else { break };
+                let before = self.queued();
+                for i in 0..self.cfg.shards {
+                    if self.alive[i] {
+                        self.servers[i].pump_overload(ft);
+                    }
+                }
+                self.reconcile_tickets();
+                if self.queued() >= before && self.earliest_ready().is_none() {
+                    break; // defensive: no entry resolved and nothing to run
+                }
+                continue;
+            };
+            if armed {
+                // Drained capacity admits queued work before the round runs,
+                // in ascending shard order — deterministic either way.
+                for i in 0..self.cfg.shards {
+                    if self.alive[i] {
+                        self.servers[i].pump_overload(t);
+                    }
+                }
+                self.reconcile_tickets();
+            }
             let Some((_, target)) = self.earliest_ready() else {
-                break;
+                continue;
             };
             self.servers[target].run_round();
         }
@@ -598,6 +813,7 @@ impl<'a> Fleet<'a> {
             shard_crashes: self.shard_crashes,
             shard_brownouts: self.shard_brownouts,
             heartbeat_misses: self.heartbeat_misses,
+            diversions: self.diversions,
             migrations,
             lost_sessions: self.lost_sessions,
             lost_frames: self.lost_frames,

@@ -26,8 +26,12 @@
 //!   ([`FaultPlan`]) with a recovery ladder
 //!   ([`policy::RecoveryPolicy`]): retry with backoff, warp from the best
 //!   stale cached reference, degraded re-render,
+//! - [`traffic`] — deterministic traffic profiles ([`TrafficProfile`]) with
+//!   seeded generators (Zipf scene popularity, diurnal and flash-crowd
+//!   arrivals), a recorder, and the [`run_replay`] harness that drives a
+//!   server from a profile with backpressure-honoring clients,
 //! - [`report`] — [`ServiceReport`]: throughput, p50/p99 frame latency,
-//!   deadline misses, per-session PSNR, fault/recovery accounting.
+//!   deadline misses, per-session PSNR, fault/recovery/overload accounting.
 //!
 //! # Example
 //!
@@ -68,11 +72,14 @@ pub mod policy;
 pub mod report;
 pub mod scheduler;
 pub mod session;
+pub mod traffic;
 
 pub use admission::{AdmissionController, AdmissionError, AdmissionPolicy};
 pub use cache::{CachedReference, RefCache, RefCacheConfig, RefCacheStats};
 pub use error::ServeError;
-pub use fault::{FallbackRecord, FaultInjector, FaultKind, FaultPlan, FaultReport};
+pub use fault::{
+    keyed_draw, keyed_unit, FallbackRecord, FaultInjector, FaultKind, FaultPlan, FaultReport,
+};
 pub use fleet::{Fleet, FleetConfig, FleetReport, MigrationRecord};
 pub use policy::{
     Degradation, IdleWorkerPrefetch, JobKind, LeastLoaded, LeastLoadedRouting, LoadAdaptiveDegrade,
@@ -80,6 +87,12 @@ pub use policy::{
     RecoveryPolicy, RejectAtAdmission, RetryWithBackoff, SceneAffinity, SceneHashRouting,
     ShardCandidate, ShardRoutingPolicy,
 };
-pub use report::{DegradationRecord, FrameRecord, ServiceReport, SessionSummary};
-pub use scheduler::{FrameServer, ServeConfig};
+pub use report::{DegradationRecord, FrameRecord, OverloadReport, ServiceReport, SessionSummary};
+pub use scheduler::{
+    FrameServer, OverloadControl, ServeConfig, SubmitOutcome, TicketId, TicketState,
+};
 pub use session::{QosClass, SessionId, SessionSpec};
+pub use traffic::{
+    run_replay, ArrivalProcess, ClientStats, PathKind, ReplayOptions, ReplayOutcome, TrafficAssets,
+    TrafficError, TrafficModel, TrafficProfile, TrafficRecorder, TrafficSession,
+};

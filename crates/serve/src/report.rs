@@ -76,6 +76,99 @@ pub struct SessionSummary {
     pub cache_hits: u64,
 }
 
+/// Overload-control accounting for one [`crate::FrameServer::run`], carried
+/// on [`ServiceReport::overload`]. All quantities are simulated time only, so
+/// the report is bit-identical at any host thread budget.
+///
+/// A server without an armed [`OverloadControl`](crate::OverloadControl) —
+/// or an armed one that never queued, shed or pushed back — reports exactly
+/// [`OverloadReport::default()`]: all counters zero, `goodput_fps` zero,
+/// per-class SLO attainment `1.0`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct OverloadReport {
+    /// Submissions that entered the pending-admission queue instead of
+    /// admitting immediately.
+    pub enqueued: u64,
+    /// Queued submissions later admitted at full fidelity once load drained.
+    pub queue_admits: u64,
+    /// Queued submissions admitted through the brownout ladder (degraded)
+    /// when their SLO deadline arrived before capacity did.
+    pub brownout_admits: u64,
+    /// Submissions shed from the queue: the deadline-aware victim predicted
+    /// to miss its SLO, not the newest arrival.
+    pub sheds: u64,
+    /// Sheds by QoS class, indexed by
+    /// [`QosClass::priority`](crate::QosClass::priority)
+    /// (interactive, standard, best-effort).
+    pub sheds_by_class: [u64; 3],
+    /// Frames the shed sessions would have served, by QoS class — the demand
+    /// denominator behind [`slo_attainment`](Self::slo_attainment).
+    pub shed_frames_by_class: [u64; 3],
+    /// Submissions pushed back with
+    /// [`ServeError::Overloaded`](crate::ServeError::Overloaded) because the
+    /// queue was full and the incoming request was the worst SLO risk.
+    pub backpressure: u64,
+    /// Admissions a [`Fleet`](crate::Fleet) diverted off their primary shard
+    /// to a sibling with headroom (divert before shed). Always zero on a
+    /// bare server.
+    pub diversions: u64,
+    /// Deepest the pending queue ever got.
+    pub queue_peak: u64,
+    /// Queue-depth histogram, sampled at each enqueue: depth buckets
+    /// `0, 1, 2–3, 4–7, 8–15, 16+` *before* the new entry joins.
+    pub queue_depth_hist: [u64; 6],
+    /// Longest simulated wait between enqueue and admission, seconds.
+    pub max_queue_wait_s: f64,
+    /// On-time frames per second of makespan: throughput that met its
+    /// deadline. Goodput ≤ throughput by construction.
+    pub goodput_fps: f64,
+    /// Per-class SLO attainment: on-time served frames over demanded frames
+    /// (served + shed), indexed like [`sheds_by_class`](Self::sheds_by_class).
+    /// A class with no demand reports `1.0`.
+    pub slo_attainment: [f64; 3],
+}
+
+impl Default for OverloadReport {
+    fn default() -> Self {
+        OverloadReport {
+            enqueued: 0,
+            queue_admits: 0,
+            brownout_admits: 0,
+            sheds: 0,
+            sheds_by_class: [0; 3],
+            shed_frames_by_class: [0; 3],
+            backpressure: 0,
+            diversions: 0,
+            queue_peak: 0,
+            queue_depth_hist: [0; 6],
+            max_queue_wait_s: 0.0,
+            goodput_fps: 0.0,
+            slo_attainment: [1.0; 3],
+        }
+    }
+}
+
+impl OverloadReport {
+    /// Whether any overload machinery actually engaged (queueing, shedding,
+    /// backpressure or diversion). `false` on every disarmed or underloaded
+    /// run.
+    pub fn engaged(&self) -> bool {
+        self.enqueued > 0 || self.sheds > 0 || self.backpressure > 0 || self.diversions > 0
+    }
+
+    /// The histogram bucket for a queue depth: `0, 1, 2–3, 4–7, 8–15, 16+`.
+    pub fn depth_bucket(depth: usize) -> usize {
+        match depth {
+            0 => 0,
+            1 => 1,
+            2..=3 => 2,
+            4..=7 => 3,
+            8..=15 => 4,
+            _ => 5,
+        }
+    }
+}
+
 /// Aggregate serving statistics for one [`crate::FrameServer::run`].
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ServiceReport {
@@ -120,6 +213,10 @@ pub struct ServiceReport {
     /// without an armed [`FaultPlan`](crate::FaultPlan) — or with one that
     /// never fired.
     pub faults: FaultReport,
+    /// Overload-control accounting. Exactly [`OverloadReport::default()`] on
+    /// a server without an armed [`OverloadControl`](crate::OverloadControl)
+    /// — or with one that never engaged.
+    pub overload: OverloadReport,
 }
 
 impl ServiceReport {
@@ -175,6 +272,33 @@ mod tests {
         // Over-range q clamps to the last element rather than indexing past
         // the end.
         assert_eq!(percentile(&mut v, 150.0), 9.0);
+    }
+
+    #[test]
+    fn overload_default_is_disengaged_with_full_attainment() {
+        let r = OverloadReport::default();
+        assert!(!r.engaged());
+        assert_eq!(r.slo_attainment, [1.0; 3]);
+        assert_eq!(r.queue_depth_hist, [0; 6]);
+    }
+
+    #[test]
+    fn depth_buckets_partition_the_depth_axis() {
+        let want = [
+            (0, 0),
+            (1, 1),
+            (2, 2),
+            (3, 2),
+            (4, 3),
+            (7, 3),
+            (8, 4),
+            (15, 4),
+            (16, 5),
+            (1000, 5),
+        ];
+        for (depth, bucket) in want {
+            assert_eq!(OverloadReport::depth_bucket(depth), bucket, "depth {depth}");
+        }
     }
 
     #[test]

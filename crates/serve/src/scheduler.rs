@@ -47,9 +47,12 @@ use crate::cache::{CacheKey, CachedReference, RefCache, RefCacheConfig};
 use crate::error::ServeError;
 use crate::fault::{FallbackRecord, FaultInjector, FaultKind, FaultPlan, FaultReport};
 use crate::policy::{
-    JobKind, PlacementJob, PlacementPolicy, Policies, QosAdmission, RecoveryPolicy,
+    JobKind, LoadAdaptiveDegrade, PlacementJob, PlacementPolicy, Policies, QosAdmission, QosPolicy,
+    RecoveryPolicy,
 };
-use crate::report::{percentile, DegradationRecord, FrameRecord, ServiceReport, SessionSummary};
+use crate::report::{
+    percentile, DegradationRecord, FrameRecord, OverloadReport, ServiceReport, SessionSummary,
+};
 use crate::session::{ServeSession, SessionId, SessionManager, SessionSpec};
 use cicero::pipeline::{PipelineSession, SessionStep};
 use cicero::schedule::FramePlan;
@@ -100,6 +103,180 @@ pub struct ServeConfig {
     /// to `None`. Faults and recoveries obey the same determinism contract
     /// as everything else: bit-identical reports at any host thread budget.
     pub faults: Option<FaultPlan>,
+    /// Arms SLO-aware overload control (see [`OverloadControl`]). `None`
+    /// keeps the historical admit-or-reject behavior byte-for-byte;
+    /// [`submit`](FrameServer::submit) never queues either way — only the
+    /// time-aware [`submit_at`](FrameServer::submit_at) /
+    /// [`submit_stream_at`](FrameServer::submit_stream_at) entry points
+    /// engage the queue.
+    pub overload: Option<OverloadControl>,
+}
+
+/// SLO-aware overload control: a bounded pending-admission queue with
+/// deadline-aware shedding, explicit backpressure and an optional brownout
+/// ladder, armed via [`ServeConfig::overload`].
+///
+/// When [`submit_at`](FrameServer::submit_at) cannot admit a session
+/// immediately it is **queued** rather than rejected; queued submissions
+/// admit in (QoS priority, arrival) order as drained sessions free capacity.
+/// A queued submission whose SLO admission deadline arrives before capacity
+/// does is admitted through the `brownout` degradation ladder (stretched
+/// window / halved resolution) — or **shed** when the ladder is absent or
+/// even its floor does not fit. When the queue itself overflows, the entry
+/// **predicted to miss its SLO** (least slack; not the newest arrival) is
+/// shed; if that is the incoming request it gets explicit backpressure —
+/// [`ServeError::Overloaded`] with a retry hint — instead of a queue slot.
+///
+/// All decisions depend only on simulated time and queue contents, so armed
+/// reports keep the standing contract: bit-identical at any host thread
+/// budget.
+#[derive(Debug, Clone, Copy)]
+pub struct OverloadControl {
+    /// Pending-admission queue capacity; `0` degenerates to backpressure on
+    /// every submission that cannot admit immediately.
+    pub queue_capacity: usize,
+    /// SLO admission deadline, in multiples of the class deadline: a queued
+    /// submission must start within
+    /// `deadline_frames × frame_interval × deadline_slack` of its requested
+    /// start or it is browned out / shed.
+    pub deadline_slack: f64,
+    /// Base of the backpressure retry hint:
+    /// `retry_after_s = min_retry_s × (1 + queue depth)`.
+    pub min_retry_s: f64,
+    /// Degradation ladder for queued submissions at their SLO deadline.
+    /// `None` sheds instead of browning out.
+    pub brownout: Option<LoadAdaptiveDegrade>,
+}
+
+impl Default for OverloadControl {
+    fn default() -> Self {
+        OverloadControl {
+            queue_capacity: 32,
+            deadline_slack: 8.0,
+            min_retry_s: 0.05,
+            brownout: Some(LoadAdaptiveDegrade::default()),
+        }
+    }
+}
+
+/// Handle for a queued submission, resolved by [`FrameServer::ticket`].
+pub type TicketId = usize;
+
+/// What [`FrameServer::submit_at`] did with a submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// Admitted immediately; the session serves from its requested start.
+    Admitted(SessionId),
+    /// Queued behind the overload controller; poll
+    /// [`ticket`](FrameServer::ticket) after each run for the resolution.
+    Queued(TicketId),
+}
+
+impl SubmitOutcome {
+    /// The admitted session id, if admission was immediate.
+    pub fn session(&self) -> Option<SessionId> {
+        match self {
+            SubmitOutcome::Admitted(id) => Some(*id),
+            SubmitOutcome::Queued(_) => None,
+        }
+    }
+}
+
+/// Resolution state of a queued submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TicketState {
+    /// Still waiting in the pending-admission queue.
+    Pending,
+    /// Admitted (possibly degraded through the brownout ladder) as this
+    /// session.
+    Admitted(SessionId),
+    /// Shed: the server predicted the session would miss its SLO and
+    /// dropped it. Resubmitting later is allowed.
+    Shed,
+}
+
+/// What a queued submission will feed the pipeline once admitted.
+enum QueuedFeed<'a> {
+    /// A whole-trajectory session.
+    Trajectory(&'a Trajectory),
+    /// A streaming session; poses arrive via
+    /// [`push_pose`](FrameServer::push_pose) after admission.
+    Stream { fps: f32 },
+}
+
+/// One pending-admission queue entry.
+struct QueuedSubmission<'a> {
+    ticket: TicketId,
+    seq: u64,
+    spec: SessionSpec,
+    scene: &'a AnalyticScene,
+    model: &'a dyn NerfModel,
+    feed: QueuedFeed<'a>,
+    intrinsics: Intrinsics,
+    fps: f64,
+    /// Frames the session would serve — the shed-demand figure. Zero for
+    /// streaming submissions (their demand is unknown at submit time).
+    frames: u64,
+    enqueued_s: f64,
+    /// Latest simulated start that still meets the class SLO (with the
+    /// configured slack); past it the entry browns out or sheds.
+    deadline_to_start_s: f64,
+}
+
+impl QueuedSubmission<'_> {
+    /// Slack to the SLO admission deadline at `now`; the least-slack entry
+    /// is the shedding victim.
+    fn slack_s(&self, now: f64) -> f64 {
+        self.deadline_to_start_s - now
+    }
+}
+
+/// Live overload-control state: the armed knobs, the pending queue, ticket
+/// resolutions and the running counters.
+struct OverloadState<'a> {
+    ctl: OverloadControl,
+    queue: Vec<QueuedSubmission<'a>>,
+    tickets: Vec<TicketState>,
+    next_seq: u64,
+    report: OverloadReport,
+}
+
+impl<'a> OverloadState<'a> {
+    fn new(ctl: OverloadControl) -> Self {
+        OverloadState {
+            ctl,
+            queue: Vec::new(),
+            tickets: Vec::new(),
+            next_seq: 0,
+            report: OverloadReport::default(),
+        }
+    }
+
+    /// Orders the queue for a pump pass: QoS priority, then arrival order.
+    fn pump_order(&mut self) {
+        self.queue.sort_by_key(|q| (q.spec.qos.priority(), q.seq));
+    }
+
+    /// The shedding victim among queued entries at `now`: least slack,
+    /// ties to the lower QoS class, then to the newest arrival. `None` on an
+    /// empty queue.
+    fn victim(&self, now: f64) -> Option<usize> {
+        (0..self.queue.len()).min_by(|&i, &j| {
+            let (a, b) = (&self.queue[i], &self.queue[j]);
+            a.slack_s(now)
+                .total_cmp(&b.slack_s(now))
+                .then(b.spec.qos.priority().cmp(&a.spec.qos.priority()))
+                .then(b.seq.cmp(&a.seq))
+        })
+    }
+
+    fn note_shed(&mut self, spec: &SessionSpec, frames: u64) {
+        let class = spec.qos.priority() as usize;
+        self.report.sheds += 1;
+        self.report.sheds_by_class[class] += 1;
+        self.report.shed_frames_by_class[class] += frames;
+        telemetry::add(telemetry::Counter::OverloadSheds, 1);
+    }
 }
 
 /// Runs `work` over every entry, fanning out across up to `drivers`
@@ -136,6 +313,7 @@ pub struct FrameServer<'a> {
     admission: AdmissionController,
     sessions: SessionManager<'a>,
     injector: Option<FaultInjector>,
+    overload: Option<OverloadState<'a>>,
     reference_jobs: u64,
     prefetch_jobs: u64,
     degradations: Vec<DegradationRecord>,
@@ -155,6 +333,7 @@ impl<'a> FrameServer<'a> {
             ),
             sessions: SessionManager::new(),
             injector: cfg.faults.map(FaultInjector::new),
+            overload: cfg.overload.map(OverloadState::new),
             reference_jobs: 0,
             prefetch_jobs: 0,
             degradations: Vec::new(),
@@ -320,6 +499,361 @@ impl<'a> FrameServer<'a> {
         let pipe =
             PipelineSession::new_streaming(scene, model, fps, adm.intrinsics, &adm.spec.config);
         Ok(self.install_session(adm, fps as f64, pipe))
+    }
+
+    /// Time-aware submission through the overload controller: admits
+    /// immediately when the pool has headroom, otherwise **queues** the
+    /// session instead of rejecting (see [`OverloadControl`]). `now_s` is the
+    /// client's submission instant on the simulated timeline.
+    ///
+    /// Without an armed [`ServeConfig::overload`] this is exactly
+    /// [`submit`](Self::submit) wrapped in [`SubmitOutcome::Admitted`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`] when the queue is full and this request is
+    /// the worst SLO risk — resubmit after the embedded retry hint. Other
+    /// admission errors (e.g. the hard session cap) pass through unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traj` is empty or its fps is not positive.
+    pub fn submit_at(
+        &mut self,
+        now_s: f64,
+        spec: SessionSpec,
+        scene: &'a AnalyticScene,
+        model: &'a dyn NerfModel,
+        traj: &'a Trajectory,
+        intrinsics: Intrinsics,
+    ) -> Result<SubmitOutcome, ServeError> {
+        if self.overload.is_none() {
+            return self
+                .submit(spec, scene, model, traj, intrinsics)
+                .map(SubmitOutcome::Admitted);
+        }
+        let fps = traj.fps() as f64;
+        assert!(fps > 0.0, "trajectory fps must be positive");
+        let frames = traj.poses().len() as u64;
+        self.submit_overloaded(
+            now_s,
+            spec,
+            scene,
+            model,
+            QueuedFeed::Trajectory(traj),
+            intrinsics,
+            fps,
+            frames,
+        )
+    }
+
+    /// Time-aware **streaming** submission through the overload controller —
+    /// [`submit_stream`](Self::submit_stream) with queueing semantics; see
+    /// [`submit_at`](Self::submit_at). Buffer poses client-side until the
+    /// ticket resolves to [`TicketState::Admitted`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fps` is not positive.
+    pub fn submit_stream_at(
+        &mut self,
+        now_s: f64,
+        spec: SessionSpec,
+        scene: &'a AnalyticScene,
+        model: &'a dyn NerfModel,
+        fps: f32,
+        intrinsics: Intrinsics,
+    ) -> Result<SubmitOutcome, ServeError> {
+        if self.overload.is_none() {
+            return self
+                .submit_stream(spec, scene, model, fps, intrinsics)
+                .map(SubmitOutcome::Admitted);
+        }
+        assert!(fps > 0.0, "stream fps must be positive");
+        self.submit_overloaded(
+            now_s,
+            spec,
+            scene,
+            model,
+            QueuedFeed::Stream { fps },
+            intrinsics,
+            fps as f64,
+            0,
+        )
+    }
+
+    /// Resolution state of a queued submission's ticket; `None` for unknown
+    /// tickets or on a server without armed overload control.
+    pub fn ticket(&self, ticket: TicketId) -> Option<TicketState> {
+        self.overload
+            .as_ref()
+            .and_then(|ov| ov.tickets.get(ticket).copied())
+    }
+
+    /// Pending-admission queue depth (0 without armed overload control).
+    pub fn queued(&self) -> usize {
+        self.overload.as_ref().map_or(0, |ov| ov.queue.len())
+    }
+
+    /// Whether this shard would admit `spec` immediately — empty queue and
+    /// capacity headroom. The fleet's side-effect-free diversion probe.
+    pub(crate) fn direct_fit(&self, spec: &SessionSpec, intrinsics: Intrinsics, fps: f64) -> bool {
+        self.overload.as_ref().is_none_or(|ov| ov.queue.is_empty())
+            && self
+                .admission
+                .would_fit(self.admission.estimate_load(spec, intrinsics, fps))
+    }
+
+    /// The armed submission path: pump, then direct-admit / enqueue / shed /
+    /// backpressure.
+    #[allow(clippy::too_many_arguments)]
+    fn submit_overloaded(
+        &mut self,
+        now_s: f64,
+        spec: SessionSpec,
+        scene: &'a AnalyticScene,
+        model: &'a dyn NerfModel,
+        feed: QueuedFeed<'a>,
+        intrinsics: Intrinsics,
+        fps: f64,
+        frames: u64,
+    ) -> Result<SubmitOutcome, ServeError> {
+        // Freshly drained capacity admits queued work *before* the newcomer:
+        // the queue is a FIFO per priority, not a stack.
+        self.pump_overload(now_s);
+        let direct = {
+            let ov = self.overload.as_ref().expect("overload armed");
+            ov.queue.is_empty()
+                && self
+                    .admission
+                    .would_fit(self.admission.estimate_load(&spec, intrinsics, fps))
+        };
+        if direct {
+            let adm = self.admit(spec, intrinsics, fps)?;
+            let pipe = Self::build_pipe(scene, model, feed, &adm);
+            return Ok(SubmitOutcome::Admitted(
+                self.install_session(adm, fps, pipe),
+            ));
+        }
+        let ctl = self.overload.as_ref().expect("overload armed").ctl;
+        let frame_interval_s = 1.0 / fps;
+        // The SLO admission deadline: the session must *start* within the
+        // slack-scaled class deadline of its requested start (floored at the
+        // submission instant — queueing cannot owe time before the client
+        // even asked).
+        let deadline_to_start_s = spec.start_offset_s.max(now_s)
+            + spec.qos.deadline_frames() * frame_interval_s * ctl.deadline_slack;
+        let ov = self.overload.as_mut().expect("overload armed");
+        let seq = ov.next_seq;
+        ov.next_seq += 1;
+        if ov.queue.len() >= ctl.queue_capacity {
+            // Overflow: shed the entry predicted to miss its SLO — the least
+            // slack across the queue *and* the incoming request (ties to the
+            // lower QoS class, then the newest arrival).
+            let incoming_slack = deadline_to_start_s - now_s;
+            let incoming_is_victim = match ov.victim(now_s) {
+                None => true, // zero-capacity queue: pure backpressure
+                Some(v) => {
+                    let q = &ov.queue[v];
+                    incoming_slack
+                        .total_cmp(&q.slack_s(now_s))
+                        .then(q.spec.qos.priority().cmp(&spec.qos.priority()))
+                        .then(q.seq.cmp(&seq))
+                        .is_lt()
+                }
+            };
+            if incoming_is_victim {
+                let depth = ov.queue.len();
+                ov.report.backpressure += 1;
+                telemetry::add(telemetry::Counter::OverloadBackpressure, 1);
+                return Err(ServeError::Overloaded {
+                    retry_after_s: ctl.min_retry_s * (1.0 + depth as f64),
+                });
+            }
+            let v = ov.victim(now_s).expect("non-empty queue has a victim");
+            let shed = ov.queue.remove(v);
+            ov.tickets[shed.ticket] = TicketState::Shed;
+            ov.note_shed(&shed.spec, shed.frames);
+            telemetry::instant(
+                telemetry::Phase::OverloadShed,
+                shed.ticket as u64,
+                shed.spec.qos.priority() as u64,
+            );
+        }
+        let ticket = ov.tickets.len();
+        let depth = ov.queue.len();
+        ov.report.enqueued += 1;
+        ov.report.queue_depth_hist[OverloadReport::depth_bucket(depth)] += 1;
+        ov.report.queue_peak = ov.report.queue_peak.max(depth as u64 + 1);
+        ov.tickets.push(TicketState::Pending);
+        telemetry::instant(
+            telemetry::Phase::OverloadEnqueue,
+            ticket as u64,
+            spec.qos.priority() as u64,
+        );
+        telemetry::add(telemetry::Counter::OverloadEnqueued, 1);
+        telemetry::observe(telemetry::Hist::OverloadQueueDepth, depth as u64);
+        ov.queue.push(QueuedSubmission {
+            ticket,
+            seq,
+            spec,
+            scene,
+            model,
+            feed,
+            intrinsics,
+            fps,
+            frames,
+            enqueued_s: now_s,
+            deadline_to_start_s,
+        });
+        Ok(SubmitOutcome::Queued(ticket))
+    }
+
+    /// Builds the pipeline for an admitted (possibly degraded) submission.
+    fn build_pipe(
+        scene: &'a AnalyticScene,
+        model: &'a dyn NerfModel,
+        feed: QueuedFeed<'a>,
+        adm: &QosAdmission,
+    ) -> PipelineSession<'a> {
+        match feed {
+            QueuedFeed::Trajectory(traj) => {
+                PipelineSession::new(scene, model, traj, adm.intrinsics, &adm.spec.config)
+            }
+            QueuedFeed::Stream { fps } => {
+                PipelineSession::new_streaming(scene, model, fps, adm.intrinsics, &adm.spec.config)
+            }
+        }
+    }
+
+    /// Drains the pending-admission queue at simulated instant `now_s`, in
+    /// (QoS priority, arrival) order: entries that fit admit at full
+    /// fidelity; entries at their SLO admission deadline brown out through
+    /// the configured ladder (or shed without one); the rest keep waiting.
+    /// A no-op on an empty queue — and therefore on every disarmed or
+    /// underloaded server.
+    pub(crate) fn pump_overload(&mut self, now_s: f64) {
+        if self.overload.as_ref().is_none_or(|ov| ov.queue.is_empty()) {
+            return;
+        }
+        // Drained sessions hand their capacity back before the queue pumps.
+        self.release_drained_loads();
+        let mut pending = {
+            let ov = self.overload.as_mut().expect("overload armed");
+            ov.pump_order();
+            std::mem::take(&mut ov.queue)
+        };
+        let mut requeue: Vec<QueuedSubmission<'a>> = Vec::new();
+        for q in pending.drain(..) {
+            let est = self.admission.estimate_load(&q.spec, q.intrinsics, q.fps);
+            if self.admission.would_fit(est) {
+                match self.admit(q.spec.clone(), q.intrinsics, q.fps) {
+                    Ok(adm) => {
+                        let pipe = Self::build_pipe(q.scene, q.model, q.feed, &adm);
+                        let id = self.install_session(adm, q.fps, pipe);
+                        // A queued session cannot serve before it was
+                        // admitted; late admission shows up as latency.
+                        self.sessions[id].resume_floor_s = now_s;
+                        let ov = self.overload.as_mut().expect("overload armed");
+                        ov.tickets[q.ticket] = TicketState::Admitted(id);
+                        ov.report.queue_admits += 1;
+                        ov.report.max_queue_wait_s =
+                            ov.report.max_queue_wait_s.max(now_s - q.enqueued_s);
+                    }
+                    Err(_) => {
+                        // The capacity probe passed but a hard limit (the
+                        // session cap) still refused: shed.
+                        let ov = self.overload.as_mut().expect("overload armed");
+                        ov.tickets[q.ticket] = TicketState::Shed;
+                        ov.note_shed(&q.spec, q.frames);
+                        telemetry::instant(
+                            telemetry::Phase::OverloadShed,
+                            q.ticket as u64,
+                            q.spec.qos.priority() as u64,
+                        );
+                    }
+                }
+            } else if now_s >= q.deadline_to_start_s {
+                // SLO deadline reached before capacity: brownout before
+                // shed, shed before serving predictably-late frames.
+                let ladder = self.overload.as_ref().expect("overload armed").ctl.brownout;
+                let browned = ladder.and_then(|ladder| {
+                    let mut spec = q.spec.clone();
+                    if self.cfg.render_threads > 0 {
+                        spec.config.render_threads = self.cfg.render_threads;
+                    }
+                    ladder
+                        .admit(&spec, q.intrinsics, q.fps, &mut self.admission)
+                        .ok()
+                });
+                match browned {
+                    Some(adm) => {
+                        let pipe = Self::build_pipe(q.scene, q.model, q.feed, &adm);
+                        let id = self.install_session(adm, q.fps, pipe);
+                        self.sessions[id].resume_floor_s = now_s;
+                        let ov = self.overload.as_mut().expect("overload armed");
+                        ov.tickets[q.ticket] = TicketState::Admitted(id);
+                        ov.report.brownout_admits += 1;
+                        ov.report.max_queue_wait_s =
+                            ov.report.max_queue_wait_s.max(now_s - q.enqueued_s);
+                    }
+                    None => {
+                        let ov = self.overload.as_mut().expect("overload armed");
+                        ov.tickets[q.ticket] = TicketState::Shed;
+                        ov.note_shed(&q.spec, q.frames);
+                        telemetry::instant(
+                            telemetry::Phase::OverloadShed,
+                            q.ticket as u64,
+                            q.spec.qos.priority() as u64,
+                        );
+                    }
+                }
+            } else {
+                requeue.push(q);
+            }
+        }
+        self.overload.as_mut().expect("overload armed").queue = requeue;
+    }
+
+    /// Records a fleet diversion *off* this shard: the fleet found it had no
+    /// immediate headroom and routed the admission to a sibling instead. A
+    /// no-op without armed overload control.
+    pub(crate) fn note_diversion(&mut self) {
+        if let Some(ov) = self.overload.as_mut() {
+            ov.report.diversions += 1;
+        }
+    }
+
+    /// Sheds every pending queue entry — the shard is dying and nothing will
+    /// ever pump its queue again. Admitted sessions are *not* touched (they
+    /// migrate through [`take_live_sessions`](Self::take_live_sessions)).
+    pub(crate) fn shed_queue(&mut self) {
+        let Some(ov) = self.overload.as_mut() else {
+            return;
+        };
+        let queue = std::mem::take(&mut ov.queue);
+        for q in queue {
+            ov.tickets[q.ticket] = TicketState::Shed;
+            ov.note_shed(&q.spec, q.frames);
+            telemetry::instant(
+                telemetry::Phase::OverloadShed,
+                q.ticket as u64,
+                q.spec.qos.priority() as u64,
+            );
+        }
+    }
+
+    /// Earliest SLO admission deadline across the pending queue — the
+    /// simulated instant the run loop must advance to when every admitted
+    /// session has drained but submissions still wait. `None` when nothing
+    /// is queued.
+    pub(crate) fn queue_frontier_s(&self) -> Option<f64> {
+        self.overload.as_ref().and_then(|ov| {
+            ov.queue
+                .iter()
+                .map(|q| q.deadline_to_start_s)
+                .min_by(f64::total_cmp)
+        })
     }
 
     /// Feeds one pose to a streaming session. Errors for whole-trajectory
@@ -1112,8 +1646,36 @@ impl<'a> FrameServer<'a> {
     /// the earliest one advances this round, concurrently on the host
     /// render pool when [`ServeConfig::render_threads`] grants a budget.
     /// The report is bit-identical at any budget.
+    ///
+    /// With armed [`ServeConfig::overload`] the loop additionally pumps the
+    /// pending-admission queue at every round's dispatch instant, and — when
+    /// all admitted work drains while submissions still wait — advances
+    /// simulated time to the earliest queued SLO deadline so every queued
+    /// entry is eventually admitted, browned out or shed. An armed server
+    /// whose queue never fills runs the identical round sequence.
     pub fn run(&mut self) -> ServiceReport {
-        while self.run_round().is_some() {}
+        if self.overload.is_none() {
+            while self.run_round().is_some() {}
+        } else {
+            loop {
+                match self.run_round() {
+                    Some(t) => self.pump_overload(t),
+                    None => {
+                        let Some(t) = self.queue_frontier_s() else {
+                            break;
+                        };
+                        let before = self.queued();
+                        self.pump_overload(t);
+                        // At the frontier the earliest-deadline entry always
+                        // admits, browns out or sheds; this guard only stops
+                        // a hypothetical no-progress loop from hanging.
+                        if self.queued() >= before && !self.next_ready_s().is_finite() {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
         self.release_drained_loads();
         self.finish_report()
     }
@@ -1201,6 +1763,46 @@ impl<'a> FrameServer<'a> {
             None => FaultReport::default(),
         };
         let makespan_s = records.iter().map(|r| r.completion_s).fold(0.0, f64::max);
+        let overload = match &self.overload {
+            None => OverloadReport::default(),
+            Some(st) => {
+                let mut o = st.report.clone();
+                // Goodput: only frames that met their deadline count.
+                let on_time = records.iter().filter(|r| !r.missed_deadline()).count();
+                o.goodput_fps = if makespan_s > 0.0 {
+                    on_time as f64 / makespan_s
+                } else {
+                    0.0
+                };
+                // Per-class SLO attainment over the demand the server knows
+                // about: served frames plus the frames shed sessions would
+                // have served. Resident sessions only — a fleet accounts
+                // migrated sessions on their destination shard.
+                let mut class_of: Vec<Option<usize>> = vec![None; self.sessions.len()];
+                for s in self.sessions.iter() {
+                    class_of[s.id] = Some(s.spec.qos.priority() as usize);
+                }
+                let mut served = [0u64; 3];
+                let mut met = [0u64; 3];
+                for r in &records {
+                    if let Some(&Some(c)) = class_of.get(r.session) {
+                        served[c] += 1;
+                        if !r.missed_deadline() {
+                            met[c] += 1;
+                        }
+                    }
+                }
+                for c in 0..3 {
+                    let demand = served[c] + o.shed_frames_by_class[c];
+                    o.slo_attainment[c] = if demand > 0 {
+                        met[c] as f64 / demand as f64
+                    } else {
+                        1.0
+                    };
+                }
+                o
+            }
+        };
         let mut latencies: Vec<f64> = records.iter().map(FrameRecord::latency_s).collect();
         let deadline_misses = records.iter().filter(|r| r.missed_deadline()).count() as u64;
         let sessions = self
@@ -1247,6 +1849,7 @@ impl<'a> FrameServer<'a> {
             sessions,
             records,
             faults,
+            overload,
         }
     }
 }

@@ -52,6 +52,17 @@ impl QosClass {
             QosClass::BestEffort => "best-effort",
         }
     }
+
+    /// Parses a [`label`](Self::label) back; `None` for unknown labels.
+    /// Round-trips exactly — the traffic-profile text format depends on it.
+    pub fn from_label(s: &str) -> Option<QosClass> {
+        match s {
+            "interactive" => Some(QosClass::Interactive),
+            "standard" => Some(QosClass::Standard),
+            "best-effort" => Some(QosClass::BestEffort),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for QosClass {

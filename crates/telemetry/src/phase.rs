@@ -85,6 +85,16 @@ pub enum Phase {
     /// A session migrated to a surviving shard (args: global session,
     /// source shard).
     SessionMigrate,
+    // --- serve: overload control ---
+    /// A submission entered the pending-admission queue (args: ticket, QoS
+    /// class).
+    OverloadEnqueue,
+    /// A queued submission was shed as the predicted-worst SLO risk
+    /// (args: ticket, QoS class).
+    OverloadShed,
+    /// A fleet admission diverted off its saturated primary shard
+    /// (args: destination shard, primary shard).
+    OverloadDivert,
 }
 
 impl Phase {
@@ -124,6 +134,9 @@ impl Phase {
             Phase::ShardCrash => "shard_crash",
             Phase::ShardBrownout => "shard_brownout",
             Phase::SessionMigrate => "session_migrate",
+            Phase::OverloadEnqueue => "overload_enqueue",
+            Phase::OverloadShed => "overload_shed",
+            Phase::OverloadDivert => "overload_divert",
         }
     }
 
@@ -162,7 +175,10 @@ impl Phase {
             | Phase::HeartbeatMiss
             | Phase::ShardCrash
             | Phase::ShardBrownout
-            | Phase::SessionMigrate => "serve",
+            | Phase::SessionMigrate
+            | Phase::OverloadEnqueue
+            | Phase::OverloadShed
+            | Phase::OverloadDivert => "serve",
         }
     }
 
@@ -188,12 +204,14 @@ impl Phase {
             Phase::HeartbeatMiss | Phase::ShardBrownout => ["shard", "heartbeat", "c"],
             Phase::ShardCrash => ["shard", "sessions", "c"],
             Phase::SessionMigrate => ["session", "from_shard", "c"],
+            Phase::OverloadEnqueue | Phase::OverloadShed => ["ticket", "qos", "c"],
+            Phase::OverloadDivert => ["shard", "primary", "c"],
             _ => ["a", "b", "c"],
         }
     }
 
     pub(crate) fn from_u8(v: u8) -> Option<Phase> {
-        const ALL: [Phase; 33] = [
+        const ALL: [Phase; 36] = [
             Phase::Plan,
             Phase::Gather,
             Phase::MlpBlock,
@@ -227,6 +245,9 @@ impl Phase {
             Phase::ShardCrash,
             Phase::ShardBrownout,
             Phase::SessionMigrate,
+            Phase::OverloadEnqueue,
+            Phase::OverloadShed,
+            Phase::OverloadDivert,
         ];
         ALL.get(v as usize).copied()
     }
@@ -286,11 +307,19 @@ pub enum Counter {
     ShardBrownouts,
     /// Sessions migrated to a surviving shard during failover.
     SessionMigrations,
+    /// Submissions queued by the overload controller.
+    OverloadEnqueued,
+    /// Queued submissions shed as predicted SLO misses.
+    OverloadSheds,
+    /// Submissions pushed back with an explicit `Overloaded` retry hint.
+    OverloadBackpressure,
+    /// Fleet admissions diverted off a saturated primary shard.
+    OverloadDiversions,
 }
 
 impl Counter {
     /// Number of counters (sizes the recorder's fixed array).
-    pub const COUNT: usize = 25;
+    pub const COUNT: usize = 29;
 
     /// Prometheus series name (without the `cicero_` prefix / `_total`
     /// suffix).
@@ -321,6 +350,10 @@ impl Counter {
             Counter::ShardCrashes => "shard_crashes",
             Counter::ShardBrownouts => "shard_brownouts",
             Counter::SessionMigrations => "session_migrations",
+            Counter::OverloadEnqueued => "overload_enqueued",
+            Counter::OverloadSheds => "overload_sheds",
+            Counter::OverloadBackpressure => "overload_backpressure",
+            Counter::OverloadDiversions => "overload_diversions",
         }
     }
 
@@ -351,6 +384,10 @@ impl Counter {
             Counter::ShardCrashes,
             Counter::ShardBrownouts,
             Counter::SessionMigrations,
+            Counter::OverloadEnqueued,
+            Counter::OverloadSheds,
+            Counter::OverloadBackpressure,
+            Counter::OverloadDiversions,
         ];
         ALL.get(v).copied()
     }
@@ -376,11 +413,13 @@ pub enum Hist {
     /// Extra attempts a crashed job needed before recovery (observed only
     /// when at least one retry happened).
     RetryAttempts,
+    /// Pending-admission queue depth observed at each enqueue.
+    OverloadQueueDepth,
 }
 
 impl Hist {
     /// Number of histograms (sizes the recorder's fixed array).
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 8;
 
     /// Prometheus series name (without the `cicero_` prefix).
     pub fn name(self) -> &'static str {
@@ -392,6 +431,7 @@ impl Hist {
             Hist::PoolLanesGranted => "pool_lanes_granted",
             Hist::ServeBatchJobs => "serve_batch_jobs",
             Hist::RetryAttempts => "retry_attempts",
+            Hist::OverloadQueueDepth => "overload_queue_depth",
         }
     }
 
@@ -404,6 +444,7 @@ impl Hist {
             Hist::PoolLanesGranted,
             Hist::ServeBatchJobs,
             Hist::RetryAttempts,
+            Hist::OverloadQueueDepth,
         ];
         ALL.get(v).copied()
     }

@@ -137,3 +137,106 @@ proptest! {
         prop_assert_eq!(total, (nx as u64) * (ny as u64) * (nz as u64));
     }
 }
+
+// ---------------------------------------------------------------------------
+// Keyed-draw machinery (shared by FaultPlan and the traffic generators)
+// ---------------------------------------------------------------------------
+
+use cicero_serve::{keyed_draw, keyed_unit, FaultKind, FaultPlan};
+
+const ALL_KINDS: [FaultKind; 7] = [
+    FaultKind::WorkerCrash,
+    FaultKind::Straggler,
+    FaultKind::CacheCorruption,
+    FaultKind::PoseStall,
+    FaultKind::PoseDrop,
+    FaultKind::ShardCrash,
+    FaultKind::ShardBrownout,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A keyed draw is a pure function of `(seed, tag, key)`: asking the
+    /// same question twice — in any order, from any thread — returns the
+    /// same answer, and the unit draw always lands in `[0, 1)`.
+    #[test]
+    fn keyed_draws_are_idempotent_and_unit_bounded(
+        seed in 0u64..u64::MAX,
+        tag in 0u64..256,
+        a in 0u64..u64::MAX,
+        b in 0u64..u64::MAX,
+        c in 0u64..u64::MAX,
+    ) {
+        prop_assert_eq!(keyed_draw(seed, tag, a, b, c), keyed_draw(seed, tag, a, b, c));
+        let u = keyed_unit(seed, tag, a, b, c);
+        prop_assert_eq!(u, keyed_unit(seed, tag, a, b, c));
+        prop_assert!((0.0..1.0).contains(&u));
+    }
+
+    /// `FaultPlan::fires` is idempotent and **rate-monotone**: every
+    /// decision that fires at a lower rate still fires at any higher rate
+    /// under the same seed (the threshold moves, the draw does not), with
+    /// rate 0 never firing and rate 1 always firing.
+    #[test]
+    fn fault_fires_is_idempotent_and_rate_monotone(
+        seed in 0u64..u64::MAX,
+        lo in 0.0f64..1.0,
+        hi in 0.0f64..1.0,
+        a in 0u64..64,
+        b in 0u64..64,
+    ) {
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        let low = FaultPlan::with_rate(seed, lo);
+        let high = FaultPlan::with_rate(seed, hi);
+        for kind in ALL_KINDS {
+            let fired = low.fires(kind, a, b, 0);
+            prop_assert_eq!(fired, low.fires(kind, a, b, 0));
+            if fired {
+                prop_assert!(
+                    high.fires(kind, a, b, 0),
+                    "{}: fired at rate {} but not at {}",
+                    kind.label(), lo, hi
+                );
+            }
+            prop_assert!(!FaultPlan::with_rate(seed, 0.0).fires(kind, a, b, 0));
+            // `with_rate` keeps pose drops at rate/4, so rate 4 is the
+            // point where every kind's effective rate saturates at 1.
+            prop_assert!(FaultPlan::with_rate(seed, 4.0).fires(kind, a, b, 0));
+        }
+    }
+
+    /// Seed sensitivity: two different seeds disagree on at least one draw
+    /// in a small key window — schedules are decorrelated, not shifted
+    /// copies of each other.
+    #[test]
+    fn keyed_draws_are_seed_sensitive(
+        seed in 0u64..u64::MAX,
+        delta in 1u64..1_000_000,
+        tag in 0u64..256,
+    ) {
+        let other = seed.wrapping_add(delta);
+        let differs = (0u64..64).any(|k| keyed_draw(seed, tag, k, 0, 0) != keyed_draw(other, tag, k, 0, 0));
+        prop_assert!(differs, "seeds {} and {} agree on 64 consecutive draws", seed, other);
+    }
+
+    /// Tag separation: the domains sharing one seed (fault tags 1–7,
+    /// traffic tags 101+) never alias — distinct tags give distinct
+    /// streams over a small key window.
+    #[test]
+    fn keyed_draw_tags_are_domain_separated(
+        seed in 0u64..u64::MAX,
+        a in 0u64..u64::MAX,
+    ) {
+        let tags = [1u64, 2, 3, 4, 5, 6, 7, 101, 102, 103, 104, 105, 106, 107];
+        for (i, &ta) in tags.iter().enumerate() {
+            for &tb in &tags[i + 1..] {
+                let differs = (0u64..16).any(|k| {
+                    keyed_draw(seed, ta, a.wrapping_add(k), 0, 0)
+                        != keyed_draw(seed, tb, a.wrapping_add(k), 0, 0)
+                });
+                prop_assert!(differs, "tags {} and {} alias under seed {}", ta, tb, seed);
+            }
+        }
+    }
+}
